@@ -1,0 +1,143 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! optimizer rules on/off, projection pruning, filter pushdown, and the
+//! cost of statistical rigor (replication count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minidb::optimizer::OptimizerConfig;
+use minidb::Session;
+use perfeval_bench::catalog_at;
+use perfeval_core::runner::{Assignment, Runner};
+use perfeval_core::twolevel::TwoLevelDesign;
+
+/// Projection pruning: a narrow aggregate over the wide lineitem table.
+fn bench_projection_pruning(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let sql = "SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate < 1500";
+    let mut group = c.benchmark_group("ablation_projection_pruning");
+    group.sample_size(10);
+    for (name, pruning) in [("on", true), ("off", false)] {
+        let mut session = Session::new(catalog.clone());
+        session.set_optimizer(OptimizerConfig {
+            projection_pruning: pruning,
+            ..OptimizerConfig::all()
+        });
+        session.execute(sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).unwrap().row_count())
+        });
+    }
+    group.finish();
+}
+
+/// Filter pushdown below the join.
+fn bench_filter_pushdown(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let sql = "SELECT COUNT(*) FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+               WHERE o_orderdate < 300 AND l_shipdate < 400";
+    let mut group = c.benchmark_group("ablation_filter_pushdown");
+    group.sample_size(10);
+    for (name, pushdown) in [("on", true), ("off", false)] {
+        let mut session = Session::new(catalog.clone());
+        session.set_optimizer(OptimizerConfig {
+            filter_pushdown: pushdown,
+            ..OptimizerConfig::all()
+        });
+        session.execute(sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).unwrap().row_count())
+        });
+    }
+    group.finish();
+}
+
+/// The price of rigor: executing a 2^2 design with growing replication.
+fn bench_replication_cost(c: &mut Criterion) {
+    let catalog = catalog_at(0.001);
+    let sql = "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 25";
+    let mut group = c.benchmark_group("ablation_replication_cost");
+    group.sample_size(10);
+    for reps in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, &reps| {
+            b.iter(|| {
+                let design = TwoLevelDesign::full(&["A", "B"]);
+                let mut session = Session::new(catalog.clone());
+                let mut exp = |_a: &Assignment| {
+                    session.execute(sql).unwrap().server_user_ms()
+                };
+                Runner::new(reps).run_two_level(&design, &mut exp).run_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fractional vs full screening: 2^4 vs 2^(4−1) over a synthetic system.
+fn bench_fraction_vs_full(c: &mut Criterion) {
+    use perfeval_core::alias::Generator;
+    use perfeval_core::screen::screen;
+    let mut group = c.benchmark_group("ablation_fraction_vs_full");
+    group.sample_size(10);
+    let system = |a: &Assignment| {
+        let mut acc = 0.0;
+        // A non-trivial response surface with some busywork.
+        for i in 0..2_000 {
+            acc += (i as f64).sqrt();
+        }
+        acc * 1e-9
+            + 10.0 * a.num("A").unwrap()
+            + 3.0 * a.num("B").unwrap()
+            + a.num("C").unwrap() * a.num("D").unwrap()
+    };
+    group.bench_function("full_2_4", |b| {
+        b.iter(|| {
+            let mut exp = system;
+            screen(&["A", "B", "C", "D"], &[], 1, &mut exp).unwrap().runs_spent
+        })
+    });
+    group.bench_function("fraction_2_4_1", |b| {
+        b.iter(|| {
+            let mut exp = system;
+            screen(
+                &["A", "B", "C", "D"],
+                &[Generator::parse("D=ABC").unwrap()],
+                1,
+                &mut exp,
+            )
+            .unwrap()
+            .runs_spent
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_projection_pruning,
+    bench_filter_pushdown,
+    bench_replication_cost,
+    bench_fraction_vs_full,
+    bench_topn_fusion
+);
+criterion_main!(benches);
+
+/// TopN fusion: ORDER BY ... LIMIT k over lineitem, fused vs full sort.
+fn bench_topn_fusion(c: &mut Criterion) {
+    use criterion::BenchmarkId as Id;
+    let catalog = catalog_at(0.004);
+    let sql = "SELECT l_extendedprice FROM lineitem \
+               ORDER BY l_extendedprice DESC LIMIT 10";
+    let mut group = c.benchmark_group("ablation_topn_fusion");
+    group.sample_size(10);
+    for (name, fusion) in [("on", true), ("off", false)] {
+        let mut session = Session::new(catalog.clone());
+        session.set_optimizer(OptimizerConfig {
+            topn_fusion: fusion,
+            ..OptimizerConfig::all()
+        });
+        session.execute(sql).unwrap();
+        group.bench_with_input(Id::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).unwrap().row_count())
+        });
+    }
+    group.finish();
+}

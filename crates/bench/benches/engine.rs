@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the engine primitives: the numbers behind every
+//! timing table. One group per operator class, each swept DBG vs OPT so the
+//! "apples and oranges" factor is measured continuously.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minidb::ExecMode;
+use perfeval_bench::catalog_at;
+use workload::queries;
+
+fn bench_scan_aggregate(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let mut group = c.benchmark_group("scan_max");
+    group.sample_size(20);
+    for mode in [ExecMode::Debug, ExecMode::Optimized] {
+        let mut session = minidb::Session::new(catalog.clone()).with_mode(mode);
+        session.execute("SELECT MAX(l_extendedprice) FROM lineitem").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
+            b.iter(|| {
+                session
+                    .execute("SELECT MAX(l_extendedprice) FROM lineitem")
+                    .unwrap()
+                    .row_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_selectivity(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let mut group = c.benchmark_group("filter_selectivity");
+    group.sample_size(20);
+    // l_shipdate spans 0..2557: cutoffs give ~10%, ~50%, ~90% selectivity.
+    for cutoff in [256i64, 1280, 2300] {
+        let sql = format!("SELECT COUNT(*) FROM lineitem WHERE l_shipdate < {cutoff}");
+        let mut session = minidb::Session::new(catalog.clone());
+        session.execute(&sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).unwrap().row_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let sql = "SELECT COUNT(*) FROM lineitem JOIN orders ON l_orderkey = o_orderkey";
+    let mut group = c.benchmark_group("hash_join");
+    group.sample_size(10);
+    for mode in [ExecMode::Debug, ExecMode::Optimized] {
+        let mut session = minidb::Session::new(catalog.clone()).with_mode(mode);
+        session.execute(sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
+            b.iter(|| session.execute(sql).unwrap().row_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_q1_q6(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let mut group = c.benchmark_group("tpch_like");
+    group.sample_size(10);
+    for (name, sql) in [("q1", queries::q1()), ("q6", queries::q6())] {
+        let mut session = minidb::Session::new(catalog.clone());
+        session.execute(&sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).unwrap().row_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_aggregate,
+    bench_filter_selectivity,
+    bench_join,
+    bench_q1_q6
+);
+criterion_main!(benches);

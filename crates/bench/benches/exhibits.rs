@@ -1,0 +1,107 @@
+//! Criterion benchmarks, one per paper exhibit with a timing dimension:
+//! E2 (hot vs cold), E3 (DBG vs OPT per query shape), E4 (memory wall by
+//! machine), E1 (result sinks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::scan::scan_cost;
+use memsim::{Disk, MachineSpec};
+use minidb::{ExecMode, FileSink, NullSink, Session, TerminalSink};
+use perfeval_bench::catalog_at;
+use workload::queries;
+
+/// E2: the same Q6 executed cold (flush before every iteration) vs hot.
+fn bench_e2_hot_cold(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let sql = queries::q6();
+    let mut group = c.benchmark_group("e2_hot_cold");
+    group.sample_size(10);
+    let mut hot = Session::new(catalog.clone()).with_disk(Disk::raid_2008(), 100_000);
+    hot.execute(&sql).unwrap();
+    group.bench_function("hot", |b| {
+        b.iter(|| hot.execute(&sql).unwrap().server_real_ms())
+    });
+    let mut cold = Session::new(catalog).with_disk(Disk::raid_2008(), 100_000);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            cold.flush_caches();
+            cold.execute(&sql).unwrap().server_real_ms()
+        })
+    });
+    group.finish();
+}
+
+/// E3: DBG vs OPT on three representative query shapes.
+fn bench_e3_dbg_opt(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let mut group = c.benchmark_group("e3_dbg_opt");
+    group.sample_size(10);
+    for (name, sql) in [
+        ("q1_scan_agg", queries::q1()),
+        ("q6_selective", queries::q6()),
+        ("q16_join_group", queries::q16()),
+    ] {
+        for mode in [ExecMode::Debug, ExecMode::Optimized] {
+            let mut session = Session::new(catalog.clone()).with_mode(mode);
+            session.execute(&sql).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(name, mode),
+                &sql,
+                |b, sql| b.iter(|| session.execute(sql).unwrap().row_count()),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E4: the memory-wall scan on each historical machine (simulation speed;
+/// the simulated per-iteration costs are printed by exp_e4_memory_wall).
+fn bench_e4_memory_wall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_memory_wall_sim");
+    group.sample_size(10);
+    for machine in MachineSpec::memory_wall_lineup() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&machine.system),
+            &machine,
+            |b, m| b.iter(|| scan_cost(m, 50_000, 128).total_ns_per_iter()),
+        );
+    }
+    group.finish();
+}
+
+/// E1: where the result goes — null vs file vs terminal sink on the
+/// large-result query.
+fn bench_e1_sinks(c: &mut Criterion) {
+    let catalog = catalog_at(0.002);
+    let sql = queries::q16();
+    let mut session = Session::new(catalog);
+    session.execute(&sql).unwrap();
+    let mut group = c.benchmark_group("e1_sinks");
+    group.sample_size(10);
+    group.bench_function("null", |b| {
+        b.iter(|| session.execute_to(&sql, &mut NullSink).unwrap().result_bytes)
+    });
+    let tmp = std::env::temp_dir().join("perfeval_bench_sink.tsv");
+    group.bench_function("file", |b| {
+        b.iter(|| {
+            let mut sink = FileSink::new(&tmp);
+            session.execute_to(&sql, &mut sink).unwrap().result_bytes
+        })
+    });
+    group.bench_function("terminal", |b| {
+        b.iter(|| {
+            let mut sink = TerminalSink::new();
+            session.execute_to(&sql, &mut sink).unwrap().result_bytes
+        })
+    });
+    std::fs::remove_file(&tmp).ok();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e2_hot_cold,
+    bench_e3_dbg_opt,
+    bench_e4_memory_wall,
+    bench_e1_sinks
+);
+criterion_main!(benches);

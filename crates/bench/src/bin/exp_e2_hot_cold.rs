@@ -1,0 +1,74 @@
+//! E2 — hot vs. cold × user vs. real time (slides 33–36).
+//!
+//! Paper's table (Pentium M laptop, TPC-H sf 1, Q1):
+//!
+//! ```text
+//!        cold            hot
+//! Q   user   real    user   real
+//! 1   2930  13243    2830   3534
+//! ```
+//!
+//! Shape to match: cold-user ≈ hot-user (same CPU work), cold-real ≫
+//! cold-user (disk waits), hot-real ≈ hot-user. Our absolute numbers come
+//! from the simulated 5400 RPM disk and a much smaller scale factor.
+
+use memsim::Disk;
+use minidb::Session;
+use perfeval_bench::{banner, bench_catalog, print_environment};
+use perfeval_measure::RunProtocol;
+use workload::queries;
+
+fn main() {
+    banner("E2: hot vs cold runs", "slides 33-36");
+    print_environment();
+    println!("protocol (cold): {}", RunProtocol::cold(1).describe());
+    println!(
+        "protocol (hot) : {}\n",
+        RunProtocol::last_of_three_hot().describe()
+    );
+
+    let mut session =
+        Session::new(bench_catalog()).with_disk(Disk::laptop_5400rpm(), 100_000);
+    let sql = queries::q1();
+
+    // Cold: flush, run once.
+    session.flush_caches();
+    let cold = session.execute(&sql).expect("cold run");
+
+    // Hot: measured last of three consecutive runs.
+    let _ = session.execute(&sql).expect("hot warm 1");
+    let _ = session.execute(&sql).expect("hot warm 2");
+    let hot = session.execute(&sql).expect("hot measured");
+
+    println!("        cold               hot");
+    println!("Q    user    real      user    real    ... time (milliseconds)");
+    println!(
+        "1  {:>6.0}  {:>6.0}    {:>6.0}  {:>6.0}",
+        cold.server_user_ms(),
+        cold.server_real_ms(),
+        hot.server_user_ms(),
+        hot.server_real_ms()
+    );
+
+    let cold_gap = cold.server_real_ms() / cold.server_user_ms();
+    let hot_gap = hot.server_real_ms() / hot.server_user_ms();
+    println!("\ncold real/user = {cold_gap:.1}x   hot real/user = {hot_gap:.2}x");
+    println!(
+        "paper: cold 13243/2930 = {:.1}x, hot 3534/2830 = {:.2}x",
+        13243.0 / 2930.0,
+        3534.0 / 2830.0
+    );
+
+    assert!(cold_gap > 2.0, "cold real must dwarf cold user");
+    assert!(hot_gap < 1.05, "hot real ~ hot user");
+    assert_eq!(hot.sim_io_ms, 0.0, "hot run touches no disk");
+    let user_ratio = cold.server_user_ms() / hot.server_user_ms();
+    // Wide tolerance: this is real wall-clock CPU work on a possibly noisy
+    // host; the claim is only that the CPU component is the *same order*
+    // hot and cold, unlike the I/O component.
+    assert!(
+        (0.1..10.0).contains(&user_ratio),
+        "CPU work is similar hot and cold (ratio {user_ratio:.2})"
+    );
+    println!("\nBe aware what you measure!");
+}

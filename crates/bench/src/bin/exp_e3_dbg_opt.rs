@@ -1,0 +1,74 @@
+//! E3 — DBG/OPT relative execution time across 22 queries (slides 40–41).
+//!
+//! The paper's figure plots `DBG/OPT` per TPC-H query, all points between
+//! 1.0 and ~2.2 ("compiler optimization ⇒ up to factor 2 performance
+//! difference"). Our DBG engine is a row-at-a-time interpreter rather than
+//! a `-O0` build of the same binary, so the ratios skew larger on
+//! scan-heavy queries; the shape to match is: OPT wins essentially
+//! everywhere, by a query-dependent factor of roughly one-to-a-few.
+//!
+//! Also writes `dbg_opt.csv` + a gnuplot script if `PERFEVAL_OUT` is set.
+
+use minidb::ExecMode;
+use perfeval_bench::{banner, bench_catalog, measure_user_ms, print_environment, session_with_mode};
+use perfeval_harness::{GnuplotScript, write_csv};
+use perfeval_stats::Summary;
+use workload::queries;
+
+fn main() {
+    banner("E3: DBG vs OPT across the query family", "slides 40-41");
+    print_environment();
+    let catalog = bench_catalog();
+    let mut dbg = session_with_mode(&catalog, ExecMode::Debug);
+    let mut opt = session_with_mode(&catalog, ExecMode::Optimized);
+
+    let mut ratios = Vec::new();
+    let mut rows = Vec::new();
+    println!(" q   DBG (ms)   OPT (ms)   DBG/OPT");
+    for (i, sql) in queries::all_family().iter().enumerate() {
+        let d = measure_user_ms(&mut dbg, sql, 5);
+        let o = measure_user_ms(&mut opt, sql, 5);
+        let ratio = d / o.max(1e-9);
+        println!("{:>2}  {:>9.3}  {:>9.3}  {:>8.2}", i + 1, d, o, ratio);
+        ratios.push(ratio);
+        rows.push(vec![(i + 1) as f64, ratio]);
+    }
+
+    let s = Summary::from_slice(&ratios);
+    let geo = s.geometric_mean().expect("positive ratios");
+    println!(
+        "\nDBG/OPT ratio: min {:.2}, geometric mean {:.2}, max {:.2}",
+        s.min(),
+        geo,
+        s.max()
+    );
+    println!("paper's figure: ratios between 1.0 and ~2.2 across 22 TPC-H queries");
+
+    // Shape assertions.
+    let opt_wins = ratios.iter().filter(|r| **r > 1.0).count();
+    assert!(
+        opt_wins >= 18,
+        "OPT must win on (almost) every query; won {opt_wins}/22"
+    );
+    assert!(geo > 1.3, "the build factor must be material: {geo:.2}");
+    assert!(s.max() / s.min().max(0.1) > 1.5, "ratio must vary per query");
+
+    if let Ok(dir) = std::env::var("PERFEVAL_OUT") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create PERFEVAL_OUT dir {}: {e}", dir.display()));
+        write_csv(&dir.join("dbg_opt.csv"), &["query", "ratio"], &rows)
+            .expect("write csv");
+        GnuplotScript::new(
+            "relative execution time: DBG/OPT",
+            "TPC-H-like queries",
+            "relative execution time DBG/OPT (ratio)",
+            "dbg_opt.eps",
+        )
+        .single("dbg_opt.csv")
+        .paper_size(0.5, 0.5)
+        .write_to(&dir.join("dbg_opt.gnu"))
+        .expect("write gnuplot");
+        println!("wrote {}/dbg_opt.{{csv,gnu}}", dir.display());
+    }
+}

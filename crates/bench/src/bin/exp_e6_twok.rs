@@ -1,0 +1,60 @@
+//! E6/E7 — the 2² worked example and the sign-table method (slides 70–85).
+//!
+//! Paper's numbers: memory size (A) × cache size (B) on a workstation, MIPS
+//! responses 15/45/25/75, solved to `y = 40 + 20·xA + 10·xB + 5·xA·xB`,
+//! then the allocation-of-variation formulas `SST = 2² Σ q²`.
+
+use perfeval_bench::banner;
+use perfeval_core::effects::estimate_effects;
+use perfeval_core::twolevel::TwoLevelDesign;
+use perfeval_core::variation::allocate_variation;
+
+fn main() {
+    banner("E6: 2^2 factorial design, sign-table method", "slides 70-85");
+
+    println!("Performance in MIPS:");
+    println!("  cache \\ memory   4MB   16MB");
+    println!("  1KB               15     45");
+    println!("  2KB               25     75\n");
+
+    let design = TwoLevelDesign::full(&["A", "B"]);
+    println!("sign table (standard order):");
+    print!("{}", design.render());
+
+    let y = [15.0, 45.0, 25.0, 75.0];
+    let model = estimate_effects(&design, &y).expect("responses match design");
+    println!("\nfitted model: {}", model.render());
+    println!("paper:        y = 40 + 20·xA + 10·xB + 5·xA·xB");
+
+    assert_eq!(model.coefficient(&[]).expect("q0"), 40.0);
+    assert_eq!(model.coefficient(&["A"]).expect("qA"), 20.0);
+    assert_eq!(model.coefficient(&["B"]).expect("qB"), 10.0);
+    assert_eq!(model.coefficient(&["A", "B"]).expect("qAB"), 5.0);
+
+    // Interpretation line from slide 72.
+    println!(
+        "\ninterpretation: the mean is {}; the effect of memory is {} MIPS; \
+         the effect of cache is {} MIPS;\nthe interaction between memory and \
+         cache accounts for {} MIPS.",
+        model.mean(),
+        model.coefficient(&["A"]).expect("qA"),
+        model.coefficient(&["B"]).expect("qB"),
+        model.coefficient(&["A", "B"]).expect("qAB"),
+    );
+
+    // Allocation of variation (slides 81-85).
+    let table = allocate_variation(&design, &y).expect("responses match design");
+    println!("\nallocation of variation (SST = 2^2·(qA² + qB² + qAB²)):");
+    print!("{}", table.render());
+    let expected_sst = 4.0 * (400.0 + 100.0 + 25.0);
+    assert!((table.sst - expected_sst).abs() < 1e-9);
+    println!("SST = {}", table.sst);
+
+    // The model reproduces every observation (2^k coefficients, 2^k
+    // observations).
+    for (r, &want) in y.iter().enumerate() {
+        let got = model.predict(&design.run_signs(r));
+        assert!((got - want).abs() < 1e-12);
+    }
+    println!("\nmodel reproduces all four observations exactly.");
+}

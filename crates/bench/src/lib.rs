@@ -1,0 +1,133 @@
+//! # perfeval-bench
+//!
+//! The benchmark harness reproducing **every table and figure** of the
+//! paper's content. Each `exp_*` binary regenerates one exhibit and prints
+//! the same rows/series the slides show; `EXPERIMENTS.md` at the repository
+//! root records paper-vs-measured for each.
+//!
+//! | binary | exhibit |
+//! |--------|---------|
+//! | `exp_e1_what_to_measure` | slides 23–26: server/client, file/terminal table |
+//! | `exp_e2_hot_cold` | slides 33–36: hot vs cold × user vs real |
+//! | `exp_e3_dbg_opt` | slide 41: DBG/OPT ratio across 22 queries |
+//! | `exp_e4_memory_wall` | slides 46/51: scan ns/iteration, 5 machines |
+//! | `exp_e5_interaction` | slide 58: interaction tables (a) and (b) |
+//! | `exp_e6_twok` | slides 70–85: 2² design, sign table, allocation |
+//! | `exp_e8_networks` | slides 86–93: variation-explained table |
+//! | `exp_e9_latin` | slide 67: 9-run fractional design table |
+//! | `exp_e10_2_7_4` | slides 102–103: 2^(7−4) sign table |
+//! | `exp_e11_confounding` | slides 104–109: D=ABC vs D=AB |
+//! | `exp_e12_profile` | slide 54: per-operator profile trace |
+//! | `exp_e13_presentation` | slides 142/144: CI overlap + histogram cells |
+//! | `exp_e14_repeatability` | slides 218–220: SIGMOD 2008 outcomes |
+//! | `exp_e15_gnuplot` | slides 202–205: CSV → gnuplot automation |
+//! | `exp_e16_locale` | slides 212–215: the 13.666 → 13666 bug |
+//! | `exp_e17_timers` | slides 27–29: timers and their resolutions |
+//!
+//! Criterion benches under `benches/` measure the engine primitives and the
+//! ablations DESIGN.md calls out.
+
+use minidb::{Catalog, ExecMode, Session};
+use workload::dbgen::{generate, GenConfig};
+
+/// The standard scale factor used by the experiment binaries: large enough
+/// for stable timings, small enough to regenerate in seconds.
+pub const BENCH_SCALE_FACTOR: f64 = 0.01;
+
+/// The standard seed (recorded; the whole data set regenerates from it).
+pub const BENCH_SEED: u64 = 20080408;
+
+/// Generates the standard benchmark catalog.
+pub fn bench_catalog() -> Catalog {
+    generate(&GenConfig {
+        scale_factor: BENCH_SCALE_FACTOR,
+        seed: BENCH_SEED,
+        part_skew: None,
+    })
+}
+
+/// Generates a catalog at an explicit scale factor.
+pub fn catalog_at(scale_factor: f64) -> Catalog {
+    generate(&GenConfig {
+        scale_factor,
+        seed: BENCH_SEED,
+        part_skew: None,
+    })
+}
+
+/// Median of a sample (destructive order).
+pub fn median(mut values: Vec<f64>) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    values[values.len() / 2]
+}
+
+/// Measures a query's server user time: one warmup run, then the median of
+/// `reps` measured runs.
+pub fn measure_user_ms(session: &mut Session, sql: &str, reps: usize) -> f64 {
+    session.execute(sql).expect("warmup run");
+    median(
+        (0..reps)
+            .map(|_| session.execute(sql).expect("measured run").server_user_ms())
+            .collect(),
+    )
+}
+
+/// Builds a session in the given mode over a shared catalog.
+pub fn session_with_mode(catalog: &Catalog, mode: ExecMode) -> Session {
+    Session::new(catalog.clone()).with_mode(mode)
+}
+
+/// Prints a horizontal rule and a heading, the shared exhibit banner.
+pub fn banner(experiment: &str, slide: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{experiment}  (reproduces {slide})");
+    println!("{}", "=".repeat(72));
+}
+
+/// Environment line printed by every experiment: "document what you do".
+pub fn print_environment() {
+    let spec = perfeval_measure::EnvSpec::capture();
+    println!("host: {}", spec.render());
+    println!(
+        "workload: TPC-H-like, sf={BENCH_SCALE_FACTOR}, seed={BENCH_SEED} \
+         (regenerates bit-identically)"
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_catalog_is_deterministic() {
+        let a = bench_catalog();
+        let b = bench_catalog();
+        assert_eq!(
+            a.table("lineitem").unwrap().row_count(),
+            b.table("lineitem").unwrap().row_count()
+        );
+    }
+
+    #[test]
+    fn median_behaviour() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn measure_user_ms_is_positive() {
+        let catalog = catalog_at(0.001);
+        let mut s = Session::new(catalog);
+        let ms = measure_user_ms(&mut s, "SELECT COUNT(*) FROM lineitem", 3);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty sample")]
+    fn median_empty_panics() {
+        median(Vec::new());
+    }
+}

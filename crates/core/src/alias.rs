@@ -1,0 +1,351 @@
+//! The confounding algebra of fractional factorial designs
+//! (slides 104–109).
+//!
+//! In a 2^(k−p) design each measured column estimates a *sum* of effects:
+//! choosing `D = ABC` makes `I = ABCD` the defining relation, so
+//! `A = BCD`, `AD = BC`, and so on. Products of effects form a group under
+//! XOR (each factor squared is the identity), which makes the algebra
+//! mechanical:
+//!
+//! * the **defining relation** is the closure of the generator words,
+//! * the **alias set** of an effect is its coset under that closure,
+//! * the **resolution** is the smallest word length in the defining
+//!   relation — and the sparsity-of-effects principle says to pick the
+//!   design with the *highest* resolution (`D = ABC`, resolution IV, beats
+//!   `D = AB`, resolution III).
+
+use crate::twolevel::TwoLevelDesign;
+use crate::DesignError;
+
+/// One generator of a fractional design, e.g. `D = ABC`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generator {
+    defined: String,
+    word: Vec<String>,
+}
+
+impl Generator {
+    /// Creates a generator from the defined factor and its word.
+    pub fn new(defined: &str, word: &[&str]) -> Self {
+        Generator {
+            defined: defined.to_owned(),
+            word: word.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// Parses the compact single-letter notation `"D=ABC"`.
+    pub fn parse(text: &str) -> Result<Generator, DesignError> {
+        let (lhs, rhs) = text
+            .split_once('=')
+            .ok_or_else(|| DesignError::Invalid(format!("generator '{text}' lacks '='")))?;
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        if lhs.is_empty() || rhs.is_empty() {
+            return Err(DesignError::Invalid(format!("generator '{text}' malformed")));
+        }
+        Ok(Generator {
+            defined: lhs.to_owned(),
+            word: rhs.chars().map(|c| c.to_string()).collect(),
+        })
+    }
+
+    /// The defined factor.
+    pub fn defined(&self) -> &str {
+        &self.defined
+    }
+
+    /// The product word.
+    pub fn word(&self) -> &[String] {
+        &self.word
+    }
+}
+
+impl std::fmt::Display for Generator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}", self.defined, self.word.join(""))
+    }
+}
+
+/// The alias structure of a two-level design.
+#[derive(Debug, Clone)]
+pub struct AliasStructure {
+    k: usize,
+    factor_names: Vec<String>,
+    /// All words of the defining relation, including the identity (0).
+    relation: Vec<u32>,
+}
+
+impl AliasStructure {
+    /// Computes the alias structure of a design. A full design's relation
+    /// is just {I}: nothing is confounded.
+    pub fn of(design: &TwoLevelDesign) -> Result<AliasStructure, DesignError> {
+        let k = design.k();
+        let names = design.factor_names().to_vec();
+        // Build each generator's full word mask: defined factor ⊕ word.
+        let mut gen_masks = Vec::new();
+        for (gi, g) in design.generators().iter().enumerate() {
+            let mut mask = 0u32;
+            for f in g.word() {
+                let idx = names
+                    .iter()
+                    .position(|n| n == f)
+                    .ok_or_else(|| DesignError::UnknownFactor(f.clone()))?;
+                mask |= 1 << idx;
+            }
+            // The defined factor is, by construction of
+            // TwoLevelDesign::fractional, at position base + gi.
+            let defined_idx = names
+                .iter()
+                .position(|n| n == g.defined())
+                .ok_or_else(|| DesignError::UnknownFactor(g.defined().to_owned()))?;
+            let _ = gi;
+            mask |= 1 << defined_idx;
+            gen_masks.push(mask);
+        }
+        // Closure under XOR: all subset products of the generator words.
+        let p = gen_masks.len();
+        let mut relation = Vec::with_capacity(1 << p);
+        for subset in 0..(1u32 << p) {
+            let mut word = 0u32;
+            for (i, &g) in gen_masks.iter().enumerate() {
+                if subset & (1 << i) != 0 {
+                    word ^= g;
+                }
+            }
+            relation.push(word);
+        }
+        relation.sort_unstable();
+        relation.dedup();
+        Ok(AliasStructure {
+            k,
+            factor_names: names,
+            relation,
+        })
+    }
+
+    /// The defining relation's words (including I = 0).
+    pub fn defining_relation(&self) -> &[u32] {
+        &self.relation
+    }
+
+    /// The alias set of an effect: every effect confounded with it
+    /// (including itself), sorted by word length then value.
+    pub fn alias_set(&self, effect: u32) -> Vec<u32> {
+        let mut set: Vec<u32> = self.relation.iter().map(|w| w ^ effect).collect();
+        set.sort_by_key(|m| (m.count_ones(), *m));
+        set.dedup();
+        set
+    }
+
+    /// Are two effects confounded in this design?
+    pub fn are_aliased(&self, a: u32, b: u32) -> bool {
+        self.relation.contains(&(a ^ b))
+    }
+
+    /// Design resolution: the minimum word length over the non-identity
+    /// words of the defining relation. `None` for a full design (nothing
+    /// confounded — "infinite" resolution).
+    pub fn resolution(&self) -> Option<u32> {
+        self.relation
+            .iter()
+            .filter(|&&w| w != 0)
+            .map(|w| w.count_ones())
+            .min()
+    }
+
+    /// Renders an effect mask using the factor names.
+    pub fn label(&self, mask: u32) -> String {
+        if mask == 0 {
+            return "I".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (j, name) in self.factor_names.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                parts.push(name.clone());
+            }
+        }
+        parts.join("")
+    }
+
+    /// Renders the alias set of every main effect plus I — the slide-105
+    /// listing ("AD = BC, BD = AC, … I = ABCD").
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "I = {}\n",
+            self.relation
+                .iter()
+                .filter(|&&w| w != 0)
+                .map(|&w| self.label(w))
+                .collect::<Vec<_>>()
+                .join(" = ")
+        ));
+        for j in 0..self.k {
+            let aliases = self.alias_set(1 << j);
+            let labels: Vec<String> = aliases.iter().map(|&m| self.label(m)).collect();
+            out.push_str(&labels.join(" = "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The sparsity-of-effects comparator (slide 108): the design whose
+    /// resolution is higher confounds only higher-order interactions and
+    /// is preferred. Returns `Ordering::Greater` if `self` is preferable
+    /// to `other`.
+    pub fn compare_preference(&self, other: &AliasStructure) -> std::cmp::Ordering {
+        match (self.resolution(), other.resolution()) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (Some(a), Some(b)) => a.cmp(&b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design_d_abc() -> TwoLevelDesign {
+        TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=ABC").unwrap()],
+        )
+        .unwrap()
+    }
+
+    fn design_d_ab() -> TwoLevelDesign {
+        TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=AB").unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generator_parse_and_display() {
+        let g = Generator::parse("D=ABC").unwrap();
+        assert_eq!(g.defined(), "D");
+        assert_eq!(g.word(), &["A", "B", "C"]);
+        assert_eq!(g.to_string(), "D=ABC");
+        assert!(Generator::parse("DABC").is_err());
+        assert!(Generator::parse("=ABC").is_err());
+        assert!(Generator::parse("D=").is_err());
+    }
+
+    #[test]
+    fn defining_relation_d_abc() {
+        // I = ABCD.
+        let a = AliasStructure::of(&design_d_abc()).unwrap();
+        assert_eq!(a.defining_relation(), &[0, 0b1111]);
+        assert_eq!(a.label(0b1111), "ABCD");
+    }
+
+    #[test]
+    fn slide_105_aliases_hold() {
+        let a = AliasStructure::of(&design_d_abc()).unwrap();
+        let m = |s: &str| -> u32 {
+            s.chars()
+                .map(|c| 1u32 << (c as u8 - b'A'))
+                .fold(0, |x, y| x | y)
+        };
+        // AD = BC, BD = AC, AB = CD.
+        assert!(a.are_aliased(m("AD"), m("BC")));
+        assert!(a.are_aliased(m("BD"), m("AC")));
+        assert!(a.are_aliased(m("AB"), m("CD")));
+        // A = BCD, B = ACD, C = ABD, I = ABCD.
+        assert!(a.are_aliased(m("A"), m("BCD")));
+        assert!(a.are_aliased(m("B"), m("ACD")));
+        assert!(a.are_aliased(m("C"), m("ABD")));
+        assert!(a.are_aliased(0, m("ABCD")));
+        // Not everything is aliased.
+        assert!(!a.are_aliased(m("A"), m("B")));
+        assert!(!a.are_aliased(m("A"), m("BC")));
+    }
+
+    #[test]
+    fn slide_108_confoundings_of_d_ab() {
+        let a = AliasStructure::of(&design_d_ab()).unwrap();
+        let m = |s: &str| -> u32 {
+            s.chars()
+                .map(|c| 1u32 << (c as u8 - b'A'))
+                .fold(0, |x, y| x | y)
+        };
+        // A = BD, B = AD, D = AB, I = ABD.
+        assert!(a.are_aliased(m("A"), m("BD")));
+        assert!(a.are_aliased(m("B"), m("AD")));
+        assert!(a.are_aliased(m("D"), m("AB")));
+        assert!(a.are_aliased(0, m("ABD")));
+        // AC = BCD, BC = ACD, CD = ABC, C = ABCD.
+        assert!(a.are_aliased(m("AC"), m("BCD")));
+        assert!(a.are_aliased(m("C"), m("ABCD")));
+    }
+
+    #[test]
+    fn d_abc_is_resolution_iv_and_preferred() {
+        // The punchline of slides 104–109.
+        let abc = AliasStructure::of(&design_d_abc()).unwrap();
+        let ab = AliasStructure::of(&design_d_ab()).unwrap();
+        assert_eq!(abc.resolution(), Some(4));
+        assert_eq!(ab.resolution(), Some(3));
+        assert_eq!(
+            abc.compare_preference(&ab),
+            std::cmp::Ordering::Greater,
+            "D=ABC is preferred"
+        );
+    }
+
+    #[test]
+    fn main_effects_confounded_with_third_order_in_res_iv() {
+        let a = AliasStructure::of(&design_d_abc()).unwrap();
+        // "confounds the main effects with 3rd order interactions."
+        for j in 0..4u32 {
+            let set = a.alias_set(1 << j);
+            assert_eq!(set.len(), 2);
+            assert_eq!(set[0].count_ones(), 1);
+            assert_eq!(set[1].count_ones(), 3);
+        }
+    }
+
+    #[test]
+    fn full_design_confounds_nothing() {
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        let a = AliasStructure::of(&d).unwrap();
+        assert_eq!(a.defining_relation(), &[0]);
+        assert_eq!(a.resolution(), None);
+        assert!(!a.are_aliased(0b001, 0b010));
+        let full27 = AliasStructure::of(&TwoLevelDesign::full(&["A", "B"])).unwrap();
+        assert_eq!(
+            a.compare_preference(&full27),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn two_seven_four_is_resolution_iii() {
+        let d = TwoLevelDesign::fractional(
+            &["A", "B", "C", "D", "E", "F", "G"],
+            &[
+                Generator::parse("D=AB").unwrap(),
+                Generator::parse("E=AC").unwrap(),
+                Generator::parse("F=BC").unwrap(),
+                Generator::parse("G=ABC").unwrap(),
+            ],
+        )
+        .unwrap();
+        let a = AliasStructure::of(&d).unwrap();
+        assert_eq!(a.resolution(), Some(3));
+        // Defining relation has 2^4 = 16 words.
+        assert_eq!(a.defining_relation().len(), 16);
+    }
+
+    #[test]
+    fn render_lists_identity_and_main_effects() {
+        let a = AliasStructure::of(&design_d_abc()).unwrap();
+        let text = a.render();
+        assert!(text.starts_with("I = ABCD"));
+        assert!(text.contains("A = BCD"));
+        assert_eq!(text.lines().count(), 5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Effect significance: confidence intervals for effects and the
+//! ANOVA-style F test.
+//!
+//! This closes the loop on the tutorial's common mistake #1: *"the
+//! variation due to a factor must be compared to that due of errors"*. With
+//! `r` replications of a 2^k design:
+//!
+//! * the error variance estimate is `s_e² = SSE / (2^k (r − 1))`,
+//! * every effect coefficient has standard deviation
+//!   `s_q = s_e / sqrt(2^k · r)`,
+//! * a `100·level%` confidence interval for `q_S` is
+//!   `q_S ± t(level; 2^k(r−1)) · s_q` — an effect whose interval contains
+//!   zero is indistinguishable from noise,
+//! * equivalently, `MS_S / MS_E ~ F(1, 2^k(r−1))` under the null, giving a
+//!   p-value per effect.
+//!
+//! (Jain, *The Art of Computer Systems Performance Analysis*, ch. 18 — the
+//! tutorial's cited source for its design chapter.)
+
+use crate::effects::estimate_effects_replicated;
+use crate::twolevel::TwoLevelDesign;
+use crate::DesignError;
+use perfeval_stats::ci::ConfidenceInterval;
+use perfeval_stats::special::{f_cdf, student_t_two_sided};
+
+/// One effect's significance record.
+#[derive(Debug, Clone)]
+pub struct EffectSignificance {
+    /// Effect label ("A", "A·B", …).
+    pub effect: String,
+    /// Effect mask.
+    pub mask: u32,
+    /// Confidence interval for the coefficient.
+    pub interval: ConfidenceInterval,
+    /// F statistic (mean square of the effect over error mean square).
+    pub f_statistic: f64,
+    /// p-value under the null hypothesis "this effect is zero".
+    pub p_value: f64,
+    /// Is the effect significant at the chosen level (interval excludes 0)?
+    pub significant: bool,
+}
+
+/// The full significance table.
+#[derive(Debug, Clone)]
+pub struct AnovaTable {
+    /// Per-effect records, in mask order.
+    pub effects: Vec<EffectSignificance>,
+    /// Error variance estimate s_e².
+    pub error_variance: f64,
+    /// Error degrees of freedom 2^k (r − 1).
+    pub error_dof: f64,
+    /// Confidence level used.
+    pub level: f64,
+}
+
+impl AnovaTable {
+    /// The significant effects' labels.
+    pub fn significant_effects(&self) -> Vec<&str> {
+        self.effects
+            .iter()
+            .filter(|e| e.significant)
+            .map(|e| e.effect.as_str())
+            .collect()
+    }
+
+    /// Lookup by label.
+    pub fn effect(&self, label: &str) -> Option<&EffectSignificance> {
+        self.effects.iter().find(|e| e.effect == label)
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "effect        q        {}% CI              F        p     signif\n",
+            (self.level * 100.0) as u32
+        );
+        for e in &self.effects {
+            out.push_str(&format!(
+                "{:<9} {:>8.4}  [{:>8.4},{:>8.4}] {:>9.2} {:>8.4}   {}\n",
+                e.effect,
+                e.interval.estimate,
+                e.interval.lower,
+                e.interval.upper,
+                e.f_statistic,
+                e.p_value,
+                if e.significant { "*" } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "error variance s_e^2 = {:.6} ({} dof)\n",
+            self.error_variance, self.error_dof
+        ));
+        out
+    }
+}
+
+/// Computes per-effect confidence intervals and F tests from a replicated
+/// two-level experiment.
+///
+/// Requires at least two replications of every run (otherwise there is no
+/// error estimate — which is exactly the tutorial's point).
+pub fn anova(
+    design: &TwoLevelDesign,
+    replicates: &[Vec<f64>],
+    level: f64,
+) -> Result<AnovaTable, DesignError> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(DesignError::Invalid("confidence level must be in (0,1)".into()));
+    }
+    let r = replicates.first().map(Vec::len).unwrap_or(0);
+    if r < 2 || replicates.iter().any(|v| v.len() != r) {
+        return Err(DesignError::Invalid(
+            "anova requires >= 2 replications, equal per run".into(),
+        ));
+    }
+    let model = estimate_effects_replicated(design, replicates)?;
+    let n_runs = design.run_count() as f64;
+    let reps = r as f64;
+    let sse: f64 = replicates
+        .iter()
+        .map(|v| {
+            let m = v.iter().sum::<f64>() / reps;
+            v.iter().map(|y| (y - m) * (y - m)).sum::<f64>()
+        })
+        .sum();
+    let error_dof = n_runs * (reps - 1.0);
+    let error_variance = sse / error_dof;
+    let s_q = (error_variance / (n_runs * reps)).sqrt();
+    let t_crit = student_t_two_sided(level, error_dof);
+
+    let mut effects = Vec::new();
+    for (mask, q) in model.coefficients() {
+        if mask == 0 {
+            continue;
+        }
+        let half = t_crit * s_q;
+        let interval = ConfidenceInterval {
+            estimate: q,
+            lower: q - half,
+            upper: q + half,
+            level,
+        };
+        // MS of the effect on 1 dof: SS = n_runs * reps * q².
+        let ms_effect = n_runs * reps * q * q;
+        let f_statistic = if error_variance > 0.0 {
+            ms_effect / error_variance
+        } else if q == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        let p_value = if f_statistic.is_infinite() {
+            0.0
+        } else {
+            1.0 - f_cdf(f_statistic, 1.0, error_dof)
+        };
+        effects.push(EffectSignificance {
+            effect: design.effect_label(mask),
+            mask,
+            significant: !interval.contains(0.0),
+            interval,
+            f_statistic,
+            p_value,
+        });
+    }
+    Ok(AnovaTable {
+        effects,
+        error_variance,
+        error_dof,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfeval_stats::rng::SplitMix64;
+
+    /// y = 50 + 8xA + 0xB + noise(±1-ish), 4 replications.
+    fn noisy_system(noise: f64) -> (TwoLevelDesign, Vec<Vec<f64>>) {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let mut rng = SplitMix64::new(99);
+        let reps: Vec<Vec<f64>> = (0..4)
+            .map(|run| {
+                let signs = d.run_signs(run);
+                (0..4)
+                    .map(|_| 50.0 + 8.0 * signs[0] + noise * (rng.next_f64() - 0.5) * 2.0)
+                    .collect()
+            })
+            .collect();
+        (d, reps)
+    }
+
+    #[test]
+    fn strong_effect_is_significant_weak_is_not() {
+        let (d, reps) = noisy_system(1.0);
+        let table = anova(&d, &reps, 0.95).unwrap();
+        let a = table.effect("A").unwrap();
+        let b = table.effect("B").unwrap();
+        assert!(a.significant, "A is an 8-unit effect over ±1 noise");
+        assert!(!b.significant, "B is pure noise");
+        assert!(a.p_value < 0.001);
+        assert!(b.p_value > 0.05, "p(B) = {}", b.p_value);
+        assert_eq!(table.significant_effects(), vec!["A"]);
+    }
+
+    #[test]
+    fn interval_width_shrinks_with_less_noise() {
+        let (d, noisy) = noisy_system(4.0);
+        let (_, quiet) = noisy_system(0.5);
+        let wn = anova(&d, &noisy, 0.95).unwrap().effect("A").unwrap().interval.half_width();
+        let wq = anova(&d, &quiet, 0.95).unwrap().effect("A").unwrap().interval.half_width();
+        assert!(wn > 3.0 * wq, "noisy {wn} vs quiet {wq}");
+    }
+
+    #[test]
+    fn noiseless_effects_are_exact() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        // Perfectly repeatable system: zero error variance.
+        let reps: Vec<Vec<f64>> = (0..4)
+            .map(|run| {
+                let s = d.run_signs(run);
+                vec![10.0 + 3.0 * s[0]; 2]
+            })
+            .collect();
+        let table = anova(&d, &reps, 0.95).unwrap();
+        assert_eq!(table.error_variance, 0.0);
+        let a = table.effect("A").unwrap();
+        assert!(a.significant);
+        assert_eq!(a.p_value, 0.0);
+        assert_eq!(a.interval.half_width(), 0.0);
+        let b = table.effect("B").unwrap();
+        assert!(!b.significant, "zero effect with zero noise is exactly 0");
+        assert_eq!(b.f_statistic, 0.0);
+    }
+
+    #[test]
+    fn requires_replication() {
+        let d = TwoLevelDesign::full(&["A"]);
+        assert!(anova(&d, &[vec![1.0], vec![2.0]], 0.95).is_err());
+        assert!(anova(&d, &[vec![1.0, 2.0], vec![2.0]], 0.95).is_err());
+        assert!(anova(&d, &[vec![1.0, 2.0], vec![2.0, 3.0]], 1.5).is_err());
+    }
+
+    #[test]
+    fn f_and_t_agree() {
+        // significant iff CI excludes 0 iff p < 1-level (same test, two
+        // forms: F(1, v) = t(v)²).
+        let (d, reps) = noisy_system(2.0);
+        let table = anova(&d, &reps, 0.95).unwrap();
+        for e in &table.effects {
+            assert_eq!(
+                e.significant,
+                e.p_value < 0.05,
+                "{}: p={} significant={}",
+                e.effect,
+                e.p_value,
+                e.significant
+            );
+        }
+    }
+
+    #[test]
+    fn render_marks_significance() {
+        let (d, reps) = noisy_system(1.0);
+        let table = anova(&d, &reps, 0.95).unwrap();
+        let text = table.render();
+        assert!(text.contains("95% CI"));
+        assert!(text.contains('*'));
+        assert!(text.contains("error variance"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Multi-level designs: simple (one-at-a-time), full factorial, and the
+//! three-level fractional (Latin-square) design of slide 67.
+
+use crate::factor::Factor;
+
+/// How the runs were chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignKind {
+    /// Fix a baseline, vary one factor at a time: `n = 1 + Σ(nᵢ−1)`.
+    Simple,
+    /// All level combinations: `n = Πnᵢ`.
+    FullFactorial,
+    /// A fraction chosen for balance (e.g. Latin square).
+    Fractional,
+}
+
+/// A design over multi-level factors: an ordered list of runs, each
+/// assigning a level index to every factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    kind: DesignKind,
+    factors: Vec<Factor>,
+    /// runs[r][f] = level index of factor f in run r.
+    runs: Vec<Vec<usize>>,
+}
+
+impl Design {
+    /// The simple (one-at-a-time) design: run the all-baseline
+    /// configuration once, then vary each factor through its non-baseline
+    /// levels with everything else at baseline.
+    ///
+    /// Requires `n = 1 + Σ(nᵢ−1)` runs — cheap, but *"impossible to
+    /// identify interactions"* (slide 60).
+    pub fn simple(factors: Vec<Factor>) -> Design {
+        let mut runs = vec![vec![0; factors.len()]];
+        for (f, factor) in factors.iter().enumerate() {
+            for level in 1..factor.level_count() {
+                let mut run = vec![0; factors.len()];
+                run[f] = level;
+                runs.push(run);
+            }
+        }
+        Design {
+            kind: DesignKind::Simple,
+            factors,
+            runs,
+        }
+    }
+
+    /// The full factorial design: every combination, `n = Πnᵢ` runs —
+    /// complete, but *"too many tests"* (slide 63).
+    pub fn full_factorial(factors: Vec<Factor>) -> Design {
+        let mut runs: Vec<Vec<usize>> = vec![vec![]];
+        for factor in &factors {
+            let mut next = Vec::with_capacity(runs.len() * factor.level_count());
+            for level in 0..factor.level_count() {
+                for run in &runs {
+                    let mut r = run.clone();
+                    r.push(level);
+                    next.push(r);
+                }
+            }
+            runs = next;
+        }
+        Design {
+            kind: DesignKind::FullFactorial,
+            factors,
+            runs,
+        }
+    }
+
+    /// The slide-67 fractional design: four factors, the first with `m`
+    /// levels and the rest with 3 levels each, covered in `3·m` runs via a
+    /// Latin-square assignment (each pair of factor levels co-occurs in a
+    /// balanced pattern).
+    ///
+    /// With the slide's factors (CPU ∈ {68000, Z80, 8086}, memory ∈
+    /// {512K, 2M, 8M}, workload ∈ {managerial, scientific, secretarial},
+    /// education ∈ {high-school, postgraduate, college}) this reproduces
+    /// the 9-experiment table.
+    ///
+    /// # Panics
+    /// Panics unless there are exactly 4 factors and factors 1..=3 have
+    /// exactly 3 levels.
+    pub fn latin_square_fraction(factors: Vec<Factor>) -> Design {
+        assert_eq!(factors.len(), 4, "latin square fraction needs 4 factors");
+        for f in &factors[1..] {
+            assert_eq!(
+                f.level_count(),
+                3,
+                "factor {} must have exactly 3 levels",
+                f.name()
+            );
+        }
+        let m = factors[0].level_count();
+        let mut runs = Vec::with_capacity(3 * m);
+        for a in 0..m {
+            for i in 0..3 {
+                // Two mutually orthogonal Latin squares over Z3 give the
+                // third and fourth columns.
+                let b = i;
+                let c = (i + a) % 3;
+                let d = (i + 2 * a) % 3;
+                runs.push(vec![a, b, c, d]);
+            }
+        }
+        Design {
+            kind: DesignKind::Fractional,
+            factors,
+            runs,
+        }
+    }
+
+    /// The design kind.
+    pub fn kind(&self) -> DesignKind {
+        self.kind
+    }
+
+    /// The factors.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The level indices of run `r`.
+    pub fn run(&self, r: usize) -> &[usize] {
+        &self.runs[r]
+    }
+
+    /// All runs.
+    pub fn runs(&self) -> &[Vec<usize>] {
+        &self.runs
+    }
+
+    /// Renders the design as a table of level labels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = self
+            .factors
+            .iter()
+            .map(|f| {
+                f.levels()
+                    .iter()
+                    .map(|l| l.label().len())
+                    .chain(std::iter::once(f.name().len()))
+                    .max()
+                    .unwrap_or(4)
+            })
+            .collect();
+        out.push_str("run ");
+        for (f, w) in self.factors.iter().zip(&widths) {
+            out.push_str(&format!(" {:<w$}", f.name()));
+        }
+        out.push('\n');
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str(&format!("{:>3} ", i + 1));
+            for ((f, &level), w) in self.factors.iter().zip(run).zip(&widths) {
+                out.push_str(&format!(" {:<w$}", f.levels()[level].label()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Balance check: every level of every factor appears equally often
+    /// (true for full factorials and Latin fractions, false for simple
+    /// designs).
+    pub fn is_balanced(&self) -> bool {
+        for (f, factor) in self.factors.iter().enumerate() {
+            let mut counts = vec![0usize; factor.level_count()];
+            for run in &self.runs {
+                counts[run[f]] += 1;
+            }
+            if counts.windows(2).any(|w| w[0] != w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pairwise coverage check: for factors `i` and `j`, does every level
+    /// pair occur in some run?
+    pub fn covers_pairs(&self, i: usize, j: usize) -> bool {
+        let ni = self.factors[i].level_count();
+        let nj = self.factors[j].level_count();
+        let mut seen = vec![false; ni * nj];
+        for run in &self.runs {
+            seen[run[i] * nj + run[j]] = true;
+        }
+        seen.iter().all(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slide_56_factors() -> Vec<Factor> {
+        // "5 parameters, each has between 10 and 40 values."
+        vec![
+            Factor::numeric("p1", &(0..10).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("p2", &(0..20).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("p3", &(0..40).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("p4", &(0..10).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("p5", &(0..15).map(|i| i as f64).collect::<Vec<_>>()),
+        ]
+    }
+
+    #[test]
+    fn simple_design_run_count_formula() {
+        let factors = slide_56_factors();
+        let expected = 1 + factors.iter().map(|f| f.level_count() - 1).sum::<usize>();
+        let d = Design::simple(factors);
+        assert_eq!(d.run_count(), expected);
+        assert_eq!(d.run_count(), 1 + 9 + 19 + 39 + 9 + 14);
+        assert_eq!(d.kind(), DesignKind::Simple);
+    }
+
+    #[test]
+    fn simple_design_varies_one_factor_at_a_time() {
+        let d = Design::simple(vec![
+            Factor::numeric("a", &[0.0, 1.0, 2.0]),
+            Factor::numeric("b", &[0.0, 1.0]),
+        ]);
+        assert_eq!(d.run_count(), 4);
+        assert_eq!(d.run(0), &[0, 0]); // baseline
+        for run in d.runs().iter().skip(1) {
+            let non_baseline = run.iter().filter(|&&l| l != 0).count();
+            assert_eq!(non_baseline, 1);
+        }
+        assert!(!d.is_balanced());
+    }
+
+    #[test]
+    fn full_factorial_run_count() {
+        let d = Design::full_factorial(vec![
+            Factor::numeric("a", &[0.0, 1.0, 2.0]),
+            Factor::numeric("b", &[0.0, 1.0]),
+            Factor::categorical("c", &["x", "y", "z", "w"]),
+        ]);
+        assert_eq!(d.run_count(), 3 * 2 * 4);
+        assert!(d.is_balanced());
+        assert!(d.covers_pairs(0, 1));
+        assert!(d.covers_pairs(0, 2));
+        assert!(d.covers_pairs(1, 2));
+        // All runs distinct.
+        let mut runs = d.runs().to_vec();
+        runs.sort();
+        runs.dedup();
+        assert_eq!(runs.len(), 24);
+    }
+
+    #[test]
+    fn full_factorial_explodes_like_slide_56_warns() {
+        let total: usize = slide_56_factors().iter().map(|f| f.level_count()).product();
+        assert_eq!(total, 10 * 20 * 40 * 10 * 15); // 1.2 million runs
+        assert!(total > 1_000_000);
+    }
+
+    fn slide_67_design() -> Design {
+        Design::latin_square_fraction(vec![
+            Factor::categorical("cpu", &["68000", "Z80", "8086"]),
+            Factor::categorical("memory", &["512K", "2M", "8M"]),
+            Factor::categorical("workload", &["managerial", "scientific", "secretarial"]),
+            Factor::categorical("education", &["high school", "postgraduate", "college"]),
+        ])
+    }
+
+    #[test]
+    fn latin_fraction_has_nine_runs() {
+        let d = slide_67_design();
+        assert_eq!(d.run_count(), 9, "slide 67's table has 9 experiments");
+        assert_eq!(d.kind(), DesignKind::Fractional);
+        assert!(d.is_balanced());
+    }
+
+    #[test]
+    fn latin_fraction_covers_cpu_memory_pairs() {
+        let d = slide_67_design();
+        // CPU × memory is fully covered (that is the point of the design)…
+        assert!(d.covers_pairs(0, 1));
+        // …and so are CPU × workload and CPU × education.
+        assert!(d.covers_pairs(0, 2));
+        assert!(d.covers_pairs(0, 3));
+    }
+
+    #[test]
+    fn latin_fraction_is_a_fraction() {
+        let d = slide_67_design();
+        let full: usize = d.factors().iter().map(|f| f.level_count()).product();
+        assert_eq!(full, 81);
+        assert_eq!(d.run_count(), 9, "9 of 81 combinations");
+    }
+
+    #[test]
+    fn render_lists_labels() {
+        let d = slide_67_design();
+        let text = d.render();
+        assert!(text.contains("cpu"));
+        assert!(text.contains("Z80"));
+        assert!(text.contains("postgraduate"));
+        assert_eq!(text.lines().count(), 10); // header + 9 runs
+    }
+
+    #[test]
+    #[should_panic(expected = "must have exactly 3 levels")]
+    fn latin_fraction_checks_levels() {
+        let _ = Design::latin_square_fraction(vec![
+            Factor::categorical("a", &["1", "2", "3"]),
+            Factor::categorical("b", &["1", "2"]),
+            Factor::categorical("c", &["1", "2", "3"]),
+            Factor::categorical("d", &["1", "2", "3"]),
+        ]);
+    }
+}

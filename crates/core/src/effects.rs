@@ -1,0 +1,314 @@
+//! Effect estimation by the sign-table method (slides 70–80) and the full
+//! 2^k regression model.
+//!
+//! For a 2^k design with responses `y`, the coefficient of effect column
+//! `S` is `q_S = (column_S · y) / 2^k`; the model
+//! `y = q₀ + Σ_S q_S · Π_{j∈S} x_j` then reproduces the observations
+//! exactly (it has exactly as many coefficients as observations).
+
+use crate::twolevel::TwoLevelDesign;
+use crate::DesignError;
+use std::collections::BTreeMap;
+
+/// A fitted 2^k effect model.
+#[derive(Debug, Clone)]
+pub struct EffectModel {
+    design: TwoLevelDesign,
+    /// Effect mask -> coefficient. Contains every subset for full designs;
+    /// for fractional designs only the estimable (non-aliased-to-lower)
+    /// columns: the identity, main effects, and the base design's
+    /// interaction columns.
+    coefficients: BTreeMap<u32, f64>,
+}
+
+impl EffectModel {
+    /// Coefficient of an effect by factor names (empty slice = q₀).
+    pub fn coefficient(&self, factors: &[&str]) -> Result<f64, DesignError> {
+        let mask = self.design.effect_mask(factors)?;
+        self.coefficients
+            .get(&mask)
+            .copied()
+            .ok_or_else(|| {
+                DesignError::Invalid(format!(
+                    "effect {} not estimable in this design",
+                    self.design.effect_label(mask)
+                ))
+            })
+    }
+
+    /// Coefficient by mask, if estimated.
+    pub fn coefficient_mask(&self, mask: u32) -> Option<f64> {
+        self.coefficients.get(&mask).copied()
+    }
+
+    /// All (mask, coefficient) pairs, sorted by mask.
+    pub fn coefficients(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.coefficients.iter().map(|(&m, &q)| (m, q))
+    }
+
+    /// The mean response (q₀).
+    pub fn mean(&self) -> f64 {
+        self.coefficients.get(&0).copied().unwrap_or(0.0)
+    }
+
+    /// Predicts the response at a ±1 assignment of all k factors.
+    ///
+    /// # Panics
+    /// Panics if `signs.len() != k` or any sign is not ±1.
+    pub fn predict(&self, signs: &[f64]) -> f64 {
+        assert_eq!(signs.len(), self.design.k(), "need one sign per factor");
+        assert!(
+            signs.iter().all(|s| *s == 1.0 || *s == -1.0),
+            "signs must be ±1"
+        );
+        let mut y = 0.0;
+        for (&mask, &q) in &self.coefficients {
+            let mut sign = 1.0;
+            for (j, &s) in signs.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    sign *= s;
+                }
+            }
+            y += q * sign;
+        }
+        y
+    }
+
+    /// The design the model was fitted on.
+    pub fn design(&self) -> &TwoLevelDesign {
+        &self.design
+    }
+
+    /// Renders the fitted model as the slide-72 equation
+    /// (`y = 40 + 20·xA + 10·xB + 5·xA·xB`).
+    pub fn render(&self) -> String {
+        let mut terms = Vec::new();
+        for (&mask, &q) in &self.coefficients {
+            if mask == 0 {
+                terms.push(format!("{q}"));
+            } else if q != 0.0 {
+                let vars: Vec<String> = self
+                    .design
+                    .factor_names()
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| mask & (1 << j) != 0)
+                    .map(|(_, n)| format!("x{n}"))
+                    .collect();
+                let sign = if q < 0.0 { "-" } else { "+" };
+                terms.push(format!("{sign} {}·{}", q.abs(), vars.join("·")));
+            }
+        }
+        format!("y = {}", terms.join(" "))
+    }
+}
+
+/// Estimates all effects of a two-level design from one response per run.
+///
+/// For a full 2^k design every one of the 2^k subsets is estimated. For a
+/// 2^(k−p) fractional design the 2^(k−p) distinct columns are estimated:
+/// the identity, the k main effects, and the base interactions not aliased
+/// to a main effect — each estimate being the *confounded sum* its alias
+/// set implies.
+pub fn estimate_effects(
+    design: &TwoLevelDesign,
+    responses: &[f64],
+) -> Result<EffectModel, DesignError> {
+    if responses.len() != design.run_count() {
+        return Err(DesignError::ResponseMismatch {
+            expected: design.run_count(),
+            got: responses.len(),
+        });
+    }
+    let n = design.run_count() as f64;
+    let mut coefficients = BTreeMap::new();
+    let masks: Vec<u32> = if design.is_full() {
+        (0..(1u32 << design.k())).collect()
+    } else {
+        // The estimable columns of the fraction: all subsets of the base
+        // factors (they enumerate the 2^(k-p) distinct sign columns), with
+        // each subset relabelled to its minimum-alias representative for
+        // reporting friendliness (main effects win over interactions).
+        let base = design.run_count().trailing_zeros(); // 2^(k-p) runs
+        let alias = crate::alias::AliasStructure::of(design)?;
+        (0..(1u32 << base))
+            .map(|m| alias.alias_set(m)[0])
+            .collect()
+    };
+    for mask in masks {
+        let dot: f64 = (0..design.run_count())
+            .map(|r| design.effect_sign(r, mask) * responses[r])
+            .sum();
+        coefficients.insert(mask, dot / n);
+    }
+    Ok(EffectModel {
+        design: design.clone(),
+        coefficients,
+    })
+}
+
+/// Estimates effects from replicated responses: `replicates[r]` holds the
+/// repeated measurements of run `r`. Effects are fitted on the per-run
+/// means; the replicate spread feeds the error term in
+/// [`crate::variation::allocate_variation_replicated`].
+pub fn estimate_effects_replicated(
+    design: &TwoLevelDesign,
+    replicates: &[Vec<f64>],
+) -> Result<EffectModel, DesignError> {
+    if replicates.len() != design.run_count() {
+        return Err(DesignError::ResponseMismatch {
+            expected: design.run_count(),
+            got: replicates.len(),
+        });
+    }
+    if replicates.iter().any(|r| r.is_empty()) {
+        return Err(DesignError::Invalid(
+            "every run needs at least one replication".into(),
+        ));
+    }
+    let means: Vec<f64> = replicates
+        .iter()
+        .map(|r| r.iter().sum::<f64>() / r.len() as f64)
+        .collect();
+    estimate_effects(design, &means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias::Generator;
+
+    /// Slide 70–72: memory (A) × cache (B) → MIPS.
+    fn slide72() -> (TwoLevelDesign, [f64; 4]) {
+        (TwoLevelDesign::full(&["A", "B"]), [15.0, 45.0, 25.0, 75.0])
+    }
+
+    #[test]
+    fn slide_72_coefficients() {
+        let (d, y) = slide72();
+        let m = estimate_effects(&d, &y).unwrap();
+        assert_eq!(m.coefficient(&[]).unwrap(), 40.0);
+        assert_eq!(m.coefficient(&["A"]).unwrap(), 20.0);
+        assert_eq!(m.coefficient(&["B"]).unwrap(), 10.0);
+        assert_eq!(m.coefficient(&["A", "B"]).unwrap(), 5.0);
+        assert_eq!(m.mean(), 40.0);
+    }
+
+    #[test]
+    fn model_reproduces_observations_exactly() {
+        let (d, y) = slide72();
+        let m = estimate_effects(&d, &y).unwrap();
+        for (r, &expected) in y.iter().enumerate() {
+            let signs = d.run_signs(r);
+            assert!((m.predict(&signs) - expected).abs() < 1e-12, "run {r}");
+        }
+    }
+
+    #[test]
+    fn render_is_the_slide_equation() {
+        let (d, y) = slide72();
+        let m = estimate_effects(&d, &y).unwrap();
+        assert_eq!(m.render(), "y = 40 + 20·xA + 10·xB + 5·xA·xB");
+    }
+
+    #[test]
+    fn three_factor_full_model() {
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        // y = 10 + 2xA - 3xB + 1xAxC (constructed, then recovered).
+        let y: Vec<f64> = (0..8)
+            .map(|r| {
+                let s = d.run_signs(r);
+                10.0 + 2.0 * s[0] - 3.0 * s[1] + s[0] * s[2]
+            })
+            .collect();
+        let m = estimate_effects(&d, &y).unwrap();
+        assert!((m.coefficient(&[]).unwrap() - 10.0).abs() < 1e-12);
+        assert!((m.coefficient(&["A"]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((m.coefficient(&["B"]).unwrap() + 3.0).abs() < 1e-12);
+        assert!((m.coefficient(&["A", "C"]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(m.coefficient(&["C"]).unwrap().abs() < 1e-12);
+        assert!(m.coefficient(&["A", "B", "C"]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_count_checked() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        assert_eq!(
+            estimate_effects(&d, &[1.0, 2.0]),
+            Err(DesignError::ResponseMismatch {
+                expected: 4,
+                got: 2
+            })
+        );
+    }
+
+    // estimate_effects returns Result<EffectModel, _> — EffectModel is not
+    // PartialEq, so compare errors via matches!.
+    impl PartialEq for EffectModel {
+        fn eq(&self, other: &Self) -> bool {
+            self.coefficients == other.coefficients
+        }
+    }
+
+    #[test]
+    fn fractional_estimates_are_confounded_sums() {
+        // In D=ABC, the "A" estimate is really A + BCD. Construct data with
+        // a pure BCD effect and watch it land on A.
+        let d = TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=ABC").unwrap()],
+        )
+        .unwrap();
+        let bcd = d.effect_mask(&["B", "C", "D"]).unwrap();
+        let y: Vec<f64> = (0..8).map(|r| 5.0 + 2.0 * d.effect_sign(r, bcd)).collect();
+        let m = estimate_effects(&d, &y).unwrap();
+        assert!((m.coefficient(&["A"]).unwrap() - 2.0).abs() < 1e-12,
+            "BCD effect is charged to its alias A");
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_model_has_8_columns_for_2_4_1() {
+        let d = TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=ABC").unwrap()],
+        )
+        .unwrap();
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let m = estimate_effects(&d, &y).unwrap();
+        assert_eq!(m.coefficients().count(), 8);
+        // Main effects A..D all present.
+        for f in ["A", "B", "C", "D"] {
+            assert!(m.coefficient(&[f]).is_ok(), "{f}");
+        }
+    }
+
+    #[test]
+    fn replicated_estimation_uses_means() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let reps = vec![
+            vec![14.0, 16.0],
+            vec![44.0, 46.0],
+            vec![25.0],
+            vec![70.0, 80.0],
+        ];
+        let m = estimate_effects_replicated(&d, &reps).unwrap();
+        assert_eq!(m.coefficient(&[]).unwrap(), 40.0);
+        assert_eq!(m.coefficient(&["A"]).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn replicated_rejects_empty_runs() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let reps = vec![vec![1.0], vec![], vec![1.0], vec![1.0]];
+        assert!(estimate_effects_replicated(&d, &reps).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "signs must be ±1")]
+    fn predict_rejects_non_unit_signs() {
+        let (d, y) = slide72();
+        let m = estimate_effects(&d, &y).unwrap();
+        let _ = m.predict(&[0.5, 1.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Factors and levels — the tutorial's experiment-design vocabulary
+//! (slide 57):
+//!
+//! > **Factor** — any variable that affects the response variable.
+//! > **Levels** of a factor: possible values.
+
+/// A level a factor can take: numeric (scale factor 0.1) or categorical
+//  ("MonetDB" vs "MySQL").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Level {
+    /// Numeric level.
+    Num(f64),
+    /// Categorical level.
+    Cat(String),
+}
+
+impl Level {
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Level::Num(v) => Some(*v),
+            Level::Cat(_) => None,
+        }
+    }
+
+    /// Label for output.
+    pub fn label(&self) -> String {
+        match self {
+            Level::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            Level::Cat(s) => s.clone(),
+        }
+    }
+}
+
+impl From<f64> for Level {
+    fn from(v: f64) -> Self {
+        Level::Num(v)
+    }
+}
+
+impl From<&str> for Level {
+    fn from(s: &str) -> Self {
+        Level::Cat(s.to_owned())
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A named factor with its levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    name: String,
+    levels: Vec<Level>,
+}
+
+impl Factor {
+    /// Creates a factor.
+    ///
+    /// # Panics
+    /// Panics if fewer than two levels are given (a one-level "factor"
+    /// cannot affect anything).
+    pub fn new(name: &str, levels: Vec<Level>) -> Self {
+        assert!(
+            levels.len() >= 2,
+            "factor {name} needs at least two levels"
+        );
+        Factor {
+            name: name.to_owned(),
+            levels,
+        }
+    }
+
+    /// Convenience: a numeric factor.
+    pub fn numeric(name: &str, values: &[f64]) -> Self {
+        Factor::new(name, values.iter().map(|&v| Level::Num(v)).collect())
+    }
+
+    /// Convenience: a categorical factor.
+    pub fn categorical(name: &str, values: &[&str]) -> Self {
+        Factor::new(
+            name,
+            values.iter().map(|&s| Level::Cat(s.to_owned())).collect(),
+        )
+    }
+
+    /// Convenience: a two-level factor for 2^k designs (level 0 = "low" /
+    /// −1, level 1 = "high" / +1).
+    pub fn two_level(name: &str, low: Level, high: Level) -> Self {
+        Factor::new(name, vec![low, high])
+    }
+
+    /// Factor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The levels.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if this is a two-level factor (usable in 2^k designs).
+    pub fn is_two_level(&self) -> bool {
+        self.levels.len() == 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let f = Factor::numeric("scale", &[0.1, 1.0, 10.0]);
+        assert_eq!(f.name(), "scale");
+        assert_eq!(f.level_count(), 3);
+        assert!(!f.is_two_level());
+        assert_eq!(f.levels()[1], Level::Num(1.0));
+    }
+
+    #[test]
+    fn categorical_factor() {
+        let f = Factor::categorical("engine", &["MonetDB", "MySQL"]);
+        assert!(f.is_two_level());
+        assert_eq!(f.levels()[0].label(), "MonetDB");
+        assert!(f.levels()[0].as_num().is_none());
+    }
+
+    #[test]
+    fn two_level_helper() {
+        let f = Factor::two_level("memory", Level::Num(4.0), Level::Num(16.0));
+        assert!(f.is_two_level());
+        assert_eq!(f.levels()[1].as_num(), Some(16.0));
+    }
+
+    #[test]
+    fn level_labels() {
+        assert_eq!(Level::Num(4.0).label(), "4");
+        assert_eq!(Level::Num(0.5).label(), "0.5");
+        assert_eq!(Level::Cat("x".into()).label(), "x");
+        assert_eq!(Level::from(2.0), Level::Num(2.0));
+        assert_eq!(Level::from("hi"), Level::Cat("hi".into()));
+        assert_eq!(format!("{}", Level::Num(3.0)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn single_level_rejected() {
+        let _ = Factor::numeric("x", &[1.0]);
+    }
+}

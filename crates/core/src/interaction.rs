@@ -1,0 +1,118 @@
+//! The 2×2 interaction test of slide 58.
+//!
+//! > *Two factors interact if the effect of one depends on the level of
+//! > another.*
+//!
+//! Given the four responses of a 2×2 table, the effect of changing A at
+//! B = B1 is `y(A2,B1) − y(A1,B1)`; at B = B2 it is `y(A2,B2) − y(A1,B2)`.
+//! If the two differ, the factors interact. (This is 4·q_AB of the effect
+//! model, but the table form is how the tutorial presents it.)
+
+/// A 2×2 response table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoByTwo {
+    /// Response at (A1, B1).
+    pub a1b1: f64,
+    /// Response at (A2, B1).
+    pub a2b1: f64,
+    /// Response at (A1, B2).
+    pub a1b2: f64,
+    /// Response at (A2, B2).
+    pub a2b2: f64,
+}
+
+impl TwoByTwo {
+    /// Effect of switching A from A1 to A2 while B is at B1.
+    pub fn a_effect_at_b1(&self) -> f64 {
+        self.a2b1 - self.a1b1
+    }
+
+    /// Effect of switching A from A1 to A2 while B is at B2.
+    pub fn a_effect_at_b2(&self) -> f64 {
+        self.a2b2 - self.a1b2
+    }
+
+    /// The interaction magnitude: how much the A effect changes with B.
+    /// Zero means no interaction. (Equal to 4·q_AB.)
+    pub fn interaction(&self) -> f64 {
+        self.a_effect_at_b2() - self.a_effect_at_b1()
+    }
+
+    /// Do the factors interact beyond `tolerance`?
+    pub fn interacts(&self, tolerance: f64) -> bool {
+        self.interaction().abs() > tolerance
+    }
+
+    /// Renders the slide-58 table.
+    pub fn render(&self) -> String {
+        format!(
+            "      A1    A2\nB1 {:>5} {:>5}\nB2 {:>5} {:>5}\n",
+            self.a1b1, self.a2b1, self.a1b2, self.a2b2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Slide 58, table (a): 3 5 / 6 8 — no interaction.
+    #[test]
+    fn slide_58_table_a_no_interaction() {
+        let t = TwoByTwo {
+            a1b1: 3.0,
+            a2b1: 5.0,
+            a1b2: 6.0,
+            a2b2: 8.0,
+        };
+        assert_eq!(t.a_effect_at_b1(), 2.0);
+        assert_eq!(t.a_effect_at_b2(), 2.0);
+        assert_eq!(t.interaction(), 0.0);
+        assert!(!t.interacts(1e-9));
+    }
+
+    /// Slide 58, table (b): 3 5 / 6 9 — interaction.
+    #[test]
+    fn slide_58_table_b_interaction() {
+        let t = TwoByTwo {
+            a1b1: 3.0,
+            a2b1: 5.0,
+            a1b2: 6.0,
+            a2b2: 9.0,
+        };
+        assert_eq!(t.a_effect_at_b1(), 2.0);
+        assert_eq!(t.a_effect_at_b2(), 3.0);
+        assert_eq!(t.interaction(), 1.0);
+        assert!(t.interacts(1e-9));
+        assert!(!t.interacts(2.0), "tolerance respected");
+    }
+
+    #[test]
+    fn interaction_equals_four_q_ab() {
+        use crate::effects::estimate_effects;
+        use crate::twolevel::TwoLevelDesign;
+        let t = TwoByTwo {
+            a1b1: 15.0,
+            a2b1: 45.0,
+            a1b2: 25.0,
+            a2b2: 75.0,
+        };
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let m = estimate_effects(&d, &[t.a1b1, t.a2b1, t.a1b2, t.a2b2]).unwrap();
+        assert!((t.interaction() - 4.0 * m.coefficient(&["A", "B"]).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_shows_table() {
+        let t = TwoByTwo {
+            a1b1: 3.0,
+            a2b1: 5.0,
+            a1b2: 6.0,
+            a2b2: 8.0,
+        };
+        let text = t.render();
+        assert!(text.contains("A1"));
+        assert!(text.contains("B2"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

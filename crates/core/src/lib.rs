@@ -1,0 +1,105 @@
+//! # perfeval-core
+//!
+//! The methodology core of the `perfeval` toolkit: **experiment design**,
+//! the second chapter of "Performance Evaluation in Database Research:
+//! Principles and Experiences" (Manolescu & Manegold, ICDE 2008 /
+//! EDBT 2009), which itself follows Raj Jain's *The Art of Computer Systems
+//! Performance Analysis*.
+//!
+//! > *Design measurement and simulation experiments to provide the most
+//! > information with the least effort.*
+//!
+//! The pieces:
+//!
+//! * [`factor`] — factors and levels (the terminology slide: response,
+//!   factor, level, effect, replication, interaction, design).
+//! * [`design`] — multi-level designs: [`design::simple`] (one-at-a-time,
+//!   `n = 1 + Σ(nᵢ−1)`), [`design::full_factorial`] (`n = Πnᵢ`), and the
+//!   slide-67 three-level fractional (Latin-square) design.
+//! * [`twolevel`] — 2^k full and 2^(k−p) fractional factorial designs as
+//!   sign tables, with zero-sum and orthogonality validated.
+//! * [`alias`] — the confounding algebra: generator words, the defining
+//!   relation, alias sets (`AD = BC`), design resolution, and the
+//!   sparsity-of-effects comparator that prefers `D = ABC` over `D = AB`.
+//! * [`effects`] — the sign-table method: `q₀, qA, qB, qAB, …` from
+//!   responses, the full regression model
+//!   `y = q₀ + Σ qᵢxᵢ + Σ qᵢⱼxᵢxⱼ + …`, and prediction.
+//! * [`variation`] — allocation of variation: `SST = Σ(yᵢ−ȳ)²`,
+//!   `SST = 2^k Σ q²`, percent explained per effect, and the
+//!   replication-aware error term the "common mistakes" slide demands.
+//! * [`interaction`] — the 2×2 interaction test of slide 58.
+//! * [`runner`] — executes any design against an [`runner::Experiment`]
+//!   with a measurement protocol, producing a response table.
+//! * [`screen`] — the recommended two-stage workflow: screen with a
+//!   fractional design, rank factors, refine.
+//! * [`mistakes`] — programmatic checks for the tutorial's "common
+//!   mistakes" list.
+//!
+//! ## The slide-72 example, end to end
+//!
+//! ```
+//! use perfeval_core::twolevel::TwoLevelDesign;
+//! use perfeval_core::effects::estimate_effects;
+//!
+//! // Memory size (A) × cache size (B), performance in MIPS:
+//! let design = TwoLevelDesign::full(&["memory", "cache"]);
+//! let y = [15.0, 45.0, 25.0, 75.0]; // rows in standard order
+//! let model = estimate_effects(&design, &y).unwrap();
+//! assert_eq!(model.coefficient(&[]).unwrap(), 40.0);        // q0
+//! assert_eq!(model.coefficient(&["memory"]).unwrap(), 20.0); // qA
+//! assert_eq!(model.coefficient(&["cache"]).unwrap(), 10.0);  // qB
+//! assert_eq!(model.coefficient(&["memory", "cache"]).unwrap(), 5.0); // qAB
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod alias;
+pub mod anova;
+pub mod design;
+pub mod effects;
+pub mod factor;
+pub mod interaction;
+pub mod mistakes;
+pub mod runner;
+pub mod screen;
+pub mod twolevel;
+pub mod variation;
+
+pub use alias::{AliasStructure, Generator};
+pub use anova::{anova, AnovaTable};
+pub use design::{Design, DesignKind};
+pub use effects::{estimate_effects, EffectModel};
+pub use factor::{Factor, Level};
+pub use runner::{Assignment, Experiment, ResponseTable, Runner};
+pub use twolevel::TwoLevelDesign;
+pub use variation::allocate_variation;
+
+/// Errors from experiment-design routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// Response vector length does not match the design's run count.
+    ResponseMismatch {
+        /// Runs in the design.
+        expected: usize,
+        /// Responses supplied.
+        got: usize,
+    },
+    /// A factor name was not found.
+    UnknownFactor(String),
+    /// Invalid construction parameters.
+    Invalid(String),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::ResponseMismatch { expected, got } => {
+                write!(f, "design has {expected} runs but {got} responses given")
+            }
+            DesignError::UnknownFactor(name) => write!(f, "unknown factor: {name}"),
+            DesignError::Invalid(m) => write!(f, "invalid design: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}

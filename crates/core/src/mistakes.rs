@@ -1,0 +1,179 @@
+//! Programmatic checks for the tutorial's "common mistakes" list
+//! (slide 59):
+//!
+//! 1. variation due to experimental error is ignored,
+//! 2. important parameters are not controlled,
+//! 3. effects of different factors are not isolated,
+//! 4. simple one-at-a-time experiment design,
+//! 5. interactions are ignored,
+//! 6. too many experiments are conducted.
+//!
+//! [`audit`] inspects a design + response table and reports which of these
+//! it can detect. It is a lint, not a proof: a clean audit does not make an
+//! experiment good, but a finding always points at a real methodological
+//! hazard.
+
+use crate::design::{Design, DesignKind};
+use crate::twolevel::TwoLevelDesign;
+use crate::variation::allocate_variation_replicated;
+
+/// One detected methodological hazard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which slide-59 mistake number this maps to (1–6).
+    pub mistake: u8,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[mistake #{}] {}", self.mistake, self.message)
+    }
+}
+
+/// Audits a multi-level design (structure only).
+pub fn audit_design(design: &Design) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if design.kind() == DesignKind::Simple {
+        findings.push(Finding {
+            mistake: 4,
+            message: "one-at-a-time design: interactions cannot be identified; \
+                      a 2^k or 2^(k-p) design gives more information for similar effort"
+                .into(),
+        });
+        findings.push(Finding {
+            mistake: 5,
+            message: "interactions are structurally ignored by this design".into(),
+        });
+    }
+    let full: usize = design
+        .factors()
+        .iter()
+        .map(|f| f.level_count())
+        .product();
+    if design.kind() == DesignKind::FullFactorial && full > 10_000 {
+        findings.push(Finding {
+            mistake: 6,
+            message: format!(
+                "enormous design ({full} runs): use a two-stage approach — screen \
+                 with a 2^(k-p) design first, then refine the important factors"
+            ),
+        });
+    }
+    findings
+}
+
+/// Audits replicated two-level results.
+///
+/// * No replication ⇒ mistake #1 (error variation cannot be separated).
+/// * With replication: if the error share exceeds every effect share, the
+///   experiment's conclusions are noise (also #1).
+pub fn audit_responses(design: &TwoLevelDesign, replicates: &[Vec<f64>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let max_reps = replicates.iter().map(Vec::len).max().unwrap_or(0);
+    if max_reps < 2 {
+        findings.push(Finding {
+            mistake: 1,
+            message: "no replication: variation due to experimental error cannot be \
+                      compared against factor effects"
+                .into(),
+        });
+        return findings;
+    }
+    if let Ok(table) = allocate_variation_replicated(design, replicates) {
+        let max_effect = table
+            .shares
+            .iter()
+            .map(|s| s.fraction)
+            .fold(0.0f64, f64::max);
+        if table.error_fraction > max_effect {
+            findings.push(Finding {
+                mistake: 1,
+                message: format!(
+                    "experimental error explains {:.1}% of variation, more than any \
+                     factor (max {:.1}%): effects are indistinguishable from noise",
+                    table.error_fraction * 100.0,
+                    max_effect * 100.0
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::Factor;
+
+    #[test]
+    fn simple_design_flagged() {
+        let d = Design::simple(vec![
+            Factor::numeric("a", &[1.0, 2.0]),
+            Factor::numeric("b", &[1.0, 2.0]),
+        ]);
+        let findings = audit_design(&d);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f.mistake == 4));
+        assert!(findings.iter().any(|f| f.mistake == 5));
+        assert!(findings[0].to_string().contains("mistake #4"));
+    }
+
+    #[test]
+    fn enormous_full_factorial_flagged() {
+        let levels: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let d = Design::full_factorial(vec![
+            Factor::numeric("a", &levels),
+            Factor::numeric("b", &levels),
+            Factor::numeric("c", &levels),
+        ]);
+        let findings = audit_design(&d);
+        assert!(findings.iter().any(|f| f.mistake == 6));
+    }
+
+    #[test]
+    fn reasonable_factorial_is_clean() {
+        let d = Design::full_factorial(vec![
+            Factor::numeric("a", &[1.0, 2.0]),
+            Factor::numeric("b", &[1.0, 2.0, 3.0]),
+        ]);
+        assert!(audit_design(&d).is_empty());
+    }
+
+    #[test]
+    fn unreplicated_responses_flagged() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let reps = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let findings = audit_responses(&d, &reps);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].mistake, 1);
+    }
+
+    #[test]
+    fn noise_dominated_experiment_flagged() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        // Tiny effects, huge within-run spread.
+        let reps = vec![
+            vec![100.0, 140.0, 60.0],
+            vec![101.0, 61.0, 141.0],
+            vec![99.0, 139.0, 59.0],
+            vec![102.0, 62.0, 142.0],
+        ];
+        let findings = audit_responses(&d, &reps);
+        assert!(findings.iter().any(|f| f.mistake == 1
+            && f.message.contains("indistinguishable from noise")));
+    }
+
+    #[test]
+    fn strong_effects_with_replication_are_clean() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let reps = vec![
+            vec![10.0, 10.1],
+            vec![30.0, 29.9],
+            vec![10.2, 9.9],
+            vec![30.1, 30.0],
+        ];
+        assert!(audit_responses(&d, &reps).is_empty());
+    }
+}

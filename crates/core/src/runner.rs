@@ -1,0 +1,309 @@
+//! Executing a design against a real (or simulated) system.
+//!
+//! The [`Experiment`] trait is the boundary between the methodology and the
+//! system under test: given an [`Assignment`] of factor levels it returns
+//! one response measurement. The [`Runner`] walks a design, replicating
+//! each run per a [`RunProtocol`]-inspired policy, and yields a
+//! [`ResponseTable`] ready for effect estimation and allocation of
+//! variation.
+
+use crate::design::Design;
+use crate::factor::Level;
+use crate::twolevel::TwoLevelDesign;
+use crate::DesignError;
+
+/// The factor-level assignment of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pairs: Vec<(String, Level)>,
+}
+
+impl Assignment {
+    /// Creates an assignment from (factor, level) pairs.
+    pub fn new(pairs: Vec<(String, Level)>) -> Self {
+        Assignment { pairs }
+    }
+
+    /// Level of a factor by name.
+    pub fn level(&self, factor: &str) -> Option<&Level> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == factor)
+            .map(|(_, l)| l)
+    }
+
+    /// Numeric level of a factor.
+    pub fn num(&self, factor: &str) -> Option<f64> {
+        self.level(factor).and_then(Level::as_num)
+    }
+
+    /// Label of a factor's level.
+    pub fn label(&self, factor: &str) -> Option<String> {
+        self.level(factor).map(Level::label)
+    }
+
+    /// All pairs, in factor order.
+    pub fn pairs(&self) -> &[(String, Level)] {
+        &self.pairs
+    }
+}
+
+impl std::fmt::Display for Assignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(n, l)| format!("{n}={}", l.label()))
+            .collect();
+        f.write_str(&parts.join(" "))
+    }
+}
+
+/// A system under test.
+pub trait Experiment {
+    /// Runs the workload once under `assignment` and returns the response
+    /// (e.g. elapsed ms). Called repeatedly for replication.
+    fn respond(&mut self, assignment: &Assignment) -> f64;
+
+    /// Optional per-run setup invoked once before the replications of each
+    /// run (e.g. flush caches for cold protocols).
+    fn prepare(&mut self, _assignment: &Assignment) {}
+}
+
+impl<F: FnMut(&Assignment) -> f64> Experiment for F {
+    fn respond(&mut self, assignment: &Assignment) -> f64 {
+        self(assignment)
+    }
+}
+
+/// Design runs with their replicated responses.
+#[derive(Debug, Clone)]
+pub struct ResponseTable {
+    /// One assignment per run.
+    pub assignments: Vec<Assignment>,
+    /// replicates[r] = the measured responses of run r.
+    pub replicates: Vec<Vec<f64>>,
+}
+
+impl ResponseTable {
+    /// Per-run mean responses.
+    pub fn means(&self) -> Vec<f64> {
+        self.replicates
+            .iter()
+            .map(|r| r.iter().sum::<f64>() / r.len() as f64)
+            .collect()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.replicates.len()
+    }
+
+    /// Renders run → responses.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (a, reps) in self.assignments.iter().zip(&self.replicates) {
+            let values: Vec<String> = reps.iter().map(|v| format!("{v:.4}")).collect();
+            out.push_str(&format!("{a}  ->  {}\n", values.join(", ")));
+        }
+        out
+    }
+}
+
+/// Walks designs, replicating each run.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    /// Measured replications per run (≥ 1).
+    pub replications: usize,
+}
+
+impl Runner {
+    /// Creates a runner with the given replication count.
+    ///
+    /// # Panics
+    /// Panics if `replications == 0`.
+    pub fn new(replications: usize) -> Self {
+        assert!(replications >= 1, "need at least one replication");
+        Runner { replications }
+    }
+
+    /// Executes a multi-level [`Design`].
+    pub fn run_design(
+        &self,
+        design: &Design,
+        experiment: &mut dyn Experiment,
+    ) -> ResponseTable {
+        let mut assignments = Vec::with_capacity(design.run_count());
+        let mut replicates = Vec::with_capacity(design.run_count());
+        for r in 0..design.run_count() {
+            let pairs: Vec<(String, Level)> = design
+                .factors()
+                .iter()
+                .zip(design.run(r))
+                .map(|(f, &level)| (f.name().to_owned(), f.levels()[level].clone()))
+                .collect();
+            let assignment = Assignment::new(pairs);
+            experiment.prepare(&assignment);
+            let responses: Vec<f64> = (0..self.replications)
+                .map(|_| experiment.respond(&assignment))
+                .collect();
+            assignments.push(assignment);
+            replicates.push(responses);
+        }
+        ResponseTable {
+            assignments,
+            replicates,
+        }
+    }
+
+    /// Executes a two-level design; factor levels are passed as ±1
+    /// [`Level::Num`] values.
+    pub fn run_two_level(
+        &self,
+        design: &TwoLevelDesign,
+        experiment: &mut dyn Experiment,
+    ) -> ResponseTable {
+        let mut assignments = Vec::with_capacity(design.run_count());
+        let mut replicates = Vec::with_capacity(design.run_count());
+        for r in 0..design.run_count() {
+            let pairs: Vec<(String, Level)> = design
+                .factor_names()
+                .iter()
+                .enumerate()
+                .map(|(j, n)| (n.clone(), Level::Num(design.factor_sign(r, j))))
+                .collect();
+            let assignment = Assignment::new(pairs);
+            experiment.prepare(&assignment);
+            let responses: Vec<f64> = (0..self.replications)
+                .map(|_| experiment.respond(&assignment))
+                .collect();
+            assignments.push(assignment);
+            replicates.push(responses);
+        }
+        ResponseTable {
+            assignments,
+            replicates,
+        }
+    }
+}
+
+/// Convenience: runs a two-level design and fits the effect model in one
+/// call.
+pub fn run_and_analyze(
+    design: &TwoLevelDesign,
+    replications: usize,
+    experiment: &mut dyn Experiment,
+) -> Result<(ResponseTable, crate::variation::VariationTable), DesignError> {
+    let table = Runner::new(replications).run_two_level(design, experiment);
+    let variation = if replications > 1 {
+        crate::variation::allocate_variation_replicated(design, &table.replicates)?
+    } else {
+        crate::variation::allocate_variation(design, &table.means())?
+    };
+    Ok((table, variation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::Factor;
+
+    #[test]
+    fn assignment_lookup() {
+        let a = Assignment::new(vec![
+            ("cache".into(), Level::Num(2.0)),
+            ("engine".into(), Level::Cat("MonetDB".into())),
+        ]);
+        assert_eq!(a.num("cache"), Some(2.0));
+        assert_eq!(a.label("engine").unwrap(), "MonetDB");
+        assert!(a.level("nope").is_none());
+        assert_eq!(a.to_string(), "cache=2 engine=MonetDB");
+    }
+
+    #[test]
+    fn runner_visits_every_run_with_replication() {
+        let design = Design::full_factorial(vec![
+            Factor::numeric("a", &[1.0, 2.0]),
+            Factor::numeric("b", &[10.0, 20.0, 30.0]),
+        ]);
+        let mut calls = 0;
+        let mut exp = |a: &Assignment| {
+            calls += 1;
+            a.num("a").unwrap() * a.num("b").unwrap()
+        };
+        let table = Runner::new(3).run_design(&design, &mut exp);
+        assert_eq!(table.run_count(), 6);
+        assert_eq!(calls, 18);
+        assert!(table.replicates.iter().all(|r| r.len() == 3));
+        // Deterministic experiment: all replicates identical.
+        assert_eq!(table.means()[0], table.replicates[0][0]);
+    }
+
+    #[test]
+    fn two_level_runner_passes_signs() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let mut exp = |a: &Assignment| {
+            // y = 40 + 20xA + 10xB + 5xAB, the slide-72 system.
+            let xa = a.num("A").unwrap();
+            let xb = a.num("B").unwrap();
+            40.0 + 20.0 * xa + 10.0 * xb + 5.0 * xa * xb
+        };
+        let table = Runner::new(1).run_two_level(&d, &mut exp);
+        assert_eq!(table.means(), vec![15.0, 45.0, 25.0, 75.0]);
+    }
+
+    #[test]
+    fn run_and_analyze_end_to_end() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let mut exp = |a: &Assignment| {
+            40.0 + 20.0 * a.num("A").unwrap() + 10.0 * a.num("B").unwrap()
+                + 5.0 * a.num("A").unwrap() * a.num("B").unwrap()
+        };
+        let (table, variation) = run_and_analyze(&d, 1, &mut exp).unwrap();
+        assert_eq!(table.run_count(), 4);
+        let qa = variation.fraction_of(&d, &["A"]).unwrap();
+        // SST = 4(400+100+25) = 2100; A share = 1600/2100.
+        assert!((qa - 1600.0 / 2100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepare_called_once_per_run() {
+        struct Spy {
+            prepares: usize,
+            responds: usize,
+        }
+        impl Experiment for Spy {
+            fn respond(&mut self, _: &Assignment) -> f64 {
+                self.responds += 1;
+                1.0
+            }
+            fn prepare(&mut self, _: &Assignment) {
+                self.prepares += 1;
+            }
+        }
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let mut spy = Spy {
+            prepares: 0,
+            responds: 0,
+        };
+        Runner::new(5).run_two_level(&d, &mut spy);
+        assert_eq!(spy.prepares, 4);
+        assert_eq!(spy.responds, 20);
+    }
+
+    #[test]
+    fn render_lists_runs() {
+        let d = TwoLevelDesign::full(&["A"]);
+        let mut exp = |a: &Assignment| a.num("A").unwrap();
+        let table = Runner::new(2).run_two_level(&d, &mut exp);
+        let text = table.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("A=-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let _ = Runner::new(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The two-stage workflow the tutorial recommends (slides 59, 110):
+//!
+//! > 1. Run a 2^k (or a 2^(k−p)) design.
+//! > 2. Evaluate factor importance.
+//! > 3. Pick important factors and possibly refine levels.
+//!
+//! [`screen`] runs stage 1–2: execute a (possibly fractional) two-level
+//! design against the experiment and rank the *main effects* by explained
+//! variation. [`ScreeningReport::important_factors`] then feeds stage 3 —
+//! the caller builds a detailed (multi-level, full-factorial) design over
+//! the survivors.
+
+use crate::alias::Generator;
+use crate::runner::{Experiment, Runner};
+use crate::twolevel::TwoLevelDesign;
+use crate::variation::{allocate_variation, allocate_variation_replicated};
+use crate::DesignError;
+
+/// Outcome of a screening pass.
+#[derive(Debug, Clone)]
+pub struct ScreeningReport {
+    /// (factor name, fraction of variation explained by its main effect),
+    /// most important first.
+    pub ranking: Vec<(String, f64)>,
+    /// Runs the screen spent.
+    pub runs_spent: usize,
+    /// Fraction of variation attributed to experimental error (0 without
+    /// replication).
+    pub error_fraction: f64,
+}
+
+impl ScreeningReport {
+    /// Factors whose main effect explains at least `threshold` of the
+    /// variation — the survivors for stage 3.
+    pub fn important_factors(&self, threshold: f64) -> Vec<&str> {
+        self.ranking
+            .iter()
+            .filter(|(_, f)| *f >= threshold)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Renders the ranking.
+    pub fn render(&self) -> String {
+        let mut out = format!("screening ({} runs)\n", self.runs_spent);
+        for (name, fraction) in &self.ranking {
+            out.push_str(&format!("{name:<12} {:>6.1}%\n", fraction * 100.0));
+        }
+        if self.error_fraction > 0.0 {
+            out.push_str(&format!(
+                "{:<12} {:>6.1}%\n",
+                "error",
+                self.error_fraction * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Screens `factor_names` with a two-level design — full if `generators`
+/// is empty, 2^(k−p) fractional otherwise — and ranks the main effects.
+pub fn screen(
+    factor_names: &[&str],
+    generators: &[Generator],
+    replications: usize,
+    experiment: &mut dyn Experiment,
+) -> Result<ScreeningReport, DesignError> {
+    let design = if generators.is_empty() {
+        TwoLevelDesign::full(factor_names)
+    } else {
+        TwoLevelDesign::fractional(factor_names, generators)?
+    };
+    let table = Runner::new(replications).run_two_level(&design, experiment);
+    let variation = if replications > 1 {
+        allocate_variation_replicated(&design, &table.replicates)?
+    } else {
+        allocate_variation(&design, &table.means())?
+    };
+    let mut ranking: Vec<(String, f64)> = design
+        .factor_names()
+        .iter()
+        .enumerate()
+        .map(|(j, name)| {
+            let fraction = variation
+                .shares
+                .iter()
+                .find(|s| s.mask == (1 << j))
+                .map(|s| s.fraction)
+                .unwrap_or(0.0);
+            (name.clone(), fraction)
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("fractions are finite"));
+    Ok(ScreeningReport {
+        ranking,
+        runs_spent: design.run_count() * replications,
+        error_fraction: variation.error_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Assignment;
+
+    /// A synthetic system with two strong factors (A, D), one weak (B) and
+    /// one inert (C).
+    fn system(a: &Assignment) -> f64 {
+        100.0 + 30.0 * a.num("A").unwrap()
+            + 2.0 * a.num("B").unwrap()
+            + 0.0 * a.num("C").unwrap()
+            + 20.0 * a.num("D").unwrap()
+    }
+
+    #[test]
+    fn full_screen_ranks_correctly() {
+        let mut exp = system;
+        let report = screen(&["A", "B", "C", "D"], &[], 1, &mut exp).unwrap();
+        assert_eq!(report.runs_spent, 16);
+        assert_eq!(report.ranking[0].0, "A");
+        assert_eq!(report.ranking[1].0, "D");
+        let survivors = report.important_factors(0.05);
+        assert_eq!(survivors, vec!["A", "D"]);
+    }
+
+    #[test]
+    fn fractional_screen_costs_half_and_agrees() {
+        let mut exp = system;
+        let report = screen(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=ABC").unwrap()],
+            1,
+            &mut exp,
+        )
+        .unwrap();
+        assert_eq!(report.runs_spent, 8, "half the runs of the full design");
+        assert_eq!(report.ranking[0].0, "A");
+        assert_eq!(report.ranking[1].0, "D");
+        assert_eq!(report.important_factors(0.05), vec!["A", "D"]);
+    }
+
+    #[test]
+    fn screen_with_replication_reports_error_share() {
+        // Noisy system: replication separates noise from effects.
+        let mut flip = 1.0;
+        let mut exp = |a: &Assignment| {
+            flip = -flip;
+            100.0 + 10.0 * a.num("A").unwrap() + flip * 3.0
+        };
+        let report = screen(&["A", "B"], &[], 4, &mut exp).unwrap();
+        assert_eq!(report.runs_spent, 16);
+        assert!(report.error_fraction > 0.0, "noise must land on error");
+        assert_eq!(report.ranking[0].0, "A");
+    }
+
+    #[test]
+    fn inert_system_ranks_everything_at_zero() {
+        let mut exp = |_: &Assignment| 42.0;
+        let report = screen(&["A", "B"], &[], 1, &mut exp).unwrap();
+        assert!(report.ranking.iter().all(|(_, f)| *f == 0.0));
+        assert!(report.important_factors(0.01).is_empty());
+    }
+
+    #[test]
+    fn render_mentions_factors_and_percent() {
+        let mut exp = system;
+        let report = screen(&["A", "B", "C", "D"], &[], 1, &mut exp).unwrap();
+        let text = report.render();
+        assert!(text.contains("A"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,367 @@
+//! 2^k full and 2^(k−p) fractional factorial designs as sign tables.
+//!
+//! A run is identified by the ±1 levels of each factor; effects are
+//! identified by subsets of factors encoded as bitmasks (bit `j` set ⇒
+//! factor `j` participates). The sign of effect column `S` in run `r` is
+//! the product of the participating factors' signs — computable as a parity
+//! (XOR popcount), which is what makes the sign-table method (slide 78)
+//! mechanical.
+
+use crate::alias::Generator;
+use crate::DesignError;
+
+/// A two-level design: `k` named factors, a list of runs, each run giving
+/// every factor's sign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelDesign {
+    factor_names: Vec<String>,
+    /// For each run, bit `j` set ⇔ factor `j` is at its high (+1) level.
+    runs: Vec<u32>,
+    /// Generators used (empty for a full design).
+    generators: Vec<Generator>,
+    /// Number of base factors (k − p).
+    base_factors: usize,
+}
+
+impl TwoLevelDesign {
+    /// The full 2^k design in standard order: run `r`'s factor `j` is high
+    /// iff bit `j` of `r` is set (so factor A toggles fastest).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > 20` (2^20 runs ought to be enough).
+    pub fn full(factor_names: &[&str]) -> TwoLevelDesign {
+        let k = factor_names.len();
+        assert!((1..=20).contains(&k), "full design supports 1..=20 factors");
+        TwoLevelDesign {
+            factor_names: factor_names.iter().map(|s| (*s).to_owned()).collect(),
+            runs: (0..(1u32 << k)).collect(),
+            generators: Vec::new(),
+            base_factors: k,
+        }
+    }
+
+    /// A 2^(k−p) fractional design: the first `k − p` names are base
+    /// factors (full design among themselves); each generator defines one
+    /// added factor as a product of base factors, e.g. `D = ABC`.
+    ///
+    /// Returns an error if a generator references an unknown base factor or
+    /// defines a factor not in `factor_names`.
+    pub fn fractional(
+        factor_names: &[&str],
+        generators: &[Generator],
+    ) -> Result<TwoLevelDesign, DesignError> {
+        let k = factor_names.len();
+        let p = generators.len();
+        if p >= k {
+            return Err(DesignError::Invalid(format!(
+                "{p} generators for {k} factors leaves no base design"
+            )));
+        }
+        let base = k - p;
+        let names: Vec<String> = factor_names.iter().map(|s| (*s).to_owned()).collect();
+        // Each generator's defined factor must be one of the added factors,
+        // and its word must reference only base factors.
+        let mut added_masks: Vec<u32> = Vec::with_capacity(p);
+        for (gi, g) in generators.iter().enumerate() {
+            let expected_name = &names[base + gi];
+            if g.defined() != expected_name {
+                return Err(DesignError::Invalid(format!(
+                    "generator {gi} must define factor {expected_name}, defines {}",
+                    g.defined()
+                )));
+            }
+            let mut mask = 0u32;
+            for f in g.word() {
+                let idx = names[..base]
+                    .iter()
+                    .position(|n| n == f)
+                    .ok_or_else(|| DesignError::UnknownFactor(f.clone()))?;
+                mask |= 1 << idx;
+            }
+            added_masks.push(mask);
+        }
+        let mut runs = Vec::with_capacity(1 << base);
+        for r in 0..(1u32 << base) {
+            let mut bits = r;
+            for (gi, &mask) in added_masks.iter().enumerate() {
+                // Added factor is high iff the product of its word is +1,
+                // i.e. an even number of the word's factors are low. Sign
+                // of the product = parity of low bits... Using +1 = bit
+                // set: product sign is + iff popcount of (low levels among
+                // mask) is even ⇔ popcount(!r & mask) even. Equivalently
+                // popcount(r & mask) has the same parity as popcount(mask)
+                // ... we encode: high ⇔ product of signs is +1.
+                let low_count = (!r & mask).count_ones();
+                if low_count % 2 == 0 {
+                    bits |= 1 << (base + gi);
+                }
+            }
+            runs.push(bits);
+        }
+        Ok(TwoLevelDesign {
+            factor_names: names,
+            runs,
+            generators: generators.to_vec(),
+            base_factors: base,
+        })
+    }
+
+    /// Number of factors `k`.
+    pub fn k(&self) -> usize {
+        self.factor_names.len()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Factor names.
+    pub fn factor_names(&self) -> &[String] {
+        &self.factor_names
+    }
+
+    /// The generators (empty for a full design).
+    pub fn generators(&self) -> &[Generator] {
+        &self.generators
+    }
+
+    /// True if this is a full 2^k design.
+    pub fn is_full(&self) -> bool {
+        self.generators.is_empty()
+    }
+
+    /// Sign (+1.0 / −1.0) of factor `j` in run `r`.
+    pub fn factor_sign(&self, r: usize, j: usize) -> f64 {
+        if self.runs[r] & (1 << j) != 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Sign of effect column `mask` (bitmask of participating factors) in
+    /// run `r`: the product of the factor signs, i.e. −1 to the number of
+    /// participating factors at their low level. `mask == 0` is the
+    /// identity column I (always +1).
+    pub fn effect_sign(&self, r: usize, mask: u32) -> f64 {
+        let low_count = (!self.runs[r] & mask).count_ones();
+        if low_count.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Resolves factor names to an effect bitmask.
+    pub fn effect_mask(&self, factors: &[&str]) -> Result<u32, DesignError> {
+        let mut mask = 0u32;
+        for f in factors {
+            let idx = self
+                .factor_names
+                .iter()
+                .position(|n| n == f)
+                .ok_or_else(|| DesignError::UnknownFactor((*f).to_owned()))?;
+            mask |= 1 << idx;
+        }
+        Ok(mask)
+    }
+
+    /// Renders an effect mask as a factor-name product ("I" for the empty
+    /// mask).
+    pub fn effect_label(&self, mask: u32) -> String {
+        if mask == 0 {
+            return "I".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (j, name) in self.factor_names.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                parts.push(name.clone());
+            }
+        }
+        parts.join("·")
+    }
+
+    /// Every zero-sum property the tutorial's slide 103 highlights: each
+    /// factor column sums to zero (both levels equally tested).
+    pub fn columns_are_zero_sum(&self) -> bool {
+        (0..self.k()).all(|j| {
+            let sum: f64 = (0..self.run_count()).map(|r| self.factor_sign(r, j)).sum();
+            sum == 0.0
+        })
+    }
+
+    /// Orthogonality: any two distinct factor columns agree as often as
+    /// they disagree (their dot product is zero).
+    pub fn columns_are_orthogonal(&self) -> bool {
+        for a in 0..self.k() {
+            for b in (a + 1)..self.k() {
+                let dot: f64 = (0..self.run_count())
+                    .map(|r| self.factor_sign(r, a) * self.factor_sign(r, b))
+                    .sum();
+                if dot != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the sign table (the slide 102/103 presentation).
+    pub fn render(&self) -> String {
+        let mut out = String::from("run");
+        for name in &self.factor_names {
+            out.push_str(&format!(" {name:>4}"));
+        }
+        out.push('\n');
+        for r in 0..self.run_count() {
+            out.push_str(&format!("{:>3}", r + 1));
+            for j in 0..self.k() {
+                out.push_str(&format!(
+                    " {:>4}",
+                    if self.factor_sign(r, j) > 0.0 { "+1" } else { "-1" }
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The level assignment of run `r` as ±1 values.
+    pub fn run_signs(&self, r: usize) -> Vec<f64> {
+        (0..self.k()).map(|j| self.factor_sign(r, j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias::Generator;
+
+    #[test]
+    fn full_2_2_standard_order() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        assert_eq!(d.run_count(), 4);
+        assert_eq!(d.run_signs(0), vec![-1.0, -1.0]);
+        assert_eq!(d.run_signs(1), vec![1.0, -1.0]);
+        assert_eq!(d.run_signs(2), vec![-1.0, 1.0]);
+        assert_eq!(d.run_signs(3), vec![1.0, 1.0]);
+        assert!(d.is_full());
+    }
+
+    #[test]
+    fn interaction_column_is_product() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let ab = d.effect_mask(&["A", "B"]).unwrap();
+        // Slide 74's table: AB column is +1, −1, −1, +1.
+        let col: Vec<f64> = (0..4).map(|r| d.effect_sign(r, ab)).collect();
+        assert_eq!(col, vec![1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_column_is_all_ones() {
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        assert!((0..8).all(|r| d.effect_sign(r, 0) == 1.0));
+        assert_eq!(d.effect_label(0), "I");
+    }
+
+    #[test]
+    fn zero_sum_and_orthogonal_full() {
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        assert!(d.columns_are_zero_sum());
+        assert!(d.columns_are_orthogonal());
+    }
+
+    #[test]
+    fn fractional_2_4_1_d_equals_abc() {
+        let d = TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=ABC").unwrap()],
+        )
+        .unwrap();
+        assert_eq!(d.run_count(), 8);
+        assert_eq!(d.k(), 4);
+        // D's column equals the ABC product column everywhere.
+        let abc = d.effect_mask(&["A", "B", "C"]).unwrap();
+        for r in 0..8 {
+            assert_eq!(d.factor_sign(r, 3), d.effect_sign(r, abc), "run {r}");
+        }
+        assert!(d.columns_are_zero_sum());
+        assert!(d.columns_are_orthogonal());
+        assert!(!d.is_full());
+    }
+
+    #[test]
+    fn fractional_2_7_4_slide_102() {
+        // Seven factors in eight runs: the slide-102/103 design.
+        let d = TwoLevelDesign::fractional(
+            &["A", "B", "C", "D", "E", "F", "G"],
+            &[
+                Generator::parse("D=AB").unwrap(),
+                Generator::parse("E=AC").unwrap(),
+                Generator::parse("F=BC").unwrap(),
+                Generator::parse("G=ABC").unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.run_count(), 8);
+        assert_eq!(d.k(), 7);
+        // "7 zero-sum columns" and orthogonality, as the slide highlights.
+        assert!(d.columns_are_zero_sum());
+        assert!(d.columns_are_orthogonal());
+        // Spot-check the slide's first data row: A=-1,B=-1,C=-1 ->
+        // D=AB=+1, E=AC=+1, F=BC=+1, G=ABC=-1.
+        assert_eq!(
+            d.run_signs(0),
+            vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0, -1.0]
+        );
+        // Second row: A=+1,B=-1,C=-1 -> D=-1, E=-1, F=+1, G=+1.
+        assert_eq!(
+            d.run_signs(1),
+            vec![1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn effect_mask_and_label() {
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        let m = d.effect_mask(&["A", "C"]).unwrap();
+        assert_eq!(m, 0b101);
+        assert_eq!(d.effect_label(m), "A·C");
+        assert!(d.effect_mask(&["Z"]).is_err());
+    }
+
+    #[test]
+    fn fractional_validates_generators() {
+        // Generator must define the next factor name.
+        assert!(TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("C=AB").unwrap()]
+        )
+        .is_err());
+        // Word must reference base factors only.
+        assert!(TwoLevelDesign::fractional(
+            &["A", "B", "C", "D"],
+            &[Generator::parse("D=AZ").unwrap()]
+        )
+        .is_err());
+        // Too many generators.
+        assert!(TwoLevelDesign::fractional(
+            &["A", "B"],
+            &[
+                Generator::parse("A=B").unwrap(),
+                Generator::parse("B=A").unwrap()
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn render_shows_signs() {
+        let d = TwoLevelDesign::full(&["A", "B"]);
+        let text = d.render();
+        assert!(text.contains("+1"));
+        assert!(text.contains("-1"));
+        assert_eq!(text.lines().count(), 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! Presentation lint: the chart rules of slides 118–148 as checks.
+//!
+//! > Require minimum effort from the reader — not the minimum effort from
+//! > you. Try to be honest.
+//!
+//! The lintable rules:
+//! * a line chart should be limited to 6 curves, a bar chart to 10 bars, a
+//!   pie chart to 8 components (slide 128);
+//! * axis labels should name the quantity *and its unit* (slide 122);
+//! * axes usually begin at 0 — a truncated value axis is the "MINE is
+//!   better than YOURS" trick of slide 138;
+//! * histogram cells need ≥ 5 points (slide 144, checked in
+//!   `perfeval_stats::histogram`);
+//! * error bars: comparisons of random quantities need confidence
+//!   intervals (slide 142).
+
+/// Chart type being linted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Line chart (≤ 6 curves).
+    Line,
+    /// Column/bar chart (≤ 10 bars).
+    Bar,
+    /// Pie chart (≤ 8 components).
+    Pie,
+}
+
+/// Declarative description of a chart for linting.
+#[derive(Debug, Clone)]
+pub struct ChartSpec {
+    /// Chart type.
+    pub kind: ChartKind,
+    /// Number of curves / bars / components.
+    pub series: usize,
+    /// Y-axis label text.
+    pub y_label: String,
+    /// X-axis label text.
+    pub x_label: String,
+    /// Lowest y value shown on the axis.
+    pub y_axis_start: f64,
+    /// Lowest data value.
+    pub y_data_min: f64,
+    /// Whether plotted quantities are means of replicated measurements.
+    pub plots_random_quantities: bool,
+    /// Whether error bars / confidence intervals are drawn.
+    pub has_error_bars: bool,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChartLint {
+    /// Short rule id.
+    pub rule: &'static str,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ChartLint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// True if a label carries a unit ("(ms)", "(MB/s)", "per second", "%").
+fn has_unit(label: &str) -> bool {
+    let l = label.to_ascii_lowercase();
+    l.contains('(') && l.contains(')')
+        || l.contains('%')
+        || l.contains("per ")
+        || l.contains("/s")
+        || l.ends_with("count") // counts are dimensionless
+        || l.contains("ratio") // so are ratios
+        || l.contains("factor")
+}
+
+/// Lints a chart description.
+pub fn lint(spec: &ChartSpec) -> Vec<ChartLint> {
+    let mut lints = Vec::new();
+    let (limit, noun) = match spec.kind {
+        ChartKind::Line => (6, "curves"),
+        ChartKind::Bar => (10, "bars"),
+        ChartKind::Pie => (8, "components"),
+    };
+    if spec.series > limit {
+        lints.push(ChartLint {
+            rule: "too-many-series",
+            message: format!(
+                "{} {noun} on one chart; the rule of thumb is at most {limit}",
+                spec.series
+            ),
+        });
+    }
+    if !has_unit(&spec.y_label) {
+        lints.push(ChartLint {
+            rule: "missing-unit",
+            message: format!(
+                "y label '{}' has no unit: prefer 'CPU time (ms)' to 'CPU time'",
+                spec.y_label
+            ),
+        });
+    }
+    if spec.x_label.trim().is_empty() {
+        lints.push(ChartLint {
+            rule: "missing-label",
+            message: "x axis is unlabeled".into(),
+        });
+    }
+    // Truncated value axis: the axis starts well above zero relative to
+    // the data, visually inflating differences (slide 138).
+    if spec.y_data_min >= 0.0 && spec.y_axis_start > 0.0 {
+        let span = spec.y_data_min.max(1e-300);
+        if spec.y_axis_start / span > 0.5 {
+            lints.push(ChartLint {
+                rule: "truncated-axis",
+                message: format!(
+                    "y axis starts at {} with data from {}: differences are \
+                     visually exaggerated (the MINE-vs-YOURS trick)",
+                    spec.y_axis_start, spec.y_data_min
+                ),
+            });
+        }
+    }
+    if spec.plots_random_quantities && !spec.has_error_bars {
+        lints.push(ChartLint {
+            rule: "no-confidence-intervals",
+            message: "random quantities plotted without confidence intervals; \
+                      overlapping intervals may mean the quantities are \
+                      statistically indifferent"
+                .into(),
+        });
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_line() -> ChartSpec {
+        ChartSpec {
+            kind: ChartKind::Line,
+            series: 3,
+            y_label: "Response time (ms)".into(),
+            x_label: "Number of users".into(),
+            y_axis_start: 0.0,
+            y_data_min: 12.0,
+            plots_random_quantities: true,
+            has_error_bars: true,
+        }
+    }
+
+    #[test]
+    fn clean_chart_passes() {
+        assert!(lint(&good_line()).is_empty());
+    }
+
+    #[test]
+    fn too_many_curves_flagged() {
+        let mut s = good_line();
+        s.series = 9;
+        let lints = lint(&s);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].rule, "too-many-series");
+        assert!(lints[0].to_string().contains("at most 6"));
+    }
+
+    #[test]
+    fn bar_and_pie_limits() {
+        let mut s = good_line();
+        s.kind = ChartKind::Bar;
+        s.series = 10;
+        assert!(lint(&s).is_empty());
+        s.series = 11;
+        assert_eq!(lint(&s)[0].rule, "too-many-series");
+        s.kind = ChartKind::Pie;
+        s.series = 9;
+        assert_eq!(lint(&s)[0].rule, "too-many-series");
+    }
+
+    #[test]
+    fn unit_detection() {
+        let mut s = good_line();
+        s.y_label = "CPU time".into();
+        assert_eq!(lint(&s)[0].rule, "missing-unit");
+        for ok in [
+            "CPU time (ms)",
+            "throughput (queries/s)",
+            "Average I/Os per query",
+            "hit rate %",
+            "speedup factor",
+            "row count",
+        ] {
+            s.y_label = ok.into();
+            assert!(
+                lint(&s).iter().all(|l| l.rule != "missing-unit"),
+                "'{ok}' should count as unit-bearing"
+            );
+        }
+    }
+
+    #[test]
+    fn mine_vs_yours_truncated_axis_flagged() {
+        // Slide 138: bars from 2600 to 2610 drawn on an axis starting at
+        // 2600.
+        let s = ChartSpec {
+            kind: ChartKind::Bar,
+            series: 2,
+            y_label: "time (ms)".into(),
+            x_label: "system".into(),
+            y_axis_start: 2600.0,
+            y_data_min: 2600.0,
+            plots_random_quantities: false,
+            has_error_bars: false,
+        };
+        let lints = lint(&s);
+        assert!(lints.iter().any(|l| l.rule == "truncated-axis"));
+    }
+
+    #[test]
+    fn honest_full_axis_passes() {
+        // Slide 141: the recommended version starts at 0.
+        let s = ChartSpec {
+            kind: ChartKind::Bar,
+            series: 2,
+            y_label: "time (ms)".into(),
+            x_label: "system".into(),
+            y_axis_start: 0.0,
+            y_data_min: 2600.0,
+            plots_random_quantities: false,
+            has_error_bars: false,
+        };
+        assert!(lint(&s).is_empty());
+    }
+
+    #[test]
+    fn missing_error_bars_flagged() {
+        let mut s = good_line();
+        s.has_error_bars = false;
+        let lints = lint(&s);
+        assert!(lints.iter().any(|l| l.rule == "no-confidence-intervals"));
+    }
+
+    #[test]
+    fn missing_x_label_flagged() {
+        let mut s = good_line();
+        s.x_label = "  ".into();
+        assert!(lint(&s).iter().any(|l| l.rule == "missing-label"));
+    }
+}

@@ -1,0 +1,320 @@
+//! CSV result files with **locale validation**.
+//!
+//! Slide 212's war story: averaged timings (`13.666`, `12.3333`) copy-pasted
+//! into a spreadsheet with a European locale silently became `13666` and
+//! `123333`, and one of twenty hand-made graphs was wrong. The cure is a
+//! pipeline that (a) never goes through a clipboard, and (b) *validates*
+//! numeric columns on read: a column whose values jump by ~1000× when a few
+//! entries lose their decimal point is flagged as locale corruption.
+
+use std::path::Path;
+
+/// A parsed CSV table: a header plus numeric rows (the result files this
+/// harness produces are always numeric; labels belong in the file name,
+/// per the tutorial's avgs.out counter-example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row-major values.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl CsvTable {
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// One column's values.
+    pub fn column(&self, idx: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[idx]).collect()
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// CSV errors, including the locale-corruption detection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// File could not be read/written.
+    Io(String),
+    /// A cell failed to parse as a number.
+    BadCell {
+        /// 1-based data row.
+        row: usize,
+        /// 0-based column.
+        col: usize,
+        /// Raw text.
+        text: String,
+    },
+    /// A row had the wrong number of fields.
+    RaggedRow {
+        /// 1-based data row.
+        row: usize,
+        /// Fields expected (header width).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// The file was empty.
+    Empty,
+    /// Suspected locale corruption (decimal separators dropped).
+    LocaleCorruption {
+        /// Column name.
+        column: String,
+        /// Ratio between suspicious values and the column median.
+        ratio: f64,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(m) => write!(f, "csv i/o error: {m}"),
+            CsvError::BadCell { row, col, text } => {
+                write!(f, "row {row}, column {col}: '{text}' is not a number")
+            }
+            CsvError::RaggedRow { row, expected, got } => {
+                write!(f, "row {row} has {got} fields, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "csv file is empty"),
+            CsvError::LocaleCorruption { column, ratio } => write!(
+                f,
+                "column '{column}' looks locale-corrupted: some values are \
+                 ~{ratio:.0}x the column median (decimal separator dropped?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Writes a numeric CSV file.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> Result<(), CsvError> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| CsvError::Io(e.to_string()))
+}
+
+/// Parses CSV text (no validation).
+pub fn parse_csv(text: &str) -> Result<CsvTable, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header: Vec<String> = lines
+        .next()
+        .ok_or(CsvError::Empty)?
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .collect();
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != header.len() {
+            return Err(CsvError::RaggedRow {
+                row: i + 1,
+                expected: header.len(),
+                got: cells.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for (c, cell) in cells.iter().enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|_| CsvError::BadCell {
+                row: i + 1,
+                col: c,
+                text: cell.trim().to_owned(),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    Ok(CsvTable { header, rows })
+}
+
+/// Reads and parses a CSV file, then runs [`validate_locale`] on every
+/// column — the full slide-212 defence.
+pub fn read_csv(path: &Path) -> Result<CsvTable, CsvError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    let table = parse_csv(&text)?;
+    validate_locale(&table)?;
+    Ok(table)
+}
+
+/// Detects the `13.666 → 13666` corruption class.
+///
+/// A value that lost its decimal separator is (a) integral, (b) ≥ ~1000×
+/// larger than the column's uncorrupted values, and (c) — the killer
+/// signature — dividing it by the 10^k that brings it back into the
+/// column's range yields a *non-integral* number (13666 / 10³ = 13.666).
+/// Legitimately wide-ranging integer columns (10, 10000, 100000 rows) stay
+/// integral under that shift and pass.
+///
+/// The check is heuristic by design; it trades a vanishing false-positive
+/// rate (a count column whose large entries happen to decimal-shift into
+/// the small cluster non-integrally) for catching the silent corruption
+/// the tutorial shows producing a wrong published graph.
+pub fn validate_locale(table: &CsvTable) -> Result<(), CsvError> {
+    for (c, name) in table.header.iter().enumerate() {
+        let column = table.column(c);
+        if column.len() < 3 {
+            continue;
+        }
+        let mut sorted: Vec<f64> = column
+            .iter()
+            .map(|v| v.abs())
+            .filter(|v| *v > 0.0)
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite csv values"));
+        if sorted.len() < 3 {
+            continue;
+        }
+        // Find the largest multiplicative gap between adjacent magnitudes.
+        let mut split = None;
+        let mut best_ratio = 1.0;
+        for w in 0..sorted.len() - 1 {
+            let ratio = sorted[w + 1] / sorted[w];
+            if ratio > best_ratio {
+                best_ratio = ratio;
+                split = Some(w);
+            }
+        }
+        let Some(split) = split else { continue };
+        if best_ratio < 500.0 {
+            continue; // magnitudes are continuous: no bimodal signature
+        }
+        let small = &sorted[..=split];
+        let (small_min, small_max) = (small[0], small[small.len() - 1]);
+        for &v in &sorted[split + 1..] {
+            if v.fract() != 0.0 {
+                continue; // still has a separator: not this corruption
+            }
+            for k in 3..=7u32 {
+                let shifted = v / 10f64.powi(k as i32);
+                let in_range = shifted >= 0.5 * small_min && shifted <= 2.0 * small_max;
+                if in_range && shifted.fract() != 0.0 {
+                    return Err(CsvError::LocaleCorruption {
+                        column: name.clone(),
+                        ratio: v / small_max,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("perfeval_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmp("roundtrip.csv");
+        write_csv(
+            &path,
+            &["sf", "ms"],
+            &[vec![1.0, 1234.0], vec![2.0, 2467.0], vec![3.0, 4623.0]],
+        )
+        .unwrap();
+        let t = read_csv(&path).unwrap();
+        assert_eq!(t.header, vec!["sf", "ms"]);
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column(1), vec![1234.0, 2467.0, 4623.0]);
+        assert_eq!(t.column_index("ms"), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_ragged_and_bad_cells() {
+        assert_eq!(
+            parse_csv("a,b\n1,2\n3\n").unwrap_err(),
+            CsvError::RaggedRow {
+                row: 2,
+                expected: 2,
+                got: 1
+            }
+        );
+        match parse_csv("a\nx\n").unwrap_err() {
+            CsvError::BadCell { row: 1, col: 0, text } => assert_eq!(text, "x"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_csv("").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn slide_212_corruption_detected() {
+        // The exact avgs.out from the slide, after the broken copy-paste:
+        // 13.666 and 12.3333 lost their separators.
+        let text = "a,b\n1,13666\n2,15\n3,123333\n4,13\n";
+        let table = parse_csv(text).unwrap();
+        match validate_locale(&table).unwrap_err() {
+            CsvError::LocaleCorruption { column, ratio } => {
+                assert_eq!(column, "b");
+                assert!(ratio > 500.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_version_of_slide_212_passes() {
+        let text = "a,b\n1,13.666\n2,15\n3,12.3333\n4,13\n";
+        let table = parse_csv(text).unwrap();
+        assert!(validate_locale(&table).is_ok());
+    }
+
+    #[test]
+    fn legitimate_wide_range_is_not_flagged() {
+        // Row counts spanning orders of magnitude: all integers — fine.
+        let text = "n,rows\n1,10\n2,10000\n3,100000\n";
+        let table = parse_csv(text).unwrap();
+        assert!(validate_locale(&table).is_ok());
+        // Fractional values spanning a wide range but never integral: fine.
+        let text = "n,ms\n1,1.5\n2,800.25\n3,90000.125\n";
+        let table = parse_csv(text).unwrap();
+        assert!(validate_locale(&table).is_ok());
+    }
+
+    #[test]
+    fn tiny_columns_skipped() {
+        let text = "a\n13.6\n13600\n";
+        let table = parse_csv(text).unwrap();
+        assert!(validate_locale(&table).is_ok(), "too few rows to judge");
+    }
+
+    #[test]
+    fn read_csv_applies_validation() {
+        let path = tmp("corrupt.csv");
+        std::fs::write(&path, "a,b\n1,13666\n2,15\n3,123333\n4,13\n").unwrap();
+        assert!(matches!(
+            read_csv(&path),
+            Err(CsvError::LocaleCorruption { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        let e = CsvError::LocaleCorruption {
+            column: "ms".into(),
+            ratio: 1000.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("decimal separator"));
+        assert!(msg.contains("ms"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Gnuplot script generation — slide 202, automated.
+//!
+//! The tutorial's recipe: a data file `results-m1-n5.csv`, a command file
+//! `plot-m1-n5.gnu` with title/labels/terminal, and a `gnuplot` invocation.
+//! [`GnuplotScript`] generates such command files, applying the
+//! presentation rules of slides 122–148: units belong in axis labels, and
+//! the paper-size rule `set size ratio 0 x*1.5,y` for a plot `x·\textwidth`
+//! wide.
+
+use std::path::Path;
+
+/// One data series in a plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Data file path (relative to the script).
+    pub data_file: String,
+    /// 1-based x column in the data file.
+    pub x_col: usize,
+    /// 1-based y column.
+    pub y_col: usize,
+    /// Legend title — a keyword, not a symbol ("MonetDB", not "µ=2"):
+    /// *"the human brain is a poor join processor"*.
+    pub title: String,
+}
+
+/// A gnuplot command file under construction.
+#[derive(Debug, Clone)]
+pub struct GnuplotScript {
+    title: String,
+    xlabel: String,
+    ylabel: String,
+    output: String,
+    series: Vec<Series>,
+    logscale_y: bool,
+    size: Option<(f64, f64)>,
+    style: &'static str,
+}
+
+impl GnuplotScript {
+    /// Starts a script. `xlabel`/`ylabel` should carry units ("CPU time
+    /// (ms)", not "CPU time" — slide 122).
+    pub fn new(title: &str, xlabel: &str, ylabel: &str, output_eps: &str) -> Self {
+        GnuplotScript {
+            title: title.to_owned(),
+            xlabel: xlabel.to_owned(),
+            ylabel: ylabel.to_owned(),
+            output: output_eps.to_owned(),
+            series: Vec::new(),
+            logscale_y: false,
+            size: None,
+            style: "linespoints",
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Convenience: single-file single-series plot like the slide's
+    /// `plot "results-m1-n5.csv"`.
+    pub fn single(mut self, data_file: &str) -> Self {
+        self.series.push(Series {
+            data_file: data_file.to_owned(),
+            x_col: 1,
+            y_col: 2,
+            title: String::new(),
+        });
+        self
+    }
+
+    /// Logarithmic y axis ("use exceptions as necessary").
+    pub fn logscale_y(mut self) -> Self {
+        self.logscale_y = true;
+        self
+    }
+
+    /// The paper-size rule of slide 146: for a plot occupying
+    /// `textwidth_fraction` of `\textwidth`, emit
+    /// `set size ratio 0 x*1.5,y`.
+    pub fn paper_size(mut self, textwidth_fraction: f64, height: f64) -> Self {
+        self.size = Some((textwidth_fraction * 1.5, height));
+        self
+    }
+
+    /// Bar-style plot (histogram / column chart).
+    pub fn boxes(mut self) -> Self {
+        self.style = "boxes";
+        self
+    }
+
+    /// Renders the `.gnu` command file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("set style data {}\n", self.style));
+        out.push_str("set terminal postscript eps color\n");
+        out.push_str(&format!("set output \"{}\"\n", self.output));
+        out.push_str(&format!("set title \"{}\"\n", self.title));
+        out.push_str(&format!("set xlabel \"{}\"\n", self.xlabel));
+        out.push_str(&format!("set ylabel \"{}\"\n", self.ylabel));
+        // Axes usually begin at 0 (slide 122).
+        if self.logscale_y {
+            out.push_str("set logscale y\n");
+        } else {
+            out.push_str("set yrange [0:*]\n");
+        }
+        if let Some((w, h)) = self.size {
+            out.push_str(&format!("set size ratio 0 {w},{h}\n"));
+        }
+        let plots: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                if s.title.is_empty() {
+                    format!("\"{}\" using {}:{} notitle", s.data_file, s.x_col, s.y_col)
+                } else {
+                    format!(
+                        "\"{}\" using {}:{} title \"{}\"",
+                        s.data_file, s.x_col, s.y_col, s.title
+                    )
+                }
+            })
+            .collect();
+        out.push_str(&format!("plot {}\n", plots.join(", \\\n     ")));
+        out
+    }
+
+    /// Writes the command file to disk.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// The number of series (chart lint wants ≤ 6 on a line chart).
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slide_202_script_shape() {
+        // The tutorial's exact example, modulo deprecated gnuplot syntax.
+        let script = GnuplotScript::new(
+            "Execution time for various scale factors",
+            "Scale factor",
+            "Execution time (ms)",
+            "results-m1-n5.eps",
+        )
+        .single("results-m1-n5.csv");
+        let text = script.render();
+        assert!(text.contains("set style data linespoints"));
+        assert!(text.contains("set output \"results-m1-n5.eps\""));
+        assert!(text.contains("set title \"Execution time for various scale factors\""));
+        assert!(text.contains("set xlabel \"Scale factor\""));
+        assert!(text.contains("set ylabel \"Execution time (ms)\""));
+        assert!(text.contains("plot \"results-m1-n5.csv\""));
+    }
+
+    #[test]
+    fn axes_begin_at_zero_by_default() {
+        let text = GnuplotScript::new("t", "x", "y (ms)", "o.eps")
+            .single("d.csv")
+            .render();
+        assert!(text.contains("set yrange [0:*]"));
+    }
+
+    #[test]
+    fn logscale_is_an_explicit_exception() {
+        let text = GnuplotScript::new("t", "x", "y (ms)", "o.eps")
+            .single("d.csv")
+            .logscale_y()
+            .render();
+        assert!(text.contains("set logscale y"));
+        assert!(!text.contains("set yrange [0:*]"));
+    }
+
+    #[test]
+    fn paper_size_rule() {
+        // Half-textwidth plot: set size ratio 0 0.5*1.5, 0.5.
+        let text = GnuplotScript::new("t", "x", "y", "o.eps")
+            .single("d.csv")
+            .paper_size(0.5, 0.5)
+            .render();
+        assert!(text.contains("set size ratio 0 0.75,0.5"), "{text}");
+    }
+
+    #[test]
+    fn multi_series_with_keyword_titles() {
+        let script = GnuplotScript::new("t", "users", "response time (ms)", "o.eps")
+            .series(Series {
+                data_file: "a.csv".into(),
+                x_col: 1,
+                y_col: 2,
+                title: "MonetDB".into(),
+            })
+            .series(Series {
+                data_file: "b.csv".into(),
+                x_col: 1,
+                y_col: 2,
+                title: "MySQL".into(),
+            });
+        assert_eq!(script.series_count(), 2);
+        let text = script.render();
+        assert!(text.contains("title \"MonetDB\""));
+        assert!(text.contains("title \"MySQL\""));
+    }
+
+    #[test]
+    fn boxes_style() {
+        let text = GnuplotScript::new("t", "x", "y", "o.eps")
+            .single("d.csv")
+            .boxes()
+            .render();
+        assert!(text.contains("set style data boxes"));
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let dir = std::env::temp_dir().join("perfeval_gnu");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plot.gnu");
+        GnuplotScript::new("t", "x", "y", "o.eps")
+            .single("d.csv")
+            .write_to(&path)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("plot"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,325 @@
+//! `java.util.Properties`, the Rust edition (slides 183–195).
+//!
+//! The tutorial's recipe for parameterizable experiments:
+//!
+//! 1. code ships **defaults**,
+//! 2. a **config file** overrides them,
+//! 3. **command-line `-Dkey=value`** arguments override both,
+//!
+//! and a missing config file produces a *meaningful error* (slide 189).
+//! Keys and values are strings; typed accessors parse on demand.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Ordered string-to-string configuration store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Properties {
+    values: BTreeMap<String, String>,
+}
+
+/// Errors from property handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// The config file was missing or unreadable.
+    FileUnreadable {
+        /// Path attempted.
+        path: String,
+        /// Underlying reason.
+        reason: String,
+    },
+    /// A line was not `key=value`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A value failed to parse as the requested type.
+    BadValue {
+        /// The key.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// Target type name.
+        wanted: &'static str,
+    },
+    /// A required key is absent.
+    Missing(String),
+}
+
+impl std::fmt::Display for PropError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropError::FileUnreadable { path, reason } => {
+                write!(f, "cannot read configuration file '{path}': {reason}")
+            }
+            PropError::Malformed { line, text } => {
+                write!(f, "config line {line} is not key=value: '{text}'")
+            }
+            PropError::BadValue { key, value, wanted } => {
+                write!(f, "property {key}='{value}' is not a valid {wanted}")
+            }
+            PropError::Missing(key) => write!(f, "required property '{key}' not set"),
+        }
+    }
+}
+
+impl std::error::Error for PropError {}
+
+impl Properties {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store from default pairs (the `defaults` array of the
+    /// slide-193 Java class).
+    pub fn with_defaults(defaults: &[(&str, &str)]) -> Self {
+        let mut p = Properties::new();
+        for (k, v) in defaults {
+            p.set(k, v);
+        }
+        p
+    }
+
+    /// Sets a property.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.values.insert(key.to_owned(), value.to_owned());
+    }
+
+    /// Gets a property.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Gets a required property.
+    pub fn require(&self, key: &str) -> Result<&str, PropError> {
+        self.get(key).ok_or_else(|| PropError::Missing(key.to_owned()))
+    }
+
+    /// Typed accessor.
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, PropError> {
+        self.get(key)
+            .map(|v| {
+                v.parse().map_err(|_| PropError::BadValue {
+                    key: key.to_owned(),
+                    value: v.to_owned(),
+                    wanted: "f64",
+                })
+            })
+            .transpose()
+    }
+
+    /// Typed accessor.
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, PropError> {
+        self.get(key)
+            .map(|v| {
+                v.parse().map_err(|_| PropError::BadValue {
+                    key: key.to_owned(),
+                    value: v.to_owned(),
+                    wanted: "u64",
+                })
+            })
+            .transpose()
+    }
+
+    /// Typed accessor (`true`/`false`, `1`/`0`, `yes`/`no`).
+    pub fn get_bool(&self, key: &str) -> Result<Option<bool>, PropError> {
+        self.get(key)
+            .map(|v| match v.to_ascii_lowercase().as_str() {
+                "true" | "1" | "yes" | "on" => Ok(true),
+                "false" | "0" | "no" | "off" => Ok(false),
+                _ => Err(PropError::BadValue {
+                    key: key.to_owned(),
+                    value: v.to_owned(),
+                    wanted: "bool",
+                }),
+            })
+            .transpose()
+    }
+
+    /// Parses `key=value` lines (`#` comments and blank lines ignored) and
+    /// merges them over the current values.
+    pub fn load_str(&mut self, text: &str) -> Result<(), PropError> {
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(PropError::Malformed {
+                    line: i + 1,
+                    text: raw.to_owned(),
+                });
+            };
+            self.set(k.trim(), v.trim());
+        }
+        Ok(())
+    }
+
+    /// Loads a config file and merges it over the current values; a
+    /// missing file is a *reported* error, never silent.
+    pub fn load_file(&mut self, path: &Path) -> Result<(), PropError> {
+        let text = std::fs::read_to_string(path).map_err(|e| PropError::FileUnreadable {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        self.load_str(&text)
+    }
+
+    /// Applies `-Dkey=value` command-line arguments over the current
+    /// values (unknown arguments are returned for the caller to handle).
+    pub fn apply_args<'a>(
+        &mut self,
+        args: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<&'a str>, PropError> {
+        let mut rest = Vec::new();
+        for arg in args {
+            if let Some(pair) = arg.strip_prefix("-D") {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(PropError::Malformed {
+                        line: 0,
+                        text: arg.to_owned(),
+                    });
+                };
+                self.set(k, v);
+            } else {
+                rest.push(arg);
+            }
+        }
+        Ok(rest)
+    }
+
+    /// Serializes to the config-file format (sorted, stable).
+    pub fn store(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.values {
+            out.push_str(&format!("{k}={v}\n"));
+        }
+        out
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_then_file_then_args_precedence() {
+        // The slide-195 layering.
+        let mut p = Properties::with_defaults(&[("dataDir", "./data"), ("doStore", "true")]);
+        p.load_str("dataDir=/mnt/exp\nreps=5\n").unwrap();
+        let rest = p
+            .apply_args(["-DdoStore=false", "run", "-Dreps=7"])
+            .unwrap();
+        assert_eq!(p.get("dataDir"), Some("/mnt/exp"));
+        assert_eq!(p.get_bool("doStore").unwrap(), Some(false));
+        assert_eq!(p.get_u64("reps").unwrap(), Some(7));
+        assert_eq!(rest, vec!["run"]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut p = Properties::new();
+        p.load_str("# a comment\n\n  key = value with spaces  \n").unwrap();
+        assert_eq!(p.get("key"), Some("value with spaces"));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reported_with_number() {
+        let mut p = Properties::new();
+        let err = p.load_str("good=1\nbadline\n").unwrap_err();
+        assert_eq!(
+            err,
+            PropError::Malformed {
+                line: 2,
+                text: "badline".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_file_is_a_meaningful_error() {
+        let mut p = Properties::new();
+        let err = p.load_file(Path::new("/definitely/not/here.conf")).unwrap_err();
+        match &err {
+            PropError::FileUnreadable { path, .. } => {
+                assert!(path.contains("not/here.conf"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(err.to_string().contains("cannot read configuration file"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("perfeval_props");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exp.conf");
+        let mut p = Properties::with_defaults(&[("seed", "42"), ("sf", "0.01")]);
+        std::fs::write(&path, p.store()).unwrap();
+        let mut q = Properties::new();
+        q.load_file(&path).unwrap();
+        assert_eq!(p, q);
+        p.set("extra", "1");
+        assert_ne!(p, q);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut p = Properties::new();
+        p.set("f", "1.5");
+        p.set("n", "12");
+        p.set("b", "yes");
+        p.set("junk", "zzz");
+        assert_eq!(p.get_f64("f").unwrap(), Some(1.5));
+        assert_eq!(p.get_u64("n").unwrap(), Some(12));
+        assert_eq!(p.get_bool("b").unwrap(), Some(true));
+        assert_eq!(p.get_f64("absent").unwrap(), None);
+        assert!(p.get_u64("junk").is_err());
+        assert!(p.get_bool("junk").is_err());
+        let msg = p.get_f64("junk").unwrap_err().to_string();
+        assert!(msg.contains("junk"));
+    }
+
+    #[test]
+    fn require_reports_key() {
+        let p = Properties::new();
+        assert_eq!(
+            p.require("seed").unwrap_err(),
+            PropError::Missing("seed".into())
+        );
+    }
+
+    #[test]
+    fn bad_dash_d_argument() {
+        let mut p = Properties::new();
+        assert!(p.apply_args(["-Dnoequals"]).is_err());
+    }
+
+    #[test]
+    fn store_is_sorted_and_stable() {
+        let mut p = Properties::new();
+        p.set("zeta", "1");
+        p.set("alpha", "2");
+        assert_eq!(p.store(), "alpha=2\nzeta=1\n");
+    }
+}

@@ -1,0 +1,278 @@
+//! Experiment reports: everything the tutorial says must accompany a
+//! number, rendered as one Markdown document.
+//!
+//! A [`Report`] collects the hardware/software environment (slides
+//! 149–156), the run protocol ("be aware and document what you do"), the
+//! exact configuration (repeatability), result tables with confidence
+//! intervals (slide 142), and free-form conclusions — then renders a
+//! self-contained document suitable for a paper appendix or a lab
+//! notebook.
+
+use crate::properties::Properties;
+use perfeval_measure::{EnvSpec, SoftwareSpec};
+use perfeval_stats::ci::mean_confidence_interval;
+use perfeval_stats::Summary;
+
+/// A result table: named rows of replicated measurements.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    /// Table caption.
+    pub caption: String,
+    /// Unit of the measurements ("ms", "queries/s").
+    pub unit: String,
+    /// (row label, replicated measurements).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(caption: &str, unit: &str) -> Self {
+        ResultTable {
+            caption: caption.to_owned(),
+            unit: unit.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row of replicated measurements.
+    pub fn row(&mut self, label: &str, measurements: Vec<f64>) {
+        self.rows.push((label.to_owned(), measurements));
+    }
+
+    /// Renders the Markdown table: mean, 95% CI (when replicated), n.
+    pub fn render(&self) -> String {
+        let mut out = format!("**{}** (unit: {})\n\n", self.caption, self.unit);
+        out.push_str("| case | mean | 95% CI | n |\n|---|---|---|---|\n");
+        for (label, values) in &self.rows {
+            let s = Summary::from_slice(values);
+            let ci_text = match mean_confidence_interval(values, 0.95) {
+                Ok(ci) => format!("[{:.3}, {:.3}]", ci.lower, ci.upper),
+                Err(_) => "n/a (unreplicated!)".to_owned(),
+            };
+            out.push_str(&format!(
+                "| {label} | {:.3} | {ci_text} | {} |\n",
+                s.mean(),
+                s.count()
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// True if every row carries at least two replications (the audit
+    /// condition of common mistake #1).
+    pub fn fully_replicated(&self) -> bool {
+        self.rows.iter().all(|(_, v)| v.len() >= 2)
+    }
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Report title.
+    pub title: String,
+    /// What the experiment sets out to show.
+    pub goal: String,
+    /// Hardware environment.
+    pub environment: Option<EnvSpec>,
+    /// Software under test.
+    pub software: Vec<SoftwareSpec>,
+    /// Run protocol description.
+    pub protocol: String,
+    /// Exact configuration.
+    pub config: Option<Properties>,
+    /// Result tables.
+    pub tables: Vec<ResultTable>,
+    /// Free-form analysis / conclusions.
+    pub conclusions: String,
+}
+
+impl Report {
+    /// Starts a report.
+    pub fn new(title: &str, goal: &str) -> Self {
+        Report {
+            title: title.to_owned(),
+            goal: goal.to_owned(),
+            ..Report::default()
+        }
+    }
+
+    /// Attaches the environment.
+    pub fn environment(mut self, env: EnvSpec) -> Self {
+        self.environment = Some(env);
+        self
+    }
+
+    /// Adds a software spec.
+    pub fn software(mut self, sw: SoftwareSpec) -> Self {
+        self.software.push(sw);
+        self
+    }
+
+    /// Sets the protocol description.
+    pub fn protocol(mut self, text: &str) -> Self {
+        self.protocol = text.to_owned();
+        self
+    }
+
+    /// Attaches the configuration.
+    pub fn config(mut self, props: Properties) -> Self {
+        self.config = Some(props);
+        self
+    }
+
+    /// Adds a result table.
+    pub fn table(mut self, table: ResultTable) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Sets the conclusions.
+    pub fn conclusions(mut self, text: &str) -> Self {
+        self.conclusions = text.to_owned();
+        self
+    }
+
+    /// The documentation gaps, by section name — empty means the report
+    /// satisfies the tutorial's documentation contract.
+    pub fn missing_sections(&self) -> Vec<&'static str> {
+        let mut missing = Vec::new();
+        if self.goal.is_empty() {
+            missing.push("goal");
+        }
+        if self.environment.is_none() {
+            missing.push("environment");
+        }
+        if self.software.is_empty() {
+            missing.push("software");
+        }
+        if self.protocol.is_empty() {
+            missing.push("protocol");
+        }
+        if self.config.is_none() {
+            missing.push("config");
+        }
+        if self.tables.is_empty() {
+            missing.push("results");
+        }
+        if !self.tables.iter().all(ResultTable::fully_replicated) {
+            missing.push("replication");
+        }
+        missing
+    }
+
+    /// Renders the Markdown document.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {}\n\n", self.title);
+        out.push_str(&format!("**Goal.** {}\n\n", self.goal));
+        if let Some(env) = &self.environment {
+            out.push_str("## Environment\n\n");
+            out.push_str(&format!("{}\n\n", env.render()));
+        }
+        if !self.software.is_empty() {
+            out.push_str("## Software\n\n");
+            for sw in &self.software {
+                out.push_str(&format!("- {}\n", sw.render()));
+            }
+            out.push('\n');
+        }
+        if !self.protocol.is_empty() {
+            out.push_str("## Protocol\n\n");
+            out.push_str(&format!("{}\n\n", self.protocol));
+        }
+        if let Some(config) = &self.config {
+            out.push_str("## Configuration\n\n```\n");
+            out.push_str(&config.store());
+            out.push_str("```\n\n");
+        }
+        if !self.tables.is_empty() {
+            out.push_str("## Results\n\n");
+            for t in &self.tables {
+                out.push_str(&t.render());
+            }
+        }
+        if !self.conclusions.is_empty() {
+            out.push_str("## Conclusions\n\n");
+            out.push_str(&format!("{}\n", self.conclusions));
+        }
+        let missing = self.missing_sections();
+        if !missing.is_empty() {
+            out.push_str(&format!(
+                "\n> ⚠ incomplete report — missing: {}\n",
+                missing.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_report() -> Report {
+        let mut table = ResultTable::new("Q1 server time", "ms");
+        table.row("hot", vec![3.5, 3.4, 3.6]);
+        table.row("cold", vec![13.2, 13.5, 12.9]);
+        let mut props = Properties::new();
+        props.set("seed", "20080408");
+        props.set("sf", "0.01");
+        Report::new("Hot vs cold Q1", "quantify the buffer-pool effect")
+            .environment(EnvSpec::tutorial_laptop())
+            .software(SoftwareSpec::new(
+                "minidb",
+                "0.1.0",
+                "this repository",
+                "release, OPT engine",
+            ))
+            .protocol("hot: measured last of three consecutive runs; cold: flush before each run")
+            .config(props)
+            .table(table)
+            .conclusions("cold runs are dominated by disk waits.")
+    }
+
+    #[test]
+    fn complete_report_has_no_gaps() {
+        let r = full_report();
+        assert!(r.missing_sections().is_empty());
+        let text = r.render();
+        assert!(text.starts_with("# Hot vs cold Q1"));
+        assert!(text.contains("## Environment"));
+        assert!(text.contains("Pentium"));
+        assert!(text.contains("## Configuration"));
+        assert!(text.contains("seed=20080408"));
+        assert!(text.contains("| hot |"));
+        assert!(text.contains("95% CI"));
+        assert!(!text.contains("incomplete report"));
+    }
+
+    #[test]
+    fn missing_sections_are_reported() {
+        let r = Report::new("t", "");
+        let missing = r.missing_sections();
+        for section in ["goal", "environment", "software", "protocol", "config", "results"] {
+            assert!(missing.contains(&section), "{section}");
+        }
+        assert!(r.render().contains("incomplete report"));
+    }
+
+    #[test]
+    fn unreplicated_rows_flag_the_report() {
+        let mut table = ResultTable::new("t", "ms");
+        table.row("single", vec![1.0]);
+        assert!(!table.fully_replicated());
+        let text = table.render();
+        assert!(text.contains("unreplicated"));
+        let r = full_report().table(table);
+        assert!(r.missing_sections().contains(&"replication"));
+    }
+
+    #[test]
+    fn table_statistics_are_correct() {
+        let mut table = ResultTable::new("t", "ms");
+        table.row("x", vec![10.0, 12.0, 14.0]);
+        let text = table.render();
+        assert!(text.contains("| x | 12.000 |"));
+        assert!(text.contains("| 3 |"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Adaptive replication: run until the confidence interval is tight
+//! enough.
+//!
+//! The tutorial's design chapter asks for the replication degree to be
+//! *chosen*, not defaulted. [`measure_until`] implements the standard
+//! sequential procedure: take a pilot of `min_runs` measurements, then keep
+//! replicating until the relative half-width of the confidence interval on
+//! the mean drops below `target`, or `max_runs` is reached (reported
+//! honestly either way).
+
+use perfeval_stats::ci::{mean_confidence_interval, ConfidenceInterval};
+use perfeval_stats::Summary;
+
+/// Outcome of an adaptive measurement.
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// All measurements taken.
+    pub samples: Vec<f64>,
+    /// Confidence interval on the mean at the stopping point.
+    pub interval: ConfidenceInterval,
+    /// Did the run meet the target, or stop at the budget?
+    pub converged: bool,
+}
+
+impl AdaptiveResult {
+    /// Summary over the samples.
+    pub fn summary(&self) -> Summary {
+        Summary::from_slice(&self.samples)
+    }
+
+    /// Number of replications spent.
+    pub fn runs(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Replicates `workload` until the `level` confidence interval's relative
+/// half-width is at most `target`, bounded by `min_runs ..= max_runs`.
+///
+/// # Panics
+/// Panics unless `2 <= min_runs <= max_runs`, `0 < target`, and
+/// `0 < level < 1`.
+pub fn measure_until(
+    level: f64,
+    target: f64,
+    min_runs: usize,
+    max_runs: usize,
+    mut workload: impl FnMut() -> f64,
+) -> AdaptiveResult {
+    assert!(min_runs >= 2, "need at least 2 runs for a variance estimate");
+    assert!(min_runs <= max_runs, "min_runs must not exceed max_runs");
+    assert!(target > 0.0, "target relative half-width must be positive");
+    assert!(0.0 < level && level < 1.0, "level must be in (0,1)");
+    let mut samples = Vec::with_capacity(min_runs);
+    for _ in 0..min_runs {
+        samples.push(workload());
+    }
+    loop {
+        let interval =
+            mean_confidence_interval(&samples, level).expect("len >= 2 and finite");
+        let converged = interval
+            .relative_half_width()
+            .map(|rhw| rhw <= target)
+            .unwrap_or(false);
+        if converged || samples.len() >= max_runs {
+            return AdaptiveResult {
+                samples,
+                interval,
+                converged,
+            };
+        }
+        samples.push(workload());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfeval_stats::rng::SplitMix64;
+
+    #[test]
+    fn quiet_workload_converges_at_the_pilot() {
+        let mut i = 0.0;
+        let result = measure_until(0.95, 0.05, 3, 100, || {
+            i += 1e-9; // virtually constant
+            10.0 + i
+        });
+        assert!(result.converged);
+        assert_eq!(result.runs(), 3);
+        assert!(result.interval.contains(10.0));
+    }
+
+    #[test]
+    fn noisy_workload_takes_more_runs() {
+        let mut rng = SplitMix64::new(5);
+        let result = measure_until(0.95, 0.02, 3, 500, || {
+            100.0 + rng.next_range_f64(-20.0, 20.0)
+        });
+        assert!(result.converged, "500 runs is plenty for ±20% noise at 2%");
+        assert!(result.runs() > 10, "took only {} runs", result.runs());
+        assert!(result.interval.relative_half_width().unwrap() <= 0.02);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_honestly() {
+        let mut rng = SplitMix64::new(9);
+        let result = measure_until(0.95, 0.0001, 3, 10, || {
+            50.0 + rng.next_range_f64(-25.0, 25.0)
+        });
+        assert!(!result.converged);
+        assert_eq!(result.runs(), 10);
+    }
+
+    #[test]
+    fn tighter_target_needs_more_runs() {
+        let run = |target: f64| {
+            let mut rng = SplitMix64::new(7);
+            measure_until(0.95, target, 3, 10_000, || {
+                100.0 + rng.next_range_f64(-30.0, 30.0)
+            })
+            .runs()
+        };
+        let loose = run(0.10);
+        let tight = run(0.01);
+        assert!(
+            tight > 5 * loose,
+            "1% target ({tight} runs) should dwarf 10% ({loose} runs)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 runs")]
+    fn rejects_tiny_pilot() {
+        let _ = measure_until(0.95, 0.1, 1, 10, || 1.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Timers: the "How to measure?" slide made explicit.
+//!
+//! The tutorial catalogues `/usr/bin/time` (whole process, coarse),
+//! `gettimeofday()` (microseconds, wall clock), and Windows' `timeGetTime()`
+//! (milliseconds, and *"resolution implementation dependent; default can be
+//! as low as 10 milliseconds"*). The lesson: a timer is a measurement
+//! instrument with a resolution and a scope, and you must know both.
+//!
+//! [`Clock`] models that: each implementation documents what it measures
+//! (wall vs. CPU time) and at what resolution. [`QuantizedClock`] wraps any
+//! clock and truncates readings, letting experiments demonstrate — and tests
+//! assert — the quantization artifacts the tutorial warns about.
+
+use std::time::Instant;
+
+/// A monotonic time source reporting nanoseconds since an arbitrary origin.
+pub trait Clock {
+    /// Current reading in nanoseconds.
+    fn now_ns(&self) -> u64;
+
+    /// The granularity of readings in nanoseconds (best effort).
+    fn resolution_ns(&self) -> u64;
+
+    /// Human-readable description of *what* this clock measures — the
+    /// "be aware what you measure" metadata.
+    fn describe(&self) -> &'static str;
+
+    /// Measures the wall of a closure: returns (result, elapsed ns).
+    fn time<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let start = self.now_ns();
+        let out = f();
+        let end = self.now_ns();
+        (out, end.saturating_sub(start))
+    }
+}
+
+/// Wall-clock ("real") time backed by [`std::time::Instant`] — the moral
+/// equivalent of `gettimeofday()`.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock anchored at construction time.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn resolution_ns(&self) -> u64 {
+        1 // Instant is nanosecond-granular on the platforms we target
+    }
+
+    fn describe(&self) -> &'static str {
+        "wall-clock (real) time, ns resolution"
+    }
+}
+
+/// Process CPU ("user" + "system") time, read from `/proc/self/stat` on
+/// Linux — the number `/usr/bin/time` reports as `user`/`sys`.
+///
+/// CPU time excludes time spent blocked on I/O or descheduled, which is why
+/// the tutorial's cold-run table shows user ≈ 2930 ms while real ≈ 13243 ms:
+/// the missing ten seconds were disk waits that only the wall clock sees.
+///
+/// On non-Linux platforms (or if `/proc` is unavailable) readings fall back
+/// to wall-clock time; [`CpuClock::is_native`] reports which you got.
+#[derive(Debug, Clone)]
+pub struct CpuClock {
+    fallback: WallClock,
+    ticks_per_sec: u64,
+    native: bool,
+}
+
+impl CpuClock {
+    /// Creates a CPU clock, probing `/proc/self/stat` availability once.
+    pub fn new() -> Self {
+        let native = read_proc_cpu_ticks().is_some();
+        CpuClock {
+            fallback: WallClock::new(),
+            // Linux exposes utime/stime in clock ticks; USER_HZ is 100 on
+            // every mainstream configuration.
+            ticks_per_sec: 100,
+            native,
+        }
+    }
+
+    /// True if real CPU-time readings are available (Linux with procfs).
+    pub fn is_native(&self) -> bool {
+        self.native
+    }
+}
+
+impl Default for CpuClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads `utime + stime` (in clock ticks) from `/proc/self/stat`.
+fn read_proc_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 is the comm which may contain spaces/parens; skip past the
+    // closing paren, then utime/stime are fields 14/15 (1-based), i.e.
+    // index 11/12 after the paren.
+    let after = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+impl Clock for CpuClock {
+    fn now_ns(&self) -> u64 {
+        match read_proc_cpu_ticks() {
+            Some(ticks) => ticks * (1_000_000_000 / self.ticks_per_sec),
+            None => self.fallback.now_ns(),
+        }
+    }
+
+    fn resolution_ns(&self) -> u64 {
+        if self.native {
+            1_000_000_000 / self.ticks_per_sec // 10 ms at USER_HZ=100
+        } else {
+            1
+        }
+    }
+
+    fn describe(&self) -> &'static str {
+        "process CPU (user+system) time via /proc/self/stat, 10 ms ticks"
+    }
+}
+
+/// Wraps another clock and truncates readings to a fixed resolution —
+/// the `timeGetTime()` default-10 ms pitfall as a first-class object.
+///
+/// ```
+/// use perfeval_measure::clock::{Clock, ManualClock, QuantizedClock};
+/// let inner = ManualClock::new();
+/// inner.advance_ns(12_345_678);
+/// let q = QuantizedClock::new(inner.clone(), 10_000_000); // 10 ms
+/// assert_eq!(q.now_ns(), 10_000_000); // 12.3 ms reads as 10 ms
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedClock<C: Clock> {
+    inner: C,
+    quantum_ns: u64,
+}
+
+impl<C: Clock> QuantizedClock<C> {
+    /// Wraps `inner`, truncating readings to multiples of `quantum_ns`.
+    ///
+    /// # Panics
+    /// Panics if `quantum_ns == 0`.
+    pub fn new(inner: C, quantum_ns: u64) -> Self {
+        assert!(quantum_ns > 0, "quantum must be positive");
+        QuantizedClock { inner, quantum_ns }
+    }
+}
+
+impl<C: Clock> Clock for QuantizedClock<C> {
+    fn now_ns(&self) -> u64 {
+        (self.inner.now_ns() / self.quantum_ns) * self.quantum_ns
+    }
+
+    fn resolution_ns(&self) -> u64 {
+        self.quantum_ns.max(self.inner.resolution_ns())
+    }
+
+    fn describe(&self) -> &'static str {
+        "quantized clock (deliberately coarse resolution)"
+    }
+}
+
+/// A manually advanced clock for tests and simulators. Cloning shares the
+/// underlying time cell, so a simulator can advance the clock that a
+/// measurement harness is reading.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    ns: std::rc::Rc<std::cell::Cell<u64>>,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `delta` nanoseconds.
+    pub fn advance_ns(&self, delta: u64) {
+        self.ns.set(self.ns.get() + delta);
+    }
+
+    /// Sets the absolute reading.
+    pub fn set_ns(&self, ns: u64) {
+        self.ns.set(ns);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.get()
+    }
+
+    fn resolution_ns(&self) -> u64 {
+        1
+    }
+
+    fn describe(&self) -> &'static str {
+        "manual clock (test/simulation driven)"
+    }
+}
+
+/// Convenience: nanoseconds to fractional milliseconds, the unit every
+/// table in the tutorial uses.
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        assert_eq!(c.resolution_ns(), 1);
+    }
+
+    #[test]
+    fn wall_clock_measures_work() {
+        let c = WallClock::new();
+        let (sum, ns) = c.time(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(sum, 4_999_950_000);
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn cpu_clock_probes_procfs() {
+        let c = CpuClock::new();
+        // On the Linux CI machines this runs on, procfs must be available.
+        #[cfg(target_os = "linux")]
+        {
+            assert!(c.is_native());
+            assert_eq!(c.resolution_ns(), 10_000_000);
+        }
+        let _ = c.now_ns(); // must not panic either way
+    }
+
+    #[test]
+    fn cpu_clock_advances_under_cpu_load() {
+        let c = CpuClock::new();
+        if !c.is_native() {
+            return; // nothing to assert on non-Linux
+        }
+        let start = c.now_ns();
+        // Burn enough CPU for a few 10 ms ticks.
+        let mut acc = 0u64;
+        while c.now_ns() - start < 30_000_000 {
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        }
+        assert!(c.now_ns() - start >= 30_000_000);
+    }
+
+    #[test]
+    fn quantized_clock_truncates() {
+        let inner = ManualClock::new();
+        let q = QuantizedClock::new(inner.clone(), 10);
+        inner.set_ns(9);
+        assert_eq!(q.now_ns(), 0);
+        inner.set_ns(10);
+        assert_eq!(q.now_ns(), 10);
+        inner.set_ns(25);
+        assert_eq!(q.now_ns(), 20);
+        assert_eq!(q.resolution_ns(), 10);
+    }
+
+    #[test]
+    fn quantized_clock_loses_short_events() {
+        // The tutorial's pitfall: an 8 ms query measured with a 10 ms timer
+        // can read as zero.
+        let inner = ManualClock::new();
+        let q = QuantizedClock::new(inner.clone(), 10_000_000);
+        let before = q.now_ns();
+        inner.advance_ns(8_000_000); // the "query" takes 8 ms
+        let after = q.now_ns();
+        assert_eq!(after - before, 0, "8 ms event invisible to 10 ms timer");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn quantized_clock_rejects_zero_quantum() {
+        let _ = QuantizedClock::new(ManualClock::new(), 0);
+    }
+
+    #[test]
+    fn manual_clock_shares_state_across_clones() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance_ns(500);
+        assert_eq!(b.now_ns(), 500);
+        b.set_ns(1000);
+        assert_eq!(a.now_ns(), 1000);
+    }
+
+    #[test]
+    fn ns_to_ms_converts() {
+        assert_eq!(ns_to_ms(3_533_000_000), 3533.0);
+        assert_eq!(ns_to_ms(0), 0.0);
+        assert_eq!(ns_to_ms(1_500_000), 1.5);
+    }
+
+    #[test]
+    fn describe_mentions_scope() {
+        assert!(WallClock::new().describe().contains("wall"));
+        assert!(CpuClock::new().describe().contains("CPU"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Named event counters — the software face of hardware performance
+//! counters.
+//!
+//! Slide 47's lesson: wall-clock alone could not explain why a memory-bound
+//! scan did not speed up with a 10× faster CPU; only *cache-hit / cache-miss
+//! / memory-access* counters (VTune, oprofile, perfctr, PAPI, …) revealed
+//! the memory wall. Our `memsim` substrate emits exactly such events into a
+//! [`CounterSet`], and analyses consume them the way the tutorial's CSI
+//! chapter prescribes.
+
+use std::collections::BTreeMap;
+
+/// An ordered map of named `u64` event counters.
+///
+/// `BTreeMap` keeps rendering deterministic — important for golden-file
+/// tests and repeatable reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero first).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All (name, value) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Resets every counter to zero (keeps the names — useful to preserve
+    /// column sets across runs).
+    pub fn reset(&mut self) {
+        for v in self.counters.values_mut() {
+            *v = 0;
+        }
+    }
+
+    /// Merges another counter set into this one by addition.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Ratio of two counters, e.g. miss rate = `ratio("l2_miss",
+    /// "l2_access")`. `None` when the denominator is zero.
+    pub fn ratio(&self, numerator: &str, denominator: &str) -> Option<f64> {
+        let d = self.get(denominator);
+        if d == 0 {
+            None
+        } else {
+            Some(self.get(numerator) as f64 / d as f64)
+        }
+    }
+
+    /// Renders a fixed-width report, one counter per line.
+    pub fn render(&self) -> String {
+        let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name:<width$} {value:>14}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = CounterSet::new();
+        c.add("l1_miss", 10);
+        c.add("l1_miss", 5);
+        c.incr("l1_hit");
+        assert_eq!(c.get("l1_miss"), 15);
+        assert_eq!(c.get("l1_hit"), 1);
+        assert_eq!(c.get("unknown"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut c = CounterSet::new();
+        c.incr("zeta");
+        c.incr("alpha");
+        c.incr("mid");
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn reset_keeps_names() {
+        let mut c = CounterSet::new();
+        c.add("x", 7);
+        c.reset();
+        assert_eq!(c.get("x"), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CounterSet::new();
+        a.add("hits", 10);
+        let mut b = CounterSet::new();
+        b.add("hits", 5);
+        b.add("misses", 2);
+        a.merge(&b);
+        assert_eq!(a.get("hits"), 15);
+        assert_eq!(a.get("misses"), 2);
+    }
+
+    #[test]
+    fn miss_rate_ratio() {
+        let mut c = CounterSet::new();
+        c.add("l2_miss", 25);
+        c.add("l2_access", 100);
+        assert_eq!(c.ratio("l2_miss", "l2_access"), Some(0.25));
+        assert_eq!(c.ratio("l2_miss", "nonexistent"), None);
+    }
+
+    #[test]
+    fn render_is_aligned_and_deterministic() {
+        let mut c = CounterSet::new();
+        c.add("cycles", 123_456);
+        c.add("l1_miss", 42);
+        let r1 = c.render();
+        let r2 = c.to_string();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("cycles"));
+        assert_eq!(r1.lines().count(), 2);
+        // "cycles " padded to width of "l1_miss" (7).
+        assert!(r1.starts_with("cycles "));
+    }
+
+    #[test]
+    fn empty_set() {
+        let c = CounterSet::new();
+        assert!(c.is_empty());
+        assert_eq!(c.render(), "");
+    }
+}

@@ -1,0 +1,283 @@
+//! Environment specification: the Goldilocks problem of slides 149–155.
+//!
+//! *"We use a machine with 3.4 GHz"* is **under-specified** — 3.4 GHz of
+//! what? *`lspci -v`*'s 151 lines are **over-specified** — noise nobody can
+//! act on. The tutorial's recipe for "just right" is:
+//!
+//! > CPU: vendor, model, generation, clock speed, cache size(s).
+//! > Main memory: size. Disk: size & speed. Network: type, speed, topology.
+//!
+//! [`EnvSpec`] is that recipe as a struct; [`EnvSpec::spec_level`] grades a
+//! description, and [`EnvSpec::capture`] fills in what it can from
+//! `/proc/cpuinfo` and `/proc/meminfo` on Linux.
+
+/// How completely an environment is described.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecLevel {
+    /// Missing fields the tutorial deems mandatory (the "3.4 GHz machine").
+    UnderSpecified,
+    /// All mandatory fields present — publishable.
+    Adequate,
+}
+
+/// Hardware environment description at the tutorial's recommended level of
+/// detail.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnvSpec {
+    /// CPU vendor, e.g. "GenuineIntel".
+    pub cpu_vendor: String,
+    /// CPU model name, e.g. "Intel(R) Pentium(R) M processor 1.50GHz".
+    pub cpu_model: String,
+    /// Nominal clock speed in MHz.
+    pub cpu_mhz: f64,
+    /// Cache sizes in KiB, innermost first (e.g. [32, 2048]).
+    pub cache_kib: Vec<u64>,
+    /// Main memory size in MiB.
+    pub ram_mib: u64,
+    /// Disk description, e.g. "120GB laptop ATA @ 5400RPM".
+    pub disk: String,
+    /// Network description, e.g. "1Gb shared Ethernet" (empty if N/A).
+    pub network: String,
+    /// Operating system, e.g. "Linux 6.18".
+    pub os: String,
+}
+
+impl EnvSpec {
+    /// The tutorial's example machine: "1.5 GHz Pentium M (Dothan), 32KB L1
+    /// cache, 2MB L2 cache, 2GB RAM, 5400RPM disk".
+    pub fn tutorial_laptop() -> Self {
+        EnvSpec {
+            cpu_vendor: "GenuineIntel".into(),
+            cpu_model: "Intel(R) Pentium(R) M processor 1.50GHz (Dothan)".into(),
+            cpu_mhz: 1500.0,
+            cache_kib: vec![32, 2048],
+            ram_mib: 2048,
+            disk: "120GB Laptop ATA disk @ 5400RPM".into(),
+            network: String::new(),
+            os: "Linux 2.6".into(),
+        }
+    }
+
+    /// Captures what it can from the running Linux system; missing pieces
+    /// stay empty (and will be flagged by [`EnvSpec::spec_level`], prompting
+    /// the experimenter to fill them in — disks and networks are not
+    /// reliably introspectable).
+    pub fn capture() -> Self {
+        let mut spec = EnvSpec::default();
+        if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+            for line in cpuinfo.lines() {
+                let Some((key, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let key = key.trim();
+                let value = value.trim();
+                match key {
+                    "vendor_id" if spec.cpu_vendor.is_empty() => {
+                        spec.cpu_vendor = value.to_owned();
+                    }
+                    "model name" if spec.cpu_model.is_empty() => {
+                        spec.cpu_model = value.to_owned();
+                    }
+                    "cpu MHz" if spec.cpu_mhz == 0.0 => {
+                        spec.cpu_mhz = value.parse().unwrap_or(0.0);
+                    }
+                    "cache size" if spec.cache_kib.is_empty() => {
+                        // Format: "2048 KB"
+                        if let Some(kb) = value.split_whitespace().next() {
+                            if let Ok(kb) = kb.parse::<u64>() {
+                                spec.cache_kib.push(kb);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") {
+            for line in meminfo.lines() {
+                if let Some(rest) = line.strip_prefix("MemTotal:") {
+                    if let Some(kb) = rest.split_whitespace().next() {
+                        spec.ram_mib = kb.parse::<u64>().unwrap_or(0) / 1024;
+                    }
+                    break;
+                }
+            }
+        }
+        if let Ok(osrel) = std::fs::read_to_string("/proc/sys/kernel/osrelease") {
+            spec.os = format!("Linux {}", osrel.trim());
+        }
+        spec
+    }
+
+    /// Grades the description against the tutorial's mandatory list.
+    /// `network` is optional (single-machine experiments have none).
+    pub fn spec_level(&self) -> SpecLevel {
+        let mandatory_present = !self.cpu_model.is_empty()
+            && self.cpu_mhz > 0.0
+            && !self.cache_kib.is_empty()
+            && self.ram_mib > 0
+            && !self.disk.is_empty()
+            && !self.os.is_empty();
+        if mandatory_present {
+            SpecLevel::Adequate
+        } else {
+            SpecLevel::UnderSpecified
+        }
+    }
+
+    /// The fields still missing for an adequate specification.
+    pub fn missing_fields(&self) -> Vec<&'static str> {
+        let mut missing = Vec::new();
+        if self.cpu_model.is_empty() {
+            missing.push("cpu_model");
+        }
+        if self.cpu_mhz <= 0.0 {
+            missing.push("cpu_mhz");
+        }
+        if self.cache_kib.is_empty() {
+            missing.push("cache_kib");
+        }
+        if self.ram_mib == 0 {
+            missing.push("ram_mib");
+        }
+        if self.disk.is_empty() {
+            missing.push("disk");
+        }
+        if self.os.is_empty() {
+            missing.push("os");
+        }
+        missing
+    }
+
+    /// Renders the paper-ready environment paragraph.
+    pub fn render(&self) -> String {
+        let caches = self
+            .cache_kib
+            .iter()
+            .enumerate()
+            .map(|(i, kb)| format!("L{} {} KiB", i + 1, kb))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let disk = if self.disk.is_empty() {
+            "(unspecified)"
+        } else {
+            &self.disk
+        };
+        let mut out = format!(
+            "CPU: {} ({:.0} MHz); caches: {}; RAM: {} MiB; disk: {}; OS: {}",
+            self.cpu_model, self.cpu_mhz, caches, self.ram_mib, disk, self.os
+        );
+        if !self.network.is_empty() {
+            out.push_str(&format!("; network: {}", self.network));
+        }
+        out
+    }
+}
+
+/// Software environment: "product names, exact version numbers, and/or
+/// sources where obtained from" (slide 156).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftwareSpec {
+    /// Product name, e.g. "MonetDB/SQL".
+    pub name: String,
+    /// Exact version, e.g. "v5.5.0/2.23.0".
+    pub version: String,
+    /// Where it was obtained (URL, package, commit).
+    pub source: String,
+    /// Build configuration that affects performance (the DBG/OPT trap):
+    /// compiler flags, tuning knobs.
+    pub build_config: String,
+}
+
+impl SoftwareSpec {
+    /// Creates a software spec.
+    pub fn new(name: &str, version: &str, source: &str, build_config: &str) -> Self {
+        SoftwareSpec {
+            name: name.to_owned(),
+            version: version.to_owned(),
+            source: source.to_owned(),
+            build_config: build_config.to_owned(),
+        }
+    }
+
+    /// True if the version string looks exact (contains a digit) — "latest"
+    /// or "recent" do not satisfy repeatability.
+    pub fn has_exact_version(&self) -> bool {
+        self.version.chars().any(|c| c.is_ascii_digit())
+    }
+
+    /// Renders the one-line software citation.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} (from {}; built with {})",
+            self.name, self.version, self.source, self.build_config
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tutorial_laptop_is_adequate() {
+        let spec = EnvSpec::tutorial_laptop();
+        assert_eq!(spec.spec_level(), SpecLevel::Adequate);
+        assert!(spec.missing_fields().is_empty());
+        let text = spec.render();
+        assert!(text.contains("Pentium"));
+        assert!(text.contains("L2 2048 KiB"));
+        assert!(text.contains("5400RPM"));
+    }
+
+    #[test]
+    fn bare_clock_speed_is_underspecified() {
+        // "We use a machine with 3.4 GHz."
+        let spec = EnvSpec {
+            cpu_mhz: 3400.0,
+            ..EnvSpec::default()
+        };
+        assert_eq!(spec.spec_level(), SpecLevel::UnderSpecified);
+        let missing = spec.missing_fields();
+        assert!(missing.contains(&"cpu_model"));
+        assert!(missing.contains(&"disk"));
+        assert!(!missing.contains(&"cpu_mhz"));
+    }
+
+    #[test]
+    fn capture_reads_procfs_on_linux() {
+        let spec = EnvSpec::capture();
+        #[cfg(target_os = "linux")]
+        {
+            assert!(!spec.cpu_model.is_empty(), "cpuinfo should give a model");
+            assert!(spec.ram_mib > 0, "meminfo should give RAM");
+            assert!(spec.os.starts_with("Linux"));
+        }
+        // Captured spec is typically still under-specified (no disk info) —
+        // by design: the experimenter must describe the disk.
+        let _ = spec.spec_level();
+    }
+
+    #[test]
+    fn network_is_optional_but_rendered_when_present() {
+        let mut spec = EnvSpec::tutorial_laptop();
+        assert!(!spec.render().contains("network"));
+        spec.network = "1Gb shared Ethernet".into();
+        assert_eq!(spec.spec_level(), SpecLevel::Adequate);
+        assert!(spec.render().contains("1Gb shared Ethernet"));
+    }
+
+    #[test]
+    fn software_spec_versions() {
+        let good = SoftwareSpec::new(
+            "MonetDB/SQL",
+            "v5.5.0/2.23.0",
+            "monetdb.org",
+            "--disable-debug --enable-optimize",
+        );
+        assert!(good.has_exact_version());
+        assert!(good.render().contains("v5.5.0"));
+        let bad = SoftwareSpec::new("MySQL", "latest", "apt", "default");
+        assert!(!bad.has_exact_version());
+    }
+}

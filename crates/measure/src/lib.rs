@@ -1,0 +1,36 @@
+//! # perfeval-measure
+//!
+//! Measurement substrate: *what* to measure, *how* to measure it, and *how
+//! to run* — the tutorial's planning chapter as a library.
+//!
+//! * [`clock`] — the "which timer?" question (slide 27). A [`clock::Clock`]
+//!   abstraction with wall-clock, process-CPU ("user") time, a quantized
+//!   clock reproducing the Windows `timeGetTime` 10 ms-resolution pitfall,
+//!   and a manual clock for simulators and tests.
+//! * [`protocol`] — hot vs. cold runs, warmup, replication, and the
+//!   "measured last of three consecutive runs" policy (slides 30–36).
+//! * [`sample`] — measurement records with per-phase breakdown (the
+//!   `mclient -t` style `Trans/Shred/Query/Print` output of slide 29) and
+//!   derived metrics: throughput, speedup, scale-up.
+//! * [`env`] — hardware/software environment capture with the
+//!   under-/over-specification check of slides 149–155: report CPU vendor +
+//!   model + clock + caches + RAM + disk + network, not "a machine with
+//!   3.4 GHz" and not 151 lines of `lspci -v`.
+//! * [`counters`] — named event counters, the software face of "hardware
+//!   performance counters" (filled in by the `memsim` simulator).
+#![warn(missing_docs)]
+
+
+pub mod adaptive;
+pub mod clock;
+pub mod counters;
+pub mod env;
+pub mod protocol;
+pub mod sample;
+
+pub use adaptive::{measure_until, AdaptiveResult};
+pub use clock::{Clock, CpuClock, ManualClock, QuantizedClock, WallClock};
+pub use counters::CounterSet;
+pub use env::{EnvSpec, SoftwareSpec, SpecLevel};
+pub use protocol::{CacheState, KeepPolicy, RunProtocol, RunResult};
+pub use sample::{Measurement, PhaseTimer};

@@ -1,0 +1,338 @@
+//! Run protocols: hot vs. cold, warmup, replication.
+//!
+//! Slide 32 gives the tutorial's only formal-ish definitions:
+//!
+//! > **Cold run** — a run of the query right after a DBMS is started and no
+//! > (benchmark-relevant) data is preloaded into the system's main memory
+//! > […] achieved via a system reboot or by running an application that
+//! > accesses sufficient (benchmark-irrelevant) data to flush caches.
+//! >
+//! > **Hot run** — a run such that as much (query-relevant) data is
+//! > available as close to the CPU as possible […] achieved by running the
+//! > query (at least) once before the actual measured run starts.
+//!
+//! [`RunProtocol`] encodes the choice, plus *how many* measured replications
+//! to take and which to keep — including the tables' "measured last of three
+//! consecutive runs" policy. Crucially, the protocol is part of the result
+//! ([`RunResult::protocol_description`]): *"Be aware and document what you
+//! do / choose."*
+
+use crate::sample::Measurement;
+
+/// The memory state a measured run starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// Caches flushed before *every* measured run (reboot-equivalent).
+    Cold,
+    /// Warmup runs executed first so data is resident.
+    Hot,
+}
+
+impl std::fmt::Display for CacheState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheState::Cold => "cold",
+            CacheState::Hot => "hot",
+        })
+    }
+}
+
+/// Which measured replications enter the reported statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepPolicy {
+    /// Keep every measured replication.
+    All,
+    /// Keep only the last one — the tutorial's "measured last of three
+    /// consecutive runs".
+    Last,
+    /// Keep the last `n`.
+    LastN(usize),
+}
+
+/// A fully specified run protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProtocol {
+    /// Hot or cold runs.
+    pub state: CacheState,
+    /// Number of unmeasured warmup runs (only meaningful for hot runs;
+    /// forced to 0 for cold runs).
+    pub warmup: usize,
+    /// Number of measured replications.
+    pub replications: usize,
+    /// Which replications to keep.
+    pub keep: KeepPolicy,
+}
+
+impl RunProtocol {
+    /// The tutorial's table protocol: hot, "measured last of three
+    /// consecutive runs" (two warmups, one kept measurement — but we measure
+    /// all three and keep the last, which is equivalent and records more).
+    pub fn last_of_three_hot() -> Self {
+        RunProtocol {
+            state: CacheState::Hot,
+            warmup: 0,
+            replications: 3,
+            keep: KeepPolicy::Last,
+        }
+    }
+
+    /// A cold protocol: flush before each of `replications` measured runs.
+    pub fn cold(replications: usize) -> Self {
+        RunProtocol {
+            state: CacheState::Cold,
+            warmup: 0,
+            replications,
+            keep: KeepPolicy::All,
+        }
+    }
+
+    /// A hot protocol with explicit warmup and replication counts, keeping
+    /// all measured runs (the statistically preferable default).
+    pub fn hot(warmup: usize, replications: usize) -> Self {
+        RunProtocol {
+            state: CacheState::Hot,
+            warmup,
+            replications,
+            keep: KeepPolicy::All,
+        }
+    }
+
+    /// Executes the protocol.
+    ///
+    /// * `flush` — invoked before every measured run when cold (the
+    ///   reboot / cache-flusher equivalent); invoked once before the first
+    ///   warmup when hot, so the first warmup starts from a defined state.
+    /// * `run` — executes the workload once and returns its measurement.
+    ///
+    /// # Panics
+    /// Panics if `replications == 0`.
+    pub fn execute(
+        &self,
+        mut flush: impl FnMut(),
+        mut run: impl FnMut() -> Measurement,
+    ) -> RunResult {
+        assert!(self.replications > 0, "protocol needs >= 1 replication");
+        let mut measured = Vec::with_capacity(self.replications);
+        match self.state {
+            CacheState::Cold => {
+                for _ in 0..self.replications {
+                    flush();
+                    measured.push(run());
+                }
+            }
+            CacheState::Hot => {
+                flush();
+                for _ in 0..self.warmup {
+                    let _ = run(); // warmups discarded
+                }
+                for _ in 0..self.replications {
+                    measured.push(run());
+                }
+            }
+        }
+        let kept: Vec<Measurement> = match self.keep {
+            KeepPolicy::All => measured.clone(),
+            KeepPolicy::Last => vec![measured.last().expect("replications >= 1").clone()],
+            KeepPolicy::LastN(n) => {
+                let skip = measured.len().saturating_sub(n.max(1));
+                measured[skip..].to_vec()
+            }
+        };
+        RunResult {
+            protocol: *self,
+            all: measured,
+            kept,
+        }
+    }
+
+    /// One-line description for documentation/output headers.
+    pub fn describe(&self) -> String {
+        let keep = match self.keep {
+            KeepPolicy::All => "all kept".to_owned(),
+            KeepPolicy::Last => "last kept".to_owned(),
+            KeepPolicy::LastN(n) => format!("last {n} kept"),
+        };
+        format!(
+            "{} runs: {} warmup(s), {} measured, {}",
+            self.state, self.warmup, self.replications, keep
+        )
+    }
+}
+
+/// Output of executing a [`RunProtocol`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The protocol that produced this result (self-documentation).
+    pub protocol: RunProtocol,
+    /// Every measured replication, in execution order.
+    pub all: Vec<Measurement>,
+    /// The replications selected by the keep policy.
+    pub kept: Vec<Measurement>,
+}
+
+impl RunResult {
+    /// Total-time values (ms) of the kept replications.
+    pub fn kept_totals(&self) -> Vec<f64> {
+        self.kept.iter().map(|m| m.total_ms()).collect()
+    }
+
+    /// Mean of the kept totals.
+    pub fn mean_total_ms(&self) -> f64 {
+        let totals = self.kept_totals();
+        totals.iter().sum::<f64>() / totals.len() as f64
+    }
+
+    /// The documentation line: protocol description for inclusion next to
+    /// any reported number.
+    pub fn protocol_description(&self) -> String {
+        self.protocol.describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake system whose run time drops after the first access (cache
+    /// warming) and resets when flushed.
+    struct FakeSystem {
+        warm: bool,
+        flushes: usize,
+        runs: usize,
+    }
+
+    impl FakeSystem {
+        fn new() -> Self {
+            FakeSystem {
+                warm: false,
+                flushes: 0,
+                runs: 0,
+            }
+        }
+
+        fn flush(&mut self) {
+            self.warm = false;
+            self.flushes += 1;
+        }
+
+        fn run(&mut self) -> Measurement {
+            self.runs += 1;
+            let ms = if self.warm { 100.0 } else { 1000.0 };
+            self.warm = true;
+            Measurement::total(ms)
+        }
+    }
+
+    #[test]
+    fn cold_protocol_flushes_before_every_run() {
+        let sys = std::cell::RefCell::new(FakeSystem::new());
+        let result = RunProtocol::cold(3).execute(
+            || sys.borrow_mut().flush(),
+            || sys.borrow_mut().run(),
+        );
+        assert_eq!(sys.borrow().flushes, 3);
+        assert_eq!(result.kept_totals(), vec![1000.0, 1000.0, 1000.0]);
+    }
+
+    #[test]
+    fn hot_protocol_warms_up_first() {
+        let sys = std::cell::RefCell::new(FakeSystem::new());
+        let result = RunProtocol::hot(1, 3).execute(
+            || sys.borrow_mut().flush(),
+            || sys.borrow_mut().run(),
+        );
+        // 1 warmup (cold, discarded) + 3 measured (all hot).
+        assert_eq!(sys.borrow().runs, 4);
+        assert_eq!(result.kept_totals(), vec![100.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn last_of_three_keeps_only_final_run() {
+        let sys = std::cell::RefCell::new(FakeSystem::new());
+        let result = RunProtocol::last_of_three_hot().execute(
+            || sys.borrow_mut().flush(),
+            || sys.borrow_mut().run(),
+        );
+        // First measured run is cold (1000), the last two hot (100);
+        // only the final hot run is kept.
+        assert_eq!(result.all.len(), 3);
+        assert_eq!(result.kept_totals(), vec![100.0]);
+        assert_eq!(result.mean_total_ms(), 100.0);
+    }
+
+    #[test]
+    fn hot_and_cold_differ_like_the_tutorial_table() {
+        // The whole point of slide 33: same query, wildly different numbers.
+        let sys = std::cell::RefCell::new(FakeSystem::new());
+        let cold = RunProtocol::cold(1).execute(
+            || sys.borrow_mut().flush(),
+            || sys.borrow_mut().run(),
+        );
+        let sys2 = std::cell::RefCell::new(FakeSystem::new());
+        let hot = RunProtocol::hot(1, 1).execute(
+            || sys2.borrow_mut().flush(),
+            || sys2.borrow_mut().run(),
+        );
+        assert!(cold.mean_total_ms() > 5.0 * hot.mean_total_ms());
+    }
+
+    #[test]
+    fn keep_last_n() {
+        let mut i = 0.0;
+        let proto = RunProtocol {
+            state: CacheState::Hot,
+            warmup: 0,
+            replications: 5,
+            keep: KeepPolicy::LastN(2),
+        };
+        let result = proto.execute(
+            || {},
+            || {
+                i += 1.0;
+                Measurement::total(i)
+            },
+        );
+        assert_eq!(result.kept_totals(), vec![4.0, 5.0]);
+        assert_eq!(result.all.len(), 5);
+    }
+
+    #[test]
+    fn keep_last_n_larger_than_replications() {
+        let proto = RunProtocol {
+            state: CacheState::Hot,
+            warmup: 0,
+            replications: 2,
+            keep: KeepPolicy::LastN(10),
+        };
+        let result = proto.execute(|| {}, || Measurement::total(1.0));
+        assert_eq!(result.kept.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol needs >= 1 replication")]
+    fn zero_replications_panics() {
+        let proto = RunProtocol {
+            state: CacheState::Hot,
+            warmup: 0,
+            replications: 0,
+            keep: KeepPolicy::All,
+        };
+        let _ = proto.execute(|| {}, || Measurement::total(1.0));
+    }
+
+    #[test]
+    fn describe_documents_the_choice() {
+        let d = RunProtocol::last_of_three_hot().describe();
+        assert!(d.contains("hot"));
+        assert!(d.contains("3 measured"));
+        assert!(d.contains("last kept"));
+        let d = RunProtocol::cold(5).describe();
+        assert!(d.contains("cold"));
+    }
+
+    #[test]
+    fn display_cache_state() {
+        assert_eq!(CacheState::Cold.to_string(), "cold");
+        assert_eq!(CacheState::Hot.to_string(), "hot");
+    }
+}

@@ -1,0 +1,221 @@
+//! Measurement records and derived metrics.
+//!
+//! A [`Measurement`] is one timed run, optionally broken into named phases —
+//! the shape of MonetDB's `mclient -t` output on slide 29:
+//!
+//! ```text
+//! Trans 11.626 msec
+//! Shred  0.000 msec
+//! Query  6.462 msec
+//! Print  1.934 msec
+//! ```
+//!
+//! The derived metrics (`throughput`, `speedup`, `scaleup`) are the "What to
+//! measure?" basics of slide 22.
+
+/// One timed run with optional per-phase breakdown (all times in
+/// milliseconds, the tutorial's universal unit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Ordered (phase name, duration ms) pairs.
+    phases: Vec<(String, f64)>,
+}
+
+impl Measurement {
+    /// Creates a single-phase measurement named `"total"`.
+    pub fn total(ms: f64) -> Self {
+        Measurement {
+            phases: vec![("total".to_owned(), ms)],
+        }
+    }
+
+    /// Creates a measurement from explicit phases.
+    pub fn from_phases(phases: Vec<(String, f64)>) -> Self {
+        Measurement { phases }
+    }
+
+    /// Total duration: the sum of all phases.
+    pub fn total_ms(&self) -> f64 {
+        self.phases.iter().map(|(_, ms)| ms).sum()
+    }
+
+    /// Duration of a named phase, if present.
+    pub fn phase_ms(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ms)| *ms)
+    }
+
+    /// All phases in order.
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
+    /// Renders the `mclient -t` style breakdown.
+    pub fn render(&self) -> String {
+        let width = self
+            .phases
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, ms) in &self.phases {
+            out.push_str(&format!("{name:<width$} {ms:10.3} msec\n"));
+        }
+        out
+    }
+}
+
+/// Accumulates named phases while a run executes, producing a
+/// [`Measurement`]. Phase times are supplied by any
+/// [`Clock`](crate::clock::Clock) via [`PhaseTimer::record`].
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, f64)>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty phase timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed phase. Repeated names accumulate into the same
+    /// phase (useful for per-operator accounting across a loop).
+    pub fn record(&mut self, name: &str, ms: f64) {
+        if let Some(slot) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            slot.1 += ms;
+        } else {
+            self.phases.push((name.to_owned(), ms));
+        }
+    }
+
+    /// Finishes, yielding the measurement.
+    pub fn finish(self) -> Measurement {
+        Measurement::from_phases(self.phases)
+    }
+}
+
+/// Throughput in operations per second given `ops` completed in
+/// `elapsed_ms`.
+///
+/// # Panics
+/// Panics if `elapsed_ms <= 0`.
+pub fn throughput(ops: u64, elapsed_ms: f64) -> f64 {
+    assert!(elapsed_ms > 0.0, "throughput requires positive elapsed time");
+    ops as f64 / (elapsed_ms / 1000.0)
+}
+
+/// Speedup of `new` over `old` on a lower-is-better metric:
+/// `old / new` (2.0 = twice as fast).
+///
+/// # Panics
+/// Panics if `new_ms <= 0`.
+pub fn speedup(old_ms: f64, new_ms: f64) -> f64 {
+    assert!(new_ms > 0.0, "speedup requires positive new time");
+    old_ms / new_ms
+}
+
+/// Scale-up efficiency: when the problem grows by `scale_factor` and time
+/// grows from `base_ms` to `scaled_ms`, perfect linear scale-up gives 1.0;
+/// values below 1.0 mean super-linear cost growth.
+///
+/// # Panics
+/// Panics if any argument is non-positive.
+pub fn scaleup_efficiency(base_ms: f64, scaled_ms: f64, scale_factor: f64) -> f64 {
+    assert!(
+        base_ms > 0.0 && scaled_ms > 0.0 && scale_factor > 0.0,
+        "scaleup_efficiency requires positive inputs"
+    );
+    (base_ms * scale_factor) / scaled_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_measurement() {
+        let m = Measurement::total(3533.0);
+        assert_eq!(m.total_ms(), 3533.0);
+        assert_eq!(m.phase_ms("total"), Some(3533.0));
+        assert_eq!(m.phase_ms("query"), None);
+    }
+
+    #[test]
+    fn phase_breakdown_sums() {
+        // Slide 29's actual numbers.
+        let m = Measurement::from_phases(vec![
+            ("Trans".into(), 11.626),
+            ("Shred".into(), 0.0),
+            ("Query".into(), 6.462),
+            ("Print".into(), 1.934),
+        ]);
+        assert!((m.total_ms() - 20.022).abs() < 1e-9);
+        assert_eq!(m.phase_ms("Query"), Some(6.462));
+    }
+
+    #[test]
+    fn render_looks_like_mclient() {
+        let m = Measurement::from_phases(vec![
+            ("Trans".into(), 11.626),
+            ("Query".into(), 6.462),
+        ]);
+        let text = m.render();
+        assert!(text.contains("Trans"));
+        assert!(text.contains("msec"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn phase_timer_accumulates_repeats() {
+        let mut t = PhaseTimer::new();
+        t.record("scan", 1.0);
+        t.record("join", 2.0);
+        t.record("scan", 0.5);
+        let m = t.finish();
+        assert_eq!(m.phase_ms("scan"), Some(1.5));
+        assert_eq!(m.phase_ms("join"), Some(2.0));
+        assert_eq!(m.phases().len(), 2);
+        // Order of first appearance preserved.
+        assert_eq!(m.phases()[0].0, "scan");
+    }
+
+    #[test]
+    fn throughput_math() {
+        assert_eq!(throughput(100, 1000.0), 100.0);
+        assert_eq!(throughput(50, 500.0), 100.0);
+        assert_eq!(throughput(0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive elapsed")]
+    fn throughput_rejects_zero_time() {
+        throughput(1, 0.0);
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedup(200.0, 100.0), 2.0);
+        assert_eq!(speedup(100.0, 200.0), 0.5);
+    }
+
+    #[test]
+    fn scaleup_efficiency_math() {
+        // 10x data, 10x time -> perfect linear scale-up.
+        assert!((scaleup_efficiency(100.0, 1000.0, 10.0) - 1.0).abs() < 1e-12);
+        // 10x data, 20x time -> efficiency 0.5.
+        assert!((scaleup_efficiency(100.0, 2000.0, 10.0) - 0.5).abs() < 1e-12);
+        // Sub-linear growth (e.g. fixed overheads amortized) -> >1.
+        assert!(scaleup_efficiency(100.0, 500.0, 10.0) > 1.0);
+    }
+
+    #[test]
+    fn empty_measurement_total_is_zero() {
+        let m = Measurement::from_phases(vec![]);
+        assert_eq!(m.total_ms(), 0.0);
+        assert_eq!(m.render(), "");
+    }
+}

@@ -1,0 +1,296 @@
+//! A set-associative LRU cache simulator.
+//!
+//! This is the machinery behind the "hardware performance counters" the
+//! tutorial tells you to reach for (VTune, oprofile, perfctr, PAPI, …):
+//! every simulated memory access is classified as a hit or a miss, and the
+//! counts are exposed so analyses can dissect CPU versus memory cost.
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache-line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set); 1 = direct mapped.
+    pub ways: u64,
+    /// Hit latency in nanoseconds.
+    pub hit_ns: f64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Validates invariants; returns a descriptive error string on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size {} not a power of two", self.line_bytes));
+        }
+        if self.ways == 0 {
+            return Err("associativity must be >= 1".into());
+        }
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes * self.ways) {
+            return Err(format!(
+                "size {} not divisible by line*ways = {}",
+                self.size_bytes,
+                self.line_bytes * self.ways
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// Per-set vectors of line tags, most-recently-used last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let sets = vec![Vec::with_capacity(config.ways as usize); config.sets() as usize];
+        CacheSim {
+            config,
+            sets,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Simulates an access to byte address `addr`. Returns `true` on hit.
+    /// On a miss the line is installed (allocate-on-miss, evicting LRU).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes;
+        let set_count = self.sets.len() as u64;
+        let set_idx = (line % set_count) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&tag| tag == line) {
+            // Hit: move to MRU position.
+            let tag = set.remove(pos);
+            set.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            // Miss: install, evicting LRU (front) if full.
+            if set.len() == self.config.ways as usize {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; 0 when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Invalidates all contents and zeroes the counters — the simulator's
+    /// "reboot" (the cold-run state of slide 32).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Zeroes the counters but keeps contents — start measuring a hot cache.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> CacheSim {
+        // 4 lines of 64 B, 2-way: 2 sets.
+        CacheSim::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            hit_ns: 1.0,
+        })
+    }
+
+    #[test]
+    fn sets_computed_correctly() {
+        let c = small_cache();
+        assert_eq!(c.config().sets(), 2);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small_cache();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers, 2 sets).
+        c.access(0); // line 0 -> set0 [0]
+        c.access(128); // line 2 -> set0 [0,2]
+        c.access(256); // line 4 -> evicts line 0 -> set0 [2,4]
+        assert!(!c.access(0), "line 0 must have been evicted");
+        assert!(c.access(256), "line 4 must still be resident");
+    }
+
+    #[test]
+    fn lru_updates_on_hit() {
+        let mut c = small_cache();
+        c.access(0); // set0 [0]
+        c.access(128); // set0 [0,2]
+        c.access(0); // hit: set0 [2,0]
+        c.access(256); // evicts line 2 (LRU) -> [0,4]
+        assert!(c.access(0), "line 0 was MRU, must survive");
+        assert!(!c.access(128), "line 2 was LRU, must be evicted");
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = small_cache();
+        c.access(0); // line 0 -> set 0
+        c.access(64); // line 1 -> set 1
+        c.access(192); // line 3 -> set 1
+        c.access(320); // line 5 -> set 1, evicts line 1
+        assert!(c.access(0), "set 0 line untouched by set 1 traffic");
+    }
+
+    #[test]
+    fn sequential_scan_miss_rate_matches_line_size() {
+        // 8-byte elements, 64-byte lines: 1 miss per 8 accesses on a large
+        // scan (footprint >> cache).
+        let mut c = CacheSim::new(CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 4,
+            hit_ns: 1.0,
+        });
+        let n = 100_000u64;
+        for i in 0..n {
+            c.access(i * 8);
+        }
+        let expect = 1.0 / 8.0;
+        assert!(
+            (c.miss_rate() - expect).abs() < 0.001,
+            "miss rate {} != {expect}",
+            c.miss_rate()
+        );
+    }
+
+    #[test]
+    fn repeated_small_working_set_all_hits() {
+        let mut c = small_cache();
+        c.access(0);
+        c.access(64);
+        c.reset_counters();
+        for _ in 0..100 {
+            c.access(0);
+            c.access(64);
+        }
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hits(), 200);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn flush_restores_cold_state() {
+        let mut c = small_cache();
+        c.access(0);
+        c.access(0);
+        c.flush();
+        assert_eq!(c.accesses(), 0);
+        assert!(!c.access(0), "post-flush access must miss");
+    }
+
+    #[test]
+    fn miss_rate_empty_cache_is_zero() {
+        let c = small_cache();
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 60, // not a power of two
+            ways: 1,
+            hit_ns: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 100, // not divisible by 64
+            line_bytes: 64,
+            ways: 1,
+            hit_ns: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 64,
+            ways: 0,
+            hit_ns: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn new_panics_on_invalid() {
+        let _ = CacheSim::new(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 64,
+            ways: 1,
+            hit_ns: 1.0,
+        });
+    }
+}

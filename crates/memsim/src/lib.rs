@@ -1,0 +1,43 @@
+//! # memsim
+//!
+//! A parameterized memory-hierarchy and I/O simulator — the hardware
+//! substrate for reproducing the tutorial's hardware-bound experiments.
+//!
+//! The paper's most striking figure (slides 46/51) runs `SELECT MAX(column)`
+//! over an in-memory table on five machines spanning 1992–2000 and shows
+//! that a 10× CPU clock improvement yields *almost no* speedup: the scan is
+//! memory-bound, and only hardware performance counters reveal it. We cannot
+//! ship a 1992 Sun LX, so this crate simulates one — and the other four —
+//! with enough fidelity to reproduce the figure's shape:
+//!
+//! * [`cache::CacheSim`] — a set-associative LRU cache simulator with
+//!   hit/miss counters (the "hardware performance counters").
+//! * [`hierarchy::MemoryHierarchy`] — multi-level hierarchy + DRAM, with
+//!   per-access latency accounting in nanoseconds.
+//! * [`machine`] — calibrated presets: Sun LX (1992) … Origin2000 (2000),
+//!   the tutorial's 2005 Pentium M laptop, and a modern reference box.
+//! * [`scan`] — the `SELECT MAX` micro-benchmark: per-iteration cost split
+//!   into CPU and memory components, exactly what the figure plots.
+//! * [`disk`] — a seek+transfer disk model and an LRU buffer pool whose
+//!   simulated wait time gives cold runs their characteristic
+//!   real ≫ user gap (slide 33).
+//!
+//! Simulated time is kept separate from wall-clock time on purpose: a
+//! workload runs for real (CPU/user time is genuinely consumed) while its
+//! *I/O waits* and *historical-machine costs* are accounted in simulated
+//! nanoseconds. Experiments then report both, reproducing the tutorial's
+//! user-vs-real lesson deterministically.
+#![warn(missing_docs)]
+
+
+pub mod cache;
+pub mod disk;
+pub mod hierarchy;
+pub mod machine;
+pub mod scan;
+
+pub use cache::CacheSim;
+pub use disk::{BufferPool, Disk, PageId};
+pub use hierarchy::{AccessOutcome, MemoryHierarchy};
+pub use machine::MachineSpec;
+pub use scan::{scan_cost, ScanCost};

@@ -1,0 +1,313 @@
+//! Machine presets — the five historical machines of the memory-wall figure
+//! plus the tutorial's 2005 laptop and a modern reference.
+//!
+//! Calibration targets the *shape* of slide 46: per-iteration scan cost is
+//! dominated by CPU work on the 1992 Sun LX (50 MHz) and by memory latency
+//! on everything after ~1996, so that a 10× clock improvement buys almost
+//! nothing. Absolute nanosecond values are plausible for the era but are not
+//! measurements of the original hardware.
+
+use crate::cache::CacheConfig;
+use crate::disk::Disk;
+use crate::hierarchy::MemoryHierarchy;
+
+/// A complete machine description for simulation.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Marketing-level system name ("Sun LX", "DEC Alpha", …).
+    pub system: String,
+    /// CPU type ("Sparc", "UltraSparcII", …).
+    pub cpu_type: String,
+    /// Year of introduction.
+    pub year: u32,
+    /// Clock speed in MHz.
+    pub cpu_mhz: f64,
+    /// Average cycles per (non-memory) instruction.
+    pub cpi: f64,
+    /// Cache levels, innermost first.
+    pub caches: Vec<CacheConfig>,
+    /// DRAM access latency in ns.
+    pub dram_ns: f64,
+    /// Attached disk model.
+    pub disk: Disk,
+}
+
+impl MachineSpec {
+    /// Cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / self.cpu_mhz
+    }
+
+    /// Cost in ns of executing `instructions` CPU-only instructions.
+    pub fn cpu_ns(&self, instructions: f64) -> f64 {
+        instructions * self.cpi * self.cycle_ns()
+    }
+
+    /// Builds a fresh (cold) memory hierarchy for this machine.
+    pub fn hierarchy(&self) -> MemoryHierarchy {
+        MemoryHierarchy::new(&self.caches, self.dram_ns)
+    }
+
+    /// 1992 Sun LX: 50 MHz Sparc. CPU-bound era — the clock is so slow that
+    /// computation dominates even DRAM latency.
+    pub fn sun_lx_1992() -> Self {
+        MachineSpec {
+            system: "Sun LX".into(),
+            cpu_type: "Sparc".into(),
+            year: 1992,
+            cpu_mhz: 50.0,
+            cpi: 1.3,
+            caches: vec![CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 32,
+                ways: 1,
+                hit_ns: 40.0, // 2 cycles at 20 ns
+            }],
+            dram_ns: 150.0,
+            disk: Disk::era_1992(),
+        }
+    }
+
+    /// 1996 Sun Ultra: 200 MHz UltraSparc.
+    pub fn sun_ultra_1996() -> Self {
+        MachineSpec {
+            system: "Sun Ultra".into(),
+            cpu_type: "UltraSparc".into(),
+            year: 1996,
+            cpu_mhz: 200.0,
+            cpi: 1.1,
+            caches: vec![
+                CacheConfig {
+                    size_bytes: 16 * 1024,
+                    line_bytes: 32,
+                    ways: 1,
+                    hit_ns: 5.0,
+                },
+                CacheConfig {
+                    size_bytes: 512 * 1024,
+                    line_bytes: 64,
+                    ways: 1,
+                    hit_ns: 30.0,
+                },
+            ],
+            dram_ns: 140.0,
+            disk: Disk::era_1996(),
+        }
+    }
+
+    /// 1997 Sun Ultra2: 296 MHz UltraSparcII.
+    pub fn sun_ultra2_1997() -> Self {
+        MachineSpec {
+            system: "Sun Ultra2".into(),
+            cpu_type: "UltraSparcII".into(),
+            year: 1997,
+            cpu_mhz: 296.0,
+            cpi: 1.0,
+            caches: vec![
+                CacheConfig {
+                    size_bytes: 16 * 1024,
+                    line_bytes: 32,
+                    ways: 1,
+                    hit_ns: 3.4,
+                },
+                CacheConfig {
+                    size_bytes: 1024 * 1024,
+                    line_bytes: 64,
+                    ways: 1,
+                    hit_ns: 25.0,
+                },
+            ],
+            dram_ns: 135.0,
+            disk: Disk::era_1996(),
+        }
+    }
+
+    /// 1998 DEC Alpha: 500 MHz — ten times the 1992 clock.
+    pub fn dec_alpha_1998() -> Self {
+        MachineSpec {
+            system: "DEC Alpha".into(),
+            cpu_type: "Alpha".into(),
+            year: 1998,
+            cpu_mhz: 500.0,
+            cpi: 0.9,
+            caches: vec![
+                CacheConfig {
+                    size_bytes: 64 * 1024,
+                    line_bytes: 64,
+                    ways: 2,
+                    hit_ns: 2.0,
+                },
+                CacheConfig {
+                    size_bytes: 4 * 1024 * 1024,
+                    line_bytes: 64,
+                    ways: 1,
+                    hit_ns: 20.0,
+                },
+            ],
+            dram_ns: 130.0,
+            disk: Disk::era_1998(),
+        }
+    }
+
+    /// 2000 SGI Origin2000: 300 MHz R12000 (NUMA — modeled with a higher
+    /// effective memory latency).
+    pub fn origin2000_2000() -> Self {
+        MachineSpec {
+            system: "Origin2000".into(),
+            cpu_type: "R12000".into(),
+            year: 2000,
+            cpu_mhz: 300.0,
+            cpi: 0.8,
+            caches: vec![
+                CacheConfig {
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    ways: 2,
+                    hit_ns: 3.3,
+                },
+                CacheConfig {
+                    size_bytes: 8 * 1024 * 1024,
+                    line_bytes: 128,
+                    ways: 2,
+                    hit_ns: 18.0,
+                },
+            ],
+            dram_ns: 120.0,
+            disk: Disk::era_1998(),
+        }
+    }
+
+    /// The tutorial's measurement platform: 1.5 GHz Pentium M (Dothan),
+    /// 32 KiB L1 + 2 MiB L2, 2 GB RAM, 5400 RPM laptop disk.
+    pub fn laptop_2005() -> Self {
+        MachineSpec {
+            system: "Laptop".into(),
+            cpu_type: "Pentium M (Dothan)".into(),
+            year: 2005,
+            cpu_mhz: 1500.0,
+            cpi: 0.7,
+            caches: vec![
+                CacheConfig {
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    ways: 8,
+                    hit_ns: 2.0,
+                },
+                CacheConfig {
+                    size_bytes: 2 * 1024 * 1024,
+                    line_bytes: 64,
+                    ways: 8,
+                    hit_ns: 6.7,
+                },
+            ],
+            dram_ns: 110.0,
+            disk: Disk::laptop_5400rpm(),
+        }
+    }
+
+    /// A modern (2008-era, matching the tutorial's presentation date)
+    /// reference machine for forward-looking experiments.
+    pub fn modern_2008() -> Self {
+        MachineSpec {
+            system: "Commodity server".into(),
+            cpu_type: "x86-64".into(),
+            year: 2008,
+            cpu_mhz: 3000.0,
+            cpi: 0.5,
+            caches: vec![
+                CacheConfig {
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    ways: 8,
+                    hit_ns: 1.3,
+                },
+                CacheConfig {
+                    size_bytes: 6 * 1024 * 1024,
+                    line_bytes: 64,
+                    ways: 12,
+                    hit_ns: 5.0,
+                },
+            ],
+            dram_ns: 90.0,
+            disk: Disk::raid_2008(),
+        }
+    }
+
+    /// The five machines of the memory-wall figure, in chronological order.
+    pub fn memory_wall_lineup() -> Vec<MachineSpec> {
+        vec![
+            Self::sun_lx_1992(),
+            Self::sun_ultra_1996(),
+            Self::sun_ultra2_1997(),
+            Self::dec_alpha_1998(),
+            Self::origin2000_2000(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_times() {
+        assert!((MachineSpec::sun_lx_1992().cycle_ns() - 20.0).abs() < 1e-12);
+        assert!((MachineSpec::dec_alpha_1998().cycle_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_ns_scales_with_instructions() {
+        let m = MachineSpec::sun_lx_1992();
+        assert!((m.cpu_ns(4.0) - 4.0 * 1.3 * 20.0).abs() < 1e-9);
+        assert_eq!(m.cpu_ns(0.0), 0.0);
+    }
+
+    #[test]
+    fn lineup_is_chronological_and_clock_grows_10x() {
+        let lineup = MachineSpec::memory_wall_lineup();
+        assert_eq!(lineup.len(), 5);
+        for pair in lineup.windows(2) {
+            assert!(pair[0].year < pair[1].year);
+        }
+        let first = lineup.first().unwrap().cpu_mhz;
+        let max = lineup.iter().map(|m| m.cpu_mhz).fold(0.0, f64::max);
+        assert!((max / first - 10.0).abs() < 1e-9, "500/50 = 10x");
+    }
+
+    #[test]
+    fn all_presets_build_valid_hierarchies() {
+        for m in [
+            MachineSpec::sun_lx_1992(),
+            MachineSpec::sun_ultra_1996(),
+            MachineSpec::sun_ultra2_1997(),
+            MachineSpec::dec_alpha_1998(),
+            MachineSpec::origin2000_2000(),
+            MachineSpec::laptop_2005(),
+            MachineSpec::modern_2008(),
+        ] {
+            let h = m.hierarchy();
+            assert_eq!(h.depth(), m.caches.len(), "{}", m.system);
+            assert!(m.dram_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn dram_latency_improves_slowly_while_clock_races() {
+        let lineup = MachineSpec::memory_wall_lineup();
+        let clock_ratio = 500.0 / 50.0;
+        let dram_ratio = lineup[0].dram_ns / lineup[4].dram_ns;
+        assert!(clock_ratio >= 10.0);
+        assert!(
+            dram_ratio < 1.5,
+            "DRAM barely improves: ratio {dram_ratio}"
+        );
+    }
+
+    #[test]
+    fn laptop_matches_tutorial_description() {
+        let m = MachineSpec::laptop_2005();
+        assert_eq!(m.cpu_mhz, 1500.0);
+        assert_eq!(m.caches[1].size_bytes, 2 * 1024 * 1024);
+        assert!(m.cpu_type.contains("Pentium M"));
+    }
+}

@@ -1,0 +1,306 @@
+//! The `SELECT MAX(column) FROM table` micro-benchmark on a simulated
+//! machine — the memory-wall experiment (slides 46–51).
+//!
+//! For each loop iteration the CPU executes a handful of instructions
+//! (load, compare, branch, advance) and touches `stride` bytes further into
+//! the column. The per-iteration cost therefore splits into:
+//!
+//! * **CPU component** — `instructions × CPI × cycle time`, which shrinks
+//!   as clocks race from 50 MHz to 500 MHz;
+//! * **memory component** — whatever the cache hierarchy charges for the
+//!   load, which is dominated by DRAM latency whenever the stride reaches a
+//!   cache line, and DRAM latency barely improved over the decade.
+//!
+//! The sum is what the figure's y-axis plots; the split is what hardware
+//! counters reveal.
+
+use crate::machine::MachineSpec;
+use perfeval_measure::CounterSet;
+
+/// Number of CPU instructions per scan iteration (load, cmp, cmov/branch,
+/// pointer increment) — calibrated once for all machines so comparisons are
+/// apples-to-apples.
+pub const INSTRUCTIONS_PER_ITERATION: f64 = 4.0;
+
+/// Result of simulating a scan on one machine.
+#[derive(Debug, Clone)]
+pub struct ScanCost {
+    /// Machine name the cost was computed for.
+    pub system: String,
+    /// Year of the machine.
+    pub year: u32,
+    /// CPU MHz of the machine.
+    pub cpu_mhz: f64,
+    /// Iterations simulated.
+    pub iterations: u64,
+    /// CPU component, ns per iteration.
+    pub cpu_ns_per_iter: f64,
+    /// Memory component, ns per iteration.
+    pub mem_ns_per_iter: f64,
+    /// Cache/DRAM event counters from the run.
+    pub counters: CounterSet,
+}
+
+impl ScanCost {
+    /// Total elapsed ns per iteration (the figure's y-value).
+    pub fn total_ns_per_iter(&self) -> f64 {
+        self.cpu_ns_per_iter + self.mem_ns_per_iter
+    }
+
+    /// Fraction of time spent waiting on memory.
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.total_ns_per_iter();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.mem_ns_per_iter / total
+        }
+    }
+}
+
+/// Simulates `SELECT MAX(col)` over `iterations` elements laid out
+/// `stride_bytes` apart (8 = packed i64 column; 64+ = one element per cache
+/// line, e.g. a column embedded in a wide row layout).
+///
+/// The scan runs twice: once to warm the hierarchy, once measured —
+/// mirroring the tutorial's hot-run protocol, since the original figure
+/// shows steady-state cost.
+///
+/// # Panics
+/// Panics if `iterations == 0` or `stride_bytes == 0`.
+pub fn scan_cost(machine: &MachineSpec, iterations: u64, stride_bytes: u64) -> ScanCost {
+    assert!(iterations > 0, "scan needs at least one iteration");
+    assert!(stride_bytes > 0, "stride must be positive");
+    let mut hierarchy = machine.hierarchy();
+    // Warmup pass (loads the tail of the column into cache; for a footprint
+    // larger than the caches the measured pass still misses, as it should).
+    for i in 0..iterations {
+        hierarchy.access(i * stride_bytes);
+    }
+    hierarchy.reset_counters();
+    // Measured pass.
+    for i in 0..iterations {
+        hierarchy.access(i * stride_bytes);
+    }
+    let mem_ns_total = hierarchy.total_ns();
+    let cpu_ns_per_iter = machine.cpu_ns(INSTRUCTIONS_PER_ITERATION);
+    ScanCost {
+        system: machine.system.clone(),
+        year: machine.year,
+        cpu_mhz: machine.cpu_mhz,
+        iterations,
+        cpu_ns_per_iter,
+        mem_ns_per_iter: mem_ns_total / iterations as f64,
+        counters: hierarchy.counters(),
+    }
+}
+
+/// Runs the full memory-wall experiment: the five historical machines, a
+/// column whose footprint exceeds every cache, one element per cache line
+/// (the row-store layout that motivated column stores).
+pub fn memory_wall_series(iterations: u64) -> Vec<ScanCost> {
+    MachineSpec::memory_wall_lineup()
+        .iter()
+        .map(|m| scan_cost(m, iterations, 128))
+        .collect()
+}
+
+
+/// Analytic (closed-form) counterpart of [`scan_cost`]: predicts the
+/// steady-state per-iteration CPU and memory cost without simulating a
+/// single access.
+///
+/// The model: the scan's footprint (`iterations × stride`) resides in the
+/// smallest cache that holds it (or DRAM); each cache line is fetched once
+/// from that level and the remaining accesses to the same line hit L1. The
+/// simulator exists to validate this kind of back-of-envelope model — and
+/// vice versa: `tests::analytic_matches_simulation` keeps the two within a
+/// tolerance, which is how one debugs either.
+pub fn scan_cost_analytic(machine: &MachineSpec, iterations: u64, stride_bytes: u64) -> ScanCost {
+    assert!(iterations > 0, "scan needs at least one iteration");
+    assert!(stride_bytes > 0, "stride must be positive");
+    let footprint = iterations * stride_bytes;
+    // Which level serves the line fetches in steady state?
+    let mut fetch_ns = machine.dram_ns;
+    let mut fetch_line = machine
+        .caches
+        .last()
+        .map(|c| c.line_bytes)
+        .unwrap_or(stride_bytes);
+    for cache in &machine.caches {
+        if footprint <= cache.size_bytes {
+            fetch_ns = cache.hit_ns;
+            fetch_line = cache.line_bytes;
+            break;
+        }
+    }
+    let l1_hit = machine
+        .caches
+        .first()
+        .map(|c| c.hit_ns)
+        .unwrap_or(machine.dram_ns);
+    // Accesses per fetched line.
+    let per_line = (fetch_line / stride_bytes).max(1) as f64;
+    let mem_ns_per_iter = (fetch_ns + (per_line - 1.0) * l1_hit) / per_line;
+    ScanCost {
+        system: machine.system.clone(),
+        year: machine.year,
+        cpu_mhz: machine.cpu_mhz,
+        iterations,
+        cpu_ns_per_iter: machine.cpu_ns(INSTRUCTIONS_PER_ITERATION),
+        mem_ns_per_iter,
+        counters: perfeval_measure::CounterSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_component_shrinks_with_clock_speed() {
+        let old = scan_cost(&MachineSpec::sun_lx_1992(), 100_000, 128);
+        let new = scan_cost(&MachineSpec::dec_alpha_1998(), 100_000, 128);
+        assert!(
+            old.cpu_ns_per_iter > 5.0 * new.cpu_ns_per_iter,
+            "old {} vs new {}",
+            old.cpu_ns_per_iter,
+            new.cpu_ns_per_iter
+        );
+    }
+
+    #[test]
+    fn memory_component_barely_improves() {
+        let old = scan_cost(&MachineSpec::sun_lx_1992(), 100_000, 128);
+        let new = scan_cost(&MachineSpec::dec_alpha_1998(), 100_000, 128);
+        let ratio = old.mem_ns_per_iter / new.mem_ns_per_iter;
+        assert!(
+            ratio < 2.0,
+            "memory cost must not improve like the clock did: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn total_hardly_improves_despite_10x_clock() {
+        // The headline claim of slide 46.
+        let series = memory_wall_series(100_000);
+        let first = series.first().unwrap().total_ns_per_iter();
+        let best = series
+            .iter()
+            .map(|s| s.total_ns_per_iter())
+            .fold(f64::INFINITY, f64::min);
+        let improvement = first / best;
+        assert!(
+            improvement < 3.0,
+            "10x clock must NOT give 10x scan: improvement {improvement:.2}x"
+        );
+        assert!(improvement > 1.0, "some improvement is expected");
+    }
+
+    #[test]
+    fn late_machines_are_memory_bound() {
+        let alpha = scan_cost(&MachineSpec::dec_alpha_1998(), 100_000, 128);
+        assert!(
+            alpha.memory_fraction() > 0.8,
+            "memory fraction {}",
+            alpha.memory_fraction()
+        );
+        let lx = scan_cost(&MachineSpec::sun_lx_1992(), 100_000, 128);
+        assert!(
+            lx.memory_fraction() < 0.65,
+            "1992 machine should be closer to CPU-bound: {}",
+            lx.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn packed_column_layout_reduces_memory_cost() {
+        // stride 8 (packed i64 column) vs stride 128 (row layout): packed
+        // amortizes one line fetch over many elements. This is the
+        // column-store argument in one assert.
+        let m = MachineSpec::dec_alpha_1998();
+        let packed = scan_cost(&m, 100_000, 8);
+        let rowwise = scan_cost(&m, 100_000, 128);
+        assert!(packed.mem_ns_per_iter * 4.0 < rowwise.mem_ns_per_iter);
+    }
+
+    #[test]
+    fn counters_expose_the_misses() {
+        let m = MachineSpec::dec_alpha_1998();
+        let cost = scan_cost(&m, 100_000, 128);
+        // One element per 64B line at stride 128: every access is a new
+        // line; footprint 12.8 MB >> 4 MB L2, so steady state misses DRAM.
+        let dram = cost.counters.get("dram_access");
+        assert!(
+            dram as f64 > 0.9 * cost.iterations as f64,
+            "dram accesses {dram} of {}",
+            cost.iterations
+        );
+    }
+
+    #[test]
+    fn small_footprint_is_cache_resident() {
+        let m = MachineSpec::dec_alpha_1998();
+        // 1000 iterations * 8B = 8 KB << 64 KB L1: measured pass all-hit.
+        let cost = scan_cost(&m, 1_000, 8);
+        assert_eq!(cost.counters.get("dram_access"), 0);
+        assert!(cost.mem_ns_per_iter <= m.caches[0].hit_ns + 1e-9);
+    }
+
+    #[test]
+    fn series_is_complete_and_ordered() {
+        let series = memory_wall_series(5_000);
+        assert_eq!(series.len(), 5);
+        assert_eq!(series[0].system, "Sun LX");
+        assert_eq!(series[4].system, "Origin2000");
+        for s in &series {
+            assert!(s.total_ns_per_iter() > 0.0);
+            assert!(s.total_ns_per_iter() < 400.0, "{}: {}", s.system, s.total_ns_per_iter());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let _ = scan_cost(&MachineSpec::sun_lx_1992(), 0, 8);
+    }
+
+    #[test]
+    fn analytic_matches_simulation_for_dram_resident_scans() {
+        // Stride >= line: every iteration fetches a fresh line from DRAM,
+        // which the analytic model predicts exactly.
+        for m in MachineSpec::memory_wall_lineup() {
+            let sim = scan_cost(&m, 100_000, 128);
+            let ana = scan_cost_analytic(&m, 100_000, 128);
+            let rel = (sim.mem_ns_per_iter - ana.mem_ns_per_iter).abs()
+                / sim.mem_ns_per_iter;
+            assert!(rel < 0.05, "{}: sim {} vs analytic {}", m.system,
+                sim.mem_ns_per_iter, ana.mem_ns_per_iter);
+            assert_eq!(sim.cpu_ns_per_iter, ana.cpu_ns_per_iter);
+        }
+    }
+
+    #[test]
+    fn analytic_matches_simulation_for_packed_scans() {
+        // Stride 8 within 64-byte lines: one fetch amortized over 8 hits.
+        let m = MachineSpec::dec_alpha_1998();
+        let sim = scan_cost(&m, 200_000, 8);
+        let ana = scan_cost_analytic(&m, 200_000, 8);
+        let rel = (sim.mem_ns_per_iter - ana.mem_ns_per_iter).abs()
+            / sim.mem_ns_per_iter.max(1e-9);
+        assert!(rel < 0.1, "sim {} vs analytic {}", sim.mem_ns_per_iter,
+            ana.mem_ns_per_iter);
+    }
+
+    #[test]
+    fn analytic_cache_resident_footprints() {
+        let m = MachineSpec::dec_alpha_1998();
+        // 8 KB footprint fits the 64 KB L1: cost = L1 hit.
+        let ana = scan_cost_analytic(&m, 1_000, 8);
+        assert_eq!(ana.mem_ns_per_iter, m.caches[0].hit_ns);
+        // 1 MB footprint fits only L2: a line fetch from L2 amortized.
+        let ana2 = scan_cost_analytic(&m, 131_072, 8);
+        assert!(ana2.mem_ns_per_iter > ana.mem_ns_per_iter);
+        assert!(ana2.mem_ns_per_iter < m.dram_ns);
+    }
+}

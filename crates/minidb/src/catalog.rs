@@ -1,0 +1,140 @@
+//! The catalog: a registry of tables plus their simulated storage layout.
+
+use crate::error::DbError;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// Registry of tables. Each table gets a stable `file_id` used for buffer
+/// pool page addressing.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, (u32, Table)>,
+    next_file_id: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table; its name must be unused.
+    pub fn register(&mut self, table: Table) -> Result<(), DbError> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        let id = self.next_file_id;
+        self.next_file_id += 1;
+        self.tables.insert(name, (id, table));
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// The buffer-pool file id of a table.
+    pub fn file_id(&self, name: &str) -> Result<u32, DbError> {
+        self.tables
+            .get(name)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Drops a table; returns it if it existed.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name).map(|(_, t)| t)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::types::DataType;
+
+    fn table(name: &str) -> Table {
+        TableBuilder::new(name).column("x", DataType::Int).build()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        c.register(table("b")).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.table("a").unwrap().name(), "a");
+        assert!(c.table("zzz").is_err());
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        let err = c.register(table("a")).unwrap_err();
+        assert_eq!(err, DbError::DuplicateTable("a".to_owned()));
+    }
+
+    #[test]
+    fn file_ids_are_stable_and_distinct() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        c.register(table("b")).unwrap();
+        let ida = c.file_id("a").unwrap();
+        let idb = c.file_id("b").unwrap();
+        assert_ne!(ida, idb);
+        // Dropping and re-adding must not recycle the id.
+        c.drop_table("a");
+        c.register(table("a2")).unwrap();
+        assert_ne!(c.file_id("a2").unwrap(), ida);
+    }
+
+    #[test]
+    fn mutation_through_catalog() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        c.table_mut("a")
+            .unwrap()
+            .push_row(vec![crate::types::Value::Int(1)])
+            .unwrap();
+        assert_eq!(c.table("a").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        assert!(c.drop_table("a").is_some());
+        assert!(c.drop_table("a").is_none());
+        assert!(c.is_empty());
+    }
+}

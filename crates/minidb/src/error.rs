@@ -1,0 +1,81 @@
+//! Error type for the engine.
+
+/// All errors the engine can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Value/column type mismatch.
+    TypeMismatch(String),
+    /// Semantic error in a query (e.g. non-aggregated column outside GROUP
+    /// BY).
+    Semantic(String),
+    /// Wrong arity when inserting a row.
+    Arity {
+        /// Columns in the table.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// I/O error from a result sink.
+    Io(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DbError::Semantic(m) => write!(f, "semantic error: {m}"),
+            DbError::Arity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            DbError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DbError::UnknownTable("foo".into()).to_string(),
+            "unknown table: foo"
+        );
+        assert_eq!(
+            DbError::Arity {
+                expected: 3,
+                got: 2
+            }
+            .to_string(),
+            "expected 3 values, got 2"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let db: DbError = io.into();
+        assert!(matches!(db, DbError::Io(_)));
+    }
+}

@@ -1,0 +1,1549 @@
+//! Plan execution: two engines, one plan language.
+//!
+//! The "Of apples and oranges" war story (slides 37–45) is about comparing a
+//! debug build against an optimized build without knowing it. `minidb` makes
+//! that axis explicit:
+//!
+//! * [`ExecMode::Debug`] — a row-at-a-time interpreter: every value is boxed
+//!   into a [`Value`], every row materialized, invariants re-checked per row
+//!   (the `--enable-debug --enable-assert` build).
+//! * [`ExecMode::Optimized`] — a column-at-a-time engine with
+//!   type-specialized kernels, selection vectors, and dictionary-code
+//!   comparisons (the `-O6` build).
+//!
+//! Both produce identical results (tested); they differ only in speed — by
+//! roughly the factor the tutorial's DBG/OPT figure shows, growing with how
+//! much tight-loop work the query does.
+//!
+//! The executor also produces the per-operator **profile trace** of
+//! experiment E12 (slide 54): exclusive time and output cardinality per
+//! plan node.
+
+use crate::catalog::Catalog;
+use crate::column::Column;
+use crate::error::DbError;
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::plan::Plan;
+use crate::types::{DataType, Value};
+use memsim::BufferPool;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which engine executes the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Row-at-a-time interpreter with per-row checks (a "debug build").
+    Debug,
+    /// Vectorized column-at-a-time engine (an "optimized build").
+    #[default]
+    Optimized,
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecMode::Debug => "DBG",
+            ExecMode::Optimized => "OPT",
+        })
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate rendered size in bytes (drives the sink-cost experiment).
+    pub fn rendered_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.render().len() + 1).sum::<usize>())
+            .sum()
+    }
+}
+
+/// One line of the PROFILE trace.
+#[derive(Debug, Clone)]
+pub struct ProfileEntry {
+    /// Operator label, e.g. "Scan lineitem".
+    pub op: String,
+    /// Depth in the plan tree (0 = root).
+    pub depth: usize,
+    /// Time spent in this operator excluding its children, ms.
+    pub exclusive_ms: f64,
+    /// Rows this operator produced.
+    pub rows_out: usize,
+}
+
+/// Renders a profile trace the way `TRACE` output looks.
+pub fn render_profile(entries: &[ProfileEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!(
+            "{:>10.3} ms {:>10} rows  {}{}\n",
+            e.exclusive_ms,
+            e.rows_out,
+            "  ".repeat(e.depth),
+            e.op
+        ));
+    }
+    out
+}
+
+/// Executes plans against a catalog.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    mode: ExecMode,
+    pool: Option<&'a mut BufferPool>,
+    profile: Vec<ProfileEntry>,
+}
+
+/// A columnar batch flowing between optimized operators.
+struct Batch {
+    names: Vec<String>,
+    cols: Vec<Column>,
+}
+
+impl Batch {
+    fn row_count(&self) -> usize {
+        self.cols.first().map_or(0, |c| c.len())
+    }
+
+    fn schema(&self) -> Vec<(String, DataType)> {
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.cols.iter().map(|c| c.data_type()))
+            .collect()
+    }
+
+    fn take(&self, selection: &[usize]) -> Batch {
+        Batch {
+            names: self.names.clone(),
+            cols: self.cols.iter().map(|c| c.take(selection)).collect(),
+        }
+    }
+}
+
+/// Hashable key for joins and group-by (SQL NULL never matches, so keys are
+/// only built from non-null values).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    I(i64),
+    F(u64),
+    S(String),
+    B(bool),
+}
+
+fn value_key(v: &Value) -> Option<Key> {
+    match v {
+        Value::Int(i) => Some(Key::I(*i)),
+        Value::Float(f) => Some(Key::F(f.to_bits())),
+        Value::Str(s) => Some(Key::S(s.clone())),
+        Value::Bool(b) => Some(Key::B(*b)),
+        Value::Null => None,
+    }
+}
+
+/// Typed aggregate accumulator.
+///
+/// Engine semantics for aggregates over an *empty* input differ from
+/// strict SQL on purpose: the engine's columns are NULL-free by design, so
+/// empty SUM/AVG/MIN/MAX return the zero of their type instead of NULL
+/// (COUNT returns 0 either way). Both engines implement the same rule,
+/// which keeps their outputs bit-identical — a property the test suite
+/// checks exhaustively.
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum { acc: f64, is_int: bool },
+    Count(i64),
+    CountDistinct(std::collections::HashSet<Key>),
+    Avg { sum: f64, n: i64 },
+    Min { slot: Option<Value>, arg_type: DataType },
+    Max { slot: Option<Value>, arg_type: DataType },
+}
+
+/// The typed zero an empty aggregate yields.
+fn type_zero(dt: DataType) -> Value {
+    match dt {
+        DataType::Int => Value::Int(0),
+        DataType::Float => Value::Float(0.0),
+        DataType::Str => Value::Str(String::new()),
+        DataType::Bool => Value::Bool(false),
+    }
+}
+
+impl AggState {
+    fn new(func: AggFunc, arg_type: DataType) -> AggState {
+        match func {
+            AggFunc::Sum => AggState::Sum {
+                acc: 0.0,
+                is_int: arg_type == DataType::Int,
+            },
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => {
+                AggState::CountDistinct(std::collections::HashSet::new())
+            }
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min { slot: None, arg_type },
+            AggFunc::Max => AggState::Max { slot: None, arg_type },
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if matches!(v, Value::Null) {
+            return; // SQL aggregates skip NULLs
+        }
+        match self {
+            AggState::Sum { acc, .. } => {
+                if let Some(f) = v.as_f64() {
+                    *acc += f;
+                }
+            }
+            AggState::Count(n) => *n += 1,
+            AggState::CountDistinct(set) => {
+                if let Some(k) = value_key(v) {
+                    set.insert(k);
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(f) = v.as_f64() {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+            AggState::Min { slot, .. } => {
+                let replace = match slot {
+                    None => true,
+                    Some(cur) => matches!(
+                        v.sql_cmp(cur),
+                        Some(std::cmp::Ordering::Less)
+                    ),
+                };
+                if replace {
+                    *slot = Some(v.clone());
+                }
+            }
+            AggState::Max { slot, .. } => {
+                let replace = match slot {
+                    None => true,
+                    Some(cur) => matches!(
+                        v.sql_cmp(cur),
+                        Some(std::cmp::Ordering::Greater)
+                    ),
+                };
+                if replace {
+                    *slot = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Sum { acc, is_int } => {
+                if is_int {
+                    Value::Int(acc as i64)
+                } else {
+                    Value::Float(acc)
+                }
+            }
+            AggState::Count(n) => Value::Int(n),
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Float(0.0)
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min { slot, arg_type } | AggState::Max { slot, arg_type } => {
+                slot.unwrap_or_else(|| type_zero(arg_type))
+            }
+        }
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    pub fn new(catalog: &'a Catalog, mode: ExecMode) -> Self {
+        Executor {
+            catalog,
+            mode,
+            pool: None,
+            profile: Vec::new(),
+        }
+    }
+
+    /// Attaches a buffer pool: scans will charge page reads through it.
+    pub fn with_pool(mut self, pool: &'a mut BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Runs the plan to a materialized result.
+    pub fn run(&mut self, plan: &Plan) -> Result<ResultSet, DbError> {
+        self.profile.clear();
+        match self.mode {
+            ExecMode::Debug => {
+                let (schema, rows) = self.run_rows(plan, 0)?;
+                Ok(ResultSet {
+                    column_names: schema.into_iter().map(|(n, _)| n).collect(),
+                    rows,
+                })
+            }
+            ExecMode::Optimized => {
+                let batch = self.run_batch(plan, 0)?;
+                let rows = (0..batch.row_count())
+                    .map(|i| batch.cols.iter().map(|c| c.get(i)).collect())
+                    .collect();
+                Ok(ResultSet {
+                    column_names: batch.names,
+                    rows,
+                })
+            }
+        }
+    }
+
+    /// The profile trace of the last `run` (root first).
+    pub fn profile(&self) -> &[ProfileEntry] {
+        &self.profile
+    }
+
+    fn charge_scan(&mut self, table: &str) -> Result<(), DbError> {
+        if let Some(pool) = self.pool.as_deref_mut() {
+            let file = self.catalog.file_id(table)?;
+            let t = self.catalog.table(table)?;
+            let pages = t.page_count(8192);
+            for p in 0..pages {
+                pool.read((file, p));
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Debug engine: row-at-a-time with per-row checks.
+    // ----------------------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn run_rows(
+        &mut self,
+        plan: &Plan,
+        depth: usize,
+    ) -> Result<(Vec<(String, DataType)>, Vec<Vec<Value>>), DbError> {
+        let start = Instant::now();
+        let result: (Vec<(String, DataType)>, Vec<Vec<Value>>);
+        let label: String;
+        let mut child_ms = 0.0;
+        match plan {
+            Plan::Scan { table, projection } => {
+                self.charge_scan(table)?;
+                let t = self.catalog.table(table)?;
+                let schema = plan.schema(self.catalog)?;
+                let n = t.row_count();
+                let mut rows = Vec::with_capacity(n);
+                for i in 0..n {
+                    // Debug build: materialize and re-verify every row.
+                    let row = match projection {
+                        None => t.row(i),
+                        Some(idxs) => idxs.iter().map(|&c| t.column(c).get(i)).collect(),
+                    };
+                    assert_eq!(row.len(), schema.len(), "row arity invariant");
+                    for (v, (_, dt)) in row.iter().zip(&schema) {
+                        if let Some(vt) = v.data_type() {
+                            assert_eq!(vt, *dt, "column type invariant");
+                        }
+                    }
+                    rows.push(row);
+                }
+                label = format!("Scan {table}");
+                result = (schema, rows);
+            }
+            Plan::Filter { input, predicate } => {
+                let c0 = Instant::now();
+                let (schema, rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let bound = predicate.bind(&schema)?;
+                let mut kept = Vec::new();
+                for row in rows {
+                    if bound.eval(&row)? == Value::Bool(true) {
+                        kept.push(row);
+                    }
+                }
+                label = "Filter".to_owned();
+                result = (schema, kept);
+            }
+            Plan::Project { input, exprs } => {
+                let c0 = Instant::now();
+                let (schema, rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let bound: Vec<(Expr, String)> = exprs
+                    .iter()
+                    .map(|(e, n)| Ok((e.bind(&schema)?, n.clone())))
+                    .collect::<Result<_, DbError>>()?;
+                let out_schema: Vec<(String, DataType)> = exprs
+                    .iter()
+                    .map(|(e, n)| Ok((n.clone(), e.data_type(&schema)?)))
+                    .collect::<Result<_, DbError>>()?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut new_row = Vec::with_capacity(bound.len());
+                    for (e, _) in &bound {
+                        new_row.push(e.eval(&row)?);
+                    }
+                    out.push(new_row);
+                }
+                label = "Project".to_owned();
+                result = (out_schema, out);
+            }
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let c0 = Instant::now();
+                let (ls, lrows) = self.run_rows(left, depth + 1)?;
+                let (rs, rrows) = self.run_rows(right, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let (lk, rk) = bind_join_keys(left_key, right_key, &ls, &rs)?;
+                // Build on the left.
+                let mut build: HashMap<Key, Vec<usize>> = HashMap::new();
+                for (i, row) in lrows.iter().enumerate() {
+                    if let Some(k) = value_key(&lk.eval(row)?) {
+                        build.entry(k).or_default().push(i);
+                    }
+                }
+                let mut out = Vec::new();
+                for rrow in &rrows {
+                    if let Some(k) = value_key(&rk.eval(rrow)?) {
+                        if let Some(matches) = build.get(&k) {
+                            for &li in matches {
+                                let mut joined = lrows[li].clone();
+                                joined.extend(rrow.iter().cloned());
+                                out.push(joined);
+                            }
+                        }
+                    }
+                }
+                let mut schema = ls;
+                schema.extend(rs);
+                label = "HashJoin".to_owned();
+                result = (schema, out);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let c0 = Instant::now();
+                let (schema, rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let bound_groups: Vec<Expr> = group_by
+                    .iter()
+                    .map(|(e, _)| e.bind(&schema))
+                    .collect::<Result<_, _>>()?;
+                let bound_aggs: Vec<(AggFunc, Expr, DataType)> = aggregates
+                    .iter()
+                    .map(|(f, e, _)| {
+                        let b = e.bind(&schema)?;
+                        let dt = e.data_type(&schema)?;
+                        Ok((*f, b, dt))
+                    })
+                    .collect::<Result<_, DbError>>()?;
+                let mut groups: HashMap<Vec<Key>, (Vec<Value>, Vec<AggState>)> =
+                    HashMap::new();
+                for row in &rows {
+                    let mut key = Vec::with_capacity(bound_groups.len());
+                    let mut key_vals = Vec::with_capacity(bound_groups.len());
+                    let mut has_null = false;
+                    for g in &bound_groups {
+                        let v = g.eval(row)?;
+                        match value_key(&v) {
+                            Some(k) => key.push(k),
+                            None => has_null = true,
+                        }
+                        key_vals.push(v);
+                    }
+                    if has_null {
+                        continue; // groups with NULL keys are dropped (no NULLs in base data)
+                    }
+                    let entry = groups.entry(key).or_insert_with(|| {
+                        (
+                            key_vals.clone(),
+                            bound_aggs
+                                .iter()
+                                .map(|(f, _, dt)| AggState::new(*f, *dt))
+                                .collect(),
+                        )
+                    });
+                    for ((_, e, _), state) in bound_aggs.iter().zip(&mut entry.1) {
+                        state.update(&e.eval(row)?);
+                    }
+                }
+                // Global aggregate over empty input still yields one row.
+                if groups.is_empty() && bound_groups.is_empty() {
+                    groups.insert(
+                        Vec::new(),
+                        (
+                            Vec::new(),
+                            bound_aggs
+                                .iter()
+                                .map(|(f, _, dt)| AggState::new(*f, *dt))
+                                .collect(),
+                        ),
+                    );
+                }
+                let out_schema = plan.schema(self.catalog)?;
+                let mut out: Vec<Vec<Value>> = groups
+                    .into_values()
+                    .map(|(mut key_vals, states)| {
+                        key_vals.extend(states.into_iter().map(AggState::finish));
+                        key_vals
+                    })
+                    .collect();
+                // Deterministic output order (hash maps are not).
+                out.sort_by(|a, b| compare_rows(a, b));
+                label = "HashAggregate".to_owned();
+                result = (out_schema, out);
+            }
+            Plan::Sort { input, keys } => {
+                let c0 = Instant::now();
+                let (schema, mut rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let bound: Vec<(Expr, bool)> = keys
+                    .iter()
+                    .map(|(e, d)| Ok((e.bind(&schema)?, *d)))
+                    .collect::<Result<_, DbError>>()?;
+                let mut err = None;
+                rows.sort_by(|a, b| {
+                    for (e, desc) in &bound {
+                        let va = match e.eval(a) {
+                            Ok(v) => v,
+                            Err(x) => {
+                                err.get_or_insert(x);
+                                return std::cmp::Ordering::Equal;
+                            }
+                        };
+                        let vb = match e.eval(b) {
+                            Ok(v) => v,
+                            Err(x) => {
+                                err.get_or_insert(x);
+                                return std::cmp::Ordering::Equal;
+                            }
+                        };
+                        let ord = va
+                            .sql_cmp(&vb)
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                label = "Sort".to_owned();
+                result = (schema, rows);
+            }
+            Plan::Limit { input, n } => {
+                let c0 = Instant::now();
+                let (schema, mut rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                rows.truncate(*n);
+                label = format!("Limit {n}");
+                result = (schema, rows);
+            }
+            Plan::Distinct { input } => {
+                let c0 = Instant::now();
+                let (schema, rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let mut seen = std::collections::HashSet::new();
+                let mut kept = Vec::new();
+                for row in rows {
+                    let key: Vec<Option<Key>> = row.iter().map(value_key).collect();
+                    if seen.insert(key) {
+                        kept.push(row);
+                    }
+                }
+                label = "Distinct".to_owned();
+                result = (schema, kept);
+            }
+            Plan::TopN { input, keys, n } => {
+                let c0 = Instant::now();
+                let (schema, rows) = self.run_rows(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let bound: Vec<(Expr, bool)> = keys
+                    .iter()
+                    .map(|(e, d)| Ok((e.bind(&schema)?, *d)))
+                    .collect::<Result<_, DbError>>()?;
+                // Precompute key values per row so comparisons are cheap.
+                let mut best: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(n + 1);
+                for row in rows {
+                    let mut key_vals = Vec::with_capacity(bound.len());
+                    for (e, _) in &bound {
+                        key_vals.push(e.eval(&row)?);
+                    }
+                    bounded_insert(&mut best, (key_vals, row), *n, |a, b| {
+                        compare_keyed(&a.0, &b.0, &bound)
+                    });
+                }
+                label = format!("TopN {n}");
+                result = (schema, best.into_iter().map(|(_, row)| row).collect());
+            }
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        let entry_rows = result.1.len();
+        // Insert at the position before the children we just recorded so
+        // the trace reads root-first.
+        self.profile.insert(
+            self.profile
+                .iter()
+                .position(|e| e.depth > depth)
+                .unwrap_or(self.profile.len()),
+            ProfileEntry {
+                op: label,
+                depth,
+                exclusive_ms: (total_ms - child_ms).max(0.0),
+                rows_out: entry_rows,
+            },
+        );
+        Ok(result)
+    }
+
+    // ----------------------------------------------------------------
+    // Optimized engine: column-at-a-time with selection vectors.
+    // ----------------------------------------------------------------
+
+    fn run_batch(&mut self, plan: &Plan, depth: usize) -> Result<Batch, DbError> {
+        let start = Instant::now();
+        let mut child_ms = 0.0;
+        let (label, batch) = match plan {
+            Plan::Scan { table, projection } => {
+                self.charge_scan(table)?;
+                let t = self.catalog.table(table)?;
+                let (names, cols): (Vec<String>, Vec<Column>) = match projection {
+                    None => (
+                        t.column_names().to_vec(),
+                        (0..t.column_count()).map(|i| t.column(i).clone()).collect(),
+                    ),
+                    Some(idxs) => (
+                        idxs.iter().map(|&i| t.column_names()[i].clone()).collect(),
+                        idxs.iter().map(|&i| t.column(i).clone()).collect(),
+                    ),
+                };
+                (format!("Scan {table}"), Batch { names, cols })
+            }
+            Plan::Filter { input, predicate } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let schema = input_batch.schema();
+                let bound = predicate.bind(&schema)?;
+                let selection = vectorized_filter(&input_batch, &bound)?;
+                ("Filter".to_owned(), input_batch.take(&selection))
+            }
+            Plan::Project { input, exprs } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let schema = input_batch.schema();
+                let mut names = Vec::with_capacity(exprs.len());
+                let mut cols = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    let bound = e.bind(&schema)?;
+                    cols.push(vectorized_eval(&input_batch, &bound, &schema)?);
+                    names.push(name.clone());
+                }
+                ("Project".to_owned(), Batch { names, cols })
+            }
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let c0 = Instant::now();
+                let lb = self.run_batch(left, depth + 1)?;
+                let rb = self.run_batch(right, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let ls = lb.schema();
+                let rs = rb.schema();
+                let (lk, rk) = bind_join_keys(left_key, right_key, &ls, &rs)?;
+                let lkey_col = vectorized_eval(&lb, &lk, &ls)?;
+                let rkey_col = vectorized_eval(&rb, &rk, &rs)?;
+                let (lsel, rsel) = hash_join_selections(&lkey_col, &rkey_col);
+                let lout = lb.take(&lsel);
+                let rout = rb.take(&rsel);
+                let mut names = lout.names;
+                names.extend(rout.names);
+                let mut cols = lout.cols;
+                cols.extend(rout.cols);
+                ("HashJoin".to_owned(), Batch { names, cols })
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let batch =
+                    vectorized_aggregate(self.catalog, plan, &input_batch, group_by, aggregates)?;
+                ("HashAggregate".to_owned(), batch)
+            }
+            Plan::Sort { input, keys } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let schema = input_batch.schema();
+                let bound: Vec<(Expr, bool)> = keys
+                    .iter()
+                    .map(|(e, d)| Ok((e.bind(&schema)?, *d)))
+                    .collect::<Result<_, DbError>>()?;
+                let key_cols: Vec<(Column, bool)> = bound
+                    .iter()
+                    .map(|(e, d)| Ok((vectorized_eval(&input_batch, e, &schema)?, *d)))
+                    .collect::<Result<_, DbError>>()?;
+                let mut perm: Vec<usize> = (0..input_batch.row_count()).collect();
+                perm.sort_by(|&a, &b| {
+                    for (col, desc) in &key_cols {
+                        let ord = col
+                            .get(a)
+                            .sql_cmp(&col.get(b))
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                ("Sort".to_owned(), input_batch.take(&perm))
+            }
+            Plan::Limit { input, n } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let keep: Vec<usize> = (0..input_batch.row_count().min(*n)).collect();
+                (format!("Limit {n}"), input_batch.take(&keep))
+            }
+            Plan::Distinct { input } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let mut seen = std::collections::HashSet::new();
+                let mut selection = Vec::new();
+                for i in 0..input_batch.row_count() {
+                    let key: Vec<Option<Key>> = input_batch
+                        .cols
+                        .iter()
+                        .map(|c| value_key(&c.get(i)))
+                        .collect();
+                    if seen.insert(key) {
+                        selection.push(i);
+                    }
+                }
+                ("Distinct".to_owned(), input_batch.take(&selection))
+            }
+            Plan::TopN { input, keys, n } => {
+                let c0 = Instant::now();
+                let input_batch = self.run_batch(input, depth + 1)?;
+                child_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let schema = input_batch.schema();
+                let bound: Vec<(Expr, bool)> = keys
+                    .iter()
+                    .map(|(e, d)| Ok((e.bind(&schema)?, *d)))
+                    .collect::<Result<_, DbError>>()?;
+                let key_cols: Vec<(Column, bool)> = bound
+                    .iter()
+                    .map(|(e, d)| Ok((vectorized_eval(&input_batch, e, &schema)?, *d)))
+                    .collect::<Result<_, DbError>>()?;
+                let mut best: Vec<usize> = Vec::with_capacity(n + 1);
+                let cmp_rows = |a: usize, b: usize| {
+                    for (col, desc) in &key_cols {
+                        let ord = col
+                            .get(a)
+                            .sql_cmp(&col.get(b))
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                };
+                for i in 0..input_batch.row_count() {
+                    bounded_insert(&mut best, i, *n, |&a, &b| cmp_rows(a, b));
+                }
+                (format!("TopN {n}"), input_batch.take(&best))
+            }
+        };
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        let rows_out = batch.row_count();
+        self.profile.insert(
+            self.profile
+                .iter()
+                .position(|e| e.depth > depth)
+                .unwrap_or(self.profile.len()),
+            ProfileEntry {
+                op: label,
+                depth,
+                exclusive_ms: (total_ms - child_ms).max(0.0),
+                rows_out,
+            },
+        );
+        Ok(batch)
+    }
+}
+
+/// Binds join keys: each name must resolve in exactly one input; the pair is
+/// returned as (left-bound, right-bound).
+fn bind_join_keys(
+    a: &Expr,
+    b: &Expr,
+    left: &[(String, DataType)],
+    right: &[(String, DataType)],
+) -> Result<(Expr, Expr), DbError> {
+    let try_bind = |e: &Expr, s: &[(String, DataType)]| e.bind(s).ok();
+    match (try_bind(a, left), try_bind(b, right)) {
+        (Some(l), Some(r)) => Ok((l, r)),
+        _ => match (try_bind(b, left), try_bind(a, right)) {
+            (Some(l), Some(r)) => Ok((l, r)),
+            _ => Err(DbError::Semantic(
+                "join keys do not resolve one per side".into(),
+            )),
+        },
+    }
+}
+
+/// Inserts `candidate` into `best` (kept sorted by `cmp`, at most `n`
+/// entries) if it beats the current worst — the bounded-selection kernel
+/// behind the TopN operator.
+fn bounded_insert<T>(
+    best: &mut Vec<T>,
+    candidate: T,
+    n: usize,
+    mut cmp: impl FnMut(&T, &T) -> std::cmp::Ordering,
+) {
+    if n == 0 {
+        return;
+    }
+    // Ties resolve to "existing entry first" (map Equal to Less), which
+    // reproduces exactly what a stable sort followed by truncate keeps —
+    // so TopN-on and TopN-off plans return identical rows even on ties.
+    let pos = best
+        .binary_search_by(|probe| match cmp(probe, &candidate) {
+            std::cmp::Ordering::Equal => std::cmp::Ordering::Less,
+            other => other,
+        })
+        .unwrap_or_else(|p| p);
+    if pos >= n {
+        return; // worse than everything we keep
+    }
+    best.insert(pos, candidate);
+    best.truncate(n);
+}
+
+/// Compares two precomputed key-value vectors under the given
+/// (expression, descending) directions.
+fn compare_keyed(
+    a: &[Value],
+    b: &[Value],
+    keys: &[(Expr, bool)],
+) -> std::cmp::Ordering {
+    for ((x, y), (_, desc)) in a.iter().zip(b).zip(keys) {
+        let ord = x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// SQL-ordering comparison of two rows (used for deterministic aggregate
+/// output).
+fn compare_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Vectorized predicate evaluation producing a selection vector.
+///
+/// Fast paths: conjunctions of `column <op> literal` on Int/Float columns
+/// run as tight typed loops over the shrinking selection; anything else
+/// falls back to row-expression evaluation (still selection-driven).
+fn vectorized_filter(batch: &Batch, predicate: &Expr) -> Result<Vec<usize>, DbError> {
+    // Flatten AND-chains.
+    let mut conjuncts = Vec::new();
+    flatten_and(predicate, &mut conjuncts);
+    let mut selection: Vec<usize> = (0..batch.row_count()).collect();
+    for c in conjuncts {
+        selection = apply_conjunct(batch, c, selection)?;
+        if selection.is_empty() {
+            break;
+        }
+    }
+    Ok(selection)
+}
+
+fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            flatten_and(left, out);
+            flatten_and(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn apply_conjunct(
+    batch: &Batch,
+    pred: &Expr,
+    selection: Vec<usize>,
+) -> Result<Vec<usize>, DbError> {
+    // Fast path: ColumnIdx <op> Literal.
+    if let Expr::Binary { op, left, right } = pred {
+        if op.is_comparison() {
+            if let (Expr::ColumnIdx(ci), Expr::Literal(lit)) = (&**left, &**right) {
+                if let Some(sel) = typed_compare(&batch.cols[*ci], *op, lit, &selection) {
+                    return Ok(sel);
+                }
+            }
+            // Literal <op> Column: flip.
+            if let (Expr::Literal(lit), Expr::ColumnIdx(ci)) = (&**left, &**right) {
+                let flipped = flip_cmp(*op);
+                if let Some(sel) = typed_compare(&batch.cols[*ci], flipped, lit, &selection) {
+                    return Ok(sel);
+                }
+            }
+        }
+    }
+    // Generic fallback: evaluate per selected row.
+    let mut out = Vec::with_capacity(selection.len());
+    let width = batch.cols.len();
+    let mut row: Vec<Value> = Vec::with_capacity(width);
+    for &i in &selection {
+        row.clear();
+        for c in &batch.cols {
+            row.push(c.get(i));
+        }
+        if pred.eval(&row)? == Value::Bool(true) {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Tight typed comparison loop; returns `None` if no fast path applies.
+fn typed_compare(
+    col: &Column,
+    op: BinOp,
+    lit: &Value,
+    selection: &[usize],
+) -> Option<Vec<usize>> {
+    use BinOp::*;
+    match (col, lit) {
+        (Column::Int(data), Value::Int(k)) => {
+            let k = *k;
+            Some(match op {
+                Lt => selection.iter().copied().filter(|&i| data[i] < k).collect(),
+                Le => selection.iter().copied().filter(|&i| data[i] <= k).collect(),
+                Gt => selection.iter().copied().filter(|&i| data[i] > k).collect(),
+                Ge => selection.iter().copied().filter(|&i| data[i] >= k).collect(),
+                Eq => selection.iter().copied().filter(|&i| data[i] == k).collect(),
+                Ne => selection.iter().copied().filter(|&i| data[i] != k).collect(),
+                _ => return None,
+            })
+        }
+        (Column::Float(data), lit) => {
+            let k = lit.as_f64()?;
+            Some(match op {
+                Lt => selection.iter().copied().filter(|&i| data[i] < k).collect(),
+                Le => selection.iter().copied().filter(|&i| data[i] <= k).collect(),
+                Gt => selection.iter().copied().filter(|&i| data[i] > k).collect(),
+                Ge => selection.iter().copied().filter(|&i| data[i] >= k).collect(),
+                Eq => selection.iter().copied().filter(|&i| data[i] == k).collect(),
+                Ne => selection.iter().copied().filter(|&i| data[i] != k).collect(),
+                _ => return None,
+            })
+        }
+        (Column::Int(data), Value::Float(k)) => {
+            let k = *k;
+            Some(match op {
+                Lt => selection.iter().copied().filter(|&i| (data[i] as f64) < k).collect(),
+                Le => selection.iter().copied().filter(|&i| (data[i] as f64) <= k).collect(),
+                Gt => selection.iter().copied().filter(|&i| (data[i] as f64) > k).collect(),
+                Ge => selection.iter().copied().filter(|&i| (data[i] as f64) >= k).collect(),
+                Eq => selection.iter().copied().filter(|&i| (data[i] as f64) == k).collect(),
+                Ne => selection.iter().copied().filter(|&i| (data[i] as f64) != k).collect(),
+                _ => return None,
+            })
+        }
+        (Column::Str { dict, codes }, Value::Str(s)) if matches!(op, Eq | Ne) => {
+            // Dictionary short-cut: compare codes, not strings.
+            let code = dict.code_of(s).map(|c| c as usize);
+            Some(match (op, code) {
+                (Eq, None) => Vec::new(),
+                (Ne, None) => selection.to_vec(),
+                (Eq, Some(c)) => {
+                    let c = c as u32;
+                    selection.iter().copied().filter(|&i| codes[i] == c).collect()
+                }
+                (Ne, Some(c)) => {
+                    let c = c as u32;
+                    selection.iter().copied().filter(|&i| codes[i] != c).collect()
+                }
+                _ => unreachable!(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Vectorized expression evaluation producing a column.
+fn vectorized_eval(
+    batch: &Batch,
+    expr: &Expr,
+    schema: &[(String, DataType)],
+) -> Result<Column, DbError> {
+    // Identity fast path.
+    if let Expr::ColumnIdx(i) = expr {
+        return Ok(batch.cols[*i].clone());
+    }
+    let n = batch.row_count();
+    let dt = expr.data_type(schema)?;
+    // Arithmetic fast path on numeric columns. Only valid when the static
+    // result type is Float: the kernel computes in f64, so Int-typed
+    // expressions (e.g. `qty + 1`) must take the exact integer path below.
+    if dt == DataType::Float {
+        if let Expr::Binary { op, left, right } = expr {
+            if !op.is_comparison() && !matches!(op, BinOp::And | BinOp::Or) {
+                if let Some(col) = typed_arith(batch, *op, left, right) {
+                    return Ok(col);
+                }
+            }
+        }
+    }
+    // Generic fallback.
+    let mut out = Column::new(dt);
+    let mut row: Vec<Value> = Vec::with_capacity(batch.cols.len());
+    for i in 0..n {
+        row.clear();
+        for c in &batch.cols {
+            row.push(c.get(i));
+        }
+        let v = expr.eval(&row)?;
+        // NULL results (e.g. division by zero) are stored as a sentinel —
+        // base tables are NULL-free, so only computed columns can produce
+        // them, and we fold them to a type-appropriate default.
+        let v = match v {
+            Value::Null => match dt {
+                DataType::Int => Value::Int(0),
+                DataType::Float => Value::Float(f64::NAN),
+                DataType::Str => Value::Str(String::new()),
+                DataType::Bool => Value::Bool(false),
+            },
+            other => other,
+        };
+        out.push(v)?;
+    }
+    Ok(out)
+}
+
+/// Fast arithmetic kernels for `col op col` and `col op lit` on f64 data.
+fn typed_arith(batch: &Batch, op: BinOp, left: &Expr, right: &Expr) -> Option<Column> {
+    let fetch = |e: &Expr| -> Option<FloatOperand> {
+        match e {
+            Expr::ColumnIdx(i) => match &batch.cols[*i] {
+                Column::Float(v) => Some(FloatOperand::Col(v.clone())),
+                Column::Int(v) => {
+                    Some(FloatOperand::Col(v.iter().map(|&x| x as f64).collect()))
+                }
+                _ => None,
+            },
+            Expr::Literal(v) => v.as_f64().map(FloatOperand::Scalar),
+            Expr::Binary { op, left, right } => {
+                // Recurse so chained arithmetic like l_extendedprice *
+                // (1 - l_discount) stays vectorized.
+                let col = typed_arith(batch, *op, left, right)?;
+                match col {
+                    Column::Float(v) => Some(FloatOperand::Col(v)),
+                    Column::Int(v) => {
+                        Some(FloatOperand::Col(v.iter().map(|&x| x as f64).collect()))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    };
+    if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+        return None;
+    }
+    let l = fetch(left)?;
+    let r = fetch(right)?;
+    let n = batch.row_count();
+    let apply = |a: f64, b: f64| match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        _ => unreachable!(),
+    };
+    let data: Vec<f64> = match (&l, &r) {
+        (FloatOperand::Col(a), FloatOperand::Col(b)) => {
+            a.iter().zip(b).map(|(&x, &y)| apply(x, y)).collect()
+        }
+        (FloatOperand::Col(a), FloatOperand::Scalar(s)) => {
+            a.iter().map(|&x| apply(x, *s)).collect()
+        }
+        (FloatOperand::Scalar(s), FloatOperand::Col(b)) => {
+            b.iter().map(|&y| apply(*s, y)).collect()
+        }
+        (FloatOperand::Scalar(a), FloatOperand::Scalar(b)) => {
+            vec![apply(*a, *b); n]
+        }
+    };
+    Some(Column::Float(data))
+}
+
+enum FloatOperand {
+    Col(Vec<f64>),
+    Scalar(f64),
+}
+
+/// Builds the matching (left, right) row-index pairs of a hash equi-join.
+fn hash_join_selections(lkey: &Column, rkey: &Column) -> (Vec<usize>, Vec<usize>) {
+    // Int fast path.
+    if let (Some(l), Some(r)) = (lkey.as_int(), rkey.as_int()) {
+        let mut build: HashMap<i64, Vec<usize>> = HashMap::with_capacity(l.len());
+        for (i, &k) in l.iter().enumerate() {
+            build.entry(k).or_default().push(i);
+        }
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        for (j, &k) in r.iter().enumerate() {
+            if let Some(matches) = build.get(&k) {
+                for &i in matches {
+                    lsel.push(i);
+                    rsel.push(j);
+                }
+            }
+        }
+        return (lsel, rsel);
+    }
+    // Generic path.
+    let mut build: HashMap<Key, Vec<usize>> = HashMap::new();
+    for i in 0..lkey.len() {
+        if let Some(k) = value_key(&lkey.get(i)) {
+            build.entry(k).or_default().push(i);
+        }
+    }
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
+    for j in 0..rkey.len() {
+        if let Some(k) = value_key(&rkey.get(j)) {
+            if let Some(matches) = build.get(&k) {
+                for &i in matches {
+                    lsel.push(i);
+                    rsel.push(j);
+                }
+            }
+        }
+    }
+    (lsel, rsel)
+}
+
+/// Hash aggregation over a columnar batch.
+fn vectorized_aggregate(
+    catalog: &Catalog,
+    plan: &Plan,
+    input: &Batch,
+    group_by: &[(Expr, String)],
+    aggregates: &[(AggFunc, Expr, String)],
+) -> Result<Batch, DbError> {
+    let schema = input.schema();
+    let group_cols: Vec<Column> = group_by
+        .iter()
+        .map(|(e, _)| {
+            let b = e.bind(&schema)?;
+            vectorized_eval(input, &b, &schema)
+        })
+        .collect::<Result<_, _>>()?;
+    let agg_inputs: Vec<(AggFunc, Column, DataType)> = aggregates
+        .iter()
+        .map(|(f, e, _)| {
+            let b = e.bind(&schema)?;
+            let dt = e.data_type(&schema)?;
+            Ok((*f, vectorized_eval(input, &b, &schema)?, dt))
+        })
+        .collect::<Result<_, DbError>>()?;
+
+    let n = input.row_count();
+    let mut groups: HashMap<Vec<Key>, (usize, Vec<AggState>)> = HashMap::new();
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    'rows: for i in 0..n {
+        let mut key = Vec::with_capacity(group_cols.len());
+        for c in &group_cols {
+            match value_key(&c.get(i)) {
+                Some(k) => key.push(k),
+                None => continue 'rows, // NULL group keys drop the row
+            }
+        }
+        let next_id = group_order.len();
+        let entry = groups.entry(key).or_insert_with(|| {
+            group_order.push(group_cols.iter().map(|c| c.get(i)).collect());
+            (
+                next_id,
+                agg_inputs
+                    .iter()
+                    .map(|(f, _, dt)| AggState::new(*f, *dt))
+                    .collect(),
+            )
+        });
+        for ((_, col, _), state) in agg_inputs.iter().zip(&mut entry.1) {
+            state.update(&col.get(i));
+        }
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            Vec::new(),
+            (
+                0,
+                agg_inputs
+                    .iter()
+                    .map(|(f, _, dt)| AggState::new(*f, *dt))
+                    .collect(),
+            ),
+        );
+        group_order.push(Vec::new());
+    }
+    // Assemble rows then sort deterministically.
+    let mut rows: Vec<Vec<Value>> = groups
+        .into_values()
+        .map(|(id, states)| {
+            let mut row = group_order[id].clone();
+            row.extend(states.into_iter().map(AggState::finish));
+            row
+        })
+        .collect();
+    rows.sort_by(|a, b| compare_rows(a, b));
+
+    let out_schema = plan.schema(catalog)?;
+    let mut cols: Vec<Column> = out_schema
+        .iter()
+        .map(|(_, dt)| Column::new(*dt))
+        .collect();
+    for row in &rows {
+        for (col, v) in cols.iter_mut().zip(row) {
+            let v = match v {
+                Value::Null => match col.data_type() {
+                    DataType::Int => Value::Int(0),
+                    DataType::Float => Value::Float(f64::NAN),
+                    DataType::Str => Value::Str(String::new()),
+                    DataType::Bool => Value::Bool(false),
+                },
+                other => other.clone(),
+            };
+            col.push(v)?;
+        }
+    }
+    Ok(Batch {
+        names: out_schema.into_iter().map(|(n, _)| n).collect(),
+        cols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, to_plan};
+    use crate::table::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = TableBuilder::new("sales")
+            .column("region", DataType::Str)
+            .column("qty", DataType::Int)
+            .column("price", DataType::Float)
+            .build();
+        let data = [
+            ("east", 10, 1.0),
+            ("west", 20, 2.0),
+            ("east", 30, 3.0),
+            ("west", 5, 4.0),
+            ("north", 1, 5.0),
+        ];
+        for (r, q, p) in data {
+            t.push_row(vec![
+                Value::Str(r.into()),
+                Value::Int(q),
+                Value::Float(p),
+            ])
+            .unwrap();
+        }
+        c.register(t).unwrap();
+
+        let mut regions = TableBuilder::new("regions")
+            .column("rname", DataType::Str)
+            .column("continent", DataType::Str)
+            .build();
+        for (r, cont) in [("east", "A"), ("west", "A"), ("north", "B")] {
+            regions
+                .push_row(vec![Value::Str(r.into()), Value::Str(cont.into())])
+                .unwrap();
+        }
+        c.register(regions).unwrap();
+        c
+    }
+
+    fn run_sql(catalog: &Catalog, mode: ExecMode, sql: &str) -> ResultSet {
+        let stmt = parse(sql).unwrap();
+        let plan = to_plan(&stmt, |t| {
+            Ok(catalog
+                .table(t)?
+                .column_names()
+                .to_vec())
+        })
+        .unwrap();
+        Executor::new(catalog, mode).run(&plan).unwrap()
+    }
+
+    fn both_modes(sql: &str) -> (ResultSet, ResultSet) {
+        let c = catalog();
+        (
+            run_sql(&c, ExecMode::Debug, sql),
+            run_sql(&c, ExecMode::Optimized, sql),
+        )
+    }
+
+    #[test]
+    fn select_star() {
+        let (d, o) = both_modes("SELECT * FROM sales");
+        assert_eq!(d.row_count(), 5);
+        assert_eq!(o.row_count(), 5);
+        assert_eq!(d.column_names, vec!["region", "qty", "price"]);
+        assert_eq!(d.rows, o.rows);
+    }
+
+    #[test]
+    fn filter_comparison() {
+        let (d, o) = both_modes("SELECT qty FROM sales WHERE qty >= 10");
+        assert_eq!(d.row_count(), 3);
+        assert_eq!(d.rows, o.rows);
+    }
+
+    #[test]
+    fn filter_string_equality() {
+        let (d, o) = both_modes("SELECT qty FROM sales WHERE region = 'east'");
+        assert_eq!(d.row_count(), 2);
+        assert_eq!(d.rows, o.rows);
+    }
+
+    #[test]
+    fn filter_string_not_found_in_dictionary() {
+        let (d, o) = both_modes("SELECT qty FROM sales WHERE region = 'mars'");
+        assert_eq!(d.row_count(), 0);
+        assert_eq!(o.row_count(), 0);
+        let (d2, o2) = both_modes("SELECT qty FROM sales WHERE region <> 'mars'");
+        assert_eq!(d2.row_count(), 5);
+        assert_eq!(o2.row_count(), 5);
+    }
+
+    #[test]
+    fn filter_conjunction() {
+        let (d, o) =
+            both_modes("SELECT qty FROM sales WHERE qty > 1 AND qty < 30 AND price >= 2.0");
+        assert_eq!(d.rows, o.rows);
+        assert_eq!(d.row_count(), 2); // west/20/2.0 and west/5/4.0
+    }
+
+    #[test]
+    fn filter_disjunction_fallback() {
+        let (d, o) = both_modes("SELECT qty FROM sales WHERE qty = 1 OR qty = 30");
+        assert_eq!(d.row_count(), 2);
+        assert_eq!(d.rows, o.rows);
+    }
+
+    #[test]
+    fn projection_arithmetic() {
+        let (d, o) = both_modes("SELECT qty * price AS revenue FROM sales WHERE qty = 10");
+        assert_eq!(d.rows[0][0], Value::Float(10.0));
+        assert_eq!(d.rows, o.rows);
+        assert_eq!(d.column_names, vec!["revenue"]);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let (d, o) =
+            both_modes("SELECT SUM(qty), COUNT(*), AVG(price), MIN(qty), MAX(qty) FROM sales");
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0][0], Value::Int(66));
+        assert_eq!(d.rows[0][1], Value::Int(5));
+        assert_eq!(d.rows[0][2], Value::Float(3.0));
+        assert_eq!(d.rows[0][3], Value::Int(1));
+        assert_eq!(d.rows[0][4], Value::Int(30));
+        assert_eq!(d.rows, o.rows);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let (d, o) = both_modes(
+            "SELECT region, SUM(qty) AS total FROM sales GROUP BY region ORDER BY region",
+        );
+        assert_eq!(d.rows, o.rows);
+        assert_eq!(d.rows.len(), 3);
+        assert_eq!(
+            d.rows[0],
+            vec![Value::Str("east".into()), Value::Int(40)]
+        );
+        assert_eq!(
+            d.rows[2],
+            vec![Value::Str("west".into()), Value::Int(25)]
+        );
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let (d, o) = both_modes(
+            "SELECT region, continent FROM sales JOIN regions ON region = rname \
+             WHERE qty > 5 ORDER BY region",
+        );
+        assert_eq!(d.rows, o.rows);
+        assert_eq!(d.row_count(), 3); // east/10, east/30, west/20
+        assert_eq!(d.rows[0][1], Value::Str("A".into()));
+    }
+
+    #[test]
+    fn join_then_aggregate() {
+        let (d, o) = both_modes(
+            "SELECT continent, SUM(qty * price) AS rev FROM sales \
+             JOIN regions ON region = rname GROUP BY continent ORDER BY continent",
+        );
+        assert_eq!(d.rows, o.rows);
+        // A: east(10*1+30*3)=100 + west(20*2+5*4)=60 -> 160; B: 1*5=5.
+        assert_eq!(d.rows[0], vec![Value::Str("A".into()), Value::Float(160.0)]);
+        assert_eq!(d.rows[1], vec![Value::Str("B".into()), Value::Float(5.0)]);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let (d, o) = both_modes("SELECT qty FROM sales ORDER BY qty DESC LIMIT 2");
+        assert_eq!(d.rows, o.rows);
+        assert_eq!(d.rows[0][0], Value::Int(30));
+        assert_eq!(d.rows[1][0], Value::Int(20));
+    }
+
+    #[test]
+    fn empty_result_global_aggregate() {
+        let (d, o) = both_modes("SELECT SUM(qty), COUNT(*) FROM sales WHERE qty > 1000");
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0][1], Value::Int(0));
+        assert_eq!(o.rows[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn empty_group_by_result() {
+        let (d, o) =
+            both_modes("SELECT region, SUM(qty) FROM sales WHERE qty > 1000 GROUP BY region");
+        assert_eq!(d.row_count(), 0);
+        assert_eq!(o.row_count(), 0);
+    }
+
+    #[test]
+    fn profile_trace_is_root_first() {
+        let c = catalog();
+        let stmt = parse("SELECT SUM(qty) FROM sales WHERE qty > 1").unwrap();
+        let plan = to_plan(&stmt, |t| Ok(c.table(t)?.column_names().to_vec())).unwrap();
+        let mut ex = Executor::new(&c, ExecMode::Optimized);
+        ex.run(&plan).unwrap();
+        let trace = ex.profile();
+        assert!(trace.len() >= 4, "project, aggregate, filter, scan");
+        assert_eq!(trace[0].depth, 0);
+        assert!(trace.last().unwrap().op.starts_with("Scan"));
+        let text = render_profile(trace);
+        assert!(text.contains("HashAggregate"));
+        assert!(text.contains("rows"));
+    }
+
+    #[test]
+    fn buffer_pool_is_charged_once_per_scan() {
+        let c = catalog();
+        let mut pool = BufferPool::new(memsim::Disk::laptop_5400rpm(), 100);
+        let stmt = parse("SELECT qty FROM sales").unwrap();
+        let plan = to_plan(&stmt, |t| Ok(c.table(t)?.column_names().to_vec())).unwrap();
+        {
+            let mut ex = Executor::new(&c, ExecMode::Optimized).with_pool(&mut pool);
+            ex.run(&plan).unwrap();
+        }
+        assert!(pool.physical_reads() > 0, "cold scan reads pages");
+        let cold_wait = pool.sim_wait_ns();
+        assert!(cold_wait > 0.0);
+        {
+            let mut ex = Executor::new(&c, ExecMode::Optimized).with_pool(&mut pool);
+            ex.run(&plan).unwrap();
+        }
+        assert_eq!(pool.sim_wait_ns(), cold_wait, "hot scan is free");
+    }
+
+    #[test]
+    fn modes_agree_on_a_battery_of_queries() {
+        let queries = [
+            "SELECT * FROM sales ORDER BY qty",
+            "SELECT region FROM sales WHERE price BETWEEN 2.0 AND 4.0 ORDER BY region",
+            "SELECT qty + 1 AS q1, price * 2.0 AS p2 FROM sales ORDER BY q1",
+            "SELECT region, COUNT(*) AS n, MAX(price) FROM sales GROUP BY region ORDER BY n DESC, region",
+            "SELECT MIN(price), MAX(price) FROM sales WHERE region <> 'north'",
+            "SELECT qty FROM sales WHERE NOT qty > 10 ORDER BY qty",
+        ];
+        let c = catalog();
+        for q in queries {
+            let d = run_sql(&c, ExecMode::Debug, q);
+            let o = run_sql(&c, ExecMode::Optimized, q);
+            assert_eq!(d.rows, o.rows, "query: {q}");
+            assert_eq!(d.column_names, o.column_names, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn rendered_bytes_reflects_result_size() {
+        let (d, _) = both_modes("SELECT * FROM sales");
+        let (small, _) = both_modes("SELECT COUNT(*) FROM sales");
+        assert!(d.rendered_bytes() > small.rendered_bytes());
+    }
+}

@@ -1,0 +1,517 @@
+//! Expressions: the AST shared by predicates, projections, and aggregate
+//! arguments, with name binding and row-wise evaluation.
+
+use crate::error::DbError;
+use crate::types::{DataType, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators (result type BOOL).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// SQL rendering.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Unresolved column reference (by name).
+    Column(String),
+    /// Resolved column reference (by position in the input schema).
+    ColumnIdx(usize),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_owned())
+    }
+
+    /// Convenience: literal.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    /// Convenience: binary expression.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Resolves all column names to positions in `schema`; returns the
+    /// bound copy.
+    pub fn bind(&self, schema: &[(String, DataType)]) -> Result<Expr, DbError> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .ok_or_else(|| DbError::UnknownColumn(name.clone()))?;
+                Ok(Expr::ColumnIdx(idx))
+            }
+            Expr::ColumnIdx(i) => {
+                if *i >= schema.len() {
+                    return Err(DbError::Semantic(format!(
+                        "column index {i} out of range for schema of {} columns",
+                        schema.len()
+                    )));
+                }
+                Ok(Expr::ColumnIdx(*i))
+            }
+            Expr::Literal(v) => Ok(Expr::Literal(v.clone())),
+            Expr::Binary { op, left, right } => Ok(Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            }),
+            Expr::Not(inner) => Ok(Expr::Not(Box::new(inner.bind(schema)?))),
+        }
+    }
+
+    /// Static result type against `schema` (columns must be bound or
+    /// bindable).
+    pub fn data_type(&self, schema: &[(String, DataType)]) -> Result<DataType, DbError> {
+        match self {
+            Expr::Column(name) => schema
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| *t)
+                .ok_or_else(|| DbError::UnknownColumn(name.clone())),
+            Expr::ColumnIdx(i) => schema
+                .get(*i)
+                .map(|(_, t)| *t)
+                .ok_or_else(|| DbError::Semantic(format!("column index {i} out of range"))),
+            Expr::Literal(v) => v
+                .data_type()
+                .ok_or_else(|| DbError::Semantic("NULL literal has no type".into())),
+            Expr::Binary { op, left, right } => {
+                let lt = left.data_type(schema)?;
+                let rt = right.data_type(schema)?;
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    Ok(DataType::Bool)
+                } else {
+                    // Arithmetic: float if either side is float.
+                    match (lt, rt) {
+                        (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                        (DataType::Float, DataType::Int)
+                        | (DataType::Int, DataType::Float)
+                        | (DataType::Float, DataType::Float) => Ok(DataType::Float),
+                        _ => Err(DbError::TypeMismatch(format!(
+                            "arithmetic {lt} {} {rt}",
+                            op.sql()
+                        ))),
+                    }
+                }
+            }
+            Expr::Not(inner) => {
+                let t = inner.data_type(schema)?;
+                if t == DataType::Bool {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(DbError::TypeMismatch(format!("NOT applied to {t}")))
+                }
+            }
+        }
+    }
+
+    /// Evaluates against one row. Columns must be bound (`ColumnIdx`).
+    pub fn eval(&self, row: &[Value]) -> Result<Value, DbError> {
+        match self {
+            Expr::Column(name) => Err(DbError::Semantic(format!(
+                "unbound column '{name}' at evaluation time"
+            ))),
+            Expr::ColumnIdx(i) => Ok(row[*i].clone()),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                eval_binop(*op, &l, &r)
+            }
+            Expr::Not(inner) => match inner.eval(row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(DbError::TypeMismatch(format!("NOT {other:?}"))),
+            },
+        }
+    }
+
+    /// True if this expression references no columns (constant foldable).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Expr::Column(_) | Expr::ColumnIdx(_) => false,
+            Expr::Literal(_) => true,
+            Expr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
+            Expr::Not(inner) => inner.is_constant(),
+        }
+    }
+
+    /// Column indices referenced by this (bound) expression.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::ColumnIdx(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Not(inner) => inner.referenced_columns(out),
+            Expr::Column(_) | Expr::Literal(_) => {}
+        }
+    }
+
+    /// SQL-ish rendering for EXPLAIN output. `names` supplies column names
+    /// for bound indices (pass the input schema names).
+    pub fn render(&self, names: &[String]) -> String {
+        match self {
+            Expr::Column(n) => n.clone(),
+            Expr::ColumnIdx(i) => names
+                .get(*i)
+                .cloned()
+                .unwrap_or_else(|| format!("#{i}")),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => format!("'{s}'"),
+                other => other.render(),
+            },
+            Expr::Binary { op, left, right } => format!(
+                "({} {} {})",
+                left.render(names),
+                op.sql(),
+                right.render(names)
+            ),
+            Expr::Not(inner) => format!("NOT {}", inner.render(names)),
+        }
+    }
+}
+
+/// Evaluates a binary operation on two scalars with SQL NULL semantics.
+pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, DbError> {
+    use BinOp::*;
+    if matches!(l, Value::Null) || matches!(r, Value::Null) {
+        return Ok(Value::Null);
+    }
+    match op {
+        And | Or => {
+            let (a, b) = match (l.as_bool(), r.as_bool()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(DbError::TypeMismatch(format!(
+                        "{} requires booleans, got {l:?}, {r:?}",
+                        op.sql()
+                    )))
+                }
+            };
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = l.sql_cmp(r).ok_or_else(|| {
+                DbError::TypeMismatch(format!("cannot compare {l:?} with {r:?}"))
+            })?;
+            use std::cmp::Ordering::*;
+            let b = match op {
+                Eq => ord == Equal,
+                Ne => ord != Equal,
+                Lt => ord == Less,
+                Le => ord != Greater,
+                Gt => ord == Greater,
+                Ge => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(match op {
+                Add => Value::Int(a.wrapping_add(*b)),
+                Sub => Value::Int(a.wrapping_sub(*b)),
+                Mul => Value::Int(a.wrapping_mul(*b)),
+                Div => {
+                    if *b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a / b)
+                    }
+                }
+                _ => unreachable!(),
+            }),
+            _ => {
+                let (a, b) = match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        return Err(DbError::TypeMismatch(format!(
+                            "arithmetic on {l:?}, {r:?}"
+                        )))
+                    }
+                };
+                Ok(Value::Float(match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    _ => unreachable!(),
+                }))
+            }
+        },
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(*)` / `COUNT(expr)`
+    Count,
+    /// `COUNT(DISTINCT expr)`
+    CountDistinct,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::CountDistinct => "COUNT DISTINCT",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Renders a call with its argument text ("COUNT(DISTINCT x)").
+    pub fn render_call(&self, arg: &str) -> String {
+        match self {
+            AggFunc::CountDistinct => format!("COUNT(DISTINCT {arg})"),
+            other => format!("{}({arg})", other.sql()),
+        }
+    }
+
+    /// Parses a SQL aggregate name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "COUNT" => Some(AggFunc::Count),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<(String, DataType)> {
+        vec![
+            ("id".to_owned(), DataType::Int),
+            ("price".to_owned(), DataType::Float),
+            ("name".to_owned(), DataType::Str),
+        ]
+    }
+
+    #[test]
+    fn bind_resolves_names() {
+        let e = Expr::bin(BinOp::Gt, Expr::col("price"), Expr::lit(Value::Float(5.0)));
+        let bound = e.bind(&schema()).unwrap();
+        match &bound {
+            Expr::Binary { left, .. } => assert_eq!(**left, Expr::ColumnIdx(1)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bind_unknown_column_errors() {
+        let e = Expr::col("ghost");
+        assert!(matches!(
+            e.bind(&schema()),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let row = vec![Value::Int(3), Value::Float(2.5), Value::Str("x".into())];
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::ColumnIdx(0),
+            Expr::bin(BinOp::Add, Expr::ColumnIdx(1), Expr::lit(Value::Float(0.5))),
+        );
+        assert_eq!(e.eval(&row).unwrap(), Value::Float(9.0));
+    }
+
+    #[test]
+    fn eval_comparison_and_logic() {
+        let row = vec![Value::Int(3), Value::Float(2.5), Value::Str("x".into())];
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Ge, Expr::ColumnIdx(0), Expr::lit(Value::Int(3))),
+            Expr::bin(BinOp::Lt, Expr::ColumnIdx(1), Expr::lit(Value::Float(3.0))),
+        );
+        assert_eq!(e.eval(&row).unwrap(), Value::Bool(true));
+        let not = Expr::Not(Box::new(e));
+        assert_eq!(not.eval(&row).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_propagates() {
+        assert_eq!(
+            eval_binop(BinOp::Add, &Value::Null, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binop(BinOp::Eq, &Value::Int(1), &Value::Null).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_null() {
+        assert_eq!(
+            eval_binop(BinOp::Div, &Value::Int(5), &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_is_float() {
+        assert_eq!(
+            eval_binop(BinOp::Add, &Value::Int(1), &Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Add, Expr::col("id"), Expr::col("price"))
+                .data_type(&schema())
+                .unwrap(),
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn type_errors_detected() {
+        assert!(eval_binop(BinOp::Add, &Value::Str("a".into()), &Value::Int(1)).is_err());
+        assert!(eval_binop(BinOp::And, &Value::Int(1), &Value::Bool(true)).is_err());
+        let e = Expr::bin(BinOp::Add, Expr::col("name"), Expr::lit(Value::Int(1)));
+        assert!(e.data_type(&schema()).is_err());
+    }
+
+    #[test]
+    fn comparison_type_is_bool() {
+        let e = Expr::bin(BinOp::Lt, Expr::col("id"), Expr::lit(Value::Int(5)));
+        assert_eq!(e.data_type(&schema()).unwrap(), DataType::Bool);
+    }
+
+    #[test]
+    fn constantness_and_references() {
+        let c = Expr::bin(BinOp::Add, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(2)));
+        assert!(c.is_constant());
+        let e = Expr::bin(BinOp::Add, Expr::ColumnIdx(2), Expr::ColumnIdx(0));
+        assert!(!e.is_constant());
+        let mut refs = Vec::new();
+        e.referenced_columns(&mut refs);
+        assert_eq!(refs, vec![2, 0]);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let names: Vec<String> = schema().into_iter().map(|(n, _)| n).collect();
+        let e = Expr::bin(
+            BinOp::Le,
+            Expr::ColumnIdx(1),
+            Expr::lit(Value::Str("abc".into())),
+        );
+        assert_eq!(e.render(&names), "(price <= 'abc')");
+    }
+
+    #[test]
+    fn unbound_eval_is_an_error() {
+        let e = Expr::col("id");
+        assert!(e.eval(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn agg_func_parse() {
+        assert_eq!(AggFunc::parse("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::parse("MAX"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::Avg.sql(), "AVG");
+    }
+}

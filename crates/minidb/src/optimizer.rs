@@ -1,0 +1,677 @@
+//! A small rule-based optimizer.
+//!
+//! Slide 42's warning — *"DBMS configuration and tuning ⇒ factor x
+//! performance difference"* and the hand-tuned-prototype-vs-out-of-the-box
+//! trap — only bites if the system under test actually *has* optimization
+//! levers. `minidb` has three, each independently switchable so experiments
+//! can ablate them:
+//!
+//! * **constant folding** — evaluate constant subexpressions once;
+//! * **filter pushdown** — move single-side conjuncts of a post-join filter
+//!   below the join;
+//! * **projection pruning** — restrict scans to the columns the query
+//!   actually references.
+
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::expr::{eval_binop, BinOp, Expr};
+use crate::plan::Plan;
+
+/// Which rules run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Fold constant subexpressions.
+    pub constant_folding: bool,
+    /// Push filters below joins.
+    pub filter_pushdown: bool,
+    /// Prune unused columns at scans.
+    pub projection_pruning: bool,
+    /// Fuse Sort + Limit into TopN (bounded-heap selection).
+    pub topn_fusion: bool,
+}
+
+impl OptimizerConfig {
+    /// All rules on (the default configuration).
+    pub fn all() -> Self {
+        OptimizerConfig {
+            constant_folding: true,
+            filter_pushdown: true,
+            projection_pruning: true,
+            topn_fusion: true,
+        }
+    }
+
+    /// All rules off — the "out-of-the-box, untuned" configuration.
+    pub fn none() -> Self {
+        OptimizerConfig {
+            constant_folding: false,
+            filter_pushdown: false,
+            projection_pruning: false,
+            topn_fusion: false,
+        }
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Optimizes a plan under the given configuration.
+pub fn optimize(plan: Plan, catalog: &Catalog, config: OptimizerConfig) -> Result<Plan, DbError> {
+    let mut plan = plan;
+    if config.constant_folding {
+        plan = fold_plan(plan);
+    }
+    if config.filter_pushdown {
+        plan = pushdown_plan(plan, catalog)?;
+    }
+    if config.projection_pruning {
+        plan = prune_plan(plan, catalog)?;
+    }
+    if config.topn_fusion {
+        plan = fuse_topn(plan);
+    }
+    Ok(plan)
+}
+
+/// Rewrites `Limit(Sort(x))` into `TopN(x)`: the executor then keeps a
+/// bounded set of the best `n` rows instead of fully sorting the input.
+fn fuse_topn(plan: Plan) -> Plan {
+    match plan {
+        Plan::Limit { input, n } => match fuse_topn(*input) {
+            Plan::Sort { input, keys } => Plan::TopN { input, keys, n },
+            other => Plan::Limit {
+                input: Box::new(other),
+                n,
+            },
+        },
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(fuse_topn(*input)),
+            predicate,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(fuse_topn(*input)),
+            exprs,
+        },
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Plan::Join {
+            left: Box::new(fuse_topn(*left)),
+            right: Box::new(fuse_topn(*right)),
+            left_key,
+            right_key,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(fuse_topn(*input)),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(fuse_topn(*input)),
+            keys,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(fuse_topn(*input)),
+        },
+        topn @ Plan::TopN { .. } => topn,
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+// ---------------------------------------------------------------- folding
+
+fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Binary { op, left, right } => {
+            let l = fold_expr(*left);
+            let r = fold_expr(*right);
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&l, &r) {
+                if let Ok(v) = eval_binop(op, a, b) {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        Expr::Not(inner) => {
+            let i = fold_expr(*inner);
+            if let Expr::Literal(crate::types::Value::Bool(b)) = i {
+                return Expr::Literal(crate::types::Value::Bool(!b));
+            }
+            Expr::Not(Box::new(i))
+        }
+        other => other,
+    }
+}
+
+fn fold_plan(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(fold_plan(*input)),
+            predicate: fold_expr(predicate),
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(fold_plan(*input)),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (fold_expr(e), n))
+                .collect(),
+        },
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Plan::Join {
+            left: Box::new(fold_plan(*left)),
+            right: Box::new(fold_plan(*right)),
+            left_key,
+            right_key,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(fold_plan(*input)),
+            group_by: group_by
+                .into_iter()
+                .map(|(e, n)| (fold_expr(e), n))
+                .collect(),
+            aggregates: aggregates
+                .into_iter()
+                .map(|(f, e, n)| (f, fold_expr(e), n))
+                .collect(),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(fold_plan(*input)),
+            keys: keys.into_iter().map(|(e, d)| (fold_expr(e), d)).collect(),
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(fold_plan(*input)),
+            n,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(fold_plan(*input)),
+        },
+        Plan::TopN { input, keys, n } => Plan::TopN {
+            input: Box::new(fold_plan(*input)),
+            keys: keys.into_iter().map(|(e, d)| (fold_expr(e), d)).collect(),
+            n,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+// --------------------------------------------------------------- pushdown
+
+/// Collects unbound column names referenced by an expression.
+pub fn column_names(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Column(n) => {
+            if !out.contains(n) {
+                out.push(n.clone());
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            column_names(left, out);
+            column_names(right, out);
+        }
+        Expr::Not(inner) => column_names(inner, out),
+        Expr::ColumnIdx(_) | Expr::Literal(_) => {}
+    }
+}
+
+fn schema_has_all(names: &[String], schema: &[(String, crate::types::DataType)]) -> bool {
+    names.iter().all(|n| schema.iter().any(|(s, _)| s == n))
+}
+
+fn conjuncts_of(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            conjuncts_of(*left, out);
+            conjuncts_of(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+    let mut acc = exprs.pop()?;
+    while let Some(e) = exprs.pop() {
+        acc = Expr::bin(BinOp::And, e, acc);
+    }
+    Some(acc)
+}
+
+fn pushdown_plan(plan: Plan, catalog: &Catalog) -> Result<Plan, DbError> {
+    Ok(match plan {
+        Plan::Filter { input, predicate } => {
+            let input = pushdown_plan(*input, catalog)?;
+            if let Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } = input
+            {
+                let ls = left.schema(catalog)?;
+                let rs = right.schema(catalog)?;
+                let mut cs = Vec::new();
+                conjuncts_of(predicate, &mut cs);
+                let mut to_left = Vec::new();
+                let mut to_right = Vec::new();
+                let mut keep = Vec::new();
+                for c in cs {
+                    let mut names = Vec::new();
+                    column_names(&c, &mut names);
+                    if schema_has_all(&names, &ls) {
+                        to_left.push(c);
+                    } else if schema_has_all(&names, &rs) {
+                        to_right.push(c);
+                    } else {
+                        keep.push(c);
+                    }
+                }
+                let mut new_left = *left;
+                if let Some(p) = and_all(to_left) {
+                    new_left = Plan::Filter {
+                        input: Box::new(new_left),
+                        predicate: p,
+                    };
+                }
+                let mut new_right = *right;
+                if let Some(p) = and_all(to_right) {
+                    new_right = Plan::Filter {
+                        input: Box::new(new_right),
+                        predicate: p,
+                    };
+                }
+                let mut out = Plan::Join {
+                    left: Box::new(pushdown_plan(new_left, catalog)?),
+                    right: Box::new(pushdown_plan(new_right, catalog)?),
+                    left_key,
+                    right_key,
+                };
+                if let Some(p) = and_all(keep) {
+                    out = Plan::Filter {
+                        input: Box::new(out),
+                        predicate: p,
+                    };
+                }
+                out
+            } else {
+                Plan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(pushdown_plan(*input, catalog)?),
+            exprs,
+        },
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Plan::Join {
+            left: Box::new(pushdown_plan(*left, catalog)?),
+            right: Box::new(pushdown_plan(*right, catalog)?),
+            left_key,
+            right_key,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(pushdown_plan(*input, catalog)?),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(pushdown_plan(*input, catalog)?),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(pushdown_plan(*input, catalog)?),
+            n,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(pushdown_plan(*input, catalog)?),
+        },
+        Plan::TopN { input, keys, n } => Plan::TopN {
+            input: Box::new(pushdown_plan(*input, catalog)?),
+            keys,
+            n,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    })
+}
+
+// ---------------------------------------------------------------- pruning
+
+/// Collects every column name the plan references above scans.
+fn referenced_names(plan: &Plan, out: &mut Vec<String>) {
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Filter { input, predicate } => {
+            column_names(predicate, out);
+            referenced_names(input, out);
+        }
+        Plan::Project { input, exprs } => {
+            for (e, _) in exprs {
+                column_names(e, out);
+            }
+            referenced_names(input, out);
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            column_names(left_key, out);
+            column_names(right_key, out);
+            referenced_names(left, out);
+            referenced_names(right, out);
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            for (e, _) in group_by {
+                column_names(e, out);
+            }
+            for (_, e, _) in aggregates {
+                column_names(e, out);
+            }
+            referenced_names(input, out);
+        }
+        Plan::Sort { input, keys } => {
+            for (e, _) in keys {
+                column_names(e, out);
+            }
+            referenced_names(input, out);
+        }
+        Plan::Limit { input, .. } | Plan::Distinct { input } => {
+            referenced_names(input, out)
+        }
+        Plan::TopN { input, keys, .. } => {
+            for (e, _) in keys {
+                column_names(e, out);
+            }
+            referenced_names(input, out);
+        }
+    }
+}
+
+/// True if the plan's *output* is consumed positionally (wildcard selects):
+/// a root without a Project or Aggregate means all scan columns flow to the
+/// user and none may be pruned.
+fn has_projection_boundary(plan: &Plan) -> bool {
+    match plan {
+        Plan::Project { .. } | Plan::Aggregate { .. } => true,
+        Plan::Scan { .. } | Plan::Join { .. } => false,
+        Plan::Filter { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::Distinct { input }
+        | Plan::TopN { input, .. } => has_projection_boundary(input),
+    }
+}
+
+fn prune_scans(plan: Plan, catalog: &Catalog, needed: &[String]) -> Result<Plan, DbError> {
+    Ok(match plan {
+        Plan::Scan { table, projection } => {
+            if projection.is_some() {
+                Plan::Scan { table, projection }
+            } else {
+                let t = catalog.table(&table)?;
+                let idxs: Vec<usize> = t
+                    .column_names()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| needed.contains(n))
+                    .map(|(i, _)| i)
+                    .collect();
+                // Keep at least one column so row counts survive.
+                let projection = if idxs.is_empty() {
+                    Some(vec![0])
+                } else if idxs.len() == t.column_count() {
+                    None
+                } else {
+                    Some(idxs)
+                };
+                Plan::Scan { table, projection }
+            }
+        }
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+            predicate,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+            exprs,
+        },
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Plan::Join {
+            left: Box::new(prune_scans(*left, catalog, needed)?),
+            right: Box::new(prune_scans(*right, catalog, needed)?),
+            left_key,
+            right_key,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+            n,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+        },
+        Plan::TopN { input, keys, n } => Plan::TopN {
+            input: Box::new(prune_scans(*input, catalog, needed)?),
+            keys,
+            n,
+        },
+    })
+}
+
+fn prune_plan(plan: Plan, catalog: &Catalog) -> Result<Plan, DbError> {
+    if !has_projection_boundary(&plan) {
+        return Ok(plan); // wildcard query: everything is needed
+    }
+    let mut needed = Vec::new();
+    referenced_names(&plan, &mut needed);
+    prune_scans(plan, catalog, &needed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, to_plan};
+    use crate::table::TableBuilder;
+    use crate::types::{DataType, Value};
+    use crate::exec::{ExecMode, Executor};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .column("c", DataType::Float)
+            .column("d", DataType::Str)
+            .build();
+        for i in 0..20 {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Int(i * 2),
+                Value::Float(i as f64),
+                Value::Str(format!("s{}", i % 3)),
+            ])
+            .unwrap();
+        }
+        c.register(t).unwrap();
+        let mut u = TableBuilder::new("u")
+            .column("a2", DataType::Int)
+            .column("tag", DataType::Str)
+            .build();
+        for i in 0..20 {
+            u.push_row(vec![Value::Int(i), Value::Str(format!("tag{i}"))])
+                .unwrap();
+        }
+        c.register(u).unwrap();
+        c
+    }
+
+    fn plan_for(c: &Catalog, sql: &str) -> Plan {
+        let stmt = parse(sql).unwrap();
+        to_plan(&stmt, |t| Ok(c.table(t)?.column_names().to_vec())).unwrap()
+    }
+
+    #[test]
+    fn constant_folding_reduces_literals() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::lit(Value::Int(2)),
+            Expr::bin(BinOp::Add, Expr::lit(Value::Int(3)), Expr::lit(Value::Int(4))),
+        );
+        assert_eq!(fold_expr(e), Expr::lit(Value::Int(14)));
+    }
+
+    #[test]
+    fn folding_preserves_columns() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::col("a"),
+            Expr::bin(BinOp::Add, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(2))),
+        );
+        let folded = fold_expr(e);
+        assert_eq!(folded.render(&[]), "(a + 3)");
+    }
+
+    #[test]
+    fn pushdown_moves_single_side_conjuncts() {
+        let c = catalog();
+        let plan = plan_for(
+            &c,
+            "SELECT b FROM t JOIN u ON a = a2 WHERE b > 3 AND tag = 'tag5'",
+        );
+        let optimized = optimize(plan, &c, OptimizerConfig::all()).unwrap();
+        let text = optimized.explain(&c);
+        // The filter must now appear under the join, on both sides.
+        let join_line = text.lines().position(|l| l.contains("HashJoin")).unwrap();
+        let filter_lines: Vec<usize> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("Filter"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(filter_lines.len(), 2, "plan:\n{text}");
+        assert!(filter_lines.iter().all(|&i| i > join_line), "plan:\n{text}");
+    }
+
+    #[test]
+    fn pushdown_preserves_results() {
+        let c = catalog();
+        let sql = "SELECT b, tag FROM t JOIN u ON a = a2 WHERE b > 3 AND tag <> 'tag9' ORDER BY b";
+        let plan = plan_for(&c, sql);
+        let plain = Executor::new(&c, ExecMode::Optimized)
+            .run(&plan)
+            .unwrap();
+        let optimized_plan = optimize(plan, &c, OptimizerConfig::all()).unwrap();
+        let opt = Executor::new(&c, ExecMode::Optimized)
+            .run(&optimized_plan)
+            .unwrap();
+        assert_eq!(plain.rows, opt.rows);
+    }
+
+    #[test]
+    fn pruning_restricts_scan_columns() {
+        let c = catalog();
+        let plan = plan_for(&c, "SELECT a FROM t WHERE b > 3");
+        let optimized = optimize(plan, &c, OptimizerConfig::all()).unwrap();
+        let text = optimized.explain(&c);
+        assert!(text.contains("Scan t [a, b]"), "plan:\n{text}");
+    }
+
+    #[test]
+    fn pruning_keeps_wildcard_intact() {
+        let c = catalog();
+        let plan = plan_for(&c, "SELECT * FROM t WHERE a > 3");
+        let optimized = optimize(plan, &c, OptimizerConfig::all()).unwrap();
+        let text = optimized.explain(&c);
+        assert!(text.contains("Scan t [*]"), "plan:\n{text}");
+    }
+
+    #[test]
+    fn pruning_preserves_results() {
+        let c = catalog();
+        for sql in [
+            "SELECT a FROM t WHERE b > 3 ORDER BY a",
+            "SELECT d, SUM(c) FROM t GROUP BY d ORDER BY d",
+            "SELECT b FROM t JOIN u ON a = a2 WHERE tag = 'tag5'",
+        ] {
+            let plan = plan_for(&c, sql);
+            let plain = Executor::new(&c, ExecMode::Optimized).run(&plan).unwrap();
+            let optimized_plan = optimize(plan, &c, OptimizerConfig::all()).unwrap();
+            let opt = Executor::new(&c, ExecMode::Optimized)
+                .run(&optimized_plan)
+                .unwrap();
+            assert_eq!(plain.rows, opt.rows, "sql: {sql}");
+            assert_eq!(plain.column_names, opt.column_names, "sql: {sql}");
+        }
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let c = catalog();
+        let plan = plan_for(&c, "SELECT a FROM t JOIN u ON a = a2 WHERE b > 1 AND tag = 'x'");
+        let same = optimize(plan.clone(), &c, OptimizerConfig::none()).unwrap();
+        assert_eq!(plan, same);
+    }
+
+    #[test]
+    fn aggregate_only_queries_prune_to_needed_column() {
+        let c = catalog();
+        let plan = plan_for(&c, "SELECT MAX(c) FROM t");
+        let optimized = optimize(plan, &c, OptimizerConfig::all()).unwrap();
+        let text = optimized.explain(&c);
+        assert!(text.contains("Scan t [c]"), "plan:\n{text}");
+    }
+}

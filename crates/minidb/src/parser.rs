@@ -1,0 +1,995 @@
+//! A small SQL parser covering the subset the tutorial's experiments need:
+//!
+//! ```sql
+//! SELECT <list> FROM t [JOIN t2 ON a = b]*
+//!   [WHERE <predicate>] [GROUP BY <cols>]
+//!   [ORDER BY <col> [DESC], ...] [LIMIT n]
+//! ```
+//!
+//! with arithmetic, comparisons, `AND`/`OR`/`NOT`, `BETWEEN … AND …`,
+//! aggregates `SUM/COUNT/AVG/MIN/MAX`, `COUNT(*)`, string and numeric
+//! literals, and optional `alias.column` qualification (the qualifier is
+//! dropped — TPC-H column names are globally unique by prefix).
+
+use crate::error::DbError;
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::plan::Plan;
+use crate::types::Value;
+
+/// One parsed token.
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str),
+}
+
+/// Tokenizes SQL text.
+fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j == chars.len() {
+                    return Err(DbError::Parse("unterminated string literal".into()));
+                }
+                tokens.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    if chars[j] == '.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number '{text}'")))?;
+                    tokens.push(Token::Int(n));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(chars[start..j].iter().collect()));
+                i = j;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse("unexpected '!'".into()));
+                }
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '(' | ')' | ',' | '*' | '+' | '-' | '/' | '.' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    '.' => ".",
+                    _ => unreachable!(),
+                };
+                tokens.push(Token::Symbol(sym));
+                i += 1;
+            }
+            ';' => i += 1, // trailing semicolons are harmless
+            other => {
+                return Err(DbError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`.
+    Wildcard,
+    /// A scalar expression with an output name.
+    Expr(Expr, String),
+    /// An aggregate call with an output name.
+    Aggregate(AggFunc, Expr, String),
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT DISTINCT?
+    pub distinct: bool,
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// Base table.
+    pub from: String,
+    /// JOINed tables with (left key name, right key name).
+    pub joins: Vec<(String, String, String)>,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY (output column name, descending).
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), DbError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected '{sym}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Identifier, possibly qualified `alias.column` — qualifier dropped.
+    fn column_name(&mut self) -> Result<String, DbError> {
+        let first = self.expect_ident()?;
+        if self.eat_symbol(".") {
+            let second = self.expect_ident()?;
+            Ok(second)
+        } else {
+            Ok(first)
+        }
+    }
+
+    // --- expression grammar ---
+
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, DbError> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, DbError> {
+        let left = self.additive()?;
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Ge, left.clone(), lo),
+                Expr::bin(BinOp::Le, left, hi),
+            ));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol("=")) => Some(BinOp::Eq),
+            Some(Token::Symbol("<>")) => Some(BinOp::Ne),
+            Some(Token::Symbol("<")) => Some(BinOp::Lt),
+            Some(Token::Symbol("<=")) => Some(BinOp::Le),
+            Some(Token::Symbol(">")) => Some(BinOp::Gt),
+            Some(Token::Symbol(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            Ok(Expr::bin(op, left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            if self.eat_symbol("+") {
+                left = Expr::bin(BinOp::Add, left, self.multiplicative()?);
+            } else if self.eat_symbol("-") {
+                left = Expr::bin(BinOp::Sub, left, self.multiplicative()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.primary()?;
+        loop {
+            if self.eat_symbol("*") {
+                left = Expr::bin(BinOp::Mul, left, self.primary()?);
+            } else if self.eat_symbol("/") {
+                left = Expr::bin(BinOp::Div, left, self.primary()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, DbError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::lit(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(Expr::lit(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::lit(Value::Str(s))),
+            Some(Token::Symbol("(")) => {
+                let inner = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            Some(Token::Symbol("-")) => {
+                // Unary minus.
+                let inner = self.primary()?;
+                Ok(Expr::bin(BinOp::Sub, Expr::lit(Value::Int(0)), inner))
+            }
+            Some(Token::Ident(word)) => {
+                if word.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::lit(Value::Bool(true)));
+                }
+                if word.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::lit(Value::Bool(false)));
+                }
+                // Qualified column?
+                if self.eat_symbol(".") {
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::col(&col));
+                }
+                Ok(Expr::col(&word))
+            }
+            other => Err(DbError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+
+    // --- statement grammar ---
+
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        // Aggregate call?
+        if let Some(Token::Ident(word)) = self.peek() {
+            if let Some(func) = AggFunc::parse(word) {
+                // Lookahead for '(' to distinguish a column named "count".
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol("("))) {
+                    self.pos += 2; // consume name and '('
+                    let mut func = func;
+                    if self.eat_keyword("DISTINCT") {
+                        if func != AggFunc::Count {
+                            return Err(DbError::Parse(
+                                "DISTINCT is only supported inside COUNT(...)".into(),
+                            ));
+                        }
+                        func = AggFunc::CountDistinct;
+                    }
+                    let (arg, arg_text) = if self.eat_symbol("*") {
+                        (Expr::lit(Value::Int(1)), "*".to_owned())
+                    } else {
+                        let e = self.expr()?;
+                        let text = e.render(&[]);
+                        (e, text)
+                    };
+                    self.expect_symbol(")")?;
+                    let default_name = func.render_call(&arg_text).to_ascii_lowercase();
+                    let name = if self.eat_keyword("AS") {
+                        self.expect_ident()?
+                    } else {
+                        default_name
+                    };
+                    return Ok(SelectItem::Aggregate(func, arg, name));
+                }
+            }
+        }
+        let e = self.expr()?;
+        let default_name = match &e {
+            Expr::Column(n) => n.clone(),
+            other => other.render(&[]),
+        };
+        let name = if self.eat_keyword("AS") {
+            self.expect_ident()?
+        } else {
+            default_name
+        };
+        Ok(SelectItem::Expr(e, name))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, DbError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = Vec::new();
+        if self.eat_symbol("*") {
+            items.push(SelectItem::Wildcard);
+        } else {
+            loop {
+                items.push(self.select_item()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.expect_ident()?;
+        // Optional alias (ignored).
+        if !self.peek_any_keyword() && matches!(self.peek(), Some(Token::Ident(_))) {
+            let _ = self.expect_ident();
+        }
+        let mut joins = Vec::new();
+        while self.eat_keyword("JOIN") {
+            let table = self.expect_ident()?;
+            if !self.peek_any_keyword() && matches!(self.peek(), Some(Token::Ident(_))) {
+                let _ = self.expect_ident(); // alias, ignored
+            }
+            self.expect_keyword("ON")?;
+            let a = self.column_name()?;
+            self.expect_symbol("=")?;
+            let b = self.column_name()?;
+            joins.push((table, a, b));
+        }
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let name = self.column_name()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push((name, desc));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(t) = self.peek() {
+            return Err(DbError::Parse(format!("trailing input: {t:?}")));
+        }
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    /// True if the next token is a reserved keyword (so a bare identifier
+    /// after FROM is an alias, not a keyword).
+    fn peek_any_keyword(&self) -> bool {
+        const KEYWORDS: [&str; 10] = [
+            "JOIN", "ON", "WHERE", "GROUP", "ORDER", "LIMIT", "BY", "AS", "DESC", "ASC",
+        ];
+        matches!(self.peek(), Some(Token::Ident(w))
+            if KEYWORDS.iter().any(|k| w.eq_ignore_ascii_case(k)))
+    }
+}
+
+/// Parses one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStmt, DbError> {
+    let tokens = tokenize(sql)?;
+    if tokens.is_empty() {
+        return Err(DbError::Parse("empty statement".into()));
+    }
+    Parser { tokens, pos: 0 }.select()
+}
+
+/// Converts a parsed statement into a logical [`Plan`].
+///
+/// `table_columns` resolves `SELECT *` and validates GROUP BY coverage; pass
+/// a closure mapping a table name to its column names.
+pub fn to_plan(
+    stmt: &SelectStmt,
+    table_columns: impl Fn(&str) -> Result<Vec<String>, DbError>,
+) -> Result<Plan, DbError> {
+    let mut plan = Plan::Scan {
+        table: stmt.from.clone(),
+        projection: None,
+    };
+    for (table, a, b) in &stmt.joins {
+        plan = Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(Plan::Scan {
+                table: table.clone(),
+                projection: None,
+            }),
+            // Key sides are resolved by name at bind time; store both names
+            // and let the executor's binder figure out which schema owns
+            // which (TPC-H prefixes make this unambiguous).
+            left_key: Expr::col(a),
+            right_key: Expr::col(b),
+        };
+    }
+    if let Some(pred) = &stmt.predicate {
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicate: pred.clone(),
+        };
+    }
+
+    let has_aggregate = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate(..)));
+    let has_group_by = !stmt.group_by.is_empty();
+
+    if has_aggregate || has_group_by {
+        // Build group-by keys with output names.
+        let group_by: Vec<(Expr, String)> = stmt
+            .group_by
+            .iter()
+            .map(|e| {
+                let name = match e {
+                    Expr::Column(n) => n.clone(),
+                    other => other.render(&[]),
+                };
+                (e.clone(), name)
+            })
+            .collect();
+        let mut aggregates = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Aggregate(f, arg, name) => {
+                    aggregates.push((*f, arg.clone(), name.clone()));
+                }
+                SelectItem::Expr(e, name) => {
+                    // Must be one of the group-by expressions.
+                    if !stmt.group_by.iter().any(|g| g == e) {
+                        return Err(DbError::Semantic(format!(
+                            "column '{name}' must appear in GROUP BY or be aggregated"
+                        )));
+                    }
+                }
+                SelectItem::Wildcard => {
+                    return Err(DbError::Semantic(
+                        "SELECT * cannot be combined with aggregation".into(),
+                    ))
+                }
+            }
+        }
+        plan = Plan::Aggregate {
+            input: Box::new(plan),
+            group_by,
+            aggregates,
+        };
+        // Reorder output if select list interleaves groups and aggregates
+        // differently than (groups..., aggs...): project by name.
+        let out_names: Vec<String> = stmt
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr(e, _) => match e {
+                    Expr::Column(n) => n.clone(),
+                    other => other.render(&[]),
+                },
+                SelectItem::Aggregate(_, _, n) => n.clone(),
+                SelectItem::Wildcard => unreachable!(),
+            })
+            .collect();
+        let select_names: Vec<String> = stmt
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr(_, n) | SelectItem::Aggregate(_, _, n) => n.clone(),
+                SelectItem::Wildcard => unreachable!(),
+            })
+            .collect();
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs: out_names
+                .iter()
+                .zip(&select_names)
+                .map(|(src, out)| (Expr::col(src), out.clone()))
+                .collect(),
+        };
+    } else {
+        // Pure projection (or wildcard).
+        let is_wildcard =
+            stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
+        if is_wildcard {
+            // Keep the plan as-is: all columns flow through. (Validate the
+            // table exists so errors surface at plan time.)
+            let _ = table_columns(&stmt.from)?;
+        } else {
+            let exprs: Vec<(Expr, String)> = stmt
+                .items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Expr(e, n) => (e.clone(), n.clone()),
+                    _ => unreachable!("aggregates handled above"),
+                })
+                .collect();
+            plan = Plan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+        }
+    }
+
+    if !stmt.order_by.is_empty() {
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys: stmt
+                .order_by
+                .iter()
+                .map(|(name, desc)| (Expr::col(name), *desc))
+                .collect(),
+        };
+    }
+    if stmt.distinct {
+        // DISTINCT applies to the projected output, below ORDER BY/LIMIT in
+        // our construction order; since Sort is order-preserving over the
+        // deduplicated rows, applying it before Sort is equivalent — but we
+        // built Sort already, so splice Distinct beneath Sort/Limit.
+        plan = insert_distinct(plan);
+    }
+    if let Some(n) = stmt.limit {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok(plan)
+}
+
+/// Splices a Distinct node beneath any Sort the plan already has, so
+/// duplicates are removed before ordering.
+fn insert_distinct(plan: Plan) -> Plan {
+    match plan {
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(insert_distinct(*input)),
+            keys,
+        },
+        other => Plan::Distinct {
+            input: Box::new(other),
+        },
+    }
+}
+
+
+/// A parsed statement: queries plus the DDL/DML the harness needs to build
+/// test fixtures from scripts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(SelectStmt),
+    /// `CREATE TABLE name (col TYPE, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, crate::types::DataType)>,
+    },
+    /// `INSERT INTO name VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+/// Parses one statement (SELECT, CREATE TABLE, or INSERT).
+pub fn parse_statement(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    if tokens.is_empty() {
+        return Err(DbError::Parse("empty statement".into()));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    if p.eat_keyword("CREATE") {
+        p.expect_keyword("TABLE")?;
+        let name = p.expect_ident()?;
+        p.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = p.expect_ident()?;
+            let ty_name = p.expect_ident()?;
+            let dt = parse_data_type(&ty_name)
+                .ok_or_else(|| DbError::Parse(format!("unknown type '{ty_name}'")))?;
+            // Optional length suffix, e.g. VARCHAR(25) — validated, ignored.
+            if p.eat_symbol("(") {
+                match p.next() {
+                    Some(Token::Int(n)) if n > 0 => {}
+                    other => {
+                        return Err(DbError::Parse(format!(
+                            "type length must be a positive integer, found {other:?}"
+                        )))
+                    }
+                }
+                p.expect_symbol(")")?;
+            }
+            columns.push((col, dt));
+            if !p.eat_symbol(",") {
+                break;
+            }
+        }
+        p.expect_symbol(")")?;
+        if let Some(t) = p.peek() {
+            return Err(DbError::Parse(format!("trailing input: {t:?}")));
+        }
+        if columns.is_empty() {
+            return Err(DbError::Parse("CREATE TABLE needs columns".into()));
+        }
+        return Ok(Statement::CreateTable { name, columns });
+    }
+    if p.eat_keyword("INSERT") {
+        p.expect_keyword("INTO")?;
+        let table = p.expect_ident()?;
+        p.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            p.expect_symbol("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(p.literal_value()?);
+                if !p.eat_symbol(",") {
+                    break;
+                }
+            }
+            p.expect_symbol(")")?;
+            rows.push(row);
+            if !p.eat_symbol(",") {
+                break;
+            }
+        }
+        if let Some(t) = p.peek() {
+            return Err(DbError::Parse(format!("trailing input: {t:?}")));
+        }
+        return Ok(Statement::Insert { table, rows });
+    }
+    Ok(Statement::Select(p.select()?))
+}
+
+/// Parses a SQL type name.
+fn parse_data_type(name: &str) -> Option<crate::types::DataType> {
+    use crate::types::DataType;
+    match name.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" | "DATE" => Some(DataType::Int),
+        "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => Some(DataType::Float),
+        "STRING" | "TEXT" | "VARCHAR" | "CHAR" => Some(DataType::Str),
+        "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+        _ => None,
+    }
+}
+
+impl Parser {
+    /// Parses a literal value (for INSERT rows): numbers (optionally
+    /// negated), strings, booleans.
+    fn literal_value(&mut self) -> Result<Value, DbError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Value::Int(n)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Symbol("-")) => match self.next() {
+                Some(Token::Int(n)) => Ok(Value::Int(-n)),
+                Some(Token::Float(f)) => Ok(Value::Float(-f)),
+                other => Err(DbError::Parse(format!("expected number after '-', found {other:?}"))),
+            },
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            other => Err(DbError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        let t = tokenize("SELECT a, 1.5 FROM t WHERE x <= 'hi'").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::Symbol("<=")));
+        assert!(t.contains(&Token::Str("hi".into())));
+    }
+
+    #[test]
+    fn tokenize_rejects_garbage() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn parse_simple_select() {
+        let s = parse("SELECT a, b FROM t").unwrap();
+        assert_eq!(s.from, "t");
+        assert_eq!(s.items.len(), 2);
+        assert!(s.predicate.is_none());
+        assert!(s.limit.is_none());
+    }
+
+    #[test]
+    fn parse_wildcard_and_limit() {
+        let s = parse("SELECT * FROM t LIMIT 10").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_where_with_precedence() {
+        let s = parse("SELECT a FROM t WHERE a > 1 AND b < 2 OR c = 3").unwrap();
+        // OR binds loosest: ((a>1 AND b<2) OR c=3)
+        match s.predicate.unwrap() {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_between_desugars() {
+        let s = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5").unwrap();
+        let p = s.predicate.unwrap();
+        let text = p.render(&[]);
+        assert_eq!(text, "((a >= 1) AND (a <= 5))");
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let s = parse("SELECT SUM(x) AS total, COUNT(*), AVG(y) FROM t GROUP BY g").unwrap();
+        match &s.items[0] {
+            SelectItem::Aggregate(AggFunc::Sum, _, name) => assert_eq!(name, "total"),
+            other => panic!("{other:?}"),
+        }
+        match &s.items[1] {
+            SelectItem::Aggregate(AggFunc::Count, arg, name) => {
+                assert_eq!(*arg, Expr::lit(Value::Int(1)));
+                assert_eq!(name, "count(*)");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn parse_join() {
+        let s = parse("SELECT a FROM t JOIN u ON t.id = u.t_id WHERE b > 0").unwrap();
+        assert_eq!(s.joins, vec![("u".to_owned(), "id".to_owned(), "t_id".to_owned())]);
+    }
+
+    #[test]
+    fn parse_order_by() {
+        let s = parse("SELECT a, b FROM t ORDER BY a DESC, b").unwrap();
+        assert_eq!(
+            s.order_by,
+            vec![("a".to_owned(), true), ("b".to_owned(), false)]
+        );
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let s = parse("SELECT a + b * c FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr(e, _) => {
+                assert_eq!(e.render(&[]), "(a + (b * c))");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_unary_minus() {
+        let s = parse("SELECT a FROM t WHERE a > -5").unwrap();
+        assert_eq!(s.predicate.unwrap().render(&[]), "(a > (0 - 5))");
+    }
+
+    #[test]
+    fn parse_qualified_columns_drop_prefix() {
+        let s = parse("SELECT l.price FROM lineitem l WHERE l.qty > 1").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr(Expr::Column(n), _) => assert_eq!(n, "price"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a").is_err());
+        assert!(parse("SELECT a FROM t extra garbage tokens +").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+    }
+
+    #[test]
+    fn to_plan_simple() {
+        let s = parse("SELECT a FROM t WHERE a > 1").unwrap();
+        let plan = to_plan(&s, |_| Ok(vec!["a".into()])).unwrap();
+        match plan {
+            Plan::Project { input, .. } => match *input {
+                Plan::Filter { input, .. } => {
+                    assert!(matches!(*input, Plan::Scan { .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_plan_group_by_validation() {
+        let s = parse("SELECT a, SUM(b) FROM t GROUP BY a").unwrap();
+        assert!(to_plan(&s, |_| Ok(vec![])).is_ok());
+        let bad = parse("SELECT a, SUM(b) FROM t GROUP BY c").unwrap();
+        let err = to_plan(&bad, |_| Ok(vec![])).unwrap_err();
+        assert!(matches!(err, DbError::Semantic(_)));
+    }
+
+    #[test]
+    fn to_plan_wildcard_with_aggregate_rejected() {
+        let bad = parse("SELECT * FROM t GROUP BY a").unwrap();
+        assert!(to_plan(&bad, |_| Ok(vec![])).is_err());
+    }
+
+    #[test]
+    fn to_plan_order_and_limit_nest_outermost() {
+        let s = parse("SELECT a FROM t ORDER BY a LIMIT 5").unwrap();
+        let plan = to_plan(&s, |_| Ok(vec!["a".into()])).unwrap();
+        match plan {
+            Plan::Limit { input, n } => {
+                assert_eq!(n, 5);
+                assert!(matches!(*input, Plan::Sort { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

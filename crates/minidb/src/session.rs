@@ -1,0 +1,410 @@
+//! Sessions: parse → optimize → execute → print, with per-phase timing.
+//!
+//! This is the engine's `mclient -t`: every query reports how long each
+//! phase took, so experiments can answer *"be aware what you measure"*
+//! questions — is the 1468 ms the query, or the printing? Is the gap the
+//! engine, or a cold buffer pool?
+
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::exec::{ExecMode, Executor, ProfileEntry, ResultSet};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::parser::{parse_statement, to_plan, Statement};
+use crate::plan::Plan;
+use crate::sink::{NullSink, ResultSink};
+use crate::types::Value;
+use memsim::{BufferPool, Disk};
+use perfeval_measure::{Measurement, PhaseTimer};
+use std::time::Instant;
+
+/// Result of executing one query in a [`Session`].
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Real (wall-clock) per-phase breakdown: parse / optimize / execute /
+    /// print, in ms.
+    pub phases: Measurement,
+    /// Simulated disk wait incurred during execution (0 without a pool), ms.
+    pub sim_io_ms: f64,
+    /// Simulated output-device overhead from the sink, ms.
+    pub sim_print_ms: f64,
+    /// Bytes the sink rendered.
+    pub result_bytes: usize,
+    /// Per-operator profile trace.
+    pub profile: Vec<ProfileEntry>,
+}
+
+impl QueryResult {
+    /// Server-side "user" (CPU) time: the execute phase's real time, which
+    /// in this in-memory engine is all computation.
+    pub fn server_user_ms(&self) -> f64 {
+        self.phases.phase_ms("execute").unwrap_or(0.0)
+    }
+
+    /// Server-side "real" time: execution plus simulated I/O waits.
+    pub fn server_real_ms(&self) -> f64 {
+        self.server_user_ms() + self.sim_io_ms
+    }
+
+    /// Client-side "real" time: server real plus result delivery/printing.
+    pub fn client_real_ms(&self) -> f64 {
+        self.server_real_ms()
+            + self.phases.phase_ms("print").unwrap_or(0.0)
+            + self.sim_print_ms
+    }
+
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A database session.
+pub struct Session {
+    catalog: Catalog,
+    mode: ExecMode,
+    optimizer: OptimizerConfig,
+    pool: Option<BufferPool>,
+}
+
+impl Session {
+    /// Creates a session over a catalog with the optimized engine, all
+    /// optimizer rules on, and no I/O simulation.
+    pub fn new(catalog: Catalog) -> Self {
+        Session {
+            catalog,
+            mode: ExecMode::Optimized,
+            optimizer: OptimizerConfig::all(),
+            pool: None,
+        }
+    }
+
+    /// Selects the execution engine (the DBG/OPT axis).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Attaches a simulated disk + buffer pool; scans now charge page I/O
+    /// and [`Session::flush_caches`] produces genuine cold runs.
+    pub fn with_disk(mut self, disk: Disk, pool_pages: usize) -> Self {
+        self.pool = Some(BufferPool::new(disk, pool_pages));
+        self
+    }
+
+    /// Reconfigures the optimizer (for ablations).
+    pub fn set_optimizer(&mut self, config: OptimizerConfig) {
+        self.optimizer = config;
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The catalog (immutable).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (loading data).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Flushes the buffer pool — the cold-run "reboot" of slide 32. No-op
+    /// without a pool.
+    pub fn flush_caches(&mut self) {
+        if let Some(pool) = &mut self.pool {
+            pool.flush();
+        }
+    }
+
+    /// Buffer-pool hit rate of the last statement (`None` without a pool).
+    pub fn pool_hit_rate(&self) -> Option<f64> {
+        self.pool.as_ref().map(|p| p.hit_rate())
+    }
+
+    /// Plans a statement (parse + optimize), without executing. Only
+    /// SELECT statements have plans.
+    pub fn plan(&self, sql: &str) -> Result<Plan, DbError> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => {
+                let plan = to_plan(&stmt, |t| {
+                    Ok(self.catalog.table(t)?.column_names().to_vec())
+                })?;
+                optimize(plan, &self.catalog, self.optimizer)
+            }
+            _ => Err(DbError::Semantic(
+                "only SELECT statements have query plans".into(),
+            )),
+        }
+    }
+
+    /// EXPLAIN: the optimized plan as an operator tree.
+    pub fn explain(&self, sql: &str) -> Result<String, DbError> {
+        Ok(self.plan(sql)?.explain(&self.catalog))
+    }
+
+    /// Executes a statement, discarding the result rows' rendering (null
+    /// sink) — the pure server-side measurement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        self.execute_to(sql, &mut NullSink)
+    }
+
+    /// Executes a statement and delivers the result to `sink`.
+    pub fn execute_to(
+        &mut self,
+        sql: &str,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryResult, DbError> {
+        let mut timer = PhaseTimer::new();
+
+        // Parse.
+        let t0 = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let stmt = match stmt {
+            Statement::Select(s) => s,
+            Statement::CreateTable { name, columns } => {
+                let mut builder = crate::table::TableBuilder::new(&name);
+                for (col, dt) in &columns {
+                    builder = builder.column(col, *dt);
+                }
+                self.catalog.register(builder.build())?;
+                timer.record("parse", t0.elapsed().as_secs_f64() * 1e3);
+                return Ok(ddl_result(timer, 0));
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.table_mut(&table)?;
+                let n = rows.len();
+                for row in rows {
+                    t.push_row(row)?;
+                }
+                timer.record("parse", t0.elapsed().as_secs_f64() * 1e3);
+                return Ok(ddl_result(timer, n));
+            }
+        };
+        let plan = to_plan(&stmt, |t| {
+            Ok(self.catalog.table(t)?.column_names().to_vec())
+        })?;
+        timer.record("parse", t0.elapsed().as_secs_f64() * 1e3);
+
+        // Optimize.
+        let t1 = Instant::now();
+        let plan = optimize(plan, &self.catalog, self.optimizer)?;
+        timer.record("optimize", t1.elapsed().as_secs_f64() * 1e3);
+
+        // Execute.
+        let io_before = self.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
+        let t2 = Instant::now();
+        let (result, profile) = {
+            let mut executor = Executor::new(&self.catalog, self.mode);
+            if let Some(pool) = &mut self.pool {
+                executor = executor.with_pool(pool);
+            }
+            let result = executor.run(&plan)?;
+            (result, executor.profile().to_vec())
+        };
+        timer.record("execute", t2.elapsed().as_secs_f64() * 1e3);
+        let io_after = self.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
+        let sim_io_ms = (io_after - io_before) / 1e6;
+
+        // Print.
+        let t3 = Instant::now();
+        let report = sink.consume(&result)?;
+        timer.record("print", t3.elapsed().as_secs_f64() * 1e3);
+
+        let ResultSet { column_names, rows } = result;
+        Ok(QueryResult {
+            column_names,
+            rows,
+            phases: timer.finish(),
+            sim_io_ms,
+            sim_print_ms: report.sim_overhead_ms,
+            result_bytes: report.bytes,
+            profile,
+        })
+    }
+
+    /// PROFILE: executes and renders the per-operator trace.
+    pub fn profile(&mut self, sql: &str) -> Result<String, DbError> {
+        let result = self.execute(sql)?;
+        Ok(crate::exec::render_profile(&result.profile))
+    }
+}
+
+/// Result shape for DDL/DML statements: no columns, `affected` rows
+/// reported via [`QueryResult::row_count`]-independent metadata (we encode
+/// it as a single-cell result so scripts can read it).
+fn ddl_result(timer: PhaseTimer, affected: usize) -> QueryResult {
+    QueryResult {
+        column_names: vec!["rows_affected".to_owned()],
+        rows: vec![vec![Value::Int(affected as i64)]],
+        phases: timer.finish(),
+        sim_io_ms: 0.0,
+        sim_print_ms: 0.0,
+        result_bytes: 0,
+        profile: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TerminalSink;
+    use crate::table::TableBuilder;
+    use crate::types::DataType;
+
+    fn session() -> Session {
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("nums")
+            .column("x", DataType::Int)
+            .column("y", DataType::Float)
+            .build();
+        for i in 0..10_000 {
+            t.push_row(vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+                .unwrap();
+        }
+        catalog.register(t).unwrap();
+        Session::new(catalog)
+    }
+
+    #[test]
+    fn execute_returns_rows_and_phases() {
+        let mut s = session();
+        let r = s.execute("SELECT COUNT(*) FROM nums WHERE x < 100").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
+        for phase in ["parse", "optimize", "execute", "print"] {
+            assert!(r.phases.phase_ms(phase).is_some(), "missing {phase}");
+        }
+        assert!(r.server_user_ms() >= 0.0);
+        assert_eq!(r.sim_io_ms, 0.0, "no pool attached");
+    }
+
+    #[test]
+    fn explain_shows_pruned_plan() {
+        let s = session();
+        let text = s.explain("SELECT SUM(y) FROM nums").unwrap();
+        assert!(text.contains("Scan nums [y]"), "{text}");
+        assert!(text.contains("HashAggregate"));
+    }
+
+    #[test]
+    fn profile_renders_trace() {
+        let mut s = session();
+        let trace = s.profile("SELECT MAX(x) FROM nums").unwrap();
+        assert!(trace.contains("Scan nums"));
+        assert!(trace.contains("ms"));
+    }
+
+    #[test]
+    fn debug_mode_is_slower_than_optimized() {
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("big").column("v", DataType::Float).build();
+        for i in 0..200_000 {
+            t.push_row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        catalog.register(t).unwrap();
+        let sql = "SELECT SUM(v) FROM big WHERE v > 1000.0";
+
+        let mut opt = Session::new(catalog.clone()).with_mode(ExecMode::Optimized);
+        let mut dbg = Session::new(catalog).with_mode(ExecMode::Debug);
+        // Warm once, take the best of three (robust to scheduler noise in
+        // dev-profile CI runs).
+        let best = |s: &mut Session| {
+            s.execute(sql).unwrap();
+            (0..3)
+                .map(|_| s.execute(sql).unwrap().server_user_ms())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let to = best(&mut opt);
+        let td = best(&mut dbg);
+        assert!(
+            td > 1.2 * to,
+            "debug ({td:.2} ms) should be clearly slower than optimized ({to:.2} ms)"
+        );
+    }
+
+    #[test]
+    fn cold_run_has_real_much_greater_than_user() {
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("big").column("v", DataType::Float).build();
+        for i in 0..500_000 {
+            t.push_row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        catalog.register(t).unwrap();
+        // A slow 1992-era disk keeps the cold-run I/O wait dominant even
+        // when this test runs in an unoptimized dev build (where the CPU
+        // component is inflated).
+        let mut s = Session::new(catalog).with_disk(Disk::era_1992(), 10_000);
+        let sql = "SELECT SUM(v) FROM big";
+
+        s.flush_caches();
+        let cold = s.execute(sql).unwrap();
+        let hot = s.execute(sql).unwrap();
+
+        assert!(cold.sim_io_ms > 0.0, "cold run must wait on disk");
+        assert_eq!(hot.sim_io_ms, 0.0, "hot run must not");
+        assert!(
+            cold.server_real_ms() > 2.0 * cold.server_user_ms(),
+            "cold: real {} vs user {}",
+            cold.server_real_ms(),
+            cold.server_user_ms()
+        );
+        // Hot real ~ hot user.
+        assert!((hot.server_real_ms() - hot.server_user_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terminal_print_dominates_for_large_results() {
+        let mut s = session();
+        let mut terminal = TerminalSink::new();
+        let r = s
+            .execute_to("SELECT x, y FROM nums", &mut terminal)
+            .unwrap();
+        assert_eq!(r.row_count(), 10_000);
+        assert!(r.sim_print_ms > 0.0);
+        assert!(r.client_real_ms() > r.server_real_ms());
+        assert!(r.result_bytes > 100_000);
+    }
+
+    #[test]
+    fn optimizer_toggle_changes_plan() {
+        let mut s = session();
+        s.set_optimizer(OptimizerConfig::none());
+        let unopt = s.explain("SELECT SUM(y) FROM nums").unwrap();
+        assert!(unopt.contains("Scan nums [*]"), "{unopt}");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut s = session();
+        assert!(matches!(
+            s.execute("SELECT nope FROM nums"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT x FROM missing"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(s.execute("garbage"), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn pool_hit_rate_visible() {
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("small").column("v", DataType::Int).build();
+        for i in 0..100_000 {
+            t.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        catalog.register(t).unwrap();
+        let mut s = Session::new(catalog).with_disk(Disk::raid_2008(), 1_000);
+        assert_eq!(s.pool_hit_rate(), Some(0.0));
+        s.execute("SELECT COUNT(*) FROM small").unwrap();
+        s.execute("SELECT COUNT(*) FROM small").unwrap();
+        assert!(s.pool_hit_rate().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Confidence intervals for measured quantities.
+//!
+//! Slide 142 of the tutorial ("Plot random quantities without confidence
+//! intervals") is a *pictorial game* — a way to lie with charts. The fix is
+//! to compute and plot intervals; this module provides them, along with the
+//! overlap semantics the tutorial calls out: *"Overlapping confidence
+//! intervals sometimes mean the two quantities are statistically
+//! indifferent."*
+
+use crate::descriptive::Summary;
+use crate::special::student_t_two_sided;
+use crate::{check_finite, StatsError};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The point estimate (usually the sample mean).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// The confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval (the "error bar" length).
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Relative half-width as a fraction of the estimate; a common stopping
+    /// criterion for adaptive replication ("replicate until the 95% CI is
+    /// within 2% of the mean"). `None` when the estimate is 0.
+    pub fn relative_half_width(&self) -> Option<f64> {
+        if self.estimate == 0.0 {
+            None
+        } else {
+            Some(self.half_width() / self.estimate.abs())
+        }
+    }
+
+    /// Does the interval contain `value`?
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+
+    /// Do two intervals overlap?
+    ///
+    /// Per the tutorial: overlapping intervals mean the difference between
+    /// the two quantities may not be statistically meaningful, so a bar chart
+    /// claiming MINE beats YOURS is not justified by the point estimates
+    /// alone.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lower <= other.upper && other.lower <= self.upper
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] @{:.0}%",
+            self.estimate,
+            self.lower,
+            self.upper,
+            self.level * 100.0
+        )
+    }
+}
+
+/// Computes a Student-t confidence interval for the mean of `data` at the
+/// given confidence `level` (e.g. 0.95).
+///
+/// Requires at least two observations; with one replication there is no
+/// variance estimate — which is precisely why the tutorial insists on
+/// replication ("variation due to a factor must be compared to that due to
+/// errors").
+///
+/// ```
+/// let ci = perfeval_stats::ci::mean_confidence_interval(
+///     &[10.0, 11.0, 9.0, 10.5, 9.5], 0.95).unwrap();
+/// assert!(ci.contains(10.0));
+/// assert!(!ci.contains(20.0));
+/// ```
+pub fn mean_confidence_interval(
+    data: &[f64],
+    level: f64,
+) -> Result<ConfidenceInterval, StatsError> {
+    check_finite(data)?;
+    if data.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level must be in (0,1)"));
+    }
+    let s = Summary::from_slice(data);
+    let df = (s.count() - 1) as f64;
+    let t = student_t_two_sided(level, df);
+    let hw = t * s.std_error();
+    Ok(ConfidenceInterval {
+        estimate: s.mean(),
+        lower: s.mean() - hw,
+        upper: s.mean() + hw,
+        level,
+    })
+}
+
+/// Computes how many *additional* replications are likely needed to reach a
+/// target relative CI half-width, assuming the variance estimate from the
+/// pilot sample holds.
+///
+/// Returns 0 if the target is already met. This implements the tutorial's
+/// two-stage advice quantitatively: run a few pilot replications, then decide
+/// how many more you need.
+pub fn replications_for_target(
+    pilot: &[f64],
+    level: f64,
+    target_relative_half_width: f64,
+) -> Result<usize, StatsError> {
+    let ci = mean_confidence_interval(pilot, level)?;
+    if target_relative_half_width <= 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "target_relative_half_width must be > 0",
+        ));
+    }
+    let Some(current) = ci.relative_half_width() else {
+        return Err(StatsError::InvalidParameter("mean of pilot sample is zero"));
+    };
+    if current <= target_relative_half_width {
+        return Ok(0);
+    }
+    // Half-width shrinks ~ 1/sqrt(n): solve n_new = n * (current/target)^2.
+    let n = pilot.len() as f64;
+    let needed = (n * (current / target_relative_half_width).powi(2)).ceil() as usize;
+    Ok(needed.saturating_sub(pilot.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_matches_hand_computation() {
+        // data: 10, 12, 14 -> mean 12, sd 2, se 2/sqrt(3)
+        // t(0.95, df=2) = 4.303 -> hw = 4.303 * 1.1547 = 4.968
+        let ci = mean_confidence_interval(&[10.0, 12.0, 14.0], 0.95).unwrap();
+        assert!((ci.estimate - 12.0).abs() < 1e-12);
+        assert!((ci.half_width() - 4.968).abs() < 5e-3, "hw={}", ci.half_width());
+    }
+
+    #[test]
+    fn ci_requires_two_points() {
+        assert_eq!(
+            mean_confidence_interval(&[1.0], 0.95),
+            Err(StatsError::NotEnoughData { needed: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn ci_rejects_bad_level() {
+        assert!(mean_confidence_interval(&[1.0, 2.0], 0.0).is_err());
+        assert!(mean_confidence_interval(&[1.0, 2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn ci_rejects_nan() {
+        assert_eq!(
+            mean_confidence_interval(&[1.0, f64::NAN], 0.95),
+            Err(StatsError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn higher_level_means_wider_interval() {
+        let data = [5.0, 6.0, 7.0, 5.5, 6.5];
+        let c90 = mean_confidence_interval(&data, 0.90).unwrap();
+        let c99 = mean_confidence_interval(&data, 0.99).unwrap();
+        assert!(c99.half_width() > c90.half_width());
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = ConfidenceInterval {
+            estimate: 10.0,
+            lower: 9.0,
+            upper: 11.0,
+            level: 0.95,
+        };
+        let b = ConfidenceInterval {
+            estimate: 11.5,
+            lower: 10.5,
+            upper: 12.5,
+            level: 0.95,
+        };
+        let c = ConfidenceInterval {
+            estimate: 20.0,
+            lower: 19.0,
+            upper: 21.0,
+            level: 0.95,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        // Touching endpoints count as overlap.
+        let d = ConfidenceInterval {
+            estimate: 12.0,
+            lower: 11.0,
+            upper: 13.0,
+            level: 0.95,
+        };
+        assert!(a.overlaps(&d));
+    }
+
+    #[test]
+    fn relative_half_width() {
+        let ci = ConfidenceInterval {
+            estimate: 100.0,
+            lower: 95.0,
+            upper: 105.0,
+            level: 0.95,
+        };
+        assert!((ci.relative_half_width().unwrap() - 0.05).abs() < 1e-12);
+        let zero = ConfidenceInterval {
+            estimate: 0.0,
+            lower: -1.0,
+            upper: 1.0,
+            level: 0.95,
+        };
+        assert!(zero.relative_half_width().is_none());
+    }
+
+    #[test]
+    fn replications_for_target_already_met() {
+        // Very tight data: CI is tiny already.
+        let data = [100.0, 100.001, 99.999, 100.0, 100.0005, 99.9995];
+        let extra = replications_for_target(&data, 0.95, 0.05).unwrap();
+        assert_eq!(extra, 0);
+    }
+
+    #[test]
+    fn replications_for_target_scales_with_noise() {
+        let noisy = [50.0, 150.0, 80.0, 120.0];
+        let extra = replications_for_target(&noisy, 0.95, 0.02).unwrap();
+        assert!(extra > 10, "noisy data should need many more reps, got {extra}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let ci = ConfidenceInterval {
+            estimate: 1.0,
+            lower: 0.5,
+            upper: 1.5,
+            level: 0.95,
+        };
+        assert_eq!(ci.to_string(), "1.0000 [0.5000, 1.5000] @95%");
+    }
+}

@@ -1,0 +1,303 @@
+//! Comparing two alternatives — the "Of apples and oranges" chapter made
+//! executable.
+//!
+//! The tutorial warns that `MINE is better than YOURS!` bar charts are often
+//! unjustified: truncated axes, no replication, no error bars. This module
+//! provides the honest comparison: Welch's two-sample t procedure for the
+//! difference of means, a speedup ratio with propagated uncertainty, and a
+//! three-valued verdict that admits *"statistically indifferent"* as an
+//! answer.
+
+use crate::ci::ConfidenceInterval;
+use crate::descriptive::Summary;
+use crate::special::{student_t_cdf, student_t_two_sided};
+use crate::{check_finite, StatsError};
+
+/// Outcome of comparing system A against system B on a lower-is-better
+/// metric (e.g. response time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonVerdict {
+    /// A's mean is lower and the difference is significant at the level.
+    AFaster,
+    /// B's mean is lower and the difference is significant at the level.
+    BFaster,
+    /// The confidence interval of the difference contains zero: the systems
+    /// are statistically indistinguishable at this level.
+    Indistinguishable,
+}
+
+impl std::fmt::Display for ComparisonVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ComparisonVerdict::AFaster => "A faster",
+            ComparisonVerdict::BFaster => "B faster",
+            ComparisonVerdict::Indistinguishable => "statistically indistinguishable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full result of a two-sample comparison.
+#[derive(Debug, Clone)]
+pub struct TwoSampleComparison {
+    /// Summary of sample A.
+    pub a: Summary,
+    /// Summary of sample B.
+    pub b: Summary,
+    /// Confidence interval on the difference of means (A − B).
+    pub difference: ConfidenceInterval,
+    /// Welch–Satterthwaite degrees of freedom used.
+    pub degrees_of_freedom: f64,
+    /// Two-sided p-value for the hypothesis "means are equal".
+    pub p_value: f64,
+    /// The verdict at the requested level (lower mean = faster).
+    pub verdict: ComparisonVerdict,
+    /// Speedup of A over B, defined as mean(B)/mean(A): >1 means A is
+    /// faster on a lower-is-better metric.
+    pub speedup: f64,
+}
+
+/// Compares the means of two independent samples with Welch's t procedure
+/// (no equal-variance assumption — benchmark variances rarely match).
+///
+/// `level` is the confidence level for the interval on the difference, e.g.
+/// 0.95.
+///
+/// ```
+/// use perfeval_stats::compare::{compare_means, ComparisonVerdict};
+/// let mine = [10.0, 10.2, 9.8, 10.1, 9.9];
+/// let yours = [20.0, 20.4, 19.6, 20.2, 19.8];
+/// let cmp = compare_means(&mine, &yours, 0.95).unwrap();
+/// assert_eq!(cmp.verdict, ComparisonVerdict::AFaster);
+/// assert!(cmp.speedup > 1.9 && cmp.speedup < 2.1);
+/// ```
+pub fn compare_means(
+    a: &[f64],
+    b: &[f64],
+    level: f64,
+) -> Result<TwoSampleComparison, StatsError> {
+    check_finite(a)?;
+    check_finite(b)?;
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: a.len().min(b.len()),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level must be in (0,1)"));
+    }
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    let va_n = sa.variance() / sa.count() as f64;
+    let vb_n = sb.variance() / sb.count() as f64;
+    let se = (va_n + vb_n).sqrt();
+    let diff = sa.mean() - sb.mean();
+
+    // Welch–Satterthwaite degrees of freedom.
+    let df = if se == 0.0 {
+        (sa.count() + sb.count() - 2) as f64
+    } else {
+        (va_n + vb_n).powi(2)
+            / (va_n.powi(2) / (sa.count() - 1) as f64 + vb_n.powi(2) / (sb.count() - 1) as f64)
+    };
+
+    let (half_width, p_value) = if se == 0.0 {
+        // Zero variance in both samples: difference is exact.
+        (0.0, if diff == 0.0 { 1.0 } else { 0.0 })
+    } else {
+        let t_crit = student_t_two_sided(level, df);
+        let t_stat = diff / se;
+        let p = 2.0 * (1.0 - student_t_cdf(t_stat.abs(), df));
+        (t_crit * se, p)
+    };
+
+    let difference = ConfidenceInterval {
+        estimate: diff,
+        lower: diff - half_width,
+        upper: diff + half_width,
+        level,
+    };
+    let verdict = if difference.contains(0.0) {
+        ComparisonVerdict::Indistinguishable
+    } else if diff < 0.0 {
+        ComparisonVerdict::AFaster
+    } else {
+        ComparisonVerdict::BFaster
+    };
+    let speedup = if sa.mean() != 0.0 {
+        sb.mean() / sa.mean()
+    } else {
+        f64::INFINITY
+    };
+
+    Ok(TwoSampleComparison {
+        a: sa,
+        b: sb,
+        difference,
+        degrees_of_freedom: df,
+        p_value,
+        verdict,
+        speedup,
+    })
+}
+
+/// Paired comparison: both systems measured on the *same* inputs (e.g. the
+/// same 22 queries). Pairing removes per-input variance and is far more
+/// sensitive than the unpaired test. Operates on the per-pair differences
+/// (a_i − b_i).
+pub fn compare_paired(
+    a: &[f64],
+    b: &[f64],
+    level: f64,
+) -> Result<TwoSampleComparison, StatsError> {
+    if a.len() != b.len() {
+        return Err(StatsError::InvalidParameter(
+            "paired comparison requires equal-length samples",
+        ));
+    }
+    check_finite(a)?;
+    check_finite(b)?;
+    if a.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: a.len(),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level must be in (0,1)"));
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let sd = Summary::from_slice(&diffs);
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    let df = (sd.count() - 1) as f64;
+    let se = sd.std_error();
+    let diff = sd.mean();
+    let (half_width, p_value) = if se == 0.0 {
+        (0.0, if diff == 0.0 { 1.0 } else { 0.0 })
+    } else {
+        let t_crit = student_t_two_sided(level, df);
+        let t_stat = diff / se;
+        let p = 2.0 * (1.0 - student_t_cdf(t_stat.abs(), df));
+        (t_crit * se, p)
+    };
+    let difference = ConfidenceInterval {
+        estimate: diff,
+        lower: diff - half_width,
+        upper: diff + half_width,
+        level,
+    };
+    let verdict = if difference.contains(0.0) {
+        ComparisonVerdict::Indistinguishable
+    } else if diff < 0.0 {
+        ComparisonVerdict::AFaster
+    } else {
+        ComparisonVerdict::BFaster
+    };
+    let speedup = if sa.mean() != 0.0 {
+        sb.mean() / sa.mean()
+    } else {
+        f64::INFINITY
+    };
+    Ok(TwoSampleComparison {
+        a: sa,
+        b: sb,
+        difference,
+        degrees_of_freedom: df,
+        p_value,
+        verdict,
+        speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_different_samples() {
+        let a = [10.0, 10.5, 9.5, 10.2, 9.8];
+        let b = [30.0, 31.0, 29.0, 30.5, 29.5];
+        let c = compare_means(&a, &b, 0.95).unwrap();
+        assert_eq!(c.verdict, ComparisonVerdict::AFaster);
+        assert!(c.p_value < 0.001);
+        assert!(c.speedup > 2.5);
+    }
+
+    #[test]
+    fn indistinguishable_samples() {
+        let a = [10.0, 12.0, 8.0, 11.0, 9.0];
+        let b = [10.5, 11.5, 8.5, 10.0, 9.5];
+        let c = compare_means(&a, &b, 0.95).unwrap();
+        assert_eq!(c.verdict, ComparisonVerdict::Indistinguishable);
+        assert!(c.p_value > 0.05);
+    }
+
+    #[test]
+    fn b_faster_flips_verdict() {
+        let a = [30.0, 31.0, 29.0];
+        let b = [10.0, 10.5, 9.5];
+        let c = compare_means(&a, &b, 0.95).unwrap();
+        assert_eq!(c.verdict, ComparisonVerdict::BFaster);
+        assert!(c.speedup < 1.0);
+    }
+
+    #[test]
+    fn welch_handles_unequal_variances() {
+        let tight = [100.0, 100.1, 99.9, 100.05, 99.95];
+        let loose = [90.0, 130.0, 70.0, 120.0, 95.0];
+        let c = compare_means(&tight, &loose, 0.95).unwrap();
+        // df should be pulled toward the noisier sample's df (4), well below
+        // the pooled df of 8.
+        assert!(c.degrees_of_freedom < 5.0, "df={}", c.degrees_of_freedom);
+    }
+
+    #[test]
+    fn zero_variance_exact_difference() {
+        let a = [5.0, 5.0, 5.0];
+        let b = [7.0, 7.0, 7.0];
+        let c = compare_means(&a, &b, 0.95).unwrap();
+        assert_eq!(c.verdict, ComparisonVerdict::AFaster);
+        assert_eq!(c.p_value, 0.0);
+        assert_eq!(c.difference.half_width(), 0.0);
+    }
+
+    #[test]
+    fn zero_variance_identical() {
+        let a = [5.0, 5.0];
+        let c = compare_means(&a, &a, 0.95).unwrap();
+        assert_eq!(c.verdict, ComparisonVerdict::Indistinguishable);
+        assert_eq!(c.p_value, 1.0);
+    }
+
+    #[test]
+    fn paired_is_more_sensitive_than_unpaired() {
+        // Per-query times vary a lot, but B is consistently 5% slower.
+        let a = [100.0, 500.0, 50.0, 1000.0, 250.0, 750.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 1.05).collect();
+        let unpaired = compare_means(&a, &b, 0.95).unwrap();
+        let paired = compare_paired(&a, &b, 0.95).unwrap();
+        assert_eq!(unpaired.verdict, ComparisonVerdict::Indistinguishable);
+        assert_eq!(paired.verdict, ComparisonVerdict::AFaster);
+    }
+
+    #[test]
+    fn paired_requires_equal_lengths() {
+        assert!(compare_paired(&[1.0, 2.0], &[1.0], 0.95).is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_samples() {
+        assert!(compare_means(&[1.0], &[2.0, 3.0], 0.95).is_err());
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(ComparisonVerdict::AFaster.to_string(), "A faster");
+        assert_eq!(
+            ComparisonVerdict::Indistinguishable.to_string(),
+            "statistically indistinguishable"
+        );
+    }
+}

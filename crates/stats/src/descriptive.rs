@@ -1,0 +1,312 @@
+//! Descriptive statistics over a sample of measurements.
+//!
+//! The tutorial's measurement chapters ("What to measure?", "How to run")
+//! assume every reported number is backed by replicated runs; [`Summary`]
+//! is the crate's canonical reduction of such a replication set.
+
+use crate::StatsError;
+
+/// A single-pass, numerically stable summary of a sample.
+///
+/// Uses Welford's online algorithm for mean and variance so it can also be
+/// fed incrementally (e.g. by a benchmark runner streaming replications).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum_ln: f64,
+    all_positive: bool,
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum_ln: 0.0,
+            all_positive: true,
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a summary from a slice in one call.
+    pub fn from_slice(data: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in data {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        if v > 0.0 {
+            self.sum_ln += v.ln();
+        } else {
+            self.all_positive = false;
+        }
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Arithmetic mean. Returns 0 for an empty sample.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (n − 1 denominator).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean: s / sqrt(n).
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean); a quick "is my experiment
+    /// noisy?" indicator. Returns `None` if the mean is zero.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        let m = self.mean();
+        if m == 0.0 {
+            None
+        } else {
+            Some(self.stddev() / m.abs())
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Range (max − min); 0 if fewer than 2 observations.
+    pub fn range(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Geometric mean; `None` if any observation is non-positive.
+    ///
+    /// The geometric mean is the right way to average *ratios* (e.g. the
+    /// DBG/OPT relative execution times of experiment E3), where the
+    /// arithmetic mean would over-weight large ratios.
+    pub fn geometric_mean(&self) -> Option<f64> {
+        if self.n == 0 || !self.all_positive {
+            None
+        } else {
+            Some((self.sum_ln / self.n as f64).exp())
+        }
+    }
+
+    /// The p-th percentile (0 ≤ p ≤ 100) using linear interpolation between
+    /// order statistics (the "type 7" definition used by most tools).
+    pub fn percentile(&self, p: f64) -> Result<f64, StatsError> {
+        if self.n == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if !(0.0..=100.0).contains(&p) {
+            return Err(StatsError::InvalidParameter("percentile must be in [0,100]"));
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in summary"));
+        let rank = p / 100.0 * (self.n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Result<f64, StatsError> {
+        self.percentile(50.0)
+    }
+
+    /// The raw observations, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Merges another summary into this one (order of `values` is this
+    /// summary's observations followed by the other's).
+    pub fn merge(&mut self, other: &Summary) {
+        for &v in &other.values {
+            self.push(v);
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.stddev(),
+            if self.n == 0 { 0.0 } else { self.min },
+            if self.n == 0 { 0.0 } else { self.max },
+        )
+    }
+}
+
+/// Harmonic mean of a slice; the correct average for *rates* (e.g.
+/// queries/second across equal-work phases). Returns `None` if the slice is
+/// empty or contains non-positive values.
+pub fn harmonic_mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let recip_sum: f64 = data.iter().map(|&v| 1.0 / v).sum();
+    Some(data.len() as f64 / recip_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert!(s.median().is_err());
+        assert!(s.geometric_mean().is_none());
+    }
+
+    #[test]
+    fn mean_and_variance_match_textbook() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: Σ(x-5)² = 32, /7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.median().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.percentile(0.0).unwrap(), 1.0);
+        assert_eq!(s.percentile(100.0).unwrap(), 4.0);
+        assert!((s.median().unwrap() - 2.5).abs() < 1e-12);
+        assert!((s.percentile(25.0).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        let s = Summary::from_slice(&[1.0]);
+        assert!(s.percentile(101.0).is_err());
+        assert!(s.percentile(-0.1).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let s = Summary::from_slice(&[2.0, 8.0]);
+        assert!((s.geometric_mean().unwrap() - 4.0).abs() < 1e-12);
+        let neg = Summary::from_slice(&[2.0, -8.0]);
+        assert!(neg.geometric_mean().is_none());
+    }
+
+    #[test]
+    fn harmonic_mean_of_rates() {
+        // Classic: 60 km/h out, 30 km/h back -> 40 km/h average speed.
+        assert!((harmonic_mean(&[60.0, 30.0]).unwrap() - 40.0).abs() < 1e-12);
+        assert!(harmonic_mean(&[]).is_none());
+        assert!(harmonic_mean(&[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_concatenation() {
+        let mut a = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Summary::from_slice(&[10.0, 20.0]);
+        a.merge(&b);
+        let c = Summary::from_slice(&[1.0, 2.0, 3.0, 10.0, 20.0]);
+        assert_eq!(a.count(), c.count());
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert!((a.variance() - c.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[10.0, 10.0, 10.0]);
+        assert_eq!(s.coefficient_of_variation().unwrap(), 0.0);
+        let z = Summary::from_slice(&[-1.0, 1.0]);
+        assert!(z.coefficient_of_variation().is_none());
+    }
+
+    #[test]
+    fn display_contains_count_and_mean() {
+        let s = Summary::from_slice(&[1.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=2.0000"));
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // A classic catastrophic-cancellation case for naive sum-of-squares.
+        let base = 1.0e9;
+        let s = Summary::from_slice(&[base + 4.0, base + 7.0, base + 13.0, base + 16.0]);
+        assert!((s.mean() - (base + 10.0)).abs() < 1e-3);
+        assert!((s.variance() - 30.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,332 @@
+//! Value distributions for synthetic data generation.
+//!
+//! The micro-benchmark chapter lists the knobs a good synthetic data set
+//! exposes: *"value ranges and distribution, correlation"* (slide 11). This
+//! module supplies the standard shapes — uniform, Zipf (skew), normal,
+//! exponential — plus a correlated-pair generator, all driven by the
+//! deterministic [`SplitMix64`](crate::rng::SplitMix64).
+
+use crate::rng::SplitMix64;
+
+/// A sampleable distribution over `f64`.
+pub trait Distribution {
+    /// Draws one value.
+    fn sample(&mut self, rng: &mut SplitMix64) -> f64;
+
+    /// Draws `n` values.
+    fn sample_n(&mut self, rng: &mut SplitMix64, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform requires lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&mut self, rng: &mut SplitMix64) -> f64 {
+        rng.next_range_f64(self.lo, self.hi)
+    }
+}
+
+/// Standard normal via Box–Muller, scaled to `mean` / `stddev`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    stddev: f64,
+    cached: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `stddev < 0`.
+    pub fn new(mean: f64, stddev: f64) -> Self {
+        assert!(stddev >= 0.0, "Normal requires stddev >= 0");
+        Normal {
+            mean,
+            stddev,
+            cached: None,
+        }
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&mut self, rng: &mut SplitMix64) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return self.mean + self.stddev * z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1 = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        self.mean + self.stddev * (r * theta.cos())
+    }
+}
+
+/// Exponential with the given rate λ (mean 1/λ). The classic model for
+/// inter-arrival times in open-system workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Exponential requires lambda > 0");
+        Exponential { rate: lambda }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&mut self, rng: &mut SplitMix64) -> f64 {
+        let u = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / self.rate
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with skew parameter `s`
+/// (s = 0 degenerates to uniform; s ≈ 1 is the classic web/word skew).
+///
+/// Sampling uses a precomputed CDF with binary search — O(log n) per draw,
+/// exact, and deterministic. This is what gives micro-benchmarks their
+/// "controllable value distribution" knob.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires n > 0");
+        assert!(s >= 0.0, "Zipf requires s >= 0");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating-point undershoot at the end.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        let idx = match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF contains NaN"))
+        {
+            // u == cdf[i] lies on the boundary; it belongs to rank i+1
+            // because each bucket covers (cdf[i-1], cdf[i]].
+            Ok(i) | Err(i) => i,
+        };
+        (idx + 1).min(self.cdf.len())
+    }
+
+    /// Number of distinct ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl Distribution for Zipf {
+    fn sample(&mut self, rng: &mut SplitMix64) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// Generates a pair of columns with a target Pearson correlation `rho`:
+/// `y = rho * x + sqrt(1 − rho²) * e` with `x`, `e` standard normal.
+///
+/// Correlated columns are the classic trap for query optimizers'
+/// independence assumptions — a workload generator must be able to produce
+/// them (slide 11: "Correlation").
+pub fn correlated_pair(rng: &mut SplitMix64, n: usize, rho: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1, 1]");
+    let mut nx = Normal::new(0.0, 1.0);
+    let mut ne = Normal::new(0.0, 1.0);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let ortho = (1.0 - rho * rho).sqrt();
+    for _ in 0..n {
+        let x = nx.sample(rng);
+        let e = ne.sample(rng);
+        xs.push(x);
+        ys.push(rho * x + ortho * e);
+    }
+    (xs, ys)
+}
+
+/// Sample Pearson correlation coefficient of two equal-length slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::Summary;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(20080408) // ICDE 2008 seminar date
+    }
+
+    #[test]
+    fn uniform_stays_in_range_with_right_mean() {
+        let mut d = Uniform::new(10.0, 20.0);
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 50_000);
+        assert!(xs.iter().all(|&v| (10.0..20.0).contains(&v)));
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean() - 15.0).abs() < 0.05, "mean={}", s.mean());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut d = Normal::new(100.0, 15.0);
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 100_000);
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean() - 100.0).abs() < 0.3, "mean={}", s.mean());
+        assert!((s.stddev() - 15.0).abs() < 0.3, "sd={}", s.stddev());
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut d = Exponential::new(0.5);
+        let mut r = rng();
+        let xs = d.sample_n(&mut r, 100_000);
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean() - 2.0).abs() < 0.05, "mean={}", s.mean());
+        assert!(xs.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let mut rank1 = 0usize;
+        let draws = 50_000;
+        for _ in 0..draws {
+            let k = z.sample_rank(&mut r);
+            assert!((1..=1000).contains(&k));
+            if k == 1 {
+                rank1 += 1;
+            }
+        }
+        // With s=1, n=1000, P(rank 1) = 1/H_1000 ~ 0.1336.
+        let p1 = rank1 as f64 / draws as f64;
+        assert!((p1 - 0.1336).abs() < 0.01, "p1={p1}");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample_rank(&mut r) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 400.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let z = Zipf::new(1, 1.5);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(z.sample_rank(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn correlated_pair_hits_target_rho() {
+        let mut r = rng();
+        for target in [0.0, 0.5, 0.9, -0.7] {
+            let (xs, ys) = correlated_pair(&mut r, 20_000, target);
+            let got = pearson(&xs, &ys);
+            assert!((got - target).abs() < 0.03, "target={target} got={got}");
+        }
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|v| -v).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_column_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut d1 = Normal::new(0.0, 1.0);
+        let mut d2 = Normal::new(0.0, 1.0);
+        assert_eq!(d1.sample_n(&mut r1, 100), d2.sample_n(&mut r2, 100));
+    }
+}

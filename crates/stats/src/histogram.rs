@@ -1,0 +1,221 @@
+//! Histograms with the tutorial's presentation rules built in.
+//!
+//! Slide 144 ("Manipulating cell size in histograms") shows how bin width
+//! choices can distort a distribution, and gives the rule of thumb: *each
+//! cell should have at least five points*. [`Histogram`] exposes both a
+//! fixed-bin constructor and [`Histogram::auto`], which starts from the
+//! Sturges bin count and coarsens until the rule is satisfied (or a single
+//! bin remains).
+
+use crate::{check_finite, StatsError};
+
+/// A histogram over `f64` observations with equal-width cells.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width cells spanning
+    /// `[min(data), max(data)]`.
+    pub fn with_bins(data: &[f64], bins: usize) -> Result<Self, StatsError> {
+        check_finite(data)?;
+        if data.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("bins must be >= 1"));
+        }
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let width = span / bins as f64;
+        let mut counts = vec![0usize; bins];
+        for &v in data {
+            let mut idx = ((v - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1; // max value lands in the last cell
+            }
+            counts[idx] += 1;
+        }
+        Ok(Histogram {
+            lo,
+            width,
+            counts,
+            total: data.len(),
+        })
+    }
+
+    /// Builds a histogram whose bin count respects the five-points-per-cell
+    /// rule: starts from the Sturges estimate `ceil(log2 n) + 1` and halves
+    /// the bin count until every *non-empty* cell holds at least
+    /// `min_per_cell` points (default rule: 5), or one bin remains.
+    pub fn auto(data: &[f64], min_per_cell: usize) -> Result<Self, StatsError> {
+        check_finite(data)?;
+        if data.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let mut bins = ((data.len() as f64).log2().ceil() as usize + 1).max(1);
+        loop {
+            let h = Histogram::with_bins(data, bins)?;
+            if bins == 1 || h.satisfies_cell_rule(min_per_cell) {
+                return Ok(h);
+            }
+            bins = (bins / 2).max(1);
+        }
+    }
+
+    /// True if every non-empty cell has at least `min_per_cell` points —
+    /// the tutorial's rule of thumb with the default of 5.
+    pub fn satisfies_cell_rule(&self, min_per_cell: usize) -> bool {
+        self.counts
+            .iter()
+            .all(|&c| c == 0 || c >= min_per_cell)
+    }
+
+    /// Number of cells.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in cell `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.counts[i]
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The `[lo, hi)` range of cell `i` (the last cell is closed).
+    pub fn cell_range(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + i as f64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of observations in cell `i`.
+    pub fn frequency(&self, i: usize) -> f64 {
+        self.counts[i] as f64 / self.total as f64
+    }
+
+    /// Renders an ASCII bar chart (one row per cell), the poor-researcher's
+    /// gnuplot for terminal inspection.
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.cell_range(i);
+            let bar_len = (c * max_width).div_ceil(max_count);
+            let bar: String = std::iter::repeat_n('#', bar_len).collect();
+            out.push_str(&format!("[{lo:10.3},{hi:10.3}) {c:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bins_count_correctly() {
+        // Values 0..12 in 6 bins of width 2 — the slide-144 example shape.
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let h = Histogram::with_bins(&data, 6).unwrap();
+        assert_eq!(h.bins(), 6);
+        assert_eq!(h.total(), 12);
+        // 11.0 / width ~1.833: last bin holds the max.
+        let total: usize = h.counts().iter().sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_cell() {
+        let data = [0.0, 5.0, 10.0];
+        let h = Histogram::with_bins(&data, 2).unwrap();
+        // Bins are half-open [lo, hi): 5.0 sits exactly on the boundary and
+        // belongs to bin 1; the max (10.0) is clamped into the last bin.
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        let total: usize = h.counts().iter().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn constant_data_single_spike() {
+        let data = [7.0; 10];
+        let h = Histogram::with_bins(&data, 4).unwrap();
+        assert_eq!(h.counts().iter().sum::<usize>(), 10);
+        assert_eq!(h.count(0), 10);
+    }
+
+    #[test]
+    fn cell_rule_detection() {
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let fine = Histogram::with_bins(&data, 20).unwrap();
+        assert!(!fine.satisfies_cell_rule(5));
+        let coarse = Histogram::with_bins(&data, 4).unwrap();
+        assert!(coarse.satisfies_cell_rule(5));
+    }
+
+    #[test]
+    fn auto_coarsens_until_rule_holds() {
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let h = Histogram::auto(&data, 5).unwrap();
+        assert!(h.satisfies_cell_rule(5));
+        assert!(h.bins() >= 1);
+    }
+
+    #[test]
+    fn auto_handles_tiny_samples() {
+        let h = Histogram::auto(&[1.0, 2.0], 5).unwrap();
+        assert_eq!(h.bins(), 1);
+        assert_eq!(h.count(0), 2);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let data: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let h = Histogram::with_bins(&data, 7).unwrap();
+        let sum: f64 = (0..h.bins()).map(|i| h.frequency(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_ranges_tile_the_domain() {
+        let data = [0.0, 10.0];
+        let h = Histogram::with_bins(&data, 5).unwrap();
+        for i in 0..4 {
+            let (_, hi) = h.cell_range(i);
+            let (lo_next, _) = h.cell_range(i + 1);
+            assert!((hi - lo_next).abs() < 1e-12);
+        }
+        assert_eq!(h.cell_range(0).0, 0.0);
+        assert!((h.cell_range(4).1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let data: Vec<f64> = (0..30).map(|i| (i % 3) as f64).collect();
+        let h = Histogram::with_bins(&data, 3).unwrap();
+        let art = h.render_ascii(40);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_bins() {
+        assert!(Histogram::with_bins(&[], 3).is_err());
+        assert!(Histogram::with_bins(&[1.0], 0).is_err());
+        assert!(Histogram::auto(&[], 5).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Outlier detection for replicated measurements.
+//!
+//! Slide 59's first common mistake — *"variation due to experimental error
+//! is ignored"* — has a practical corollary: a single interrupted run (cron
+//! job, checkpoint, page-cache eviction) can silently dominate a mean. The
+//! honest options are (a) report the outlier, or (b) exclude it and *say
+//! so*. This module detects them so the harness can do either, explicitly.
+
+use crate::descriptive::Summary;
+use crate::{check_finite, StatsError};
+
+/// How an observation was classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierClass {
+    /// Within the expected range.
+    Normal,
+    /// Mildly outside (between inner and outer fence for IQR; |z| in [2,3]
+    /// for z-score).
+    Mild,
+    /// Far outside (beyond outer fence; |z| > 3).
+    Extreme,
+}
+
+/// Result of an outlier scan.
+#[derive(Debug, Clone)]
+pub struct OutlierReport {
+    /// Per-observation classification, parallel to the input slice.
+    pub classes: Vec<OutlierClass>,
+    /// Indices of all non-`Normal` observations.
+    pub flagged: Vec<usize>,
+}
+
+impl OutlierReport {
+    /// True if no observation was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.flagged.is_empty()
+    }
+
+    /// The observations that survived (i.e. `Normal` ones) from `data`.
+    pub fn retained(&self, data: &[f64]) -> Vec<f64> {
+        data.iter()
+            .zip(&self.classes)
+            .filter(|(_, c)| **c == OutlierClass::Normal)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+}
+
+/// Tukey's fences: observations outside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are
+/// mild outliers, outside `[Q1 − 3·IQR, Q3 + 3·IQR]` extreme ones.
+/// Robust to the outliers themselves (unlike z-scores).
+pub fn iqr_outliers(data: &[f64]) -> Result<OutlierReport, StatsError> {
+    check_finite(data)?;
+    if data.len() < 4 {
+        return Err(StatsError::NotEnoughData {
+            needed: 4,
+            got: data.len(),
+        });
+    }
+    let s = Summary::from_slice(data);
+    let q1 = s.percentile(25.0)?;
+    let q3 = s.percentile(75.0)?;
+    let iqr = q3 - q1;
+    let inner = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let outer = (q1 - 3.0 * iqr, q3 + 3.0 * iqr);
+    let classes: Vec<OutlierClass> = data
+        .iter()
+        .map(|&v| {
+            if v < outer.0 || v > outer.1 {
+                OutlierClass::Extreme
+            } else if v < inner.0 || v > inner.1 {
+                OutlierClass::Mild
+            } else {
+                OutlierClass::Normal
+            }
+        })
+        .collect();
+    let flagged = classes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c != OutlierClass::Normal)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(OutlierReport { classes, flagged })
+}
+
+/// Z-score outliers: |z| > 2 mild, |z| > 3 extreme. Simple but sensitive to
+/// the outliers themselves; prefer [`iqr_outliers`] for small samples.
+pub fn zscore_outliers(data: &[f64]) -> Result<OutlierReport, StatsError> {
+    check_finite(data)?;
+    if data.len() < 3 {
+        return Err(StatsError::NotEnoughData {
+            needed: 3,
+            got: data.len(),
+        });
+    }
+    let s = Summary::from_slice(data);
+    let sd = s.stddev();
+    let classes: Vec<OutlierClass> = data
+        .iter()
+        .map(|&v| {
+            if sd == 0.0 {
+                OutlierClass::Normal
+            } else {
+                let z = ((v - s.mean()) / sd).abs();
+                if z > 3.0 {
+                    OutlierClass::Extreme
+                } else if z > 2.0 {
+                    OutlierClass::Mild
+                } else {
+                    OutlierClass::Normal
+                }
+            }
+        })
+        .collect();
+    let flagged = classes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c != OutlierClass::Normal)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(OutlierReport { classes, flagged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_has_no_outliers() {
+        let data = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.3];
+        let r = iqr_outliers(&data).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.retained(&data).len(), data.len());
+    }
+
+    #[test]
+    fn cold_run_in_hot_series_is_flagged() {
+        // A classic: one forgot-to-warm-up measurement among hot runs.
+        let data = [3534.0, 3512.0, 3548.0, 13243.0, 3521.0, 3539.0, 3527.0, 3533.0];
+        let r = iqr_outliers(&data).unwrap();
+        assert_eq!(r.flagged, vec![3]);
+        assert_eq!(r.classes[3], OutlierClass::Extreme);
+        let retained = r.retained(&data);
+        assert_eq!(retained.len(), 7);
+        assert!(retained.iter().all(|&v| v < 4000.0));
+    }
+
+    #[test]
+    fn zscore_flags_spike() {
+        let mut data = vec![100.0; 12];
+        data.push(500.0);
+        let r = zscore_outliers(&data).unwrap();
+        assert_eq!(r.flagged, vec![12]);
+    }
+
+    #[test]
+    fn zscore_constant_data_is_clean() {
+        let data = [5.0; 6];
+        let r = zscore_outliers(&data).unwrap();
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn small_samples_rejected() {
+        assert!(iqr_outliers(&[1.0, 2.0, 3.0]).is_err());
+        assert!(zscore_outliers(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mild_vs_extreme_classification() {
+        // Base data Q1=2.75, Q3=5.25 (0-indexed interpolation), IQR=2.5.
+        let data = [2.0, 3.0, 4.0, 5.0, 6.0, 2.5, 3.5, 4.5, 5.5, 10.5];
+        let r = iqr_outliers(&data).unwrap();
+        // 10.5 is beyond inner fence but the exact class depends on fences;
+        // just assert it is flagged and nothing normal was.
+        assert!(r.flagged.contains(&9));
+        assert!(!r.flagged.contains(&0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Least-squares regression, used for scalability fits (execution time vs.
+//! scale factor) and for validating the factorial models in
+//! `perfeval-core::effects`.
+
+use crate::{check_finite, StatsError};
+
+/// Result of fitting `y = intercept + slope * x` by ordinary least squares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept estimate.
+    pub intercept: f64,
+    /// Slope estimate.
+    pub slope: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+impl std::fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "y = {:.4} + {:.4}·x (R²={:.4}, n={})",
+            self.intercept, self.slope, self.r_squared, self.n
+        )
+    }
+}
+
+/// Fits a straight line through `(x, y)` pairs by ordinary least squares.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [2.0, 4.0, 6.0, 8.0];
+/// let fit = perfeval_stats::regression::linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::InvalidParameter(
+            "x and y must have the same length",
+        ));
+    }
+    check_finite(xs)?;
+    check_finite(ys)?;
+    let n = xs.len();
+    if n < 2 {
+        return Err(StatsError::NotEnoughData { needed: 2, got: n });
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "all x values identical: slope undefined",
+        ));
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // a constant y is fitted perfectly by the horizontal line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+        n,
+    })
+}
+
+/// Fits `y = a * x^b` by linear regression in log-log space.
+///
+/// Useful for classifying empirical scalability: b ≈ 1 is linear scale-up,
+/// b ≈ 2 quadratic, etc. Requires strictly positive `x` and `y`.
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), StatsError> {
+    if xs.iter().chain(ys).any(|&v| v <= 0.0) {
+        return Err(StatsError::InvalidParameter(
+            "power-law fit requires strictly positive data",
+        ));
+    }
+    let lx: Vec<f64> = xs.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+    let fit = linear_fit(&lx, &ly)?;
+    Ok((fit.intercept.exp(), fit.slope, fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
+        assert!((fit.slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_y_perfect_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn vertical_data_rejected() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert!(linear_fit(&xs, &ys).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(linear_fit(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn power_law_identifies_quadratic() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        let (a, b, r2) = power_law_fit(&xs, &ys).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(power_law_fit(&[0.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(power_law_fit(&[1.0, 2.0], &[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_r_squared() {
+        let fit = linear_fit(&[0.0, 1.0], &[0.0, 1.0]).unwrap();
+        assert!(fit.to_string().contains("R²=1.0000"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # workload
+//!
+//! A TPC-H-like data and query generator — the workload substrate for the
+//! `perfeval` reproduction.
+//!
+//! The tutorial runs its measurement examples on TPC-H (scale factor 1) and
+//! uses the benchmark's well-known queries (Q1, Q6, Q16) as shorthand for
+//! workload *shapes*: Q1 is a scan-heavy multi-aggregate, Q6 a selective
+//! scan, Q16 a join + group-by with a large result. This crate generates a
+//! deterministic scaled-down equivalent:
+//!
+//! * [`dbgen::generate`] — builds the eight-table schema at a fractional
+//!   scale factor from one recorded seed (repeatability: identical seed ⇒
+//!   bit-identical data),
+//! * [`queries`] — the Q1/Q6/Q16-like statements plus a 22-query family
+//!   used by the DBG/OPT sweep (experiment E3),
+//! * [`micro`] — micro-benchmark tables and the `SELECT MAX(col)` scan of
+//!   the memory-wall experiment, with controllable size, value range,
+//!   distribution (uniform / Zipf-skewed), and correlation — exactly the
+//!   knobs slide 11 says a micro-benchmark must expose.
+//!
+//! ```
+//! use workload::dbgen::{generate, GenConfig};
+//!
+//! let catalog = generate(&GenConfig { scale_factor: 0.001, ..GenConfig::default() });
+//! let li = catalog.table("lineitem").unwrap();
+//! assert!(li.row_count() > 1000);
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod dbgen;
+pub mod micro;
+pub mod queries;
+
+pub use dbgen::{generate, GenConfig};

@@ -1,0 +1,208 @@
+//! Micro-benchmark tables: the controllable single-operator workloads of
+//! the tutorial's micro-benchmark chapter (slides 10–12).
+//!
+//! A good micro-benchmark controls: data size (scalability), value range
+//! and distribution, and correlation. [`MicroConfig`] exposes exactly those
+//! knobs and [`build_micro_table`] materializes the table; the classic
+//! `SELECT MAX(column) FROM table` scan is [`scan_max_sql`].
+
+use minidb::{DataType, Table, TableBuilder, Value};
+use perfeval_stats::dist::{correlated_pair, Distribution, Uniform, Zipf};
+use perfeval_stats::rng::SplitMix64;
+
+/// Value distribution of the micro table's payload column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MicroDist {
+    /// Uniform integers in `[0, range)`.
+    Uniform {
+        /// Exclusive upper bound.
+        range: i64,
+    },
+    /// Zipf-distributed ranks in `1..=range` with exponent `s`.
+    Zipf {
+        /// Number of distinct ranks.
+        range: usize,
+        /// Skew exponent.
+        s: f64,
+    },
+}
+
+/// Micro-benchmark table parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Payload distribution.
+    pub dist: MicroDist,
+    /// Pearson correlation between the two float columns `x` and `y`
+    /// (0.0 = independent).
+    pub correlation: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            rows: 100_000,
+            dist: MicroDist::Uniform { range: 1_000_000 },
+            correlation: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds the micro table `micro(k, v, x, y)`:
+/// `k` = row id, `v` = distributed payload, `x`/`y` = correlated floats.
+pub fn build_micro_table(config: &MicroConfig) -> Table {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut t = TableBuilder::new("micro")
+        .column("k", DataType::Int)
+        .column("v", DataType::Int)
+        .column("x", DataType::Float)
+        .column("y", DataType::Float)
+        .build();
+    let (xs, ys) = correlated_pair(&mut rng, config.rows, config.correlation);
+    match config.dist {
+        MicroDist::Uniform { range } => {
+            let mut d = Uniform::new(0.0, range as f64);
+            for i in 0..config.rows {
+                t.push_row(vec![
+                    Value::Int(i as i64),
+                    Value::Int(d.sample(&mut rng) as i64),
+                    Value::Float(xs[i]),
+                    Value::Float(ys[i]),
+                ])
+                .expect("static schema");
+            }
+        }
+        MicroDist::Zipf { range, s } => {
+            let z = Zipf::new(range, s);
+            for i in 0..config.rows {
+                t.push_row(vec![
+                    Value::Int(i as i64),
+                    Value::Int(z.sample_rank(&mut rng) as i64),
+                    Value::Float(xs[i]),
+                    Value::Float(ys[i]),
+                ])
+                .expect("static schema");
+            }
+        }
+    }
+    t
+}
+
+/// The memory-wall micro-benchmark: `SELECT MAX(column) FROM table`.
+pub fn scan_max_sql() -> &'static str {
+    "SELECT MAX(v) FROM micro"
+}
+
+/// A selectivity-parameterized filter over the uniform payload: returns SQL
+/// selecting roughly `selectivity` (0..1) of the rows when the payload is
+/// `Uniform { range }`.
+pub fn selective_scan_sql(range: i64, selectivity: f64) -> String {
+    let cutoff = (range as f64 * selectivity) as i64;
+    format!("SELECT COUNT(*) FROM micro WHERE v < {cutoff}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::{Catalog, Session};
+    use perfeval_stats::dist::pearson;
+
+    fn small(dist: MicroDist) -> MicroConfig {
+        MicroConfig {
+            rows: 5_000,
+            dist,
+            correlation: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn builds_requested_rows() {
+        let t = build_micro_table(&small(MicroDist::Uniform { range: 100 }));
+        assert_eq!(t.row_count(), 5_000);
+        assert_eq!(t.column_names(), &["k", "v", "x", "y"]);
+    }
+
+    #[test]
+    fn uniform_payload_in_range() {
+        let t = build_micro_table(&small(MicroDist::Uniform { range: 100 }));
+        for i in 0..t.row_count() {
+            let v = t.row(i)[1].as_i64().unwrap();
+            assert!((0..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_payload_is_skewed() {
+        let t = build_micro_table(&small(MicroDist::Zipf { range: 1000, s: 1.2 }));
+        let mut ones = 0;
+        for i in 0..t.row_count() {
+            if t.row(i)[1].as_i64().unwrap() == 1 {
+                ones += 1;
+            }
+        }
+        assert!(
+            ones as f64 > 0.1 * t.row_count() as f64,
+            "rank 1 should dominate: {ones}"
+        );
+    }
+
+    #[test]
+    fn correlation_knob_works() {
+        let mut cfg = small(MicroDist::Uniform { range: 10 });
+        cfg.correlation = 0.9;
+        cfg.rows = 20_000;
+        let t = build_micro_table(&cfg);
+        let xs: Vec<f64> = (0..t.row_count())
+            .map(|i| t.row(i)[2].as_f64().unwrap())
+            .collect();
+        let ys: Vec<f64> = (0..t.row_count())
+            .map(|i| t.row(i)[3].as_f64().unwrap())
+            .collect();
+        let rho = pearson(&xs, &ys);
+        assert!((rho - 0.9).abs() < 0.05, "rho {rho}");
+    }
+
+    #[test]
+    fn scan_max_runs() {
+        let mut catalog = Catalog::new();
+        catalog
+            .register(build_micro_table(&small(MicroDist::Uniform { range: 50 })))
+            .unwrap();
+        let mut s = Session::new(catalog);
+        let r = s.execute(scan_max_sql()).unwrap();
+        let max = r.rows[0][0].as_i64().unwrap();
+        assert!((0..50).contains(&max));
+        assert_eq!(max, 49, "5000 uniform draws below 50 hit the max w.h.p.");
+    }
+
+    #[test]
+    fn selectivity_is_roughly_honored() {
+        let mut catalog = Catalog::new();
+        let cfg = MicroConfig {
+            rows: 20_000,
+            dist: MicroDist::Uniform { range: 1_000 },
+            correlation: 0.0,
+            seed: 11,
+        };
+        catalog.register(build_micro_table(&cfg)).unwrap();
+        let mut s = Session::new(catalog);
+        for sel in [0.1, 0.5, 0.9] {
+            let r = s.execute(&selective_scan_sql(1_000, sel)).unwrap();
+            let n = r.rows[0][0].as_i64().unwrap() as f64;
+            let got = n / 20_000.0;
+            assert!((got - sel).abs() < 0.03, "target {sel}, got {got}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = build_micro_table(&small(MicroDist::Uniform { range: 100 }));
+        let b = build_micro_table(&small(MicroDist::Uniform { range: 100 }));
+        assert_eq!(a.row(42), b.row(42));
+    }
+}

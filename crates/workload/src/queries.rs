@@ -1,0 +1,246 @@
+//! The benchmark queries.
+//!
+//! * [`q1`], [`q6`], [`q16`] — the TPC-H-like queries the tutorial's tables
+//!   use: Q1 (scan + wide aggregation, small result), Q6 (selective scan,
+//!   single number), Q16 (join + group-by, *large* result — the one whose
+//!   terminal printing costs more than the query).
+//! * [`family`] — 22 queries of graded shapes for the DBG/OPT relative-time
+//!   sweep of experiment E3 (slide 41 plots exactly "TPC-H queries 1..22"
+//!   on the x axis).
+
+/// TPC-H Q1-like: scan, filter on ship date, group by the two flag columns,
+/// eight aggregates. Result: a handful of rows.
+pub fn q1() -> String {
+    "SELECT l_returnflag, l_linestatus, \
+            SUM(l_quantity) AS sum_qty, \
+            SUM(l_extendedprice) AS sum_base_price, \
+            SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+            AVG(l_quantity) AS avg_qty, \
+            AVG(l_extendedprice) AS avg_price, \
+            AVG(l_discount) AS avg_disc, \
+            COUNT(*) AS count_order \
+     FROM lineitem \
+     WHERE l_shipdate <= 2450 \
+     GROUP BY l_returnflag, l_linestatus \
+     ORDER BY l_returnflag, l_linestatus"
+        .to_owned()
+}
+
+/// TPC-H Q6-like: highly selective scan, single aggregate.
+pub fn q6() -> String {
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+     FROM lineitem \
+     WHERE l_shipdate >= 365 AND l_shipdate < 730 \
+       AND l_discount BETWEEN 0.05 AND 0.07 \
+       AND l_quantity < 24"
+        .to_owned()
+}
+
+/// TPC-H Q16-like: part ⋈ partsupp, grouped by brand/type/size — a result
+/// with thousands of rows whose *printing* dominates client-side time.
+pub fn q16() -> String {
+    "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+     FROM partsupp \
+     JOIN part ON ps_partkey = p_partkey \
+     WHERE p_size >= 1 \
+     GROUP BY p_brand, p_type, p_size \
+     ORDER BY supplier_cnt DESC, p_brand, p_type, p_size"
+        .to_owned()
+}
+
+/// A micro query with a very large raw result (for sink experiments):
+/// every lineitem's key and discounted price.
+pub fn large_result() -> String {
+    "SELECT l_orderkey, l_extendedprice, l_discount FROM lineitem \
+     ORDER BY l_orderkey"
+        .to_owned()
+}
+
+/// The 22-query family for the DBG/OPT sweep. Queries are graded in shape —
+/// scans, arithmetic-heavy projections, selective filters, group-bys,
+/// joins, sorts — so the DBG/OPT ratio varies across them the way slide
+/// 41's figure varies across TPC-H queries.
+///
+/// # Panics
+/// Panics if `i` is not in `1..=22`.
+pub fn family(i: usize) -> String {
+    match i {
+        1 => q1(),
+        2 => "SELECT MAX(l_extendedprice) FROM lineitem".to_owned(),
+        3 => "SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate < 1200".to_owned(),
+        4 => "SELECT COUNT(*) FROM lineitem WHERE l_discount >= 0.05".to_owned(),
+        5 => "SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag \
+              ORDER BY n DESC"
+            .to_owned(),
+        6 => q6(),
+        7 => "SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS charge \
+              FROM lineitem"
+            .to_owned(),
+        8 => "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
+              WHERE o_orderdate BETWEEN 400 AND 800 GROUP BY o_orderpriority \
+              ORDER BY o_orderpriority"
+            .to_owned(),
+        9 => "SELECT AVG(o_totalprice) FROM orders WHERE o_orderstatus = 'F'".to_owned(),
+        10 => "SELECT c_mktsegment, AVG(c_acctbal) AS bal FROM customer \
+               GROUP BY c_mktsegment ORDER BY c_mktsegment"
+            .to_owned(),
+        11 => "SELECT n_name, COUNT(*) AS customers FROM customer \
+               JOIN nation ON c_nationkey = n_nationkey \
+               GROUP BY n_name ORDER BY customers DESC, n_name"
+            .to_owned(),
+        12 => "SELECT COUNT(*) FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+               WHERE o_orderdate < 400 AND l_shipdate < 500"
+            .to_owned(),
+        13 => "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey \
+               ORDER BY cnt DESC LIMIT 20"
+            .to_owned(),
+        14 => "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+               WHERE l_shipdate >= 1000 AND l_shipdate < 1030"
+            .to_owned(),
+        15 => "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+               FROM lineitem WHERE l_shipdate >= 1000 AND l_shipdate < 1090 \
+               GROUP BY l_suppkey ORDER BY revenue DESC LIMIT 10"
+            .to_owned(),
+        16 => q16(),
+        17 => "SELECT AVG(l_quantity) FROM lineitem WHERE l_partkey < 100".to_owned(),
+        18 => "SELECT l_orderkey, SUM(l_quantity) AS total FROM lineitem \
+               GROUP BY l_orderkey ORDER BY total DESC LIMIT 100"
+            .to_owned(),
+        19 => "SELECT SUM(l_extendedprice) FROM lineitem \
+               WHERE l_quantity BETWEEN 10 AND 20 AND l_discount BETWEEN 0.02 AND 0.08"
+            .to_owned(),
+        20 => "SELECT p_brand, COUNT(*) AS n FROM part WHERE p_size > 25 \
+               GROUP BY p_brand ORDER BY p_brand"
+            .to_owned(),
+        21 => "SELECT c_name, c_acctbal FROM customer WHERE c_acctbal > 5000.0 \
+               ORDER BY c_acctbal DESC LIMIT 50"
+            .to_owned(),
+        22 => "SELECT c_nationkey, COUNT(*) AS cnt, AVG(c_acctbal) AS bal \
+               FROM customer WHERE c_acctbal > 0.0 GROUP BY c_nationkey \
+               ORDER BY c_nationkey"
+            .to_owned(),
+        other => panic!("query family index {other} out of range 1..=22"),
+    }
+}
+
+/// All 22 family queries in order.
+pub fn all_family() -> Vec<String> {
+    (1..=22).map(family).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::{generate, GenConfig};
+    use minidb::{ExecMode, Session, Value};
+
+    fn session() -> Session {
+        Session::new(generate(&GenConfig {
+            scale_factor: 0.001,
+            ..GenConfig::default()
+        }))
+    }
+
+    #[test]
+    fn q1_produces_flag_groups() {
+        let mut s = session();
+        let r = s.execute(&q1()).unwrap();
+        // Up to 4 combinations of returnflag × linestatus survive the date
+        // filter; at least 2 must exist.
+        assert!((2..=4).contains(&r.row_count()), "rows {}", r.row_count());
+        assert_eq!(r.column_names.len(), 9);
+        // count_order column is positive.
+        for row in &r.rows {
+            assert!(row[8].as_i64().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn q1_aggregates_are_consistent() {
+        let mut s = session();
+        let r = s.execute(&q1()).unwrap();
+        for row in &r.rows {
+            let sum_qty = row[2].as_i64().unwrap() as f64;
+            let n = row[8].as_i64().unwrap() as f64;
+            let avg_qty = row[5].as_f64().unwrap();
+            assert!((sum_qty / n - avg_qty).abs() < 1e-9, "AVG = SUM/COUNT");
+            // Discounted price <= base price.
+            assert!(row[4].as_f64().unwrap() <= row[3].as_f64().unwrap());
+        }
+    }
+
+    #[test]
+    fn q6_returns_single_revenue_number() {
+        let mut s = session();
+        let r = s.execute(&q6()).unwrap();
+        assert_eq!(r.row_count(), 1);
+        let revenue = r.rows[0][0].as_f64().unwrap();
+        assert!(revenue > 0.0, "some lines must match at sf 0.001");
+    }
+
+    #[test]
+    fn q16_result_is_large() {
+        let mut s = session();
+        let r = s.execute(&q16()).unwrap();
+        assert!(
+            r.row_count() > 100,
+            "q16 is the big-result query, got {}",
+            r.row_count()
+        );
+        // Sorted by count desc.
+        let counts: Vec<i64> = r.rows.iter().map(|r| r[3].as_i64().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn family_covers_22_and_all_run_in_both_modes() {
+        let base = generate(&GenConfig {
+            scale_factor: 0.0005,
+            ..GenConfig::default()
+        });
+        let mut opt = Session::new(base.clone()).with_mode(ExecMode::Optimized);
+        let mut dbg = Session::new(base).with_mode(ExecMode::Debug);
+        for (i, sql) in all_family().iter().enumerate() {
+            let ro = opt
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("q{} OPT failed: {e}\n{sql}", i + 1));
+            let rd = dbg
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("q{} DBG failed: {e}\n{sql}", i + 1));
+            assert_eq!(ro.rows, rd.rows, "q{} modes disagree", i + 1);
+        }
+    }
+
+    #[test]
+    fn family_rejects_out_of_range() {
+        let r = std::panic::catch_unwind(|| family(0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| family(23));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn large_result_query_scales_with_lineitem() {
+        let mut s = session();
+        let r = s.execute(&large_result()).unwrap();
+        let li_rows = s.catalog().table("lineitem").unwrap().row_count();
+        assert_eq!(r.row_count(), li_rows);
+    }
+
+    #[test]
+    fn q13_top_customers_limit() {
+        let mut s = session();
+        let r = s.execute(&family(13)).unwrap();
+        assert!(r.row_count() <= 20);
+        let counts: Vec<i64> = r.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "sorted desc");
+    }
+
+    #[test]
+    fn q9_status_filter() {
+        let mut s = session();
+        let r = s.execute(&family(9)).unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert!(matches!(r.rows[0][0], Value::Float(_)));
+    }
+}

@@ -1,0 +1,83 @@
+//! The "Of apples and oranges" war story, replayed (slides 37–45).
+//!
+//! Colleague A benchmarks the *old* algorithm compiled with optimization;
+//! colleague B benchmarks the *new* algorithm compiled without. The new
+//! algorithm loses — until someone checks the build flags. Here the two
+//! "builds" are `minidb`'s Debug and Optimized engines, the "algorithms"
+//! are two equivalent query plans, and the honest comparison at the end
+//! uses paired measurements with confidence intervals.
+//!
+//! Run with: `cargo run --release --example apples_and_oranges`
+
+use perfeval::prelude::*;
+use perfeval::stats::compare::{compare_paired, ComparisonVerdict};
+use perfeval::workload::queries;
+
+/// Measures a query's server time: one warmup, `reps` measured runs.
+fn measure(catalog: &Catalog, mode: ExecMode, optimizer_on: bool, sql: &str, reps: usize) -> Vec<f64> {
+    let mut s = Session::new(catalog.clone()).with_mode(mode);
+    if !optimizer_on {
+        s.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig::none());
+    }
+    s.execute(sql).unwrap();
+    (0..reps)
+        .map(|_| s.execute(sql).unwrap().server_user_ms())
+        .collect()
+}
+
+fn main() {
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.005,
+        ..GenConfig::default()
+    });
+    let sql = queries::q1();
+
+    // The flawed comparison: "new" (optimizer ON) measured on the DBG
+    // build vs "old" (optimizer OFF) measured on the OPT build.
+    let old_on_opt_build = measure(&catalog, ExecMode::Optimized, false, &sql, 5);
+    let new_on_dbg_build = measure(&catalog, ExecMode::Debug, true, &sql, 5);
+    let flawed = compare_means(&new_on_dbg_build, &old_on_opt_build, 0.95).unwrap();
+    println!("--- the flawed comparison (mismatched builds) ---");
+    println!("new (DBG build): {}", Summary::from_slice(&new_on_dbg_build));
+    println!("old (OPT build): {}", Summary::from_slice(&old_on_opt_build));
+    println!("verdict: {} — the *new* code looks worse!\n", flawed.verdict);
+
+    // Days of arguing later… both on the same build:
+    let old_fair = measure(&catalog, ExecMode::Optimized, false, &sql, 5);
+    let new_fair = measure(&catalog, ExecMode::Optimized, true, &sql, 5);
+    let fair = compare_means(&new_fair, &old_fair, 0.95).unwrap();
+    println!("--- the fair comparison (same build) ---");
+    println!("new (OPT build): {}", Summary::from_slice(&new_fair));
+    println!("old (OPT build): {}", Summary::from_slice(&old_fair));
+    println!(
+        "verdict: {} (speedup {:.2}x, difference CI {})\n",
+        fair.verdict, fair.speedup, fair.difference
+    );
+
+    // How big is the build effect itself? Per-query DBG/OPT ratios over the
+    // 22-query family — the slide-41 figure in numbers.
+    println!("--- DBG/OPT ratio per query (the compile-flag factor) ---");
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mut dbg_times = Vec::new();
+    let mut opt_times = Vec::new();
+    for (i, q) in queries::all_family().iter().enumerate() {
+        let d = median(measure(&catalog, ExecMode::Debug, true, q, 3));
+        let o = median(measure(&catalog, ExecMode::Optimized, true, q, 3));
+        dbg_times.push(d);
+        opt_times.push(o);
+        println!("q{:<2} DBG/OPT = {:.2}", i + 1, d / o.max(1e-9));
+    }
+    let paired = compare_paired(&opt_times, &dbg_times, 0.95).unwrap();
+    assert_eq!(paired.verdict, ComparisonVerdict::AFaster);
+    let ratios: Vec<f64> = dbg_times
+        .iter()
+        .zip(&opt_times)
+        .map(|(d, o)| d / o.max(1e-9))
+        .collect();
+    let geo = Summary::from_slice(&ratios).geometric_mean().unwrap();
+    println!("\ngeometric-mean DBG/OPT ratio across 22 queries: {geo:.2}x");
+    println!("moral: document the build configuration next to every number.");
+}

@@ -1,0 +1,59 @@
+//! Hot vs. cold runs, and user vs. real time (slides 30–36).
+//!
+//! Reproduces the shape of the tutorial's table: a cold TPC-H Q1 whose
+//! wall-clock time dwarfs its CPU time (disk waits), next to a hot run
+//! where the two nearly coincide — all on a simulated 5400 RPM laptop disk
+//! so the experiment is deterministic and runs anywhere.
+//!
+//! Run with: `cargo run --release --example hot_cold`
+
+use perfeval::prelude::*;
+use perfeval::workload::queries;
+
+fn main() {
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.01,
+        ..GenConfig::default()
+    });
+    let mut session = Session::new(catalog)
+        .with_disk(Disk::laptop_5400rpm(), 50_000);
+
+    println!("protocols:");
+    println!("  cold: {}", RunProtocol::cold(1).describe());
+    println!("  hot : {}\n", RunProtocol::last_of_three_hot().describe());
+
+    let sql = queries::q1();
+
+    // Cold: flush everything first (the "reboot").
+    session.flush_caches();
+    let cold = session.execute(&sql).unwrap();
+
+    // Hot: measured last of three consecutive runs.
+    let _ = session.execute(&sql).unwrap();
+    let _ = session.execute(&sql).unwrap();
+    let hot = session.execute(&sql).unwrap();
+
+    println!("              cold                hot");
+    println!("Q    user     real      user     real   ... time (milliseconds)");
+    println!(
+        "1  {:>7.0}  {:>7.0}   {:>7.0}  {:>7.0}",
+        cold.server_user_ms(),
+        cold.server_real_ms(),
+        hot.server_user_ms(),
+        hot.server_real_ms()
+    );
+    println!("\nbuffer pool hit rate after hot run: {:.1}%",
+        session.pool_hit_rate().unwrap() * 100.0);
+
+    let io_share = cold.sim_io_ms / cold.server_real_ms();
+    println!(
+        "cold run spent {:.0}% of wall-clock time waiting on the (simulated) disk",
+        io_share * 100.0
+    );
+    println!("\nBe aware what you measure!");
+    assert!(
+        cold.server_real_ms() > 1.5 * cold.server_user_ms(),
+        "cold real must exceed cold user"
+    );
+    assert!(hot.sim_io_ms == 0.0, "hot run must not touch the disk");
+}

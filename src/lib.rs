@@ -1,0 +1,73 @@
+//! # perfeval
+//!
+//! A performance-evaluation toolkit for database research, reproducing
+//! **"Performance Evaluation in Database Research: Principles and
+//! Experiences"** (Manolescu & Manegold, ICDE 2008 / EDBT 2009) as a
+//! working system.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`core`] (`perfeval-core`) | experiment design: factors, 2^k / 2^(k−p) designs, sign tables, confounding algebra, allocation of variation |
+//! | [`stats`] (`perfeval-stats`) | confidence intervals, comparisons, histograms, regression, deterministic distributions |
+//! | [`measure`] (`perfeval-measure`) | clocks (wall / CPU / quantized), hot–cold run protocols, phase timing, environment capture |
+//! | [`harness`] (`perfeval-harness`) | Properties configs, CSV with locale validation, gnuplot generation, experiment suites, repeatability |
+//! | [`minidb`] | the substrate DBMS: column store, SQL subset, DBG/OPT engines, EXPLAIN/PROFILE, result sinks |
+//! | [`workload`] | TPC-H-like data generator, Q1/Q6/Q16-like queries, the 22-query DBG/OPT family, micro-benchmarks |
+//! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets |
+//!
+//! ## Quickstart: design, run, analyze
+//!
+//! ```
+//! use perfeval::core::twolevel::TwoLevelDesign;
+//! use perfeval::core::runner::{run_and_analyze, Assignment};
+//!
+//! // Which matters more for this (toy) system: buffer size or vector size?
+//! let design = TwoLevelDesign::full(&["buffer", "vector"]);
+//! let mut system = |a: &Assignment| {
+//!     100.0 - 30.0 * a.num("buffer").unwrap() - 5.0 * a.num("vector").unwrap()
+//! };
+//! let (_runs, variation) = run_and_analyze(&design, 1, &mut system).unwrap();
+//! assert_eq!(variation.ranked_effects()[0].0, "buffer");
+//! ```
+#![warn(missing_docs)]
+
+
+pub use memsim;
+pub use minidb;
+pub use perfeval_core as core;
+pub use perfeval_harness as harness;
+pub use perfeval_measure as measure;
+pub use perfeval_stats as stats;
+pub use workload;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use memsim::{BufferPool, Disk, MachineSpec};
+    pub use minidb::{Catalog, DataType, ExecMode, Session, Table, TableBuilder, Value};
+    pub use perfeval_core::alias::{AliasStructure, Generator};
+    pub use perfeval_core::design::Design;
+    pub use perfeval_core::effects::estimate_effects;
+    pub use perfeval_core::factor::{Factor, Level};
+    pub use perfeval_core::runner::{run_and_analyze, Assignment, Runner};
+    pub use perfeval_core::twolevel::TwoLevelDesign;
+    pub use perfeval_core::variation::allocate_variation;
+    pub use perfeval_harness::{ExperimentSuite, GnuplotScript, Properties};
+    pub use perfeval_measure::{CacheState, Clock, Measurement, RunProtocol, WallClock};
+    pub use perfeval_stats::{compare_means, mean_confidence_interval, Summary};
+    pub use workload::dbgen::{generate, GenConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let d = TwoLevelDesign::full(&["A"]);
+        assert_eq!(d.run_count(), 2);
+        let s = Summary::from_slice(&[1.0, 2.0]);
+        assert_eq!(s.count(), 2);
+        let _ = MachineSpec::laptop_2005();
+    }
+}

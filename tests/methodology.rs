@@ -1,0 +1,174 @@
+//! Integration tests for the methodology pipeline: the tutorial's worked
+//! examples, end to end, with the engine as the system under test.
+
+use perfeval::core::mistakes;
+use perfeval::core::screen::screen;
+use perfeval::prelude::*;
+
+#[test]
+fn slide_72_worked_example_via_the_runner() {
+    // The 2^2 memory×cache MIPS example, driven through the full
+    // design→run→estimate pipeline instead of hand-fed responses.
+    let design = TwoLevelDesign::full(&["memory", "cache"]);
+    let mut workstation = |a: &Assignment| {
+        let xa = a.num("memory").unwrap();
+        let xb = a.num("cache").unwrap();
+        40.0 + 20.0 * xa + 10.0 * xb + 5.0 * xa * xb
+    };
+    let (runs, variation) = run_and_analyze(&design, 1, &mut workstation).unwrap();
+    assert_eq!(runs.means(), vec![15.0, 45.0, 25.0, 75.0]);
+    let m = &variation.model;
+    assert_eq!(m.coefficient(&[]).unwrap(), 40.0);
+    assert_eq!(m.coefficient(&["memory"]).unwrap(), 20.0);
+    assert_eq!(m.coefficient(&["cache"]).unwrap(), 10.0);
+    assert_eq!(m.coefficient(&["memory", "cache"]).unwrap(), 5.0);
+}
+
+#[test]
+fn fractional_screen_matches_full_design_on_minidb() {
+    // Screen two real engine factors (+ one inert decoy) with a fraction,
+    // then verify the full design ranks them identically.
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.002,
+        ..GenConfig::default()
+    });
+    let sql = "SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem \
+               WHERE l_shipdate < 1500";
+    let mut experiment = |a: &Assignment| {
+        let mode = if a.num("A").unwrap() > 0.0 {
+            ExecMode::Optimized
+        } else {
+            ExecMode::Debug
+        };
+        let mut s = Session::new(catalog.clone()).with_mode(mode);
+        if a.num("B").unwrap() < 0.0 {
+            s.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig::none());
+        }
+        // C is a decoy: read it, do nothing.
+        let _ = a.num("C").unwrap();
+        s.execute(sql).unwrap();
+        s.execute(sql).unwrap().server_user_ms()
+    };
+    let full = screen(&["A", "B", "C"], &[], 2, &mut experiment).unwrap();
+    let frac = screen(
+        &["A", "B", "C"],
+        &[Generator::parse("C=AB").unwrap()],
+        2,
+        &mut experiment,
+    )
+    .unwrap();
+    assert_eq!(full.ranking[0].0, "A", "engine mode dominates");
+    assert_eq!(frac.ranking[0].0, "A");
+    assert!(frac.runs_spent < full.runs_spent);
+}
+
+#[test]
+fn alias_algebra_warns_what_the_fraction_cannot_see() {
+    // Build a system with a strong B·C interaction, screen it with the
+    // resolution-III fraction C=AB: the interaction lands on the alias of
+    // B·C — and the alias structure predicts exactly where.
+    let design = TwoLevelDesign::fractional(
+        &["A", "B", "C"],
+        &[Generator::parse("C=AB").unwrap()],
+    )
+    .unwrap();
+    let alias = AliasStructure::of(&design).unwrap();
+    // B·C = 0b110; its alias set under I=ABC contains A (0b001).
+    assert!(alias.are_aliased(0b110, 0b001));
+    let mut system = |a: &Assignment| {
+        10.0 + 4.0 * a.num("B").unwrap() * a.num("C").unwrap()
+    };
+    let (_, variation) = run_and_analyze(&design, 1, &mut system).unwrap();
+    // The fraction charges the interaction to main effect A.
+    let a_share = variation.fraction_of(&design, &["A"]).unwrap();
+    assert!(a_share > 0.99, "interaction confounded onto A: {a_share}");
+}
+
+#[test]
+fn mistakes_audit_flags_an_unreplicated_noisy_study() {
+    let design = TwoLevelDesign::full(&["A", "B"]);
+    // One replication: audit must demand replication.
+    let unreplicated = vec![vec![1.0], vec![2.0], vec![1.5], vec![1.8]];
+    let findings = mistakes::audit_responses(&design, &unreplicated);
+    assert!(findings.iter().any(|f| f.mistake == 1));
+
+    // Simple design: audit flags the one-at-a-time structure.
+    let simple = Design::simple(vec![
+        Factor::numeric("a", &[1.0, 2.0]),
+        Factor::numeric("b", &[1.0, 2.0]),
+    ]);
+    assert!(mistakes::audit_design(&simple)
+        .iter()
+        .any(|f| f.mistake == 4));
+}
+
+#[test]
+fn confidence_intervals_protect_against_false_wins() {
+    // Two engine configurations whose true speeds are identical; the naive
+    // "compare one run each" can pick a winner, the CI-based comparison
+    // says indistinguishable.
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.001,
+        ..GenConfig::default()
+    });
+    let sql = "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 25";
+    let measure = |catalog: &Catalog| -> Vec<f64> {
+        let mut s = Session::new(catalog.clone());
+        s.execute(sql).unwrap();
+        (0..8).map(|_| s.execute(sql).unwrap().server_user_ms()).collect()
+    };
+    let mine = measure(&catalog);
+    let yours = measure(&catalog);
+    let cmp = compare_means(&mine, &yours, 0.95).unwrap();
+    assert_eq!(
+        cmp.verdict,
+        perfeval::stats::ComparisonVerdict::Indistinguishable,
+        "identical systems must not produce a winner: {cmp:?}"
+    );
+}
+
+#[test]
+fn latin_fraction_covers_slide_67_exactly() {
+    let d = Design::latin_square_fraction(vec![
+        Factor::categorical("cpu", &["68000", "Z80", "8086"]),
+        Factor::categorical("memory", &["512K", "2M", "8M"]),
+        Factor::categorical("workload", &["managerial", "scientific", "secretarial"]),
+        Factor::categorical("education", &["high school", "postgraduate", "college"]),
+    ]);
+    // The slide's nine rows, in order.
+    let expect = [
+        ["68000", "512K", "managerial", "high school"],
+        ["68000", "2M", "scientific", "postgraduate"],
+        ["68000", "8M", "secretarial", "college"],
+        ["Z80", "512K", "scientific", "college"],
+        ["Z80", "2M", "secretarial", "high school"],
+        ["Z80", "8M", "managerial", "postgraduate"],
+        ["8086", "512K", "secretarial", "postgraduate"],
+        ["8086", "2M", "managerial", "college"],
+        ["8086", "8M", "scientific", "high school"],
+    ];
+    assert_eq!(d.run_count(), 9);
+    for (r, want) in expect.iter().enumerate() {
+        let got: Vec<String> = d
+            .factors()
+            .iter()
+            .zip(d.run(r))
+            .map(|(f, &l)| f.levels()[l].label())
+            .collect();
+        assert_eq!(got, want.to_vec(), "run {r}");
+    }
+}
+
+#[test]
+fn quantized_clock_hides_fast_queries() {
+    // E17 end-to-end: a fast query timed with a 10 ms timer reads as 0 ms.
+    use perfeval::measure::{Clock, ManualClock, QuantizedClock};
+    let inner = ManualClock::new();
+    let coarse = QuantizedClock::new(inner.clone(), 10_000_000);
+    let fine = inner.clone();
+    let t0c = coarse.now_ns();
+    let t0f = fine.now_ns();
+    inner.advance_ns(6_462_000); // Q's 6.462 ms "Query" phase
+    assert_eq!(coarse.now_ns() - t0c, 0, "coarse timer sees nothing");
+    assert_eq!(fine.now_ns() - t0f, 6_462_000);
+}

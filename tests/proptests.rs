@@ -1,0 +1,257 @@
+//! Property-based tests over the toolkit's core invariants.
+
+use perfeval::prelude::*;
+use perfeval::stats::dist::Zipf;
+use perfeval::stats::histogram::Histogram;
+use perfeval::stats::rng::SplitMix64;
+use proptest::prelude::*;
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, min_len..64)
+}
+
+proptest! {
+    #[test]
+    fn summary_mean_is_bounded_by_min_max(data in finite_vec(1)) {
+        let s = Summary::from_slice(&data);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert!(s.stddev() <= s.range() + 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_matches_concatenation(a in finite_vec(1), b in finite_vec(1)) {
+        let mut merged = Summary::from_slice(&a);
+        merged.merge(&Summary::from_slice(&b));
+        let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let whole = Summary::from_slice(&concat);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn confidence_interval_contains_the_sample_mean(data in finite_vec(2), level in 0.5..0.999f64) {
+        let ci = mean_confidence_interval(&data, level).unwrap();
+        let mean = Summary::from_slice(&data).mean();
+        prop_assert!(ci.contains(mean));
+        prop_assert!(ci.lower <= ci.upper);
+    }
+
+    #[test]
+    fn wider_level_means_wider_interval(data in finite_vec(3)) {
+        let narrow = mean_confidence_interval(&data, 0.80).unwrap();
+        let wide = mean_confidence_interval(&data, 0.99).unwrap();
+        prop_assert!(wide.half_width() >= narrow.half_width() - 1e-12);
+    }
+
+    #[test]
+    fn histogram_preserves_total(data in finite_vec(1), bins in 1usize..32) {
+        let h = Histogram::with_bins(&data, bins).unwrap();
+        prop_assert_eq!(h.counts().iter().sum::<usize>(), data.len());
+        prop_assert_eq!(h.total(), data.len());
+    }
+
+    #[test]
+    fn histogram_auto_satisfies_cell_rule(data in finite_vec(1)) {
+        let h = Histogram::auto(&data, 5).unwrap();
+        prop_assert!(h.bins() == 1 || h.satisfies_cell_rule(5));
+    }
+
+    #[test]
+    fn splitmix_next_below_is_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_bounds(seed in any::<u64>(), n in 1usize..500, s in 0.0..2.5f64) {
+        let z = Zipf::new(n, s);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let r = z.sample_rank(&mut rng);
+            prop_assert!(r >= 1 && r <= n);
+        }
+    }
+
+    #[test]
+    fn effect_model_reproduces_its_inputs(
+        coeffs in prop::collection::vec(-100.0..100.0f64, 8),
+    ) {
+        // Build y from arbitrary coefficients over a full 2^3 design, then
+        // recover them exactly: the sign-table method is an involution.
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        let y: Vec<f64> = (0..8)
+            .map(|r| {
+                (0u32..8)
+                    .map(|mask| coeffs[mask as usize] * d.effect_sign(r, mask))
+                    .sum()
+            })
+            .collect();
+        let m = estimate_effects(&d, &y).unwrap();
+        for mask in 0u32..8 {
+            let got = m.coefficient_mask(mask).unwrap();
+            prop_assert!((got - coeffs[mask as usize]).abs() < 1e-6,
+                "mask {mask}: got {got}, want {}", coeffs[mask as usize]);
+        }
+        // And the model predicts every observation back.
+        for (r, &want) in y.iter().enumerate() {
+            prop_assert!((m.predict(&d.run_signs(r)) - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn allocation_of_variation_sums_to_sst(responses in prop::collection::vec(-1000.0..1000.0f64, 8..=8)) {
+        let d = TwoLevelDesign::full(&["A", "B", "C"]);
+        let table = allocate_variation(&d, &responses).unwrap();
+        let explained: f64 = table.shares.iter().map(|s| s.sum_of_squares).sum();
+        prop_assert!((explained - table.sst).abs() < 1e-6 * (1.0 + table.sst));
+    }
+
+    #[test]
+    fn fractional_designs_stay_orthogonal(gen_choice in 0usize..3) {
+        let generators = match gen_choice {
+            0 => vec![Generator::parse("D=ABC").unwrap()],
+            1 => vec![Generator::parse("D=AB").unwrap()],
+            _ => vec![Generator::parse("D=AC").unwrap()],
+        };
+        let d = TwoLevelDesign::fractional(&["A", "B", "C", "D"], &generators).unwrap();
+        prop_assert!(d.columns_are_zero_sum());
+        prop_assert!(d.columns_are_orthogonal());
+        prop_assert_eq!(d.run_count(), 8);
+    }
+
+    #[test]
+    fn csv_roundtrip_is_exact(rows in prop::collection::vec(
+        prop::collection::vec(-1.0e9..1.0e9f64, 3..=3), 1..20)) {
+        use perfeval::harness::csvio::{parse_csv, write_csv};
+        let dir = std::env::temp_dir().join(format!("perfeval_prop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prop.csv");
+        write_csv(&path, &["a", "b", "c"], &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let table = parse_csv(&text).unwrap();
+        prop_assert_eq!(table.rows, rows);
+    }
+
+    #[test]
+    fn minidb_modes_agree_on_random_range_queries(
+        lo in 0i64..500_000,
+        width in 1i64..500_000,
+        seed in 0u64..4,
+    ) {
+        use perfeval::workload::micro::{build_micro_table, MicroConfig, MicroDist};
+        let mut catalog = Catalog::new();
+        catalog.register(build_micro_table(&MicroConfig {
+            rows: 500,
+            dist: MicroDist::Uniform { range: 1_000_000 },
+            correlation: 0.0,
+            seed,
+        })).unwrap();
+        let sql = format!(
+            "SELECT COUNT(*) AS n, MIN(v), MAX(v) FROM micro WHERE v >= {lo} AND v < {}",
+            lo + width
+        );
+        let a = Session::new(catalog.clone()).with_mode(ExecMode::Debug)
+            .execute(&sql).unwrap();
+        let b = Session::new(catalog).with_mode(ExecMode::Optimized)
+            .execute(&sql).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn buffer_pool_hit_rate_in_unit_interval(pages in 1usize..50, reads in 1u64..200) {
+        let mut pool = BufferPool::new(Disk::laptop_5400rpm(), pages);
+        let mut rng = SplitMix64::new(reads);
+        for _ in 0..reads {
+            pool.read((0, rng.next_below(100)));
+        }
+        let rate = pool.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        prop_assert_eq!(pool.logical_reads(), reads);
+        prop_assert!(pool.resident_pages() <= pages);
+    }
+}
+
+proptest! {
+    #[test]
+    fn hash_join_matches_nested_loop_reference(
+        left_keys in prop::collection::vec(0i64..8, 1..30),
+        right_keys in prop::collection::vec(0i64..8, 1..30),
+    ) {
+        // Build two tiny tables and compare the engine's hash join against
+        // a naive nested-loop reference computed here.
+        let mut s = Session::new(Catalog::new());
+        s.execute("CREATE TABLE l (lk INT, lv INT)").unwrap();
+        s.execute("CREATE TABLE r (rk INT, rv INT)").unwrap();
+        for (i, k) in left_keys.iter().enumerate() {
+            s.execute(&format!("INSERT INTO l VALUES ({k}, {i})")).unwrap();
+        }
+        for (j, k) in right_keys.iter().enumerate() {
+            s.execute(&format!("INSERT INTO r VALUES ({k}, {j})")).unwrap();
+        }
+        let result = s
+            .execute("SELECT lv, rv FROM l JOIN r ON lk = rk ORDER BY lv, rv")
+            .unwrap();
+        // Reference: nested loops.
+        let mut expected = Vec::new();
+        for (i, lk) in left_keys.iter().enumerate() {
+            for (j, rk) in right_keys.iter().enumerate() {
+                if lk == rk {
+                    expected.push(vec![
+                        Value::Int(i as i64),
+                        Value::Int(j as i64),
+                    ]);
+                }
+            }
+        }
+        expected.sort_by(|a, b| {
+            (a[0].as_i64(), a[1].as_i64()).cmp(&(b[0].as_i64(), b[1].as_i64()))
+        });
+        prop_assert_eq!(result.rows, expected);
+    }
+
+    #[test]
+    fn group_by_matches_reference_sums(
+        data in prop::collection::vec((0i64..5, -100i64..100), 1..40),
+    ) {
+        let mut s = Session::new(Catalog::new());
+        s.execute("CREATE TABLE t (g INT, v INT)").unwrap();
+        for (g, v) in &data {
+            s.execute(&format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+        }
+        let result = s
+            .execute("SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        let mut reference: std::collections::BTreeMap<i64, (i64, i64)> =
+            std::collections::BTreeMap::new();
+        for (g, v) in &data {
+            let e = reference.entry(*g).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let expected: Vec<Vec<Value>> = reference
+            .into_iter()
+            .map(|(g, (sum, n))| vec![Value::Int(g), Value::Int(sum), Value::Int(n)])
+            .collect();
+        prop_assert_eq!(result.rows, expected);
+    }
+}
+
+#[test]
+fn session_execute_needs_mut_not_consume() {
+    // Not a proptest: a regression guard that Session::execute can be
+    // called in a loop (replication) without rebuilding state.
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.0005,
+        ..GenConfig::default()
+    });
+    let mut s = Session::new(catalog);
+    for _ in 0..3 {
+        let r = s.execute("SELECT COUNT(*) FROM lineitem").unwrap();
+        assert_eq!(r.row_count(), 1);
+    }
+}

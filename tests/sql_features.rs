@@ -1,0 +1,251 @@
+//! Integration tests for the SQL surface added beyond the minimal query
+//! subset: DDL/DML, DISTINCT, and COUNT(DISTINCT …) — exercised through
+//! both engines.
+
+use perfeval::prelude::*;
+
+fn fresh_session() -> Session {
+    Session::new(Catalog::new())
+}
+
+#[test]
+fn create_insert_select_roundtrip() {
+    let mut s = fresh_session();
+    let r = s
+        .execute("CREATE TABLE fruit (id INT, name VARCHAR(20), price FLOAT, fresh BOOL)")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+
+    let r = s
+        .execute(
+            "INSERT INTO fruit VALUES \
+             (1, 'apple', 0.5, TRUE), (2, 'orange', 0.8, FALSE), (3, 'pear', -0.25, TRUE)",
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+
+    let r = s
+        .execute("SELECT id, name, price FROM fruit WHERE fresh = TRUE ORDER BY id")
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![
+            vec![Value::Int(1), Value::Str("apple".into()), Value::Float(0.5)],
+            vec![Value::Int(3), Value::Str("pear".into()), Value::Float(-0.25)],
+        ]
+    );
+}
+
+#[test]
+fn create_table_errors() {
+    let mut s = fresh_session();
+    s.execute("CREATE TABLE t (a INT)").unwrap();
+    assert!(matches!(
+        s.execute("CREATE TABLE t (a INT)"),
+        Err(perfeval::minidb::DbError::DuplicateTable(_))
+    ));
+    assert!(s.execute("CREATE TABLE u (a WIBBLE)").is_err());
+    assert!(s.execute("CREATE TABLE v ()").is_err());
+}
+
+#[test]
+fn insert_type_checks() {
+    let mut s = fresh_session();
+    s.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+    assert!(s.execute("INSERT INTO t VALUES ('oops', 'x')").is_err());
+    assert!(s.execute("INSERT INTO t VALUES (1)").is_err());
+    assert!(s.execute("INSERT INTO missing VALUES (1, 'x')").is_err());
+    // Nothing was inserted by the failed statements.
+    let r = s.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn select_distinct_dedups_in_both_engines() {
+    for mode in [ExecMode::Debug, ExecMode::Optimized] {
+        let mut s = Session::new(Catalog::new()).with_mode(mode);
+        s.execute("CREATE TABLE t (region TEXT, qty INT)").unwrap();
+        s.execute(
+            "INSERT INTO t VALUES ('east', 1), ('west', 2), ('east', 1), \
+             ('east', 3), ('west', 2)",
+        )
+        .unwrap();
+        let r = s
+            .execute("SELECT DISTINCT region, qty FROM t ORDER BY region, qty")
+            .unwrap();
+        assert_eq!(r.row_count(), 3, "{mode}");
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Str("east".into()), Value::Int(1)]
+        );
+        // DISTINCT on a single column.
+        let r = s.execute("SELECT DISTINCT region FROM t ORDER BY region").unwrap();
+        assert_eq!(r.row_count(), 2, "{mode}");
+    }
+}
+
+#[test]
+fn count_distinct() {
+    for mode in [ExecMode::Debug, ExecMode::Optimized] {
+        let mut s = Session::new(Catalog::new()).with_mode(mode);
+        s.execute("CREATE TABLE t (g TEXT, v INT)").unwrap();
+        s.execute(
+            "INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('b', 5), \
+             ('b', 5), ('b', 5)",
+        )
+        .unwrap();
+        let r = s
+            .execute(
+                "SELECT g, COUNT(*) AS n, COUNT(DISTINCT v) AS nd FROM t \
+                 GROUP BY g ORDER BY g",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Str("a".into()), Value::Int(3), Value::Int(2)],
+                vec![Value::Str("b".into()), Value::Int(3), Value::Int(1)],
+            ],
+            "{mode}"
+        );
+    }
+}
+
+#[test]
+fn distinct_inside_non_count_rejected() {
+    let mut s = fresh_session();
+    s.execute("CREATE TABLE t (v INT)").unwrap();
+    assert!(s.execute("SELECT SUM(DISTINCT v) FROM t").is_err());
+}
+
+#[test]
+fn q16_counts_distinct_suppliers() {
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.001,
+        ..GenConfig::default()
+    });
+    let mut s = Session::new(catalog);
+    let r = s.execute(&perfeval::workload::queries::q16()).unwrap();
+    // Each part has exactly 4 suppliers in the generator, so every group's
+    // distinct-supplier count is bounded by 4 per part and positive.
+    assert!(r.row_count() > 10);
+    for row in &r.rows {
+        let cnt = row[3].as_i64().unwrap();
+        assert!(cnt >= 1);
+    }
+}
+
+#[test]
+fn explain_shows_distinct_node() {
+    let mut s = fresh_session();
+    s.execute("CREATE TABLE t (a INT)").unwrap();
+    let plan = s.explain("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
+    assert!(plan.contains("Distinct"), "{plan}");
+    let sorted_line = plan.lines().position(|l| l.contains("Sort")).unwrap();
+    let distinct_line = plan.lines().position(|l| l.contains("Distinct")).unwrap();
+    assert!(
+        distinct_line > sorted_line,
+        "Distinct beneath Sort:\n{plan}"
+    );
+}
+
+#[test]
+fn ddl_statements_have_no_plan() {
+    let s = fresh_session();
+    assert!(s.explain("CREATE TABLE t (a INT)").is_err());
+}
+
+#[test]
+fn script_of_statements_builds_a_workload() {
+    // The harness use case: a fixture script instead of hand-built tables.
+    let script = [
+        "CREATE TABLE runs (config TEXT, ms FLOAT)",
+        "INSERT INTO runs VALUES ('dbg', 6.78), ('dbg', 6.84), ('dbg', 6.57)",
+        "INSERT INTO runs VALUES ('opt', 3.65), ('opt', 3.66), ('opt', 3.71)",
+    ];
+    let mut s = fresh_session();
+    for stmt in script {
+        s.execute(stmt).unwrap();
+    }
+    let r = s
+        .execute(
+            "SELECT config, AVG(ms) AS mean, COUNT(*) AS n FROM runs \
+             GROUP BY config ORDER BY config",
+        )
+        .unwrap();
+    assert_eq!(r.row_count(), 2);
+    assert_eq!(r.rows[0][0], Value::Str("dbg".into()));
+    let dbg_mean = r.rows[0][1].as_f64().unwrap();
+    let opt_mean = r.rows[1][1].as_f64().unwrap();
+    assert!((dbg_mean - 6.73).abs() < 0.01);
+    assert!(dbg_mean > 1.5 * opt_mean);
+}
+
+#[test]
+fn topn_fusion_preserves_results_exactly() {
+    use perfeval::minidb::optimizer::OptimizerConfig;
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.002,
+        ..GenConfig::default()
+    });
+    // Queries with ties at the cut boundary are the hard case.
+    let queries = [
+        "SELECT l_quantity FROM lineitem ORDER BY l_quantity DESC LIMIT 25",
+        "SELECT l_quantity, l_orderkey, l_extendedprice FROM lineitem \
+         ORDER BY l_quantity, l_orderkey LIMIT 40",
+        "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey \
+         ORDER BY cnt DESC, o_custkey LIMIT 10",
+    ];
+    for mode in [ExecMode::Debug, ExecMode::Optimized] {
+        let mut fused = Session::new(catalog.clone()).with_mode(mode);
+        let mut plain = Session::new(catalog.clone()).with_mode(mode);
+        plain.set_optimizer(OptimizerConfig {
+            topn_fusion: false,
+            ..OptimizerConfig::all()
+        });
+        for sql in queries {
+            let a = fused.execute(sql).unwrap();
+            let b = plain.execute(sql).unwrap();
+            assert_eq!(a.rows, b.rows, "{mode}: {sql}");
+        }
+    }
+}
+
+#[test]
+fn explain_shows_topn_when_fused() {
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.0005,
+        ..GenConfig::default()
+    });
+    let s = Session::new(catalog.clone());
+    let plan = s
+        .explain("SELECT l_quantity FROM lineitem ORDER BY l_quantity LIMIT 5")
+        .unwrap();
+    assert!(plan.contains("TopN 5 by"), "{plan}");
+    assert!(!plan.contains("Sort"), "sort must be fused away:\n{plan}");
+    // And with fusion off, the plan keeps Sort + Limit.
+    let mut off = Session::new(catalog);
+    off.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig {
+        topn_fusion: false,
+        ..perfeval::minidb::optimizer::OptimizerConfig::all()
+    });
+    let plan = off
+        .explain("SELECT l_quantity FROM lineitem ORDER BY l_quantity LIMIT 5")
+        .unwrap();
+    assert!(plan.contains("Limit 5"), "{plan}");
+    assert!(plan.contains("Sort"), "{plan}");
+}
+
+#[test]
+fn order_by_without_limit_is_not_fused() {
+    let catalog = generate(&GenConfig {
+        scale_factor: 0.0005,
+        ..GenConfig::default()
+    });
+    let s = Session::new(catalog);
+    let plan = s
+        .explain("SELECT l_quantity FROM lineitem ORDER BY l_quantity")
+        .unwrap();
+    assert!(plan.contains("Sort"), "{plan}");
+    assert!(!plan.contains("TopN"), "{plan}");
+}
