@@ -61,10 +61,10 @@ fn bench_replication_cost(c: &mut Criterion) {
             b.iter(|| {
                 let design = TwoLevelDesign::full(&["A", "B"]);
                 let mut session = Session::new(catalog.clone());
-                let mut exp = |_a: &Assignment| {
-                    session.execute(sql).unwrap().server_user_ms()
-                };
-                Runner::new(reps).run_two_level(&design, &mut exp).run_count()
+                let mut exp = |_a: &Assignment| session.execute(sql).unwrap().server_user_ms();
+                Runner::new(reps)
+                    .run_two_level(&design, &mut exp)
+                    .run_count()
             })
         });
     }
@@ -91,7 +91,9 @@ fn bench_fraction_vs_full(c: &mut Criterion) {
     group.bench_function("full_2_4", |b| {
         b.iter(|| {
             let mut exp = system;
-            screen(&["A", "B", "C", "D"], &[], 1, &mut exp).unwrap().runs_spent
+            screen(&["A", "B", "C", "D"], &[], 1, &mut exp)
+                .unwrap()
+                .runs_spent
         })
     });
     group.bench_function("fraction_2_4_1", |b| {

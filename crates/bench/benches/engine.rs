@@ -13,7 +13,9 @@ fn bench_scan_aggregate(c: &mut Criterion) {
     group.sample_size(20);
     for mode in [ExecMode::Debug, ExecMode::Optimized] {
         let mut session = minidb::Session::new(catalog.clone()).with_mode(mode);
-        session.execute("SELECT MAX(l_extendedprice) FROM lineitem").unwrap();
+        session
+            .execute("SELECT MAX(l_extendedprice) FROM lineitem")
+            .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
             b.iter(|| {
                 session

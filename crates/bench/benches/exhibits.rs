@@ -43,11 +43,9 @@ fn bench_e3_dbg_opt(c: &mut Criterion) {
         for mode in [ExecMode::Debug, ExecMode::Optimized] {
             let mut session = Session::new(catalog.clone()).with_mode(mode);
             session.execute(&sql).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(name, mode),
-                &sql,
-                |b, sql| b.iter(|| session.execute(sql).unwrap().row_count()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, mode), &sql, |b, sql| {
+                b.iter(|| session.execute(sql).unwrap().row_count())
+            });
         }
     }
     group.finish();
@@ -78,7 +76,12 @@ fn bench_e1_sinks(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_sinks");
     group.sample_size(10);
     group.bench_function("null", |b| {
-        b.iter(|| session.execute_to(&sql, &mut NullSink).unwrap().result_bytes)
+        b.iter(|| {
+            session
+                .execute_to(&sql, &mut NullSink)
+                .unwrap()
+                .result_bytes
+        })
     });
     let tmp = std::env::temp_dir().join("perfeval_bench_sink.tsv");
     group.bench_function("file", |b| {

@@ -27,7 +27,10 @@ fn system(a: &Assignment) -> f64 {
 }
 
 fn main() {
-    banner("design trade-offs: simple vs full vs fractional", "slides 56-66");
+    banner(
+        "design trade-offs: simple vs full vs fractional",
+        "slides 56-66",
+    );
     println!("true system: y = 100 + 10·xA + 5·xB + 20·xA·xB\n");
 
     // --- simple one-at-a-time design over A and B ---
@@ -79,8 +82,11 @@ fn main() {
     let runs = Runner::new(1).run_two_level(&frac, &mut exp);
     let model = estimate_effects(&frac, &runs.means()).expect("responses match");
     let alias = AliasStructure::of(&frac).expect("alias structure");
-    println!("\n--- 2^(5-2) fraction ({} runs, resolution {:?}) ---",
-        frac.run_count(), alias.resolution().expect("fractional"));
+    println!(
+        "\n--- 2^(5-2) fraction ({} runs, resolution {:?}) ---",
+        frac.run_count(),
+        alias.resolution().expect("fractional")
+    );
     // The A×B interaction is aliased with main effect D: the fraction
     // charges the 20-unit interaction to D, and the algebra *predicts* it.
     let ab = frac.effect_mask(&["A", "B"]).expect("mask");
@@ -94,7 +100,10 @@ fn main() {
     assert_eq!(q_d, 20.0);
 
     println!("\nconclusions:");
-    println!("  simple  : {} runs, blind to interactions (answer off by 80)", simple.run_count());
+    println!(
+        "  simple  : {} runs, blind to interactions (answer off by 80)",
+        simple.run_count()
+    );
     println!("  full 2^2: 4 runs, interaction recovered exactly");
     println!("  2^(5-2) : 8 runs for FIVE factors, confounding known in advance");
     println!("\n\"You don't know what you haven't tested.\"");

@@ -25,7 +25,8 @@ fn main() {
 
     print!("{}", design.render());
 
-    println!("\nseven factors in {} runs (a full design would need {}).",
+    println!(
+        "\nseven factors in {} runs (a full design would need {}).",
         design.run_count(),
         1 << 7
     );
@@ -55,8 +56,10 @@ fn main() {
         "\nresolution: {} (main effects confounded with 2-factor interactions)",
         alias.resolution().expect("fractional design")
     );
-    println!("defining relation has {} words; e.g. the aliases of A:",
-        alias.defining_relation().len());
+    println!(
+        "defining relation has {} words; e.g. the aliases of A:",
+        alias.defining_relation().len()
+    );
     let a_set = alias.alias_set(1);
     let labels: Vec<String> = a_set.iter().take(4).map(|&m| alias.label(m)).collect();
     println!("  A = {} = ...", labels[1..].join(" = "));

@@ -36,11 +36,25 @@ fn main() {
     print!("{}", ab.render());
 
     // The slide's specific identities.
-    for (a, b) in [("AD", "BC"), ("BD", "AC"), ("AB", "CD"), ("A", "BCD"), ("B", "ACD"), ("C", "ABD")] {
+    for (a, b) in [
+        ("AD", "BC"),
+        ("BD", "AC"),
+        ("AB", "CD"),
+        ("A", "BCD"),
+        ("B", "ACD"),
+        ("C", "ABD"),
+    ] {
         assert!(abc.are_aliased(mask(a), mask(b)), "D=ABC: {a} = {b}");
     }
     assert!(abc.are_aliased(0, mask("ABCD")), "D=ABC: I = ABCD");
-    for (a, b) in [("A", "BD"), ("B", "AD"), ("D", "AB"), ("AC", "BCD"), ("BC", "ACD"), ("CD", "ABC")] {
+    for (a, b) in [
+        ("A", "BD"),
+        ("B", "AD"),
+        ("D", "AB"),
+        ("AC", "BCD"),
+        ("BC", "ACD"),
+        ("CD", "ABC"),
+    ] {
         assert!(ab.are_aliased(mask(a), mask(b)), "D=AB: {a} = {b}");
     }
     assert!(ab.are_aliased(0, mask("ABD")), "D=AB: I = ABD");

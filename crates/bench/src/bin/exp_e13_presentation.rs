@@ -47,8 +47,12 @@ fn main() {
     // --- 2. overlapping confidence intervals (slide 142) ---
     println!("--- overlapping confidence intervals (slide 142) ---");
     let mut rng = SplitMix64::new(2008);
-    let mine: Vec<f64> = (0..10).map(|_| 2600.0 + rng.next_range_f64(-40.0, 40.0)).collect();
-    let yours: Vec<f64> = (0..10).map(|_| 2610.0 + rng.next_range_f64(-40.0, 40.0)).collect();
+    let mine: Vec<f64> = (0..10)
+        .map(|_| 2600.0 + rng.next_range_f64(-40.0, 40.0))
+        .collect();
+    let yours: Vec<f64> = (0..10)
+        .map(|_| 2610.0 + rng.next_range_f64(-40.0, 40.0))
+        .collect();
     let cmp = compare_means(&mine, &yours, 0.95).expect("two samples");
     println!("MINE : {}", perfeval_stats::Summary::from_slice(&mine));
     println!("YOURS: {}", perfeval_stats::Summary::from_slice(&yours));

@@ -37,7 +37,9 @@ fn main() {
     )
     .single("../res/results-m1-n5.csv")
     .paper_size(0.5, 0.5);
-    let gnu = suite.write_plot("plot-m1-n5.gnu", &script).expect("write plot");
+    let gnu = suite
+        .write_plot("plot-m1-n5.gnu", &script)
+        .expect("write plot");
     println!("\n2. command file {}:", gnu.display());
     print!("{}", std::fs::read_to_string(&gnu).expect("readable"));
 

@@ -26,7 +26,11 @@ fn main() {
     println!("available timers:");
     for (name, desc, res) in [
         ("wall (gettimeofday)", wall.describe(), wall.resolution_ns()),
-        ("cpu (/usr/bin/time user)", cpu.describe(), cpu.resolution_ns()),
+        (
+            "cpu (/usr/bin/time user)",
+            cpu.describe(),
+            cpu.resolution_ns(),
+        ),
     ] {
         println!("  {name:<26} {desc}  [resolution {res} ns]");
     }
@@ -54,7 +58,10 @@ fn main() {
         coarse_reading / 1_000_000
     );
     if wall_ns < 10_000_000 {
-        assert_eq!(coarse_reading, 0, "sub-10ms query invisible to coarse timer");
+        assert_eq!(
+            coarse_reading, 0,
+            "sub-10ms query invisible to coarse timer"
+        );
         println!("-> the query is invisible. Resolution matters.");
     }
 

@@ -31,7 +31,9 @@ fn measure(session: &mut Session, name: &'static str, sql: &str) -> Row {
     let to_file = session.execute_to(sql, &mut file_sink).expect("file run");
     // Client-side, terminal sink.
     let mut term_sink = TerminalSink::new();
-    let to_term = session.execute_to(sql, &mut term_sink).expect("terminal run");
+    let to_term = session
+        .execute_to(sql, &mut term_sink)
+        .expect("terminal run");
     std::fs::remove_file(&tmp).ok();
     Row {
         query: name,

@@ -27,8 +27,7 @@ fn main() {
         RunProtocol::last_of_three_hot().describe()
     );
 
-    let mut session =
-        Session::new(bench_catalog()).with_disk(Disk::laptop_5400rpm(), 100_000);
+    let mut session = Session::new(bench_catalog()).with_disk(Disk::laptop_5400rpm(), 100_000);
     let sql = queries::q1();
 
     // Cold: flush, run once.

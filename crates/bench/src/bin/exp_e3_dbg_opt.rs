@@ -10,24 +10,41 @@
 //! Also writes `dbg_opt.csv` + a gnuplot script if `PERFEVAL_OUT` is set.
 
 use minidb::ExecMode;
-use perfeval_bench::{banner, bench_catalog, measure_user_ms, print_environment, session_with_mode};
-use perfeval_harness::{GnuplotScript, write_csv};
+use perfeval_bench::{
+    banner, bench_catalog, bench_props, measure_user_ms, print_environment, session_with_mode,
+    threads_knob,
+};
+use perfeval_harness::{write_csv, GnuplotScript};
 use perfeval_stats::Summary;
 use workload::queries;
 
 fn main() {
     banner("E3: DBG vs OPT across the query family", "slides 40-41");
     print_environment();
+    let props = bench_props();
+    let threads = threads_knob(&props);
+    if threads > 1 {
+        println!("running on {threads} worker threads (-Dthreads={threads})\n");
+    }
     let catalog = bench_catalog();
-    let mut dbg = session_with_mode(&catalog, ExecMode::Debug);
-    let mut opt = session_with_mode(&catalog, ExecMode::Optimized);
+    let family = queries::all_family();
+
+    // Each query measures on its own worker; results come back in query
+    // order regardless of thread count. With -Dthreads=1 (the default, and
+    // the right choice for publishable timings) this is the serial loop.
+    let measured = perfeval_exec::parallel_map(family.len(), threads, |i| {
+        let mut dbg = session_with_mode(&catalog, ExecMode::Debug);
+        let mut opt = session_with_mode(&catalog, ExecMode::Optimized);
+        let d = measure_user_ms(&mut dbg, &family[i], 5);
+        let o = measure_user_ms(&mut opt, &family[i], 5);
+        (d, o)
+    })
+    .0;
 
     let mut ratios = Vec::new();
     let mut rows = Vec::new();
     println!(" q   DBG (ms)   OPT (ms)   DBG/OPT");
-    for (i, sql) in queries::all_family().iter().enumerate() {
-        let d = measure_user_ms(&mut dbg, sql, 5);
-        let o = measure_user_ms(&mut opt, sql, 5);
+    for (i, &(d, o)) in measured.iter().enumerate() {
         let ratio = d / o.max(1e-9);
         println!("{:>2}  {:>9.3}  {:>9.3}  {:>8.2}", i + 1, d, o, ratio);
         ratios.push(ratio);
@@ -51,14 +68,16 @@ fn main() {
         "OPT must win on (almost) every query; won {opt_wins}/22"
     );
     assert!(geo > 1.3, "the build factor must be material: {geo:.2}");
-    assert!(s.max() / s.min().max(0.1) > 1.5, "ratio must vary per query");
+    assert!(
+        s.max() / s.min().max(0.1) > 1.5,
+        "ratio must vary per query"
+    );
 
     if let Ok(dir) = std::env::var("PERFEVAL_OUT") {
         let dir = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| panic!("cannot create PERFEVAL_OUT dir {}: {e}", dir.display()));
-        write_csv(&dir.join("dbg_opt.csv"), &["query", "ratio"], &rows)
-            .expect("write csv");
+        write_csv(&dir.join("dbg_opt.csv"), &["query", "ratio"], &rows).expect("write csv");
         GnuplotScript::new(
             "relative execution time: DBG/OPT",
             "TPC-H-like queries",

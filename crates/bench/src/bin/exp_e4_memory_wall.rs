@@ -51,11 +51,17 @@ fn main() {
     )
     .series(
         "CPU",
-        series.iter().map(|s| (s.year as f64, s.cpu_ns_per_iter)).collect(),
+        series
+            .iter()
+            .map(|s| (s.year as f64, s.cpu_ns_per_iter))
+            .collect(),
     )
     .series(
         "Memory",
-        series.iter().map(|s| (s.year as f64, s.mem_ns_per_iter)).collect(),
+        series
+            .iter()
+            .map(|s| (s.year as f64, s.mem_ns_per_iter))
+            .collect(),
     )
     .series(
         "Total",

@@ -4,13 +4,18 @@
 //! responses 15/45/25/75, solved to `y = 40 + 20·xA + 10·xB + 5·xA·xB`,
 //! then the allocation-of-variation formulas `SST = 2² Σ q²`.
 
-use perfeval_bench::banner;
+use perfeval_bench::{banner, bench_props, threads_knob};
 use perfeval_core::effects::estimate_effects;
+use perfeval_core::runner::{Assignment, Runner};
 use perfeval_core::twolevel::TwoLevelDesign;
 use perfeval_core::variation::allocate_variation;
+use perfeval_exec::ParallelRunner;
 
 fn main() {
-    banner("E6: 2^2 factorial design, sign-table method", "slides 70-85");
+    banner(
+        "E6: 2^2 factorial design, sign-table method",
+        "slides 70-85",
+    );
 
     println!("Performance in MIPS:");
     println!("  cache \\ memory   4MB   16MB");
@@ -57,4 +62,19 @@ fn main() {
         assert!((got - want).abs() < 1e-12);
     }
     println!("\nmodel reproduces all four observations exactly.");
+
+    // Re-derive the table by *running* the fitted workstation model through
+    // the scheduler (-Dthreads=N): parallel execution must reproduce the
+    // paper's numbers bit-identically, or parallelism has become a factor.
+    let threads = threads_knob(&bench_props());
+    let workstation = |a: &Assignment| {
+        40.0 + 20.0 * a.num("A").unwrap()
+            + 10.0 * a.num("B").unwrap()
+            + 5.0 * a.num("A").unwrap() * a.num("B").unwrap()
+    };
+    let runner = Runner::new(1);
+    let parallel = runner.run_two_level_parallel(&design, &workstation, threads);
+    assert_eq!(parallel, runner.run_two_level_sync(&design, &workstation));
+    assert_eq!(parallel.means(), y.to_vec());
+    println!("parallel re-run on {threads} thread(s) is bit-identical to serial.");
 }

@@ -22,7 +22,10 @@ use perfeval_core::twolevel::TwoLevelDesign;
 use perfeval_core::variation::allocate_variation;
 
 fn main() {
-    banner("E8: allocation of variation, interconnection networks", "slides 86-93");
+    banner(
+        "E8: allocation of variation, interconnection networks",
+        "slides 86-93",
+    );
 
     // First (fast-toggling) factor: B = address pattern; second: A =
     // network type.
@@ -61,11 +64,7 @@ fn main() {
     println!("\npaper:   qA 17.2/20/10.9, qB 77.0/80/87.8, qAB 5.8/0/1.3");
 
     // Assert the published numbers within rounding.
-    let expect = [
-        [17.2, 20.0, 10.9],
-        [77.0, 80.0, 87.8],
-        [5.8, 0.0, 1.3],
-    ];
+    let expect = [[17.2, 20.0, 10.9], [77.0, 80.0, 87.8], [5.8, 0.0, 1.3]];
     for (got_row, want_row) in table_pct.iter().zip(&expect) {
         for (got, want) in got_row.iter().zip(want_row) {
             assert!(

@@ -16,19 +16,12 @@ fn main() {
         Factor::categorical("CPU", &["68000", "Z80", "8086"]),
         Factor::categorical("Memory", &["512K", "2M", "8M"]),
         Factor::categorical("Workload", &["Managerial", "Scientific", "Secretarial"]),
-        Factor::categorical(
-            "Education",
-            &["High school", "Postgraduate", "College"],
-        ),
+        Factor::categorical("Education", &["High school", "Postgraduate", "College"]),
     ]);
 
     print!("{}", design.render());
 
-    let full: usize = design
-        .factors()
-        .iter()
-        .map(|f| f.level_count())
-        .product();
+    let full: usize = design.factors().iter().map(|f| f.level_count()).product();
     println!(
         "\n{} experiments instead of the full {} — less experiments,",
         design.run_count(),

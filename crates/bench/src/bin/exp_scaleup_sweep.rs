@@ -5,22 +5,37 @@
 //! (CSV + gnuplot + config + README) written when `PERFEVAL_OUT` is set.
 
 use minidb::Session;
-use perfeval_bench::{banner, catalog_at, measure_user_ms, print_environment};
+use perfeval_bench::{
+    banner, bench_props, catalog_at, measure_user_ms, print_environment, threads_knob,
+};
 use perfeval_harness::suite::{ExperimentSuite, Instructions};
 use perfeval_harness::{AsciiChart, GnuplotScript, Properties};
 use perfeval_stats::regression::power_law_fit;
 use workload::queries;
 
 fn main() {
-    banner("scale-up sweep: execution time vs scale factor", "slides 200-205");
+    banner(
+        "scale-up sweep: execution time vs scale factor",
+        "slides 200-205",
+    );
     print_environment();
+    let props = bench_props();
+    let threads = threads_knob(&props);
+    if threads > 1 {
+        println!("running on {threads} worker threads (-Dthreads={threads})\n");
+    }
 
     let sfs = [0.002, 0.004, 0.008, 0.016, 0.032];
+    // Only the *untimed* work parallelizes: catalog generation is
+    // deterministic (splittable dbgen streams) and lands in sfs order at
+    // any thread count. The timed runs stay serial on purpose — concurrent
+    // measurements compete for cores, and the wall-clock inflation would
+    // make the thread count an unrecorded factor in the scale-up curve.
+    let catalogs = perfeval_exec::parallel_map(sfs.len(), threads, |i| catalog_at(sfs[i])).0;
     let mut q1_points = Vec::new();
     let mut q6_points = Vec::new();
     println!("   sf      Q1 (ms)    Q6 (ms)");
-    for &sf in &sfs {
-        let catalog = catalog_at(sf);
+    for (&sf, catalog) in sfs.iter().zip(catalogs) {
         let mut session = Session::new(catalog);
         let q1 = measure_user_ms(&mut session, &queries::q1(), 3);
         let q6 = measure_user_ms(&mut session, &queries::q6(), 3);
@@ -62,7 +77,7 @@ fn main() {
     if let Ok(dir) = std::env::var("PERFEVAL_OUT") {
         let root = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&root)
-        .unwrap_or_else(|e| panic!("cannot create PERFEVAL_OUT dir {}: {e}", root.display()));
+            .unwrap_or_else(|e| panic!("cannot create PERFEVAL_OUT dir {}: {e}", root.display()));
         let suite = ExperimentSuite::create(&root, "scaleup").expect("suite");
         let rows: Vec<Vec<f64>> = q1_points
             .iter()
@@ -96,17 +111,20 @@ fn main() {
                 .paper_size(0.5, 0.5),
             )
             .expect("plot");
-        let mut props = Properties::new();
-        props.set("seed", &perfeval_bench::BENCH_SEED.to_string());
-        props.set("sfs", "0.002,0.004,0.008,0.016,0.032");
-        props.set("replications", "3");
-        suite.record_config(&props).expect("config");
+        let mut conf = Properties::new();
+        conf.set("seed", &perfeval_bench::BENCH_SEED.to_string());
+        conf.set("sfs", "0.002,0.004,0.008,0.016,0.032");
+        conf.set("replications", "3");
+        conf.set("threads", &threads.to_string());
+        suite.record_config(&conf).expect("config");
         suite
             .write_instructions(&Instructions {
                 title: "scale-up sweep".into(),
                 requirements: "Rust 1.80+".into(),
                 extra_setup: String::new(),
-                command: "PERFEVAL_OUT=out cargo run --release -p perfeval-bench --bin exp_scaleup_sweep".into(),
+                command:
+                    "PERFEVAL_OUT=out cargo run --release -p perfeval-bench --bin exp_scaleup_sweep"
+                        .into(),
                 output_location: "res/scaleup.csv, graphs/scaleup.gnu".into(),
                 duration: "~1 min".into(),
             })

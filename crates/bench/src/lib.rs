@@ -28,6 +28,7 @@
 //! ablations DESIGN.md calls out.
 
 use minidb::{Catalog, ExecMode, Session};
+use perfeval_harness::Properties;
 use workload::dbgen::{generate, GenConfig};
 
 /// The standard scale factor used by the experiment binaries: large enough
@@ -76,6 +77,33 @@ pub fn measure_user_ms(session: &mut Session, sql: &str, reps: usize) -> f64 {
 /// Builds a session in the given mode over a shared catalog.
 pub fn session_with_mode(catalog: &Catalog, mode: ExecMode) -> Session {
     Session::new(catalog.clone()).with_mode(mode)
+}
+
+/// The shared experiment knobs, defaults overridden by `-Dkey=value`
+/// command-line arguments (the slide-193 layering):
+///
+/// * `threads` — worker count for parallel sweeps (default 1, serial).
+/// * `cache` — `on`/`off`, the resumable result cache (default off here;
+///   experiments that use it honor `-Dcache=on`).
+///
+/// # Panics
+/// Panics with the malformed argument when a `-D` option does not parse.
+pub fn bench_props() -> Properties {
+    let mut props = Properties::with_defaults(&[("threads", "1"), ("cache", "off")]);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    props
+        .apply_args(args.iter().map(String::as_str))
+        .expect("arguments must be -Dkey=value");
+    props
+}
+
+/// The `threads` knob of [`bench_props`], clamped to at least 1.
+pub fn threads_knob(props: &Properties) -> usize {
+    props
+        .get_u64("threads")
+        .expect("-Dthreads must be a number")
+        .unwrap_or(1)
+        .max(1) as usize
 }
 
 /// Prints a horizontal rule and a heading, the shared exhibit banner.
@@ -129,5 +157,14 @@ mod tests {
     #[should_panic(expected = "median of empty sample")]
     fn median_empty_panics() {
         median(Vec::new());
+    }
+
+    #[test]
+    fn threads_knob_defaults_and_clamps() {
+        let props = Properties::with_defaults(&[("threads", "4")]);
+        assert_eq!(threads_knob(&props), 4);
+        let zero = Properties::with_defaults(&[("threads", "0")]);
+        assert_eq!(threads_knob(&zero), 1, "0 threads clamps to serial");
+        assert_eq!(threads_knob(&Properties::new()), 1, "default is serial");
     }
 }

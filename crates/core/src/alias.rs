@@ -41,7 +41,9 @@ impl Generator {
         let lhs = lhs.trim();
         let rhs = rhs.trim();
         if lhs.is_empty() || rhs.is_empty() {
-            return Err(DesignError::Invalid(format!("generator '{text}' malformed")));
+            return Err(DesignError::Invalid(format!(
+                "generator '{text}' malformed"
+            )));
         }
         Ok(Generator {
             defined: lhs.to_owned(),
@@ -208,19 +210,13 @@ mod tests {
     use super::*;
 
     fn design_d_abc() -> TwoLevelDesign {
-        TwoLevelDesign::fractional(
-            &["A", "B", "C", "D"],
-            &[Generator::parse("D=ABC").unwrap()],
-        )
-        .unwrap()
+        TwoLevelDesign::fractional(&["A", "B", "C", "D"], &[Generator::parse("D=ABC").unwrap()])
+            .unwrap()
     }
 
     fn design_d_ab() -> TwoLevelDesign {
-        TwoLevelDesign::fractional(
-            &["A", "B", "C", "D"],
-            &[Generator::parse("D=AB").unwrap()],
-        )
-        .unwrap()
+        TwoLevelDesign::fractional(&["A", "B", "C", "D"], &[Generator::parse("D=AB").unwrap()])
+            .unwrap()
     }
 
     #[test]
@@ -316,10 +312,7 @@ mod tests {
         assert_eq!(a.resolution(), None);
         assert!(!a.are_aliased(0b001, 0b010));
         let full27 = AliasStructure::of(&TwoLevelDesign::full(&["A", "B"])).unwrap();
-        assert_eq!(
-            a.compare_preference(&full27),
-            std::cmp::Ordering::Equal
-        );
+        assert_eq!(a.compare_preference(&full27), std::cmp::Ordering::Equal);
     }
 
     #[test]

@@ -105,7 +105,9 @@ pub fn anova(
     level: f64,
 ) -> Result<AnovaTable, DesignError> {
     if !(0.0 < level && level < 1.0) {
-        return Err(DesignError::Invalid("confidence level must be in (0,1)".into()));
+        return Err(DesignError::Invalid(
+            "confidence level must be in (0,1)".into(),
+        ));
     }
     let r = replicates.first().map(Vec::len).unwrap_or(0);
     if r < 2 || replicates.iter().any(|v| v.len() != r) {
@@ -208,8 +210,18 @@ mod tests {
     fn interval_width_shrinks_with_less_noise() {
         let (d, noisy) = noisy_system(4.0);
         let (_, quiet) = noisy_system(0.5);
-        let wn = anova(&d, &noisy, 0.95).unwrap().effect("A").unwrap().interval.half_width();
-        let wq = anova(&d, &quiet, 0.95).unwrap().effect("A").unwrap().interval.half_width();
+        let wn = anova(&d, &noisy, 0.95)
+            .unwrap()
+            .effect("A")
+            .unwrap()
+            .interval
+            .half_width();
+        let wq = anova(&d, &quiet, 0.95)
+            .unwrap()
+            .effect("A")
+            .unwrap()
+            .interval
+            .half_width();
         assert!(wn > 3.0 * wq, "noisy {wn} vs quiet {wq}");
     }
 

@@ -25,15 +25,12 @@ impl EffectModel {
     /// Coefficient of an effect by factor names (empty slice = q₀).
     pub fn coefficient(&self, factors: &[&str]) -> Result<f64, DesignError> {
         let mask = self.design.effect_mask(factors)?;
-        self.coefficients
-            .get(&mask)
-            .copied()
-            .ok_or_else(|| {
-                DesignError::Invalid(format!(
-                    "effect {} not estimable in this design",
-                    self.design.effect_label(mask)
-                ))
-            })
+        self.coefficients.get(&mask).copied().ok_or_else(|| {
+            DesignError::Invalid(format!(
+                "effect {} not estimable in this design",
+                self.design.effect_label(mask)
+            ))
+        })
     }
 
     /// Coefficient by mask, if estimated.
@@ -131,9 +128,7 @@ pub fn estimate_effects(
         // reporting friendliness (main effects win over interactions).
         let base = design.run_count().trailing_zeros(); // 2^(k-p) runs
         let alias = crate::alias::AliasStructure::of(design)?;
-        (0..(1u32 << base))
-            .map(|m| alias.alias_set(m)[0])
-            .collect()
+        (0..(1u32 << base)).map(|m| alias.alias_set(m)[0]).collect()
     };
     for mask in masks {
         let dot: f64 = (0..design.run_count())
@@ -262,8 +257,10 @@ mod tests {
         let bcd = d.effect_mask(&["B", "C", "D"]).unwrap();
         let y: Vec<f64> = (0..8).map(|r| 5.0 + 2.0 * d.effect_sign(r, bcd)).collect();
         let m = estimate_effects(&d, &y).unwrap();
-        assert!((m.coefficient(&["A"]).unwrap() - 2.0).abs() < 1e-12,
-            "BCD effect is charged to its alias A");
+        assert!(
+            (m.coefficient(&["A"]).unwrap() - 2.0).abs() < 1e-12,
+            "BCD effect is charged to its alias A"
+        );
         assert!((m.mean() - 5.0).abs() < 1e-12);
     }
 

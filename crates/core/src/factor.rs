@@ -70,10 +70,7 @@ impl Factor {
     /// Panics if fewer than two levels are given (a one-level "factor"
     /// cannot affect anything).
     pub fn new(name: &str, levels: Vec<Level>) -> Self {
-        assert!(
-            levels.len() >= 2,
-            "factor {name} needs at least two levels"
-        );
+        assert!(levels.len() >= 2, "factor {name} needs at least two levels");
         Factor {
             name: name.to_owned(),
             levels,

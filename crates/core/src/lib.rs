@@ -52,7 +52,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod alias;
 pub mod anova;
 pub mod design;
@@ -70,7 +69,10 @@ pub use anova::{anova, AnovaTable};
 pub use design::{Design, DesignKind};
 pub use effects::{estimate_effects, EffectModel};
 pub use factor::{Factor, Level};
-pub use runner::{Assignment, Experiment, ResponseTable, Runner};
+pub use runner::{
+    design_assignments, two_level_assignments, Assignment, Experiment, ResponseTable, Runner,
+    SyncExperiment,
+};
 pub use twolevel::TwoLevelDesign;
 pub use variation::allocate_variation;
 

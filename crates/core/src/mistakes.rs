@@ -47,11 +47,7 @@ pub fn audit_design(design: &Design) -> Vec<Finding> {
             message: "interactions are structurally ignored by this design".into(),
         });
     }
-    let full: usize = design
-        .factors()
-        .iter()
-        .map(|f| f.level_count())
-        .product();
+    let full: usize = design.factors().iter().map(|f| f.level_count()).product();
     if design.kind() == DesignKind::FullFactorial && full > 10_000 {
         findings.push(Finding {
             mistake: 6,
@@ -161,8 +157,9 @@ mod tests {
             vec![102.0, 62.0, 142.0],
         ];
         let findings = audit_responses(&d, &reps);
-        assert!(findings.iter().any(|f| f.mistake == 1
-            && f.message.contains("indistinguishable from noise")));
+        assert!(findings
+            .iter()
+            .any(|f| f.mistake == 1 && f.message.contains("indistinguishable from noise")));
     }
 
     #[test]

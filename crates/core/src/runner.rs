@@ -26,10 +26,7 @@ impl Assignment {
 
     /// Level of a factor by name.
     pub fn level(&self, factor: &str) -> Option<&Level> {
-        self.pairs
-            .iter()
-            .find(|(n, _)| n == factor)
-            .map(|(_, l)| l)
+        self.pairs.iter().find(|(n, _)| n == factor).map(|(_, l)| l)
     }
 
     /// Numeric level of a factor.
@@ -76,8 +73,63 @@ impl<F: FnMut(&Assignment) -> f64> Experiment for F {
     }
 }
 
+/// A thread-safe system under test: the shared-reference sibling of
+/// [`Experiment`], required by parallel execution (`perfeval-exec`), where
+/// many worker threads probe the system concurrently.
+///
+/// Implementations must be pure with respect to observable responses —
+/// `respond(a, r)` must depend only on the assignment and replicate index
+/// (plus any per-unit seed the caller derives) — or parallel and serial
+/// execution cannot be bit-identical.
+pub trait SyncExperiment: Sync {
+    /// Runs the workload once under `assignment` for replicate `replicate`
+    /// and returns the response.
+    fn respond(&self, assignment: &Assignment, replicate: usize) -> f64;
+
+    /// Optional per-unit setup (e.g. flush caches for cold protocols).
+    fn prepare(&self, _assignment: &Assignment) {}
+}
+
+impl<F: Fn(&Assignment) -> f64 + Sync> SyncExperiment for F {
+    fn respond(&self, assignment: &Assignment, _replicate: usize) -> f64 {
+        self(assignment)
+    }
+}
+
+/// Expands a multi-level [`Design`] into one [`Assignment`] per run.
+pub fn design_assignments(design: &Design) -> Vec<Assignment> {
+    (0..design.run_count())
+        .map(|r| {
+            Assignment::new(
+                design
+                    .factors()
+                    .iter()
+                    .zip(design.run(r))
+                    .map(|(f, &level)| (f.name().to_owned(), f.levels()[level].clone()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Expands a [`TwoLevelDesign`] into one ±1 [`Assignment`] per run.
+pub fn two_level_assignments(design: &TwoLevelDesign) -> Vec<Assignment> {
+    (0..design.run_count())
+        .map(|r| {
+            Assignment::new(
+                design
+                    .factor_names()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, n)| (n.clone(), Level::Num(design.factor_sign(r, j))))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
 /// Design runs with their replicated responses.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponseTable {
     /// One assignment per run.
     pub assignments: Vec<Assignment>,
@@ -128,32 +180,8 @@ impl Runner {
     }
 
     /// Executes a multi-level [`Design`].
-    pub fn run_design(
-        &self,
-        design: &Design,
-        experiment: &mut dyn Experiment,
-    ) -> ResponseTable {
-        let mut assignments = Vec::with_capacity(design.run_count());
-        let mut replicates = Vec::with_capacity(design.run_count());
-        for r in 0..design.run_count() {
-            let pairs: Vec<(String, Level)> = design
-                .factors()
-                .iter()
-                .zip(design.run(r))
-                .map(|(f, &level)| (f.name().to_owned(), f.levels()[level].clone()))
-                .collect();
-            let assignment = Assignment::new(pairs);
-            experiment.prepare(&assignment);
-            let responses: Vec<f64> = (0..self.replications)
-                .map(|_| experiment.respond(&assignment))
-                .collect();
-            assignments.push(assignment);
-            replicates.push(responses);
-        }
-        ResponseTable {
-            assignments,
-            replicates,
-        }
+    pub fn run_design(&self, design: &Design, experiment: &mut dyn Experiment) -> ResponseTable {
+        self.run_assignments(design_assignments(design), experiment)
     }
 
     /// Executes a two-level design; factor levels are passed as ±1
@@ -163,23 +191,73 @@ impl Runner {
         design: &TwoLevelDesign,
         experiment: &mut dyn Experiment,
     ) -> ResponseTable {
-        let mut assignments = Vec::with_capacity(design.run_count());
-        let mut replicates = Vec::with_capacity(design.run_count());
-        for r in 0..design.run_count() {
-            let pairs: Vec<(String, Level)> = design
-                .factor_names()
-                .iter()
-                .enumerate()
-                .map(|(j, n)| (n.clone(), Level::Num(design.factor_sign(r, j))))
-                .collect();
-            let assignment = Assignment::new(pairs);
-            experiment.prepare(&assignment);
-            let responses: Vec<f64> = (0..self.replications)
-                .map(|_| experiment.respond(&assignment))
-                .collect();
-            assignments.push(assignment);
-            replicates.push(responses);
+        self.run_assignments(two_level_assignments(design), experiment)
+    }
+
+    /// Executes an explicit run list (the shared core of the design
+    /// walkers).
+    pub fn run_assignments(
+        &self,
+        assignments: Vec<Assignment>,
+        experiment: &mut dyn Experiment,
+    ) -> ResponseTable {
+        let replicates = assignments
+            .iter()
+            .map(|assignment| {
+                experiment.prepare(assignment);
+                (0..self.replications)
+                    .map(|_| experiment.respond(assignment))
+                    .collect()
+            })
+            .collect();
+        ResponseTable {
+            assignments,
+            replicates,
         }
+    }
+
+    /// Serial reference execution of a [`SyncExperiment`] over a
+    /// multi-level design — the comparison baseline for
+    /// `perfeval-exec`'s `run_parallel`.
+    pub fn run_design_sync<E: SyncExperiment>(
+        &self,
+        design: &Design,
+        experiment: &E,
+    ) -> ResponseTable {
+        self.run_assignments_sync(design_assignments(design), experiment)
+    }
+
+    /// Serial reference execution of a [`SyncExperiment`] over a two-level
+    /// design.
+    pub fn run_two_level_sync<E: SyncExperiment>(
+        &self,
+        design: &TwoLevelDesign,
+        experiment: &E,
+    ) -> ResponseTable {
+        self.run_assignments_sync(two_level_assignments(design), experiment)
+    }
+
+    /// Serial reference execution of a [`SyncExperiment`] over an explicit
+    /// run list. Unlike [`Runner::run_assignments`], `prepare` is invoked
+    /// before *every replicate* — matching the parallel path, where each
+    /// (run, replicate) unit is independent and prepared by whichever
+    /// worker executes it.
+    pub fn run_assignments_sync<E: SyncExperiment>(
+        &self,
+        assignments: Vec<Assignment>,
+        experiment: &E,
+    ) -> ResponseTable {
+        let replicates = assignments
+            .iter()
+            .map(|assignment| {
+                (0..self.replications)
+                    .map(|replicate| {
+                        experiment.prepare(assignment);
+                        experiment.respond(assignment, replicate)
+                    })
+                    .collect()
+            })
+            .collect();
         ResponseTable {
             assignments,
             replicates,
@@ -256,7 +334,8 @@ mod tests {
     fn run_and_analyze_end_to_end() {
         let d = TwoLevelDesign::full(&["A", "B"]);
         let mut exp = |a: &Assignment| {
-            40.0 + 20.0 * a.num("A").unwrap() + 10.0 * a.num("B").unwrap()
+            40.0 + 20.0 * a.num("A").unwrap()
+                + 10.0 * a.num("B").unwrap()
                 + 5.0 * a.num("A").unwrap() * a.num("B").unwrap()
         };
         let (table, variation) = run_and_analyze(&d, 1, &mut exp).unwrap();

@@ -106,7 +106,8 @@ mod tests {
     /// A synthetic system with two strong factors (A, D), one weak (B) and
     /// one inert (C).
     fn system(a: &Assignment) -> f64 {
-        100.0 + 30.0 * a.num("A").unwrap()
+        100.0
+            + 30.0 * a.num("A").unwrap()
             + 2.0 * a.num("B").unwrap()
             + 0.0 * a.num("C").unwrap()
             + 20.0 * a.num("D").unwrap()

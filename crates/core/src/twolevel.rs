@@ -219,7 +219,11 @@ impl TwoLevelDesign {
             for j in 0..self.k() {
                 out.push_str(&format!(
                     " {:>4}",
-                    if self.factor_sign(r, j) > 0.0 { "+1" } else { "-1" }
+                    if self.factor_sign(r, j) > 0.0 {
+                        "+1"
+                    } else {
+                        "-1"
+                    }
                 ));
             }
             out.push('\n');
@@ -311,15 +315,9 @@ mod tests {
         assert!(d.columns_are_orthogonal());
         // Spot-check the slide's first data row: A=-1,B=-1,C=-1 ->
         // D=AB=+1, E=AC=+1, F=BC=+1, G=ABC=-1.
-        assert_eq!(
-            d.run_signs(0),
-            vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0, -1.0]
-        );
+        assert_eq!(d.run_signs(0), vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0, -1.0]);
         // Second row: A=+1,B=-1,C=-1 -> D=-1, E=-1, F=+1, G=+1.
-        assert_eq!(
-            d.run_signs(1),
-            vec![1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0]
-        );
+        assert_eq!(d.run_signs(1), vec![1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -116,7 +116,11 @@ fn build_table(
         shares,
         sst: sst_total,
         sse,
-        error_fraction: if sst_total > 0.0 { sse / sst_total } else { 0.0 },
+        error_fraction: if sst_total > 0.0 {
+            sse / sst_total
+        } else {
+            0.0
+        },
         model,
     }
 }

@@ -1,0 +1,238 @@
+//! A small, offline micro-benchmark harness exposing the subset of the
+//! `criterion` crate API that this workspace's `benches/` use.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` cannot be vendored. This shim keeps every bench target
+//! compiling and running under `cargo bench`: each benchmark is warmed up,
+//! then timed for a fixed number of samples, and a `min / median / mean`
+//! line is printed. It deliberately implements no statistics beyond that —
+//! the workspace's own `perfeval-stats` is the place for rigor.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock durations, seconds.
+    pub sample_secs: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a few warmup calls, then `samples` timed
+    /// calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3.min(self.samples) {
+            black_box(routine());
+        }
+        self.sample_secs.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.sample_secs.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            sample_secs: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.sample_secs);
+        self
+    }
+
+    /// Benchmarks a closure against an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            sample_secs: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.sample_secs);
+        self
+    }
+
+    fn report(&mut self, id: &str, secs: &[f64]) {
+        let line = if secs.is_empty() {
+            format!("{}/{id}: no samples", self.name)
+        } else {
+            let mut sorted = secs.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+            format!(
+                "{}/{id}: min {:.3} ms, median {:.3} ms, mean {:.3} ms ({} samples)",
+                self.name,
+                sorted[0] * 1e3,
+                sorted[sorted.len() / 2] * 1e3,
+                mean * 1e3,
+                secs.len()
+            )
+        };
+        println!("{line}");
+        self.criterion.lines.push(line);
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Every report line emitted (inspectable by tests).
+    pub lines: Vec<String>,
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Sets the default sample size for subsequent groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group function calling each benchmark in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // test filters); a shim has nothing to configure from them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_reports_each_benchmark() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(4);
+            g.bench_function("fast", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.lines.len(), 2);
+        assert!(c.lines[0].starts_with("demo/fast:"));
+        assert!(c.lines[1].starts_with("demo/param/42:"));
+        assert!(c.lines[0].contains("4 samples"));
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("q1", "OPT").to_string(), "q1/OPT");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn black_box_passes_through() {
+        assert_eq!(black_box(7), 7);
+    }
+}

@@ -1,0 +1,275 @@
+//! A content-addressed, on-disk result cache so sweeps resume.
+//!
+//! Long factorial sweeps die — machines reboot, jobs hit walltime, someone
+//! trips over the power cord. The repeatability chapter's answer is to make
+//! every measurement re-derivable from recorded inputs; this cache makes it
+//! *cheap*: a completed unit is keyed by a hash of everything that
+//! determines its response (factor assignment, protocol, per-unit seed,
+//! environment fingerprint) and re-running the sweep executes only the
+//! units whose keys are absent.
+//!
+//! The store is deliberately primitive — one small file per key, written
+//! via tmp + rename so a crash mid-write never leaves a corrupt entry.
+//! No external serialization crates are available offline, so values are
+//! plain decimal text.
+
+use perfeval_core::runner::Assignment;
+use perfeval_measure::env::EnvSpec;
+use perfeval_measure::protocol::RunProtocol;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash: tiny, stable across platforms and runs (unlike
+/// `std`'s `DefaultHasher`, which is documented as unstable).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The environment component of a cache key: a cached result is only valid
+/// on a machine that would plausibly reproduce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvFingerprint(String);
+
+impl EnvFingerprint {
+    /// Fingerprint of the current machine (CPU model/MHz, RAM, OS).
+    pub fn capture() -> Self {
+        EnvFingerprint::from_spec(&EnvSpec::capture())
+    }
+
+    /// Fingerprint of an explicit [`EnvSpec`] (tests, simulations).
+    pub fn from_spec(spec: &EnvSpec) -> Self {
+        EnvFingerprint(format!(
+            "cpu={} {} @{}MHz caches={:?} ram={}MiB os={}",
+            spec.cpu_vendor, spec.cpu_model, spec.cpu_mhz, spec.cache_kib, spec.ram_mib, spec.os
+        ))
+    }
+
+    /// A fingerprint that matches nothing real — for simulated experiments
+    /// whose responses do not depend on the hardware.
+    pub fn simulated(label: &str) -> Self {
+        EnvFingerprint(format!("simulated:{label}"))
+    }
+
+    /// The canonical string hashed into keys.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Everything that determines one unit's response, canonicalized to text.
+/// Two units with equal canonical strings are the same measurement.
+pub fn cache_key(
+    assignment: &Assignment,
+    protocol: &RunProtocol,
+    replicate: usize,
+    seed: u64,
+    env: &EnvFingerprint,
+) -> u64 {
+    let canonical = format!(
+        "assignment[{assignment}] protocol[{}] replicate[{replicate}] seed[{seed}] env[{}]",
+        protocol.describe(),
+        env.as_str()
+    );
+    fnv1a(canonical.as_bytes())
+}
+
+/// On-disk cache of unit responses.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    enabled: bool,
+    /// Lookups that found an entry (resumed units).
+    pub hits: std::sync::atomic::AtomicUsize,
+    /// Lookups that found nothing (units that must execute).
+    pub misses: std::sync::atomic::AtomicUsize,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            enabled: true,
+            hits: std::sync::atomic::AtomicUsize::new(0),
+            misses: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// A cache that stores and returns nothing — the `--no-cache` escape
+    /// hatch, so call sites need no `Option` plumbing.
+    pub fn disabled() -> Self {
+        ResultCache {
+            dir: PathBuf::new(),
+            enabled: false,
+            hits: std::sync::atomic::AtomicUsize::new(0),
+            misses: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether lookups/stores do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.unit"))
+    }
+
+    /// Looks up a unit response. `None` means the unit must execute.
+    pub fn lookup(&self, key: u64) -> Option<f64> {
+        if !self.enabled {
+            return None;
+        }
+        let found = std::fs::read_to_string(self.path_for(key))
+            .ok()
+            .and_then(|text| text.trim().parse::<f64>().ok());
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a unit response. Write errors are swallowed — a cache that
+    /// cannot persist degrades to re-measurement, never to a failed sweep.
+    pub fn store(&self, key: u64, response: f64) {
+        if !self.enabled {
+            return;
+        }
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        // 17 significant digits round-trip any f64 exactly.
+        if std::fs::write(&tmp, format!("{response:.17e}\n")).is_ok() {
+            let _ = std::fs::rename(&tmp, self.path_for(key));
+        }
+    }
+
+    /// Number of entries on disk (0 when disabled).
+    pub fn len(&self) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "unit"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The directory backing this cache (empty path when disabled).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfeval_core::factor::Level;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perfeval-exec-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assignment(x: f64) -> Assignment {
+        Assignment::new(vec![("x".into(), Level::Num(x))])
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let env = EnvFingerprint::simulated("test");
+        let proto = RunProtocol::hot(0, 3);
+        let k = cache_key(&assignment(1.0), &proto, 0, 42, &env);
+        assert_eq!(k, cache_key(&assignment(1.0), &proto, 0, 42, &env));
+        assert_ne!(k, cache_key(&assignment(2.0), &proto, 0, 42, &env));
+        assert_ne!(k, cache_key(&assignment(1.0), &proto, 1, 42, &env));
+        assert_ne!(k, cache_key(&assignment(1.0), &proto, 0, 43, &env));
+        assert_ne!(
+            k,
+            cache_key(&assignment(1.0), &RunProtocol::cold(3), 0, 42, &env)
+        );
+        assert_ne!(
+            k,
+            cache_key(
+                &assignment(1.0),
+                &proto,
+                0,
+                42,
+                &EnvFingerprint::simulated("other")
+            )
+        );
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips_exactly() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let value = 123.456_789_012_345_67_f64;
+        cache.store(7, value);
+        assert_eq!(cache.lookup(7), Some(value), "f64 must round-trip bitwise");
+        assert_eq!(cache.lookup(8), None);
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let dir = temp_dir("counters");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(1, 1.0);
+        let _ = cache.lookup(1);
+        let _ = cache.lookup(2);
+        let _ = cache.lookup(1);
+        assert_eq!(cache.hits.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(cache.misses.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = ResultCache::disabled();
+        cache.store(1, 1.0);
+        assert_eq!(cache.lookup(1), None);
+        assert!(!cache.is_enabled());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn env_fingerprint_reflects_spec() {
+        let spec = EnvSpec::tutorial_laptop();
+        let fp = EnvFingerprint::from_spec(&spec);
+        assert!(fp.as_str().contains("Pentium"));
+        assert_ne!(
+            fp,
+            EnvFingerprint::from_spec(&EnvSpec {
+                ram_mib: 4096,
+                ..spec
+            })
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Progress and observability for long sweeps.
+//!
+//! A sweep that runs for hours with no output is indistinguishable from a
+//! hung one, and a straggling worker silently stretches wall time. The
+//! scheduler emits [`ProgressSnapshot`]s through a caller-supplied hook and
+//! summarizes the whole execution as an [`ExecReport`] — completed/total,
+//! per-worker throughput, cache hits, and straggler flags — that
+//! `perfeval-harness` renders alongside the scientific results.
+
+use crate::pool::WorkerStats;
+
+/// A point-in-time view of a running sweep, handed to progress hooks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Units finished so far (executed or served from cache).
+    pub completed: usize,
+    /// Total units in the plan.
+    pub total: usize,
+    /// Wall-clock seconds since the sweep started.
+    pub elapsed_secs: f64,
+}
+
+impl ProgressSnapshot {
+    /// Completed fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.total as f64
+        }
+    }
+
+    /// Units per second so far.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.completed as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds to completion, extrapolating current throughput;
+    /// `None` until at least one unit has finished.
+    pub fn eta_secs(&self) -> Option<f64> {
+        if self.completed == 0 {
+            return None;
+        }
+        let rate = self.throughput();
+        if rate > 0.0 {
+            Some((self.total - self.completed) as f64 / rate)
+        } else {
+            None
+        }
+    }
+
+    /// `"17/64 (26.6%), 3.1 units/s, ETA 15s"` — the progress line.
+    pub fn render(&self) -> String {
+        let eta = match self.eta_secs() {
+            Some(s) => format!("ETA {s:.0}s"),
+            None => "ETA unknown".to_owned(),
+        };
+        format!(
+            "{}/{} ({:.1}%), {:.1} units/s, {eta}",
+            self.completed,
+            self.total,
+            100.0 * self.fraction(),
+            self.throughput()
+        )
+    }
+}
+
+/// Summary of one scheduler execution, for inclusion in reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Units in the plan.
+    pub total_units: usize,
+    /// Units actually measured this execution.
+    pub executed: usize,
+    /// Units served from the result cache.
+    pub from_cache: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// The order policy description (self-documentation).
+    pub order: String,
+    /// The plan description (runs × replications, protocol, root seed).
+    pub plan: String,
+}
+
+impl ExecReport {
+    /// Workers whose busy time exceeds `factor` × the median busy time —
+    /// the stragglers that deserve a look (NUMA placement, thermal
+    /// throttling, an unlucky string of slow units).
+    ///
+    /// `factor` below 1.0 is treated as 1.0. Needs ≥ 2 workers to be
+    /// meaningful; returns empty otherwise.
+    pub fn stragglers(&self, factor: f64) -> Vec<usize> {
+        if self.workers.len() < 2 {
+            return Vec::new();
+        }
+        let mut busy: Vec<f64> = self.workers.iter().map(|w| w.busy_secs).collect();
+        busy.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = busy[busy.len() / 2];
+        if median <= 0.0 {
+            return Vec::new();
+        }
+        let threshold = median * factor.max(1.0);
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.busy_secs > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Aggregate units per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            (self.executed + self.from_cache) as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Multi-line human-readable summary (one string per line), the form
+    /// `perfeval-harness::report` embeds.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!("plan: {}", self.plan),
+            format!("order: {}", self.order),
+            format!(
+                "execution: {} units on {} thread(s) in {:.3}s ({:.1} units/s)",
+                self.total_units,
+                self.threads,
+                self.wall_secs,
+                self.throughput()
+            ),
+            format!(
+                "cache: {} executed, {} resumed from cache",
+                self.executed, self.from_cache
+            ),
+        ];
+        for (i, w) in self.workers.iter().enumerate() {
+            lines.push(format!(
+                "worker {i}: {} unit(s), {:.3}s busy",
+                w.units, w.busy_secs
+            ));
+        }
+        let stragglers = self.stragglers(2.0);
+        if !stragglers.is_empty() {
+            lines.push(format!(
+                "stragglers (>2x median busy time): worker(s) {stragglers:?}"
+            ));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_math() {
+        let s = ProgressSnapshot {
+            completed: 25,
+            total: 100,
+            elapsed_secs: 5.0,
+        };
+        assert_eq!(s.fraction(), 0.25);
+        assert_eq!(s.throughput(), 5.0);
+        assert_eq!(s.eta_secs(), Some(15.0));
+        let line = s.render();
+        assert!(line.contains("25/100"));
+        assert!(line.contains("ETA 15s"));
+    }
+
+    #[test]
+    fn snapshot_before_first_completion() {
+        let s = ProgressSnapshot {
+            completed: 0,
+            total: 10,
+            elapsed_secs: 1.0,
+        };
+        assert_eq!(s.eta_secs(), None);
+        assert!(s.render().contains("ETA unknown"));
+    }
+
+    #[test]
+    fn empty_plan_is_complete() {
+        let s = ProgressSnapshot {
+            completed: 0,
+            total: 0,
+            elapsed_secs: 0.0,
+        };
+        assert_eq!(s.fraction(), 1.0);
+    }
+
+    fn report(busy: &[f64]) -> ExecReport {
+        ExecReport {
+            threads: busy.len(),
+            total_units: 10,
+            executed: 10,
+            from_cache: 0,
+            wall_secs: 1.0,
+            workers: busy
+                .iter()
+                .map(|&b| WorkerStats {
+                    units: 1,
+                    busy_secs: b,
+                })
+                .collect(),
+            order: "as-designed order".into(),
+            plan: "test plan".into(),
+        }
+    }
+
+    #[test]
+    fn straggler_flagging() {
+        let r = report(&[1.0, 1.1, 0.9, 5.0]);
+        assert_eq!(r.stragglers(2.0), vec![3]);
+        assert!(report(&[1.0, 1.0, 1.0]).stragglers(2.0).is_empty());
+        assert!(report(&[1.0]).stragglers(2.0).is_empty(), "needs >= 2");
+    }
+
+    #[test]
+    fn render_lines_cover_the_story() {
+        let mut r = report(&[1.0, 1.1, 0.9, 4.0]);
+        r.from_cache = 3;
+        r.executed = 7;
+        let text = r.render_lines().join("\n");
+        assert!(text.contains("test plan"));
+        assert!(text.contains("as-designed"));
+        assert!(text.contains("7 executed, 3 resumed"));
+        assert!(text.contains("worker 0"));
+        assert!(text.contains("stragglers"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The scheduler: executes a [`RunPlan`] across the worker pool.
+//!
+//! Responsibilities, in order: permute the units per the
+//! [`OrderPolicy`], consult the [`ResultCache`] before measuring, execute
+//! misses through [`parallel_map`], scatter results back into canonical
+//! slots, and assemble the [`ResponseTable`]. The determinism argument
+//! lives in the scatter step: position `p` of the execution order maps to
+//! canonical unit `order[p]`, so the assembled table is invariant under
+//! the order policy and thread count.
+
+use crate::cache::{cache_key, EnvFingerprint, ResultCache};
+use crate::order::OrderPolicy;
+use crate::plan::{RunPlan, RunUnit};
+use crate::pool::parallel_map;
+use crate::progress::{ExecReport, ProgressSnapshot};
+use perfeval_core::runner::{Assignment, ResponseTable, SyncExperiment};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A system under test addressed at unit granularity. The blanket impl
+/// adapts any [`SyncExperiment`]; implement this directly to consume the
+/// per-unit seed (e.g. to drive a per-measurement workload generator).
+pub trait UnitExperiment: Sync {
+    /// Measures one unit and returns its response.
+    fn respond_unit(&self, assignment: &Assignment, unit: &RunUnit) -> f64;
+
+    /// Optional per-unit setup (e.g. flush caches for cold protocols).
+    fn prepare(&self, _assignment: &Assignment) {}
+}
+
+impl<E: SyncExperiment> UnitExperiment for E {
+    fn respond_unit(&self, assignment: &Assignment, unit: &RunUnit) -> f64 {
+        SyncExperiment::respond(self, assignment, unit.replicate)
+    }
+
+    fn prepare(&self, assignment: &Assignment) {
+        SyncExperiment::prepare(self, assignment);
+    }
+}
+
+/// Progress hook type: called after every completed unit.
+pub type ProgressHook<'a> = &'a (dyn Fn(ProgressSnapshot) + Sync);
+
+/// Executes run plans deterministically in parallel.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    /// Worker threads (1 = serial, no spawning).
+    pub threads: usize,
+    /// Execution-order policy.
+    pub order: OrderPolicy,
+}
+
+impl Scheduler {
+    /// A scheduler with `threads` workers and as-designed order.
+    pub fn new(threads: usize) -> Self {
+        Scheduler {
+            threads: threads.max(1),
+            order: OrderPolicy::AsDesigned,
+        }
+    }
+
+    /// Sets the order policy.
+    pub fn with_order(mut self, order: OrderPolicy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Executes `plan` against `experiment`, serving repeats from `cache`
+    /// and reporting progress through `progress` (if given).
+    ///
+    /// Returns the assembled [`ResponseTable`] — bit-identical regardless
+    /// of `threads` and `order` — plus an [`ExecReport`] describing how
+    /// the execution went.
+    pub fn execute<E: UnitExperiment + ?Sized>(
+        &self,
+        plan: &RunPlan,
+        experiment: &E,
+        cache: &ResultCache,
+        env: &EnvFingerprint,
+        progress: Option<ProgressHook<'_>>,
+    ) -> (ResponseTable, ExecReport) {
+        let order = self.order.order(plan);
+        let total = order.len();
+        let executed = AtomicUsize::new(0);
+        let from_cache = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let t0 = std::time::Instant::now();
+
+        let (values, workers) = parallel_map(total, self.threads, |p| {
+            let unit = &plan.units[order[p]];
+            let assignment = &plan.assignments[unit.run];
+            let key = cache_key(assignment, &plan.protocol, unit.replicate, unit.seed, env);
+            let value = match cache.lookup(key) {
+                Some(v) => {
+                    from_cache.fetch_add(1, Ordering::Relaxed);
+                    v
+                }
+                None => {
+                    experiment.prepare(assignment);
+                    let v = experiment.respond_unit(assignment, unit);
+                    cache.store(key, v);
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    v
+                }
+            };
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(hook) = progress {
+                hook(ProgressSnapshot {
+                    completed: done,
+                    total,
+                    elapsed_secs: t0.elapsed().as_secs_f64(),
+                });
+            }
+            value
+        });
+
+        // Scatter execution-order results back into canonical unit slots.
+        let mut responses = vec![0.0; plan.unit_count()];
+        for (p, v) in values.into_iter().enumerate() {
+            responses[order[p]] = v;
+        }
+        let table = plan.assemble(&responses);
+        let report = ExecReport {
+            threads: self.threads,
+            total_units: total,
+            executed: executed.into_inner(),
+            from_cache: from_cache.into_inner(),
+            wall_secs: t0.elapsed().as_secs_f64(),
+            workers,
+            order: self.order.describe(),
+            plan: plan.describe(),
+        };
+        (table, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfeval_core::factor::Level;
+    use perfeval_measure::protocol::RunProtocol;
+
+    fn plan(runs: usize, reps: usize, seed: u64) -> RunPlan {
+        let assignments = (0..runs)
+            .map(|i| Assignment::new(vec![("x".into(), Level::Num(i as f64))]))
+            .collect();
+        RunPlan::expand(assignments, RunProtocol::hot(0, reps), seed)
+    }
+
+    /// Response depends on assignment and replicate only — the purity the
+    /// determinism contract requires.
+    fn experiment() -> impl SyncExperiment {
+        struct Exp;
+        impl SyncExperiment for Exp {
+            fn respond(&self, a: &Assignment, replicate: usize) -> f64 {
+                a.num("x").unwrap() * 100.0 + replicate as f64
+            }
+        }
+        Exp
+    }
+
+    #[test]
+    fn identical_across_threads_and_orders() {
+        let p = plan(5, 3, 42);
+        let env = EnvFingerprint::simulated("sched-test");
+        let exp = experiment();
+        let baseline = Scheduler::new(1)
+            .execute(&p, &exp, &ResultCache::disabled(), &env, None)
+            .0;
+        for threads in [2, 4] {
+            for order in [
+                OrderPolicy::AsDesigned,
+                OrderPolicy::Shuffled(9),
+                OrderPolicy::Blocked,
+            ] {
+                let table = Scheduler::new(threads)
+                    .with_order(order)
+                    .execute(&p, &exp, &ResultCache::disabled(), &env, None)
+                    .0;
+                assert_eq!(table, baseline, "threads={threads} order={order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_sweep_executes_zero_new_measurements() {
+        let dir =
+            std::env::temp_dir().join(format!("perfeval-exec-sched-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let env = EnvFingerprint::simulated("resume-test");
+        let p = plan(4, 2, 7);
+        let exp = experiment();
+
+        let (first, report1) = Scheduler::new(2).execute(&p, &exp, &cache, &env, None);
+        assert_eq!(report1.executed, 8);
+        assert_eq!(report1.from_cache, 0);
+
+        let (second, report2) = Scheduler::new(2).execute(&p, &exp, &cache, &env, None);
+        assert_eq!(
+            report2.executed, 0,
+            "fully cached sweep re-measures nothing"
+        );
+        assert_eq!(report2.from_cache, 8);
+        assert_eq!(first, second, "cached results identical to measured ones");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_hook_fires_once_per_unit() {
+        let p = plan(3, 2, 0);
+        let env = EnvFingerprint::simulated("progress-test");
+        let calls = AtomicUsize::new(0);
+        let hook = |s: ProgressSnapshot| {
+            assert_eq!(s.total, 6);
+            assert!(s.completed >= 1 && s.completed <= 6);
+            calls.fetch_add(1, Ordering::Relaxed);
+        };
+        let exp = experiment();
+        Scheduler::new(2).execute(&p, &exp, &ResultCache::disabled(), &env, Some(&hook));
+        assert_eq!(calls.into_inner(), 6);
+    }
+
+    #[test]
+    fn closure_experiments_work_via_blanket_impls() {
+        let p = plan(2, 2, 0);
+        let env = EnvFingerprint::simulated("closure-test");
+        let exp = |a: &Assignment| a.num("x").unwrap() + 1.0;
+        let (table, _) = Scheduler::new(1).execute(&p, &exp, &ResultCache::disabled(), &env, None);
+        assert_eq!(table.means(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn unit_experiment_can_consume_seeds() {
+        struct Seeded;
+        impl UnitExperiment for Seeded {
+            fn respond_unit(&self, _: &Assignment, unit: &RunUnit) -> f64 {
+                unit.seed as f64
+            }
+        }
+        let p = plan(2, 1, 5);
+        let env = EnvFingerprint::simulated("seeded-test");
+        let serial = Scheduler::new(1)
+            .execute(&p, &Seeded, &ResultCache::disabled(), &env, None)
+            .0;
+        let parallel = Scheduler::new(4)
+            .with_order(OrderPolicy::Shuffled(3))
+            .execute(&p, &Seeded, &ResultCache::disabled(), &env, None)
+            .0;
+        assert_eq!(serial, parallel, "seeds are order-independent");
+    }
+}

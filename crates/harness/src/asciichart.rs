@@ -85,7 +85,11 @@ impl AsciiChart {
         let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
         let y_data_min = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let y_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
-        let y_min = if self.y_from_zero { 0.0f64.min(y_data_min) } else { y_data_min };
+        let y_min = if self.y_from_zero {
+            0.0f64.min(y_data_min)
+        } else {
+            y_data_min
+        };
         let x_span = (x_max - x_min).max(1e-12);
         let y_span = (y_max - y_min).max(1e-12);
 
@@ -110,11 +114,7 @@ impl AsciiChart {
             };
             out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
         }
-        out.push_str(&format!(
-            "{} +{}\n",
-            " ".repeat(10),
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{} +{}\n", " ".repeat(10), "-".repeat(self.width)));
         out.push_str(&format!(
             "{}  {:<width$.1}{:>rest$.1}\n",
             " ".repeat(10),
@@ -148,7 +148,10 @@ mod tests {
     fn chart() -> AsciiChart {
         AsciiChart::new("scan cost", "year", "ns per iteration")
             .series("CPU", vec![(1992.0, 104.0), (1996.0, 22.0), (2000.0, 10.7)])
-            .series("Memory", vec![(1992.0, 150.0), (1996.0, 140.0), (2000.0, 120.0)])
+            .series(
+                "Memory",
+                vec![(1992.0, 150.0), (1996.0, 140.0), (2000.0, 120.0)],
+            )
     }
 
     #[test]

@@ -249,7 +249,11 @@ mod tests {
             }
         );
         match parse_csv("a\nx\n").unwrap_err() {
-            CsvError::BadCell { row: 1, col: 0, text } => assert_eq!(text, "x"),
+            CsvError::BadCell {
+                row: 1,
+                col: 0,
+                text,
+            } => assert_eq!(text, "x"),
             other => panic!("{other:?}"),
         }
         assert_eq!(parse_csv("").unwrap_err(), CsvError::Empty);

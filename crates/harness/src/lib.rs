@@ -25,14 +25,13 @@
 //!   218–220.
 #![warn(missing_docs)]
 
-
 pub mod asciichart;
 pub mod chartlint;
 pub mod csvio;
 pub mod gnuplot;
 pub mod properties;
-pub mod report;
 pub mod repeatability;
+pub mod report;
 pub mod suite;
 
 pub use asciichart::AsciiChart;

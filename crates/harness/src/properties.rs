@@ -95,7 +95,8 @@ impl Properties {
 
     /// Gets a required property.
     pub fn require(&self, key: &str) -> Result<&str, PropError> {
-        self.get(key).ok_or_else(|| PropError::Missing(key.to_owned()))
+        self.get(key)
+            .ok_or_else(|| PropError::Missing(key.to_owned()))
     }
 
     /// Typed accessor.
@@ -237,7 +238,8 @@ mod tests {
     #[test]
     fn comments_and_blanks_ignored() {
         let mut p = Properties::new();
-        p.load_str("# a comment\n\n  key = value with spaces  \n").unwrap();
+        p.load_str("# a comment\n\n  key = value with spaces  \n")
+            .unwrap();
         assert_eq!(p.get("key"), Some("value with spaces"));
         assert_eq!(p.len(), 1);
     }
@@ -258,7 +260,9 @@ mod tests {
     #[test]
     fn missing_file_is_a_meaningful_error() {
         let mut p = Properties::new();
-        let err = p.load_file(Path::new("/definitely/not/here.conf")).unwrap_err();
+        let err = p
+            .load_file(Path::new("/definitely/not/here.conf"))
+            .unwrap_err();
         match &err {
             PropError::FileUnreadable { path, .. } => {
                 assert!(path.contains("not/here.conf"));

@@ -9,6 +9,7 @@
 //! notebook.
 
 use crate::properties::Properties;
+use perfeval_exec::ExecReport;
 use perfeval_measure::{EnvSpec, SoftwareSpec};
 use perfeval_stats::ci::mean_confidence_interval;
 use perfeval_stats::Summary;
@@ -83,6 +84,9 @@ pub struct Report {
     pub config: Option<Properties>,
     /// Result tables.
     pub tables: Vec<ResultTable>,
+    /// How the sweep executed (threads, cache hits, stragglers), when it
+    /// ran through the `perfeval-exec` scheduler.
+    pub execution: Option<ExecReport>,
     /// Free-form analysis / conclusions.
     pub conclusions: String,
 }
@@ -124,6 +128,14 @@ impl Report {
     /// Adds a result table.
     pub fn table(mut self, table: ResultTable) -> Self {
         self.tables.push(table);
+        self
+    }
+
+    /// Attaches the scheduler's execution summary. Parallel execution is
+    /// part of the protocol — thread count and cache reuse belong in the
+    /// record just like hot/cold and replication counts.
+    pub fn execution(mut self, report: ExecReport) -> Self {
+        self.execution = Some(report);
         self
     }
 
@@ -191,6 +203,13 @@ impl Report {
                 out.push_str(&t.render());
             }
         }
+        if let Some(exec) = &self.execution {
+            out.push_str("## Execution\n\n");
+            for line in exec.render_lines() {
+                out.push_str(&format!("- {line}\n"));
+            }
+            out.push('\n');
+        }
         if !self.conclusions.is_empty() {
             out.push_str("## Conclusions\n\n");
             out.push_str(&format!("{}\n", self.conclusions));
@@ -250,7 +269,14 @@ mod tests {
     fn missing_sections_are_reported() {
         let r = Report::new("t", "");
         let missing = r.missing_sections();
-        for section in ["goal", "environment", "software", "protocol", "config", "results"] {
+        for section in [
+            "goal",
+            "environment",
+            "software",
+            "protocol",
+            "config",
+            "results",
+        ] {
             assert!(missing.contains(&section), "{section}");
         }
         assert!(r.render().contains("incomplete report"));
@@ -265,6 +291,25 @@ mod tests {
         assert!(text.contains("unreplicated"));
         let r = full_report().table(table);
         assert!(r.missing_sections().contains(&"replication"));
+    }
+
+    #[test]
+    fn execution_section_renders_scheduler_summary() {
+        let exec = ExecReport {
+            threads: 4,
+            total_units: 24,
+            executed: 20,
+            from_cache: 4,
+            wall_secs: 2.0,
+            workers: Vec::new(),
+            order: "shuffled order (seed 7)".into(),
+            plan: "8 runs x 3 replications = 24 units".into(),
+        };
+        let text = full_report().execution(exec).render();
+        assert!(text.contains("## Execution"));
+        assert!(text.contains("4 thread(s)"));
+        assert!(text.contains("20 executed, 4 resumed from cache"));
+        assert!(text.contains("shuffled order (seed 7)"));
     }
 
     #[test]

@@ -191,6 +191,18 @@ impl ParamGrid {
         }
         points
     }
+
+    /// Runs `f` over every grid point on `threads` workers (the
+    /// `perfeval-exec` pool) and returns the results in [`ParamGrid::points`]
+    /// order, regardless of thread count or scheduling.
+    pub fn run_parallel<T, F>(&self, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Properties) -> T + Sync,
+    {
+        let points = self.points();
+        perfeval_exec::parallel_map(points.len(), threads, |i| f(&points[i])).0
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +308,22 @@ mod tests {
         assert_eq!(points[1].get("sf"), Some("0.1"));
         assert_eq!(points[0].get("mode"), Some("DBG"));
         assert_eq!(points[2].get("mode"), Some("OPT"));
+    }
+
+    #[test]
+    fn grid_parallel_run_preserves_point_order() {
+        let grid = ParamGrid::new()
+            .axis_f64("sf", &[0.01, 0.1, 1.0])
+            .axis("mode", &["DBG", "OPT"]);
+        let serial = grid.run_parallel(1, |p| {
+            format!("{}/{}", p.get("sf").unwrap(), p.get("mode").unwrap())
+        });
+        let parallel = grid.run_parallel(4, |p| {
+            format!("{}/{}", p.get("sf").unwrap(), p.get("mode").unwrap())
+        });
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 6);
+        assert_eq!(serial[0], "0.01/DBG");
     }
 
     #[test]

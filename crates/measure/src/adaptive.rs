@@ -47,7 +47,10 @@ pub fn measure_until(
     max_runs: usize,
     mut workload: impl FnMut() -> f64,
 ) -> AdaptiveResult {
-    assert!(min_runs >= 2, "need at least 2 runs for a variance estimate");
+    assert!(
+        min_runs >= 2,
+        "need at least 2 runs for a variance estimate"
+    );
     assert!(min_runs <= max_runs, "min_runs must not exceed max_runs");
     assert!(target > 0.0, "target relative half-width must be positive");
     assert!(0.0 < level && level < 1.0, "level must be in (0,1)");
@@ -56,8 +59,7 @@ pub fn measure_until(
         samples.push(workload());
     }
     loop {
-        let interval =
-            mean_confidence_interval(&samples, level).expect("len >= 2 and finite");
+        let interval = mean_confidence_interval(&samples, level).expect("len >= 2 and finite");
         let converged = interval
             .relative_half_width()
             .map(|rhw| rhw <= target)

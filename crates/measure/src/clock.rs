@@ -70,12 +70,19 @@ impl Clock for WallClock {
     }
 }
 
-/// Process CPU ("user" + "system") time, read from `/proc/self/stat` on
+/// CPU ("user" + "system") time, read from `/proc/thread-self/stat` on
 /// Linux — the number `/usr/bin/time` reports as `user`/`sys`.
 ///
 /// CPU time excludes time spent blocked on I/O or descheduled, which is why
 /// the tutorial's cold-run table shows user ≈ 2930 ms while real ≈ 13243 ms:
 /// the missing ten seconds were disk waits that only the wall clock sees.
+///
+/// Readings are **per-thread** (falling back to the process-wide
+/// `/proc/self/stat` on pre-3.17 kernels): a parallel sweep has several
+/// workers measuring concurrently, and with a process-wide clock each
+/// measurement would silently include every other worker's CPU — the
+/// thread count would become an unrecorded factor. In a single-threaded
+/// program the two readings coincide.
 ///
 /// On non-Linux platforms (or if `/proc` is unavailable) readings fall back
 /// to wall-clock time; [`CpuClock::is_native`] reports which you got.
@@ -87,7 +94,7 @@ pub struct CpuClock {
 }
 
 impl CpuClock {
-    /// Creates a CPU clock, probing `/proc/self/stat` availability once.
+    /// Creates a CPU clock, probing `/proc` stat availability once.
     pub fn new() -> Self {
         let native = read_proc_cpu_ticks().is_some();
         CpuClock {
@@ -111,9 +118,15 @@ impl Default for CpuClock {
     }
 }
 
-/// Reads `utime + stime` (in clock ticks) from `/proc/self/stat`.
+/// Reads the calling thread's `utime + stime` from `/proc/thread-self/stat`
+/// (Linux ≥ 3.17), falling back to the process-wide `/proc/self/stat`.
 fn read_proc_cpu_ticks() -> Option<u64> {
-    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    read_stat_ticks("/proc/thread-self/stat").or_else(|| read_stat_ticks("/proc/self/stat"))
+}
+
+/// Reads `utime + stime` (in clock ticks) from a procfs `stat` file.
+fn read_stat_ticks(path: &str) -> Option<u64> {
+    let stat = std::fs::read_to_string(path).ok()?;
     // Field 2 is the comm which may contain spaces/parens; skip past the
     // closing paren, then utime/stime are fields 14/15 (1-based), i.e.
     // index 11/12 after the paren.
@@ -141,7 +154,7 @@ impl Clock for CpuClock {
     }
 
     fn describe(&self) -> &'static str {
-        "process CPU (user+system) time via /proc/self/stat, 10 ms ticks"
+        "per-thread CPU (user+system) time via /proc/thread-self/stat, 10 ms ticks"
     }
 }
 

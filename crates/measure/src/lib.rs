@@ -20,7 +20,6 @@
 //!   performance counters" (filled in by the `memsim` simulator).
 #![warn(missing_docs)]
 
-
 pub mod adaptive;
 pub mod clock;
 pub mod counters;

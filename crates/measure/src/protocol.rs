@@ -226,10 +226,8 @@ mod tests {
     #[test]
     fn cold_protocol_flushes_before_every_run() {
         let sys = std::cell::RefCell::new(FakeSystem::new());
-        let result = RunProtocol::cold(3).execute(
-            || sys.borrow_mut().flush(),
-            || sys.borrow_mut().run(),
-        );
+        let result =
+            RunProtocol::cold(3).execute(|| sys.borrow_mut().flush(), || sys.borrow_mut().run());
         assert_eq!(sys.borrow().flushes, 3);
         assert_eq!(result.kept_totals(), vec![1000.0, 1000.0, 1000.0]);
     }
@@ -237,10 +235,8 @@ mod tests {
     #[test]
     fn hot_protocol_warms_up_first() {
         let sys = std::cell::RefCell::new(FakeSystem::new());
-        let result = RunProtocol::hot(1, 3).execute(
-            || sys.borrow_mut().flush(),
-            || sys.borrow_mut().run(),
-        );
+        let result =
+            RunProtocol::hot(1, 3).execute(|| sys.borrow_mut().flush(), || sys.borrow_mut().run());
         // 1 warmup (cold, discarded) + 3 measured (all hot).
         assert_eq!(sys.borrow().runs, 4);
         assert_eq!(result.kept_totals(), vec![100.0, 100.0, 100.0]);
@@ -249,10 +245,8 @@ mod tests {
     #[test]
     fn last_of_three_keeps_only_final_run() {
         let sys = std::cell::RefCell::new(FakeSystem::new());
-        let result = RunProtocol::last_of_three_hot().execute(
-            || sys.borrow_mut().flush(),
-            || sys.borrow_mut().run(),
-        );
+        let result = RunProtocol::last_of_three_hot()
+            .execute(|| sys.borrow_mut().flush(), || sys.borrow_mut().run());
         // First measured run is cold (1000), the last two hot (100);
         // only the final hot run is kept.
         assert_eq!(result.all.len(), 3);
@@ -264,15 +258,11 @@ mod tests {
     fn hot_and_cold_differ_like_the_tutorial_table() {
         // The whole point of slide 33: same query, wildly different numbers.
         let sys = std::cell::RefCell::new(FakeSystem::new());
-        let cold = RunProtocol::cold(1).execute(
-            || sys.borrow_mut().flush(),
-            || sys.borrow_mut().run(),
-        );
+        let cold =
+            RunProtocol::cold(1).execute(|| sys.borrow_mut().flush(), || sys.borrow_mut().run());
         let sys2 = std::cell::RefCell::new(FakeSystem::new());
-        let hot = RunProtocol::hot(1, 1).execute(
-            || sys2.borrow_mut().flush(),
-            || sys2.borrow_mut().run(),
-        );
+        let hot = RunProtocol::hot(1, 1)
+            .execute(|| sys2.borrow_mut().flush(), || sys2.borrow_mut().run());
         assert!(cold.mean_total_ms() > 5.0 * hot.mean_total_ms());
     }
 

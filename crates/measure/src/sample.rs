@@ -54,12 +54,7 @@ impl Measurement {
 
     /// Renders the `mclient -t` style breakdown.
     pub fn render(&self) -> String {
-        let width = self
-            .phases
-            .iter()
-            .map(|(n, _)| n.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.phases.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
         for (name, ms) in &self.phases {
             out.push_str(&format!("{name:<width$} {ms:10.3} msec\n"));
@@ -104,7 +99,10 @@ impl PhaseTimer {
 /// # Panics
 /// Panics if `elapsed_ms <= 0`.
 pub fn throughput(ops: u64, elapsed_ms: f64) -> f64 {
-    assert!(elapsed_ms > 0.0, "throughput requires positive elapsed time");
+    assert!(
+        elapsed_ms > 0.0,
+        "throughput requires positive elapsed time"
+    );
     ops as f64 / (elapsed_ms / 1000.0)
 }
 
@@ -159,10 +157,7 @@ mod tests {
 
     #[test]
     fn render_looks_like_mclient() {
-        let m = Measurement::from_phases(vec![
-            ("Trans".into(), 11.626),
-            ("Query".into(), 6.462),
-        ]);
+        let m = Measurement::from_phases(vec![("Trans".into(), 11.626), ("Query".into(), 6.462)]);
         let text = m.render();
         assert!(text.contains("Trans"));
         assert!(text.contains("msec"));

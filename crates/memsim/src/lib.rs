@@ -29,7 +29,6 @@
 //! user-vs-real lesson deterministically.
 #![warn(missing_docs)]
 
-
 pub mod cache;
 pub mod disk;
 pub mod hierarchy;
@@ -41,3 +40,15 @@ pub use disk::{BufferPool, Disk, PageId};
 pub use hierarchy::{AccessOutcome, MemoryHierarchy};
 pub use machine::MachineSpec;
 pub use scan::{scan_cost, ScanCost};
+
+// The parallel scheduler (`perfeval-exec`) moves simulator state across
+// worker threads; these assertions turn any future non-Send field (Rc,
+// raw pointer) into a compile error instead of a distant build break.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CacheSim>();
+    assert_send::<BufferPool>();
+    assert_send::<Disk>();
+    assert_send::<MemoryHierarchy>();
+    assert_send::<MachineSpec>();
+};

@@ -297,10 +297,7 @@ mod tests {
         let clock_ratio = 500.0 / 50.0;
         let dram_ratio = lineup[0].dram_ns / lineup[4].dram_ns;
         assert!(clock_ratio >= 10.0);
-        assert!(
-            dram_ratio < 1.5,
-            "DRAM barely improves: ratio {dram_ratio}"
-        );
+        assert!(dram_ratio < 1.5, "DRAM barely improves: ratio {dram_ratio}");
     }
 
     #[test]

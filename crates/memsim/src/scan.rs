@@ -105,7 +105,6 @@ pub fn memory_wall_series(iterations: u64) -> Vec<ScanCost> {
         .collect()
 }
 
-
 /// Analytic (closed-form) counterpart of [`scan_cost`]: predicts the
 /// steady-state per-iteration CPU and memory cost without simulating a
 /// single access.
@@ -255,7 +254,12 @@ mod tests {
         assert_eq!(series[4].system, "Origin2000");
         for s in &series {
             assert!(s.total_ns_per_iter() > 0.0);
-            assert!(s.total_ns_per_iter() < 400.0, "{}: {}", s.system, s.total_ns_per_iter());
+            assert!(
+                s.total_ns_per_iter() < 400.0,
+                "{}: {}",
+                s.system,
+                s.total_ns_per_iter()
+            );
         }
     }
 
@@ -272,10 +276,14 @@ mod tests {
         for m in MachineSpec::memory_wall_lineup() {
             let sim = scan_cost(&m, 100_000, 128);
             let ana = scan_cost_analytic(&m, 100_000, 128);
-            let rel = (sim.mem_ns_per_iter - ana.mem_ns_per_iter).abs()
-                / sim.mem_ns_per_iter;
-            assert!(rel < 0.05, "{}: sim {} vs analytic {}", m.system,
-                sim.mem_ns_per_iter, ana.mem_ns_per_iter);
+            let rel = (sim.mem_ns_per_iter - ana.mem_ns_per_iter).abs() / sim.mem_ns_per_iter;
+            assert!(
+                rel < 0.05,
+                "{}: sim {} vs analytic {}",
+                m.system,
+                sim.mem_ns_per_iter,
+                ana.mem_ns_per_iter
+            );
             assert_eq!(sim.cpu_ns_per_iter, ana.cpu_ns_per_iter);
         }
     }
@@ -286,10 +294,13 @@ mod tests {
         let m = MachineSpec::dec_alpha_1998();
         let sim = scan_cost(&m, 200_000, 8);
         let ana = scan_cost_analytic(&m, 200_000, 8);
-        let rel = (sim.mem_ns_per_iter - ana.mem_ns_per_iter).abs()
-            / sim.mem_ns_per_iter.max(1e-9);
-        assert!(rel < 0.1, "sim {} vs analytic {}", sim.mem_ns_per_iter,
-            ana.mem_ns_per_iter);
+        let rel = (sim.mem_ns_per_iter - ana.mem_ns_per_iter).abs() / sim.mem_ns_per_iter.max(1e-9);
+        assert!(
+            rel < 0.1,
+            "sim {} vs analytic {}",
+            sim.mem_ns_per_iter,
+            ana.mem_ns_per_iter
+        );
     }
 
     #[test]

@@ -138,9 +138,7 @@ impl Column {
         match self {
             Column::Int(v) => Value::Int(v[i]),
             Column::Float(v) => Value::Float(v[i]),
-            Column::Str { dict, codes } => {
-                Value::Str(dict.values()[codes[i] as usize].clone())
-            }
+            Column::Str { dict, codes } => Value::Str(dict.values()[codes[i] as usize].clone()),
             Column::Bool(v) => Value::Bool(v[i]),
         }
     }

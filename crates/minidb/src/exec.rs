@@ -165,12 +165,24 @@ fn value_key(v: &Value) -> Option<Key> {
 /// checks exhaustively.
 #[derive(Debug, Clone)]
 enum AggState {
-    Sum { acc: f64, is_int: bool },
+    Sum {
+        acc: f64,
+        is_int: bool,
+    },
     Count(i64),
     CountDistinct(std::collections::HashSet<Key>),
-    Avg { sum: f64, n: i64 },
-    Min { slot: Option<Value>, arg_type: DataType },
-    Max { slot: Option<Value>, arg_type: DataType },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    Min {
+        slot: Option<Value>,
+        arg_type: DataType,
+    },
+    Max {
+        slot: Option<Value>,
+        arg_type: DataType,
+    },
 }
 
 /// The typed zero an empty aggregate yields.
@@ -191,12 +203,16 @@ impl AggState {
                 is_int: arg_type == DataType::Int,
             },
             AggFunc::Count => AggState::Count(0),
-            AggFunc::CountDistinct => {
-                AggState::CountDistinct(std::collections::HashSet::new())
-            }
+            AggFunc::CountDistinct => AggState::CountDistinct(std::collections::HashSet::new()),
             AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
-            AggFunc::Min => AggState::Min { slot: None, arg_type },
-            AggFunc::Max => AggState::Max { slot: None, arg_type },
+            AggFunc::Min => AggState::Min {
+                slot: None,
+                arg_type,
+            },
+            AggFunc::Max => AggState::Max {
+                slot: None,
+                arg_type,
+            },
         }
     }
 
@@ -225,10 +241,7 @@ impl AggState {
             AggState::Min { slot, .. } => {
                 let replace = match slot {
                     None => true,
-                    Some(cur) => matches!(
-                        v.sql_cmp(cur),
-                        Some(std::cmp::Ordering::Less)
-                    ),
+                    Some(cur) => matches!(v.sql_cmp(cur), Some(std::cmp::Ordering::Less)),
                 };
                 if replace {
                     *slot = Some(v.clone());
@@ -237,10 +250,7 @@ impl AggState {
             AggState::Max { slot, .. } => {
                 let replace = match slot {
                     None => true,
-                    Some(cur) => matches!(
-                        v.sql_cmp(cur),
-                        Some(std::cmp::Ordering::Greater)
-                    ),
+                    Some(cur) => matches!(v.sql_cmp(cur), Some(std::cmp::Ordering::Greater)),
                 };
                 if replace {
                     *slot = Some(v.clone());
@@ -462,8 +472,7 @@ impl<'a> Executor<'a> {
                         Ok((*f, b, dt))
                     })
                     .collect::<Result<_, DbError>>()?;
-                let mut groups: HashMap<Vec<Key>, (Vec<Value>, Vec<AggState>)> =
-                    HashMap::new();
+                let mut groups: HashMap<Vec<Key>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
                 for row in &rows {
                     let mut key = Vec::with_capacity(bound_groups.len());
                     let mut key_vals = Vec::with_capacity(bound_groups.len());
@@ -543,9 +552,7 @@ impl<'a> Executor<'a> {
                                 return std::cmp::Ordering::Equal;
                             }
                         };
-                        let ord = va
-                            .sql_cmp(&vb)
-                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
                         let ord = if *desc { ord.reverse() } else { ord };
                         if ord != std::cmp::Ordering::Equal {
                             return ord;
@@ -861,11 +868,7 @@ fn bounded_insert<T>(
 
 /// Compares two precomputed key-value vectors under the given
 /// (expression, descending) directions.
-fn compare_keyed(
-    a: &[Value],
-    b: &[Value],
-    keys: &[(Expr, bool)],
-) -> std::cmp::Ordering {
+fn compare_keyed(a: &[Value], b: &[Value], keys: &[(Expr, bool)]) -> std::cmp::Ordering {
     for ((x, y), (_, desc)) in a.iter().zip(b).zip(keys) {
         let ord = x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal);
         let ord = if *desc { ord.reverse() } else { ord };
@@ -970,23 +973,34 @@ fn flip_cmp(op: BinOp) -> BinOp {
 }
 
 /// Tight typed comparison loop; returns `None` if no fast path applies.
-fn typed_compare(
-    col: &Column,
-    op: BinOp,
-    lit: &Value,
-    selection: &[usize],
-) -> Option<Vec<usize>> {
+fn typed_compare(col: &Column, op: BinOp, lit: &Value, selection: &[usize]) -> Option<Vec<usize>> {
     use BinOp::*;
     match (col, lit) {
         (Column::Int(data), Value::Int(k)) => {
             let k = *k;
             Some(match op {
                 Lt => selection.iter().copied().filter(|&i| data[i] < k).collect(),
-                Le => selection.iter().copied().filter(|&i| data[i] <= k).collect(),
+                Le => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] <= k)
+                    .collect(),
                 Gt => selection.iter().copied().filter(|&i| data[i] > k).collect(),
-                Ge => selection.iter().copied().filter(|&i| data[i] >= k).collect(),
-                Eq => selection.iter().copied().filter(|&i| data[i] == k).collect(),
-                Ne => selection.iter().copied().filter(|&i| data[i] != k).collect(),
+                Ge => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] >= k)
+                    .collect(),
+                Eq => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] == k)
+                    .collect(),
+                Ne => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] != k)
+                    .collect(),
                 _ => return None,
             })
         }
@@ -994,23 +1008,63 @@ fn typed_compare(
             let k = lit.as_f64()?;
             Some(match op {
                 Lt => selection.iter().copied().filter(|&i| data[i] < k).collect(),
-                Le => selection.iter().copied().filter(|&i| data[i] <= k).collect(),
+                Le => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] <= k)
+                    .collect(),
                 Gt => selection.iter().copied().filter(|&i| data[i] > k).collect(),
-                Ge => selection.iter().copied().filter(|&i| data[i] >= k).collect(),
-                Eq => selection.iter().copied().filter(|&i| data[i] == k).collect(),
-                Ne => selection.iter().copied().filter(|&i| data[i] != k).collect(),
+                Ge => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] >= k)
+                    .collect(),
+                Eq => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] == k)
+                    .collect(),
+                Ne => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| data[i] != k)
+                    .collect(),
                 _ => return None,
             })
         }
         (Column::Int(data), Value::Float(k)) => {
             let k = *k;
             Some(match op {
-                Lt => selection.iter().copied().filter(|&i| (data[i] as f64) < k).collect(),
-                Le => selection.iter().copied().filter(|&i| (data[i] as f64) <= k).collect(),
-                Gt => selection.iter().copied().filter(|&i| (data[i] as f64) > k).collect(),
-                Ge => selection.iter().copied().filter(|&i| (data[i] as f64) >= k).collect(),
-                Eq => selection.iter().copied().filter(|&i| (data[i] as f64) == k).collect(),
-                Ne => selection.iter().copied().filter(|&i| (data[i] as f64) != k).collect(),
+                Lt => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| (data[i] as f64) < k)
+                    .collect(),
+                Le => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| (data[i] as f64) <= k)
+                    .collect(),
+                Gt => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| (data[i] as f64) > k)
+                    .collect(),
+                Ge => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| (data[i] as f64) >= k)
+                    .collect(),
+                Eq => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| (data[i] as f64) == k)
+                    .collect(),
+                Ne => selection
+                    .iter()
+                    .copied()
+                    .filter(|&i| (data[i] as f64) != k)
+                    .collect(),
                 _ => return None,
             })
         }
@@ -1022,11 +1076,19 @@ fn typed_compare(
                 (Ne, None) => selection.to_vec(),
                 (Eq, Some(c)) => {
                     let c = c as u32;
-                    selection.iter().copied().filter(|&i| codes[i] == c).collect()
+                    selection
+                        .iter()
+                        .copied()
+                        .filter(|&i| codes[i] == c)
+                        .collect()
                 }
                 (Ne, Some(c)) => {
                     let c = c as u32;
-                    selection.iter().copied().filter(|&i| codes[i] != c).collect()
+                    selection
+                        .iter()
+                        .copied()
+                        .filter(|&i| codes[i] != c)
+                        .collect()
                 }
                 _ => unreachable!(),
             })
@@ -1091,9 +1153,7 @@ fn typed_arith(batch: &Batch, op: BinOp, left: &Expr, right: &Expr) -> Option<Co
         match e {
             Expr::ColumnIdx(i) => match &batch.cols[*i] {
                 Column::Float(v) => Some(FloatOperand::Col(v.clone())),
-                Column::Int(v) => {
-                    Some(FloatOperand::Col(v.iter().map(|&x| x as f64).collect()))
-                }
+                Column::Int(v) => Some(FloatOperand::Col(v.iter().map(|&x| x as f64).collect())),
                 _ => None,
             },
             Expr::Literal(v) => v.as_f64().map(FloatOperand::Scalar),
@@ -1265,10 +1325,7 @@ fn vectorized_aggregate(
     rows.sort_by(|a, b| compare_rows(a, b));
 
     let out_schema = plan.schema(catalog)?;
-    let mut cols: Vec<Column> = out_schema
-        .iter()
-        .map(|(_, dt)| Column::new(*dt))
-        .collect();
+    let mut cols: Vec<Column> = out_schema.iter().map(|(_, dt)| Column::new(*dt)).collect();
     for row in &rows {
         for (col, v) in cols.iter_mut().zip(row) {
             let v = match v {
@@ -1310,12 +1367,8 @@ mod tests {
             ("north", 1, 5.0),
         ];
         for (r, q, p) in data {
-            t.push_row(vec![
-                Value::Str(r.into()),
-                Value::Int(q),
-                Value::Float(p),
-            ])
-            .unwrap();
+            t.push_row(vec![Value::Str(r.into()), Value::Int(q), Value::Float(p)])
+                .unwrap();
         }
         c.register(t).unwrap();
 
@@ -1334,13 +1387,7 @@ mod tests {
 
     fn run_sql(catalog: &Catalog, mode: ExecMode, sql: &str) -> ResultSet {
         let stmt = parse(sql).unwrap();
-        let plan = to_plan(&stmt, |t| {
-            Ok(catalog
-                .table(t)?
-                .column_names()
-                .to_vec())
-        })
-        .unwrap();
+        let plan = to_plan(&stmt, |t| Ok(catalog.table(t)?.column_names().to_vec())).unwrap();
         Executor::new(catalog, mode).run(&plan).unwrap()
     }
 
@@ -1428,14 +1475,8 @@ mod tests {
         );
         assert_eq!(d.rows, o.rows);
         assert_eq!(d.rows.len(), 3);
-        assert_eq!(
-            d.rows[0],
-            vec![Value::Str("east".into()), Value::Int(40)]
-        );
-        assert_eq!(
-            d.rows[2],
-            vec![Value::Str("west".into()), Value::Int(25)]
-        );
+        assert_eq!(d.rows[0], vec![Value::Str("east".into()), Value::Int(40)]);
+        assert_eq!(d.rows[2], vec![Value::Str("west".into()), Value::Int(25)]);
     }
 
     #[test]

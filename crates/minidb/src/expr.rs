@@ -232,10 +232,7 @@ impl Expr {
     pub fn render(&self, names: &[String]) -> String {
         match self {
             Expr::Column(n) => n.clone(),
-            Expr::ColumnIdx(i) => names
-                .get(*i)
-                .cloned()
-                .unwrap_or_else(|| format!("#{i}")),
+            Expr::ColumnIdx(i) => names.get(*i).cloned().unwrap_or_else(|| format!("#{i}")),
             Expr::Literal(v) => match v {
                 Value::Str(s) => format!("'{s}'"),
                 other => other.render(),
@@ -271,9 +268,9 @@ pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, DbError> {
             Ok(Value::Bool(if op == And { a && b } else { a || b }))
         }
         Eq | Ne | Lt | Le | Gt | Ge => {
-            let ord = l.sql_cmp(r).ok_or_else(|| {
-                DbError::TypeMismatch(format!("cannot compare {l:?} with {r:?}"))
-            })?;
+            let ord = l
+                .sql_cmp(r)
+                .ok_or_else(|| DbError::TypeMismatch(format!("cannot compare {l:?} with {r:?}")))?;
             use std::cmp::Ordering::*;
             let b = match op {
                 Eq => ord == Equal,
@@ -303,11 +300,7 @@ pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, DbError> {
             _ => {
                 let (a, b) = match (l.as_f64(), r.as_f64()) {
                     (Some(a), Some(b)) => (a, b),
-                    _ => {
-                        return Err(DbError::TypeMismatch(format!(
-                            "arithmetic on {l:?}, {r:?}"
-                        )))
-                    }
+                    _ => return Err(DbError::TypeMismatch(format!("arithmetic on {l:?}, {r:?}"))),
                 };
                 Ok(Value::Float(match op {
                     Add => a + b,
@@ -397,10 +390,7 @@ mod tests {
     #[test]
     fn bind_unknown_column_errors() {
         let e = Expr::col("ghost");
-        assert!(matches!(
-            e.bind(&schema()),
-            Err(DbError::UnknownColumn(_))
-        ));
+        assert!(matches!(e.bind(&schema()), Err(DbError::UnknownColumn(_))));
     }
 
     #[test]
@@ -481,7 +471,11 @@ mod tests {
 
     #[test]
     fn constantness_and_references() {
-        let c = Expr::bin(BinOp::Add, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(2)));
+        let c = Expr::bin(
+            BinOp::Add,
+            Expr::lit(Value::Int(1)),
+            Expr::lit(Value::Int(2)),
+        );
         assert!(c.is_constant());
         let e = Expr::bin(BinOp::Add, Expr::ColumnIdx(2), Expr::ColumnIdx(0));
         assert!(!e.is_constant());

@@ -46,7 +46,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod catalog;
 pub mod column;
 pub mod error;

@@ -164,10 +164,7 @@ fn fold_plan(plan: Plan) -> Plan {
         },
         Plan::Project { input, exprs } => Plan::Project {
             input: Box::new(fold_plan(*input)),
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (fold_expr(e), n))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
         },
         Plan::Join {
             left,
@@ -413,9 +410,7 @@ fn referenced_names(plan: &Plan, out: &mut Vec<String>) {
             }
             referenced_names(input, out);
         }
-        Plan::Limit { input, .. } | Plan::Distinct { input } => {
-            referenced_names(input, out)
-        }
+        Plan::Limit { input, .. } | Plan::Distinct { input } => referenced_names(input, out),
         Plan::TopN { input, keys, .. } => {
             for (e, _) in keys {
                 column_names(e, out);
@@ -524,10 +519,10 @@ fn prune_plan(plan: Plan, catalog: &Catalog) -> Result<Plan, DbError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{ExecMode, Executor};
     use crate::parser::{parse, to_plan};
     use crate::table::TableBuilder;
     use crate::types::{DataType, Value};
-    use crate::exec::{ExecMode, Executor};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -569,7 +564,11 @@ mod tests {
         let e = Expr::bin(
             BinOp::Mul,
             Expr::lit(Value::Int(2)),
-            Expr::bin(BinOp::Add, Expr::lit(Value::Int(3)), Expr::lit(Value::Int(4))),
+            Expr::bin(
+                BinOp::Add,
+                Expr::lit(Value::Int(3)),
+                Expr::lit(Value::Int(4)),
+            ),
         );
         assert_eq!(fold_expr(e), Expr::lit(Value::Int(14)));
     }
@@ -579,7 +578,11 @@ mod tests {
         let e = Expr::bin(
             BinOp::Add,
             Expr::col("a"),
-            Expr::bin(BinOp::Add, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(2))),
+            Expr::bin(
+                BinOp::Add,
+                Expr::lit(Value::Int(1)),
+                Expr::lit(Value::Int(2)),
+            ),
         );
         let folded = fold_expr(e);
         assert_eq!(folded.render(&[]), "(a + 3)");
@@ -611,9 +614,7 @@ mod tests {
         let c = catalog();
         let sql = "SELECT b, tag FROM t JOIN u ON a = a2 WHERE b > 3 AND tag <> 'tag9' ORDER BY b";
         let plan = plan_for(&c, sql);
-        let plain = Executor::new(&c, ExecMode::Optimized)
-            .run(&plan)
-            .unwrap();
+        let plain = Executor::new(&c, ExecMode::Optimized).run(&plan).unwrap();
         let optimized_plan = optimize(plan, &c, OptimizerConfig::all()).unwrap();
         let opt = Executor::new(&c, ExecMode::Optimized)
             .run(&optimized_plan)
@@ -661,7 +662,10 @@ mod tests {
     #[test]
     fn none_config_is_identity() {
         let c = catalog();
-        let plan = plan_for(&c, "SELECT a FROM t JOIN u ON a = a2 WHERE b > 1 AND tag = 'x'");
+        let plan = plan_for(
+            &c,
+            "SELECT a FROM t JOIN u ON a = a2 WHERE b > 1 AND tag = 'x'",
+        );
         let same = optimize(plan.clone(), &c, OptimizerConfig::none()).unwrap();
         assert_eq!(plan, same);
     }

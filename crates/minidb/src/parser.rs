@@ -74,9 +74,7 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let mut j = i;
-                while j < chars.len()
-                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_')
-                {
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
                     j += 1;
                 }
                 tokens.push(Token::Ident(chars[start..j].iter().collect()));
@@ -233,7 +231,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, DbError> {
         match self.next() {
             Some(Token::Ident(name)) => Ok(name),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -641,8 +641,7 @@ pub fn to_plan(
         };
     } else {
         // Pure projection (or wildcard).
-        let is_wildcard =
-            stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
+        let is_wildcard = stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
         if is_wildcard {
             // Keep the plan as-is: all columns flow through. (Validate the
             // table exists so errors surface at plan time.)
@@ -702,7 +701,6 @@ fn insert_distinct(plan: Plan) -> Plan {
         },
     }
 }
-
 
 /// A parsed statement: queries plus the DDL/DML the harness needs to build
 /// test fixtures from scripts.
@@ -820,7 +818,9 @@ impl Parser {
             Some(Token::Symbol("-")) => match self.next() {
                 Some(Token::Int(n)) => Ok(Value::Int(-n)),
                 Some(Token::Float(f)) => Ok(Value::Float(-f)),
-                other => Err(DbError::Parse(format!("expected number after '-', found {other:?}"))),
+                other => Err(DbError::Parse(format!(
+                    "expected number after '-', found {other:?}"
+                ))),
             },
             Some(Token::Ident(w)) if w.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
             Some(Token::Ident(w)) if w.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
@@ -903,7 +903,10 @@ mod tests {
     #[test]
     fn parse_join() {
         let s = parse("SELECT a FROM t JOIN u ON t.id = u.t_id WHERE b > 0").unwrap();
-        assert_eq!(s.joins, vec![("u".to_owned(), "id".to_owned(), "t_id".to_owned())]);
+        assert_eq!(
+            s.joins,
+            vec![("u".to_owned(), "id".to_owned(), "t_id".to_owned())]
+        );
     }
 
     #[test]

@@ -126,9 +126,7 @@ impl Plan {
                     let dt = match func {
                         AggFunc::Count | AggFunc::CountDistinct => DataType::Int,
                         AggFunc::Avg => DataType::Float,
-                        AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
-                            arg.data_type(&in_schema)?
-                        }
+                        AggFunc::Sum | AggFunc::Min | AggFunc::Max => arg.data_type(&in_schema)?,
                     };
                     out.push((name.clone(), dt));
                 }
@@ -164,11 +162,7 @@ impl Plan {
                     Some(idxs) => {
                         let names: Vec<String> = catalog
                             .table(table)
-                            .map(|t| {
-                                idxs.iter()
-                                    .map(|&i| t.column_names()[i].clone())
-                                    .collect()
-                            })
+                            .map(|t| idxs.iter().map(|&i| t.column_names()[i].clone()).collect())
                             .unwrap_or_default();
                         names.join(", ")
                     }
@@ -211,8 +205,7 @@ impl Plan {
                 aggregates,
             } => {
                 let names = self.input_names(catalog, input);
-                let groups: Vec<String> =
-                    group_by.iter().map(|(e, _)| e.render(&names)).collect();
+                let groups: Vec<String> = group_by.iter().map(|(e, _)| e.render(&names)).collect();
                 let aggs: Vec<String> = aggregates
                     .iter()
                     .map(|(f, e, n)| format!("{} AS {n}", f.render_call(&e.render(&names))))
@@ -342,12 +335,7 @@ mod tests {
             left_key: Expr::ColumnIdx(0),
             right_key: Expr::ColumnIdx(0),
         };
-        let names: Vec<String> = p
-            .schema(&c)
-            .unwrap()
-            .into_iter()
-            .map(|(n, _)| n)
-            .collect();
+        let names: Vec<String> = p.schema(&c).unwrap().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["id", "price", "item_id", "tag"]);
     }
 

@@ -51,9 +51,7 @@ impl QueryResult {
 
     /// Client-side "real" time: server real plus result delivery/printing.
     pub fn client_real_ms(&self) -> f64 {
-        self.server_real_ms()
-            + self.phases.phase_ms("print").unwrap_or(0.0)
-            + self.sim_print_ms
+        self.server_real_ms() + self.phases.phase_ms("print").unwrap_or(0.0) + self.sim_print_ms
     }
 
     /// Number of result rows.
@@ -69,6 +67,14 @@ pub struct Session {
     optimizer: OptimizerConfig,
     pool: Option<BufferPool>,
 }
+
+// Parallel experiment workers (`perfeval-exec`) each own sessions on their
+// own threads; keep that possible by construction.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<QueryResult>();
+};
 
 impl Session {
     /// Creates a session over a catalog with the optimized engine, all
@@ -275,7 +281,9 @@ mod tests {
     #[test]
     fn execute_returns_rows_and_phases() {
         let mut s = session();
-        let r = s.execute("SELECT COUNT(*) FROM nums WHERE x < 100").unwrap();
+        let r = s
+            .execute("SELECT COUNT(*) FROM nums WHERE x < 100")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
         for phase in ["parse", "optimize", "execute", "print"] {
             assert!(r.phases.phase_ms(phase).is_some(), "missing {phase}");
@@ -303,7 +311,9 @@ mod tests {
     #[test]
     fn debug_mode_is_slower_than_optimized() {
         let mut catalog = Catalog::new();
-        let mut t = TableBuilder::new("big").column("v", DataType::Float).build();
+        let mut t = TableBuilder::new("big")
+            .column("v", DataType::Float)
+            .build();
         for i in 0..200_000 {
             t.push_row(vec![Value::Float(i as f64)]).unwrap();
         }
@@ -331,7 +341,9 @@ mod tests {
     #[test]
     fn cold_run_has_real_much_greater_than_user() {
         let mut catalog = Catalog::new();
-        let mut t = TableBuilder::new("big").column("v", DataType::Float).build();
+        let mut t = TableBuilder::new("big")
+            .column("v", DataType::Float)
+            .build();
         for i in 0..500_000 {
             t.push_row(vec![Value::Float(i as f64)]).unwrap();
         }
@@ -396,7 +408,9 @@ mod tests {
     #[test]
     fn pool_hit_rate_visible() {
         let mut catalog = Catalog::new();
-        let mut t = TableBuilder::new("small").column("v", DataType::Int).build();
+        let mut t = TableBuilder::new("small")
+            .column("v", DataType::Int)
+            .build();
         for i in 0..100_000 {
             t.push_row(vec![Value::Int(i)]).unwrap();
         }

@@ -143,8 +143,7 @@ impl ResultSink for TerminalSink {
     fn consume(&mut self, result: &ResultSet) -> Result<SinkReport, DbError> {
         self.rendered.clear();
         // Pass 1: column widths.
-        let mut widths: Vec<usize> =
-            result.column_names.iter().map(|n| n.len()).collect();
+        let mut widths: Vec<usize> = result.column_names.iter().map(|n| n.len()).collect();
         let rendered_rows: Vec<Vec<String>> = result
             .rows
             .iter()
@@ -180,8 +179,8 @@ impl ResultSink for TerminalSink {
         }
         let bytes = self.rendered.len();
         let lines = result.row_count() + 2;
-        let sim_overhead_ms = lines as f64 * self.line_latency_us / 1e3
-            + bytes as f64 * self.byte_latency_ns / 1e6;
+        let sim_overhead_ms =
+            lines as f64 * self.line_latency_us / 1e3 + bytes as f64 * self.byte_latency_ns / 1e6;
         Ok(SinkReport {
             bytes,
             rows: result.row_count(),
@@ -244,7 +243,7 @@ mod tests {
         assert!(rep.bytes > 0);
         let lines: Vec<&str> = s.rendered.lines().collect();
         assert_eq!(lines.len(), 4); // header + separator + 2 rows
-        // All lines equal width (aligned).
+                                    // All lines equal width (aligned).
         let w = lines[0].len();
         assert!(lines.iter().all(|l| l.len() == w), "{:?}", lines);
         assert!(lines[1].starts_with("+-"));

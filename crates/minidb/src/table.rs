@@ -189,7 +189,11 @@ mod tests {
         assert_eq!(t.column_count(), 3);
         assert_eq!(
             t.row(1),
-            vec![Value::Int(2), Value::Str("orange".into()), Value::Float(0.8)]
+            vec![
+                Value::Int(2),
+                Value::Str("orange".into()),
+                Value::Float(0.8)
+            ]
         );
     }
 

@@ -150,7 +150,11 @@ mod tests {
         // t(0.95, df=2) = 4.303 -> hw = 4.303 * 1.1547 = 4.968
         let ci = mean_confidence_interval(&[10.0, 12.0, 14.0], 0.95).unwrap();
         assert!((ci.estimate - 12.0).abs() < 1e-12);
-        assert!((ci.half_width() - 4.968).abs() < 5e-3, "hw={}", ci.half_width());
+        assert!(
+            (ci.half_width() - 4.968).abs() < 5e-3,
+            "hw={}",
+            ci.half_width()
+        );
     }
 
     #[test]
@@ -246,7 +250,10 @@ mod tests {
     fn replications_for_target_scales_with_noise() {
         let noisy = [50.0, 150.0, 80.0, 120.0];
         let extra = replications_for_target(&noisy, 0.95, 0.02).unwrap();
-        assert!(extra > 10, "noisy data should need many more reps, got {extra}");
+        assert!(
+            extra > 10,
+            "noisy data should need many more reps, got {extra}"
+        );
     }
 
     #[test]

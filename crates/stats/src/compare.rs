@@ -71,11 +71,7 @@ pub struct TwoSampleComparison {
 /// assert_eq!(cmp.verdict, ComparisonVerdict::AFaster);
 /// assert!(cmp.speedup > 1.9 && cmp.speedup < 2.1);
 /// ```
-pub fn compare_means(
-    a: &[f64],
-    b: &[f64],
-    level: f64,
-) -> Result<TwoSampleComparison, StatsError> {
+pub fn compare_means(a: &[f64], b: &[f64], level: f64) -> Result<TwoSampleComparison, StatsError> {
     check_finite(a)?;
     check_finite(b)?;
     if a.len() < 2 || b.len() < 2 {
@@ -146,11 +142,7 @@ pub fn compare_means(
 /// same 22 queries). Pairing removes per-input variance and is far more
 /// sensitive than the unpaired test. Operates on the per-pair differences
 /// (a_i − b_i).
-pub fn compare_paired(
-    a: &[f64],
-    b: &[f64],
-    level: f64,
-) -> Result<TwoSampleComparison, StatsError> {
+pub fn compare_paired(a: &[f64], b: &[f64], level: f64) -> Result<TwoSampleComparison, StatsError> {
     if a.len() != b.len() {
         return Err(StatsError::InvalidParameter(
             "paired comparison requires equal-length samples",

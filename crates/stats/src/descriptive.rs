@@ -153,7 +153,9 @@ impl Summary {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
         }
         if !(0.0..=100.0).contains(&p) {
-            return Err(StatsError::InvalidParameter("percentile must be in [0,100]"));
+            return Err(StatsError::InvalidParameter(
+                "percentile must be in [0,100]",
+            ));
         }
         let mut sorted = self.values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in summary"));

@@ -71,9 +71,7 @@ impl Histogram {
     /// True if every non-empty cell has at least `min_per_cell` points —
     /// the tutorial's rule of thumb with the default of 5.
     pub fn satisfies_cell_rule(&self, min_per_cell: usize) -> bool {
-        self.counts
-            .iter()
-            .all(|&c| c == 0 || c >= min_per_cell)
+        self.counts.iter().all(|&c| c == 0 || c >= min_per_cell)
     }
 
     /// Number of cells.

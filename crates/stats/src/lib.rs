@@ -37,7 +37,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod ci;
 pub mod compare;
 pub mod descriptive;
@@ -120,7 +119,10 @@ mod tests {
 
     #[test]
     fn check_finite_rejects_nan_and_inf() {
-        assert_eq!(check_finite(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+        assert_eq!(
+            check_finite(&[1.0, f64::NAN]),
+            Err(StatsError::NonFiniteInput)
+        );
         assert_eq!(
             check_finite(&[f64::INFINITY]),
             Err(StatsError::NonFiniteInput)

@@ -137,7 +137,9 @@ mod tests {
     #[test]
     fn cold_run_in_hot_series_is_flagged() {
         // A classic: one forgot-to-warm-up measurement among hot runs.
-        let data = [3534.0, 3512.0, 3548.0, 13243.0, 3521.0, 3539.0, 3527.0, 3533.0];
+        let data = [
+            3534.0, 3512.0, 3548.0, 13243.0, 3521.0, 3539.0, 3527.0, 3533.0,
+        ];
         let r = iqr_outliers(&data).unwrap();
         assert_eq!(r.flagged, vec![3]);
         assert_eq!(r.classes[3], OutlierClass::Extreme);

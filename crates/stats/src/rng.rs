@@ -11,11 +11,44 @@ pub struct SplitMix64 {
     state: u64,
 }
 
+/// The SplitMix64 finalizer: a high-quality 64-bit mixing function (also
+/// the core of `fmix64` / Stafford's Mix13 family).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SplitMix64 {
     /// Creates a generator from a seed. Identical seeds produce identical
     /// streams on every platform.
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent stream as a **pure function** of
+    /// `(root, stream)` — no generator state is consumed, so any stream can
+    /// be derived in any order (or on any thread) and always yields the
+    /// same values. This is the splittable derivation parallel data
+    /// generation and parallel experiment scheduling rely on: stream `k`
+    /// is identical whether streams `0..k` were derived before it or not.
+    pub fn split(root: u64, stream: u64) -> SplitMix64 {
+        SplitMix64::new(mix(
+            mix(root).wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        ))
+    }
+
+    /// Derives a child stream from this generator's *current state* without
+    /// advancing it — the two-level analogue of [`SplitMix64::split`]
+    /// (e.g. per-table stream, then per-chunk substreams).
+    pub fn substream(&self, stream: u64) -> SplitMix64 {
+        SplitMix64::split(self.state, stream)
+    }
+
+    /// The generator's entire state (one `u64`) — recordable in a config
+    /// file, restorable with [`SplitMix64::new`].
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next raw 64-bit value.
@@ -197,6 +230,45 @@ mod tests {
         let mut c1 = root.fork(1);
         let mut c2 = root.fork(2);
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn split_is_order_independent() {
+        // The whole point of split over fork: stream k does not depend on
+        // which (or how many) other streams were derived first.
+        let mut direct = SplitMix64::split(42, 7);
+        let _ = SplitMix64::split(42, 1);
+        let _ = SplitMix64::split(42, 2);
+        let mut after_others = SplitMix64::split(42, 7);
+        for _ in 0..32 {
+            assert_eq!(direct.next_u64(), after_others.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut a = SplitMix64::split(42, 0);
+        let mut b = SplitMix64::split(42, 1);
+        let mut c = SplitMix64::split(43, 0);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_ne!(x, y, "streams of one root must differ");
+        assert_ne!(x, z, "same stream of different roots must differ");
+    }
+
+    #[test]
+    fn substream_does_not_advance_parent() {
+        let parent = SplitMix64::split(7, 3);
+        let before = parent.state();
+        let mut s1 = parent.substream(0);
+        let mut s2 = parent.substream(1);
+        assert_eq!(parent.state(), before, "substream must not mutate");
+        assert_ne!(s1.next_u64(), s2.next_u64());
+        // Re-derivable at any time.
+        let mut again = parent.substream(0);
+        assert_eq!(
+            SplitMix64::split(7, 3).substream(0).next_u64(),
+            again.next_u64()
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// its rapidly-converging region.
 pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "incomplete_beta requires a, b > 0");
-    assert!((0.0..=1.0).contains(&x), "incomplete_beta requires x in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "incomplete_beta requires x in [0,1]"
+    );
     if x == 0.0 {
         return 0.0;
     }

@@ -5,9 +5,16 @@
 //! 800 k partsupps, 25 nations, 5 regions), scaled by a fractional
 //! `scale_factor`. Dates are integers (days since 1992-01-01, spanning seven
 //! years like TPC-H's 1992–1998). All value choices come from a single
-//! recorded seed via forked [`SplitMix64`] streams, so a config file line
-//! (`seed=42 sf=0.01`) fully reproduces a data set — the repeatability
-//! chapter's requirement.
+//! recorded seed, so a config file line (`seed=42 sf=0.01`) fully
+//! reproduces a data set — the repeatability chapter's requirement.
+//!
+//! Seed derivation is **splittable**: each table draws from
+//! `SplitMix64::split(seed, TABLE_STREAM)`, and the orders/lineitem pair is
+//! generated in fixed-size chunks of orders, each from its own substream.
+//! A stream is a pure function of `(seed, stream id)` — not of how many
+//! values other streams consumed — so any piece can be generated on any
+//! thread in any order and the data set is bit-identical to serial
+//! generation ([`generate_parallel`] asserts exactly that in the tests).
 
 use minidb::{Catalog, DataType, Table, TableBuilder, Value};
 use perfeval_stats::dist::{Distribution, Uniform, Zipf};
@@ -16,13 +23,28 @@ use perfeval_stats::rng::SplitMix64;
 /// Days covered by the date columns (7 years).
 pub const DATE_MAX: i64 = 2557;
 
+/// Orders generated per chunk. One chunk is the unit of parallel work for
+/// the orders/lineitem pair; its rng is `split(seed, STREAM_ORDERS)` then
+/// `substream(chunk)`, so the chunk's rows never depend on which worker
+/// generated the chunks before it.
+pub const ORDERS_PER_CHUNK: usize = 1024;
+
+// Per-table stream ids. Each table's generator is a pure function of
+// `(config.seed, stream)`, never of how many values another table consumed.
+const STREAM_SUPPLIER: u64 = 1;
+const STREAM_CUSTOMER: u64 = 2;
+const STREAM_PART: u64 = 3;
+const STREAM_PARTSUPP: u64 = 4;
+const STREAM_ORDERS: u64 = 5;
+
 /// Generation parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenConfig {
     /// TPC-H-style scale factor (1.0 = full size; 0.01 is the test
     /// default).
     pub scale_factor: f64,
-    /// Root seed; forked per table.
+    /// Root seed; split into one independent stream per table (and per
+    /// orders chunk), so pieces can be generated in any order.
     pub seed: u64,
     /// Optional Zipf exponent for part-key popularity in lineitem
     /// (None/0.0 = uniform). Skew is the knob optimizers hate.
@@ -63,6 +85,11 @@ impl GenConfig {
     pub fn suppliers(&self) -> usize {
         self.scaled(10_000)
     }
+
+    /// Number of orders/lineitem chunks at this scale.
+    pub fn order_chunks(&self) -> usize {
+        self.orders().div_ceil(ORDERS_PER_CHUNK)
+    }
 }
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -93,36 +120,99 @@ const NATIONS: [(&str, i64); 25] = [
     ("VIETNAM", 2),
     ("CHINA", 2),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const BRANDS: [&str; 25] = [
-    "Brand#11", "Brand#12", "Brand#13", "Brand#14", "Brand#15", "Brand#21", "Brand#22",
-    "Brand#23", "Brand#24", "Brand#25", "Brand#31", "Brand#32", "Brand#33", "Brand#34",
-    "Brand#35", "Brand#41", "Brand#42", "Brand#43", "Brand#44", "Brand#45", "Brand#51",
-    "Brand#52", "Brand#53", "Brand#54", "Brand#55",
+    "Brand#11", "Brand#12", "Brand#13", "Brand#14", "Brand#15", "Brand#21", "Brand#22", "Brand#23",
+    "Brand#24", "Brand#25", "Brand#31", "Brand#32", "Brand#33", "Brand#34", "Brand#35", "Brand#41",
+    "Brand#42", "Brand#43", "Brand#44", "Brand#45", "Brand#51", "Brand#52", "Brand#53", "Brand#54",
+    "Brand#55",
 ];
 const TYPE_ADJ: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_MAT: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
-/// Generates the full catalog.
+/// Generates the full catalog serially.
 pub fn generate(config: &GenConfig) -> Catalog {
-    let mut root = SplitMix64::new(config.seed);
     let mut catalog = Catalog::new();
     catalog.register(gen_region()).expect("fresh catalog");
     catalog.register(gen_nation()).expect("fresh catalog");
     catalog
-        .register(gen_supplier(config, &mut root.fork(1)))
+        .register(gen_supplier(config))
         .expect("fresh catalog");
     catalog
-        .register(gen_customer(config, &mut root.fork(2)))
+        .register(gen_customer(config))
         .expect("fresh catalog");
+    catalog.register(gen_part(config)).expect("fresh catalog");
     catalog
-        .register(gen_part(config, &mut root.fork(3)))
+        .register(gen_partsupp(config))
         .expect("fresh catalog");
+    let mut orders = orders_builder();
+    let mut lineitem = lineitem_builder();
+    for chunk in 0..config.order_chunks() {
+        let (order_rows, line_rows) = gen_orders_chunk(config, chunk);
+        for row in order_rows {
+            orders.push_row(row).expect("static schema");
+        }
+        for row in line_rows {
+            lineitem.push_row(row).expect("static schema");
+        }
+    }
+    catalog.register(orders).expect("fresh catalog");
+    catalog.register(lineitem).expect("fresh catalog");
     catalog
-        .register(gen_partsupp(config, &mut root.fork(4)))
-        .expect("fresh catalog");
-    let (orders, lineitem) = gen_orders_lineitem(config, &mut root.fork(5));
+}
+
+/// One unit of parallel generation work: a whole small table, or one chunk
+/// of the orders/lineitem pair.
+enum Piece {
+    Table(Table),
+    OrderChunk(Vec<Vec<Value>>, Vec<Vec<Value>>),
+}
+
+/// Generates the full catalog on `threads` workers, bit-identical to
+/// [`generate`]: every piece draws from its own split stream, so neither
+/// the worker that runs a piece nor the order pieces complete in can change
+/// a single value. `threads <= 1` is the serial path.
+pub fn generate_parallel(config: &GenConfig, threads: usize) -> Catalog {
+    let chunks = config.order_chunks();
+    let pieces = perfeval_exec::parallel_map(4 + chunks, threads, |i| match i {
+        0 => Piece::Table(gen_supplier(config)),
+        1 => Piece::Table(gen_customer(config)),
+        2 => Piece::Table(gen_part(config)),
+        3 => Piece::Table(gen_partsupp(config)),
+        chunk => {
+            let (order_rows, line_rows) = gen_orders_chunk(config, chunk - 4);
+            Piece::OrderChunk(order_rows, line_rows)
+        }
+    })
+    .0;
+
+    let mut catalog = Catalog::new();
+    catalog.register(gen_region()).expect("fresh catalog");
+    catalog.register(gen_nation()).expect("fresh catalog");
+    let mut orders = orders_builder();
+    let mut lineitem = lineitem_builder();
+    // parallel_map returns results in piece order, so assembling them in
+    // sequence reproduces the canonical (serial) row order exactly.
+    for piece in pieces {
+        match piece {
+            Piece::Table(table) => catalog.register(table).expect("fresh catalog"),
+            Piece::OrderChunk(order_rows, line_rows) => {
+                for row in order_rows {
+                    orders.push_row(row).expect("static schema");
+                }
+                for row in line_rows {
+                    lineitem.push_row(row).expect("static schema");
+                }
+            }
+        }
+    }
     catalog.register(orders).expect("fresh catalog");
     catalog.register(lineitem).expect("fresh catalog");
     catalog
@@ -157,7 +247,8 @@ fn gen_nation() -> Table {
     t
 }
 
-fn gen_supplier(config: &GenConfig, rng: &mut SplitMix64) -> Table {
+fn gen_supplier(config: &GenConfig) -> Table {
+    let mut rng = SplitMix64::split(config.seed, STREAM_SUPPLIER);
     let mut t = TableBuilder::new("supplier")
         .column("s_suppkey", DataType::Int)
         .column("s_name", DataType::Str)
@@ -176,7 +267,8 @@ fn gen_supplier(config: &GenConfig, rng: &mut SplitMix64) -> Table {
     t
 }
 
-fn gen_customer(config: &GenConfig, rng: &mut SplitMix64) -> Table {
+fn gen_customer(config: &GenConfig) -> Table {
+    let mut rng = SplitMix64::split(config.seed, STREAM_CUSTOMER);
     let mut t = TableBuilder::new("customer")
         .column("c_custkey", DataType::Int)
         .column("c_name", DataType::Str)
@@ -197,7 +289,8 @@ fn gen_customer(config: &GenConfig, rng: &mut SplitMix64) -> Table {
     t
 }
 
-fn gen_part(config: &GenConfig, rng: &mut SplitMix64) -> Table {
+fn gen_part(config: &GenConfig) -> Table {
+    let mut rng = SplitMix64::split(config.seed, STREAM_PART);
     let mut t = TableBuilder::new("part")
         .column("p_partkey", DataType::Int)
         .column("p_name", DataType::Str)
@@ -222,7 +315,8 @@ fn gen_part(config: &GenConfig, rng: &mut SplitMix64) -> Table {
     t
 }
 
-fn gen_partsupp(config: &GenConfig, rng: &mut SplitMix64) -> Table {
+fn gen_partsupp(config: &GenConfig) -> Table {
+    let mut rng = SplitMix64::split(config.seed, STREAM_PARTSUPP);
     let mut t = TableBuilder::new("partsupp")
         .column("ps_partkey", DataType::Int)
         .column("ps_suppkey", DataType::Int)
@@ -246,16 +340,19 @@ fn gen_partsupp(config: &GenConfig, rng: &mut SplitMix64) -> Table {
     t
 }
 
-fn gen_orders_lineitem(config: &GenConfig, rng: &mut SplitMix64) -> (Table, Table) {
-    let mut orders = TableBuilder::new("orders")
+fn orders_builder() -> Table {
+    TableBuilder::new("orders")
         .column("o_orderkey", DataType::Int)
         .column("o_custkey", DataType::Int)
         .column("o_orderstatus", DataType::Str)
         .column("o_totalprice", DataType::Float)
         .column("o_orderdate", DataType::Int)
         .column("o_orderpriority", DataType::Str)
-        .build();
-    let mut lineitem = TableBuilder::new("lineitem")
+        .build()
+}
+
+fn lineitem_builder() -> Table {
+    TableBuilder::new("lineitem")
         .column("l_orderkey", DataType::Int)
         .column("l_partkey", DataType::Int)
         .column("l_suppkey", DataType::Int)
@@ -266,7 +363,18 @@ fn gen_orders_lineitem(config: &GenConfig, rng: &mut SplitMix64) -> (Table, Tabl
         .column("l_returnflag", DataType::Str)
         .column("l_linestatus", DataType::Str)
         .column("l_shipdate", DataType::Int)
-        .build();
+        .build()
+}
+
+/// Generates chunk `chunk` of the orders/lineitem pair as raw rows, from a
+/// rng derived purely from `(seed, STREAM_ORDERS, chunk)`.
+fn gen_orders_chunk(config: &GenConfig, chunk: usize) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let mut rng = SplitMix64::split(config.seed, STREAM_ORDERS).substream(chunk as u64);
+    let lo = chunk * ORDERS_PER_CHUNK;
+    let hi = (lo + ORDERS_PER_CHUNK).min(config.orders());
+    let mut order_rows = Vec::with_capacity(hi - lo);
+    // Mean 4 lineitems per order.
+    let mut line_rows = Vec::with_capacity((hi - lo) * 4);
 
     let customers = config.customers() as i64;
     let parts = config.parts() as i64;
@@ -277,19 +385,19 @@ fn gen_orders_lineitem(config: &GenConfig, rng: &mut SplitMix64) -> (Table, Tabl
         .filter(|s| *s > 0.0)
         .map(|s| Zipf::new(parts as usize, s));
 
-    for o in 0..config.orders() {
+    for o in lo..hi {
         let orderdate = rng.next_range_i64(0, DATE_MAX - 151);
         let lines = rng.next_range_i64(1, 7);
         let mut total = 0.0;
         for _ in 0..lines {
             let partkey = match &zipf {
-                Some(z) => (z.sample_rank(rng) - 1) as i64,
+                Some(z) => (z.sample_rank(&mut rng) - 1) as i64,
                 None => rng.next_below(parts as u64) as i64,
             };
             let suppkey = (partkey + rng.next_range_i64(0, 3) * (suppliers / 4 + 1)) % suppliers;
             let quantity = rng.next_range_i64(1, 50);
             let extendedprice =
-                (quantity as f64 * price_dist.sample(rng) / 50.0 * 100.0).round() / 100.0;
+                (quantity as f64 * price_dist.sample(&mut rng) / 50.0 * 100.0).round() / 100.0;
             let discount = rng.next_range_i64(0, 10) as f64 / 100.0;
             let tax = rng.next_range_i64(0, 8) as f64 / 100.0;
             let shipdate = orderdate + rng.next_range_i64(1, 121);
@@ -306,33 +414,29 @@ fn gen_orders_lineitem(config: &GenConfig, rng: &mut SplitMix64) -> (Table, Tabl
             };
             let linestatus = if shipdate < DATE_MAX - 365 { "F" } else { "O" };
             total += extendedprice;
-            lineitem
-                .push_row(vec![
-                    Value::Int(o as i64),
-                    Value::Int(partkey),
-                    Value::Int(suppkey),
-                    Value::Int(quantity),
-                    Value::Float(extendedprice),
-                    Value::Float(discount),
-                    Value::Float(tax),
-                    Value::Str(returnflag.to_owned()),
-                    Value::Str(linestatus.to_owned()),
-                    Value::Int(shipdate),
-                ])
-                .expect("static schema");
-        }
-        orders
-            .push_row(vec![
+            line_rows.push(vec![
                 Value::Int(o as i64),
-                Value::Int(rng.next_below(customers as u64) as i64),
-                Value::Str(if orderdate < DATE_MAX - 365 { "F" } else { "O" }.to_owned()),
-                Value::Float((total * 100.0).round() / 100.0),
-                Value::Int(orderdate),
-                Value::Str(PRIORITIES[rng.next_below(5) as usize].to_owned()),
-            ])
-            .expect("static schema");
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(quantity),
+                Value::Float(extendedprice),
+                Value::Float(discount),
+                Value::Float(tax),
+                Value::Str(returnflag.to_owned()),
+                Value::Str(linestatus.to_owned()),
+                Value::Int(shipdate),
+            ]);
+        }
+        order_rows.push(vec![
+            Value::Int(o as i64),
+            Value::Int(rng.next_below(customers as u64) as i64),
+            Value::Str(if orderdate < DATE_MAX - 365 { "F" } else { "O" }.to_owned()),
+            Value::Float((total * 100.0).round() / 100.0),
+            Value::Int(orderdate),
+            Value::Str(PRIORITIES[rng.next_below(5) as usize].to_owned()),
+        ]);
     }
-    (orders, lineitem)
+    (order_rows, line_rows)
 }
 
 #[cfg(test)]
@@ -350,8 +454,7 @@ mod tests {
     fn generates_all_eight_tables() {
         let c = generate(&tiny());
         for t in [
-            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
-            "lineitem",
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
         ] {
             assert!(c.table(t).is_ok(), "missing {t}");
         }
@@ -387,14 +490,10 @@ mod tests {
     #[test]
     fn different_seed_different_data() {
         let a = generate(&tiny());
-        let b = generate(&GenConfig {
-            seed: 1,
-            ..tiny()
-        });
+        let b = generate(&GenConfig { seed: 1, ..tiny() });
         let la = a.table("lineitem").unwrap();
         let lb = b.table("lineitem").unwrap();
-        let differs = (0..la.row_count().min(lb.row_count()))
-            .any(|i| la.row(i) != lb.row(i));
+        let differs = (0..la.row_count().min(lb.row_count())).any(|i| la.row(i) != lb.row(i));
         assert!(differs);
     }
 
@@ -447,6 +546,49 @@ mod tests {
             let disc = row[5].as_f64().unwrap();
             assert!((0.0..=0.10).contains(&disc));
         }
+    }
+
+    /// The satellite requirement: parallel generation cannot change the
+    /// data. Every table, every row, bit-identical across thread counts.
+    #[test]
+    fn parallel_generation_is_bit_identical_to_serial() {
+        let cfg = tiny();
+        assert!(cfg.order_chunks() >= 2, "test must span multiple chunks");
+        let serial = generate(&cfg);
+        for threads in [1, 4] {
+            let parallel = generate_parallel(&cfg, threads);
+            for name in [
+                "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+                "lineitem",
+            ] {
+                let a = serial.table(name).unwrap();
+                let b = parallel.table(name).unwrap();
+                assert_eq!(
+                    a.row_count(),
+                    b.row_count(),
+                    "{name} rows ({threads} threads)"
+                );
+                for i in 0..a.row_count() {
+                    assert_eq!(a.row(i), b.row(i), "{name} row {i} ({threads} threads)");
+                }
+            }
+        }
+    }
+
+    /// Chunk streams are pure functions of `(seed, chunk)`: generating a
+    /// chunk does not require (or disturb) any other chunk.
+    #[test]
+    fn order_chunks_are_independent_of_generation_order() {
+        let cfg = tiny();
+        let forward: Vec<_> = (0..cfg.order_chunks())
+            .map(|c| gen_orders_chunk(&cfg, c))
+            .collect();
+        let mut backward: Vec<_> = (0..cfg.order_chunks())
+            .rev()
+            .map(|c| gen_orders_chunk(&cfg, c))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
     }
 
     #[test]

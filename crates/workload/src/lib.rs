@@ -28,7 +28,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod dbgen;
 pub mod micro;
 pub mod queries;

@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn zipf_payload_is_skewed() {
-        let t = build_micro_table(&small(MicroDist::Zipf { range: 1000, s: 1.2 }));
+        let t = build_micro_table(&small(MicroDist::Zipf {
+            range: 1000,
+            s: 1.2,
+        }));
         let mut ones = 0;
         for i in 0..t.row_count() {
             if t.row(i)[1].as_i64().unwrap() == 1 {

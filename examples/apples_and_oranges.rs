@@ -14,7 +14,13 @@ use perfeval::stats::compare::{compare_paired, ComparisonVerdict};
 use perfeval::workload::queries;
 
 /// Measures a query's server time: one warmup, `reps` measured runs.
-fn measure(catalog: &Catalog, mode: ExecMode, optimizer_on: bool, sql: &str, reps: usize) -> Vec<f64> {
+fn measure(
+    catalog: &Catalog,
+    mode: ExecMode,
+    optimizer_on: bool,
+    sql: &str,
+    reps: usize,
+) -> Vec<f64> {
     let mut s = Session::new(catalog.clone()).with_mode(mode);
     if !optimizer_on {
         s.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig::none());
@@ -38,9 +44,18 @@ fn main() {
     let new_on_dbg_build = measure(&catalog, ExecMode::Debug, true, &sql, 5);
     let flawed = compare_means(&new_on_dbg_build, &old_on_opt_build, 0.95).unwrap();
     println!("--- the flawed comparison (mismatched builds) ---");
-    println!("new (DBG build): {}", Summary::from_slice(&new_on_dbg_build));
-    println!("old (OPT build): {}", Summary::from_slice(&old_on_opt_build));
-    println!("verdict: {} — the *new* code looks worse!\n", flawed.verdict);
+    println!(
+        "new (DBG build): {}",
+        Summary::from_slice(&new_on_dbg_build)
+    );
+    println!(
+        "old (OPT build): {}",
+        Summary::from_slice(&old_on_opt_build)
+    );
+    println!(
+        "verdict: {} — the *new* code looks worse!\n",
+        flawed.verdict
+    );
 
     // Days of arguing later… both on the same build:
     let old_fair = measure(&catalog, ExecMode::Optimized, false, &sql, 5);

@@ -15,8 +15,7 @@ fn main() {
         scale_factor: 0.01,
         ..GenConfig::default()
     });
-    let mut session = Session::new(catalog)
-        .with_disk(Disk::laptop_5400rpm(), 50_000);
+    let mut session = Session::new(catalog).with_disk(Disk::laptop_5400rpm(), 50_000);
 
     println!("protocols:");
     println!("  cold: {}", RunProtocol::cold(1).describe());
@@ -42,8 +41,10 @@ fn main() {
         hot.server_user_ms(),
         hot.server_real_ms()
     );
-    println!("\nbuffer pool hit rate after hot run: {:.1}%",
-        session.pool_hit_rate().unwrap() * 100.0);
+    println!(
+        "\nbuffer pool hit rate after hot run: {:.1}%",
+        session.pool_hit_rate().unwrap() * 100.0
+    );
 
     let io_share = cold.sim_io_ms / cold.server_real_ms();
     println!(

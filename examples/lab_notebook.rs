@@ -7,8 +7,8 @@
 
 use perfeval::core::anova::anova;
 use perfeval::core::runner::Runner;
-use perfeval::measure::{measure_until, SoftwareSpec};
 use perfeval::harness::report::{Report, ResultTable};
+use perfeval::measure::{measure_until, SoftwareSpec};
 use perfeval::minidb::optimizer::OptimizerConfig;
 use perfeval::prelude::*;
 use perfeval::workload::queries;

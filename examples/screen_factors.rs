@@ -95,7 +95,12 @@ fn main() {
 
     // Stage 2: full factorial over the two biggest factors with more
     // replications, now with interaction visibility.
-    let top: Vec<&str> = report.ranking.iter().take(2).map(|(n, _)| n.as_str()).collect();
+    let top: Vec<&str> = report
+        .ranking
+        .iter()
+        .take(2)
+        .map(|(n, _)| n.as_str())
+        .collect();
     println!("\n--- stage 2: full 2^2 over {top:?} with 5 replications ---");
     let design = TwoLevelDesign::full(&[top[0], top[1]]);
     let mut stage2 = |a: &Assignment| {

@@ -16,6 +16,7 @@
 //! | [`minidb`] | the substrate DBMS: column store, SQL subset, DBG/OPT engines, EXPLAIN/PROFILE, result sinks |
 //! | [`workload`] | TPC-H-like data generator, Q1/Q6/Q16-like queries, the 22-query DBG/OPT family, micro-benchmarks |
 //! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets |
+//! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache |
 //!
 //! ## Quickstart: design, run, analyze
 //!
@@ -33,10 +34,10 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub use memsim;
 pub use minidb;
 pub use perfeval_core as core;
+pub use perfeval_exec as exec;
 pub use perfeval_harness as harness;
 pub use perfeval_measure as measure;
 pub use perfeval_stats as stats;
@@ -50,9 +51,10 @@ pub mod prelude {
     pub use perfeval_core::design::Design;
     pub use perfeval_core::effects::estimate_effects;
     pub use perfeval_core::factor::{Factor, Level};
-    pub use perfeval_core::runner::{run_and_analyze, Assignment, Runner};
+    pub use perfeval_core::runner::{run_and_analyze, Assignment, Runner, SyncExperiment};
     pub use perfeval_core::twolevel::TwoLevelDesign;
     pub use perfeval_core::variation::allocate_variation;
+    pub use perfeval_exec::{OrderPolicy, ParallelRunner, ResultCache, Scheduler};
     pub use perfeval_harness::{ExperimentSuite, GnuplotScript, Properties};
     pub use perfeval_measure::{CacheState, Clock, Measurement, RunProtocol, WallClock};
     pub use perfeval_stats::{compare_means, mean_confidence_interval, Summary};

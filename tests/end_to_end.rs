@@ -42,9 +42,8 @@ fn optimizer_on_off_preserves_results_across_family() {
 #[test]
 fn run_protocol_drives_session_hot_and_cold() {
     let catalog = small_catalog();
-    let session = std::cell::RefCell::new(
-        Session::new(catalog).with_disk(Disk::era_1992(), 50_000),
-    );
+    let session =
+        std::cell::RefCell::new(Session::new(catalog).with_disk(Disk::era_1992(), 50_000));
     let sql = queries::q6();
     let protocol = RunProtocol::last_of_three_hot();
     let result = protocol.execute(
@@ -89,7 +88,9 @@ fn experiment_suite_records_a_repeatable_artifact() {
         let ms = session.execute(&queries::q6()).unwrap().server_user_ms();
         rows.push(vec![sf, ms]);
     }
-    let csv = suite.write_result("scaleup.csv", &["sf", "ms"], &rows).unwrap();
+    let csv = suite
+        .write_result("scaleup.csv", &["sf", "ms"], &rows)
+        .unwrap();
 
     // Graph script generated next to it.
     let plot = suite
@@ -124,7 +125,9 @@ fn experiment_suite_records_a_repeatable_artifact() {
     // Bigger scale factor, more work.
     assert!(table.rows[1][1] > 0.0);
     assert!(plot.exists());
-    assert!(std::fs::read_to_string(readme).unwrap().contains("# Q6 scale-up"));
+    assert!(std::fs::read_to_string(readme)
+        .unwrap()
+        .contains("# Q6 scale-up"));
     std::fs::remove_dir_all(&root).ok();
 }
 

@@ -67,17 +67,12 @@ fn alias_algebra_warns_what_the_fraction_cannot_see() {
     // Build a system with a strong B·C interaction, screen it with the
     // resolution-III fraction C=AB: the interaction lands on the alias of
     // B·C — and the alias structure predicts exactly where.
-    let design = TwoLevelDesign::fractional(
-        &["A", "B", "C"],
-        &[Generator::parse("C=AB").unwrap()],
-    )
-    .unwrap();
+    let design =
+        TwoLevelDesign::fractional(&["A", "B", "C"], &[Generator::parse("C=AB").unwrap()]).unwrap();
     let alias = AliasStructure::of(&design).unwrap();
     // B·C = 0b110; its alias set under I=ABC contains A (0b001).
     assert!(alias.are_aliased(0b110, 0b001));
-    let mut system = |a: &Assignment| {
-        10.0 + 4.0 * a.num("B").unwrap() * a.num("C").unwrap()
-    };
+    let mut system = |a: &Assignment| 10.0 + 4.0 * a.num("B").unwrap() * a.num("C").unwrap();
     let (_, variation) = run_and_analyze(&design, 1, &mut system).unwrap();
     // The fraction charges the interaction to main effect A.
     let a_share = variation.fraction_of(&design, &["A"]).unwrap();
@@ -104,27 +99,29 @@ fn mistakes_audit_flags_an_unreplicated_noisy_study() {
 
 #[test]
 fn confidence_intervals_protect_against_false_wins() {
-    // Two engine configurations whose true speeds are identical; the naive
-    // "compare one run each" can pick a winner, the CI-based comparison
-    // says indistinguishable.
-    let catalog = generate(&GenConfig {
-        scale_factor: 0.001,
-        ..GenConfig::default()
-    });
-    let sql = "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 25";
-    let measure = |catalog: &Catalog| -> Vec<f64> {
-        let mut s = Session::new(catalog.clone());
-        s.execute(sql).unwrap();
-        (0..8).map(|_| s.execute(sql).unwrap().server_user_ms()).collect()
-    };
-    let mine = measure(&catalog);
-    let yours = measure(&catalog);
+    // Two systems whose true speeds are identical; the naive "compare one
+    // run each" can pick a winner, the CI-based comparison says
+    // indistinguishable. Measurement noise is drawn from a *seeded*
+    // generator rather than the wall clock: a 95% CI is entitled to one
+    // false win in twenty, so real timing noise would make this assertion
+    // a coin-flip on a loaded machine — the repeatability chapter's point
+    // is exactly that recorded seeds turn such checks deterministic.
+    use perfeval::stats::rng::SplitMix64;
+    let mut noise = SplitMix64::new(20080408);
+    let mut measure =
+        |true_ms: f64| -> Vec<f64> { (0..8).map(|_| true_ms + 0.2 * noise.next_f64()).collect() };
+    let mine = measure(1.5);
+    let yours = measure(1.5);
     let cmp = compare_means(&mine, &yours, 0.95).unwrap();
     assert_eq!(
         cmp.verdict,
         perfeval::stats::ComparisonVerdict::Indistinguishable,
         "identical systems must not produce a winner: {cmp:?}"
     );
+    // And the same comparison must still detect a genuine 2x difference.
+    let slower = measure(3.0);
+    let cmp = compare_means(&mine, &slower, 0.95).unwrap();
+    assert_eq!(cmp.verdict, perfeval::stats::ComparisonVerdict::AFaster);
 }
 
 #[test]

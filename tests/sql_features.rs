@@ -31,7 +31,11 @@ fn create_insert_select_roundtrip() {
         r.rows,
         vec![
             vec![Value::Int(1), Value::Str("apple".into()), Value::Float(0.5)],
-            vec![Value::Int(3), Value::Str("pear".into()), Value::Float(-0.25)],
+            vec![
+                Value::Int(3),
+                Value::Str("pear".into()),
+                Value::Float(-0.25)
+            ],
         ]
     );
 }
@@ -74,12 +78,11 @@ fn select_distinct_dedups_in_both_engines() {
             .execute("SELECT DISTINCT region, qty FROM t ORDER BY region, qty")
             .unwrap();
         assert_eq!(r.row_count(), 3, "{mode}");
-        assert_eq!(
-            r.rows[0],
-            vec![Value::Str("east".into()), Value::Int(1)]
-        );
+        assert_eq!(r.rows[0], vec![Value::Str("east".into()), Value::Int(1)]);
         // DISTINCT on a single column.
-        let r = s.execute("SELECT DISTINCT region FROM t ORDER BY region").unwrap();
+        let r = s
+            .execute("SELECT DISTINCT region FROM t ORDER BY region")
+            .unwrap();
         assert_eq!(r.row_count(), 2, "{mode}");
     }
 }
