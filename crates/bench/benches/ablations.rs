@@ -21,9 +21,9 @@ fn bench_projection_pruning(c: &mut Criterion) {
             projection_pruning: pruning,
             ..OptimizerConfig::all()
         });
-        session.execute(sql).unwrap();
+        session.query(sql).run().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
-            b.iter(|| session.execute(sql).unwrap().row_count())
+            b.iter(|| session.query(sql).run().unwrap().row_count())
         });
     }
     group.finish();
@@ -42,9 +42,9 @@ fn bench_filter_pushdown(c: &mut Criterion) {
             filter_pushdown: pushdown,
             ..OptimizerConfig::all()
         });
-        session.execute(sql).unwrap();
+        session.query(sql).run().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
-            b.iter(|| session.execute(sql).unwrap().row_count())
+            b.iter(|| session.query(sql).run().unwrap().row_count())
         });
     }
     group.finish();
@@ -61,7 +61,7 @@ fn bench_replication_cost(c: &mut Criterion) {
             b.iter(|| {
                 let design = TwoLevelDesign::full(&["A", "B"]);
                 let mut session = Session::new(catalog.clone());
-                let mut exp = |_a: &Assignment| session.execute(sql).unwrap().server_user_ms();
+                let mut exp = |_a: &Assignment| session.query(sql).run().unwrap().server_user_ms();
                 Runner::new(reps)
                     .run_two_level(&design, &mut exp)
                     .run_count()
@@ -136,9 +136,9 @@ fn bench_topn_fusion(c: &mut Criterion) {
             topn_fusion: fusion,
             ..OptimizerConfig::all()
         });
-        session.execute(sql).unwrap();
+        session.query(sql).run().unwrap();
         group.bench_with_input(Id::from_parameter(name), &sql, |b, sql| {
-            b.iter(|| session.execute(sql).unwrap().row_count())
+            b.iter(|| session.query(sql).run().unwrap().row_count())
         });
     }
     group.finish();

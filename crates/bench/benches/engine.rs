@@ -14,12 +14,14 @@ fn bench_scan_aggregate(c: &mut Criterion) {
     for mode in [ExecMode::Debug, ExecMode::Optimized] {
         let mut session = minidb::Session::new(catalog.clone()).with_mode(mode);
         session
-            .execute("SELECT MAX(l_extendedprice) FROM lineitem")
+            .query("SELECT MAX(l_extendedprice) FROM lineitem")
+            .run()
             .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
             b.iter(|| {
                 session
-                    .execute("SELECT MAX(l_extendedprice) FROM lineitem")
+                    .query("SELECT MAX(l_extendedprice) FROM lineitem")
+                    .run()
                     .unwrap()
                     .row_count()
             })
@@ -36,9 +38,9 @@ fn bench_filter_selectivity(c: &mut Criterion) {
     for cutoff in [256i64, 1280, 2300] {
         let sql = format!("SELECT COUNT(*) FROM lineitem WHERE l_shipdate < {cutoff}");
         let mut session = minidb::Session::new(catalog.clone());
-        session.execute(&sql).unwrap();
+        session.query(&sql).run().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(cutoff), &sql, |b, sql| {
-            b.iter(|| session.execute(sql).unwrap().row_count())
+            b.iter(|| session.query(sql).run().unwrap().row_count())
         });
     }
     group.finish();
@@ -51,9 +53,9 @@ fn bench_join(c: &mut Criterion) {
     group.sample_size(10);
     for mode in [ExecMode::Debug, ExecMode::Optimized] {
         let mut session = minidb::Session::new(catalog.clone()).with_mode(mode);
-        session.execute(sql).unwrap();
+        session.query(sql).run().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
-            b.iter(|| session.execute(sql).unwrap().row_count())
+            b.iter(|| session.query(sql).run().unwrap().row_count())
         });
     }
     group.finish();
@@ -65,9 +67,9 @@ fn bench_q1_q6(c: &mut Criterion) {
     group.sample_size(10);
     for (name, sql) in [("q1", queries::q1()), ("q6", queries::q6())] {
         let mut session = minidb::Session::new(catalog.clone());
-        session.execute(&sql).unwrap();
+        session.query(&sql).run().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
-            b.iter(|| session.execute(sql).unwrap().row_count())
+            b.iter(|| session.query(sql).run().unwrap().row_count())
         });
     }
     group.finish();

@@ -16,15 +16,15 @@ fn bench_e2_hot_cold(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_hot_cold");
     group.sample_size(10);
     let mut hot = Session::new(catalog.clone()).with_disk(Disk::raid_2008(), 100_000);
-    hot.execute(&sql).unwrap();
+    hot.query(&sql).run().unwrap();
     group.bench_function("hot", |b| {
-        b.iter(|| hot.execute(&sql).unwrap().server_real_ms())
+        b.iter(|| hot.query(&sql).run().unwrap().server_real_ms())
     });
     let mut cold = Session::new(catalog).with_disk(Disk::raid_2008(), 100_000);
     group.bench_function("cold", |b| {
         b.iter(|| {
             cold.flush_caches();
-            cold.execute(&sql).unwrap().server_real_ms()
+            cold.query(&sql).run().unwrap().server_real_ms()
         })
     });
     group.finish();
@@ -42,9 +42,9 @@ fn bench_e3_dbg_opt(c: &mut Criterion) {
     ] {
         for mode in [ExecMode::Debug, ExecMode::Optimized] {
             let mut session = Session::new(catalog.clone()).with_mode(mode);
-            session.execute(&sql).unwrap();
+            session.query(&sql).run().unwrap();
             group.bench_with_input(BenchmarkId::new(name, mode), &sql, |b, sql| {
-                b.iter(|| session.execute(sql).unwrap().row_count())
+                b.iter(|| session.query(sql).run().unwrap().row_count())
             });
         }
     }
@@ -72,13 +72,15 @@ fn bench_e1_sinks(c: &mut Criterion) {
     let catalog = catalog_at(0.002);
     let sql = queries::q16();
     let mut session = Session::new(catalog);
-    session.execute(&sql).unwrap();
+    session.query(&sql).run().unwrap();
     let mut group = c.benchmark_group("e1_sinks");
     group.sample_size(10);
     group.bench_function("null", |b| {
         b.iter(|| {
             session
-                .execute_to(&sql, &mut NullSink)
+                .query(&sql)
+                .sink(&mut NullSink)
+                .run()
                 .unwrap()
                 .result_bytes
         })
@@ -87,13 +89,23 @@ fn bench_e1_sinks(c: &mut Criterion) {
     group.bench_function("file", |b| {
         b.iter(|| {
             let mut sink = FileSink::new(&tmp);
-            session.execute_to(&sql, &mut sink).unwrap().result_bytes
+            session
+                .query(&sql)
+                .sink(&mut sink)
+                .run()
+                .unwrap()
+                .result_bytes
         })
     });
     group.bench_function("terminal", |b| {
         b.iter(|| {
             let mut sink = TerminalSink::new();
-            session.execute_to(&sql, &mut sink).unwrap().result_bytes
+            session
+                .query(&sql)
+                .sink(&mut sink)
+                .run()
+                .unwrap()
+                .result_bytes
         })
     });
     std::fs::remove_file(&tmp).ok();

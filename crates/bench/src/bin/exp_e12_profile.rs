@@ -20,8 +20,8 @@ fn main() {
     let mut traces = Vec::new();
     for mode in [ExecMode::Debug, ExecMode::Optimized] {
         let mut session = session_with_mode(&catalog, mode);
-        session.execute(&sql).expect("warmup");
-        let result = session.execute(&sql).expect("profiled run");
+        session.query(&sql).run().expect("warmup");
+        let result = session.query(&sql).run().expect("profiled run");
         println!("--- {mode} engine trace ---");
         print!("{}", minidb::exec::render_profile(&result.profile));
         println!();

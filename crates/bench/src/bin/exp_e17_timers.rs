@@ -18,7 +18,7 @@ fn main() {
 
     let mut session = Session::new(bench_catalog());
     let sql = queries::q6();
-    session.execute(&sql).expect("warmup");
+    session.query(&sql).run().expect("warmup");
 
     // The timer catalogue.
     let wall = WallClock::new();
@@ -37,7 +37,7 @@ fn main() {
     println!("  timeGetTime (simulated)    quantized clock, 10 ms resolution\n");
 
     // Measure the same query with the wall clock.
-    let (result, wall_ns) = wall.time(|| session.execute(&sql).expect("measured run"));
+    let (result, wall_ns) = wall.time(|| session.query(&sql).run().expect("measured run"));
     println!("wall clock: {:.3} ms", wall_ns as f64 / 1e6);
 
     // The engine's own phase timers (mclient -t style) — always prefer the
@@ -70,7 +70,7 @@ fn main() {
     let mut coarse_total = 0u64;
     let mut fine_total = 0u64;
     for _ in 0..50 {
-        let (_, ns) = wall.time(|| session.execute(&sql).expect("rep"));
+        let (_, ns) = wall.time(|| session.query(&sql).run().expect("rep"));
         fine_total += ns;
         let t0 = coarse.now_ns();
         manual.advance_ns(ns);

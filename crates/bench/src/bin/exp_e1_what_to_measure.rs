@@ -22,17 +22,27 @@ struct Row {
 
 fn measure(session: &mut Session, name: &'static str, sql: &str) -> Row {
     // Warm up.
-    session.execute(sql).expect("warmup");
+    session.query(sql).run().expect("warmup");
     // Server-side: null sink.
-    let server = session.execute_to(sql, &mut NullSink).expect("server run");
+    let server = session
+        .query(sql)
+        .sink(&mut NullSink)
+        .run()
+        .expect("server run");
     // Client-side, file sink.
     let tmp = std::env::temp_dir().join(format!("perfeval_e1_{name}.tsv"));
     let mut file_sink = FileSink::new(&tmp);
-    let to_file = session.execute_to(sql, &mut file_sink).expect("file run");
+    let to_file = session
+        .query(sql)
+        .sink(&mut file_sink)
+        .run()
+        .expect("file run");
     // Client-side, terminal sink.
     let mut term_sink = TerminalSink::new();
     let to_term = session
-        .execute_to(sql, &mut term_sink)
+        .query(sql)
+        .sink(&mut term_sink)
+        .run()
         .expect("terminal run");
     std::fs::remove_file(&tmp).ok();
     Row {

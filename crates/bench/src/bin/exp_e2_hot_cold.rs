@@ -32,12 +32,12 @@ fn main() {
 
     // Cold: flush, run once.
     session.flush_caches();
-    let cold = session.execute(&sql).expect("cold run");
+    let cold = session.query(&sql).run().expect("cold run");
 
     // Hot: measured last of three consecutive runs.
-    let _ = session.execute(&sql).expect("hot warm 1");
-    let _ = session.execute(&sql).expect("hot warm 2");
-    let hot = session.execute(&sql).expect("hot measured");
+    let _ = session.query(&sql).run().expect("hot warm 1");
+    let _ = session.query(&sql).run().expect("hot warm 2");
+    let hot = session.query(&sql).run().expect("hot measured");
 
     println!("        cold               hot");
     println!("Q    user    real      user    real    ... time (milliseconds)");

@@ -10,6 +10,7 @@ use perfeval_core::runner::{Assignment, Runner};
 use perfeval_core::twolevel::TwoLevelDesign;
 use perfeval_core::variation::allocate_variation;
 use perfeval_exec::ParallelRunner;
+use perfeval_trace::{chrome_trace_json, validate_chrome, Tracer};
 
 fn main() {
     banner(
@@ -77,4 +78,55 @@ fn main() {
     assert_eq!(parallel, runner.run_two_level_sync(&design, &workstation));
     assert_eq!(parallel.means(), y.to_vec());
     println!("parallel re-run on {threads} thread(s) is bit-identical to serial.");
+
+    // Traced re-run: record the sweep's span timeline and export it as
+    // Chrome trace-event JSON (load the file in Perfetto / chrome://tracing
+    // to see queue-wait vs run time per unit, per worker lane).
+    let spinning = |a: &Assignment| {
+        // ~1 ms of spin per unit so every worker demonstrably picks up
+        // work. Seeded from the assignment so the loop cannot be
+        // constant-folded into a compile-time result.
+        let mut acc = a.num("A").unwrap().to_bits() | 1;
+        for i in 0..1_500_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        workstation(a)
+    };
+    let tracer = Tracer::new();
+    let traced = Runner::new(8).run_two_level_parallel_traced(&design, &spinning, threads, &tracer);
+    assert_eq!(
+        traced.means(),
+        y.to_vec(),
+        "tracing must not perturb results"
+    );
+
+    let trace = tracer.snapshot();
+    let json = chrome_trace_json(&trace);
+    let summary = validate_chrome(&json).expect("exported trace is well-formed");
+    let out = std::env::var("PERFEVAL_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir());
+    std::fs::create_dir_all(&out).expect("output dir");
+    let path = out.join("exp_e6_twok.trace.json");
+    std::fs::write(&path, &json).expect("write trace");
+
+    let unit_lanes = summary
+        .names_by_tid
+        .values()
+        .filter(|names| names.iter().any(|n| n.starts_with("unit ")))
+        .count();
+    println!(
+        "\ntraced re-run: {} spans on {} lane(s) -> {}",
+        summary.spans,
+        summary.thread_names.len(),
+        path.display()
+    );
+    if threads >= 2 {
+        assert!(
+            unit_lanes >= 2,
+            "expected unit spans on >=2 worker lanes, got {unit_lanes}"
+        );
+        println!("unit spans recorded on {unit_lanes} worker lanes (queue-wait + run children).");
+    }
 }

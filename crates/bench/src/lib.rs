@@ -23,6 +23,7 @@
 //! | `exp_e15_gnuplot` | slides 202–205: CSV → gnuplot automation |
 //! | `exp_e16_locale` | slides 212–215: the 13.666 → 13666 bug |
 //! | `exp_e17_timers` | slides 27–29: timers and their resolutions |
+//! | `exp_e18_observer_effect` | tracing overhead: off/disabled/sampled/full arms |
 //!
 //! Criterion benches under `benches/` measure the engine primitives and the
 //! ablations DESIGN.md calls out.
@@ -66,10 +67,16 @@ pub fn median(mut values: Vec<f64>) -> f64 {
 /// Measures a query's server user time: one warmup run, then the median of
 /// `reps` measured runs.
 pub fn measure_user_ms(session: &mut Session, sql: &str, reps: usize) -> f64 {
-    session.execute(sql).expect("warmup run");
+    session.query(sql).run().expect("warmup run");
     median(
         (0..reps)
-            .map(|_| session.execute(sql).expect("measured run").server_user_ms())
+            .map(|_| {
+                session
+                    .query(sql)
+                    .run()
+                    .expect("measured run")
+                    .server_user_ms()
+            })
             .collect(),
     )
 }

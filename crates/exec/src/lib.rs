@@ -59,7 +59,7 @@ pub mod scheduler;
 pub use cache::{cache_key, EnvFingerprint, ResultCache};
 pub use order::OrderPolicy;
 pub use plan::{RunPlan, RunUnit};
-pub use pool::{parallel_map, WorkerStats};
+pub use pool::{parallel_map, parallel_map_traced, WorkerStats};
 pub use progress::{ExecReport, ProgressSnapshot};
 pub use runner_ext::ParallelRunner;
 pub use scheduler::{Scheduler, UnitExperiment};

@@ -7,6 +7,7 @@
 //! *slots*, not the schedule: result `i` always lands in slot `i`, so the
 //! output is independent of which worker ran it and when.
 
+use perfeval_trace::Tracer;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -33,6 +34,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_traced(count, threads, None, f)
+}
+
+/// [`parallel_map`] with an optional tracer: workers get stable names
+/// (`worker-<n>`), and each registers + labels its tracing lane before
+/// taking work, so a snapshot stitches every worker into one timeline.
+///
+/// The closure runs on the worker threads, so spans it opens against the
+/// same tracer land on the correct per-worker lane automatically.
+///
+/// # Panics
+/// Propagates a panic from any worker invocation of `f`.
+pub fn parallel_map_traced<T, F>(
+    count: usize,
+    threads: usize,
+    tracer: Option<&Tracer>,
+    f: F,
+) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.max(1).min(count.max(1));
     if threads <= 1 {
         let t0 = std::time::Instant::now();
@@ -53,21 +76,28 @@ where
     std::thread::scope(|scope| {
         let (cursor, slots, stats, f) = (&cursor, &slots, &stats, &f);
         for worker in 0..threads {
-            scope.spawn(move || {
-                let mut local = WorkerStats::default();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
+            let name = format!("worker-{worker}");
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn_scoped(scope, move || {
+                    if let Some(t) = tracer {
+                        t.label_thread(&name);
                     }
-                    let t0 = std::time::Instant::now();
-                    let value = f(i);
-                    local.busy_secs += t0.elapsed().as_secs_f64();
-                    local.units += 1;
-                    slots.lock().expect("pool slots poisoned")[i] = Some(value);
-                }
-                stats.lock().expect("pool stats poisoned")[worker] = local;
-            });
+                    let mut local = WorkerStats::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let value = f(i);
+                        local.busy_secs += t0.elapsed().as_secs_f64();
+                        local.units += 1;
+                        slots.lock().expect("pool slots poisoned")[i] = Some(value);
+                    }
+                    stats.lock().expect("pool stats poisoned")[worker] = local;
+                })
+                .expect("failed to spawn pool worker");
         }
     });
 

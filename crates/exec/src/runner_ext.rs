@@ -16,6 +16,7 @@ use perfeval_core::runner::{
 };
 use perfeval_core::twolevel::TwoLevelDesign;
 use perfeval_measure::protocol::RunProtocol;
+use perfeval_trace::Tracer;
 
 /// Root seed used when the caller does not care about per-unit seeds
 /// (plain [`SyncExperiment`]s never see them).
@@ -48,6 +49,35 @@ pub trait ParallelRunner {
         experiment: &E,
         threads: usize,
     ) -> ResponseTable;
+
+    /// [`ParallelRunner::run_assignments_parallel`] recording the sweep
+    /// into `tracer`: one `sweep` root span plus per-unit `unit <n>` spans
+    /// (with `queue-wait`/`run` children) on each worker's lane.
+    fn run_assignments_parallel_traced<E: SyncExperiment>(
+        &self,
+        assignments: Vec<Assignment>,
+        experiment: &E,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> ResponseTable;
+
+    /// [`ParallelRunner::run_design_parallel`] recording into `tracer`.
+    fn run_design_parallel_traced<E: SyncExperiment>(
+        &self,
+        design: &Design,
+        experiment: &E,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> ResponseTable;
+
+    /// [`ParallelRunner::run_two_level_parallel`] recording into `tracer`.
+    fn run_two_level_parallel_traced<E: SyncExperiment>(
+        &self,
+        design: &TwoLevelDesign,
+        experiment: &E,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> ResponseTable;
 }
 
 impl ParallelRunner for Runner {
@@ -57,23 +87,7 @@ impl ParallelRunner for Runner {
         experiment: &E,
         threads: usize,
     ) -> ResponseTable {
-        // hot(0, n) + KeepPolicy::All mirrors the serial Runner exactly:
-        // n measured replications per run, all kept.
-        let plan = RunPlan::expand(
-            assignments,
-            RunProtocol::hot(0, self.replications),
-            DEFAULT_ROOT_SEED,
-        );
-        Scheduler::new(threads)
-            .with_order(OrderPolicy::AsDesigned)
-            .execute(
-                &plan,
-                experiment,
-                &ResultCache::disabled(),
-                &EnvFingerprint::simulated("run_parallel"),
-                None,
-            )
-            .0
+        run_assignments(self, assignments, experiment, threads, None)
     }
 
     fn run_design_parallel<E: SyncExperiment>(
@@ -93,6 +107,74 @@ impl ParallelRunner for Runner {
     ) -> ResponseTable {
         self.run_assignments_parallel(two_level_assignments(design), experiment, threads)
     }
+
+    fn run_assignments_parallel_traced<E: SyncExperiment>(
+        &self,
+        assignments: Vec<Assignment>,
+        experiment: &E,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> ResponseTable {
+        run_assignments(self, assignments, experiment, threads, Some(tracer))
+    }
+
+    fn run_design_parallel_traced<E: SyncExperiment>(
+        &self,
+        design: &Design,
+        experiment: &E,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> ResponseTable {
+        self.run_assignments_parallel_traced(
+            design_assignments(design),
+            experiment,
+            threads,
+            tracer,
+        )
+    }
+
+    fn run_two_level_parallel_traced<E: SyncExperiment>(
+        &self,
+        design: &TwoLevelDesign,
+        experiment: &E,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> ResponseTable {
+        self.run_assignments_parallel_traced(
+            two_level_assignments(design),
+            experiment,
+            threads,
+            tracer,
+        )
+    }
+}
+
+/// Shared body of the traced/untraced assignment paths.
+fn run_assignments<E: SyncExperiment>(
+    runner: &Runner,
+    assignments: Vec<Assignment>,
+    experiment: &E,
+    threads: usize,
+    tracer: Option<&Tracer>,
+) -> ResponseTable {
+    // hot(0, n) + KeepPolicy::All mirrors the serial Runner exactly:
+    // n measured replications per run, all kept.
+    let plan = RunPlan::expand(
+        assignments,
+        RunProtocol::hot(0, runner.replications),
+        DEFAULT_ROOT_SEED,
+    );
+    Scheduler::new(threads)
+        .with_order(OrderPolicy::AsDesigned)
+        .execute_traced(
+            &plan,
+            experiment,
+            &ResultCache::disabled(),
+            &EnvFingerprint::simulated("run_parallel"),
+            None,
+            tracer,
+        )
+        .0
 }
 
 #[cfg(test)]

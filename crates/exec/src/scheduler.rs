@@ -11,9 +11,10 @@
 use crate::cache::{cache_key, EnvFingerprint, ResultCache};
 use crate::order::OrderPolicy;
 use crate::plan::{RunPlan, RunUnit};
-use crate::pool::parallel_map;
+use crate::pool::parallel_map_traced;
 use crate::progress::{ExecReport, ProgressSnapshot};
 use perfeval_core::runner::{Assignment, ResponseTable, SyncExperiment};
+use perfeval_trace::Tracer;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A system under test addressed at unit granularity. The blanket impl
@@ -78,6 +79,27 @@ impl Scheduler {
         env: &EnvFingerprint,
         progress: Option<ProgressHook<'_>>,
     ) -> (ResponseTable, ExecReport) {
+        self.execute_traced(plan, experiment, cache, env, progress, None)
+    }
+
+    /// [`Scheduler::execute`] with an optional tracer.
+    ///
+    /// The sweep records one `sweep` root span on the calling thread and,
+    /// per unit, a `unit <n>` span on whichever worker lane ran it. Each
+    /// unit span starts when its worker became free, so it decomposes into
+    /// a `queue-wait` child (dispatch + cache lookup + prepare) and — on a
+    /// cache miss — a `run` child around the actual measurement; cache hits
+    /// have no `run` child. Unit spans carry `cache` and `queued_ms`
+    /// attributes.
+    pub fn execute_traced<E: UnitExperiment + ?Sized>(
+        &self,
+        plan: &RunPlan,
+        experiment: &E,
+        cache: &ResultCache,
+        env: &EnvFingerprint,
+        progress: Option<ProgressHook<'_>>,
+        tracer: Option<&Tracer>,
+    ) -> (ResponseTable, ExecReport) {
         let order = self.order.order(plan);
         let total = order.len();
         let executed = AtomicUsize::new(0);
@@ -85,23 +107,59 @@ impl Scheduler {
         let completed = AtomicUsize::new(0);
         let t0 = std::time::Instant::now();
 
-        let (values, workers) = parallel_map(total, self.threads, |p| {
+        let mut sweep = tracer.map(|t| t.span("sweep"));
+        if let Some(g) = sweep.as_mut() {
+            g.attr("units", total)
+                .attr("threads", self.threads)
+                .attr("order", self.order.describe());
+        }
+        let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
+
+        let (values, workers) = parallel_map_traced(total, self.threads, tracer, |p| {
             let unit = &plan.units[order[p]];
             let assignment = &plan.assignments[unit.run];
+            // Anchor the unit span where this worker became free: the gap
+            // until the work is actually picked up is genuine queue wait,
+            // not run time — conflating them is exactly the "be aware what
+            // you measure" trap.
+            let anchor_ns = tracer.map(|t| t.lane_resume_ns().max(sweep_start_ns));
+            let pickup_ns = tracer.map(|t| t.now_ns());
+            let mut unit_span =
+                tracer.map(|t| t.span_at(&format!("unit {}", order[p]), anchor_ns.unwrap()));
+            if let (Some(g), Some(anchor), Some(pickup)) =
+                (unit_span.as_mut(), anchor_ns, pickup_ns)
+            {
+                g.attr("run", unit.run)
+                    .attr("replicate", unit.replicate)
+                    .attr("queued_ms", pickup.saturating_sub(anchor) as f64 / 1e6);
+            }
+            let queue_wait = tracer.map(|t| t.span_at("queue-wait", anchor_ns.unwrap_or(0)));
+
             let key = cache_key(assignment, &plan.protocol, unit.replicate, unit.seed, env);
             let value = match cache.lookup(key) {
                 Some(v) => {
+                    drop(queue_wait);
+                    if let Some(g) = unit_span.as_mut() {
+                        g.attr("cache", "hit");
+                    }
                     from_cache.fetch_add(1, Ordering::Relaxed);
                     v
                 }
                 None => {
                     experiment.prepare(assignment);
+                    drop(queue_wait);
+                    let run_span = tracer.map(|t| t.span("run"));
                     let v = experiment.respond_unit(assignment, unit);
+                    drop(run_span);
                     cache.store(key, v);
+                    if let Some(g) = unit_span.as_mut() {
+                        g.attr("cache", "miss");
+                    }
                     executed.fetch_add(1, Ordering::Relaxed);
                     v
                 }
             };
+            drop(unit_span);
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(hook) = progress {
                 hook(ProgressSnapshot {
@@ -112,6 +170,7 @@ impl Scheduler {
             }
             value
         });
+        drop(sweep);
 
         // Scatter execution-order results back into canonical unit slots.
         let mut responses = vec![0.0; plan.unit_count()];
@@ -227,6 +286,131 @@ mod tests {
         let exp = |a: &Assignment| a.num("x").unwrap() + 1.0;
         let (table, _) = Scheduler::new(1).execute(&p, &exp, &ResultCache::disabled(), &env, None);
         assert_eq!(table.means(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn traced_sweep_records_units_across_worker_lanes() {
+        let p = plan(4, 4, 1);
+        let env = EnvFingerprint::simulated("trace-test");
+        let exp = |a: &Assignment| {
+            // Enough work per unit that both workers demonstrably run some.
+            let mut acc = a.num("x").unwrap() as u64;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (acc % 97) as f64
+        };
+        let tracer = Tracer::new();
+        let untraced = Scheduler::new(2)
+            .execute(&p, &exp, &ResultCache::disabled(), &env, None)
+            .0;
+        let traced = Scheduler::new(2)
+            .execute_traced(
+                &p,
+                &exp,
+                &ResultCache::disabled(),
+                &env,
+                None,
+                Some(&tracer),
+            )
+            .0;
+        assert_eq!(traced, untraced, "tracing must not perturb results");
+
+        let trace = tracer.snapshot();
+        let sweep = trace.find("sweep").next().expect("sweep span recorded");
+        assert_eq!(sweep.attr("units"), Some(&16u64.into()));
+        assert_eq!(trace.find("sweep").count(), 1, "one sweep root");
+
+        let worker_lanes_with_units = trace
+            .lanes
+            .iter()
+            .filter(|l| {
+                l.label.starts_with("worker-")
+                    && l.records.iter().any(|s| s.name.starts_with("unit "))
+            })
+            .count();
+        assert!(
+            worker_lanes_with_units >= 2,
+            "expected unit spans on >=2 worker lanes, got {worker_lanes_with_units}"
+        );
+
+        // 16 units, cache disabled: every unit span is a miss with a
+        // queue-wait child and a run child.
+        let units: Vec<_> = trace
+            .lanes
+            .iter()
+            .flat_map(|l| l.records.iter())
+            .filter(|s| s.name.starts_with("unit "))
+            .collect();
+        assert_eq!(units.len(), 16);
+        for u in &units {
+            assert_eq!(u.attr("cache"), Some(&"miss".into()));
+            assert!(u.attr("queued_ms").is_some());
+        }
+        assert_eq!(trace.find("queue-wait").count(), 16);
+        assert_eq!(trace.find("run").count(), 16);
+    }
+
+    #[test]
+    fn traced_cache_hits_have_no_run_child() {
+        let dir = std::env::temp_dir().join(format!(
+            "perfeval-exec-sched-trace-hit-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let env = EnvFingerprint::simulated("trace-hit-test");
+        let p = plan(3, 2, 11);
+        let exp = experiment();
+        Scheduler::new(1).execute(&p, &exp, &cache, &env, None);
+
+        let tracer = Tracer::new();
+        Scheduler::new(1).execute_traced(&p, &exp, &cache, &env, None, Some(&tracer));
+        let trace = tracer.snapshot();
+        let hits = trace
+            .lanes
+            .iter()
+            .flat_map(|l| l.records.iter())
+            .filter(|s| s.name.starts_with("unit "))
+            .filter(|s| s.attr("cache") == Some(&"hit".into()))
+            .count();
+        assert_eq!(hits, 6, "every unit served from cache");
+        assert_eq!(trace.find("run").count(), 0, "cache hits never run");
+        assert_eq!(trace.find("queue-wait").count(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serial_traced_sweep_nests_units_under_sweep() {
+        let p = plan(2, 2, 3);
+        let env = EnvFingerprint::simulated("trace-serial-test");
+        let exp = experiment();
+        let tracer = Tracer::new();
+        Scheduler::new(1).execute_traced(
+            &p,
+            &exp,
+            &ResultCache::disabled(),
+            &env,
+            None,
+            Some(&tracer),
+        );
+        let trace = tracer.snapshot();
+        assert_eq!(trace.lanes.len(), 1, "serial sweep uses one lane");
+        let sweep = trace.find("sweep").next().expect("sweep recorded").clone();
+        let units: Vec<_> = trace
+            .lanes
+            .iter()
+            .flat_map(|l| l.records.iter())
+            .filter(|s| s.name.starts_with("unit "))
+            .collect();
+        assert_eq!(units.len(), 4);
+        let mut prev_end = 0u64;
+        for u in &units {
+            assert_eq!(u.parent, Some(sweep.id), "unit nests under sweep");
+            assert!(u.start_ns >= sweep.start_ns && u.end_ns <= sweep.end_ns);
+            assert!(u.start_ns >= prev_end, "sibling units must not overlap");
+            prev_end = u.end_ns;
+        }
     }
 
     #[test]

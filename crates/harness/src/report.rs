@@ -87,6 +87,8 @@ pub struct Report {
     /// How the sweep executed (threads, cache hits, stragglers), when it
     /// ran through the `perfeval-exec` scheduler.
     pub execution: Option<ExecReport>,
+    /// Rendered span-tree of the run, when it was traced.
+    pub trace: Option<String>,
     /// Free-form analysis / conclusions.
     pub conclusions: String,
 }
@@ -136,6 +138,14 @@ impl Report {
     /// record just like hot/cold and replication counts.
     pub fn execution(mut self, report: ExecReport) -> Self {
         self.execution = Some(report);
+        self
+    }
+
+    /// Attaches a recorded span timeline. The report embeds the
+    /// plain-text tree rendering, so the where-did-the-time-go record
+    /// travels with the numbers it explains.
+    pub fn trace(mut self, trace: &perfeval_trace::Trace) -> Self {
+        self.trace = Some(perfeval_trace::render_tree(trace));
         self
     }
 
@@ -209,6 +219,11 @@ impl Report {
                 out.push_str(&format!("- {line}\n"));
             }
             out.push('\n');
+        }
+        if let Some(tree) = &self.trace {
+            out.push_str("## Trace\n\n```\n");
+            out.push_str(tree);
+            out.push_str("```\n\n");
         }
         if !self.conclusions.is_empty() {
             out.push_str("## Conclusions\n\n");
@@ -310,6 +325,20 @@ mod tests {
         assert!(text.contains("4 thread(s)"));
         assert!(text.contains("20 executed, 4 resumed from cache"));
         assert!(text.contains("shuffled order (seed 7)"));
+    }
+
+    #[test]
+    fn trace_section_embeds_the_span_tree() {
+        let tracer = perfeval_trace::Tracer::new();
+        {
+            let mut outer = tracer.span("experiment");
+            outer.attr("reps", 3usize);
+            drop(tracer.span("measure"));
+        }
+        let text = full_report().trace(&tracer.snapshot()).render();
+        assert!(text.contains("## Trace"));
+        assert!(text.contains("experiment"));
+        assert!(text.contains("measure"));
     }
 
     #[test]

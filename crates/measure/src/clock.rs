@@ -70,51 +70,113 @@ impl Clock for WallClock {
     }
 }
 
-/// CPU ("user" + "system") time, read from `/proc/thread-self/stat` on
-/// Linux — the number `/usr/bin/time` reports as `user`/`sys`.
+/// CPU ("user" + "system") time — the number `/usr/bin/time` reports as
+/// `user`/`sys`.
 ///
 /// CPU time excludes time spent blocked on I/O or descheduled, which is why
 /// the tutorial's cold-run table shows user ≈ 2930 ms while real ≈ 13243 ms:
 /// the missing ten seconds were disk waits that only the wall clock sees.
 ///
-/// Readings are **per-thread** (falling back to the process-wide
-/// `/proc/self/stat` on pre-3.17 kernels): a parallel sweep has several
-/// workers measuring concurrently, and with a process-wide clock each
-/// measurement would silently include every other worker's CPU — the
-/// thread count would become an unrecorded factor. In a single-threaded
-/// program the two readings coincide.
+/// Readings are **per-thread**: a parallel sweep has several workers
+/// measuring concurrently, and with a process-wide clock each measurement
+/// would silently include every other worker's CPU — the thread count would
+/// become an unrecorded factor. In a single-threaded program per-thread and
+/// per-process readings coincide.
 ///
-/// On non-Linux platforms (or if `/proc` is unavailable) readings fall back
-/// to wall-clock time; [`CpuClock::is_native`] reports which you got.
+/// Sources, probed once at construction and in preference order:
+/// 1. `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` — nanosecond resolution,
+///    needed now that `QueryResult::server_user_ms` reports genuine CPU
+///    time for sub-10 ms queries;
+/// 2. `/proc/thread-self/stat` (or the process-wide `/proc/self/stat` on
+///    pre-3.17 kernels) — 10 ms USER_HZ ticks, the `timeGetTime`-style
+///    coarse instrument the tutorial warns about;
+/// 3. wall clock, on platforms with neither; [`CpuClock::is_native`]
+///    reports whether you got real CPU time.
 #[derive(Debug, Clone)]
 pub struct CpuClock {
     fallback: WallClock,
     ticks_per_sec: u64,
-    native: bool,
+    source: CpuSource,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CpuSource {
+    ClockGettime,
+    Procfs,
+    Wall,
 }
 
 impl CpuClock {
-    /// Creates a CPU clock, probing `/proc` stat availability once.
+    /// Creates a CPU clock, probing the available sources once.
     pub fn new() -> Self {
-        let native = read_proc_cpu_ticks().is_some();
+        let source = if sys::thread_cputime_ns().is_some() {
+            CpuSource::ClockGettime
+        } else if read_proc_cpu_ticks().is_some() {
+            CpuSource::Procfs
+        } else {
+            CpuSource::Wall
+        };
         CpuClock {
             fallback: WallClock::new(),
             // Linux exposes utime/stime in clock ticks; USER_HZ is 100 on
             // every mainstream configuration.
             ticks_per_sec: 100,
-            native,
+            source,
         }
     }
 
-    /// True if real CPU-time readings are available (Linux with procfs).
+    /// True if real CPU-time readings are available (Linux).
     pub fn is_native(&self) -> bool {
-        self.native
+        self.source != CpuSource::Wall
     }
 }
 
 impl Default for CpuClock {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Hand-declared binding to `clock_gettime(2)`: the workspace is
+/// dependency-free (no `libc` crate), and this is the one syscall the
+/// measurement substrate needs beyond `std`.
+#[cfg(target_os = "linux")]
+mod sys {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+
+    /// The calling thread's consumed CPU time in nanoseconds, if the
+    /// kernel supports per-thread CPU clocks.
+    pub fn thread_cputime_ns() -> Option<u64> {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: clock_gettime only writes through the valid tp pointer.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc == 0 && ts.tv_sec >= 0 && ts.tv_nsec >= 0 {
+            Some(ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    /// Non-Linux: no per-thread CPU clock; callers fall back to procfs or
+    /// the wall clock.
+    pub fn thread_cputime_ns() -> Option<u64> {
+        None
     }
 }
 
@@ -139,22 +201,36 @@ fn read_stat_ticks(path: &str) -> Option<u64> {
 
 impl Clock for CpuClock {
     fn now_ns(&self) -> u64 {
-        match read_proc_cpu_ticks() {
-            Some(ticks) => ticks * (1_000_000_000 / self.ticks_per_sec),
-            None => self.fallback.now_ns(),
+        match self.source {
+            CpuSource::ClockGettime => {
+                sys::thread_cputime_ns().unwrap_or_else(|| self.fallback.now_ns())
+            }
+            CpuSource::Procfs => match read_proc_cpu_ticks() {
+                Some(ticks) => ticks * (1_000_000_000 / self.ticks_per_sec),
+                None => self.fallback.now_ns(),
+            },
+            CpuSource::Wall => self.fallback.now_ns(),
         }
     }
 
     fn resolution_ns(&self) -> u64 {
-        if self.native {
-            1_000_000_000 / self.ticks_per_sec // 10 ms at USER_HZ=100
-        } else {
-            1
+        match self.source {
+            CpuSource::ClockGettime => 1,
+            CpuSource::Procfs => 1_000_000_000 / self.ticks_per_sec, // 10 ms
+            CpuSource::Wall => 1,
         }
     }
 
     fn describe(&self) -> &'static str {
-        "per-thread CPU (user+system) time via /proc/thread-self/stat, 10 ms ticks"
+        match self.source {
+            CpuSource::ClockGettime => {
+                "per-thread CPU (user+system) time via clock_gettime(CLOCK_THREAD_CPUTIME_ID), ns resolution"
+            }
+            CpuSource::Procfs => {
+                "per-thread CPU (user+system) time via /proc/thread-self/stat, 10 ms ticks"
+            }
+            CpuSource::Wall => "wall clock standing in for CPU time (no native source)",
+        }
     }
 }
 
@@ -238,6 +314,47 @@ impl Clock for ManualClock {
     }
 }
 
+/// A manually advanced clock that is `Send + Sync` — the cross-thread
+/// sibling of [`ManualClock`] (whose `Rc` cell keeps it single-threaded).
+/// Cloning shares the underlying cell. Used to drive a
+/// `perfeval-trace` tracer deterministically from tests and simulators.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicClock {
+    ns: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl AtomicClock {
+    /// Creates an atomic clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `delta` nanoseconds.
+    pub fn advance_ns(&self, delta: u64) {
+        self.ns
+            .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Sets the absolute reading.
+    pub fn set_ns(&self, ns: u64) {
+        self.ns.store(ns, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Clock for AtomicClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn resolution_ns(&self) -> u64 {
+        1
+    }
+
+    fn describe(&self) -> &'static str {
+        "atomic manual clock (test/simulation driven, thread-safe)"
+    }
+}
+
 /// Convenience: nanoseconds to fractional milliseconds, the unit every
 /// table in the tutorial uses.
 pub fn ns_to_ms(ns: u64) -> f64 {
@@ -266,13 +383,16 @@ mod tests {
     }
 
     #[test]
-    fn cpu_clock_probes_procfs() {
+    fn cpu_clock_probes_a_native_source() {
         let c = CpuClock::new();
-        // On the Linux CI machines this runs on, procfs must be available.
+        // On the Linux CI machines this runs on, at least one native CPU
+        // source must be available — and clock_gettime gives ns resolution.
         #[cfg(target_os = "linux")]
         {
             assert!(c.is_native());
-            assert_eq!(c.resolution_ns(), 10_000_000);
+            assert!(c.resolution_ns() <= 10_000_000);
+            assert_eq!(c.source, CpuSource::ClockGettime);
+            assert_eq!(c.resolution_ns(), 1);
         }
         let _ = c.now_ns(); // must not panic either way
     }
@@ -284,7 +404,7 @@ mod tests {
             return; // nothing to assert on non-Linux
         }
         let start = c.now_ns();
-        // Burn enough CPU for a few 10 ms ticks.
+        // Burn enough CPU to be visible even at 10 ms resolution.
         let mut acc = 0u64;
         while c.now_ns() - start < 30_000_000 {
             for i in 0..100_000u64 {
@@ -293,6 +413,43 @@ mod tests {
             std::hint::black_box(acc);
         }
         assert!(c.now_ns() - start >= 30_000_000);
+    }
+
+    #[test]
+    fn cpu_clock_ignores_sleep_but_wall_clock_does_not() {
+        let cpu = CpuClock::new();
+        if !cpu.is_native() || cpu.resolution_ns() > 1_000 {
+            return; // needs the fine-grained source to be observable
+        }
+        let wall = WallClock::new();
+        let (_, wall_ns) = wall.time(|| std::thread::sleep(std::time::Duration::from_millis(20)));
+        let (_, cpu_ns) = cpu.time(|| std::thread::sleep(std::time::Duration::from_millis(20)));
+        assert!(wall_ns >= 20_000_000);
+        // Sleeping consumes (almost) no CPU: the tutorial's user ≪ real.
+        assert!(cpu_ns < 10_000_000, "sleep burned {cpu_ns} ns of CPU time?");
+    }
+
+    #[test]
+    fn procfs_fallback_still_reads_ticks() {
+        // The old 10 ms source stays exercised even where clock_gettime
+        // wins the probe.
+        if let Some(ticks) = read_proc_cpu_ticks() {
+            let again = read_proc_cpu_ticks().unwrap();
+            assert!(again >= ticks);
+        }
+    }
+
+    #[test]
+    fn atomic_clock_shares_state_and_crosses_threads() {
+        let a = AtomicClock::new();
+        let b = a.clone();
+        a.advance_ns(250);
+        assert_eq!(b.now_ns(), 250);
+        std::thread::scope(|s| {
+            s.spawn(|| b.set_ns(1_000));
+        });
+        assert_eq!(a.now_ns(), 1_000);
+        assert!(a.describe().contains("atomic"));
     }
 
     #[test]

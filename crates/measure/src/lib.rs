@@ -28,8 +28,8 @@ pub mod protocol;
 pub mod sample;
 
 pub use adaptive::{measure_until, AdaptiveResult};
-pub use clock::{Clock, CpuClock, ManualClock, QuantizedClock, WallClock};
+pub use clock::{AtomicClock, Clock, CpuClock, ManualClock, QuantizedClock, WallClock};
 pub use counters::CounterSet;
 pub use env::{EnvSpec, SoftwareSpec, SpecLevel};
 pub use protocol::{CacheState, KeepPolicy, RunProtocol, RunResult};
-pub use sample::{Measurement, PhaseTimer};
+pub use sample::{Measurement, Phase, PhaseTimer};

@@ -13,6 +13,48 @@
 //! The derived metrics (`throughput`, `speedup`, `scaleup`) are the "What to
 //! measure?" basics of slide 22.
 
+/// The canonical client-observed query phases, replacing stringly-typed
+/// phase lookups: a typo like `phase_ms("exeucte")` silently returned
+/// `None`, while `phase(Phase::Execute)` cannot be misspelled.
+///
+/// Custom phase names (e.g. `"io"` in simulator measurements) remain
+/// available through [`Measurement::named`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// SQL text → AST (MonetDB's `Trans`).
+    Parse,
+    /// Plan rewriting.
+    Optimize,
+    /// Engine execution (the "server time" of the user-vs-real exhibit).
+    Execute,
+    /// Result delivery to the sink (MonetDB's `Print`).
+    Print,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 4] = [Phase::Parse, Phase::Optimize, Phase::Execute, Phase::Print];
+
+    /// The stable lowercase key this phase is stored under — matches the
+    /// names historical `phase_ms(&str)` callers used, so measurements
+    /// recorded via [`PhaseTimer::record_phase`] stay readable by the
+    /// deprecated string API during the migration window.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Optimize => "optimize",
+            Phase::Execute => "execute",
+            Phase::Print => "print",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One timed run with optional per-phase breakdown (all times in
 /// milliseconds, the tutorial's universal unit).
 #[derive(Debug, Clone, PartialEq)]
@@ -39,12 +81,27 @@ impl Measurement {
         self.phases.iter().map(|(_, ms)| ms).sum()
     }
 
-    /// Duration of a named phase, if present.
-    pub fn phase_ms(&self, name: &str) -> Option<f64> {
+    /// Duration of a canonical [`Phase`], if present.
+    pub fn phase(&self, phase: Phase) -> Option<f64> {
+        self.named(phase.as_str())
+    }
+
+    /// Duration of a custom-named phase, if present. For the canonical
+    /// query phases prefer the typo-proof [`Measurement::phase`].
+    pub fn named(&self, name: &str) -> Option<f64> {
         self.phases
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, ms)| *ms)
+    }
+
+    /// Duration of a named phase, if present.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `phase(Phase::…)` for canonical phases or `named(…)` for custom ones"
+    )]
+    pub fn phase_ms(&self, name: &str) -> Option<f64> {
+        self.named(name)
     }
 
     /// All phases in order.
@@ -85,6 +142,11 @@ impl PhaseTimer {
         } else {
             self.phases.push((name.to_owned(), ms));
         }
+    }
+
+    /// Records a completed canonical [`Phase`].
+    pub fn record_phase(&mut self, phase: Phase, ms: f64) {
+        self.record(phase.as_str(), ms);
     }
 
     /// Finishes, yielding the measurement.
@@ -138,8 +200,8 @@ mod tests {
     fn total_measurement() {
         let m = Measurement::total(3533.0);
         assert_eq!(m.total_ms(), 3533.0);
-        assert_eq!(m.phase_ms("total"), Some(3533.0));
-        assert_eq!(m.phase_ms("query"), None);
+        assert_eq!(m.named("total"), Some(3533.0));
+        assert_eq!(m.named("query"), None);
     }
 
     #[test]
@@ -152,7 +214,7 @@ mod tests {
             ("Print".into(), 1.934),
         ]);
         assert!((m.total_ms() - 20.022).abs() < 1e-9);
-        assert_eq!(m.phase_ms("Query"), Some(6.462));
+        assert_eq!(m.named("Query"), Some(6.462));
     }
 
     #[test]
@@ -171,8 +233,8 @@ mod tests {
         t.record("join", 2.0);
         t.record("scan", 0.5);
         let m = t.finish();
-        assert_eq!(m.phase_ms("scan"), Some(1.5));
-        assert_eq!(m.phase_ms("join"), Some(2.0));
+        assert_eq!(m.named("scan"), Some(1.5));
+        assert_eq!(m.named("join"), Some(2.0));
         assert_eq!(m.phases().len(), 2);
         // Order of first appearance preserved.
         assert_eq!(m.phases()[0].0, "scan");
@@ -205,6 +267,30 @@ mod tests {
         assert!((scaleup_efficiency(100.0, 2000.0, 10.0) - 0.5).abs() < 1e-12);
         // Sub-linear growth (e.g. fixed overheads amortized) -> >1.
         assert!(scaleup_efficiency(100.0, 500.0, 10.0) > 1.0);
+    }
+
+    #[test]
+    fn phase_enum_reads_canonical_keys() {
+        let mut t = PhaseTimer::new();
+        t.record_phase(Phase::Parse, 1.0);
+        t.record_phase(Phase::Execute, 5.0);
+        t.record_phase(Phase::Execute, 2.0);
+        let m = t.finish();
+        assert_eq!(m.phase(Phase::Parse), Some(1.0));
+        assert_eq!(m.phase(Phase::Execute), Some(7.0));
+        assert_eq!(m.phase(Phase::Print), None);
+        // Typed and string views agree: Phase stores under stable keys.
+        assert_eq!(m.named("execute"), Some(7.0));
+        assert_eq!(Phase::ALL.len(), 4);
+        assert_eq!(Phase::Optimize.to_string(), "optimize");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_phase_ms_shim_still_reads() {
+        let m = Measurement::from_phases(vec![("execute".into(), 4.2)]);
+        assert_eq!(m.phase_ms("execute"), Some(4.2));
+        assert_eq!(m.phase_ms("execute"), m.phase(Phase::Execute));
     }
 
     #[test]

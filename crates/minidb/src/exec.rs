@@ -26,6 +26,7 @@ use crate::expr::{AggFunc, BinOp, Expr};
 use crate::plan::Plan;
 use crate::types::{DataType, Value};
 use memsim::BufferPool;
+use perfeval_trace::Tracer;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -105,7 +106,24 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     mode: ExecMode,
     pool: Option<&'a mut BufferPool>,
+    tracer: Option<&'a Tracer>,
     profile: Vec<ProfileEntry>,
+}
+
+/// The operator label a plan node gets in both the profile trace and the
+/// per-operator spans — one naming scheme for every observability surface.
+pub fn plan_label(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan { table, .. } => format!("Scan {table}"),
+        Plan::Filter { .. } => "Filter".to_owned(),
+        Plan::Project { .. } => "Project".to_owned(),
+        Plan::Join { .. } => "HashJoin".to_owned(),
+        Plan::Aggregate { .. } => "HashAggregate".to_owned(),
+        Plan::Sort { .. } => "Sort".to_owned(),
+        Plan::Limit { n, .. } => format!("Limit {n}"),
+        Plan::Distinct { .. } => "Distinct".to_owned(),
+        Plan::TopN { n, .. } => format!("TopN {n}"),
+    }
 }
 
 /// A columnar batch flowing between optimized operators.
@@ -291,6 +309,7 @@ impl<'a> Executor<'a> {
             catalog,
             mode,
             pool: None,
+            tracer: None,
             profile: Vec::new(),
         }
     }
@@ -298,6 +317,14 @@ impl<'a> Executor<'a> {
     /// Attaches a buffer pool: scans will charge page reads through it.
     pub fn with_pool(mut self, pool: &'a mut BufferPool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches a tracer: every operator records a span (nested like the
+    /// plan tree), with row counts and buffer-pool hit/miss deltas as
+    /// attributes.
+    pub fn with_tracer(mut self, tracer: &'a Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -353,8 +380,16 @@ impl<'a> Executor<'a> {
         depth: usize,
     ) -> Result<(Vec<(String, DataType)>, Vec<Vec<Value>>), DbError> {
         let start = Instant::now();
+        let label = plan_label(plan);
+        let pool_before = match plan {
+            Plan::Scan { .. } => self
+                .pool
+                .as_deref()
+                .map(|p| (p.logical_reads(), p.physical_reads())),
+            _ => None,
+        };
+        let mut span = self.tracer.map(|t| t.span(&label));
         let result: (Vec<(String, DataType)>, Vec<Vec<Value>>);
-        let label: String;
         let mut child_ms = 0.0;
         match plan {
             Plan::Scan { table, projection } => {
@@ -377,7 +412,6 @@ impl<'a> Executor<'a> {
                     }
                     rows.push(row);
                 }
-                label = format!("Scan {table}");
                 result = (schema, rows);
             }
             Plan::Filter { input, predicate } => {
@@ -391,7 +425,6 @@ impl<'a> Executor<'a> {
                         kept.push(row);
                     }
                 }
-                label = "Filter".to_owned();
                 result = (schema, kept);
             }
             Plan::Project { input, exprs } => {
@@ -414,7 +447,6 @@ impl<'a> Executor<'a> {
                     }
                     out.push(new_row);
                 }
-                label = "Project".to_owned();
                 result = (out_schema, out);
             }
             Plan::Join {
@@ -449,7 +481,6 @@ impl<'a> Executor<'a> {
                 }
                 let mut schema = ls;
                 schema.extend(rs);
-                label = "HashJoin".to_owned();
                 result = (schema, out);
             }
             Plan::Aggregate {
@@ -524,7 +555,6 @@ impl<'a> Executor<'a> {
                     .collect();
                 // Deterministic output order (hash maps are not).
                 out.sort_by(|a, b| compare_rows(a, b));
-                label = "HashAggregate".to_owned();
                 result = (out_schema, out);
             }
             Plan::Sort { input, keys } => {
@@ -563,7 +593,6 @@ impl<'a> Executor<'a> {
                 if let Some(e) = err {
                     return Err(e);
                 }
-                label = "Sort".to_owned();
                 result = (schema, rows);
             }
             Plan::Limit { input, n } => {
@@ -571,7 +600,6 @@ impl<'a> Executor<'a> {
                 let (schema, mut rows) = self.run_rows(input, depth + 1)?;
                 child_ms = c0.elapsed().as_secs_f64() * 1e3;
                 rows.truncate(*n);
-                label = format!("Limit {n}");
                 result = (schema, rows);
             }
             Plan::Distinct { input } => {
@@ -586,7 +614,6 @@ impl<'a> Executor<'a> {
                         kept.push(row);
                     }
                 }
-                label = "Distinct".to_owned();
                 result = (schema, kept);
             }
             Plan::TopN { input, keys, n } => {
@@ -608,12 +635,21 @@ impl<'a> Executor<'a> {
                         compare_keyed(&a.0, &b.0, &bound)
                     });
                 }
-                label = format!("TopN {n}");
                 result = (schema, best.into_iter().map(|(_, row)| row).collect());
             }
         }
         let total_ms = start.elapsed().as_secs_f64() * 1e3;
         let entry_rows = result.1.len();
+        if let Some(g) = span.as_mut() {
+            g.attr("rows_out", entry_rows);
+            if let (Some((l0, p0)), Some(p)) = (pool_before, self.pool.as_deref()) {
+                let logical = p.logical_reads().saturating_sub(l0);
+                let physical = p.physical_reads().saturating_sub(p0);
+                g.attr("pool_hits", logical.saturating_sub(physical))
+                    .attr("pool_misses", physical);
+            }
+        }
+        drop(span);
         // Insert at the position before the children we just recorded so
         // the trace reads root-first.
         self.profile.insert(
@@ -637,8 +673,17 @@ impl<'a> Executor<'a> {
 
     fn run_batch(&mut self, plan: &Plan, depth: usize) -> Result<Batch, DbError> {
         let start = Instant::now();
+        let label = plan_label(plan);
+        let pool_before = match plan {
+            Plan::Scan { .. } => self
+                .pool
+                .as_deref()
+                .map(|p| (p.logical_reads(), p.physical_reads())),
+            _ => None,
+        };
+        let mut span = self.tracer.map(|t| t.span(&label));
         let mut child_ms = 0.0;
-        let (label, batch) = match plan {
+        let batch = match plan {
             Plan::Scan { table, projection } => {
                 self.charge_scan(table)?;
                 let t = self.catalog.table(table)?;
@@ -652,7 +697,7 @@ impl<'a> Executor<'a> {
                         idxs.iter().map(|&i| t.column(i).clone()).collect(),
                     ),
                 };
-                (format!("Scan {table}"), Batch { names, cols })
+                Batch { names, cols }
             }
             Plan::Filter { input, predicate } => {
                 let c0 = Instant::now();
@@ -661,7 +706,7 @@ impl<'a> Executor<'a> {
                 let schema = input_batch.schema();
                 let bound = predicate.bind(&schema)?;
                 let selection = vectorized_filter(&input_batch, &bound)?;
-                ("Filter".to_owned(), input_batch.take(&selection))
+                input_batch.take(&selection)
             }
             Plan::Project { input, exprs } => {
                 let c0 = Instant::now();
@@ -675,7 +720,7 @@ impl<'a> Executor<'a> {
                     cols.push(vectorized_eval(&input_batch, &bound, &schema)?);
                     names.push(name.clone());
                 }
-                ("Project".to_owned(), Batch { names, cols })
+                Batch { names, cols }
             }
             Plan::Join {
                 left,
@@ -699,7 +744,7 @@ impl<'a> Executor<'a> {
                 names.extend(rout.names);
                 let mut cols = lout.cols;
                 cols.extend(rout.cols);
-                ("HashJoin".to_owned(), Batch { names, cols })
+                Batch { names, cols }
             }
             Plan::Aggregate {
                 input,
@@ -709,9 +754,7 @@ impl<'a> Executor<'a> {
                 let c0 = Instant::now();
                 let input_batch = self.run_batch(input, depth + 1)?;
                 child_ms = c0.elapsed().as_secs_f64() * 1e3;
-                let batch =
-                    vectorized_aggregate(self.catalog, plan, &input_batch, group_by, aggregates)?;
-                ("HashAggregate".to_owned(), batch)
+                vectorized_aggregate(self.catalog, plan, &input_batch, group_by, aggregates)?
             }
             Plan::Sort { input, keys } => {
                 let c0 = Instant::now();
@@ -740,14 +783,14 @@ impl<'a> Executor<'a> {
                     }
                     std::cmp::Ordering::Equal
                 });
-                ("Sort".to_owned(), input_batch.take(&perm))
+                input_batch.take(&perm)
             }
             Plan::Limit { input, n } => {
                 let c0 = Instant::now();
                 let input_batch = self.run_batch(input, depth + 1)?;
                 child_ms = c0.elapsed().as_secs_f64() * 1e3;
                 let keep: Vec<usize> = (0..input_batch.row_count().min(*n)).collect();
-                (format!("Limit {n}"), input_batch.take(&keep))
+                input_batch.take(&keep)
             }
             Plan::Distinct { input } => {
                 let c0 = Instant::now();
@@ -765,7 +808,7 @@ impl<'a> Executor<'a> {
                         selection.push(i);
                     }
                 }
-                ("Distinct".to_owned(), input_batch.take(&selection))
+                input_batch.take(&selection)
             }
             Plan::TopN { input, keys, n } => {
                 let c0 = Instant::now();
@@ -797,11 +840,21 @@ impl<'a> Executor<'a> {
                 for i in 0..input_batch.row_count() {
                     bounded_insert(&mut best, i, *n, |&a, &b| cmp_rows(a, b));
                 }
-                (format!("TopN {n}"), input_batch.take(&best))
+                input_batch.take(&best)
             }
         };
         let total_ms = start.elapsed().as_secs_f64() * 1e3;
         let rows_out = batch.row_count();
+        if let Some(g) = span.as_mut() {
+            g.attr("rows_out", rows_out);
+            if let (Some((l0, p0)), Some(p)) = (pool_before, self.pool.as_deref()) {
+                let logical = p.logical_reads().saturating_sub(l0);
+                let physical = p.physical_reads().saturating_sub(p0);
+                g.attr("pool_hits", logical.saturating_sub(physical))
+                    .attr("pool_misses", physical);
+            }
+        }
+        drop(span);
         self.profile.insert(
             self.profile
                 .iter()

@@ -41,7 +41,7 @@
 //! catalog.register(t).unwrap();
 //!
 //! let mut session = Session::new(catalog);
-//! let result = session.execute("SELECT SUM(price) FROM part").unwrap();
+//! let result = session.query("SELECT SUM(price) FROM part").run().unwrap();
 //! assert_eq!(result.rows[0][0], Value::Float(30.0));
 //! ```
 #![warn(missing_docs)]
@@ -64,7 +64,7 @@ pub use column::Column;
 pub use error::DbError;
 pub use exec::ExecMode;
 pub use plan::Plan;
-pub use session::{QueryResult, Session};
+pub use session::{Query, QueryResult, Session};
 pub use sink::{FileSink, NullSink, ResultSink, TerminalSink};
 pub use table::{Table, TableBuilder};
 pub use types::{DataType, Value};

@@ -4,6 +4,16 @@
 //! phase took, so experiments can answer *"be aware what you measure"*
 //! questions — is the 1468 ms the query, or the printing? Is the gap the
 //! engine, or a cold buffer pool?
+//!
+//! Queries are issued through the [`Query`] builder:
+//!
+//! ```text
+//! session.query("SELECT ...").sink(&mut terminal).traced(&tracer).run()
+//! ```
+//!
+//! `sink` and `traced` are optional; `run()` executes. The builder replaced
+//! the old `execute` / `execute_to` / `profile` trio, which survive as
+//! deprecated one-line wrappers.
 
 use crate::catalog::Catalog;
 use crate::error::DbError;
@@ -14,7 +24,8 @@ use crate::plan::Plan;
 use crate::sink::{NullSink, ResultSink};
 use crate::types::Value;
 use memsim::{BufferPool, Disk};
-use perfeval_measure::{Measurement, PhaseTimer};
+use perfeval_measure::{Clock, CpuClock, Measurement, Phase, PhaseTimer};
+use perfeval_trace::Tracer;
 use std::time::Instant;
 
 /// Result of executing one query in a [`Session`].
@@ -27,6 +38,9 @@ pub struct QueryResult {
     /// Real (wall-clock) per-phase breakdown: parse / optimize / execute /
     /// print, in ms.
     pub phases: Measurement,
+    /// CPU ("user") time of the execute phase, measured with a thread CPU
+    /// clock alongside the wall clock, in ms.
+    pub execute_cpu_ms: f64,
     /// Simulated disk wait incurred during execution (0 without a pool), ms.
     pub sim_io_ms: f64,
     /// Simulated output-device overhead from the sink, ms.
@@ -38,20 +52,25 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    /// Server-side "user" (CPU) time: the execute phase's real time, which
-    /// in this in-memory engine is all computation.
+    /// Server-side "user" (CPU) time of the execute phase.
+    ///
+    /// Measured with [`CpuClock`] (thread CPU time), not inferred from the
+    /// wall clock: under scheduler pressure or simulated I/O waits the two
+    /// genuinely differ, which is the entire point of the user-vs-real
+    /// exhibit.
     pub fn server_user_ms(&self) -> f64 {
-        self.phases.phase_ms("execute").unwrap_or(0.0)
+        self.execute_cpu_ms
     }
 
-    /// Server-side "real" time: execution plus simulated I/O waits.
+    /// Server-side "real" time: execute-phase wall time plus simulated I/O
+    /// waits.
     pub fn server_real_ms(&self) -> f64 {
-        self.server_user_ms() + self.sim_io_ms
+        self.phases.phase(Phase::Execute).unwrap_or(0.0) + self.sim_io_ms
     }
 
     /// Client-side "real" time: server real plus result delivery/printing.
     pub fn client_real_ms(&self) -> f64 {
-        self.server_real_ms() + self.phases.phase_ms("print").unwrap_or(0.0) + self.sim_print_ms
+        self.server_real_ms() + self.phases.phase(Phase::Print).unwrap_or(0.0) + self.sim_print_ms
     }
 
     /// Number of result rows.
@@ -155,22 +174,97 @@ impl Session {
         Ok(self.plan(sql)?.explain(&self.catalog))
     }
 
+    /// Starts building a query. Configure with [`Query::sink`] /
+    /// [`Query::traced`], then call [`Query::run`].
+    pub fn query<'s, 'q>(&'s mut self, sql: &'q str) -> Query<'s, 'q> {
+        Query {
+            session: self,
+            sql,
+            sink: None,
+            tracer: None,
+        }
+    }
+
     /// Executes a statement, discarding the result rows' rendering (null
     /// sink) — the pure server-side measurement.
+    #[deprecated(since = "0.2.0", note = "use `session.query(sql).run()`")]
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
-        self.execute_to(sql, &mut NullSink)
+        self.query(sql).run()
     }
 
     /// Executes a statement and delivers the result to `sink`.
+    #[deprecated(since = "0.2.0", note = "use `session.query(sql).sink(sink).run()`")]
     pub fn execute_to(
         &mut self,
         sql: &str,
         sink: &mut dyn ResultSink,
     ) -> Result<QueryResult, DbError> {
+        self.query(sql).sink(sink).run()
+    }
+
+    /// PROFILE: executes and renders the per-operator trace.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `session.query(sql).run()` and `exec::render_profile(&result.profile)`"
+    )]
+    pub fn profile(&mut self, sql: &str) -> Result<String, DbError> {
+        let result = self.query(sql).run()?;
+        Ok(crate::exec::render_profile(&result.profile))
+    }
+}
+
+/// A configured-but-not-yet-run query: the builder returned by
+/// [`Session::query`].
+///
+/// Defaults: results go to a [`NullSink`] (pure server-side measurement)
+/// and no trace is recorded.
+#[must_use = "a Query does nothing until .run() is called"]
+pub struct Query<'s, 'q> {
+    session: &'s mut Session,
+    sql: &'q str,
+    sink: Option<&'q mut dyn ResultSink>,
+    tracer: Option<&'q Tracer>,
+}
+
+impl<'s, 'q> Query<'s, 'q> {
+    /// Delivers the result to `sink` instead of discarding it.
+    pub fn sink(mut self, sink: &'q mut dyn ResultSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Records phase and per-operator spans into `tracer` while the query
+    /// runs.
+    pub fn traced(mut self, tracer: &'q Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Parses, optimizes, executes, and prints the statement, returning the
+    /// timed result.
+    pub fn run(self) -> Result<QueryResult, DbError> {
+        let Query {
+            session,
+            sql,
+            sink,
+            tracer,
+        } = self;
+        let mut null = NullSink;
+        let sink: &mut dyn ResultSink = match sink {
+            Some(s) => s,
+            None => &mut null,
+        };
+
         let mut timer = PhaseTimer::new();
+        let mut root = tracer.map(|t| t.span("query"));
+        if let Some(g) = root.as_mut() {
+            g.attr("sql", sql_preview(sql))
+                .attr("mode", session.mode.to_string());
+        }
 
         // Parse.
         let t0 = Instant::now();
+        let parse_span = tracer.map(|t| t.span("parse"));
         let stmt = parse_statement(sql)?;
         let stmt = match stmt {
             Statement::Select(s) => s,
@@ -179,67 +273,114 @@ impl Session {
                 for (col, dt) in &columns {
                     builder = builder.column(col, *dt);
                 }
-                self.catalog.register(builder.build())?;
-                timer.record("parse", t0.elapsed().as_secs_f64() * 1e3);
+                session.catalog.register(builder.build())?;
+                drop(parse_span);
+                timer.record_phase(Phase::Parse, t0.elapsed().as_secs_f64() * 1e3);
                 return Ok(ddl_result(timer, 0));
             }
             Statement::Insert { table, rows } => {
-                let t = self.catalog.table_mut(&table)?;
+                let t = session.catalog.table_mut(&table)?;
                 let n = rows.len();
                 for row in rows {
                     t.push_row(row)?;
                 }
-                timer.record("parse", t0.elapsed().as_secs_f64() * 1e3);
+                drop(parse_span);
+                timer.record_phase(Phase::Parse, t0.elapsed().as_secs_f64() * 1e3);
                 return Ok(ddl_result(timer, n));
             }
         };
         let plan = to_plan(&stmt, |t| {
-            Ok(self.catalog.table(t)?.column_names().to_vec())
+            Ok(session.catalog.table(t)?.column_names().to_vec())
         })?;
-        timer.record("parse", t0.elapsed().as_secs_f64() * 1e3);
+        drop(parse_span);
+        timer.record_phase(Phase::Parse, t0.elapsed().as_secs_f64() * 1e3);
 
         // Optimize.
         let t1 = Instant::now();
-        let plan = optimize(plan, &self.catalog, self.optimizer)?;
-        timer.record("optimize", t1.elapsed().as_secs_f64() * 1e3);
+        let opt_span = tracer.map(|t| t.span("optimize"));
+        let plan = optimize(plan, &session.catalog, session.optimizer)?;
+        drop(opt_span);
+        timer.record_phase(Phase::Optimize, t1.elapsed().as_secs_f64() * 1e3);
 
-        // Execute.
-        let io_before = self.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
+        // Execute. Wall time and thread CPU time are measured side by side:
+        // their gap (plus simulated I/O) is the user-vs-real exhibit.
+        let io_before = session.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
+        let pool_before = session
+            .pool
+            .as_ref()
+            .map(|p| (p.logical_reads(), p.physical_reads()));
+        let cpu = CpuClock::new();
+        let cpu0 = cpu.now_ns();
         let t2 = Instant::now();
+        let mut exec_span = tracer.map(|t| t.span("execute"));
         let (result, profile) = {
-            let mut executor = Executor::new(&self.catalog, self.mode);
-            if let Some(pool) = &mut self.pool {
+            let mut executor = Executor::new(&session.catalog, session.mode);
+            if let Some(pool) = &mut session.pool {
                 executor = executor.with_pool(pool);
+            }
+            if let Some(t) = tracer {
+                executor = executor.with_tracer(t);
             }
             let result = executor.run(&plan)?;
             (result, executor.profile().to_vec())
         };
-        timer.record("execute", t2.elapsed().as_secs_f64() * 1e3);
-        let io_after = self.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
+        let execute_cpu_ms = cpu.now_ns().saturating_sub(cpu0) as f64 / 1e6;
+        let execute_wall_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let io_after = session.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
         let sim_io_ms = (io_after - io_before) / 1e6;
+        if let Some(g) = exec_span.as_mut() {
+            g.attr("rows_out", result.row_count())
+                .attr("cpu_ms", execute_cpu_ms)
+                .attr("sim_io_ms", sim_io_ms);
+            if let (Some((l0, p0)), Some(pool)) = (pool_before, session.pool.as_ref()) {
+                let logical = pool.logical_reads().saturating_sub(l0);
+                let physical = pool.physical_reads().saturating_sub(p0);
+                g.attr("pool_hits", logical.saturating_sub(physical))
+                    .attr("pool_misses", physical);
+            }
+        }
+        drop(exec_span);
+        timer.record_phase(Phase::Execute, execute_wall_ms);
 
         // Print.
         let t3 = Instant::now();
+        let mut print_span = tracer.map(|t| t.span("print"));
         let report = sink.consume(&result)?;
-        timer.record("print", t3.elapsed().as_secs_f64() * 1e3);
+        if let Some(g) = print_span.as_mut() {
+            g.attr("bytes", report.bytes)
+                .attr("sim_print_ms", report.sim_overhead_ms);
+        }
+        drop(print_span);
+        timer.record_phase(Phase::Print, t3.elapsed().as_secs_f64() * 1e3);
 
         let ResultSet { column_names, rows } = result;
+        if let Some(g) = root.as_mut() {
+            g.attr("rows", rows.len());
+        }
         Ok(QueryResult {
             column_names,
             rows,
             phases: timer.finish(),
+            execute_cpu_ms,
             sim_io_ms,
             sim_print_ms: report.sim_overhead_ms,
             result_bytes: report.bytes,
             profile,
         })
     }
+}
 
-    /// PROFILE: executes and renders the per-operator trace.
-    pub fn profile(&mut self, sql: &str) -> Result<String, DbError> {
-        let result = self.execute(sql)?;
-        Ok(crate::exec::render_profile(&result.profile))
+/// Truncates long SQL for span attributes (traces should stay small).
+fn sql_preview(sql: &str) -> String {
+    const MAX: usize = 120;
+    if sql.len() <= MAX {
+        return sql.to_owned();
     }
+    let mut end = MAX;
+    while !sql.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &sql[..end])
 }
 
 /// Result shape for DDL/DML statements: no columns, `affected` rows
@@ -250,6 +391,7 @@ fn ddl_result(timer: PhaseTimer, affected: usize) -> QueryResult {
         column_names: vec!["rows_affected".to_owned()],
         rows: vec![vec![Value::Int(affected as i64)]],
         phases: timer.finish(),
+        execute_cpu_ms: 0.0,
         sim_io_ms: 0.0,
         sim_print_ms: 0.0,
         result_bytes: 0,
@@ -279,14 +421,15 @@ mod tests {
     }
 
     #[test]
-    fn execute_returns_rows_and_phases() {
+    fn query_returns_rows_and_phases() {
         let mut s = session();
         let r = s
-            .execute("SELECT COUNT(*) FROM nums WHERE x < 100")
+            .query("SELECT COUNT(*) FROM nums WHERE x < 100")
+            .run()
             .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
-        for phase in ["parse", "optimize", "execute", "print"] {
-            assert!(r.phases.phase_ms(phase).is_some(), "missing {phase}");
+        for phase in Phase::ALL {
+            assert!(r.phases.phase(phase).is_some(), "missing {phase}");
         }
         assert!(r.server_user_ms() >= 0.0);
         assert_eq!(r.sim_io_ms, 0.0, "no pool attached");
@@ -301,9 +444,10 @@ mod tests {
     }
 
     #[test]
-    fn profile_renders_trace() {
+    fn profile_entries_render_as_trace() {
         let mut s = session();
-        let trace = s.profile("SELECT MAX(x) FROM nums").unwrap();
+        let r = s.query("SELECT MAX(x) FROM nums").run().unwrap();
+        let trace = crate::exec::render_profile(&r.profile);
         assert!(trace.contains("Scan nums"));
         assert!(trace.contains("ms"));
     }
@@ -325,9 +469,9 @@ mod tests {
         // Warm once, take the best of three (robust to scheduler noise in
         // dev-profile CI runs).
         let best = |s: &mut Session| {
-            s.execute(sql).unwrap();
+            s.query(sql).run().unwrap();
             (0..3)
-                .map(|_| s.execute(sql).unwrap().server_user_ms())
+                .map(|_| s.query(sql).run().unwrap().server_user_ms())
                 .fold(f64::INFINITY, f64::min)
         };
         let to = best(&mut opt);
@@ -355,8 +499,8 @@ mod tests {
         let sql = "SELECT SUM(v) FROM big";
 
         s.flush_caches();
-        let cold = s.execute(sql).unwrap();
-        let hot = s.execute(sql).unwrap();
+        let cold = s.query(sql).run().unwrap();
+        let hot = s.query(sql).run().unwrap();
 
         assert!(cold.sim_io_ms > 0.0, "cold run must wait on disk");
         assert_eq!(hot.sim_io_ms, 0.0, "hot run must not");
@@ -366,8 +510,15 @@ mod tests {
             cold.server_real_ms(),
             cold.server_user_ms()
         );
-        // Hot real ~ hot user.
-        assert!((hot.server_real_ms() - hot.server_user_ms()).abs() < 1e-9);
+        // Hot real ~ hot user: user is now genuine thread CPU time, so
+        // allow scheduler noise instead of demanding bit equality.
+        let gap = (hot.server_real_ms() - hot.server_user_ms()).abs();
+        assert!(
+            gap < 0.5 + 0.5 * hot.server_real_ms(),
+            "hot: real {} vs user {}",
+            hot.server_real_ms(),
+            hot.server_user_ms()
+        );
     }
 
     #[test]
@@ -375,7 +526,9 @@ mod tests {
         let mut s = session();
         let mut terminal = TerminalSink::new();
         let r = s
-            .execute_to("SELECT x, y FROM nums", &mut terminal)
+            .query("SELECT x, y FROM nums")
+            .sink(&mut terminal)
+            .run()
             .unwrap();
         assert_eq!(r.row_count(), 10_000);
         assert!(r.sim_print_ms > 0.0);
@@ -395,14 +548,14 @@ mod tests {
     fn errors_propagate() {
         let mut s = session();
         assert!(matches!(
-            s.execute("SELECT nope FROM nums"),
+            s.query("SELECT nope FROM nums").run(),
             Err(DbError::UnknownColumn(_))
         ));
         assert!(matches!(
-            s.execute("SELECT x FROM missing"),
+            s.query("SELECT x FROM missing").run(),
             Err(DbError::UnknownTable(_))
         ));
-        assert!(matches!(s.execute("garbage"), Err(DbError::Parse(_))));
+        assert!(matches!(s.query("garbage").run(), Err(DbError::Parse(_))));
     }
 
     #[test]
@@ -417,8 +570,116 @@ mod tests {
         catalog.register(t).unwrap();
         let mut s = Session::new(catalog).with_disk(Disk::raid_2008(), 1_000);
         assert_eq!(s.pool_hit_rate(), Some(0.0));
-        s.execute("SELECT COUNT(*) FROM small").unwrap();
-        s.execute("SELECT COUNT(*) FROM small").unwrap();
+        s.query("SELECT COUNT(*) FROM small").run().unwrap();
+        s.query("SELECT COUNT(*) FROM small").run().unwrap();
         assert!(s.pool_hit_rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn traced_query_records_phase_and_operator_spans() {
+        let tracer = Tracer::new();
+        let mut s = session();
+        let r = s
+            .query("SELECT SUM(y) FROM nums WHERE x < 5000")
+            .traced(&tracer)
+            .run()
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+
+        let trace = tracer.snapshot();
+        assert_eq!(trace.lanes.len(), 1, "single-threaded query, one lane");
+        let root = trace.find("query").next().expect("root span");
+        assert!(root.parent.is_none());
+        assert!(root.attr("sql").is_some());
+        assert!(root.attr("rows").is_some());
+        for phase in ["parse", "optimize", "execute", "print"] {
+            let span = trace
+                .find(phase)
+                .next()
+                .unwrap_or_else(|| panic!("no {phase}"));
+            assert_eq!(span.parent, Some(root.id), "{phase} nests under query");
+        }
+        let exec = trace.find("execute").next().unwrap();
+        assert!(exec.attr("cpu_ms").is_some());
+        // Operator spans nest under the execute phase.
+        let scan = trace.find("Scan nums").next().expect("scan operator span");
+        assert!(scan.attr("rows_out").is_some());
+        let agg = trace.find("HashAggregate").next().expect("aggregate span");
+        let mut parent = agg.parent;
+        let lane = &trace.lanes[0];
+        let mut reached_execute = false;
+        while let Some(pid) = parent {
+            let p = lane.records.iter().find(|r| r.id == pid).unwrap();
+            if p.name == "execute" {
+                reached_execute = true;
+                break;
+            }
+            parent = p.parent;
+        }
+        assert!(reached_execute, "operators are descendants of execute");
+    }
+
+    #[test]
+    fn traced_query_with_pool_records_hit_miss_attrs() {
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("small")
+            .column("v", DataType::Int)
+            .build();
+        for i in 0..100_000 {
+            t.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        catalog.register(t).unwrap();
+        let mut s = Session::new(catalog).with_disk(Disk::raid_2008(), 1_000);
+        let tracer = Tracer::new();
+        s.query("SELECT COUNT(*) FROM small")
+            .traced(&tracer)
+            .run()
+            .unwrap();
+        s.query("SELECT COUNT(*) FROM small")
+            .traced(&tracer)
+            .run()
+            .unwrap();
+        let trace = tracer.snapshot();
+        let execs: Vec<_> = trace.lanes[0]
+            .records
+            .iter()
+            .filter(|r| r.name == "execute")
+            .collect();
+        assert_eq!(execs.len(), 2);
+        // Cold run misses, hot run hits.
+        assert!(execs[0].attr("pool_misses").is_some(), "cold run misses");
+        assert!(execs[1].attr("pool_hits").is_some(), "hot run hits");
+        // Scan operator spans carry the same accounting.
+        let scan = trace.find("Scan small").next().expect("scan span");
+        assert!(scan.attr("pool_misses").is_some() || scan.attr("pool_hits").is_some());
+    }
+
+    #[test]
+    fn ddl_through_builder_reports_rows_affected() {
+        let mut s = Session::new(Catalog::new());
+        let r = s.query("CREATE TABLE t (a INT, b FLOAT)").run().unwrap();
+        assert_eq!(r.column_names, vec!["rows_affected"]);
+        let r = s
+            .query("INSERT INTO t VALUES (1, 2.0), (3, 4.0)")
+            .run()
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+        assert_eq!(r.execute_cpu_ms, 0.0);
+        assert!(r.phases.phase(Phase::Parse).is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_work() {
+        let mut s = session();
+        let r = s.execute("SELECT COUNT(*) FROM nums").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(10_000)]]);
+        let mut sink = NullSink;
+        let r2 = s
+            .execute_to("SELECT COUNT(*) FROM nums", &mut sink)
+            .unwrap();
+        assert_eq!(r2.rows, r.rows);
+        let trace = s.profile("SELECT MAX(x) FROM nums").unwrap();
+        assert!(trace.contains("Scan nums"));
     }
 }

@@ -1,0 +1,337 @@
+//! Chrome trace-event JSON exporter (`chrome://tracing` / Perfetto).
+//!
+//! Emits the JSON-object format: `{"traceEvents": [...]}` with `B`/`E`
+//! duration events and `M` metadata events naming each lane. Events for one
+//! lane are emitted by depth-first traversal of the reconstructed span
+//! forest, so every `B` has a matching `E` and pairs nest properly *by
+//! construction* — [`validate_chrome`] re-checks that discipline when
+//! reading an export back (the CI smoke gate).
+//!
+//! Timestamps are microseconds (the format's unit), printed with
+//! fractional-ns precision so nothing quantizes away.
+
+use crate::json::{parse, Json};
+use crate::span::{lane_tree, AttrValue, Trace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Renders a [`Trace`] as a Chrome trace-event JSON document.
+///
+/// Open the result in <https://ui.perfetto.dev> (drag & drop) or
+/// `chrome://tracing`. Each lane becomes one thread row (`tid` = lane
+/// index); span attributes appear under the event's `args`. Ring-buffer
+/// drop counts are surfaced twice: per lane in its `thread_name` metadata
+/// args, and as a top-level `"droppedSpans"` member.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events = vec![
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"perfeval\"}}"
+            .to_string(),
+    ];
+    for lane in &trace.lanes {
+        let tid = lane.lane_index;
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":{},\"droppedSpans\":{}}}}}",
+            quote(&lane.label),
+            lane.dropped
+        ));
+        let (roots, children) = lane_tree(&lane.records);
+        // Iterative DFS: (record index, children emitted yet?).
+        let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&i| (i, false)).collect();
+        while let Some((i, expanded)) = stack.pop() {
+            let r = &lane.records[i];
+            if expanded {
+                events.push(format!(
+                    "{{\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"name\":{}}}",
+                    micros(r.end_ns),
+                    quote(&r.name)
+                ));
+                continue;
+            }
+            events.push(format!(
+                "{{\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"name\":{}{}}}",
+                micros(r.start_ns),
+                quote(&r.name),
+                args(&r.attrs)
+            ));
+            stack.push((i, true));
+            for &c in children[i].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\",\"droppedSpans\":{}}}",
+        events.join(",\n"),
+        trace.total_dropped()
+    )
+}
+
+/// Microseconds with three decimals (ns precision), e.g. `"12.345"`.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn args(attrs: &[(String, AttrValue)]) -> String {
+    if attrs.is_empty() {
+        return String::new();
+    }
+    let members: Vec<String> = attrs
+        .iter()
+        .map(|(k, v)| format!("{}:{}", quote(k), attr_json(v)))
+        .collect();
+    format!(",\"args\":{{{}}}", members.join(","))
+}
+
+fn attr_json(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) if f.is_finite() => {
+            // Guarantee valid JSON: a bare integer print is fine, but NaN
+            // and infinities are not representable — stringify those.
+            format!("{f}")
+        }
+        AttrValue::Float(f) => quote(&f.to_string()),
+        AttrValue::Str(s) => quote(s),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// JSON string literal with escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What a validated Chrome export contained — enough for acceptance checks
+/// ("did ≥ 2 worker lanes emit unit spans?") without re-parsing.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeSummary {
+    /// Total `B`/`E`/`M` events.
+    pub events: usize,
+    /// Complete `B`+`E` span pairs.
+    pub spans: usize,
+    /// Lane label by tid, from `thread_name` metadata.
+    pub thread_names: BTreeMap<u64, String>,
+    /// Distinct `B` event names seen per tid.
+    pub names_by_tid: BTreeMap<u64, BTreeSet<String>>,
+    /// Deepest observed B/E nesting across all tids.
+    pub max_depth: usize,
+    /// Top-level `droppedSpans` member.
+    pub dropped: u64,
+}
+
+/// Parses a Chrome trace-event document and checks the per-thread B/E
+/// discipline: every `E` matches the most recent open `B` on its tid (same
+/// name), timestamps are non-decreasing per tid, and every `B` is closed by
+/// document end. This is exactly the "non-overlapping pairs per thread"
+/// property the duration-event format requires.
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut summary = ChromeSummary {
+        dropped: doc
+            .get("droppedSpans")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64,
+        ..ChromeSummary::default()
+    };
+    // Per-tid stack of open (name, ts) pairs, plus last seen ts.
+    let mut open: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        summary.events += 1;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev.get("tid").and_then(Json::as_num).unwrap_or(0.0) as u64;
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        match ph {
+            "M" => {
+                if name == "thread_name" {
+                    if let Some(label) = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                    {
+                        summary.thread_names.insert(tid, label.to_owned());
+                    }
+                }
+            }
+            "B" | "E" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                let prev = last_ts.insert(tid, ts).unwrap_or(f64::NEG_INFINITY);
+                if ts < prev {
+                    return Err(format!(
+                        "event {i}: ts went backwards on tid {tid} ({ts} < {prev})"
+                    ));
+                }
+                let stack = open.entry(tid).or_default();
+                if ph == "B" {
+                    summary
+                        .names_by_tid
+                        .entry(tid)
+                        .or_default()
+                        .insert(name.to_owned());
+                    stack.push((name.to_owned(), ts));
+                    summary.max_depth = summary.max_depth.max(stack.len());
+                } else {
+                    let (open_name, begin_ts) = stack
+                        .pop()
+                        .ok_or_else(|| format!("event {i}: E without open B on tid {tid}"))?;
+                    if open_name != name {
+                        return Err(format!(
+                            "event {i}: E '{name}' closes B '{open_name}' on tid {tid}"
+                        ));
+                    }
+                    if ts < begin_ts {
+                        return Err(format!("event {i}: span '{name}' ends before it begins"));
+                    }
+                    summary.spans += 1;
+                }
+            }
+            other => return Err(format!("event {i}: unsupported ph '{other}'")),
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("unclosed B '{name}' on tid {tid}"));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{LaneSnapshot, SpanId, SpanRecord};
+
+    fn rec(id: u64, parent: Option<u64>, name: &str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name: name.into(),
+            start_ns: start,
+            end_ns: end,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn two_lane_trace() -> Trace {
+        Trace {
+            lanes: vec![
+                LaneSnapshot {
+                    label: "main".into(),
+                    lane_index: 0,
+                    records: vec![
+                        rec(2, Some(1), "execute", 1_500, 7_000),
+                        rec(1, None, "query \"q\"", 1_000, 9_000),
+                    ],
+                    dropped: 0,
+                },
+                LaneSnapshot {
+                    label: "worker-1".into(),
+                    lane_index: 1,
+                    records: vec![rec(3, None, "unit 0", 2_000, 5_000)],
+                    dropped: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_roundtrips_through_validator() {
+        let json = chrome_trace_json(&two_lane_trace());
+        let summary = validate_chrome(&json).expect("well-formed export");
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.max_depth, 2);
+        assert_eq!(summary.thread_names[&0], "main");
+        assert_eq!(summary.thread_names[&1], "worker-1");
+        assert!(summary.names_by_tid[&1].contains("unit 0"));
+        assert_eq!(summary.dropped, 3);
+    }
+
+    #[test]
+    fn attrs_and_special_chars_survive_as_args() {
+        let mut trace = two_lane_trace();
+        trace.lanes[0].records[1]
+            .attrs
+            .push(("sql".into(), AttrValue::Str("select \"a\"\n;".into())));
+        trace.lanes[0].records[1]
+            .attrs
+            .push(("rows".into(), AttrValue::Int(-3)));
+        trace.lanes[0].records[1]
+            .attrs
+            .push(("bad".into(), AttrValue::Float(f64::NAN)));
+        let json = chrome_trace_json(&trace);
+        validate_chrome(&json).expect("escaping keeps JSON well-formed");
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let b = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("B")
+                    && e.get("name").and_then(Json::as_str) == Some("query \"q\"")
+            })
+            .unwrap();
+        let args = b.get("args").unwrap();
+        assert_eq!(args.get("sql").unwrap().as_str(), Some("select \"a\"\n;"));
+        assert_eq!(args.get("rows").unwrap().as_num(), Some(-3.0));
+        assert_eq!(args.get("bad").unwrap().as_str(), Some("NaN"));
+    }
+
+    #[test]
+    fn timestamps_are_fractional_micros() {
+        assert_eq!(micros(12_345), "12.345");
+        assert_eq!(micros(1_000_000), "1000.000");
+        assert_eq!(micros(7), "0.007");
+    }
+
+    #[test]
+    fn validator_rejects_broken_discipline() {
+        // E without B.
+        let bad = r#"{"traceEvents":[{"ph":"E","tid":0,"ts":1,"name":"x"}]}"#;
+        assert!(validate_chrome(bad).unwrap_err().contains("without open B"));
+        // Mismatched names.
+        let bad = r#"{"traceEvents":[
+            {"ph":"B","tid":0,"ts":1,"name":"a"},
+            {"ph":"E","tid":0,"ts":2,"name":"b"}]}"#;
+        assert!(validate_chrome(bad).unwrap_err().contains("closes B"));
+        // Unclosed at end.
+        let bad = r#"{"traceEvents":[{"ph":"B","tid":0,"ts":1,"name":"a"}]}"#;
+        assert!(validate_chrome(bad).unwrap_err().contains("unclosed"));
+        // Backwards time on one tid.
+        let bad = r#"{"traceEvents":[
+            {"ph":"B","tid":0,"ts":5,"name":"a"},
+            {"ph":"E","tid":0,"ts":3,"name":"a"}]}"#;
+        assert!(validate_chrome(bad).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let json = chrome_trace_json(&Trace::default());
+        let summary = validate_chrome(&json).unwrap();
+        assert_eq!(summary.spans, 0);
+        assert_eq!(summary.events, 1); // process_name metadata
+    }
+}

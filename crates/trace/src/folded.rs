@@ -1,0 +1,111 @@
+//! Flamegraph "folded stacks" exporter.
+//!
+//! One line per span: `lane;root;child;...;leaf <exclusive µs>` — the input
+//! format of Brendan Gregg's `flamegraph.pl` and of `inferno-flamegraph`.
+//! Values are *exclusive* time (children subtracted, floored at zero so a
+//! child that overruns its parent cannot produce a negative weight).
+
+use crate::span::{lane_tree, Trace};
+
+/// Renders a [`Trace`] as flamegraph-folded stack lines.
+pub fn folded_stacks(trace: &Trace) -> String {
+    let mut out = String::new();
+    for lane in &trace.lanes {
+        let (roots, children) = lane_tree(&lane.records);
+        let mut path: Vec<String> = vec![frame(&lane.label)];
+        for &root in &roots {
+            emit(lane, root, &children, &mut path, &mut out);
+        }
+        if lane.dropped > 0 {
+            // Surface truncation inside the flamegraph itself: an explicit
+            // frame, weighted by drop count (1 µs per lost span).
+            out.push_str(&format!(
+                "{};[{} spans dropped] {}\n",
+                frame(&lane.label),
+                lane.dropped,
+                lane.dropped
+            ));
+        }
+    }
+    out
+}
+
+fn emit(
+    lane: &crate::span::LaneSnapshot,
+    index: usize,
+    children: &[Vec<usize>],
+    path: &mut Vec<String>,
+    out: &mut String,
+) {
+    let r = &lane.records[index];
+    path.push(frame(&r.name));
+    let child_ns: u64 = children[index]
+        .iter()
+        .map(|&c| lane.records[c].duration_ns())
+        .sum();
+    let exclusive_us = r.duration_ns().saturating_sub(child_ns) / 1_000;
+    out.push_str(&path.join(";"));
+    out.push_str(&format!(" {exclusive_us}\n"));
+    for &c in &children[index] {
+        emit(lane, c, children, path, out);
+    }
+    path.pop();
+}
+
+/// Folded-format frame names cannot contain `;` (the separator) or
+/// newlines; spaces are fine but the trailing count is space-separated, so
+/// keep the name intact and only replace the two structural characters.
+fn frame(name: &str) -> String {
+    name.replace(';', ":").replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{LaneSnapshot, SpanId, SpanRecord};
+
+    fn rec(id: u64, parent: Option<u64>, name: &str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name: name.into(),
+            start_ns: start,
+            end_ns: end,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let trace = Trace {
+            lanes: vec![LaneSnapshot {
+                label: "main".into(),
+                lane_index: 0,
+                records: vec![
+                    rec(2, Some(1), "child", 10_000, 60_000),
+                    rec(1, None, "root", 0, 100_000),
+                ],
+                dropped: 0,
+            }],
+        };
+        let folded = folded_stacks(&trace);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines[0], "main;root 50"); // 100 µs − 50 µs child
+        assert_eq!(lines[1], "main;root;child 50");
+    }
+
+    #[test]
+    fn semicolons_in_names_are_sanitized_and_drops_surfaced() {
+        let trace = Trace {
+            lanes: vec![LaneSnapshot {
+                label: "w;1".into(),
+                lane_index: 0,
+                records: vec![rec(1, None, "a;b", 0, 5_000)],
+                dropped: 7,
+            }],
+        };
+        let folded = folded_stacks(&trace);
+        assert!(folded.contains("w:1;a:b 5"));
+        assert!(folded.contains("[7 spans dropped] 7"));
+    }
+}

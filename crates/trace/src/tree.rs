@@ -1,0 +1,91 @@
+//! Plain-text tree exporter — the `mclient -t` of traces, embeddable in a
+//! harness report.
+
+use crate::span::{lane_tree, Trace};
+
+/// Renders a [`Trace`] as an indented per-thread tree with inclusive
+/// milliseconds and attributes. Deterministic for a given trace.
+pub fn render_tree(trace: &Trace) -> String {
+    let mut out = String::new();
+    for lane in &trace.lanes {
+        out.push_str(&format!(
+            "thread {} [{} span{}{}]\n",
+            lane.label,
+            lane.records.len(),
+            if lane.records.len() == 1 { "" } else { "s" },
+            if lane.dropped > 0 {
+                format!(", {} dropped", lane.dropped)
+            } else {
+                String::new()
+            }
+        ));
+        let (roots, children) = lane_tree(&lane.records);
+        for &root in &roots {
+            emit(lane, root, &children, 1, &mut out);
+        }
+    }
+    out
+}
+
+fn emit(
+    lane: &crate::span::LaneSnapshot,
+    index: usize,
+    children: &[Vec<usize>],
+    depth: usize,
+    out: &mut String,
+) {
+    let r = &lane.records[index];
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!(
+        "{} {:.3} ms",
+        r.name,
+        r.duration_ns() as f64 / 1e6
+    ));
+    for (k, v) in &r.attrs {
+        out.push_str(&format!("  {k}={v}"));
+    }
+    out.push('\n');
+    for &c in &children[index] {
+        emit(lane, c, children, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{AttrValue, LaneSnapshot, SpanId, SpanRecord};
+
+    #[test]
+    fn tree_shows_nesting_durations_attrs_and_drops() {
+        let trace = Trace {
+            lanes: vec![LaneSnapshot {
+                label: "main".into(),
+                lane_index: 0,
+                records: vec![
+                    SpanRecord {
+                        id: SpanId(2),
+                        parent: Some(SpanId(1)),
+                        name: "execute".into(),
+                        start_ns: 1_000_000,
+                        end_ns: 3_500_000,
+                        attrs: vec![("rows".into(), AttrValue::Int(42))],
+                    },
+                    SpanRecord {
+                        id: SpanId(1),
+                        parent: None,
+                        name: "query".into(),
+                        start_ns: 0,
+                        end_ns: 4_000_000,
+                        attrs: Vec::new(),
+                    },
+                ],
+                dropped: 2,
+            }],
+        };
+        let text = render_tree(&trace);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "thread main [2 spans, 2 dropped]");
+        assert_eq!(lines[1], "  query 4.000 ms");
+        assert_eq!(lines[2], "    execute 2.500 ms  rows=42");
+    }
+}

@@ -177,7 +177,7 @@ mod tests {
             .register(build_micro_table(&small(MicroDist::Uniform { range: 50 })))
             .unwrap();
         let mut s = Session::new(catalog);
-        let r = s.execute(scan_max_sql()).unwrap();
+        let r = s.query(scan_max_sql()).run().unwrap();
         let max = r.rows[0][0].as_i64().unwrap();
         assert!((0..50).contains(&max));
         assert_eq!(max, 49, "5000 uniform draws below 50 hit the max w.h.p.");
@@ -195,7 +195,7 @@ mod tests {
         catalog.register(build_micro_table(&cfg)).unwrap();
         let mut s = Session::new(catalog);
         for sel in [0.1, 0.5, 0.9] {
-            let r = s.execute(&selective_scan_sql(1_000, sel)).unwrap();
+            let r = s.query(&selective_scan_sql(1_000, sel)).run().unwrap();
             let n = r.rows[0][0].as_i64().unwrap() as f64;
             let got = n / 20_000.0;
             assert!((got - sel).abs() < 0.03, "target {sel}, got {got}");

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn q1_produces_flag_groups() {
         let mut s = session();
-        let r = s.execute(&q1()).unwrap();
+        let r = s.query(&q1()).run().unwrap();
         // Up to 4 combinations of returnflag × linestatus survive the date
         // filter; at least 2 must exist.
         assert!((2..=4).contains(&r.row_count()), "rows {}", r.row_count());
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn q1_aggregates_are_consistent() {
         let mut s = session();
-        let r = s.execute(&q1()).unwrap();
+        let r = s.query(&q1()).run().unwrap();
         for row in &r.rows {
             let sum_qty = row[2].as_i64().unwrap() as f64;
             let n = row[8].as_i64().unwrap() as f64;
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn q6_returns_single_revenue_number() {
         let mut s = session();
-        let r = s.execute(&q6()).unwrap();
+        let r = s.query(&q6()).run().unwrap();
         assert_eq!(r.row_count(), 1);
         let revenue = r.rows[0][0].as_f64().unwrap();
         assert!(revenue > 0.0, "some lines must match at sf 0.001");
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn q16_result_is_large() {
         let mut s = session();
-        let r = s.execute(&q16()).unwrap();
+        let r = s.query(&q16()).run().unwrap();
         assert!(
             r.row_count() > 100,
             "q16 is the big-result query, got {}",
@@ -202,10 +202,12 @@ mod tests {
         let mut dbg = Session::new(base).with_mode(ExecMode::Debug);
         for (i, sql) in all_family().iter().enumerate() {
             let ro = opt
-                .execute(sql)
+                .query(sql)
+                .run()
                 .unwrap_or_else(|e| panic!("q{} OPT failed: {e}\n{sql}", i + 1));
             let rd = dbg
-                .execute(sql)
+                .query(sql)
+                .run()
                 .unwrap_or_else(|e| panic!("q{} DBG failed: {e}\n{sql}", i + 1));
             assert_eq!(ro.rows, rd.rows, "q{} modes disagree", i + 1);
         }
@@ -222,7 +224,7 @@ mod tests {
     #[test]
     fn large_result_query_scales_with_lineitem() {
         let mut s = session();
-        let r = s.execute(&large_result()).unwrap();
+        let r = s.query(&large_result()).run().unwrap();
         let li_rows = s.catalog().table("lineitem").unwrap().row_count();
         assert_eq!(r.row_count(), li_rows);
     }
@@ -230,7 +232,7 @@ mod tests {
     #[test]
     fn q13_top_customers_limit() {
         let mut s = session();
-        let r = s.execute(&family(13)).unwrap();
+        let r = s.query(&family(13)).run().unwrap();
         assert!(r.row_count() <= 20);
         let counts: Vec<i64> = r.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
         assert!(counts.windows(2).all(|w| w[0] >= w[1]), "sorted desc");
@@ -239,7 +241,7 @@ mod tests {
     #[test]
     fn q9_status_filter() {
         let mut s = session();
-        let r = s.execute(&family(9)).unwrap();
+        let r = s.query(&family(9)).run().unwrap();
         assert_eq!(r.row_count(), 1);
         assert!(matches!(r.rows[0][0], Value::Float(_)));
     }

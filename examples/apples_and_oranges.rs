@@ -25,9 +25,9 @@ fn measure(
     if !optimizer_on {
         s.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig::none());
     }
-    s.execute(sql).unwrap();
+    s.query(sql).run().unwrap();
     (0..reps)
-        .map(|_| s.execute(sql).unwrap().server_user_ms())
+        .map(|_| s.query(sql).run().unwrap().server_user_ms())
         .collect()
 }
 

@@ -25,12 +25,12 @@ fn main() {
 
     // Cold: flush everything first (the "reboot").
     session.flush_caches();
-    let cold = session.execute(&sql).unwrap();
+    let cold = session.query(&sql).run().unwrap();
 
     // Hot: measured last of three consecutive runs.
-    let _ = session.execute(&sql).unwrap();
-    let _ = session.execute(&sql).unwrap();
-    let hot = session.execute(&sql).unwrap();
+    let _ = session.query(&sql).run().unwrap();
+    let _ = session.query(&sql).run().unwrap();
+    let hot = session.query(&sql).run().unwrap();
 
     println!("              cold                hot");
     println!("Q    user     real      user     real   ... time (milliseconds)");

@@ -23,9 +23,9 @@ fn main() {
 
     // --- adaptive measurement: replicate until the CI is tight ---
     let mut session = Session::new(catalog.clone());
-    session.execute(&sql).unwrap(); // warm
+    session.query(&sql).run().unwrap(); // warm
     let adaptive = measure_until(0.95, 0.05, 5, 200, || {
-        session.execute(&sql).unwrap().server_user_ms()
+        session.query(&sql).run().unwrap().server_user_ms()
     });
     println!(
         "adaptive measurement: {} runs, mean {} (converged: {})",
@@ -46,8 +46,8 @@ fn main() {
         if a.num("rewriter").unwrap() < 0.0 {
             s.set_optimizer(OptimizerConfig::none());
         }
-        s.execute(&sql).unwrap();
-        s.execute(&sql).unwrap().server_user_ms()
+        s.query(&sql).run().unwrap();
+        s.query(&sql).run().unwrap().server_user_ms()
     };
     let table = Runner::new(4).run_two_level(&design, &mut experiment);
     let significance = anova(&design, &table.replicates, 0.95).unwrap();

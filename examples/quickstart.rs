@@ -22,14 +22,20 @@ fn main() {
 
     // 2. Run Q1 with per-phase timing — know what you measure.
     let mut session = Session::new(catalog.clone());
-    let result = session.execute(&queries::q1()).unwrap();
+    let result = session.query(&queries::q1()).run().unwrap();
     println!("\nQ1 phase breakdown (mclient -t style):");
     print!("{}", result.phases.render());
     println!("rows: {}", result.row_count());
 
     // 3. Replicate and report a confidence interval, not a single number.
     let times: Vec<f64> = (0..5)
-        .map(|_| session.execute(&queries::q1()).unwrap().server_user_ms())
+        .map(|_| {
+            session
+                .query(&queries::q1())
+                .run()
+                .unwrap()
+                .server_user_ms()
+        })
         .collect();
     let ci = mean_confidence_interval(&times, 0.95).unwrap();
     println!("\nQ1 server time over 5 hot runs: {ci} ms");
@@ -48,8 +54,8 @@ fn main() {
         if a.num("rewriter_on").unwrap() < 0.0 {
             s.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig::none());
         }
-        s.execute(&queries::q1()).unwrap(); // warm up
-        s.execute(&queries::q1()).unwrap().server_user_ms()
+        s.query(&queries::q1()).run().unwrap(); // warm up
+        s.query(&queries::q1()).run().unwrap().server_user_ms()
     };
     let (runs, variation) = run_and_analyze(&design, 3, &mut experiment).unwrap();
     println!("\n2x2 design over (engine build, plan rewriter), 3 replications:");

@@ -58,8 +58,8 @@ fn main() {
             "COUNT(*)"
         };
         let sql = format!("SELECT {agg} FROM micro WHERE v < {cutoff}");
-        s.execute(&sql).unwrap(); // warmup
-        s.execute(&sql).unwrap().server_user_ms()
+        s.query(&sql).run().unwrap(); // warmup
+        s.query(&sql).run().unwrap().server_user_ms()
     };
 
     // Stage 1: a resolution-III 2^(5-2) screen, 8 runs x 2 replications.

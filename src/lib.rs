@@ -17,6 +17,7 @@
 //! | [`workload`] | TPC-H-like data generator, Q1/Q6/Q16-like queries, the 22-query DBG/OPT family, micro-benchmarks |
 //! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets |
 //! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache |
+//! | [`trace`] (`perfeval-trace`) | span-based observability: per-thread ring-buffer recorder, Chrome/Perfetto + flamegraph + tree exporters |
 //!
 //! ## Quickstart: design, run, analyze
 //!
@@ -41,6 +42,7 @@ pub use perfeval_exec as exec;
 pub use perfeval_harness as harness;
 pub use perfeval_measure as measure;
 pub use perfeval_stats as stats;
+pub use perfeval_trace as trace;
 pub use workload;
 
 /// Commonly used items in one import.
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use perfeval_harness::{ExperimentSuite, GnuplotScript, Properties};
     pub use perfeval_measure::{CacheState, Clock, Measurement, RunProtocol, WallClock};
     pub use perfeval_stats::{compare_means, mean_confidence_interval, Summary};
+    pub use perfeval_trace::{chrome_trace_json, render_tree, Tracer};
     pub use workload::dbgen::{generate, GenConfig};
 }
 

@@ -19,8 +19,8 @@ fn both_engines_agree_on_the_benchmark_queries() {
     let mut dbg = Session::new(catalog.clone()).with_mode(ExecMode::Debug);
     let mut opt = Session::new(catalog).with_mode(ExecMode::Optimized);
     for sql in [queries::q1(), queries::q6(), queries::q16()] {
-        let a = dbg.execute(&sql).unwrap();
-        let b = opt.execute(&sql).unwrap();
+        let a = dbg.query(&sql).run().unwrap();
+        let b = opt.query(&sql).run().unwrap();
         assert_eq!(a.rows, b.rows, "{sql}");
         assert_eq!(a.column_names, b.column_names);
     }
@@ -33,8 +33,8 @@ fn optimizer_on_off_preserves_results_across_family() {
     let mut off = Session::new(catalog);
     off.set_optimizer(perfeval::minidb::optimizer::OptimizerConfig::none());
     for sql in queries::all_family() {
-        let a = on.execute(&sql).unwrap();
-        let b = off.execute(&sql).unwrap();
+        let a = on.query(&sql).run().unwrap();
+        let b = off.query(&sql).run().unwrap();
         assert_eq!(a.rows, b.rows, "{sql}");
     }
 }
@@ -49,7 +49,7 @@ fn run_protocol_drives_session_hot_and_cold() {
     let result = protocol.execute(
         || session.borrow_mut().flush_caches(),
         || {
-            let r = session.borrow_mut().execute(&sql).unwrap();
+            let r = session.borrow_mut().query(&sql).run().unwrap();
             Measurement::from_phases(vec![
                 ("user".into(), r.server_user_ms()),
                 ("io".into(), r.sim_io_ms),
@@ -58,8 +58,8 @@ fn run_protocol_drives_session_hot_and_cold() {
     );
     // First run cold (I/O), last run hot (no I/O): the kept measurement is
     // hot.
-    assert!(result.all[0].phase_ms("io").unwrap() > 0.0);
-    assert_eq!(result.kept[0].phase_ms("io").unwrap(), 0.0);
+    assert!(result.all[0].named("io").unwrap() > 0.0);
+    assert_eq!(result.kept[0].named("io").unwrap(), 0.0);
     assert_eq!(result.protocol_description(), protocol.describe());
 }
 
@@ -84,8 +84,12 @@ fn experiment_suite_records_a_repeatable_artifact() {
             ..GenConfig::default()
         });
         let mut session = Session::new(catalog);
-        session.execute(&queries::q6()).unwrap();
-        let ms = session.execute(&queries::q6()).unwrap().server_user_ms();
+        session.query(&queries::q6()).run().unwrap();
+        let ms = session
+            .query(&queries::q6())
+            .run()
+            .unwrap()
+            .server_user_ms();
         rows.push(vec![sf, ms]);
     }
     let csv = suite

@@ -46,8 +46,8 @@ fn fractional_screen_matches_full_design_on_minidb() {
         }
         // C is a decoy: read it, do nothing.
         let _ = a.num("C").unwrap();
-        s.execute(sql).unwrap();
-        s.execute(sql).unwrap().server_user_ms()
+        s.query(sql).run().unwrap();
+        s.query(sql).run().unwrap().server_user_ms()
     };
     let full = screen(&["A", "B", "C"], &[], 2, &mut experiment).unwrap();
     let frac = screen(

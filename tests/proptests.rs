@@ -156,9 +156,9 @@ proptest! {
             lo + width
         );
         let a = Session::new(catalog.clone()).with_mode(ExecMode::Debug)
-            .execute(&sql).unwrap();
+            .query(&sql).run().unwrap();
         let b = Session::new(catalog).with_mode(ExecMode::Optimized)
-            .execute(&sql).unwrap();
+            .query(&sql).run().unwrap();
         prop_assert_eq!(a.rows, b.rows);
     }
 
@@ -185,16 +185,16 @@ proptest! {
         // Build two tiny tables and compare the engine's hash join against
         // a naive nested-loop reference computed here.
         let mut s = Session::new(Catalog::new());
-        s.execute("CREATE TABLE l (lk INT, lv INT)").unwrap();
-        s.execute("CREATE TABLE r (rk INT, rv INT)").unwrap();
+        s.query("CREATE TABLE l (lk INT, lv INT)").run().unwrap();
+        s.query("CREATE TABLE r (rk INT, rv INT)").run().unwrap();
         for (i, k) in left_keys.iter().enumerate() {
-            s.execute(&format!("INSERT INTO l VALUES ({k}, {i})")).unwrap();
+            s.query(&format!("INSERT INTO l VALUES ({k}, {i})")).run().unwrap();
         }
         for (j, k) in right_keys.iter().enumerate() {
-            s.execute(&format!("INSERT INTO r VALUES ({k}, {j})")).unwrap();
+            s.query(&format!("INSERT INTO r VALUES ({k}, {j})")).run().unwrap();
         }
         let result = s
-            .execute("SELECT lv, rv FROM l JOIN r ON lk = rk ORDER BY lv, rv")
+            .query("SELECT lv, rv FROM l JOIN r ON lk = rk ORDER BY lv, rv").run()
             .unwrap();
         // Reference: nested loops.
         let mut expected = Vec::new();
@@ -219,12 +219,12 @@ proptest! {
         data in prop::collection::vec((0i64..5, -100i64..100), 1..40),
     ) {
         let mut s = Session::new(Catalog::new());
-        s.execute("CREATE TABLE t (g INT, v INT)").unwrap();
+        s.query("CREATE TABLE t (g INT, v INT)").run().unwrap();
         for (g, v) in &data {
-            s.execute(&format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+            s.query(&format!("INSERT INTO t VALUES ({g}, {v})")).run().unwrap();
         }
         let result = s
-            .execute("SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g ORDER BY g")
+            .query("SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g ORDER BY g").run()
             .unwrap();
         let mut reference: std::collections::BTreeMap<i64, (i64, i64)> =
             std::collections::BTreeMap::new();
@@ -251,7 +251,7 @@ fn session_execute_needs_mut_not_consume() {
     });
     let mut s = Session::new(catalog);
     for _ in 0..3 {
-        let r = s.execute("SELECT COUNT(*) FROM lineitem").unwrap();
+        let r = s.query("SELECT COUNT(*) FROM lineitem").run().unwrap();
         assert_eq!(r.row_count(), 1);
     }
 }

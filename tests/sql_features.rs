@@ -12,20 +12,23 @@ fn fresh_session() -> Session {
 fn create_insert_select_roundtrip() {
     let mut s = fresh_session();
     let r = s
-        .execute("CREATE TABLE fruit (id INT, name VARCHAR(20), price FLOAT, fresh BOOL)")
+        .query("CREATE TABLE fruit (id INT, name VARCHAR(20), price FLOAT, fresh BOOL)")
+        .run()
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
 
     let r = s
-        .execute(
+        .query(
             "INSERT INTO fruit VALUES \
              (1, 'apple', 0.5, TRUE), (2, 'orange', 0.8, FALSE), (3, 'pear', -0.25, TRUE)",
         )
+        .run()
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
 
     let r = s
-        .execute("SELECT id, name, price FROM fruit WHERE fresh = TRUE ORDER BY id")
+        .query("SELECT id, name, price FROM fruit WHERE fresh = TRUE ORDER BY id")
+        .run()
         .unwrap();
     assert_eq!(
         r.rows,
@@ -43,24 +46,27 @@ fn create_insert_select_roundtrip() {
 #[test]
 fn create_table_errors() {
     let mut s = fresh_session();
-    s.execute("CREATE TABLE t (a INT)").unwrap();
+    s.query("CREATE TABLE t (a INT)").run().unwrap();
     assert!(matches!(
-        s.execute("CREATE TABLE t (a INT)"),
+        s.query("CREATE TABLE t (a INT)").run(),
         Err(perfeval::minidb::DbError::DuplicateTable(_))
     ));
-    assert!(s.execute("CREATE TABLE u (a WIBBLE)").is_err());
-    assert!(s.execute("CREATE TABLE v ()").is_err());
+    assert!(s.query("CREATE TABLE u (a WIBBLE)").run().is_err());
+    assert!(s.query("CREATE TABLE v ()").run().is_err());
 }
 
 #[test]
 fn insert_type_checks() {
     let mut s = fresh_session();
-    s.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
-    assert!(s.execute("INSERT INTO t VALUES ('oops', 'x')").is_err());
-    assert!(s.execute("INSERT INTO t VALUES (1)").is_err());
-    assert!(s.execute("INSERT INTO missing VALUES (1, 'x')").is_err());
+    s.query("CREATE TABLE t (a INT, b TEXT)").run().unwrap();
+    assert!(s.query("INSERT INTO t VALUES ('oops', 'x')").run().is_err());
+    assert!(s.query("INSERT INTO t VALUES (1)").run().is_err());
+    assert!(s
+        .query("INSERT INTO missing VALUES (1, 'x')")
+        .run()
+        .is_err());
     // Nothing was inserted by the failed statements.
-    let r = s.execute("SELECT COUNT(*) FROM t").unwrap();
+    let r = s.query("SELECT COUNT(*) FROM t").run().unwrap();
     assert_eq!(r.rows[0][0], Value::Int(0));
 }
 
@@ -68,20 +74,25 @@ fn insert_type_checks() {
 fn select_distinct_dedups_in_both_engines() {
     for mode in [ExecMode::Debug, ExecMode::Optimized] {
         let mut s = Session::new(Catalog::new()).with_mode(mode);
-        s.execute("CREATE TABLE t (region TEXT, qty INT)").unwrap();
-        s.execute(
+        s.query("CREATE TABLE t (region TEXT, qty INT)")
+            .run()
+            .unwrap();
+        s.query(
             "INSERT INTO t VALUES ('east', 1), ('west', 2), ('east', 1), \
              ('east', 3), ('west', 2)",
         )
+        .run()
         .unwrap();
         let r = s
-            .execute("SELECT DISTINCT region, qty FROM t ORDER BY region, qty")
+            .query("SELECT DISTINCT region, qty FROM t ORDER BY region, qty")
+            .run()
             .unwrap();
         assert_eq!(r.row_count(), 3, "{mode}");
         assert_eq!(r.rows[0], vec![Value::Str("east".into()), Value::Int(1)]);
         // DISTINCT on a single column.
         let r = s
-            .execute("SELECT DISTINCT region FROM t ORDER BY region")
+            .query("SELECT DISTINCT region FROM t ORDER BY region")
+            .run()
             .unwrap();
         assert_eq!(r.row_count(), 2, "{mode}");
     }
@@ -91,17 +102,19 @@ fn select_distinct_dedups_in_both_engines() {
 fn count_distinct() {
     for mode in [ExecMode::Debug, ExecMode::Optimized] {
         let mut s = Session::new(Catalog::new()).with_mode(mode);
-        s.execute("CREATE TABLE t (g TEXT, v INT)").unwrap();
-        s.execute(
+        s.query("CREATE TABLE t (g TEXT, v INT)").run().unwrap();
+        s.query(
             "INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('b', 5), \
              ('b', 5), ('b', 5)",
         )
+        .run()
         .unwrap();
         let r = s
-            .execute(
+            .query(
                 "SELECT g, COUNT(*) AS n, COUNT(DISTINCT v) AS nd FROM t \
                  GROUP BY g ORDER BY g",
             )
+            .run()
             .unwrap();
         assert_eq!(
             r.rows,
@@ -117,8 +130,8 @@ fn count_distinct() {
 #[test]
 fn distinct_inside_non_count_rejected() {
     let mut s = fresh_session();
-    s.execute("CREATE TABLE t (v INT)").unwrap();
-    assert!(s.execute("SELECT SUM(DISTINCT v) FROM t").is_err());
+    s.query("CREATE TABLE t (v INT)").run().unwrap();
+    assert!(s.query("SELECT SUM(DISTINCT v) FROM t").run().is_err());
 }
 
 #[test]
@@ -128,7 +141,7 @@ fn q16_counts_distinct_suppliers() {
         ..GenConfig::default()
     });
     let mut s = Session::new(catalog);
-    let r = s.execute(&perfeval::workload::queries::q16()).unwrap();
+    let r = s.query(&perfeval::workload::queries::q16()).run().unwrap();
     // Each part has exactly 4 suppliers in the generator, so every group's
     // distinct-supplier count is bounded by 4 per part and positive.
     assert!(r.row_count() > 10);
@@ -141,7 +154,7 @@ fn q16_counts_distinct_suppliers() {
 #[test]
 fn explain_shows_distinct_node() {
     let mut s = fresh_session();
-    s.execute("CREATE TABLE t (a INT)").unwrap();
+    s.query("CREATE TABLE t (a INT)").run().unwrap();
     let plan = s.explain("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
     assert!(plan.contains("Distinct"), "{plan}");
     let sorted_line = plan.lines().position(|l| l.contains("Sort")).unwrap();
@@ -168,13 +181,14 @@ fn script_of_statements_builds_a_workload() {
     ];
     let mut s = fresh_session();
     for stmt in script {
-        s.execute(stmt).unwrap();
+        s.query(stmt).run().unwrap();
     }
     let r = s
-        .execute(
+        .query(
             "SELECT config, AVG(ms) AS mean, COUNT(*) AS n FROM runs \
              GROUP BY config ORDER BY config",
         )
+        .run()
         .unwrap();
     assert_eq!(r.row_count(), 2);
     assert_eq!(r.rows[0][0], Value::Str("dbg".into()));
@@ -207,8 +221,8 @@ fn topn_fusion_preserves_results_exactly() {
             ..OptimizerConfig::all()
         });
         for sql in queries {
-            let a = fused.execute(sql).unwrap();
-            let b = plain.execute(sql).unwrap();
+            let a = fused.query(sql).run().unwrap();
+            let b = plain.query(sql).run().unwrap();
             assert_eq!(a.rows, b.rows, "{mode}: {sql}");
         }
     }
