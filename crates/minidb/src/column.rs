@@ -8,7 +8,22 @@
 use crate::error::DbError;
 use crate::types::{DataType, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Bytes of column *data* duplicated by [`Column::clone`] since process
+/// start. Zero-copy execution paths are verified against this counter:
+/// a scan that shares columns by `Arc` must not move it.
+static CLONED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes of column data deep-copied by `Column::clone` so far.
+///
+/// Take a reading before and after a region and compare the delta; the
+/// counter is process-global and monotone. Dictionary storage shared via
+/// `Arc` is not charged — only the dense per-row vectors are.
+pub fn cloned_bytes() -> u64 {
+    CLONED_BYTES.load(Ordering::Relaxed)
+}
 
 /// A string dictionary: distinct values plus the reverse index used while
 /// loading. Shared between column copies via `Arc`, so cloning a string
@@ -46,7 +61,7 @@ impl StrDict {
 }
 
 /// A typed column of values.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum Column {
     /// Dense i64 vector.
     Int(Vec<i64>),
@@ -61,6 +76,21 @@ pub enum Column {
     },
     /// Dense bool vector.
     Bool(Vec<bool>),
+}
+
+impl Clone for Column {
+    fn clone(&self) -> Self {
+        CLONED_BYTES.fetch_add(self.len() as u64 * self.value_bytes(), Ordering::Relaxed);
+        match self {
+            Column::Int(v) => Column::Int(v.clone()),
+            Column::Float(v) => Column::Float(v.clone()),
+            Column::Bool(v) => Column::Bool(v.clone()),
+            Column::Str { dict, codes } => Column::Str {
+                dict: Arc::clone(dict),
+                codes: codes.clone(),
+            },
+        }
+    }
 }
 
 impl Column {
@@ -192,6 +222,87 @@ impl Column {
         }
     }
 
+    /// Concatenates `parts` (all of type `dt`) into one column, in order.
+    ///
+    /// This is the deterministic morsel merge: element `j` of part `p`
+    /// lands after every element of parts `0..p`, so the result is the
+    /// same column a serial evaluation over the concatenated input would
+    /// produce. String parts that share one dictionary `Arc` are merged by
+    /// code; otherwise values are re-interned in row order, which yields
+    /// the same first-seen dictionary a serial build would.
+    ///
+    /// # Panics
+    /// Panics if a part's type does not match `dt`.
+    pub fn concat(dt: DataType, parts: &[&Column]) -> Column {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        match dt {
+            DataType::Int => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    out.extend_from_slice(p.as_int().expect("int part"));
+                }
+                Column::Int(out)
+            }
+            DataType::Float => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    out.extend_from_slice(p.as_float().expect("float part"));
+                }
+                Column::Float(out)
+            }
+            DataType::Bool => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    match p {
+                        Column::Bool(v) => out.extend_from_slice(v),
+                        other => panic!("bool part expected, got {}", other.data_type()),
+                    }
+                }
+                Column::Bool(out)
+            }
+            DataType::Str => {
+                let shared = match parts.iter().find(|p| !p.is_empty()) {
+                    Some(Column::Str { dict, .. }) => {
+                        let first = dict;
+                        parts
+                            .iter()
+                            .all(|p| match p {
+                                Column::Str { dict, .. } => {
+                                    p.is_empty() || Arc::ptr_eq(first, dict)
+                                }
+                                _ => panic!("str part expected, got {}", p.data_type()),
+                            })
+                            .then(|| Arc::clone(first))
+                    }
+                    Some(other) => panic!("str part expected, got {}", other.data_type()),
+                    None => Some(Arc::new(StrDict::default())),
+                };
+                match shared {
+                    Some(dict) => {
+                        let mut out = Vec::with_capacity(total);
+                        for p in parts {
+                            if let Column::Str { codes, .. } = p {
+                                out.extend_from_slice(codes);
+                            }
+                        }
+                        Column::Str { dict, codes: out }
+                    }
+                    None => {
+                        // Dictionaries diverge: re-intern in row order so the
+                        // dictionary comes out in serial first-seen order.
+                        let mut col = Column::new(DataType::Str);
+                        for p in parts {
+                            for i in 0..p.len() {
+                                col.push(p.get(i)).expect("str into str column");
+                            }
+                        }
+                        col
+                    }
+                }
+            }
+        }
+    }
+
     /// Direct access to the i64 data (optimized kernels).
     pub fn as_int(&self) -> Option<&[i64]> {
         match self {
@@ -299,6 +410,70 @@ mod tests {
         let t = c.take(&[2, 0]);
         assert_eq!(t.get(0), Value::Str("c".into()));
         assert_eq!(t.get(1), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn clone_charges_the_byte_counter() {
+        let mut c = Column::new(DataType::Int);
+        for v in 0..10 {
+            c.push(Value::Int(v)).unwrap();
+        }
+        let before = cloned_bytes();
+        let _copy = c.clone();
+        assert_eq!(cloned_bytes() - before, 80, "10 i64s = 80 bytes");
+    }
+
+    #[test]
+    fn concat_matches_serial_order() {
+        let mut a = Column::new(DataType::Int);
+        let mut b = Column::new(DataType::Int);
+        for v in [1, 2] {
+            a.push(Value::Int(v)).unwrap();
+        }
+        for v in [3, 4, 5] {
+            b.push(Value::Int(v)).unwrap();
+        }
+        let c = Column::concat(DataType::Int, &[&a, &b]);
+        assert_eq!(c.as_int(), Some(&[1, 2, 3, 4, 5][..]));
+    }
+
+    #[test]
+    fn concat_str_shared_dictionary_keeps_codes() {
+        let mut base = Column::new(DataType::Str);
+        for s in ["x", "y", "x"] {
+            base.push(Value::Str(s.into())).unwrap();
+        }
+        let a = base.take(&[0, 1]);
+        let b = base.take(&[2]);
+        let c = Column::concat(DataType::Str, &[&a, &b]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Str("x".into()));
+        assert_eq!(c.get(1), Value::Str("y".into()));
+        assert_eq!(c.get(2), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn concat_str_divergent_dictionaries_reintern_in_row_order() {
+        let mut a = Column::new(DataType::Str);
+        let mut b = Column::new(DataType::Str);
+        a.push(Value::Str("p".into())).unwrap();
+        b.push(Value::Str("q".into())).unwrap();
+        b.push(Value::Str("p".into())).unwrap();
+        let c = Column::concat(DataType::Str, &[&a, &b]);
+        if let Column::Str { dict, .. } = &c {
+            assert_eq!(dict.values(), &["p".to_owned(), "q".to_owned()][..]);
+        } else {
+            unreachable!()
+        }
+        assert_eq!(c.get(2), Value::Str("p".into()));
+    }
+
+    #[test]
+    fn concat_empty_parts() {
+        let c = Column::concat(DataType::Float, &[]);
+        assert!(c.is_empty());
+        let c = Column::concat(DataType::Str, &[&Column::new(DataType::Str)]);
+        assert!(c.is_empty());
     }
 
     #[test]

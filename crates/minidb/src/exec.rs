@@ -28,6 +28,7 @@ use crate::types::{DataType, Value};
 use memsim::BufferPool;
 use perfeval_trace::Tracer;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which engine executes the plan.
@@ -80,10 +81,14 @@ pub struct ProfileEntry {
     pub op: String,
     /// Depth in the plan tree (0 = root).
     pub depth: usize,
-    /// Time spent in this operator excluding its children, ms.
+    /// Time spent in this operator excluding its children, ms. For
+    /// morsel-parallel operators this is CPU time summed across workers,
+    /// so it can exceed the node's wall-clock share.
     pub exclusive_ms: f64,
     /// Rows this operator produced.
     pub rows_out: usize,
+    /// Free-form annotation, e.g. the hash join's build-side choice.
+    pub note: Option<String>,
 }
 
 /// Renders a profile trace the way `TRACE` output looks.
@@ -91,24 +96,88 @@ pub fn render_profile(entries: &[ProfileEntry]) -> String {
     let mut out = String::new();
     for e in entries {
         out.push_str(&format!(
-            "{:>10.3} ms {:>10} rows  {}{}\n",
+            "{:>10.3} ms {:>10} rows  {}{}{}\n",
             e.exclusive_ms,
             e.rows_out,
             "  ".repeat(e.depth),
-            e.op
+            e.op,
+            e.note
+                .as_deref()
+                .map(|n| format!("  [{n}]"))
+                .unwrap_or_default(),
         ));
     }
     out
 }
 
+/// Rewrites a post-order operator trace (children before parents, as
+/// execution completes them) into the root-first pre-order the `TRACE`
+/// output uses. One O(n) pass replaces the old per-node
+/// `Vec::insert`-with-linear-scan, which was O(n²) in plan size.
+fn profile_post_to_pre(post: &mut Vec<ProfileEntry>) -> Vec<ProfileEntry> {
+    fn take_subtree(post: &mut Vec<ProfileEntry>) -> Vec<ProfileEntry> {
+        let node = post.pop().expect("non-empty subtree");
+        let depth = node.depth;
+        // Child subtrees sit on top of the stack in reverse completion
+        // order; peel them off, then emit left-to-right.
+        let mut kids = Vec::new();
+        while post.last().is_some_and(|e| e.depth > depth) {
+            kids.push(take_subtree(post));
+        }
+        let mut out = vec![node];
+        for k in kids.into_iter().rev() {
+            out.extend(k);
+        }
+        out
+    }
+    let mut roots = Vec::new();
+    while !post.is_empty() {
+        roots.push(take_subtree(post));
+    }
+    let mut pre = Vec::new();
+    for r in roots.into_iter().rev() {
+        pre.extend(r);
+    }
+    pre
+}
+
 /// Executes plans against a catalog.
 pub struct Executor<'a> {
-    catalog: &'a Catalog,
+    pub(crate) catalog: &'a Catalog,
     mode: ExecMode,
-    pool: Option<&'a mut BufferPool>,
-    tracer: Option<&'a Tracer>,
-    profile: Vec<ProfileEntry>,
+    pub(crate) pool: Option<&'a mut BufferPool>,
+    pub(crate) tracer: Option<&'a Tracer>,
+    pub(crate) profile: Vec<ProfileEntry>,
+    /// Morsel parallelism for the optimized engine: worker threads and
+    /// morsel granularity. `threads <= 1` is the serial engine.
+    pub(crate) parallel: ParallelConfig,
+    /// Note attached to the next profile entry the executor emits (set by
+    /// operators that make a recorded choice, e.g. join build side).
+    pub(crate) pending_note: Option<String>,
 }
+
+/// Morsel-parallelism knobs for the optimized engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads; `<= 1` runs serially.
+    pub threads: usize,
+    /// Rows per morsel (fixed-size row ranges over the input).
+    pub morsel_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+/// Default rows per morsel: large enough that per-morsel dispatch cost
+/// vanishes, small enough that a few hundred thousand rows split across
+/// every worker.
+pub const DEFAULT_MORSEL_ROWS: usize = 16_384;
 
 /// The operator label a plan node gets in both the profile trace and the
 /// per-operator spans — one naming scheme for every observability surface.
@@ -127,17 +196,21 @@ pub fn plan_label(plan: &Plan) -> String {
 }
 
 /// A columnar batch flowing between optimized operators.
-struct Batch {
-    names: Vec<String>,
-    cols: Vec<Column>,
+///
+/// Columns are shared by `Arc`: a scan batch holds the base table's own
+/// columns (zero-copy), and operators that merely reorder references
+/// (identity projections) clone handles, not data.
+pub(crate) struct Batch {
+    pub(crate) names: Vec<String>,
+    pub(crate) cols: Vec<Arc<Column>>,
 }
 
 impl Batch {
-    fn row_count(&self) -> usize {
+    pub(crate) fn row_count(&self) -> usize {
         self.cols.first().map_or(0, |c| c.len())
     }
 
-    fn schema(&self) -> Vec<(String, DataType)> {
+    pub(crate) fn schema(&self) -> Vec<(String, DataType)> {
         self.names
             .iter()
             .cloned()
@@ -145,10 +218,14 @@ impl Batch {
             .collect()
     }
 
-    fn take(&self, selection: &[usize]) -> Batch {
+    pub(crate) fn take(&self, selection: &[usize]) -> Batch {
         Batch {
             names: self.names.clone(),
-            cols: self.cols.iter().map(|c| c.take(selection)).collect(),
+            cols: self
+                .cols
+                .iter()
+                .map(|c| Arc::new(c.take(selection)))
+                .collect(),
         }
     }
 }
@@ -156,14 +233,14 @@ impl Batch {
 /// Hashable key for joins and group-by (SQL NULL never matches, so keys are
 /// only built from non-null values).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
+pub(crate) enum Key {
     I(i64),
     F(u64),
     S(String),
     B(bool),
 }
 
-fn value_key(v: &Value) -> Option<Key> {
+pub(crate) fn value_key(v: &Value) -> Option<Key> {
     match v {
         Value::Int(i) => Some(Key::I(*i)),
         Value::Float(f) => Some(Key::F(f.to_bits())),
@@ -182,7 +259,7 @@ fn value_key(v: &Value) -> Option<Key> {
 /// which keeps their outputs bit-identical — a property the test suite
 /// checks exhaustively.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Sum {
         acc: f64,
         is_int: bool,
@@ -214,7 +291,7 @@ fn type_zero(dt: DataType) -> Value {
 }
 
 impl AggState {
-    fn new(func: AggFunc, arg_type: DataType) -> AggState {
+    pub(crate) fn new(func: AggFunc, arg_type: DataType) -> AggState {
         match func {
             AggFunc::Sum => AggState::Sum {
                 acc: 0.0,
@@ -234,7 +311,29 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: &Value) {
+    /// Typed update straight off a column — bitwise the same accumulation
+    /// as `update(&col.get(i))` (same f64 additions in the same order)
+    /// without boxing a [`Value`] per row. Used by both the serial and the
+    /// morsel-parallel aggregation paths, which keeps them bit-identical.
+    pub(crate) fn update_from_col(&mut self, col: &Column, i: usize) {
+        match (self, col) {
+            (AggState::Sum { acc, .. }, Column::Int(v)) => *acc += v[i] as f64,
+            (AggState::Sum { acc, .. }, Column::Float(v)) => *acc += v[i],
+            (AggState::Avg { sum, n }, Column::Int(v)) => {
+                *sum += v[i] as f64;
+                *n += 1;
+            }
+            (AggState::Avg { sum, n }, Column::Float(v)) => {
+                *sum += v[i];
+                *n += 1;
+            }
+            // Columns are NULL-free, so COUNT counts every row.
+            (AggState::Count(n), _) => *n += 1,
+            (state, col) => state.update(&col.get(i)),
+        }
+    }
+
+    pub(crate) fn update(&mut self, v: &Value) {
         if matches!(v, Value::Null) {
             return; // SQL aggregates skip NULLs
         }
@@ -277,7 +376,7 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Sum { acc, is_int } => {
                 if is_int {
@@ -311,7 +410,29 @@ impl<'a> Executor<'a> {
             pool: None,
             tracer: None,
             profile: Vec::new(),
+            parallel: ParallelConfig::default(),
+            pending_note: None,
         }
+    }
+
+    /// Sets the worker-thread count for the optimized engine's
+    /// morsel-driven operators. `n <= 1` (the default) runs serially;
+    /// results are bit-identical either way. The debug engine ignores the
+    /// knob — a "debug build" stays single-threaded by design.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallel.threads = n.max(1);
+        self
+    }
+
+    /// Sets the morsel granularity (rows per morsel) used when
+    /// parallelism is enabled.
+    ///
+    /// # Panics
+    /// Panics if `rows` is zero.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "morsel size must be positive");
+        self.parallel.morsel_rows = rows;
+        self
     }
 
     /// Attaches a buffer pool: scans will charge page reads through it.
@@ -331,25 +452,29 @@ impl<'a> Executor<'a> {
     /// Runs the plan to a materialized result.
     pub fn run(&mut self, plan: &Plan) -> Result<ResultSet, DbError> {
         self.profile.clear();
-        match self.mode {
+        let result = match self.mode {
             ExecMode::Debug => {
                 let (schema, rows) = self.run_rows(plan, 0)?;
-                Ok(ResultSet {
+                ResultSet {
                     column_names: schema.into_iter().map(|(n, _)| n).collect(),
                     rows,
-                })
+                }
             }
             ExecMode::Optimized => {
                 let batch = self.run_batch(plan, 0)?;
                 let rows = (0..batch.row_count())
                     .map(|i| batch.cols.iter().map(|c| c.get(i)).collect())
                     .collect();
-                Ok(ResultSet {
+                ResultSet {
                     column_names: batch.names,
                     rows,
-                })
+                }
             }
-        }
+        };
+        // Entries were appended post-order (O(1) per node); flip to the
+        // root-first order the profile API exposes.
+        self.profile = profile_post_to_pre(&mut self.profile);
+        Ok(result)
     }
 
     /// The profile trace of the last `run` (root first).
@@ -357,7 +482,7 @@ impl<'a> Executor<'a> {
         &self.profile
     }
 
-    fn charge_scan(&mut self, table: &str) -> Result<(), DbError> {
+    pub(crate) fn charge_scan(&mut self, table: &str) -> Result<(), DbError> {
         if let Some(pool) = self.pool.as_deref_mut() {
             let file = self.catalog.file_id(table)?;
             let t = self.catalog.table(table)?;
@@ -650,20 +775,15 @@ impl<'a> Executor<'a> {
             }
         }
         drop(span);
-        // Insert at the position before the children we just recorded so
-        // the trace reads root-first.
-        self.profile.insert(
-            self.profile
-                .iter()
-                .position(|e| e.depth > depth)
-                .unwrap_or(self.profile.len()),
-            ProfileEntry {
-                op: label,
-                depth,
-                exclusive_ms: (total_ms - child_ms).max(0.0),
-                rows_out: entry_rows,
-            },
-        );
+        // Post-order append: children recorded themselves first; `run`
+        // flips the whole trace to root-first in one pass at the end.
+        self.profile.push(ProfileEntry {
+            op: label,
+            depth,
+            exclusive_ms: (total_ms - child_ms).max(0.0),
+            rows_out: entry_rows,
+            note: self.pending_note.take(),
+        });
         Ok(result)
     }
 
@@ -671,7 +791,15 @@ impl<'a> Executor<'a> {
     // Optimized engine: column-at-a-time with selection vectors.
     // ----------------------------------------------------------------
 
-    fn run_batch(&mut self, plan: &Plan, depth: usize) -> Result<Batch, DbError> {
+    pub(crate) fn run_batch(&mut self, plan: &Plan, depth: usize) -> Result<Batch, DbError> {
+        // Morsel-driven parallel operators take over eligible subtrees
+        // (scan→filter→project pipelines, aggregates, join probes) when
+        // parallelism is enabled and the input is big enough to split.
+        if self.parallel.threads > 1 {
+            if let Some(batch) = crate::parallel::try_parallel(self, plan, depth)? {
+                return Ok(batch);
+            }
+        }
         let start = Instant::now();
         let label = plan_label(plan);
         let pool_before = match plan {
@@ -687,14 +815,15 @@ impl<'a> Executor<'a> {
             Plan::Scan { table, projection } => {
                 self.charge_scan(table)?;
                 let t = self.catalog.table(table)?;
-                let (names, cols): (Vec<String>, Vec<Column>) = match projection {
+                // Zero-copy: the batch shares the table's columns by Arc.
+                let (names, cols): (Vec<String>, Vec<Arc<Column>>) = match projection {
                     None => (
                         t.column_names().to_vec(),
-                        (0..t.column_count()).map(|i| t.column(i).clone()).collect(),
+                        (0..t.column_count()).map(|i| t.column_arc(i)).collect(),
                     ),
                     Some(idxs) => (
                         idxs.iter().map(|&i| t.column_names()[i].clone()).collect(),
-                        idxs.iter().map(|&i| t.column(i).clone()).collect(),
+                        idxs.iter().map(|&i| t.column_arc(i)).collect(),
                     ),
                 };
                 Batch { names, cols }
@@ -737,7 +866,11 @@ impl<'a> Executor<'a> {
                 let (lk, rk) = bind_join_keys(left_key, right_key, &ls, &rs)?;
                 let lkey_col = vectorized_eval(&lb, &lk, &ls)?;
                 let rkey_col = vectorized_eval(&rb, &rk, &rs)?;
-                let (lsel, rsel) = hash_join_selections(&lkey_col, &rkey_col);
+                let (lsel, rsel, side) = hash_join_selections(&lkey_col, &rkey_col);
+                if let Some(g) = span.as_mut() {
+                    g.attr("build_side", side.label());
+                }
+                self.pending_note = Some(format!("build={}", side.label()));
                 let lout = lb.take(&lsel);
                 let rout = rb.take(&rsel);
                 let mut names = lout.names;
@@ -765,7 +898,7 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|(e, d)| Ok((e.bind(&schema)?, *d)))
                     .collect::<Result<_, DbError>>()?;
-                let key_cols: Vec<(Column, bool)> = bound
+                let key_cols: Vec<(Arc<Column>, bool)> = bound
                     .iter()
                     .map(|(e, d)| Ok((vectorized_eval(&input_batch, e, &schema)?, *d)))
                     .collect::<Result<_, DbError>>()?;
@@ -819,7 +952,7 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|(e, d)| Ok((e.bind(&schema)?, *d)))
                     .collect::<Result<_, DbError>>()?;
-                let key_cols: Vec<(Column, bool)> = bound
+                let key_cols: Vec<(Arc<Column>, bool)> = bound
                     .iter()
                     .map(|(e, d)| Ok((vectorized_eval(&input_batch, e, &schema)?, *d)))
                     .collect::<Result<_, DbError>>()?;
@@ -855,25 +988,20 @@ impl<'a> Executor<'a> {
             }
         }
         drop(span);
-        self.profile.insert(
-            self.profile
-                .iter()
-                .position(|e| e.depth > depth)
-                .unwrap_or(self.profile.len()),
-            ProfileEntry {
-                op: label,
-                depth,
-                exclusive_ms: (total_ms - child_ms).max(0.0),
-                rows_out,
-            },
-        );
+        self.profile.push(ProfileEntry {
+            op: label,
+            depth,
+            exclusive_ms: (total_ms - child_ms).max(0.0),
+            rows_out,
+            note: self.pending_note.take(),
+        });
         Ok(batch)
     }
 }
 
 /// Binds join keys: each name must resolve in exactly one input; the pair is
 /// returned as (left-bound, right-bound).
-fn bind_join_keys(
+pub(crate) fn bind_join_keys(
     a: &Expr,
     b: &Expr,
     left: &[(String, DataType)],
@@ -934,7 +1062,7 @@ fn compare_keyed(a: &[Value], b: &[Value], keys: &[(Expr, bool)]) -> std::cmp::O
 
 /// SQL-ordering comparison of two rows (used for deterministic aggregate
 /// output).
-fn compare_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+pub(crate) fn compare_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     for (x, y) in a.iter().zip(b) {
         let ord = x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal);
         if ord != std::cmp::Ordering::Equal {
@@ -949,11 +1077,22 @@ fn compare_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
 /// Fast paths: conjunctions of `column <op> literal` on Int/Float columns
 /// run as tight typed loops over the shrinking selection; anything else
 /// falls back to row-expression evaluation (still selection-driven).
-fn vectorized_filter(batch: &Batch, predicate: &Expr) -> Result<Vec<usize>, DbError> {
+pub(crate) fn vectorized_filter(batch: &Batch, predicate: &Expr) -> Result<Vec<usize>, DbError> {
+    let init: Vec<usize> = (0..batch.row_count()).collect();
+    vectorized_filter_range(batch, predicate, init)
+}
+
+/// [`vectorized_filter`] over an initial selection (a morsel's row range):
+/// conjuncts shrink `selection` in place, so workers keep their selection
+/// vectors local.
+pub(crate) fn vectorized_filter_range(
+    batch: &Batch,
+    predicate: &Expr,
+    mut selection: Vec<usize>,
+) -> Result<Vec<usize>, DbError> {
     // Flatten AND-chains.
     let mut conjuncts = Vec::new();
     flatten_and(predicate, &mut conjuncts);
-    let mut selection: Vec<usize> = (0..batch.row_count()).collect();
     for c in conjuncts {
         selection = apply_conjunct(batch, c, selection)?;
         if selection.is_empty() {
@@ -1151,14 +1290,14 @@ fn typed_compare(col: &Column, op: BinOp, lit: &Value, selection: &[usize]) -> O
 }
 
 /// Vectorized expression evaluation producing a column.
-fn vectorized_eval(
+pub(crate) fn vectorized_eval(
     batch: &Batch,
     expr: &Expr,
     schema: &[(String, DataType)],
-) -> Result<Column, DbError> {
-    // Identity fast path.
+) -> Result<Arc<Column>, DbError> {
+    // Identity fast path: share the input column, zero-copy.
     if let Expr::ColumnIdx(i) = expr {
-        return Ok(batch.cols[*i].clone());
+        return Ok(Arc::clone(&batch.cols[*i]));
     }
     let n = batch.row_count();
     let dt = expr.data_type(schema)?;
@@ -1169,7 +1308,7 @@ fn vectorized_eval(
         if let Expr::Binary { op, left, right } = expr {
             if !op.is_comparison() && !matches!(op, BinOp::And | BinOp::Or) {
                 if let Some(col) = typed_arith(batch, *op, left, right) {
-                    return Ok(col);
+                    return Ok(Arc::new(col));
                 }
             }
         }
@@ -1197,14 +1336,14 @@ fn vectorized_eval(
         };
         out.push(v)?;
     }
-    Ok(out)
+    Ok(Arc::new(out))
 }
 
 /// Fast arithmetic kernels for `col op col` and `col op lit` on f64 data.
 fn typed_arith(batch: &Batch, op: BinOp, left: &Expr, right: &Expr) -> Option<Column> {
     let fetch = |e: &Expr| -> Option<FloatOperand> {
         match e {
-            Expr::ColumnIdx(i) => match &batch.cols[*i] {
+            Expr::ColumnIdx(i) => match &*batch.cols[*i] {
                 Column::Float(v) => Some(FloatOperand::Col(v.clone())),
                 Column::Int(v) => Some(FloatOperand::Col(v.iter().map(|&x| x as f64).collect())),
                 _ => None,
@@ -1260,50 +1399,146 @@ enum FloatOperand {
     Scalar(f64),
 }
 
-/// Builds the matching (left, right) row-index pairs of a hash equi-join.
-fn hash_join_selections(lkey: &Column, rkey: &Column) -> (Vec<usize>, Vec<usize>) {
-    // Int fast path.
-    if let (Some(l), Some(r)) = (lkey.as_int(), rkey.as_int()) {
-        let mut build: HashMap<i64, Vec<usize>> = HashMap::with_capacity(l.len());
-        for (i, &k) in l.iter().enumerate() {
-            build.entry(k).or_default().push(i);
+/// Which join input the hash table was built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BuildSide {
+    /// Hash table over the left input, probe with the right.
+    Left,
+    /// Hash table over the right input, probe with the left.
+    Right,
+}
+
+impl BuildSide {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            BuildSide::Left => "left",
+            BuildSide::Right => "right",
         }
-        let mut lsel = Vec::new();
-        let mut rsel = Vec::new();
-        for (j, &k) in r.iter().enumerate() {
-            if let Some(matches) = build.get(&k) {
-                for &i in matches {
-                    lsel.push(i);
-                    rsel.push(j);
+    }
+}
+
+/// Builds on the smaller input (ties go left, the historical choice).
+pub(crate) fn choose_build_side(lkey: &Column, rkey: &Column) -> BuildSide {
+    if rkey.len() < lkey.len() {
+        BuildSide::Right
+    } else {
+        BuildSide::Left
+    }
+}
+
+/// A materialized hash-join build table, probe-shareable across worker
+/// threads (read-only during the probe phase).
+pub(crate) enum JoinBuild {
+    /// Both key columns are Int: hash raw i64s.
+    Int(HashMap<i64, Vec<usize>>),
+    /// Generic typed keys (NULL never matches, so NULL keys are skipped).
+    Generic(HashMap<Key, Vec<usize>>),
+}
+
+impl JoinBuild {
+    /// Builds the hash table over `build`; `probe` only decides whether
+    /// the Int fast path applies (both sides must be Int columns).
+    pub(crate) fn new(build: &Column, probe: &Column) -> JoinBuild {
+        match (build.as_int(), probe.as_int()) {
+            (Some(data), Some(_)) => {
+                let mut m: HashMap<i64, Vec<usize>> = HashMap::with_capacity(data.len());
+                for (i, &k) in data.iter().enumerate() {
+                    m.entry(k).or_default().push(i);
+                }
+                JoinBuild::Int(m)
+            }
+            _ => {
+                let mut m: HashMap<Key, Vec<usize>> = HashMap::new();
+                for i in 0..build.len() {
+                    if let Some(k) = value_key(&build.get(i)) {
+                        m.entry(k).or_default().push(i);
+                    }
+                }
+                JoinBuild::Generic(m)
+            }
+        }
+    }
+
+    /// Probes rows `range` of `probe`, returning matching
+    /// (build-row, probe-row) pairs probe-major: ascending probe row, and
+    /// build rows in insertion (ascending) order within each.
+    pub(crate) fn probe_range(
+        &self,
+        probe: &Column,
+        range: std::ops::Range<usize>,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut bsel = Vec::new();
+        let mut psel = Vec::new();
+        match self {
+            JoinBuild::Int(m) => {
+                let data = probe.as_int().expect("int probe column");
+                for j in range {
+                    if let Some(matches) = m.get(&data[j]) {
+                        for &i in matches {
+                            bsel.push(i);
+                            psel.push(j);
+                        }
+                    }
+                }
+            }
+            JoinBuild::Generic(m) => {
+                for j in range {
+                    if let Some(k) = value_key(&probe.get(j)) {
+                        if let Some(matches) = m.get(&k) {
+                            for &i in matches {
+                                bsel.push(i);
+                                psel.push(j);
+                            }
+                        }
+                    }
                 }
             }
         }
-        return (lsel, rsel);
+        (bsel, psel)
     }
-    // Generic path.
-    let mut build: HashMap<Key, Vec<usize>> = HashMap::new();
-    for i in 0..lkey.len() {
-        if let Some(k) = value_key(&lkey.get(i)) {
-            build.entry(k).or_default().push(i);
+}
+
+/// Restores the canonical pair order — ascending right row, then ascending
+/// left row — that a build-on-left probe produces directly. After a
+/// build-on-right probe the pairs arrive left-major with ascending right
+/// rows inside each left row, so one stable sort by right row restores the
+/// canonical order exactly. This keeps the output bit-identical no matter
+/// which side the hash table was built on.
+pub(crate) fn canonicalize_join_pairs(
+    side: BuildSide,
+    lsel: Vec<usize>,
+    rsel: Vec<usize>,
+) -> (Vec<usize>, Vec<usize>) {
+    match side {
+        BuildSide::Left => (lsel, rsel),
+        BuildSide::Right => {
+            let mut perm: Vec<usize> = (0..rsel.len()).collect();
+            perm.sort_by_key(|&p| rsel[p]); // stable: ties keep left-asc order
+            (
+                perm.iter().map(|&p| lsel[p]).collect(),
+                perm.iter().map(|&p| rsel[p]).collect(),
+            )
         }
     }
-    let mut lsel = Vec::new();
-    let mut rsel = Vec::new();
-    for j in 0..rkey.len() {
-        if let Some(k) = value_key(&rkey.get(j)) {
-            if let Some(matches) = build.get(&k) {
-                for &i in matches {
-                    lsel.push(i);
-                    rsel.push(j);
-                }
-            }
+}
+
+/// Builds the matching (left, right) row-index pairs of a hash equi-join,
+/// building on the smaller input and reporting which side that was.
+fn hash_join_selections(lkey: &Column, rkey: &Column) -> (Vec<usize>, Vec<usize>, BuildSide) {
+    let side = choose_build_side(lkey, rkey);
+    let (lsel, rsel) = match side {
+        BuildSide::Left => JoinBuild::new(lkey, rkey).probe_range(rkey, 0..rkey.len()),
+        BuildSide::Right => {
+            let (bsel, psel) = JoinBuild::new(rkey, lkey).probe_range(lkey, 0..lkey.len());
+            (psel, bsel)
         }
-    }
-    (lsel, rsel)
+    };
+    let (lsel, rsel) = canonicalize_join_pairs(side, lsel, rsel);
+    (lsel, rsel, side)
 }
 
 /// Hash aggregation over a columnar batch.
-fn vectorized_aggregate(
+pub(crate) fn vectorized_aggregate(
     catalog: &Catalog,
     plan: &Plan,
     input: &Batch,
@@ -1311,14 +1546,14 @@ fn vectorized_aggregate(
     aggregates: &[(AggFunc, Expr, String)],
 ) -> Result<Batch, DbError> {
     let schema = input.schema();
-    let group_cols: Vec<Column> = group_by
+    let group_cols: Vec<Arc<Column>> = group_by
         .iter()
         .map(|(e, _)| {
             let b = e.bind(&schema)?;
             vectorized_eval(input, &b, &schema)
         })
         .collect::<Result<_, _>>()?;
-    let agg_inputs: Vec<(AggFunc, Column, DataType)> = aggregates
+    let agg_inputs: Vec<(AggFunc, Arc<Column>, DataType)> = aggregates
         .iter()
         .map(|(f, e, _)| {
             let b = e.bind(&schema)?;
@@ -1328,46 +1563,45 @@ fn vectorized_aggregate(
         .collect::<Result<_, DbError>>()?;
 
     let n = input.row_count();
+    let new_states = || -> Vec<AggState> {
+        agg_inputs
+            .iter()
+            .map(|(f, _, dt)| AggState::new(*f, *dt))
+            .collect()
+    };
     let mut groups: HashMap<Vec<Key>, (usize, Vec<AggState>)> = HashMap::new();
     let mut group_order: Vec<Vec<Value>> = Vec::new();
-    'rows: for i in 0..n {
-        let mut key = Vec::with_capacity(group_cols.len());
-        for c in &group_cols {
-            match value_key(&c.get(i)) {
-                Some(k) => key.push(k),
-                None => continue 'rows, // NULL group keys drop the row
+    if group_by.is_empty() {
+        // Global aggregate: one group, no per-row key hashing.
+        let mut states = new_states();
+        for i in 0..n {
+            for ((_, col, _), state) in agg_inputs.iter().zip(&mut states) {
+                state.update_from_col(col, i);
             }
         }
-        let next_id = group_order.len();
-        let entry = groups.entry(key).or_insert_with(|| {
-            group_order.push(group_cols.iter().map(|c| c.get(i)).collect());
-            (
-                next_id,
-                agg_inputs
-                    .iter()
-                    .map(|(f, _, dt)| AggState::new(*f, *dt))
-                    .collect(),
-            )
-        });
-        for ((_, col, _), state) in agg_inputs.iter().zip(&mut entry.1) {
-            state.update(&col.get(i));
+        groups.insert(Vec::new(), (0, states));
+        group_order.push(Vec::new());
+    } else {
+        'rows: for i in 0..n {
+            let mut key = Vec::with_capacity(group_cols.len());
+            for c in &group_cols {
+                match value_key(&c.get(i)) {
+                    Some(k) => key.push(k),
+                    None => continue 'rows, // NULL group keys drop the row
+                }
+            }
+            let next_id = group_order.len();
+            let entry = groups.entry(key).or_insert_with(|| {
+                group_order.push(group_cols.iter().map(|c| c.get(i)).collect());
+                (next_id, new_states())
+            });
+            for ((_, col, _), state) in agg_inputs.iter().zip(&mut entry.1) {
+                state.update_from_col(col, i);
+            }
         }
     }
-    if groups.is_empty() && group_by.is_empty() {
-        groups.insert(
-            Vec::new(),
-            (
-                0,
-                agg_inputs
-                    .iter()
-                    .map(|(f, _, dt)| AggState::new(*f, *dt))
-                    .collect(),
-            ),
-        );
-        group_order.push(Vec::new());
-    }
     // Assemble rows then sort deterministically.
-    let mut rows: Vec<Vec<Value>> = groups
+    let rows: Vec<Vec<Value>> = groups
         .into_values()
         .map(|(id, states)| {
             let mut row = group_order[id].clone();
@@ -1375,8 +1609,18 @@ fn vectorized_aggregate(
             row
         })
         .collect();
-    rows.sort_by(|a, b| compare_rows(a, b));
+    finish_aggregate_batch(catalog, plan, rows)
+}
 
+/// Sorts assembled aggregate rows deterministically and materializes the
+/// output batch — shared by the serial and morsel-parallel aggregates so
+/// their final steps are literally the same code.
+pub(crate) fn finish_aggregate_batch(
+    catalog: &Catalog,
+    plan: &Plan,
+    mut rows: Vec<Vec<Value>>,
+) -> Result<Batch, DbError> {
+    rows.sort_by(|a, b| compare_rows(a, b));
     let out_schema = plan.schema(catalog)?;
     let mut cols: Vec<Column> = out_schema.iter().map(|(_, dt)| Column::new(*dt)).collect();
     for row in &rows {
@@ -1395,7 +1639,7 @@ fn vectorized_aggregate(
     }
     Ok(Batch {
         names: out_schema.into_iter().map(|(n, _)| n).collect(),
-        cols,
+        cols: cols.into_iter().map(Arc::new).collect(),
     })
 }
 

@@ -52,6 +52,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod optimizer;
+pub(crate) mod parallel;
 pub mod parser;
 pub mod plan;
 pub mod session;

@@ -1,0 +1,963 @@
+//! Morsel-driven parallel operators for the optimized engine.
+//!
+//! When an [`Executor`](crate::exec::Executor) is configured with
+//! `with_parallelism(n > 1)`, eligible plan shapes are taken over here and
+//! split into fixed-size row-range *morsels* that worker threads pull from
+//! a shared atomic cursor ([`perfeval_pool::parallel_map_traced`]):
+//!
+//! * **scan→filter→project pipelines** run whole per morsel, with the
+//!   selection vector kept worker-local, and the per-column outputs are
+//!   stitched back together in morsel-index order;
+//! * **hash aggregation** groups each morsel locally, merges the group
+//!   directories serially in morsel order (preserving the serial engine's
+//!   first-seen group order), then finishes each group by replaying its
+//!   rows in ascending original order — so float accumulators see exactly
+//!   the serial addition sequence;
+//! * **hash joins** build the table serially on the smaller input and
+//!   probe in parallel over morsels of the other, concatenating the
+//!   matched pairs in morsel order and canonicalizing so the output is
+//!   independent of the build side.
+//!
+//! Every merge point is ordered by morsel index, never by completion
+//! order, which makes the result **bit-identical to the serial engine**
+//! for any thread count and morsel size — the property the correctness
+//! suite asserts and exhibit E19 leans on ("same question, same answer,
+//! different wall-clock").
+//!
+//! Operators that cannot split (`Sort`, `TopN`, `Limit`, `Distinct`) stay
+//! serial; their inputs still recurse through [`try_parallel`]. Inputs
+//! smaller than two morsels are declined (`Ok(None)`) *before* any I/O is
+//! charged, so falling back to the serial path never double-counts
+//! buffer-pool reads.
+
+use crate::column::Column;
+use crate::error::DbError;
+use crate::exec::{
+    bind_join_keys, canonicalize_join_pairs, choose_build_side, finish_aggregate_batch, plan_label,
+    value_key, vectorized_aggregate, vectorized_eval, vectorized_filter, vectorized_filter_range,
+    AggState, Batch, Executor, JoinBuild, Key, ProfileEntry,
+};
+use crate::expr::{AggFunc, Expr};
+use crate::plan::Plan;
+use crate::types::{DataType, Value};
+use perfeval_pool::parallel_map_traced;
+use perfeval_trace::{SpanGuard, Tracer};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Entry point from [`Executor::run_batch`]: runs `plan` morsel-parallel if
+/// its shape is eligible and the input is big enough to split, otherwise
+/// returns `Ok(None)` and the serial engine proceeds untouched.
+pub(crate) fn try_parallel(
+    ex: &mut Executor<'_>,
+    plan: &Plan,
+    depth: usize,
+) -> Result<Option<Batch>, DbError> {
+    match plan {
+        Plan::Filter { .. } | Plan::Project { .. } => try_pipeline(ex, plan, depth),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => try_aggregate(ex, plan, input, group_by, aggregates, depth),
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => try_join(ex, left, right, left_key, right_key, depth).map(Some),
+        _ => Ok(None),
+    }
+}
+
+// --------------------------------------------------------------------
+// Pipeline chains: scan → filter* → project* run whole per morsel.
+// --------------------------------------------------------------------
+
+/// A `Filter`/`Project` chain bottoming out in a `Scan`.
+struct Chain<'p> {
+    /// Chain nodes, root first (execution order is the reverse).
+    stages: Vec<&'p Plan>,
+    table: &'p str,
+    projection: &'p Option<Vec<usize>>,
+}
+
+fn decompose(plan: &Plan) -> Option<Chain<'_>> {
+    let mut stages = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            Plan::Filter { input, .. } | Plan::Project { input, .. } => {
+                stages.push(cur);
+                cur = input;
+            }
+            Plan::Scan { table, projection } => {
+                return Some(Chain {
+                    stages,
+                    table,
+                    projection,
+                })
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// One chain stage with its expressions bound to column indices.
+enum BoundStage {
+    Filter {
+        pred: Expr,
+    },
+    Project {
+        exprs: Vec<Expr>,
+        names: Vec<String>,
+        in_schema: Vec<(String, DataType)>,
+    },
+}
+
+/// A chain checked for feasibility and fully bound — everything needed to
+/// run morsels. Produced *before* any buffer-pool charge so a `None`
+/// (too small, binding failed) falls back to the serial path without side
+/// effects.
+struct PreparedChain {
+    scan_names: Vec<String>,
+    scan_col_idxs: Vec<usize>,
+    /// Stages in execution (leaf→root) order.
+    stages: Vec<BoundStage>,
+    /// Operator labels matching `stages` (leaf→root).
+    labels: Vec<String>,
+    out_schema: Vec<(String, DataType)>,
+    rows: usize,
+    morsels: usize,
+}
+
+fn prepare_chain(ex: &Executor<'_>, chain: &Chain<'_>) -> Result<Option<PreparedChain>, DbError> {
+    let t = ex.catalog.table(chain.table)?;
+    let rows = t.row_count();
+    let morsels = rows.div_ceil(ex.parallel.morsel_rows);
+    if morsels < 2 {
+        return Ok(None);
+    }
+    let scan_col_idxs: Vec<usize> = match chain.projection {
+        None => (0..t.column_count()).collect(),
+        Some(idxs) => idxs.clone(),
+    };
+    let scan_names: Vec<String> = scan_col_idxs
+        .iter()
+        .map(|&i| t.column_names()[i].clone())
+        .collect();
+    let mut schema: Vec<(String, DataType)> = scan_col_idxs
+        .iter()
+        .zip(&scan_names)
+        .map(|(&i, n)| (n.clone(), t.column(i).data_type()))
+        .collect();
+
+    let mut stages = Vec::with_capacity(chain.stages.len());
+    let mut labels = Vec::with_capacity(chain.stages.len());
+    for node in chain.stages.iter().rev() {
+        labels.push(plan_label(node));
+        match node {
+            Plan::Filter { predicate, .. } => {
+                let Ok(pred) = predicate.bind(&schema) else {
+                    return Ok(None); // serial path reproduces the error
+                };
+                stages.push(BoundStage::Filter { pred });
+            }
+            Plan::Project { exprs, .. } => {
+                let in_schema = schema.clone();
+                let mut bound = Vec::with_capacity(exprs.len());
+                let mut names = Vec::with_capacity(exprs.len());
+                let mut out = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    let (Ok(b), Ok(dt)) = (e.bind(&schema), e.data_type(&schema)) else {
+                        return Ok(None);
+                    };
+                    bound.push(b);
+                    names.push(name.clone());
+                    out.push((name.clone(), dt));
+                }
+                stages.push(BoundStage::Project {
+                    exprs: bound,
+                    names,
+                    in_schema,
+                });
+                schema = out;
+            }
+            _ => unreachable!("decompose only collects Filter/Project"),
+        }
+    }
+    Ok(Some(PreparedChain {
+        scan_names,
+        scan_col_idxs,
+        stages,
+        labels,
+        out_schema: schema,
+        rows,
+        morsels,
+    }))
+}
+
+/// Output of one morsel run through a chain.
+struct MorselOut {
+    batch: Batch,
+    /// Rows leaving each stage (leaf→root order).
+    stage_rows: Vec<usize>,
+    /// Seconds spent in each stage on the worker (leaf→root order).
+    stage_secs: Vec<f64>,
+}
+
+/// Runs rows `range` of `base` through the bound stages. The selection
+/// vector stays local (and lazy) until the first `Project` materializes.
+fn run_chain_morsel(
+    base: &Batch,
+    stages: &[BoundStage],
+    range: Range<usize>,
+) -> Result<MorselOut, DbError> {
+    let mut stage_rows = Vec::with_capacity(stages.len());
+    let mut stage_secs = Vec::with_capacity(stages.len());
+    let mut lazy_sel: Option<Vec<usize>> = Some(range.collect());
+    let mut owned: Option<Batch> = None;
+    for stage in stages {
+        let t0 = Instant::now();
+        match stage {
+            BoundStage::Filter { pred } => {
+                if let Some(b) = owned.take() {
+                    let sel = vectorized_filter(&b, pred)?;
+                    stage_rows.push(sel.len());
+                    owned = Some(b.take(&sel));
+                } else {
+                    let sel = vectorized_filter_range(base, pred, lazy_sel.take().expect("lazy"))?;
+                    stage_rows.push(sel.len());
+                    lazy_sel = Some(sel);
+                }
+            }
+            BoundStage::Project {
+                exprs,
+                names,
+                in_schema,
+            } => {
+                let input = match owned.take() {
+                    Some(b) => b,
+                    None => base.take(&lazy_sel.take().expect("lazy")),
+                };
+                let mut cols = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    cols.push(vectorized_eval(&input, e, in_schema)?);
+                }
+                let b = Batch {
+                    names: names.clone(),
+                    cols,
+                };
+                stage_rows.push(b.row_count());
+                owned = Some(b);
+            }
+        }
+        stage_secs.push(t0.elapsed().as_secs_f64());
+    }
+    let batch = match owned {
+        Some(b) => b,
+        None => base.take(&lazy_sel.expect("lazy")),
+    };
+    Ok(MorselOut {
+        batch,
+        stage_rows,
+        stage_secs,
+    })
+}
+
+/// Concatenates per-morsel output batches in morsel-index order.
+fn concat_batches(schema: &[(String, DataType)], parts: &[Batch]) -> Batch {
+    let cols = schema
+        .iter()
+        .enumerate()
+        .map(|(ci, (_, dt))| {
+            let refs: Vec<&Column> = parts.iter().map(|b| &*b.cols[ci]).collect();
+            Arc::new(Column::concat(*dt, &refs))
+        })
+        .collect();
+    Batch {
+        names: schema.iter().map(|(n, _)| n.clone()).collect(),
+        cols,
+    }
+}
+
+/// Opens the chain's operator spans on the calling thread's lane, root
+/// stage first, scan last — the same nesting the serial engine produces.
+fn open_chain_spans<'t>(
+    tracer: Option<&'t Tracer>,
+    prep: &PreparedChain,
+    scan_label: &str,
+) -> Vec<SpanGuard<'t>> {
+    let Some(t) = tracer else { return Vec::new() };
+    let mut guards: Vec<SpanGuard<'t>> = prep
+        .labels
+        .iter()
+        .rev() // root first
+        .map(|l| t.span(l))
+        .collect();
+    guards.push(t.span(scan_label));
+    guards
+}
+
+/// Charges the scan and builds the zero-copy base batch, annotating the
+/// innermost (scan) span with the same pool accounting the serial scan
+/// records.
+fn run_scan(
+    ex: &mut Executor<'_>,
+    table: &str,
+    prep: &PreparedChain,
+    guards: &mut [SpanGuard<'_>],
+) -> Result<(Batch, f64), DbError> {
+    let t0 = Instant::now();
+    let pool_before = ex
+        .pool
+        .as_deref()
+        .map(|p| (p.logical_reads(), p.physical_reads()));
+    ex.charge_scan(table)?;
+    let t = ex.catalog.table(table)?;
+    let base = Batch {
+        names: prep.scan_names.clone(),
+        cols: prep
+            .scan_col_idxs
+            .iter()
+            .map(|&i| t.column_arc(i))
+            .collect(),
+    };
+    if let Some(g) = guards.last_mut() {
+        g.attr("rows_out", prep.rows);
+        if let (Some((l0, p0)), Some(p)) = (pool_before, ex.pool.as_deref()) {
+            let logical = p.logical_reads().saturating_sub(l0);
+            let physical = p.physical_reads().saturating_sub(p0);
+            g.attr("pool_hits", logical.saturating_sub(physical))
+                .attr("pool_misses", physical);
+        }
+    }
+    Ok((base, t0.elapsed().as_secs_f64()))
+}
+
+/// The morsel span idiom shared by every parallel operator: anchored where
+/// the worker's lane became free, with the dispatch gap recorded as a
+/// `queue-wait` child and `queued_ms` attribute (be aware what you
+/// measure: queueing is not operator time).
+fn morsel_span<'t>(
+    tracer: Option<&'t Tracer>,
+    name: &str,
+    sweep_start_ns: u64,
+    rows_in: usize,
+) -> Option<SpanGuard<'t>> {
+    let t = tracer?;
+    let anchor_ns = t.lane_resume_ns().max(sweep_start_ns);
+    let pickup_ns = t.now_ns();
+    let mut g = t.span_at(name, anchor_ns);
+    g.attr("rows_in", rows_in).attr(
+        "queued_ms",
+        pickup_ns.saturating_sub(anchor_ns) as f64 / 1e6,
+    );
+    drop(t.span_at("queue-wait", anchor_ns));
+    Some(g)
+}
+
+/// Pushes the chain's profile entries in post-order (scan deepest-first,
+/// then stages leaf→root), mirroring what serial recursion emits. Stage
+/// times are summed worker seconds — CPU cost, not wall clock.
+fn push_chain_profile(
+    ex: &mut Executor<'_>,
+    prep: &PreparedChain,
+    scan_label: String,
+    scan_secs: f64,
+    stage_rows: &[usize],
+    stage_secs: &[f64],
+    depth: usize,
+) {
+    let nstages = prep.stages.len();
+    ex.profile.push(ProfileEntry {
+        op: scan_label,
+        depth: depth + nstages,
+        exclusive_ms: scan_secs * 1e3,
+        rows_out: prep.rows,
+        note: None,
+    });
+    for i in 0..nstages {
+        // Stage i is leaf→root; the root stage sits at `depth`.
+        let note = (i == nstages - 1).then(|| {
+            format!(
+                "parallel: {} morsels x {} threads",
+                prep.morsels, ex.parallel.threads
+            )
+        });
+        ex.profile.push(ProfileEntry {
+            op: prep.labels[i].clone(),
+            depth: depth + nstages - 1 - i,
+            exclusive_ms: stage_secs[i] * 1e3,
+            rows_out: stage_rows[i],
+            note,
+        });
+    }
+}
+
+fn try_pipeline(
+    ex: &mut Executor<'_>,
+    plan: &Plan,
+    depth: usize,
+) -> Result<Option<Batch>, DbError> {
+    let Some(chain) = decompose(plan) else {
+        return Ok(None);
+    };
+    let Some(prep) = prepare_chain(ex, &chain)? else {
+        return Ok(None);
+    };
+    let tracer = ex.tracer;
+    let scan_label = format!("Scan {}", chain.table);
+    let mut guards = open_chain_spans(tracer, &prep, &scan_label);
+    let (base, scan_secs) = run_scan(ex, chain.table, &prep, &mut guards)?;
+    // The scan span closes before stage work begins, like the serial engine.
+    guards.pop();
+
+    let morsel_rows = ex.parallel.morsel_rows;
+    let rows = prep.rows;
+    let stages = &prep.stages;
+    let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
+    let (results, _workers) = parallel_map_traced(prep.morsels, ex.parallel.threads, tracer, |m| {
+        let range = m * morsel_rows..((m + 1) * morsel_rows).min(rows);
+        let rows_in = range.len();
+        let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
+        let out = run_chain_morsel(&base, stages, range)?;
+        if let Some(g) = span.as_mut() {
+            g.attr("rows_out", out.batch.row_count());
+        }
+        Ok::<MorselOut, DbError>(out)
+    });
+    let outs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let nstages = prep.stages.len();
+    let mut stage_rows = vec![0usize; nstages];
+    let mut stage_secs = vec![0f64; nstages];
+    for o in &outs {
+        for i in 0..nstages {
+            stage_rows[i] += o.stage_rows[i];
+            stage_secs[i] += o.stage_secs[i];
+        }
+    }
+    let parts: Vec<Batch> = outs.into_iter().map(|o| o.batch).collect();
+    let merged = concat_batches(&prep.out_schema, &parts);
+
+    // Close stage spans leaf-first with their summed row counts; the root
+    // stage additionally records the sweep shape.
+    for (gi, g) in guards.iter_mut().enumerate() {
+        let si = nstages - 1 - gi; // guard 0 is the root stage
+        g.attr("rows_out", stage_rows[si]);
+        if gi == 0 {
+            g.attr("morsels", prep.morsels)
+                .attr("threads", ex.parallel.threads);
+        }
+    }
+    while let Some(g) = guards.pop() {
+        drop(g);
+    }
+    push_chain_profile(
+        ex,
+        &prep,
+        scan_label,
+        scan_secs,
+        &stage_rows,
+        &stage_secs,
+        depth,
+    );
+    Ok(Some(merged))
+}
+
+// --------------------------------------------------------------------
+// Hash aggregation: local grouping per morsel, ordered merge, per-group
+// finish replaying rows in ascending original order.
+// --------------------------------------------------------------------
+
+/// One morsel's local grouping: its evaluated key/argument columns plus a
+/// group directory in local first-seen order.
+struct AggPart {
+    group_cols: Vec<Arc<Column>>,
+    agg_cols: Vec<Arc<Column>>,
+    /// Local group keys in first-seen order.
+    keys: Vec<Vec<Key>>,
+    /// First local row of each group (for extracting group values).
+    first_rows: Vec<u32>,
+    /// Local rows of each group, ascending.
+    rows: Vec<Vec<u32>>,
+}
+
+/// Groups rows `0..n` of the evaluated columns locally. NULL group keys
+/// drop the row, exactly as the serial engine does.
+fn group_local(
+    group_cols: Vec<Arc<Column>>,
+    agg_cols: Vec<Arc<Column>>,
+    n: usize,
+    grouped: bool,
+) -> AggPart {
+    let mut keys: Vec<Vec<Key>> = Vec::new();
+    let mut first_rows: Vec<u32> = Vec::new();
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    if !grouped {
+        // Global aggregate: one group holding every row.
+        if n > 0 {
+            keys.push(Vec::new());
+            first_rows.push(0);
+            rows.push((0..n as u32).collect());
+        }
+    } else {
+        let mut map: HashMap<Vec<Key>, usize> = HashMap::new();
+        'rows: for i in 0..n {
+            let mut key = Vec::with_capacity(group_cols.len());
+            for c in &group_cols {
+                match value_key(&c.get(i)) {
+                    Some(k) => key.push(k),
+                    None => continue 'rows,
+                }
+            }
+            let next = keys.len();
+            let id = *map.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                first_rows.push(i as u32);
+                rows.push(Vec::new());
+                next
+            });
+            rows[id].push(i as u32);
+        }
+    }
+    AggPart {
+        group_cols,
+        agg_cols,
+        keys,
+        first_rows,
+        rows,
+    }
+}
+
+/// Merges the per-morsel group directories (in morsel order, so the global
+/// first-seen order matches serial), then finishes groups in parallel —
+/// each group replays its rows in ascending original order, giving float
+/// accumulators the serial addition sequence — and materializes the
+/// result through the same final step as the serial engine.
+fn merge_and_finish(
+    ex: &mut Executor<'_>,
+    plan: &Plan,
+    parts: &[AggPart],
+    agg_meta: &[(AggFunc, DataType)],
+    grouped: bool,
+) -> Result<Batch, DbError> {
+    let mut gmap: HashMap<Vec<Key>, usize> = HashMap::new();
+    let mut gvals: Vec<Vec<Value>> = Vec::new();
+    let mut grows: Vec<Vec<(u32, u32)>> = Vec::new();
+    for (pi, part) in parts.iter().enumerate() {
+        for (li, key) in part.keys.iter().enumerate() {
+            let next = gvals.len();
+            let id = *gmap.entry(key.clone()).or_insert_with(|| {
+                let first = part.first_rows[li] as usize;
+                gvals.push(part.group_cols.iter().map(|c| c.get(first)).collect());
+                grows.push(Vec::new());
+                next
+            });
+            grows[id].extend(part.rows[li].iter().map(|&r| (pi as u32, r)));
+        }
+    }
+
+    let finish_group = |gid: usize| -> Vec<Value> {
+        let mut states: Vec<AggState> = agg_meta
+            .iter()
+            .map(|(f, dt)| AggState::new(*f, *dt))
+            .collect();
+        for &(pi, r) in &grows[gid] {
+            let part = &parts[pi as usize];
+            for (state, col) in states.iter_mut().zip(&part.agg_cols) {
+                state.update_from_col(col, r as usize);
+            }
+        }
+        let mut row = gvals[gid].clone();
+        row.extend(states.into_iter().map(AggState::finish));
+        row
+    };
+
+    let rows: Vec<Vec<Value>> = if gvals.is_empty() && !grouped {
+        // Global aggregate over an empty input still yields one row.
+        let states: Vec<AggState> = agg_meta
+            .iter()
+            .map(|(f, dt)| AggState::new(*f, *dt))
+            .collect();
+        vec![states.into_iter().map(AggState::finish).collect()]
+    } else if gvals.len() >= 2 && ex.parallel.threads > 1 {
+        let (rows, _) = perfeval_pool::parallel_map(gvals.len(), ex.parallel.threads, finish_group);
+        rows
+    } else {
+        (0..gvals.len()).map(finish_group).collect()
+    };
+    finish_aggregate_batch(ex.catalog, plan, rows)
+}
+
+fn try_aggregate(
+    ex: &mut Executor<'_>,
+    plan: &Plan,
+    input: &Plan,
+    group_by: &[(Expr, String)],
+    aggregates: &[(AggFunc, Expr, String)],
+    depth: usize,
+) -> Result<Option<Batch>, DbError> {
+    match decompose(input) {
+        Some(chain) => try_aggregate_fused(ex, plan, &chain, group_by, aggregates, depth),
+        None => try_aggregate_materialized(ex, plan, input, group_by, aggregates, depth).map(Some),
+    }
+}
+
+/// Fused mode: the aggregate's input is a scan→filter→project chain, so
+/// each morsel runs the chain *and* its local grouping in one pass,
+/// without ever materializing the full intermediate batch.
+fn try_aggregate_fused(
+    ex: &mut Executor<'_>,
+    plan: &Plan,
+    chain: &Chain<'_>,
+    group_by: &[(Expr, String)],
+    aggregates: &[(AggFunc, Expr, String)],
+    depth: usize,
+) -> Result<Option<Batch>, DbError> {
+    let Some(prep) = prepare_chain(ex, chain)? else {
+        return Ok(None);
+    };
+    // Bind the aggregate's expressions against the chain output before any
+    // side effects; a failure falls back to the serial path's error.
+    let schema = &prep.out_schema;
+    let mut g_bound = Vec::with_capacity(group_by.len());
+    for (e, _) in group_by {
+        match e.bind(schema) {
+            Ok(b) => g_bound.push(b),
+            Err(_) => return Ok(None),
+        }
+    }
+    let mut a_bound = Vec::with_capacity(aggregates.len());
+    let mut agg_meta = Vec::with_capacity(aggregates.len());
+    for (f, e, _) in aggregates {
+        match (e.bind(schema), e.data_type(schema)) {
+            (Ok(b), Ok(dt)) => {
+                a_bound.push(b);
+                agg_meta.push((*f, dt));
+            }
+            _ => return Ok(None),
+        }
+    }
+
+    let tracer = ex.tracer;
+    let mut agg_span = tracer.map(|t| t.span("HashAggregate"));
+    let scan_label = format!("Scan {}", chain.table);
+    let mut guards = open_chain_spans(tracer, &prep, &scan_label);
+    let (base, scan_secs) = run_scan(ex, chain.table, &prep, &mut guards)?;
+    guards.pop();
+
+    let morsel_rows = ex.parallel.morsel_rows;
+    let rows = prep.rows;
+    let stages = &prep.stages;
+    let grouped = !group_by.is_empty();
+    let out_schema = &prep.out_schema;
+    let g_bound = &g_bound;
+    let a_bound = &a_bound;
+    let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
+    let (results, _workers) = parallel_map_traced(prep.morsels, ex.parallel.threads, tracer, |m| {
+        let range = m * morsel_rows..((m + 1) * morsel_rows).min(rows);
+        let rows_in = range.len();
+        let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
+        let chain_out = run_chain_morsel(&base, stages, range)?;
+        let t_agg = Instant::now();
+        let mb = &chain_out.batch;
+        let group_cols = g_bound
+            .iter()
+            .map(|e| vectorized_eval(mb, e, out_schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        let agg_cols = a_bound
+            .iter()
+            .map(|e| vectorized_eval(mb, e, out_schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        let part = group_local(group_cols, agg_cols, mb.row_count(), grouped);
+        if let Some(g) = span.as_mut() {
+            g.attr("rows_out", mb.row_count())
+                .attr("groups", part.keys.len());
+        }
+        Ok::<_, DbError>((
+            part,
+            chain_out.stage_rows,
+            chain_out.stage_secs,
+            t_agg.elapsed().as_secs_f64(),
+        ))
+    });
+    let outs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let nstages = prep.stages.len();
+    let mut stage_rows = vec![0usize; nstages];
+    let mut stage_secs = vec![0f64; nstages];
+    let mut agg_secs = 0f64;
+    let mut parts = Vec::with_capacity(outs.len());
+    for (part, srows, ssecs, asecs) in outs {
+        for i in 0..nstages {
+            stage_rows[i] += srows[i];
+            stage_secs[i] += ssecs[i];
+        }
+        agg_secs += asecs;
+        parts.push(part);
+    }
+    for (gi, g) in guards.iter_mut().enumerate() {
+        g.attr("rows_out", stage_rows[nstages - 1 - gi]);
+    }
+    while let Some(g) = guards.pop() {
+        drop(g);
+    }
+
+    let t_merge = Instant::now();
+    let mut merge_span = tracer.map(|t| t.span("merge"));
+    let batch = merge_and_finish(ex, plan, &parts, &agg_meta, grouped)?;
+    if let Some(g) = merge_span.as_mut() {
+        g.attr("groups", batch.row_count());
+    }
+    drop(merge_span);
+    let merge_secs = t_merge.elapsed().as_secs_f64();
+
+    if let Some(g) = agg_span.as_mut() {
+        g.attr("rows_out", batch.row_count())
+            .attr("morsels", prep.morsels)
+            .attr("threads", ex.parallel.threads);
+    }
+    drop(agg_span);
+    push_chain_profile(
+        ex,
+        &prep,
+        scan_label,
+        scan_secs,
+        &stage_rows,
+        &stage_secs,
+        depth + 1,
+    );
+    ex.profile.push(ProfileEntry {
+        op: "HashAggregate".to_owned(),
+        depth,
+        exclusive_ms: (agg_secs + merge_secs) * 1e3,
+        rows_out: batch.row_count(),
+        note: Some(format!(
+            "parallel: {} morsels x {} threads",
+            prep.morsels, ex.parallel.threads
+        )),
+    });
+    Ok(Some(batch))
+}
+
+/// Materialized mode: the aggregate's input is not a pipeline chain (e.g.
+/// a join), so it runs through the normal recursion — which may itself
+/// parallelize — and only the grouping is morsel-split, over row ranges
+/// of the materialized batch.
+fn try_aggregate_materialized(
+    ex: &mut Executor<'_>,
+    plan: &Plan,
+    input: &Plan,
+    group_by: &[(Expr, String)],
+    aggregates: &[(AggFunc, Expr, String)],
+    depth: usize,
+) -> Result<Batch, DbError> {
+    let start = Instant::now();
+    let tracer = ex.tracer;
+    let mut agg_span = tracer.map(|t| t.span("HashAggregate"));
+    let c0 = Instant::now();
+    let input_batch = ex.run_batch(input, depth + 1)?;
+    let child_ms = c0.elapsed().as_secs_f64() * 1e3;
+
+    let n = input_batch.row_count();
+    let morsel_rows = ex.parallel.morsel_rows;
+    let morsels = n.div_ceil(morsel_rows);
+    let batch = if morsels < 2 {
+        vectorized_aggregate(ex.catalog, plan, &input_batch, group_by, aggregates)?
+    } else {
+        let schema = input_batch.schema();
+        let group_cols: Vec<Arc<Column>> = group_by
+            .iter()
+            .map(|(e, _)| vectorized_eval(&input_batch, &e.bind(&schema)?, &schema))
+            .collect::<Result<_, _>>()?;
+        let agg_cols: Vec<Arc<Column>> = aggregates
+            .iter()
+            .map(|(_, e, _)| vectorized_eval(&input_batch, &e.bind(&schema)?, &schema))
+            .collect::<Result<_, _>>()?;
+        let agg_meta: Vec<(AggFunc, DataType)> = aggregates
+            .iter()
+            .map(|(f, e, _)| Ok((*f, e.data_type(&schema)?)))
+            .collect::<Result<_, DbError>>()?;
+        let grouped = !group_by.is_empty();
+        let group_cols = &group_cols;
+        let agg_cols = &agg_cols;
+        let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
+        let (results, _workers) = parallel_map_traced(morsels, ex.parallel.threads, tracer, |m| {
+            let range = m * morsel_rows..((m + 1) * morsel_rows).min(n);
+            let rows_in = range.len();
+            let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
+            // Each part shares the evaluated columns; its row ids are
+            // global, so restrict the directory to this morsel's range.
+            let mut part = group_local(
+                group_cols.to_vec(),
+                agg_cols.to_vec(),
+                0, // directory filled below over the global range
+                grouped,
+            );
+            fill_range_directory(&mut part, range, grouped);
+            if let Some(g) = span.as_mut() {
+                g.attr("groups", part.keys.len());
+            }
+            part
+        });
+        let parts = results;
+        merge_and_finish(ex, plan, &parts, &agg_meta, grouped)?
+    };
+
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(g) = agg_span.as_mut() {
+        g.attr("rows_out", batch.row_count());
+    }
+    drop(agg_span);
+    ex.profile.push(ProfileEntry {
+        op: "HashAggregate".to_owned(),
+        depth,
+        exclusive_ms: (total_ms - child_ms).max(0.0),
+        rows_out: batch.row_count(),
+        note: (morsels >= 2).then(|| {
+            format!(
+                "parallel: {} morsels x {} threads",
+                morsels, ex.parallel.threads
+            )
+        }),
+    });
+    Ok(batch)
+}
+
+/// Builds a part's group directory over a *global* row range (materialized
+/// aggregation shares the evaluated columns across parts).
+fn fill_range_directory(part: &mut AggPart, range: Range<usize>, grouped: bool) {
+    if !grouped {
+        if !range.is_empty() {
+            part.keys.push(Vec::new());
+            part.first_rows.push(range.start as u32);
+            part.rows.push(range.map(|i| i as u32).collect());
+        }
+        return;
+    }
+    let mut map: HashMap<Vec<Key>, usize> = HashMap::new();
+    'rows: for i in range {
+        let mut key = Vec::with_capacity(part.group_cols.len());
+        for c in &part.group_cols {
+            match value_key(&c.get(i)) {
+                Some(k) => key.push(k),
+                None => continue 'rows,
+            }
+        }
+        let next = part.keys.len();
+        let id = *map.entry(key.clone()).or_insert_with(|| {
+            part.keys.push(key);
+            part.first_rows.push(i as u32);
+            part.rows.push(Vec::new());
+            next
+        });
+        part.rows[id].push(i as u32);
+    }
+}
+
+// --------------------------------------------------------------------
+// Hash join: serial build on the smaller side, parallel partitioned probe.
+// --------------------------------------------------------------------
+
+fn try_join(
+    ex: &mut Executor<'_>,
+    left: &Plan,
+    right: &Plan,
+    left_key: &Expr,
+    right_key: &Expr,
+    depth: usize,
+) -> Result<Batch, DbError> {
+    let start = Instant::now();
+    let tracer = ex.tracer;
+    let mut span = tracer.map(|t| t.span("HashJoin"));
+    let c0 = Instant::now();
+    let lb = ex.run_batch(left, depth + 1)?;
+    let rb = ex.run_batch(right, depth + 1)?;
+    let child_ms = c0.elapsed().as_secs_f64() * 1e3;
+
+    let ls = lb.schema();
+    let rs = rb.schema();
+    let (lk, rk) = bind_join_keys(left_key, right_key, &ls, &rs)?;
+    let lkey_col = vectorized_eval(&lb, &lk, &ls)?;
+    let rkey_col = vectorized_eval(&rb, &rk, &rs)?;
+    let side = choose_build_side(&lkey_col, &rkey_col);
+    let (build_col, probe_col) = match side {
+        crate::exec::BuildSide::Left => (&lkey_col, &rkey_col),
+        crate::exec::BuildSide::Right => (&rkey_col, &lkey_col),
+    };
+    let build = JoinBuild::new(build_col, probe_col);
+
+    let np = probe_col.len();
+    let morsel_rows = ex.parallel.morsel_rows;
+    let morsels = np.div_ceil(morsel_rows);
+    let (bsel, psel) = if morsels >= 2 {
+        let build = &build;
+        let probe_col: &Column = probe_col;
+        let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
+        let (results, _workers) = parallel_map_traced(morsels, ex.parallel.threads, tracer, |m| {
+            let range = m * morsel_rows..((m + 1) * morsel_rows).min(np);
+            let rows_in = range.len();
+            let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
+            let pairs = build.probe_range(probe_col, range);
+            if let Some(g) = span.as_mut() {
+                g.attr("rows_out", pairs.0.len());
+            }
+            pairs
+        });
+        // Morsel-order concatenation of probe-major ranges is exactly what
+        // one full-range probe produces.
+        let total: usize = results.iter().map(|(b, _)| b.len()).sum();
+        let mut bsel = Vec::with_capacity(total);
+        let mut psel = Vec::with_capacity(total);
+        for (b, p) in results {
+            bsel.extend(b);
+            psel.extend(p);
+        }
+        (bsel, psel)
+    } else {
+        build.probe_range(probe_col, 0..np)
+    };
+    let (lsel, rsel) = match side {
+        crate::exec::BuildSide::Left => (bsel, psel),
+        crate::exec::BuildSide::Right => (psel, bsel),
+    };
+    let (lsel, rsel) = canonicalize_join_pairs(side, lsel, rsel);
+
+    let lout = lb.take(&lsel);
+    let rout = rb.take(&rsel);
+    let mut names = lout.names;
+    names.extend(rout.names);
+    let mut cols = lout.cols;
+    cols.extend(rout.cols);
+    let batch = Batch { names, cols };
+
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(g) = span.as_mut() {
+        g.attr("rows_out", batch.row_count())
+            .attr("build_side", side.label());
+        if morsels >= 2 {
+            g.attr("morsels", morsels)
+                .attr("threads", ex.parallel.threads);
+        }
+    }
+    drop(span);
+    let mut note = format!("build={}", side.label());
+    if morsels >= 2 {
+        note.push_str(&format!(
+            "; parallel probe: {} morsels x {} threads",
+            morsels, ex.parallel.threads
+        ));
+    }
+    ex.profile.push(ProfileEntry {
+        op: "HashJoin".to_owned(),
+        depth,
+        exclusive_ms: (total_ms - child_ms).max(0.0),
+        rows_out: batch.row_count(),
+        note: Some(note),
+    });
+    Ok(batch)
+}

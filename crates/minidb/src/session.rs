@@ -85,6 +85,8 @@ pub struct Session {
     mode: ExecMode,
     optimizer: OptimizerConfig,
     pool: Option<BufferPool>,
+    parallelism: usize,
+    morsel_rows: usize,
 }
 
 // Parallel experiment workers (`perfeval-exec`) each own sessions on their
@@ -104,12 +106,32 @@ impl Session {
             mode: ExecMode::Optimized,
             optimizer: OptimizerConfig::all(),
             pool: None,
+            parallelism: 1,
+            morsel_rows: crate::exec::DEFAULT_MORSEL_ROWS,
         }
     }
 
     /// Selects the execution engine (the DBG/OPT axis).
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the default worker-thread count for queries on this session
+    /// (`<= 1` is the serial engine; the debug engine ignores the knob).
+    /// Individual queries can override it with [`Query::parallelism`].
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Sets the default rows-per-morsel granularity for parallel queries.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0`.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "morsel size must be at least one row");
+        self.morsel_rows = rows;
         self
     }
 
@@ -177,11 +199,15 @@ impl Session {
     /// Starts building a query. Configure with [`Query::sink`] /
     /// [`Query::traced`], then call [`Query::run`].
     pub fn query<'s, 'q>(&'s mut self, sql: &'q str) -> Query<'s, 'q> {
+        let parallelism = self.parallelism;
+        let morsel_rows = self.morsel_rows;
         Query {
             session: self,
             sql,
             sink: None,
             tracer: None,
+            parallelism,
+            morsel_rows,
         }
     }
 
@@ -224,6 +250,8 @@ pub struct Query<'s, 'q> {
     sql: &'q str,
     sink: Option<&'q mut dyn ResultSink>,
     tracer: Option<&'q Tracer>,
+    parallelism: usize,
+    morsel_rows: usize,
 }
 
 impl<'s, 'q> Query<'s, 'q> {
@@ -240,6 +268,24 @@ impl<'s, 'q> Query<'s, 'q> {
         self
     }
 
+    /// Runs this query with `threads` morsel workers (`<= 1` is serial).
+    /// The result is bit-identical to a serial run regardless of thread
+    /// count or morsel size; only the wall clock changes.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Overrides the rows-per-morsel granularity for this query.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0`.
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "morsel size must be at least one row");
+        self.morsel_rows = rows;
+        self
+    }
+
     /// Parses, optimizes, executes, and prints the statement, returning the
     /// timed result.
     pub fn run(self) -> Result<QueryResult, DbError> {
@@ -248,6 +294,8 @@ impl<'s, 'q> Query<'s, 'q> {
             sql,
             sink,
             tracer,
+            parallelism,
+            morsel_rows,
         } = self;
         let mut null = NullSink;
         let sink: &mut dyn ResultSink = match sink {
@@ -314,7 +362,9 @@ impl<'s, 'q> Query<'s, 'q> {
         let t2 = Instant::now();
         let mut exec_span = tracer.map(|t| t.span("execute"));
         let (result, profile) = {
-            let mut executor = Executor::new(&session.catalog, session.mode);
+            let mut executor = Executor::new(&session.catalog, session.mode)
+                .with_parallelism(parallelism)
+                .with_morsel_rows(morsel_rows);
             if let Some(pool) = &mut session.pool {
                 executor = executor.with_pool(pool);
             }

@@ -3,13 +3,18 @@
 use crate::column::Column;
 use crate::error::DbError;
 use crate::types::{DataType, Value};
+use std::sync::Arc;
 
 /// A named, schema-typed, columnar table.
+///
+/// Columns live behind `Arc` so scans hand them to the executor (and the
+/// executor hands them to worker threads) without deep-copying data:
+/// cloning a table or scanning it costs reference counts, not bytes.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     column_names: Vec<String>,
-    columns: Vec<Column>,
+    columns: Vec<Arc<Column>>,
 }
 
 impl Table {
@@ -44,6 +49,11 @@ impl Table {
     /// Column by index.
     pub fn column(&self, idx: usize) -> &Column {
         &self.columns[idx]
+    }
+
+    /// Shared handle to a column by index (zero-copy scans).
+    pub fn column_arc(&self, idx: usize) -> Arc<Column> {
+        Arc::clone(&self.columns[idx])
     }
 
     /// Column by name.
@@ -87,7 +97,7 @@ impl Table {
             }
         }
         for (col, v) in self.columns.iter_mut().zip(values) {
-            col.push(v).expect("validated above");
+            Arc::make_mut(col).push(v).expect("validated above");
         }
         Ok(())
     }
@@ -150,7 +160,11 @@ impl TableBuilder {
         }
         Table {
             name: self.name,
-            columns: self.types.iter().map(|&t| Column::new(t)).collect(),
+            columns: self
+                .types
+                .iter()
+                .map(|&t| Arc::new(Column::new(t)))
+                .collect(),
             column_names: self.column_names,
         }
     }

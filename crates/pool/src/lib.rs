@@ -1,0 +1,152 @@
+//! A hand-rolled worker pool over `std::thread::scope`.
+//!
+//! The dependency policy keeps this workspace free of crossbeam/rayon, so
+//! the pool is the minimal correct construction: an atomic cursor over the
+//! work list (dynamic scheduling — fast units don't wait behind slow ones)
+//! and a mutex-guarded slot vector for results. Determinism comes from the
+//! *slots*, not the schedule: result `i` always lands in slot `i`, so the
+//! output is independent of which worker ran it and when.
+
+use perfeval_trace::Tracer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-worker execution counters, for throughput/straggler reporting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Units this worker completed.
+    pub units: usize,
+    /// Total busy time, seconds.
+    pub busy_secs: f64,
+}
+
+/// Applies `f` to every index in `0..count` using `threads` workers and
+/// returns the results in index order, plus per-worker statistics.
+///
+/// `f` is called as `f(index)`; the returned vector's element `i` is
+/// `f(i)` regardless of thread count or scheduling. With `threads <= 1`
+/// the work runs on the calling thread (no spawn overhead).
+///
+/// # Panics
+/// Propagates a panic from any worker invocation of `f`.
+pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_traced(count, threads, None, f)
+}
+
+/// [`parallel_map`] with an optional tracer: workers get stable names
+/// (`worker-<n>`), and each registers + labels its tracing lane before
+/// taking work, so a snapshot stitches every worker into one timeline.
+///
+/// The closure runs on the worker threads, so spans it opens against the
+/// same tracer land on the correct per-worker lane automatically.
+///
+/// # Panics
+/// Propagates a panic from any worker invocation of `f`.
+pub fn parallel_map_traced<T, F>(
+    count: usize,
+    threads: usize,
+    tracer: Option<&Tracer>,
+    f: F,
+) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    if threads <= 1 {
+        let t0 = std::time::Instant::now();
+        let results = (0..count).map(&f).collect();
+        return (
+            results,
+            vec![WorkerStats {
+                units: count,
+                busy_secs: t0.elapsed().as_secs_f64(),
+            }],
+        );
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    let stats: Mutex<Vec<WorkerStats>> = Mutex::new(vec![WorkerStats::default(); threads]);
+
+    std::thread::scope(|scope| {
+        let (cursor, slots, stats, f) = (&cursor, &slots, &stats, &f);
+        for worker in 0..threads {
+            let name = format!("worker-{worker}");
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn_scoped(scope, move || {
+                    if let Some(t) = tracer {
+                        t.label_thread(&name);
+                    }
+                    let mut local = WorkerStats::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let value = f(i);
+                        local.busy_secs += t0.elapsed().as_secs_f64();
+                        local.units += 1;
+                        slots.lock().expect("pool slots poisoned")[i] = Some(value);
+                    }
+                    stats.lock().expect("pool stats poisoned")[worker] = local;
+                })
+                .expect("failed to spawn pool worker");
+        }
+    });
+
+    let results = slots
+        .into_inner()
+        .expect("pool slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index executed"))
+        .collect();
+    (results, stats.into_inner().expect("pool stats poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let (out, _) = parallel_map(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_multi() {
+        let (serial, stats1) = parallel_map(37, 1, |i| i as u64 * 3 + 1);
+        let (parallel, _) = parallel_map(37, 8, |i| i as u64 * 3 + 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(stats1.len(), 1);
+        assert_eq!(stats1[0].units, 37);
+    }
+
+    #[test]
+    fn worker_stats_cover_all_units() {
+        let (_, stats) = parallel_map(64, 3, |i| i);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|s| s.units).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn empty_work_list() {
+        let (out, _) = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_capped_by_count() {
+        // 2 units, 16 threads requested: only 2 workers spawn.
+        let (out, stats) = parallel_map(2, 16, |i| i + 10);
+        assert_eq!(out, vec![10, 11]);
+        assert_eq!(stats.len(), 2);
+    }
+}
