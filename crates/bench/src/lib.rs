@@ -24,6 +24,8 @@
 //! | `exp_e16_locale` | slides 212–215: the 13.666 → 13666 bug |
 //! | `exp_e17_timers` | slides 27–29: timers and their resolutions |
 //! | `exp_e18_observer_effect` | tracing overhead: off/disabled/sampled/full arms |
+//! | `exp_e19_parallel_speedup` | morsel-parallel speed-up as a 2³ designed experiment |
+//! | `exp_e20_fault_robustness` | injected panics/hangs: retries, quarantine, watchdog deadlines |
 //!
 //! Criterion benches under `benches/` measure the engine primitives and the
 //! ablations DESIGN.md calls out.

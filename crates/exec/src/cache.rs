@@ -14,9 +14,18 @@
 //! plain decimal text.
 
 use perfeval_core::runner::Assignment;
+use perfeval_fault::FaultRegistry;
 use perfeval_measure::env::EnvSpec;
 use perfeval_measure::protocol::RunProtocol;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Monotonic discriminator for temp-file names: two threads (or two
+/// processes racing on pid reuse) storing the same key must never write
+/// the same temp path, or one rename publishes the other's half-written
+/// bytes.
+static TMP_DISCRIMINATOR: AtomicUsize = AtomicUsize::new(0);
 
 /// FNV-1a 64-bit hash: tiny, stable across platforms and runs (unlike
 /// `std`'s `DefaultHasher`, which is documented as unstable).
@@ -82,6 +91,7 @@ pub fn cache_key(
 pub struct ResultCache {
     dir: PathBuf,
     enabled: bool,
+    faults: Option<Arc<FaultRegistry>>,
     /// Lookups that found an entry (resumed units).
     pub hits: std::sync::atomic::AtomicUsize,
     /// Lookups that found nothing (units that must execute).
@@ -99,9 +109,19 @@ impl ResultCache {
         Ok(ResultCache {
             dir,
             enabled: true,
+            faults: None,
             hits: std::sync::atomic::AtomicUsize::new(0),
             misses: std::sync::atomic::AtomicUsize::new(0),
         })
+    }
+
+    /// Arms a fault registry: `cache.lookup` and `cache.store` failpoints
+    /// (keyed by cache key) can then fail I/O deterministically. A failed
+    /// lookup is a miss; a failed store is skipped — either way the cache
+    /// degrades to re-measurement, never to a failed sweep.
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// A cache that stores and returns nothing — the `--no-cache` escape
@@ -110,6 +130,7 @@ impl ResultCache {
         ResultCache {
             dir: PathBuf::new(),
             enabled: false,
+            faults: None,
             hits: std::sync::atomic::AtomicUsize::new(0),
             misses: std::sync::atomic::AtomicUsize::new(0),
         }
@@ -125,13 +146,23 @@ impl ResultCache {
     }
 
     /// Looks up a unit response. `None` means the unit must execute.
+    /// A torn, truncated, or otherwise unparseable entry is a miss, never
+    /// a panic — the unit simply re-measures and overwrites it.
     pub fn lookup(&self, key: u64) -> Option<f64> {
         if !self.enabled {
             return None;
         }
-        let found = std::fs::read_to_string(self.path_for(key))
-            .ok()
-            .and_then(|text| text.trim().parse::<f64>().ok());
+        let io_failed = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.io_fails("cache.lookup", key));
+        let found = if io_failed {
+            None
+        } else {
+            std::fs::read_to_string(self.path_for(key))
+                .ok()
+                .and_then(|text| text.trim().parse::<f64>().ok())
+        };
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -151,10 +182,27 @@ impl ResultCache {
         if !self.enabled {
             return;
         }
-        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.io_fails("cache.store", key))
+        {
+            return;
+        }
+        // The temp name carries pid + a process-wide counter: concurrent
+        // stores of the *same* key (replicated sweeps racing, two sweep
+        // processes sharing a cache dir) each write their own temp file,
+        // so the final rename always publishes a complete entry.
+        let tmp = self.dir.join(format!(
+            "{key:016x}.{}-{}.tmp",
+            std::process::id(),
+            TMP_DISCRIMINATOR.fetch_add(1, Ordering::Relaxed)
+        ));
         // 17 significant digits round-trip any f64 exactly.
-        if std::fs::write(&tmp, format!("{response:.17e}\n")).is_ok() {
-            let _ = std::fs::rename(&tmp, self.path_for(key));
+        if std::fs::write(&tmp, format!("{response:.17e}\n")).is_ok()
+            && std::fs::rename(&tmp, self.path_for(key)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 
@@ -257,6 +305,91 @@ mod tests {
         assert_eq!(cache.lookup(1), None);
         assert!(!cache.is_enabled());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn torn_or_truncated_entries_are_misses_not_panics() {
+        let dir = temp_dir("torn");
+        let cache = ResultCache::open(&dir).unwrap();
+        // Simulate entries corrupted by a crash mid-write (pre-rename
+        // discipline) or disk trouble: garbage, truncation, emptiness.
+        for (key, bytes) in [
+            (1u64, &b"not a number"[..]),
+            (2, &b"1.23e"[..]),
+            (3, &b""[..]),
+            (4, &[0xFF, 0xFE, 0x00, 0x80][..]),
+        ] {
+            std::fs::write(dir.join(format!("{key:016x}.unit")), bytes).unwrap();
+            assert_eq!(cache.lookup(key), None, "key {key} must read as a miss");
+        }
+        // A miss is recoverable: re-store overwrites the garbage.
+        cache.store(1, 9.5);
+        assert_eq!(cache.lookup(1), Some(9.5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_never_publish_torn_entries() {
+        let dir = temp_dir("race");
+        let cache = ResultCache::open(&dir).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        cache.store(99, (t * 50 + i) as f64);
+                    }
+                });
+            }
+            let cache = &cache;
+            s.spawn(move || {
+                for _ in 0..200 {
+                    if let Some(v) = cache.lookup(99) {
+                        assert!(
+                            (0.0..200.0).contains(&v),
+                            "published entry must be one complete write, got {v}"
+                        );
+                    }
+                }
+            });
+        });
+        assert!(cache.lookup(99).is_some());
+        // No stray temp files left behind.
+        let tmps = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .count();
+        assert_eq!(tmps, 0, "all temp files renamed or cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_io_failures_degrade_to_re_measurement() {
+        use perfeval_fault::{FaultAction, FaultRegistry, Trigger};
+        let dir = temp_dir("fault-io");
+        let faults = Arc::new(
+            FaultRegistry::new(3)
+                .armed_always("cache.store", Trigger::Key(10), FaultAction::FailIo)
+                .armed_always("cache.lookup", Trigger::Key(11), FaultAction::FailIo),
+        );
+        let cache = ResultCache::open(&dir)
+            .unwrap()
+            .with_faults(Arc::clone(&faults));
+        // Failed store: nothing lands on disk, lookup misses.
+        cache.store(10, 1.0);
+        assert_eq!(cache.lookup(10), None);
+        // Failed lookup: entry exists on disk but the read "fails" — the
+        // unit re-measures rather than trusting unreadable state.
+        cache.store(11, 2.0);
+        assert_eq!(cache.lookup(11), None);
+        assert_eq!(cache.len(), 1, "key 11's entry was stored");
+        // Untouched keys behave normally.
+        cache.store(12, 3.0);
+        assert_eq!(cache.lookup(12), Some(3.0));
+        assert!(faults.fired("cache.store") >= 1);
+        assert!(faults.fired("cache.lookup") >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

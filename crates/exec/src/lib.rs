@@ -24,8 +24,15 @@
 //!   [`cache::ResultCache::disabled`] (the `--no-cache` escape hatch).
 //! * [`progress`] — per-unit progress snapshots (completed/total,
 //!   throughput, ETA) and an end-of-sweep [`progress::ExecReport`] with
-//!   per-worker counters and straggler flags.
-//! * [`scheduler`] — [`scheduler::Scheduler`] ties the above together.
+//!   per-worker counters, straggler flags, and the per-unit failure
+//!   taxonomy.
+//! * [`outcome`] — failure containment: [`outcome::UnitOutcome`] (a unit
+//!   panicking or hanging becomes a *value*, not a dead sweep),
+//!   [`outcome::RetryPolicy`] (bounded seeded-backoff retries, per-unit
+//!   wall-clock deadlines), and [`outcome::SweepResult`] (a partial sweep
+//!   reports its missing cells instead of silently assembling).
+//! * [`scheduler`] — [`scheduler::Scheduler`] ties the above together,
+//!   with an `exec.unit.run` failpoint for `perfeval-fault` injection.
 //! * [`runner_ext`] — [`runner_ext::ParallelRunner`] grafts
 //!   `run_*_parallel` methods onto `perfeval_core::Runner`.
 //!
@@ -50,6 +57,7 @@
 
 pub mod cache;
 pub mod order;
+pub mod outcome;
 pub mod plan;
 pub mod pool;
 pub mod progress;
@@ -58,8 +66,9 @@ pub mod scheduler;
 
 pub use cache::{cache_key, EnvFingerprint, ResultCache};
 pub use order::OrderPolicy;
+pub use outcome::{RetryPolicy, SweepResult, UnitOutcome, UnitReport};
 pub use plan::{RunPlan, RunUnit};
-pub use pool::{parallel_map, parallel_map_traced, WorkerStats};
+pub use pool::{parallel_map, parallel_map_caught, parallel_map_traced, CaughtPanic, WorkerStats};
 pub use progress::{ExecReport, ProgressSnapshot};
 pub use runner_ext::ParallelRunner;
 pub use scheduler::{Scheduler, UnitExperiment};

@@ -4,4 +4,6 @@
 //! parallel operators, so the implementation lives in `crates/pool` and
 //! this module keeps the historical `perfeval_exec::pool::*` paths alive.
 
-pub use perfeval_pool::{parallel_map, parallel_map_traced, WorkerStats};
+pub use perfeval_pool::{
+    parallel_map, parallel_map_caught, parallel_map_traced, CaughtPanic, WorkerStats,
+};

@@ -7,6 +7,7 @@
 //! per-worker throughput, cache hits, and straggler flags — that
 //! `perfeval-harness` renders alongside the scientific results.
 
+use crate::outcome::{UnitOutcome, UnitReport};
 use crate::pool::WorkerStats;
 
 /// A point-in-time view of a running sweep, handed to progress hooks.
@@ -80,6 +81,15 @@ pub struct ExecReport {
     pub executed: usize,
     /// Units served from the result cache.
     pub from_cache: usize,
+    /// Extra measurement attempts beyond each unit's first (the retry
+    /// bill of the sweep).
+    pub retries: usize,
+    /// Canonical indices of units that failed every allowed attempt and
+    /// were given up on. Non-empty means the response table is partial.
+    pub quarantined: Vec<usize>,
+    /// Per-unit execution records in canonical order — the failure
+    /// taxonomy. Every cell of the plan appears exactly once.
+    pub units: Vec<UnitReport>,
     /// Wall-clock seconds for the whole sweep.
     pub wall_secs: f64,
     /// Per-worker counters, indexed by worker id.
@@ -116,6 +126,38 @@ impl ExecReport {
             .collect()
     }
 
+    /// Units whose final outcome was a panic.
+    pub fn panicked(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u.outcome, UnitOutcome::Panicked(_)))
+            .count()
+    }
+
+    /// Units whose final outcome was a deadline timeout.
+    pub fn timed_out(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| u.outcome == UnitOutcome::TimedOut)
+            .count()
+    }
+
+    /// Units that needed more than one attempt (whether or not they
+    /// eventually succeeded).
+    pub fn retried(&self) -> usize {
+        self.units.iter().filter(|u| u.attempts > 1).count()
+    }
+
+    /// The quarantined units' records — the cells missing from the table.
+    pub fn missing_cells(&self) -> Vec<&UnitReport> {
+        self.units.iter().filter(|u| u.quarantined).collect()
+    }
+
+    /// True if every unit produced a response.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
     /// Aggregate units per second of wall-clock time.
     pub fn throughput(&self) -> f64 {
         if self.wall_secs > 0.0 {
@@ -143,6 +185,27 @@ impl ExecReport {
                 self.executed, self.from_cache
             ),
         ];
+        // Failure taxonomy: rendered only when something went wrong, but
+        // then rendered completely — a partial sweep must read as partial.
+        if self.retries > 0 || !self.is_complete() || self.panicked() + self.timed_out() > 0 {
+            lines.push(format!(
+                "failures: {} panicked, {} timed out; {} unit(s) retried ({} extra attempt(s))",
+                self.panicked(),
+                self.timed_out(),
+                self.retried(),
+                self.retries
+            ));
+        }
+        if !self.is_complete() {
+            lines.push(format!(
+                "quarantined {} unit(s) — response table is PARTIAL: {:?}",
+                self.quarantined.len(),
+                self.quarantined
+            ));
+            for u in self.missing_cells() {
+                lines.push(format!("  missing {}", u.render()));
+            }
+        }
         for (i, w) in self.workers.iter().enumerate() {
             lines.push(format!(
                 "worker {i}: {} unit(s), {:.3}s busy",
@@ -205,6 +268,9 @@ mod tests {
             total_units: 10,
             executed: 10,
             from_cache: 0,
+            retries: 0,
+            quarantined: Vec::new(),
+            units: Vec::new(),
             wall_secs: 1.0,
             workers: busy
                 .iter()
@@ -237,5 +303,52 @@ mod tests {
         assert!(text.contains("7 executed, 3 resumed"));
         assert!(text.contains("worker 0"));
         assert!(text.contains("stragglers"));
+        assert!(
+            !text.contains("failures:"),
+            "clean sweeps render no failure section"
+        );
+    }
+
+    #[test]
+    fn partial_sweep_renders_the_failure_taxonomy() {
+        let mut r = report(&[1.0, 1.0]);
+        r.retries = 3;
+        r.quarantined = vec![4];
+        r.units = vec![
+            UnitReport {
+                unit: 0,
+                run: 0,
+                replicate: 0,
+                outcome: UnitOutcome::Measured,
+                attempts: 3,
+                quarantined: false,
+            },
+            UnitReport {
+                unit: 4,
+                run: 2,
+                replicate: 0,
+                outcome: UnitOutcome::Panicked("segfault du jour".into()),
+                attempts: 2,
+                quarantined: true,
+            },
+            UnitReport {
+                unit: 5,
+                run: 2,
+                replicate: 1,
+                outcome: UnitOutcome::TimedOut,
+                attempts: 1,
+                quarantined: false,
+            },
+        ];
+        assert!(!r.is_complete());
+        assert_eq!(r.panicked(), 1);
+        assert_eq!(r.timed_out(), 1);
+        assert_eq!(r.retried(), 2);
+        assert_eq!(r.missing_cells().len(), 1);
+        let text = r.render_lines().join("\n");
+        assert!(text.contains("failures: 1 panicked, 1 timed out"));
+        assert!(text.contains("2 unit(s) retried (3 extra attempt(s))"));
+        assert!(text.contains("PARTIAL"));
+        assert!(text.contains("segfault du jour"));
     }
 }

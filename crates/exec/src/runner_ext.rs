@@ -8,6 +8,7 @@
 
 use crate::cache::{EnvFingerprint, ResultCache};
 use crate::order::OrderPolicy;
+use crate::outcome::{RetryPolicy, SweepResult};
 use crate::plan::RunPlan;
 use crate::scheduler::Scheduler;
 use perfeval_core::design::Design;
@@ -78,6 +79,18 @@ pub trait ParallelRunner {
         threads: usize,
         tracer: &Tracer,
     ) -> ResponseTable;
+
+    /// Failure-contained execution of an explicit run list: a panicking or
+    /// hanging experiment yields a [`SweepResult`] with per-unit outcomes
+    /// instead of killing the process. `policy` sets attempts, backoff,
+    /// and the per-unit deadline.
+    fn run_assignments_contained<E: SyncExperiment>(
+        &self,
+        assignments: Vec<Assignment>,
+        experiment: &E,
+        threads: usize,
+        policy: RetryPolicy,
+    ) -> SweepResult;
 }
 
 impl ParallelRunner for Runner {
@@ -146,6 +159,30 @@ impl ParallelRunner for Runner {
             threads,
             tracer,
         )
+    }
+
+    fn run_assignments_contained<E: SyncExperiment>(
+        &self,
+        assignments: Vec<Assignment>,
+        experiment: &E,
+        threads: usize,
+        policy: RetryPolicy,
+    ) -> SweepResult {
+        let plan = RunPlan::expand(
+            assignments,
+            RunProtocol::hot(0, self.replications),
+            DEFAULT_ROOT_SEED,
+        );
+        Scheduler::new(threads)
+            .with_order(OrderPolicy::AsDesigned)
+            .with_policy(policy)
+            .execute_contained(
+                &plan,
+                experiment,
+                &ResultCache::disabled(),
+                &EnvFingerprint::simulated("run_parallel"),
+                None,
+            )
     }
 }
 
@@ -223,6 +260,30 @@ mod tests {
         assert_eq!(
             runner.run_two_level_parallel(&d, &Exp, 3),
             runner.run_two_level_sync(&d, &Exp)
+        );
+    }
+
+    #[test]
+    fn contained_run_survives_a_panicking_experiment() {
+        let design = Design::full_factorial(vec![Factor::numeric("a", &[1.0, 2.0, 3.0])]);
+        let exp = |a: &Assignment| {
+            let v = a.num("a").unwrap();
+            assert!(v < 3.0, "experiment rejects a=3");
+            v * 10.0
+        };
+        let runner = Runner::new(2);
+        let sweep = runner.run_assignments_contained(
+            design_assignments(&design),
+            &exp,
+            4,
+            RetryPolicy::default(),
+        );
+        assert!(!sweep.is_complete());
+        assert_eq!(sweep.report.quarantined.len(), 2, "both a=3 replicates");
+        assert_eq!(
+            sweep.responses.iter().filter(|r| r.is_some()).count(),
+            4,
+            "healthy cells all measured"
         );
     }
 }

@@ -2,20 +2,37 @@
 //!
 //! Responsibilities, in order: permute the units per the
 //! [`OrderPolicy`], consult the [`ResultCache`] before measuring, execute
-//! misses through [`parallel_map`], scatter results back into canonical
+//! misses through the worker pool, scatter results back into canonical
 //! slots, and assemble the [`ResponseTable`]. The determinism argument
 //! lives in the scatter step: position `p` of the execution order maps to
 //! canonical unit `order[p]`, so the assembled table is invariant under
 //! the order policy and thread count.
+//!
+//! Failure containment (the [`RetryPolicy`] path): every measurement
+//! attempt runs under `catch_unwind`, so a panicking unit yields
+//! [`UnitOutcome::Panicked`] instead of killing the sweep; a watchdog
+//! thread cancels units past their wall-clock deadline (cooperatively,
+//! through the fault layer's cancel token — in-process containment cannot
+//! kill a thread), yielding [`UnitOutcome::TimedOut`]; failed units retry
+//! with seeded, bounded backoff up to `max_attempts`, and units that fail
+//! every attempt are quarantined. The [`SweepResult`] reports every cell
+//! either way — a partial sweep never silently assembles into a table.
 
 use crate::cache::{cache_key, EnvFingerprint, ResultCache};
 use crate::order::OrderPolicy;
+use crate::outcome::{RetryPolicy, SweepResult, UnitOutcome, UnitReport};
 use crate::plan::{RunPlan, RunUnit};
-use crate::pool::parallel_map_traced;
+use crate::pool::parallel_map_caught;
 use crate::progress::{ExecReport, ProgressSnapshot};
 use perfeval_core::runner::{Assignment, ResponseTable, SyncExperiment};
+use perfeval_fault::{panic_message, set_cancel_token, FaultRegistry, TimeoutSignal};
+use perfeval_stats::rng::SplitMix64;
 use perfeval_trace::Tracer;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// A system under test addressed at unit granularity. The blanket impl
 /// adapts any [`SyncExperiment`]; implement this directly to consume the
@@ -41,13 +58,37 @@ impl<E: SyncExperiment> UnitExperiment for E {
 /// Progress hook type: called after every completed unit.
 pub type ProgressHook<'a> = &'a (dyn Fn(ProgressSnapshot) + Sync);
 
+/// Seeded, bounded backoff before retry `attempt` (2-based): base doubles
+/// per retry (capped) plus up to one base of seeded jitter, never more
+/// than 250 ms. Deterministic in its *choice* — the same unit seed and
+/// attempt always picks the same backoff, like every other plan decision.
+fn backoff_ms(base: f64, seed: u64, attempt: u32) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    let exponent = attempt.saturating_sub(2).min(6);
+    let jitter = SplitMix64::split(seed, attempt as u64).next_f64() * base;
+    (base * (1u64 << exponent) as f64 + jitter).min(250.0)
+}
+
+/// The watchdog lane's cancel board: canonical unit index → (deadline,
+/// cancel flag). Workers register an entry per attempt; the watchdog trips
+/// the flag when the deadline passes.
+type CancelBoard = Mutex<HashMap<usize, (Instant, Arc<AtomicBool>)>>;
+
 /// Executes run plans deterministically in parallel.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Scheduler {
     /// Worker threads (1 = serial, no spawning).
     pub threads: usize,
     /// Execution-order policy.
     pub order: OrderPolicy,
+    /// Failure-containment policy (attempts, backoff, deadline). The
+    /// default grants one attempt with no deadline.
+    pub policy: RetryPolicy,
+    /// Fault registry consulted at the `exec.unit.run` failpoint before
+    /// every measurement attempt; `None` injects nothing.
+    pub faults: Option<Arc<FaultRegistry>>,
 }
 
 impl Scheduler {
@@ -56,6 +97,8 @@ impl Scheduler {
         Scheduler {
             threads: threads.max(1),
             order: OrderPolicy::AsDesigned,
+            policy: RetryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -65,12 +108,31 @@ impl Scheduler {
         self
     }
 
+    /// Sets the failure-containment policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms a fault registry: the scheduler evaluates the `exec.unit.run`
+    /// failpoint (keyed by canonical unit index, 1-based attempt) before
+    /// every measurement attempt.
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Executes `plan` against `experiment`, serving repeats from `cache`
     /// and reporting progress through `progress` (if given).
     ///
     /// Returns the assembled [`ResponseTable`] — bit-identical regardless
     /// of `threads` and `order` — plus an [`ExecReport`] describing how
     /// the execution went.
+    ///
+    /// # Panics
+    /// Panics with the missing-cell taxonomy if any unit failed every
+    /// allowed attempt (the historical fail-fast contract). Callers that
+    /// can degrade should use [`Scheduler::execute_contained`].
     pub fn execute<E: UnitExperiment + ?Sized>(
         &self,
         plan: &RunPlan,
@@ -79,7 +141,8 @@ impl Scheduler {
         env: &EnvFingerprint,
         progress: Option<ProgressHook<'_>>,
     ) -> (ResponseTable, ExecReport) {
-        self.execute_traced(plan, experiment, cache, env, progress, None)
+        self.execute_contained_traced(plan, experiment, cache, env, progress, None)
+            .expect_complete()
     }
 
     /// [`Scheduler::execute`] with an optional tracer.
@@ -87,10 +150,13 @@ impl Scheduler {
     /// The sweep records one `sweep` root span on the calling thread and,
     /// per unit, a `unit <n>` span on whichever worker lane ran it. Each
     /// unit span starts when its worker became free, so it decomposes into
-    /// a `queue-wait` child (dispatch + cache lookup + prepare) and — on a
-    /// cache miss — a `run` child around the actual measurement; cache hits
-    /// have no `run` child. Unit spans carry `cache` and `queued_ms`
-    /// attributes.
+    /// a `queue-wait` child (dispatch + cache lookup) and — on a cache
+    /// miss — a `run` child per measurement attempt; cache hits have no
+    /// `run` child. Unit spans carry `cache`, `queued_ms`, `outcome`, and
+    /// `attempts` attributes.
+    ///
+    /// # Panics
+    /// Like [`Scheduler::execute`], panics if any unit was quarantined.
     pub fn execute_traced<E: UnitExperiment + ?Sized>(
         &self,
         plan: &RunPlan,
@@ -100,23 +166,59 @@ impl Scheduler {
         progress: Option<ProgressHook<'_>>,
         tracer: Option<&Tracer>,
     ) -> (ResponseTable, ExecReport) {
+        self.execute_contained_traced(plan, experiment, cache, env, progress, tracer)
+            .expect_complete()
+    }
+
+    /// Failure-contained execution: never panics on unit failure. Returns
+    /// a [`SweepResult`] whose report accounts for every cell; the table
+    /// assembles only when every cell was measured.
+    pub fn execute_contained<E: UnitExperiment + ?Sized>(
+        &self,
+        plan: &RunPlan,
+        experiment: &E,
+        cache: &ResultCache,
+        env: &EnvFingerprint,
+        progress: Option<ProgressHook<'_>>,
+    ) -> SweepResult {
+        self.execute_contained_traced(plan, experiment, cache, env, progress, None)
+    }
+
+    /// [`Scheduler::execute_contained`] with an optional tracer. When a
+    /// deadline is set, a `watchdog` lane appears in the trace with one
+    /// `deadline-fired` span per cancelled attempt.
+    pub fn execute_contained_traced<E: UnitExperiment + ?Sized>(
+        &self,
+        plan: &RunPlan,
+        experiment: &E,
+        cache: &ResultCache,
+        env: &EnvFingerprint,
+        progress: Option<ProgressHook<'_>>,
+        tracer: Option<&Tracer>,
+    ) -> SweepResult {
         let order = self.order.order(plan);
         let total = order.len();
         let executed = AtomicUsize::new(0);
         let from_cache = AtomicUsize::new(0);
+        let retries = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
 
         let mut sweep = tracer.map(|t| t.span("sweep"));
         if let Some(g) = sweep.as_mut() {
             g.attr("units", total)
                 .attr("threads", self.threads)
-                .attr("order", self.order.describe());
+                .attr("order", self.order.describe())
+                .attr("policy", self.policy.describe());
         }
         let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
 
-        let (values, workers) = parallel_map_traced(total, self.threads, tracer, |p| {
-            let unit = &plan.units[order[p]];
+        let board: CancelBoard = Mutex::new(HashMap::new());
+        let watchdog_stop = AtomicBool::new(false);
+
+        let run_unit = |p: usize| -> (Option<f64>, UnitReport) {
+            let canonical = order[p];
+            let unit = &plan.units[canonical];
             let assignment = &plan.assignments[unit.run];
             // Anchor the unit span where this worker became free: the gap
             // until the work is actually picked up is genuine queue wait,
@@ -125,7 +227,7 @@ impl Scheduler {
             let anchor_ns = tracer.map(|t| t.lane_resume_ns().max(sweep_start_ns));
             let pickup_ns = tracer.map(|t| t.now_ns());
             let mut unit_span =
-                tracer.map(|t| t.span_at(&format!("unit {}", order[p]), anchor_ns.unwrap()));
+                tracer.map(|t| t.span_at(&format!("unit {canonical}"), anchor_ns.unwrap()));
             if let (Some(g), Some(anchor), Some(pickup)) =
                 (unit_span.as_mut(), anchor_ns, pickup_ns)
             {
@@ -136,29 +238,109 @@ impl Scheduler {
             let queue_wait = tracer.map(|t| t.span_at("queue-wait", anchor_ns.unwrap_or(0)));
 
             let key = cache_key(assignment, &plan.protocol, unit.replicate, unit.seed, env);
-            let value = match cache.lookup(key) {
+            let (value, outcome, attempts) = match cache.lookup(key) {
                 Some(v) => {
                     drop(queue_wait);
                     if let Some(g) = unit_span.as_mut() {
                         g.attr("cache", "hit");
                     }
                     from_cache.fetch_add(1, Ordering::Relaxed);
-                    v
+                    (Some(v), UnitOutcome::Cached, 0u32)
                 }
                 None => {
-                    experiment.prepare(assignment);
                     drop(queue_wait);
-                    let run_span = tracer.map(|t| t.span("run"));
-                    let v = experiment.respond_unit(assignment, unit);
-                    drop(run_span);
-                    cache.store(key, v);
                     if let Some(g) = unit_span.as_mut() {
                         g.attr("cache", "miss");
                     }
-                    executed.fetch_add(1, Ordering::Relaxed);
-                    v
+                    let mut attempt = 0u32;
+                    loop {
+                        attempt += 1;
+                        if attempt > 1 {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            let wait = backoff_ms(self.policy.backoff_ms, unit.seed, attempt);
+                            if wait > 0.0 {
+                                let mut bspan = tracer.map(|t| t.span("backoff"));
+                                if let Some(g) = bspan.as_mut() {
+                                    g.attr("attempt", attempt as usize);
+                                }
+                                std::thread::sleep(Duration::from_secs_f64(wait / 1e3));
+                            }
+                        }
+
+                        let cancel = Arc::new(AtomicBool::new(false));
+                        let started = Instant::now();
+                        if let Some(deadline) = self.policy.deadline_ms {
+                            board.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                                canonical,
+                                (
+                                    started + Duration::from_secs_f64(deadline / 1e3),
+                                    Arc::clone(&cancel),
+                                ),
+                            );
+                        }
+                        set_cancel_token(Some(Arc::clone(&cancel)));
+                        let mut run_span = tracer.map(|t| t.span("run"));
+                        if let Some(g) = run_span.as_mut() {
+                            g.attr("attempt", attempt as usize);
+                        }
+                        // AssertUnwindSafe: the attempt writes nothing the
+                        // sweep reads after a failure — its only output is
+                        // the caught return value.
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(faults) = &self.faults {
+                                faults.fire("exec.unit.run", canonical as u64, attempt);
+                            }
+                            experiment.prepare(assignment);
+                            experiment.respond_unit(assignment, unit)
+                        }));
+                        drop(run_span);
+                        set_cancel_token(None);
+                        if self.policy.deadline_ms.is_some() {
+                            board
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .remove(&canonical);
+                        }
+
+                        let failure = match result {
+                            Ok(v) => {
+                                // A value computed past the deadline is a
+                                // measurement the policy already declared
+                                // invalid — classify, don't keep it.
+                                let late = self.policy.deadline_ms.is_some_and(|d| {
+                                    cancel.load(Ordering::Relaxed)
+                                        || started.elapsed().as_secs_f64() * 1e3 > d
+                                });
+                                if !late {
+                                    executed.fetch_add(1, Ordering::Relaxed);
+                                    cache.store(key, v);
+                                    break (Some(v), UnitOutcome::Measured, attempt);
+                                }
+                                UnitOutcome::TimedOut
+                            }
+                            Err(payload) => {
+                                if payload.downcast_ref::<TimeoutSignal>().is_some() {
+                                    UnitOutcome::TimedOut
+                                } else {
+                                    UnitOutcome::Panicked(panic_message(payload.as_ref()))
+                                }
+                            }
+                        };
+                        if attempt >= self.policy.max_attempts {
+                            break (None, failure, attempt);
+                        }
+                    }
                 }
             };
+
+            let quarantined = value.is_none();
+            if let Some(g) = unit_span.as_mut() {
+                g.attr("outcome", outcome.label())
+                    .attr("attempts", attempts as usize);
+                if quarantined {
+                    g.attr("quarantined", "true");
+                }
+            }
             drop(unit_span);
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(hook) = progress {
@@ -168,27 +350,121 @@ impl Scheduler {
                     elapsed_secs: t0.elapsed().as_secs_f64(),
                 });
             }
-            value
+            (
+                value,
+                UnitReport {
+                    unit: canonical,
+                    run: unit.run,
+                    replicate: unit.replicate,
+                    outcome,
+                    attempts,
+                    quarantined,
+                },
+            )
+        };
+
+        // The watchdog shares the workers' scope so it can borrow the
+        // board and tracer; it polls well under the deadline granularity
+        // and trips cancel flags — the fault layer's `Hang` observes them.
+        let (slots, workers) = std::thread::scope(|scope| {
+            let watchdog = self.policy.deadline_ms.map(|deadline| {
+                let board = &board;
+                let stop = &watchdog_stop;
+                let poll = Duration::from_secs_f64((deadline / 8.0).clamp(1.0, 10.0) / 1e3);
+                std::thread::Builder::new()
+                    .name("watchdog".into())
+                    .spawn_scoped(scope, move || {
+                        if let Some(t) = tracer {
+                            t.label_thread("watchdog");
+                        }
+                        while !stop.load(Ordering::Relaxed) {
+                            let now = Instant::now();
+                            {
+                                let entries = board.lock().unwrap_or_else(PoisonError::into_inner);
+                                for (unit, (due, flag)) in entries.iter() {
+                                    if now >= *due && !flag.swap(true, Ordering::Relaxed) {
+                                        if let Some(t) = tracer {
+                                            let mut g = t.span("deadline-fired");
+                                            g.attr("unit", *unit);
+                                        }
+                                    }
+                                }
+                            }
+                            std::thread::sleep(poll);
+                        }
+                    })
+                    .expect("failed to spawn watchdog")
+            });
+            let out = parallel_map_caught(total, self.threads, tracer, run_unit);
+            watchdog_stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = watchdog {
+                let _ = handle.join();
+            }
+            out
         });
         drop(sweep);
 
         // Scatter execution-order results back into canonical unit slots.
-        let mut responses = vec![0.0; plan.unit_count()];
-        for (p, v) in values.into_iter().enumerate() {
-            responses[order[p]] = v;
+        // The pool-level catch is a second belt — `run_unit` contains its
+        // own panics — but a panicking progress hook still lands here.
+        let mut responses: Vec<Option<f64>> = vec![None; plan.unit_count()];
+        let mut units: Vec<Option<UnitReport>> = vec![None; plan.unit_count()];
+        for (p, slot) in slots.into_iter().enumerate() {
+            let canonical = order[p];
+            let (value, unit_report) = match slot {
+                Ok(pair) => pair,
+                Err(caught) => {
+                    let unit = &plan.units[canonical];
+                    (
+                        None,
+                        UnitReport {
+                            unit: canonical,
+                            run: unit.run,
+                            replicate: unit.replicate,
+                            outcome: UnitOutcome::Panicked(caught.message),
+                            attempts: 1,
+                            quarantined: true,
+                        },
+                    )
+                }
+            };
+            responses[canonical] = value;
+            units[canonical] = Some(unit_report);
         }
-        let table = plan.assemble(&responses);
+        let units: Vec<UnitReport> = units
+            .into_iter()
+            .map(|u| u.expect("every unit reported"))
+            .collect();
+        let quarantined: Vec<usize> = units
+            .iter()
+            .filter(|u| u.quarantined)
+            .map(|u| u.unit)
+            .collect();
+
+        let table = if responses.iter().all(Option::is_some) {
+            let values: Vec<f64> = responses.iter().map(|v| v.unwrap()).collect();
+            Some(plan.assemble(&values))
+        } else {
+            None
+        };
         let report = ExecReport {
             threads: self.threads,
             total_units: total,
             executed: executed.into_inner(),
             from_cache: from_cache.into_inner(),
+            retries: retries.into_inner(),
+            quarantined,
+            units,
             wall_secs: t0.elapsed().as_secs_f64(),
             workers,
             order: self.order.describe(),
             plan: plan.describe(),
         };
-        (table, report)
+        SweepResult {
+            responses,
+            table,
+            report,
+        }
     }
 }
 
@@ -196,6 +472,7 @@ impl Scheduler {
 mod tests {
     use super::*;
     use perfeval_core::factor::Level;
+    use perfeval_fault::{FaultAction, Trigger};
     use perfeval_measure::protocol::RunProtocol;
 
     fn plan(runs: usize, reps: usize, seed: u64) -> RunPlan {
@@ -260,6 +537,10 @@ mod tests {
             "fully cached sweep re-measures nothing"
         );
         assert_eq!(report2.from_cache, 8);
+        assert!(report2
+            .units
+            .iter()
+            .all(|u| u.outcome == UnitOutcome::Cached && u.attempts == 0));
         assert_eq!(first, second, "cached results identical to measured ones");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -346,6 +627,8 @@ mod tests {
         for u in &units {
             assert_eq!(u.attr("cache"), Some(&"miss".into()));
             assert!(u.attr("queued_ms").is_some());
+            assert_eq!(u.attr("outcome"), Some(&"measured".into()));
+            assert_eq!(u.attr("attempts"), Some(&1u64.into()));
         }
         assert_eq!(trace.find("queue-wait").count(), 16);
         assert_eq!(trace.find("run").count(), 16);
@@ -431,5 +714,222 @@ mod tests {
             .execute(&p, &Seeded, &ResultCache::disabled(), &env, None)
             .0;
         assert_eq!(serial, parallel, "seeds are order-independent");
+    }
+
+    // ---- failure containment -------------------------------------------
+
+    /// A registry that panics units 2 and 5 on every attempt.
+    fn persistent_panics() -> Arc<FaultRegistry> {
+        Arc::new(FaultRegistry::new(7).armed_always(
+            "exec.unit.run",
+            Trigger::Keys(vec![2, 5]),
+            FaultAction::Panic,
+        ))
+    }
+
+    #[test]
+    fn panicking_units_are_contained_and_reported() {
+        let p = plan(3, 2, 42);
+        let env = EnvFingerprint::simulated("contain-test");
+        let exp = experiment();
+        for threads in [1, 4] {
+            let sweep = Scheduler::new(threads)
+                .with_faults(persistent_panics())
+                .execute_contained(&p, &exp, &ResultCache::disabled(), &env, None);
+            assert!(!sweep.is_complete());
+            assert!(sweep.table.is_none(), "partial sweep never assembles");
+            assert_eq!(sweep.report.quarantined, vec![2, 5]);
+            assert_eq!(sweep.report.units.len(), 6, "every cell accounted for");
+            for u in &sweep.report.units {
+                if u.unit == 2 || u.unit == 5 {
+                    assert!(matches!(u.outcome, UnitOutcome::Panicked(_)));
+                    assert!(u.quarantined);
+                    assert!(sweep.responses[u.unit].is_none());
+                } else {
+                    assert_eq!(u.outcome, UnitOutcome::Measured);
+                    assert!(sweep.responses[u.unit].is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_recover_via_retries_bit_identically() {
+        let p = plan(4, 2, 9);
+        let env = EnvFingerprint::simulated("retry-test");
+        let exp = experiment();
+        let clean = Scheduler::new(1)
+            .execute(&p, &exp, &ResultCache::disabled(), &env, None)
+            .0;
+        // Every unit panics on attempts 1-2, succeeds on attempt 3.
+        let faults = || {
+            Arc::new(FaultRegistry::new(1).armed_transient(
+                "exec.unit.run",
+                Trigger::Always,
+                3,
+                FaultAction::Panic,
+            ))
+        };
+        for threads in [1, 4] {
+            let sweep = Scheduler::new(threads)
+                .with_policy(RetryPolicy::retries(2))
+                .with_faults(faults())
+                .execute_contained(&p, &exp, &ResultCache::disabled(), &env, None);
+            assert!(sweep.is_complete(), "threads={threads}");
+            assert_eq!(
+                sweep.table.as_ref().unwrap(),
+                &clean,
+                "recovered sweep is bit-identical to the clean one"
+            );
+            assert_eq!(sweep.report.retries, 16, "2 extra attempts x 8 units");
+            assert!(sweep
+                .report
+                .units
+                .iter()
+                .all(|u| u.attempts == 3 && u.outcome == UnitOutcome::Measured));
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_with_final_outcome() {
+        let p = plan(2, 1, 3);
+        let env = EnvFingerprint::simulated("quarantine-test");
+        let exp = experiment();
+        let faults = Arc::new(FaultRegistry::new(0).armed_always(
+            "exec.unit.run",
+            Trigger::Key(0),
+            FaultAction::Panic,
+        ));
+        let sweep = Scheduler::new(1)
+            .with_policy(RetryPolicy::retries(1))
+            .with_faults(faults)
+            .execute_contained(&p, &exp, &ResultCache::disabled(), &env, None);
+        assert_eq!(sweep.report.quarantined, vec![0]);
+        let failed = &sweep.report.units[0];
+        assert_eq!(failed.attempts, 2, "both attempts consumed");
+        assert!(matches!(failed.outcome, UnitOutcome::Panicked(_)));
+        assert_eq!(sweep.report.retries, 1);
+    }
+
+    #[test]
+    fn hung_units_time_out_via_watchdog() {
+        let p = plan(2, 1, 8);
+        let env = EnvFingerprint::simulated("watchdog-test");
+        let exp = experiment();
+        // Unit 1 hangs for 30s (far past the deadline); the watchdog must
+        // cancel it, and unit 0 must still measure.
+        let faults = Arc::new(FaultRegistry::new(0).armed_always(
+            "exec.unit.run",
+            Trigger::Key(1),
+            FaultAction::Hang { ms: 30_000.0 },
+        ));
+        let t0 = Instant::now();
+        let sweep = Scheduler::new(2)
+            .with_policy(RetryPolicy::default().with_deadline_ms(40.0))
+            .with_faults(faults)
+            .execute_contained(&p, &exp, &ResultCache::disabled(), &env, None);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "watchdog cancelled the hang"
+        );
+        assert_eq!(sweep.report.units[1].outcome, UnitOutcome::TimedOut);
+        assert!(sweep.report.units[1].quarantined);
+        assert_eq!(sweep.report.units[0].outcome, UnitOutcome::Measured);
+        assert_eq!(sweep.report.quarantined, vec![1]);
+    }
+
+    #[test]
+    fn traced_watchdog_lane_records_cancellations() {
+        let p = plan(1, 1, 0);
+        let env = EnvFingerprint::simulated("watchdog-trace-test");
+        let exp = experiment();
+        let faults = Arc::new(FaultRegistry::new(0).armed_always(
+            "exec.unit.run",
+            Trigger::Always,
+            FaultAction::Hang { ms: 30_000.0 },
+        ));
+        let tracer = Tracer::new();
+        let sweep = Scheduler::new(1)
+            .with_policy(RetryPolicy::default().with_deadline_ms(30.0))
+            .with_faults(faults)
+            .execute_contained_traced(
+                &p,
+                &exp,
+                &ResultCache::disabled(),
+                &env,
+                None,
+                Some(&tracer),
+            );
+        assert_eq!(sweep.report.units[0].outcome, UnitOutcome::TimedOut);
+        let trace = tracer.snapshot();
+        assert!(
+            trace.lanes.iter().any(|l| l.label == "watchdog"),
+            "watchdog lane present"
+        );
+        assert!(
+            trace.find("deadline-fired").count() >= 1,
+            "cancellation recorded"
+        );
+        let unit = trace
+            .lanes
+            .iter()
+            .flat_map(|l| l.records.iter())
+            .find(|s| s.name.starts_with("unit "))
+            .expect("unit span");
+        assert_eq!(unit.attr("outcome"), Some(&"timed_out".into()));
+        assert_eq!(unit.attr("quarantined"), Some(&"true".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep incomplete")]
+    fn legacy_execute_panics_with_taxonomy_on_quarantine() {
+        let p = plan(3, 2, 42);
+        let env = EnvFingerprint::simulated("legacy-test");
+        let exp = experiment();
+        let _ = Scheduler::new(1).with_faults(persistent_panics()).execute(
+            &p,
+            &exp,
+            &ResultCache::disabled(),
+            &env,
+            None,
+        );
+    }
+
+    #[test]
+    fn failure_report_is_invariant_under_threads_and_order() {
+        let p = plan(4, 3, 13);
+        let env = EnvFingerprint::simulated("invariant-test");
+        let exp = experiment();
+        let faults = || {
+            Arc::new(
+                FaultRegistry::new(5)
+                    .armed_always(
+                        "exec.unit.run",
+                        Trigger::KeyModulo {
+                            modulus: 5,
+                            remainder: 2,
+                        },
+                        FaultAction::Panic,
+                    )
+                    .armed_transient("exec.unit.run", Trigger::Key(0), 2, FaultAction::Panic),
+            )
+        };
+        let baseline = Scheduler::new(1)
+            .with_policy(RetryPolicy::retries(1))
+            .with_faults(faults())
+            .execute_contained(&p, &exp, &ResultCache::disabled(), &env, None);
+        for threads in [2, 4] {
+            for order in [OrderPolicy::Shuffled(3), OrderPolicy::Blocked] {
+                let sweep = Scheduler::new(threads)
+                    .with_order(order)
+                    .with_policy(RetryPolicy::retries(1))
+                    .with_faults(faults())
+                    .execute_contained(&p, &exp, &ResultCache::disabled(), &env, None);
+                assert_eq!(sweep.report.units, baseline.report.units);
+                assert_eq!(sweep.report.quarantined, baseline.report.quarantined);
+                assert_eq!(sweep.report.retries, baseline.report.retries);
+                assert_eq!(sweep.responses, baseline.responses);
+            }
+        }
     }
 }

@@ -180,6 +180,11 @@ impl Report {
         if !self.tables.iter().all(ResultTable::fully_replicated) {
             missing.push("replication");
         }
+        // A sweep with quarantined units produced a partial response
+        // table; a report built on it must say so, loudly.
+        if self.execution.as_ref().is_some_and(|e| !e.is_complete()) {
+            missing.push("complete-execution");
+        }
         missing
     }
 
@@ -315,6 +320,9 @@ mod tests {
             total_units: 24,
             executed: 20,
             from_cache: 4,
+            retries: 0,
+            quarantined: Vec::new(),
+            units: Vec::new(),
             wall_secs: 2.0,
             workers: Vec::new(),
             order: "shuffled order (seed 7)".into(),
@@ -325,6 +333,53 @@ mod tests {
         assert!(text.contains("4 thread(s)"));
         assert!(text.contains("20 executed, 4 resumed from cache"));
         assert!(text.contains("shuffled order (seed 7)"));
+        assert!(
+            !text.contains("complete-execution"),
+            "clean sweeps are not flagged"
+        );
+    }
+
+    #[test]
+    fn partial_sweep_flags_the_report_and_renders_its_taxonomy() {
+        use perfeval_exec::{UnitOutcome, UnitReport};
+        let exec = ExecReport {
+            threads: 2,
+            total_units: 6,
+            executed: 4,
+            from_cache: 0,
+            retries: 3,
+            quarantined: vec![1, 4],
+            units: vec![
+                UnitReport {
+                    unit: 1,
+                    run: 0,
+                    replicate: 1,
+                    outcome: UnitOutcome::Panicked("injected fault: exec.unit.run".into()),
+                    attempts: 2,
+                    quarantined: true,
+                },
+                UnitReport {
+                    unit: 4,
+                    run: 2,
+                    replicate: 0,
+                    outcome: UnitOutcome::TimedOut,
+                    attempts: 2,
+                    quarantined: true,
+                },
+            ],
+            wall_secs: 1.0,
+            workers: Vec::new(),
+            order: "as-designed order".into(),
+            plan: "3 runs x 2 replications".into(),
+        };
+        let r = full_report().execution(exec);
+        assert!(r.missing_sections().contains(&"complete-execution"));
+        let text = r.render();
+        assert!(text.contains("failures: 1 panicked, 1 timed out"));
+        assert!(text.contains("PARTIAL"));
+        assert!(text.contains("injected fault: exec.unit.run"));
+        assert!(text.contains("incomplete report"));
+        assert!(text.contains("complete-execution"));
     }
 
     #[test]

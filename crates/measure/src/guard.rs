@@ -1,0 +1,224 @@
+//! Measurement-validity guard: detect interference, re-measure, report.
+//!
+//! The tutorial's "variation due to experimental error is ignored" mistake
+//! has a second face: variation due to *interference* (a cron job, a
+//! checkpoint, a thermal event) is averaged in as if it were the system
+//! under test. The guard runs the replicates, scans them with the MAD
+//! detector (robust even when interference hits several replicates at
+//! once), deterministically re-measures the flagged indices, and repeats
+//! up to a bounded number of rounds. If flags persist, the outcome says so
+//! — `clean: false` — instead of quietly shipping a contaminated sample.
+
+use perfeval_stats::outlier::mad_outliers;
+
+/// Policy for validity-guarded sampling: the MAD modified-z threshold and
+/// how many re-measurement rounds to attempt before giving up honestly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidityGuard {
+    /// Modified z-score threshold passed to
+    /// [`mad_outliers`] (3.5 is the customary Iglewicz–Hoaglin value).
+    pub threshold: f64,
+    /// Re-measurement rounds after the initial pass. 0 = detect only.
+    pub max_rounds: usize,
+}
+
+impl Default for ValidityGuard {
+    fn default() -> Self {
+        ValidityGuard {
+            threshold: 3.5,
+            max_rounds: 2,
+        }
+    }
+}
+
+/// What the guard did and what it believes about the final sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardOutcome {
+    /// The final sample, one value per replicate index. Flagged replicates
+    /// hold their most recent re-measurement.
+    pub samples: Vec<f64>,
+    /// Replicate indices still flagged by the final detection pass. Empty
+    /// when `clean`.
+    pub suspected: Vec<usize>,
+    /// Total re-measurements performed across all rounds.
+    pub remeasured: usize,
+    /// Detection rounds run (1 initial + up to `max_rounds` re-measure
+    /// rounds; 0 when the sample was too small to scan).
+    pub rounds: usize,
+    /// True iff the final pass flagged nothing. `false` means persistent
+    /// contamination — report it, don't average over it.
+    pub clean: bool,
+}
+
+impl GuardOutcome {
+    /// One-line summary for reports.
+    pub fn describe(&self) -> String {
+        if self.clean && self.remeasured == 0 {
+            format!("{} replicate(s), clean on first pass", self.samples.len())
+        } else if self.clean {
+            format!(
+                "{} replicate(s), clean after {} re-measurement(s) in {} round(s)",
+                self.samples.len(),
+                self.remeasured,
+                self.rounds
+            )
+        } else {
+            format!(
+                "{} replicate(s), SUSPECT: {} still flagged after {} re-measurement(s) — \
+                 interference persists",
+                self.samples.len(),
+                self.suspected.len(),
+                self.remeasured
+            )
+        }
+    }
+}
+
+impl ValidityGuard {
+    /// A guard with the given MAD threshold and default rounds.
+    pub fn new(threshold: f64) -> Self {
+        ValidityGuard {
+            threshold,
+            ..ValidityGuard::default()
+        }
+    }
+
+    /// Sets the number of re-measurement rounds.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Measures `n` replicates via `workload(replicate)`, scanning each
+    /// round with the MAD detector and re-measuring flagged replicates —
+    /// by index, so the re-measurement schedule is a pure function of the
+    /// observed values, not of timing or thread interleaving.
+    ///
+    /// Samples smaller than 4 cannot be scanned (the detector's floor);
+    /// they are measured once and returned with `rounds: 0, clean: true`.
+    pub fn guard_sample(&self, n: usize, mut workload: impl FnMut(usize) -> f64) -> GuardOutcome {
+        let mut samples: Vec<f64> = (0..n).map(&mut workload).collect();
+        if n < 4 {
+            return GuardOutcome {
+                samples,
+                suspected: Vec::new(),
+                remeasured: 0,
+                rounds: 0,
+                clean: true,
+            };
+        }
+        let mut remeasured = 0;
+        let mut rounds = 0;
+        let mut flagged: Vec<usize>;
+        loop {
+            rounds += 1;
+            flagged = mad_outliers(&samples, self.threshold)
+                .expect("guarded samples are finite and n >= 4")
+                .flagged;
+            if flagged.is_empty() || rounds > self.max_rounds {
+                break;
+            }
+            for &i in &flagged {
+                samples[i] = workload(i);
+                remeasured += 1;
+            }
+        }
+        GuardOutcome {
+            samples,
+            clean: flagged.is_empty(),
+            suspected: flagged,
+            remeasured,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_workload_passes_first_round() {
+        let out = ValidityGuard::default().guard_sample(8, |i| 100.0 + (i % 3) as f64 * 0.1);
+        assert!(out.clean);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.remeasured, 0);
+        assert!(out.describe().contains("clean on first pass"));
+    }
+
+    #[test]
+    fn transient_interference_is_remeasured_away() {
+        // Replicate 3's first measurement is hit by "interference"; its
+        // re-measurement is clean.
+        let mut hit = false;
+        let out = ValidityGuard::default().guard_sample(8, |i| {
+            if i == 3 && !hit {
+                hit = true;
+                return 5000.0;
+            }
+            100.0 + i as f64 * 0.01
+        });
+        assert!(out.clean);
+        assert_eq!(out.remeasured, 1);
+        assert_eq!(out.rounds, 2, "initial pass + one confirming pass");
+        assert!((out.samples[3] - 100.03).abs() < 1e-9);
+        assert!(out.describe().contains("clean after 1 re-measurement"));
+    }
+
+    #[test]
+    fn persistent_interference_reports_suspect_honestly() {
+        // Replicate 5 is contaminated on every measurement — the guard
+        // must give up after max_rounds and say so.
+        let out = ValidityGuard::default()
+            .with_max_rounds(2)
+            .guard_sample(8, |i| {
+                if i == 5 {
+                    9000.0
+                } else {
+                    100.0 + i as f64 * 0.01
+                }
+            });
+        assert!(!out.clean);
+        assert_eq!(out.suspected, vec![5]);
+        assert_eq!(out.remeasured, 2, "one re-measurement per round");
+        assert!(out.describe().contains("SUSPECT"));
+        assert!(out.describe().contains("interference persists"));
+    }
+
+    #[test]
+    fn remeasurement_is_deterministic_in_indices() {
+        // Two runs of the same deterministic workload produce identical
+        // outcomes — the guard adds no hidden nondeterminism.
+        let run = || {
+            let mut first = [true; 8];
+            ValidityGuard::default().guard_sample(8, |i| {
+                if (i == 2 || i == 6) && std::mem::take(&mut first[i]) {
+                    4000.0
+                } else {
+                    50.0 + i as f64
+                }
+            })
+        };
+        assert_eq!(run(), run());
+        assert!(run().clean);
+        assert_eq!(run().remeasured, 2);
+    }
+
+    #[test]
+    fn tiny_samples_skip_detection() {
+        let out = ValidityGuard::default().guard_sample(3, |i| i as f64);
+        assert_eq!(out.rounds, 0);
+        assert!(out.clean);
+        assert_eq!(out.samples, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn detect_only_mode_never_remeasures() {
+        let out = ValidityGuard::new(3.5)
+            .with_max_rounds(0)
+            .guard_sample(8, |i| if i == 0 { 7000.0 } else { 10.0 });
+        assert!(!out.clean);
+        assert_eq!(out.remeasured, 0);
+        assert_eq!(out.suspected, vec![0]);
+    }
+}

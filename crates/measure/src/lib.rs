@@ -18,12 +18,16 @@
 //!   3.4 GHz" and not 151 lines of `lspci -v`.
 //! * [`counters`] — named event counters, the software face of "hardware
 //!   performance counters" (filled in by the `memsim` simulator).
+//! * [`guard`] — the measurement-validity guard: MAD-based interference
+//!   detection over replicated samples with bounded, deterministic
+//!   re-measurement — and an honest `clean: false` when flags persist.
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod clock;
 pub mod counters;
 pub mod env;
+pub mod guard;
 pub mod protocol;
 pub mod sample;
 
@@ -31,5 +35,6 @@ pub use adaptive::{measure_until, AdaptiveResult};
 pub use clock::{AtomicClock, Clock, CpuClock, ManualClock, QuantizedClock, WallClock};
 pub use counters::CounterSet;
 pub use env::{EnvSpec, SoftwareSpec, SpecLevel};
+pub use guard::{GuardOutcome, ValidityGuard};
 pub use protocol::{CacheState, KeepPolicy, RunProtocol, RunResult};
 pub use sample::{Measurement, Phase, PhaseTimer};

@@ -24,8 +24,10 @@ use crate::plan::Plan;
 use crate::sink::{NullSink, ResultSink};
 use crate::types::Value;
 use memsim::{BufferPool, Disk};
+use perfeval_fault::FaultRegistry;
 use perfeval_measure::{Clock, CpuClock, Measurement, Phase, PhaseTimer};
 use perfeval_trace::Tracer;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of executing one query in a [`Session`].
@@ -87,6 +89,11 @@ pub struct Session {
     pool: Option<BufferPool>,
     parallelism: usize,
     morsel_rows: usize,
+    faults: Option<Arc<FaultRegistry>>,
+    /// Statements issued so far — the fault key for the `minidb.*`
+    /// failpoints, so a schedule targets "the 3rd statement"
+    /// deterministically regardless of timing.
+    statements: u64,
 }
 
 // Parallel experiment workers (`perfeval-exec`) each own sessions on their
@@ -108,7 +115,18 @@ impl Session {
             pool: None,
             parallelism: 1,
             morsel_rows: crate::exec::DEFAULT_MORSEL_ROWS,
+            faults: None,
+            statements: 0,
         }
+    }
+
+    /// Arms a fault registry: the session evaluates the `minidb.parse` and
+    /// `minidb.execute` failpoints (keyed by 0-based statement ordinal)
+    /// around each statement, so robustness experiments can crash, delay,
+    /// or hang the engine at a chosen statement deterministically.
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Selects the execution engine (the DBG/OPT axis).
@@ -303,6 +321,9 @@ impl<'s, 'q> Query<'s, 'q> {
             None => &mut null,
         };
 
+        let statement = session.statements;
+        session.statements += 1;
+
         let mut timer = PhaseTimer::new();
         let mut root = tracer.map(|t| t.span("query"));
         if let Some(g) = root.as_mut() {
@@ -313,6 +334,9 @@ impl<'s, 'q> Query<'s, 'q> {
         // Parse.
         let t0 = Instant::now();
         let parse_span = tracer.map(|t| t.span("parse"));
+        if let Some(faults) = &session.faults {
+            faults.fire("minidb.parse", statement, 1);
+        }
         let stmt = parse_statement(sql)?;
         let stmt = match stmt {
             Statement::Select(s) => s,
@@ -361,6 +385,9 @@ impl<'s, 'q> Query<'s, 'q> {
         let cpu0 = cpu.now_ns();
         let t2 = Instant::now();
         let mut exec_span = tracer.map(|t| t.span("execute"));
+        if let Some(faults) = &session.faults {
+            faults.fire("minidb.execute", statement, 1);
+        }
         let (result, profile) = {
             let mut executor = Executor::new(&session.catalog, session.mode)
                 .with_parallelism(parallelism)
@@ -716,6 +743,77 @@ mod tests {
         assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
         assert_eq!(r.execute_cpu_ms, 0.0);
         assert!(r.phases.phase(Phase::Parse).is_some());
+    }
+
+    #[test]
+    fn failpoints_target_statements_deterministically() {
+        use perfeval_fault::{panic_message, FaultAction, Trigger};
+        let faults = Arc::new(FaultRegistry::new(11).armed_always(
+            "minidb.execute",
+            Trigger::Key(1),
+            FaultAction::Panic,
+        ));
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("nums").column("x", DataType::Int).build();
+        for i in 0..100 {
+            t.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        catalog.register(t).unwrap();
+        let mut s = Session::new(catalog).with_faults(Arc::clone(&faults));
+
+        // Statement 0 is untouched.
+        let r = s.query("SELECT COUNT(*) FROM nums").run().unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
+
+        // Statement 1 dies at the execute failpoint.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.query("SELECT COUNT(*) FROM nums").run()
+        }))
+        .expect_err("statement 1 panics");
+        assert!(panic_message(err.as_ref()).contains("minidb.execute"));
+
+        // Statement 2 recovers — the session survives a contained panic.
+        let r = s.query("SELECT MAX(x) FROM nums").run().unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(99)]]);
+        assert_eq!(faults.fired("minidb.execute"), 1);
+        assert_eq!(
+            faults.hits("minidb.parse"),
+            3,
+            "parse site saw every statement"
+        );
+    }
+
+    #[test]
+    fn injected_latency_preserves_results() {
+        use perfeval_fault::{FaultAction, Trigger};
+        let faults = Arc::new(FaultRegistry::new(0).armed_always(
+            "minidb.execute",
+            Trigger::Always,
+            FaultAction::DelayMs(2.0),
+        ));
+        let mut clean = session();
+        let baseline = clean.query("SELECT SUM(y) FROM nums").run().unwrap();
+
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("nums")
+            .column("x", DataType::Int)
+            .column("y", DataType::Float)
+            .build();
+        for i in 0..10_000 {
+            t.push_row(vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+                .unwrap();
+        }
+        catalog.register(t).unwrap();
+        let mut slow = Session::new(catalog).with_faults(faults);
+        let delayed = slow.query("SELECT SUM(y) FROM nums").run().unwrap();
+        assert_eq!(
+            delayed.rows, baseline.rows,
+            "latency injection changes timing, never answers"
+        );
+        assert!(
+            delayed.phases.phase(Phase::Execute).unwrap() >= 2.0,
+            "injected delay shows up in the execute phase"
+        );
     }
 
     #[test]

@@ -6,18 +6,63 @@
 //! and a mutex-guarded slot vector for results. Determinism comes from the
 //! *slots*, not the schedule: result `i` always lands in slot `i`, so the
 //! output is independent of which worker ran it and when.
+//!
+//! Failure model: each invocation of the work closure runs under
+//! `catch_unwind`, so one panicking unit never takes down a worker, poisons
+//! a lock, or abandons the remaining units. [`parallel_map_caught`] exposes
+//! the panic as a *value* ([`CaughtPanic`], slot-addressed like any other
+//! result); [`parallel_map`] keeps the historical fail-fast contract by
+//! resuming the first caught panic — in index order, deterministically —
+//! after every unit has finished. Lock poisoning is recovered rather than
+//! escalated: a poisoned mutex only ever means a worker panicked, and the
+//! data under it is still valid.
 
 use perfeval_trace::Tracer;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Per-worker execution counters, for throughput/straggler reporting.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerStats {
-    /// Units this worker completed.
+    /// Units this worker completed (including units whose closure
+    /// panicked — the worker still spent the time).
     pub units: usize,
     /// Total busy time, seconds.
     pub busy_secs: f64,
+}
+
+/// A panic caught from one invocation of the work closure, surfaced as a
+/// value: the extracted message for reporting, and the original payload so
+/// fail-fast callers can resume the unwind without losing information.
+#[derive(Debug)]
+pub struct CaughtPanic {
+    /// Human-readable panic message (`&str`/`String` payloads pass
+    /// through; anything else is labelled opaquely).
+    pub message: String,
+    /// The original panic payload.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl CaughtPanic {
+    fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        CaughtPanic { message, payload }
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: poisoning here
+/// only ever means another worker's closure panicked, and the slot/stat
+/// data is still consistent (each entry is written exactly once). Turning
+/// that into a second panic would mask the original failure.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Applies `f` to every index in `0..count` using `threads` workers and
@@ -28,7 +73,8 @@ pub struct WorkerStats {
 /// the work runs on the calling thread (no spawn overhead).
 ///
 /// # Panics
-/// Propagates a panic from any worker invocation of `f`.
+/// If any invocation of `f` panicked, resumes the lowest-index panic on
+/// the calling thread — after all other units have completed.
 pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> (Vec<T>, Vec<WorkerStats>)
 where
     T: Send,
@@ -45,7 +91,8 @@ where
 /// same tracer land on the correct per-worker lane automatically.
 ///
 /// # Panics
-/// Propagates a panic from any worker invocation of `f`.
+/// If any invocation of `f` panicked, resumes the lowest-index panic on
+/// the calling thread — after all other units have completed.
 pub fn parallel_map_traced<T, F>(
     count: usize,
     threads: usize,
@@ -56,10 +103,41 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let (results, stats) = parallel_map_caught(count, threads, tracer, f);
+    let values = results
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(value) => value,
+            Err(caught) => std::panic::resume_unwind(caught.payload),
+        })
+        .collect();
+    (values, stats)
+}
+
+/// [`parallel_map_traced`] with panics contained per unit: element `i` is
+/// `Ok(f(i))`, or `Err(CaughtPanic)` if that invocation panicked. All
+/// units always execute; a panic in one never aborts the others. This is
+/// the primitive the experiment scheduler's failure containment builds on.
+pub fn parallel_map_caught<T, F>(
+    count: usize,
+    threads: usize,
+    tracer: Option<&Tracer>,
+    f: F,
+) -> (Vec<Result<T, CaughtPanic>>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    // AssertUnwindSafe: each invocation writes only its own slot, and `f`
+    // is immutable-borrowed — a caught panic cannot leave pool state torn.
+    let call = |i: usize| -> Result<T, CaughtPanic> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i))).map_err(CaughtPanic::from_payload)
+    };
+
     let threads = threads.max(1).min(count.max(1));
     if threads <= 1 {
         let t0 = std::time::Instant::now();
-        let results = (0..count).map(&f).collect();
+        let results = (0..count).map(call).collect();
         return (
             results,
             vec![WorkerStats {
@@ -70,11 +148,12 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<Result<T, CaughtPanic>>>> =
+        Mutex::new((0..count).map(|_| None).collect());
     let stats: Mutex<Vec<WorkerStats>> = Mutex::new(vec![WorkerStats::default(); threads]);
 
     std::thread::scope(|scope| {
-        let (cursor, slots, stats, f) = (&cursor, &slots, &stats, &f);
+        let (cursor, slots, stats, call) = (&cursor, &slots, &stats, &call);
         for worker in 0..threads {
             let name = format!("worker-{worker}");
             std::thread::Builder::new()
@@ -90,24 +169,23 @@ where
                             break;
                         }
                         let t0 = std::time::Instant::now();
-                        let value = f(i);
+                        let value = call(i);
                         local.busy_secs += t0.elapsed().as_secs_f64();
                         local.units += 1;
-                        slots.lock().expect("pool slots poisoned")[i] = Some(value);
+                        lock_recover(slots)[i] = Some(value);
                     }
-                    stats.lock().expect("pool stats poisoned")[worker] = local;
+                    lock_recover(stats)[worker] = local;
                 })
                 .expect("failed to spawn pool worker");
         }
     });
 
-    let results = slots
-        .into_inner()
-        .expect("pool slots poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("every index executed"))
+    let results = lock_recover(&slots)
+        .iter_mut()
+        .map(|slot| slot.take().expect("every index executed"))
         .collect();
-    (results, stats.into_inner().expect("pool stats poisoned"))
+    let stats = lock_recover(&stats).clone();
+    (results, stats)
 }
 
 #[cfg(test)]
@@ -148,5 +226,71 @@ mod tests {
         let (out, stats) = parallel_map(2, 16, |i| i + 10);
         assert_eq!(out, vec![10, 11]);
         assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn caught_panics_are_values_and_other_units_complete() {
+        for threads in [1, 4] {
+            let (out, stats) = parallel_map_caught(20, threads, None, |i| {
+                if i % 7 == 3 {
+                    panic!("unit {i} died");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 20);
+            for (i, slot) in out.iter().enumerate() {
+                match slot {
+                    Ok(v) => {
+                        assert_ne!(i % 7, 3);
+                        assert_eq!(*v, i * 2);
+                    }
+                    Err(caught) => {
+                        assert_eq!(i % 7, 3, "only armed units fail");
+                        assert_eq!(caught.message, format!("unit {i} died"));
+                    }
+                }
+            }
+            // Every unit (including panicked ones) is accounted for.
+            assert_eq!(
+                stats.iter().map(|s| s.units).sum::<usize>(),
+                20,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_resumes_the_lowest_index_panic() {
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(16, 4, |i| {
+                if i == 5 || i == 11 {
+                    panic!("boom {i}");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = result.expect_err("panic propagates");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert_eq!(message, "boom 5", "lowest index wins, deterministically");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            14,
+            "all healthy units still ran"
+        );
+    }
+
+    #[test]
+    fn non_string_payloads_are_labelled() {
+        let (out, _) = parallel_map_caught(1, 1, None, |_| -> usize {
+            std::panic::panic_any(77u32);
+        });
+        let err = out.into_iter().next().unwrap().unwrap_err();
+        assert_eq!(err.message, "non-string panic payload");
+        assert_eq!(err.payload.downcast_ref::<u32>(), Some(&77));
     }
 }

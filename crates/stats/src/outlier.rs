@@ -122,6 +122,69 @@ pub fn zscore_outliers(data: &[f64]) -> Result<OutlierReport, StatsError> {
     Ok(OutlierReport { classes, flagged })
 }
 
+/// MAD (median absolute deviation) outliers via the modified z-score
+/// `0.6745 · (x − median) / MAD`: observations with `|z| > threshold` are
+/// mild, `|z| > 2·threshold` extreme. The customary threshold is 3.5
+/// (Iglewicz & Hoaglin). The most robust of the three detectors — both
+/// location and scale are medians, so up to half the sample can be
+/// contaminated before the fences move — which makes it the right guard
+/// for *interference detection*, where the contamination (a cron job, a
+/// thermal event) may hit many replicates at once.
+///
+/// When `MAD == 0` (more than half the sample is exactly the median —
+/// common with quantized timers), any observation not equal to the median
+/// is flagged extreme: the sample claims perfect stability, so any
+/// deviation is suspect.
+///
+/// # Errors
+/// Fails on non-finite data, fewer than 4 observations, or a
+/// non-positive/non-finite `threshold`.
+pub fn mad_outliers(data: &[f64], threshold: f64) -> Result<OutlierReport, StatsError> {
+    check_finite(data)?;
+    if data.len() < 4 {
+        return Err(StatsError::NotEnoughData {
+            needed: 4,
+            got: data.len(),
+        });
+    }
+    if !(threshold > 0.0 && threshold.is_finite()) {
+        return Err(StatsError::InvalidParameter(
+            "MAD threshold must be positive and finite",
+        ));
+    }
+    let median = Summary::from_slice(data).median()?;
+    let deviations: Vec<f64> = data.iter().map(|v| (v - median).abs()).collect();
+    let mad = Summary::from_slice(&deviations).median()?;
+    let classes: Vec<OutlierClass> = data
+        .iter()
+        .map(|&v| {
+            if mad == 0.0 {
+                if v == median {
+                    OutlierClass::Normal
+                } else {
+                    OutlierClass::Extreme
+                }
+            } else {
+                let z = (0.6745 * (v - median) / mad).abs();
+                if z > 2.0 * threshold {
+                    OutlierClass::Extreme
+                } else if z > threshold {
+                    OutlierClass::Mild
+                } else {
+                    OutlierClass::Normal
+                }
+            }
+        })
+        .collect();
+    let flagged = classes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c != OutlierClass::Normal)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(OutlierReport { classes, flagged })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +230,41 @@ mod tests {
     fn small_samples_rejected() {
         assert!(iqr_outliers(&[1.0, 2.0, 3.0]).is_err());
         assert!(zscore_outliers(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mad_flags_interference_spikes() {
+        // Two replicates hit by a background job — IQR and MAD both catch
+        // these, but MAD's fences barely move despite 25% contamination.
+        let data = [
+            3534.0, 3512.0, 13243.0, 3548.0, 3521.0, 12100.0, 3539.0, 3527.0,
+        ];
+        let r = mad_outliers(&data, 3.5).unwrap();
+        assert_eq!(r.flagged, vec![2, 5]);
+        assert_eq!(r.classes[2], OutlierClass::Extreme);
+        assert!(r.retained(&data).iter().all(|&v| v < 4000.0));
+    }
+
+    #[test]
+    fn mad_clean_sample_stays_clean() {
+        let data = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.3];
+        assert!(mad_outliers(&data, 3.5).unwrap().is_clean());
+    }
+
+    #[test]
+    fn mad_zero_mad_flags_any_deviation() {
+        // Quantized timer: most replicates identical, one differs.
+        let data = [5.0, 5.0, 5.0, 5.0, 5.0, 7.0];
+        let r = mad_outliers(&data, 3.5).unwrap();
+        assert_eq!(r.flagged, vec![5]);
+        assert_eq!(r.classes[5], OutlierClass::Extreme);
+    }
+
+    #[test]
+    fn mad_rejects_bad_inputs() {
+        assert!(mad_outliers(&[1.0, 2.0, 3.0], 3.5).is_err());
+        assert!(mad_outliers(&[1.0, 2.0, 3.0, 4.0], 0.0).is_err());
+        assert!(mad_outliers(&[1.0, 2.0, 3.0, f64::NAN], 3.5).is_err());
     }
 
     #[test]

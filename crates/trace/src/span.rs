@@ -172,6 +172,18 @@ impl Trace {
             .flat_map(|l| l.records.iter())
             .filter(move |r| r.name == name)
     }
+
+    /// Counts spans carrying attribute `key` equal to `value`, across all
+    /// lanes — the one-liner failure-observability queries are built from
+    /// (`trace.count_attr("outcome", "panicked")`).
+    pub fn count_attr(&self, key: &str, value: impl Into<AttrValue>) -> usize {
+        let value = value.into();
+        self.lanes
+            .iter()
+            .flat_map(|l| l.records.iter())
+            .filter(|r| r.attr(key) == Some(&value))
+            .count()
+    }
 }
 
 /// Rebuilds the per-lane span forest from flat records.
@@ -249,5 +261,38 @@ mod tests {
         assert_eq!(r.duration_ns(), 250);
         assert_eq!(r.attr("rows"), Some(&AttrValue::Int(7)));
         assert_eq!(r.attr("missing"), None);
+    }
+
+    #[test]
+    fn count_attr_matches_key_and_value_across_lanes() {
+        let mut a = rec(1, None, "unit 0", 0, 10);
+        a.attrs
+            .push(("outcome".into(), AttrValue::Str("panicked".into())));
+        let mut b = rec(2, None, "unit 1", 0, 10);
+        b.attrs
+            .push(("outcome".into(), AttrValue::Str("measured".into())));
+        let mut c = rec(3, None, "unit 2", 0, 10);
+        c.attrs
+            .push(("outcome".into(), AttrValue::Str("panicked".into())));
+        let trace = Trace {
+            lanes: vec![
+                LaneSnapshot {
+                    label: "w0".into(),
+                    lane_index: 0,
+                    records: vec![a, b],
+                    dropped: 0,
+                },
+                LaneSnapshot {
+                    label: "w1".into(),
+                    lane_index: 1,
+                    records: vec![c],
+                    dropped: 0,
+                },
+            ],
+        };
+        assert_eq!(trace.count_attr("outcome", "panicked"), 2);
+        assert_eq!(trace.count_attr("outcome", "measured"), 1);
+        assert_eq!(trace.count_attr("outcome", "timed_out"), 0);
+        assert_eq!(trace.count_attr("nope", "panicked"), 0);
     }
 }

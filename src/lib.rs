@@ -16,8 +16,9 @@
 //! | [`minidb`] | the substrate DBMS: column store, SQL subset, DBG/OPT engines, EXPLAIN/PROFILE, result sinks |
 //! | [`workload`] | TPC-H-like data generator, Q1/Q6/Q16-like queries, the 22-query DBG/OPT family, micro-benchmarks |
 //! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets |
-//! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache |
+//! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache, failure-contained execution |
 //! | [`trace`] (`perfeval-trace`) | span-based observability: per-thread ring-buffer recorder, Chrome/Perfetto + flamegraph + tree exporters |
+//! | [`fault`] (`perfeval-fault`) | seeded deterministic fault injection: failpoints that panic, delay, hang, skew clocks, and fail cache I/O |
 //!
 //! ## Quickstart: design, run, analyze
 //!
@@ -39,6 +40,7 @@ pub use memsim;
 pub use minidb;
 pub use perfeval_core as core;
 pub use perfeval_exec as exec;
+pub use perfeval_fault as fault;
 pub use perfeval_harness as harness;
 pub use perfeval_measure as measure;
 pub use perfeval_stats as stats;
@@ -56,7 +58,10 @@ pub mod prelude {
     pub use perfeval_core::runner::{run_and_analyze, Assignment, Runner, SyncExperiment};
     pub use perfeval_core::twolevel::TwoLevelDesign;
     pub use perfeval_core::variation::allocate_variation;
-    pub use perfeval_exec::{OrderPolicy, ParallelRunner, ResultCache, Scheduler};
+    pub use perfeval_exec::{
+        OrderPolicy, ParallelRunner, ResultCache, RetryPolicy, Scheduler, SweepResult, UnitOutcome,
+    };
+    pub use perfeval_fault::{Failpoint, FaultAction, FaultRegistry, Trigger};
     pub use perfeval_harness::{ExperimentSuite, GnuplotScript, Properties};
     pub use perfeval_measure::{CacheState, Clock, Measurement, RunProtocol, WallClock};
     pub use perfeval_stats::{compare_means, mean_confidence_interval, Summary};
