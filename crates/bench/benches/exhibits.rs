@@ -18,13 +18,13 @@ fn bench_e2_hot_cold(c: &mut Criterion) {
     let mut hot = Session::new(catalog.clone()).with_disk(Disk::raid_2008(), 100_000);
     hot.query(&sql).run().unwrap();
     group.bench_function("hot", |b| {
-        b.iter(|| hot.query(&sql).run().unwrap().server_real_ms())
+        b.iter(|| hot.query(&sql).run().unwrap().sim_server_real_ms())
     });
     let mut cold = Session::new(catalog).with_disk(Disk::raid_2008(), 100_000);
     group.bench_function("cold", |b| {
         b.iter(|| {
             cold.flush_caches();
-            cold.query(&sql).run().unwrap().server_real_ms()
+            cold.query(&sql).run().unwrap().sim_server_real_ms()
         })
     });
     group.finish();

@@ -49,8 +49,8 @@ fn measure(session: &mut Session, name: &'static str, sql: &str) -> Row {
         query: name,
         server_user: server.server_user_ms(),
         server_real: server.server_real_ms(),
-        client_file: to_file.client_real_ms(),
-        client_term: to_term.client_real_ms(),
+        client_file: to_file.sim_client_real_ms(),
+        client_term: to_term.sim_client_real_ms(),
         result_kb: to_term.result_bytes as f64 / 1024.0,
     }
 }
@@ -76,6 +76,7 @@ fn main() {
         );
     }
     println!("\n(times in milliseconds; 'term' includes simulated terminal rendering)");
+    println!("(for the *measured* client-side decomposition over a real wire, see E21)");
 
     // The paper's qualitative claims, asserted.
     let q1 = &rows[0];

@@ -39,18 +39,18 @@ fn main() {
     let _ = session.query(&sql).run().expect("hot warm 2");
     let hot = session.query(&sql).run().expect("hot measured");
 
-    println!("        cold               hot");
+    println!("        cold               hot        (real = simulated era-disk real time)");
     println!("Q    user    real      user    real    ... time (milliseconds)");
     println!(
         "1  {:>6.0}  {:>6.0}    {:>6.0}  {:>6.0}",
         cold.server_user_ms(),
-        cold.server_real_ms(),
+        cold.sim_server_real_ms(),
         hot.server_user_ms(),
-        hot.server_real_ms()
+        hot.sim_server_real_ms()
     );
 
-    let cold_gap = cold.server_real_ms() / cold.server_user_ms();
-    let hot_gap = hot.server_real_ms() / hot.server_user_ms();
+    let cold_gap = cold.sim_server_real_ms() / cold.server_user_ms();
+    let hot_gap = hot.sim_server_real_ms() / hot.server_user_ms();
     println!("\ncold real/user = {cold_gap:.1}x   hot real/user = {hot_gap:.2}x");
     println!(
         "paper: cold 13243/2930 = {:.1}x, hot 3534/2830 = {:.2}x",

@@ -1,0 +1,80 @@
+//! `minidb-serve` — a standalone minidb server over TCP.
+//!
+//! Serves the standard benchmark catalog (TPC-H-like, regenerated
+//! deterministically from the recorded seed) to any `minidb-net` client:
+//!
+//! ```text
+//! minidb-serve -Daddr=127.0.0.1:7878 -Dworkers=4 -Dsf=0.01
+//! ```
+//!
+//! Each connection gets a private session over the shared catalog. The
+//! server runs until killed; `--smoke` instead connects its own client,
+//! runs one query end to end, prints the measured client/server time
+//! decomposition, and exits 0 — the self-test CI runs.
+
+use minidb::Session;
+use minidb_net::{Client, Server, TcpEndpoint, TcpTransport};
+use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
+use perfeval_harness::Properties;
+use workload::queries;
+
+fn main() {
+    banner(
+        "minidb-serve: the wire-protocol server",
+        "the E21 substrate",
+    );
+    print_environment();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut props = Properties::with_defaults(&[
+        ("addr", "127.0.0.1:7878"),
+        ("workers", "4"),
+        ("sf", &BENCH_SCALE_FACTOR.to_string()),
+    ]);
+    props
+        .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
+        .expect("arguments must be --smoke or -Dkey=value");
+    let addr = props.get("addr").expect("-Daddr").to_owned();
+    let workers = props
+        .get_u64("workers")
+        .expect("-Dworkers must be a number")
+        .unwrap_or(4)
+        .max(1) as usize;
+    let sf = props
+        .get_f64("sf")
+        .expect("-Dsf must be a number")
+        .unwrap_or(BENCH_SCALE_FACTOR);
+
+    // --smoke binds an ephemeral port so CI runs never collide.
+    let bind_addr = if smoke { "127.0.0.1:0" } else { addr.as_str() };
+    let endpoint = TcpEndpoint::bind(bind_addr).expect("bind listener");
+    let local = endpoint.local_addr().expect("local addr");
+    let catalog = catalog_at(sf);
+    let server = Server::new()
+        .workers(workers)
+        .serve(endpoint, move || Session::new(catalog.clone()));
+    println!("listening on {local} ({workers} workers, sf={sf}); one session per connection.");
+
+    if smoke {
+        let mut client = Client::connect(Box::new(
+            TcpTransport::connect(local).expect("self-connect"),
+        ))
+        .expect("handshake");
+        let r = client.query(&queries::q6()).expect("smoke query");
+        println!("\nself-test: Q6 over tcp, {} row(s).", r.row_count());
+        print!("{}", r.decomposition());
+        client.close().expect("close");
+        let stats = server.wait();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.disconnects, 0);
+        println!("--smoke: served one client cleanly; exiting.");
+        return;
+    }
+
+    // Foreground server: park this thread while the accept workers run.
+    // (Kill the process to stop; connections in flight finish their loop.)
+    loop {
+        std::thread::park();
+    }
+}

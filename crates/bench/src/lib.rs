@@ -26,6 +26,8 @@
 //! | `exp_e18_observer_effect` | tracing overhead: off/disabled/sampled/full arms |
 //! | `exp_e19_parallel_speedup` | morsel-parallel speed-up as a 2³ designed experiment |
 //! | `exp_e20_fault_robustness` | injected panics/hangs: retries, quarantine, watchdog deadlines |
+//! | `exp_e21_client_server` | slides 23–26 measured over a real wire: transport × sink × result size |
+//! | `minidb-serve` | standalone TCP server for `minidb-net` clients (not an exhibit) |
 //!
 //! Criterion benches under `benches/` measure the engine primitives and the
 //! ablations DESIGN.md calls out.

@@ -1,0 +1,359 @@
+//! The client: issues queries over a transport and decomposes its own wall
+//! clock with the server's footer.
+//!
+//! The client owns its *own* [`Clock`] — the whole point of the subsystem
+//! is that client time and server time are measured by different
+//! stopwatches on (conceptually) different machines, exactly like
+//! `mclient -t` vs. the server's trace. One query yields:
+//!
+//! | component | measured by | how |
+//! |---|---|---|
+//! | server user | server | per-thread CPU clock around execute |
+//! | server real | server | wall clock around parse/optimize/execute |
+//! | serialize | server | wall clock around encode+write of result frames |
+//! | wire | client | receive wall time minus the server's busy time |
+//! | client print | client | wall clock around the sink |
+//!
+//! "Wire" is a *residual*: the client cannot see inside the server, so
+//! everything between "request sent" and "footer received" that the server
+//! does not claim as busy time is transfer + queueing. That is how a real
+//! two-box measurement works, and why the residual is clamped at zero
+//! (clock skew between two stopwatches can make it slightly negative).
+
+use std::io;
+use std::sync::Arc;
+
+use minidb::exec::ResultSet;
+use minidb::sink::{NullSink, ResultSink};
+use minidb::{DbError, Value};
+use perfeval_fault::FaultRegistry;
+use perfeval_measure::{Clock, WallClock};
+use perfeval_trace::Tracer;
+
+use crate::frame::{Footer, Frame, FramedIo, PROTOCOL_VERSION};
+use crate::transport::Transport;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed (connection reset, injected wire fault, EOF).
+    Io(io::Error),
+    /// The server answered with a database error.
+    Db(DbError),
+    /// The peer violated the protocol (unexpected frame, row-count
+    /// mismatch, version refusal).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Db(e) => write!(f, "server error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Result of one query over the wire, with the full time decomposition.
+#[derive(Debug, Clone)]
+pub struct NetQueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows (bit-identical to an in-process run; see
+    /// `tests/roundtrip.rs`).
+    pub rows: Vec<Vec<Value>>,
+    /// The server's timing footer, verbatim.
+    pub footer: Footer,
+    /// Transfer + queueing residual: receive wall time minus the server's
+    /// claimed busy time, clamped at zero. Client-measured, ms.
+    pub wire_ms: f64,
+    /// Wall time the sink took to consume the result. Client-measured, ms.
+    pub print_ms: f64,
+    /// Total wall time from sending the query to the sink finishing.
+    /// Client-measured, ms.
+    pub client_real_ms: f64,
+    /// Payload bytes received for this query (frames, not kernel bytes).
+    pub bytes_received: u64,
+    /// Bytes the sink rendered.
+    pub result_bytes: usize,
+}
+
+impl NetQueryResult {
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Server "user" time: per-thread CPU of the execute phase, ms.
+    pub fn server_user_ms(&self) -> f64 {
+        self.footer.execute_cpu_ms
+    }
+
+    /// Server "real" time: parse + optimize + execute wall, ms.
+    pub fn server_real_ms(&self) -> f64 {
+        self.footer.parse_ms + self.footer.optimize_ms + self.footer.execute_ms
+    }
+
+    /// Server-side result encoding + write time, ms.
+    pub fn serialize_ms(&self) -> f64 {
+        self.footer.serialize_ms
+    }
+
+    /// Result-delivery time: serialize + wire + client print, ms. The
+    /// component the paper warns can dominate "query time" when you
+    /// measure at the client.
+    pub fn delivery_ms(&self) -> f64 {
+        self.serialize_ms() + self.wire_ms + self.print_ms
+    }
+
+    /// Fraction of total client real time spent on delivery (0..=1).
+    pub fn delivery_share(&self) -> f64 {
+        if self.client_real_ms <= 0.0 {
+            0.0
+        } else {
+            (self.delivery_ms() / self.client_real_ms).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Renders the decomposition as an aligned table — the honest version
+    /// of `mclient -t` output.
+    pub fn decomposition(&self) -> String {
+        let total = self.client_real_ms.max(1e-9);
+        let pct = |ms: f64| 100.0 * ms / total;
+        let other = (self.client_real_ms
+            - self.server_real_ms()
+            - self.serialize_ms()
+            - self.wire_ms
+            - self.print_ms)
+            .max(0.0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "client real    {:>10.3} ms  100.0%\n",
+            self.client_real_ms
+        ));
+        out.push_str(&format!(
+            "  server user  {:>10.3} ms  (cpu, inside server real)\n",
+            self.server_user_ms()
+        ));
+        for (label, ms) in [
+            ("server real ", self.server_real_ms()),
+            ("serialize   ", self.serialize_ms()),
+            ("wire        ", self.wire_ms),
+            ("client print", self.print_ms),
+            ("other       ", other),
+        ] {
+            out.push_str(&format!("  {label} {:>10.3} ms  {:>5.1}%\n", ms, pct(ms)));
+        }
+        out
+    }
+}
+
+/// A connected client. One connection, one server-side session.
+pub struct Client {
+    io: FramedIo,
+    tracer: Option<Tracer>,
+    now_ns: Box<dyn Fn() -> u64 + Send>,
+    said_bye: bool,
+}
+
+impl Client {
+    /// Connects over `transport` (handshake included) with a wall clock and
+    /// no fault injection.
+    ///
+    /// # Errors
+    /// Transport errors, or a server version refusal.
+    pub fn connect(transport: Box<dyn Transport>) -> Result<Client, NetError> {
+        Client::connect_with(transport, Arc::new(FaultRegistry::disabled()), 0)
+    }
+
+    /// Connects with a fault registry evaluating the client side's
+    /// `net.read`/`net.write` sites, keyed by `conn_key`. This is how an
+    /// experiment injects a *deterministic* dropped connection or slow link
+    /// on the client's end of the wire.
+    pub fn connect_with(
+        transport: Box<dyn Transport>,
+        faults: Arc<FaultRegistry>,
+        conn_key: u64,
+    ) -> Result<Client, NetError> {
+        let mut io = FramedIo::new(transport, faults, conn_key);
+        io.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match io.recv()? {
+            Frame::HelloOk { .. } => {}
+            Frame::Error(e) => return Err(NetError::Db(e)),
+            f => return Err(NetError::Protocol(format!("expected HelloOk, got {f:?}"))),
+        }
+        let clock = WallClock::new();
+        Ok(Client {
+            io,
+            tracer: None,
+            now_ns: Box::new(move || clock.now_ns()),
+            said_bye: false,
+        })
+    }
+
+    /// Uses `clock` for all client-side timing (wire residual, print,
+    /// total). Deterministic tests hand in an
+    /// [`perfeval_measure::AtomicClock`].
+    pub fn with_clock(mut self, clock: impl Clock + Send + 'static) -> Self {
+        self.now_ns = Box::new(move || clock.now_ns());
+        self
+    }
+
+    /// Records a `net.query` span per query into `tracer`, and sends its
+    /// span id in the frame header so the server parents its spans under
+    /// it.
+    pub fn traced(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Transport description ("tcp 127.0.0.1:...", "loopback-client").
+    pub fn describe(&self) -> String {
+        self.io.describe()
+    }
+
+    /// Runs a query, discarding the rendering (null sink) — the pure
+    /// receive-side measurement.
+    ///
+    /// # Errors
+    /// [`NetError::Db`] for server-reported query errors, [`NetError::Io`] /
+    /// [`NetError::Protocol`] if the connection died. After an `Io` or
+    /// `Protocol` error the connection is unusable.
+    pub fn query(&mut self, sql: &str) -> Result<NetQueryResult, NetError> {
+        let mut null = NullSink;
+        self.query_to(sql, &mut null)
+    }
+
+    /// Runs a query and delivers the result to `sink`, timing it as the
+    /// "client print" component.
+    ///
+    /// # Errors
+    /// See [`Client::query`].
+    pub fn query_to(
+        &mut self,
+        sql: &str,
+        sink: &mut dyn ResultSink,
+    ) -> Result<NetQueryResult, NetError> {
+        let t0 = (self.now_ns)();
+        let mut span = self.tracer.as_ref().map(|t| t.span("net.query"));
+        if let Some(g) = span.as_mut() {
+            g.attr("sql", sql_preview(sql));
+        }
+        let trace_parent = span
+            .as_ref()
+            .and_then(|g| g.id())
+            .map(|id| id.0)
+            .unwrap_or(0);
+
+        let bytes_before = self.io.bytes_read();
+        self.io.send(&Frame::Query {
+            trace_parent,
+            sql: sql.to_owned(),
+        })?;
+
+        let columns = match self.io.recv()? {
+            Frame::ResultHeader { columns } => columns,
+            Frame::Error(e) => return Err(NetError::Db(e)),
+            f => {
+                return Err(NetError::Protocol(format!(
+                    "expected ResultHeader, got {f:?}"
+                )))
+            }
+        };
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let footer = loop {
+            match self.io.recv()? {
+                Frame::RowBatch { rows: batch } => rows.extend(batch),
+                Frame::Done(footer) => break footer,
+                Frame::Error(e) => return Err(NetError::Db(e)),
+                f => {
+                    return Err(NetError::Protocol(format!(
+                        "expected RowBatch or Done, got {f:?}"
+                    )))
+                }
+            }
+        };
+        let received_ns = (self.now_ns)().saturating_sub(t0);
+        if footer.rows != rows.len() as u64 {
+            return Err(NetError::Protocol(format!(
+                "row count mismatch: footer says {}, received {}",
+                footer.rows,
+                rows.len()
+            )));
+        }
+
+        // Print through the sink, on the client's clock.
+        let tp = (self.now_ns)();
+        let result = ResultSet {
+            column_names: columns,
+            rows,
+        };
+        let report = sink.consume(&result).map_err(NetError::Db)?;
+        let done_ns = (self.now_ns)();
+
+        let recv_ms = received_ns as f64 / 1e6;
+        let print_ms = done_ns.saturating_sub(tp) as f64 / 1e6;
+        let client_real_ms = done_ns.saturating_sub(t0) as f64 / 1e6;
+        let wire_ms = (recv_ms - footer.busy_ms()).max(0.0);
+        if let Some(g) = span.as_mut() {
+            g.attr("rows", result.rows.len())
+                .attr("wire_ms", wire_ms)
+                .attr("print_ms", print_ms)
+                .attr("server_busy_ms", footer.busy_ms());
+        }
+
+        let ResultSet { column_names, rows } = result;
+        Ok(NetQueryResult {
+            columns: column_names,
+            rows,
+            footer,
+            wire_ms,
+            print_ms,
+            client_real_ms,
+            bytes_received: self.io.bytes_read().saturating_sub(bytes_before),
+            result_bytes: report.bytes,
+        })
+    }
+
+    /// Closes the connection politely (`Bye`).
+    ///
+    /// # Errors
+    /// Transport errors while sending the farewell.
+    pub fn close(mut self) -> Result<(), NetError> {
+        self.said_bye = true;
+        self.io.send(&Frame::Bye)?;
+        Ok(())
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        if !self.said_bye {
+            let _ = self.io.send(&Frame::Bye);
+        }
+    }
+}
+
+/// Truncates long SQL for span attributes.
+fn sql_preview(sql: &str) -> String {
+    const MAX: usize = 120;
+    if sql.len() <= MAX {
+        return sql.to_owned();
+    }
+    let mut end = MAX;
+    while !sql.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &sql[..end])
+}

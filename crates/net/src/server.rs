@@ -1,0 +1,369 @@
+//! The server: pool-backed accept workers, per-connection sessions,
+//! streamed result batches.
+//!
+//! Each accept worker (a `perfeval-pool` worker thread, so it gets a stable
+//! name and a trace lane) loops on [`Listener::accept`] and serves one
+//! connection at a time to completion. A connection owns a private
+//! [`Session`] built by the server's session factory — per-connection
+//! isolation is structural: no session state is shared, so concurrent
+//! clients cannot observe each other's statement ordinals, buffer pools, or
+//! catalogs (unless the factory deliberately shares a catalog `Arc`).
+//!
+//! Results stream as [`Frame::RowBatch`]es through the transport's bounded
+//! buffer: a slow client blocks the server's `write`, never grows an
+//! unbounded queue. The final [`Frame::Done`] carries the server-side
+//! timing footer — measured where the phases actually ran — so the client
+//! can decompose its own wall clock honestly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use minidb::{DbError, Session};
+use perfeval_fault::FaultRegistry;
+use perfeval_pool::parallel_map_traced;
+use perfeval_trace::{SpanId, Tracer};
+
+use crate::frame::{Footer, Frame, FramedIo, PROTOCOL_VERSION, ROWS_PER_BATCH};
+use crate::transport::Listener;
+
+/// Builds sessions for new connections. Runs on accept-worker threads.
+pub type SessionFactory = dyn Fn() -> Session + Send + Sync;
+
+/// Counters a running server exposes; all monotonic.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    disconnects: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// A snapshot of server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Queries answered (including ones that returned a `DbError`).
+    pub queries: u64,
+    /// Connections that ended on a transport error instead of `Bye`
+    /// (client vanished, injected wire fault, protocol violation).
+    pub disconnects: u64,
+    /// Panics caught while serving (injected engine faults); the
+    /// connection survives, the panic is reported to the client as an
+    /// error frame.
+    pub worker_panics: u64,
+}
+
+/// Configures and launches a [`ServerHandle`].
+pub struct Server {
+    workers: usize,
+    tracer: Option<Tracer>,
+    faults: Arc<FaultRegistry>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    /// A server with two accept workers, no tracing, no fault injection.
+    pub fn new() -> Self {
+        Server {
+            workers: 2,
+            tracer: None,
+            faults: Arc::new(FaultRegistry::disabled()),
+        }
+    }
+
+    /// Number of accept workers = maximum concurrently served connections.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a server needs at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Records server-side spans into `tracer`. Query frames that carry a
+    /// client span id get their `net.serve` span parented under it, so one
+    /// snapshot stitches both sides of the wire.
+    pub fn traced(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Arms fault sites: `net.accept` (key = connection ordinal) around
+    /// each accept, `net.read`/`net.write` (key = connection ordinal,
+    /// attempt = frame ordinal) on every server-side frame.
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Starts serving `listener`, building one session per connection with
+    /// `factory`. Returns immediately; the accept workers run until
+    /// [`ServerHandle::shutdown`].
+    pub fn serve(
+        self,
+        listener: Arc<dyn Listener>,
+        factory: impl Fn() -> Session + Send + Sync + 'static,
+    ) -> ServerHandle {
+        let Server {
+            workers,
+            tracer,
+            faults,
+        } = self;
+        let counters = Arc::new(Counters::default());
+        let shared = Arc::new(Shared {
+            listener: Arc::clone(&listener),
+            factory: Box::new(factory),
+            tracer,
+            faults,
+            counters: Arc::clone(&counters),
+            next_conn: AtomicU64::new(0),
+        });
+        let join = std::thread::Builder::new()
+            .name("minidb-serve".to_owned())
+            .spawn(move || {
+                // The pool is scoped (blocks until every worker exits), so
+                // it lives on this supervisor thread; workers exit when the
+                // listener shuts down.
+                let tracer = shared.tracer.clone();
+                parallel_map_traced(workers, workers, tracer.as_ref(), |_w| {
+                    shared.accept_loop();
+                });
+            })
+            .expect("spawn server supervisor thread");
+        ServerHandle {
+            listener,
+            join: Some(join),
+            counters,
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// its workers.
+pub struct ServerHandle {
+    listener: Arc<dyn Listener>,
+    join: Option<std::thread::JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl ServerHandle {
+    /// Stops accepting new connections; in-flight connections finish their
+    /// current request loop. Idempotent.
+    pub fn shutdown(&self) {
+        self.listener.shutdown();
+    }
+
+    /// Shuts down and waits for every worker to exit, returning final
+    /// counters.
+    pub fn wait(mut self) -> ServerStats {
+        self.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        self.stats()
+    }
+
+    /// Current counters (live; monotonic).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            disconnects: self.counters.disconnects.load(Ordering::Relaxed),
+            worker_panics: self.counters.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+struct Shared {
+    listener: Arc<dyn Listener>,
+    factory: Box<SessionFactory>,
+    tracer: Option<Tracer>,
+    faults: Arc<FaultRegistry>,
+    counters: Arc<Counters>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn accept_loop(&self) {
+        loop {
+            let transport = match self.listener.accept() {
+                Ok(t) => t,
+                Err(_) => return, // shutdown (or listener failure): worker exits
+            };
+            let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+            self.faults.fire("net.accept", conn_id, 1);
+            if self.faults.io_fails("net.accept", conn_id) {
+                // Injected accept failure: drop the connection on the
+                // floor, exactly like a listener backlog overflow would.
+                self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.counters.connections.fetch_add(1, Ordering::Relaxed);
+            let mut io = FramedIo::new(transport, Arc::clone(&self.faults), conn_id);
+            // A panic while serving (injected engine fault, engine bug)
+            // must not take the accept worker down with it.
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.serve_connection(&mut io)));
+            match outcome {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Serves one connection to completion. Returns `true` on a clean
+    /// `Bye`, `false` on transport error / protocol violation.
+    fn serve_connection(&self, io: &mut FramedIo) -> bool {
+        // Handshake first: refuse version mismatches before any query.
+        match io.recv() {
+            Ok(Frame::Hello {
+                version: PROTOCOL_VERSION,
+            }) => {}
+            Ok(Frame::Hello { version }) => {
+                let _ = io.send(&Frame::Error(DbError::Io(format!(
+                    "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                ))));
+                return false;
+            }
+            _ => return false,
+        }
+        if io
+            .send(&Frame::HelloOk {
+                version: PROTOCOL_VERSION,
+            })
+            .is_err()
+        {
+            return false;
+        }
+
+        let mut session = (self.factory)();
+        loop {
+            match io.recv() {
+                Ok(Frame::Query { trace_parent, sql }) => {
+                    self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                    if !self.answer_query(io, &mut session, trace_parent, &sql) {
+                        return false;
+                    }
+                }
+                Ok(Frame::Bye) => return true,
+                Ok(_) => {
+                    let _ = io.send(&Frame::Error(DbError::Io(
+                        "protocol violation: expected Query or Bye".to_owned(),
+                    )));
+                    return false;
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Runs one query and streams the response. Returns `false` if the
+    /// transport died mid-response.
+    fn answer_query(
+        &self,
+        io: &mut FramedIo,
+        session: &mut Session,
+        trace_parent: u64,
+        sql: &str,
+    ) -> bool {
+        // Parent the server's span under the client's span id from the
+        // frame header; 0 means the client wasn't tracing.
+        let mut serve_span = self.tracer.as_ref().map(|t| {
+            if trace_parent != 0 {
+                t.span_with_parent("net.serve", SpanId(trace_parent))
+            } else {
+                t.span("net.serve")
+            }
+        });
+        if let Some(g) = serve_span.as_mut() {
+            g.attr("conn", io.conn_id() as i64);
+        }
+
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            let mut query = session.query(sql);
+            if let Some(t) = self.tracer.as_ref() {
+                query = query.traced(t);
+            }
+            query.run()
+        }));
+        let result = match ran {
+            Ok(r) => r,
+            Err(payload) => {
+                // Contained engine panic: the client gets an error frame,
+                // the connection and the worker live on.
+                self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let msg = perfeval_fault::panic_message(payload.as_ref());
+                return io
+                    .send(&Frame::Error(DbError::Io(format!(
+                        "server panic while executing: {msg}"
+                    ))))
+                    .is_ok();
+            }
+        };
+
+        match result {
+            Err(e) => io.send(&Frame::Error(e)).is_ok(),
+            Ok(r) => {
+                use perfeval_measure::Phase;
+                let rows_total = r.rows.len() as u64;
+                let mut footer = Footer {
+                    parse_ms: r.phases.phase(Phase::Parse).unwrap_or(0.0),
+                    optimize_ms: r.phases.phase(Phase::Optimize).unwrap_or(0.0),
+                    execute_ms: r.phases.phase(Phase::Execute).unwrap_or(0.0),
+                    execute_cpu_ms: r.execute_cpu_ms,
+                    serialize_ms: 0.0,
+                    rows: rows_total,
+                };
+                // Serialize + stream. The timer covers encode AND write:
+                // writes into a full bounded buffer block, and that wait is
+                // genuine serialize/transfer time, not server compute.
+                let t0 = Instant::now();
+                if io
+                    .send(&Frame::ResultHeader {
+                        columns: r.column_names,
+                    })
+                    .is_err()
+                {
+                    return false;
+                }
+                let mut rows = r.rows;
+                while !rows.is_empty() {
+                    let rest = rows.split_off(rows.len().min(ROWS_PER_BATCH));
+                    let batch = std::mem::replace(&mut rows, rest);
+                    if io.send(&Frame::RowBatch { rows: batch }).is_err() {
+                        return false;
+                    }
+                }
+                footer.serialize_ms = t0.elapsed().as_secs_f64() * 1e3;
+                if let Some(g) = serve_span.as_mut() {
+                    g.attr("rows", rows_total as i64)
+                        .attr("serialize_ms", footer.serialize_ms);
+                }
+                io.send(&Frame::Done(footer)).is_ok()
+            }
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! Transports: the byte pipes frames travel over.
+//!
+//! Two implementations sit behind the same pair of traits:
+//!
+//! * **TCP** ([`TcpEndpoint`] / `std::net::TcpStream`) — a real socket,
+//!   with real syscalls, kernel buffers, and Nagle disabled. This is the
+//!   transport `exp_e21_client_server` measures.
+//! * **Loopback** ([`LoopbackEndpoint`]) — a zero-syscall in-process duplex
+//!   pipe: two bounded byte rings guarded by mutex + condvar. Deterministic
+//!   (no kernel scheduling in the data path), and its bounded capacity is
+//!   *honest backpressure*: a writer outrunning its reader blocks, exactly
+//!   like a full socket send buffer.
+//!
+//! The server accepts connections through [`Listener`] and never learns
+//! which transport it is on; the protocol and timing decomposition are
+//! transport-agnostic by construction.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A bidirectional byte stream a connection runs over.
+///
+/// Nothing beyond `Read + Write` is required of the data path — framing,
+/// faults, and accounting live in [`crate::frame::FramedIo`].
+pub trait Transport: Read + Write + Send {
+    /// One-line description ("tcp 127.0.0.1:5432", "loopback") for
+    /// measurement documentation.
+    fn describe(&self) -> String;
+}
+
+/// The server side of a transport: blocks in `accept` until a client
+/// connects (or the endpoint is shut down).
+pub trait Listener: Send + Sync {
+    /// Waits for the next inbound connection.
+    ///
+    /// # Errors
+    /// Returns an error after [`Listener::shutdown`], or when the
+    /// underlying endpoint fails.
+    fn accept(&self) -> io::Result<Box<dyn Transport>>;
+
+    /// Unblocks pending and future `accept` calls; they return errors from
+    /// now on. Idempotent.
+    fn shutdown(&self);
+
+    /// One-line description for logs and reports.
+    fn describe(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// A TCP stream transport (Nagle disabled — small result frames must not
+/// wait 40 ms for an ACK; latency is part of what E21 measures).
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpTransport {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_owned());
+        Ok(TcpTransport { stream, peer })
+    }
+
+    /// Connects to a server at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        TcpTransport::new(TcpStream::connect(addr)?)
+    }
+}
+
+impl Read for TcpTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for TcpTransport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn describe(&self) -> String {
+        format!("tcp {}", self.peer)
+    }
+}
+
+/// A TCP listening endpoint. Bind to port 0 to get an ephemeral port;
+/// [`TcpEndpoint::local_addr`] reports what the OS assigned.
+pub struct TcpEndpoint {
+    listener: TcpListener,
+    closed: AtomicBool,
+}
+
+impl TcpEndpoint {
+    /// Binds a listening socket.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Arc<Self>> {
+        Ok(Arc::new(TcpEndpoint {
+            listener: TcpListener::bind(addr)?,
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Listener for TcpEndpoint {
+    fn accept(&self) -> io::Result<Box<dyn Transport>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "endpoint shut down",
+            ));
+        }
+        let (stream, _) = self.listener.accept()?;
+        // A shutdown wake-up connection is not a client; re-check the
+        // flag after every accept. `shutdown` sends only ONE wake-up, so
+        // cascade it: each woken acceptor wakes the next parked one
+        // before exiting, and any number of workers drains.
+        if self.closed.load(Ordering::Acquire) {
+            if let Ok(addr) = self.listener.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "endpoint shut down",
+            ));
+        }
+        Ok(Box::new(TcpTransport::new(stream)?))
+    }
+
+    fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // `TcpListener::accept` has no cancellation; wake any blocked
+        // acceptor with a throwaway connection to ourselves.
+        if let Ok(addr) = self.listener.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.listener.local_addr() {
+            Ok(a) => format!("tcp listener {a}"),
+            Err(_) => "tcp listener".to_owned(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------------
+
+/// One direction of the in-process duplex pipe: a bounded byte ring.
+///
+/// Writers block while the ring is full (backpressure), readers block while
+/// it is empty. Closing either end wakes both sides: a closed write end
+/// gives readers clean EOF (`Ok(0)`), a closed read end gives writers
+/// `BrokenPipe` — the same contract a socket has.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    write_closed: bool,
+    read_closed: bool,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                write_closed: false,
+                read_closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        })
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if !s.buf.is_empty() {
+                let n = out.len().min(s.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = s.buf.pop_front().expect("n <= len");
+                }
+                self.writable.notify_all();
+                return Ok(n);
+            }
+            if s.write_closed {
+                return Ok(0); // clean EOF
+            }
+            s = self.readable.wait(s).unwrap();
+        }
+    }
+
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.read_closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "loopback peer closed",
+                ));
+            }
+            let space = self.capacity.saturating_sub(s.buf.len());
+            if space > 0 {
+                let n = data.len().min(space);
+                s.buf.extend(&data[..n]);
+                self.readable.notify_all();
+                return Ok(n);
+            }
+            // Full: this wait IS the backpressure — the writer cannot
+            // outrun the reader by more than `capacity` bytes.
+            s = self.writable.wait(s).unwrap();
+        }
+    }
+
+    fn close_write(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.write_closed = true;
+        self.readable.notify_all();
+    }
+
+    fn close_read(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.read_closed = true;
+        self.writable.notify_all();
+    }
+
+    /// Bytes currently buffered (for tests asserting boundedness).
+    fn buffered(&self) -> usize {
+        self.state.lock().unwrap().buf.len()
+    }
+}
+
+/// One end of a loopback connection: reads from one pipe, writes to the
+/// other. Dropping it closes both directions it owns, so the peer observes
+/// EOF / broken pipe like a closed socket.
+pub struct LoopbackConn {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    label: &'static str,
+}
+
+impl LoopbackConn {
+    /// Creates a connected pair `(client, server)` with `capacity` bytes of
+    /// buffer per direction.
+    pub fn pair(capacity: usize) -> (LoopbackConn, LoopbackConn) {
+        assert!(capacity > 0, "pipe capacity must be positive");
+        let c2s = Pipe::new(capacity);
+        let s2c = Pipe::new(capacity);
+        (
+            LoopbackConn {
+                rx: Arc::clone(&s2c),
+                tx: Arc::clone(&c2s),
+                label: "loopback-client",
+            },
+            LoopbackConn {
+                rx: c2s,
+                tx: s2c,
+                label: "loopback-server",
+            },
+        )
+    }
+
+    /// Bytes currently buffered in this end's *outgoing* direction — never
+    /// exceeds the pair's capacity, which is the backpressure invariant
+    /// tests assert.
+    pub fn outgoing_buffered(&self) -> usize {
+        self.tx.buffered()
+    }
+}
+
+impl Read for LoopbackConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for LoopbackConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Transport for LoopbackConn {
+    fn describe(&self) -> String {
+        self.label.to_owned()
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        self.tx.close_write();
+        self.rx.close_read();
+    }
+}
+
+/// Default per-direction loopback buffer: small enough that a large result
+/// set genuinely exercises backpressure, large enough not to syscall…
+/// well, there are no syscalls — large enough not to context-switch per
+/// frame.
+pub const DEFAULT_LOOPBACK_CAPACITY: usize = 64 * 1024;
+
+struct LoopbackShared {
+    queue: Mutex<VecDeque<LoopbackConn>>,
+    pending: Condvar,
+    closed: AtomicBool,
+    capacity: usize,
+}
+
+/// The in-process listening endpoint. [`LoopbackEndpoint::connector`]
+/// hands out cloneable client-side dialers.
+pub struct LoopbackEndpoint {
+    shared: Arc<LoopbackShared>,
+}
+
+/// The client side of a [`LoopbackEndpoint`]: `connect()` yields a new
+/// connection whose server half is queued for `accept`.
+#[derive(Clone)]
+pub struct LoopbackConnector {
+    shared: Arc<LoopbackShared>,
+}
+
+impl LoopbackEndpoint {
+    /// A loopback endpoint with the default per-direction buffer capacity.
+    pub fn new() -> Arc<Self> {
+        Self::with_capacity(DEFAULT_LOOPBACK_CAPACITY)
+    }
+
+    /// A loopback endpoint with an explicit per-direction buffer capacity
+    /// (small capacities make backpressure observable in tests).
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(LoopbackEndpoint {
+            shared: Arc::new(LoopbackShared {
+                queue: Mutex::new(VecDeque::new()),
+                pending: Condvar::new(),
+                closed: AtomicBool::new(false),
+                capacity,
+            }),
+        })
+    }
+
+    /// A dialer for this endpoint (cloneable, usable from any thread).
+    pub fn connector(&self) -> LoopbackConnector {
+        LoopbackConnector {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl LoopbackConnector {
+    /// Opens a new connection to the endpoint.
+    ///
+    /// # Errors
+    /// Fails with `NotConnected` if the endpoint has shut down.
+    pub fn connect(&self) -> io::Result<LoopbackConn> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "endpoint shut down",
+            ));
+        }
+        let (client, server) = LoopbackConn::pair(self.shared.capacity);
+        self.shared.queue.lock().unwrap().push_back(server);
+        self.shared.pending.notify_one();
+        Ok(client)
+    }
+}
+
+impl Listener for LoopbackEndpoint {
+    fn accept(&self) -> io::Result<Box<dyn Transport>> {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Ok(Box::new(conn));
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "endpoint shut down",
+                ));
+            }
+            q = self.shared.pending.wait(q).unwrap();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.pending.notify_all();
+    }
+
+    fn describe(&self) -> String {
+        format!("loopback listener ({} B/direction)", self.shared.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrips_bytes() {
+        let (mut a, mut b) = LoopbackConn::pair(16);
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        b.write_all(b"ok").unwrap();
+        let mut buf2 = [0u8; 2];
+        a.read_exact(&mut buf2).unwrap();
+        assert_eq!(&buf2, b"ok");
+    }
+
+    #[test]
+    fn loopback_bounded_write_blocks_until_reader_drains() {
+        let (mut a, mut b) = LoopbackConn::pair(8);
+        let writer = std::thread::spawn(move || {
+            // 32 bytes through an 8-byte pipe: must block and resume.
+            a.write_all(&[7u8; 32]).unwrap();
+            a.outgoing_buffered() // <= 8 by construction
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = vec![0u8; 32];
+        b.read_exact(&mut out).unwrap();
+        assert_eq!(out, vec![7u8; 32]);
+        let buffered = writer.join().unwrap();
+        assert!(buffered <= 8, "outgoing buffer stayed bounded: {buffered}");
+    }
+
+    #[test]
+    fn loopback_peer_drop_is_eof_for_reader_and_broken_pipe_for_writer() {
+        let (a, mut b) = LoopbackConn::pair(16);
+        drop(a);
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "clean EOF");
+        let err = b.write_all(b"late").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn loopback_endpoint_accepts_queued_connections() {
+        let ep = LoopbackEndpoint::with_capacity(64);
+        let dial = ep.connector();
+        let mut client = dial.connect().unwrap();
+        let mut server = ep.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn loopback_shutdown_unblocks_accept_and_refuses_dials() {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let ep2 = Arc::clone(&ep);
+        let acceptor = std::thread::spawn(move || ep2.accept().map(|_| ()));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ep.shutdown();
+        assert!(
+            acceptor.join().unwrap().is_err(),
+            "accept unblocked with error"
+        );
+        assert!(dial.connect().is_err(), "dialing a closed endpoint fails");
+    }
+
+    #[test]
+    fn tcp_shutdown_unblocks_every_parked_acceptor() {
+        // Regression: shutdown's single self-connect wake must cascade so
+        // N parked accept workers all exit, not just one.
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let acceptors: Vec<_> = (0..4)
+            .map(|_| {
+                let ep = Arc::clone(&ep);
+                std::thread::spawn(move || ep.accept().map(|_| ()))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ep.shutdown();
+        for a in acceptors {
+            assert!(a.join().unwrap().is_err(), "every acceptor unblocked");
+        }
+    }
+
+    #[test]
+    fn tcp_endpoint_accepts_and_shuts_down() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr().unwrap();
+        let ep2 = Arc::clone(&ep);
+        let acceptor = std::thread::spawn(move || {
+            let mut conn = ep2.accept().unwrap();
+            let mut buf = [0u8; 3];
+            conn.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.write_all(b"abc").unwrap();
+        assert_eq!(&acceptor.join().unwrap(), b"abc");
+        assert!(client.describe().starts_with("tcp "));
+
+        // Shutdown unblocks a parked acceptor.
+        let ep3 = Arc::clone(&ep);
+        let parked = std::thread::spawn(move || ep3.accept().map(|_| ()));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ep.shutdown();
+        assert!(parked.join().unwrap().is_err());
+    }
+}

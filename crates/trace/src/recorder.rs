@@ -217,6 +217,20 @@ impl Tracer {
     /// clock). Lets schedulers account queue-wait time that elapsed before
     /// the recording thread picked the work up.
     pub fn span_at(&self, name: &str, start_ns: u64) -> SpanGuard<'_> {
+        self.span_full(name, start_ns, None)
+    }
+
+    /// Opens a span starting now with an explicit parent id, which may live
+    /// on another lane — or have crossed a process/wire boundary, like the
+    /// client span id `minidb-net` carries in its `Query` frame header.
+    /// `lane_tree` treats a parent outside the lane as a lane root, so the
+    /// stitched tree renders the server's work under the client's span.
+    pub fn span_with_parent(&self, name: &str, parent: SpanId) -> SpanGuard<'_> {
+        let start = self.now_ns();
+        self.span_full(name, start, Some(parent))
+    }
+
+    fn span_full(&self, name: &str, start_ns: u64, parent: Option<SpanId>) -> SpanGuard<'_> {
         if !self.enabled() {
             return SpanGuard {
                 tracer: None,
@@ -246,7 +260,7 @@ impl Tracer {
             }
         }
         let id = self.shared.next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let parent = l.stack.last().map(|p| p.id);
+        let parent = parent.map(|p| p.0).or_else(|| l.stack.last().map(|p| p.id));
         let depth = l.stack.len();
         l.stack.push(Pending {
             id,
@@ -396,6 +410,16 @@ impl SpanGuard<'_> {
     /// True if this guard is actually recording (enabled and sampled in).
     pub fn is_recording(&self) -> bool {
         matches!(self.state, GuardState::Active { .. })
+    }
+
+    /// The open span's id, or `None` on inert/sampled-out guards. This is
+    /// what a client sends over the wire so a remote tracer can parent its
+    /// spans here via [`Tracer::span_with_parent`].
+    pub fn id(&self) -> Option<SpanId> {
+        match &self.state {
+            GuardState::Active { id, .. } => Some(SpanId(*id)),
+            _ => None,
+        }
     }
 
     /// Attaches a key/value attribute to the open span. Chainable; a no-op
@@ -662,6 +686,37 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Tracer::with_capacity(0);
+    }
+
+    #[test]
+    fn explicit_parent_stitches_across_lanes() {
+        let tracer = Tracer::new();
+        let client_id = {
+            let client = tracer.span("net.query");
+            let client_id = client.id().expect("recording guard has an id");
+            // A "server" thread parents its lane root under the client span,
+            // exactly as minidb-net does with the id from the frame header.
+            std::thread::scope(|scope| {
+                let tracer = &tracer;
+                scope.spawn(move || {
+                    let serve = tracer.span_with_parent("net.serve", client_id);
+                    assert_eq!(serve.id().map(|i| i.0 > 0), Some(true));
+                    drop(tracer.span("execute")); // nests under net.serve
+                });
+            });
+            client_id
+        };
+        let trace = tracer.snapshot();
+        let serve = trace.find("net.serve").next().expect("server span");
+        assert_eq!(serve.parent, Some(client_id), "cross-lane parent kept");
+        let exec = trace.find("execute").next().expect("child span");
+        assert_eq!(exec.parent, Some(serve.id), "children nest normally");
+    }
+
+    #[test]
+    fn inert_guards_have_no_id() {
+        let tracer = Tracer::disabled();
+        assert_eq!(tracer.span("x").id(), None);
     }
 
     #[test]
