@@ -1,0 +1,184 @@
+//! `minidb-load` — drive a minidb server with a measured load.
+//!
+//! The CLI face of `perfeval-load`: point it at a running `minidb-serve`
+//! (or let it host its own loopback server) and it sustains concurrent
+//! client sessions under an explicit arrival discipline, reporting
+//! offered vs achieved throughput and coordinated-omission-safe tail
+//! latencies with confidence intervals over replicated runs.
+//!
+//! ```text
+//! minidb-load -Daddr=127.0.0.1:7878 -Dclients=32 -Darrival=poisson -Drate=2000
+//! minidb-load -Dclients=64 -Darrival=closed -Dthink_ms=1 -Dreps=3   # self-hosted
+//! minidb-load --smoke                                               # CI self-test
+//! ```
+//!
+//! Knobs (`-Dkey=value`): `addr` (TCP server to target; empty =
+//! self-host a loopback TCP server), `clients`, `requests` (total per
+//! run), `arrival` (`closed` | `poisson` | `paced`), `rate` (total
+//! offered q/s, open loop), `think_ms` (mean think time, closed loop),
+//! `reps` (replicated runs — CIs need ≥ 2), `mix` (`light` | `heavy` |
+//! `full`), `sf` (catalog scale factor — must match the server's when
+//! targeting a remote, since result checksums are computed locally),
+//! `verify` (check result checksums against serial execution).
+//!
+//! `--smoke` self-hosts, runs one small closed-loop and one open-loop
+//! arm, asserts both complete with correct answers, and exits 0.
+
+use std::sync::Arc;
+
+use minidb::Session;
+use minidb_net::{Server, TcpEndpoint, TcpTransport, Transport};
+use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
+use perfeval_harness::Properties;
+use perfeval_load::{expected_checksums, Arrival, Dialer, LoadRunner, LoadSpec};
+use workload::queries;
+
+fn mix_named(name: &str) -> Vec<String> {
+    match name {
+        "light" => vec![queries::q6(), queries::family(4)],
+        "heavy" => vec![queries::q1()],
+        "full" => vec![queries::q1(), queries::q6(), queries::q16()],
+        other => panic!("-Dmix must be light|heavy|full, got {other:?}"),
+    }
+}
+
+fn run(spec: LoadSpec, addr: &str, sf: f64, verify: bool, reps: usize) {
+    let target = addr.to_owned();
+    let dialer: Dialer = Arc::new(move || {
+        Ok(Box::new(TcpTransport::connect(target.as_str())?) as Box<dyn Transport>)
+    });
+    let mut runner = LoadRunner::new(spec.clone(), dialer);
+    if verify {
+        runner = runner.expecting(expected_checksums(catalog_at(sf), &spec.mix));
+    }
+    let report = runner.run_replicated(reps);
+    println!();
+    for line in report.render_lines() {
+        println!("{line}");
+    }
+    let phases = &report.phases;
+    println!(
+        "phase totals: server {:.1} ms wall ({:.1} ms cpu), serialize {:.1} ms, \
+         wire {:.1} ms, sink {:.1} ms — delivery share {:.1}%",
+        phases.server_real_ms,
+        phases.server_user_ms,
+        phases.serialize_ms,
+        phases.wire_ms,
+        phases.print_ms,
+        phases.delivery_share() * 100.0
+    );
+    assert!(
+        report.is_complete(),
+        "load arm {} left {} error(s), {} dropped session(s), {} checksum mismatch(es)",
+        spec.name,
+        report.errors,
+        report.dropped_sessions,
+        report.checksum_mismatches
+    );
+}
+
+fn main() {
+    banner(
+        "minidb-load: the load generator",
+        "arrival discipline is a knob, not an accident",
+    );
+    print_environment();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut props = Properties::with_defaults(&[
+        ("addr", ""),
+        ("clients", "16"),
+        ("requests", "800"),
+        ("arrival", "closed"),
+        ("rate", "1000"),
+        ("think_ms", "1.0"),
+        ("reps", "2"),
+        ("mix", "light"),
+        ("sf", &BENCH_SCALE_FACTOR.to_string()),
+        ("verify", "true"),
+    ]);
+    props
+        .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
+        .expect("arguments must be --smoke or -Dkey=value");
+    let addr = props.get("addr").unwrap_or("").to_owned();
+    let clients = props
+        .get_u64("clients")
+        .expect("-Dclients")
+        .unwrap_or(16)
+        .max(1) as usize;
+    let requests = props
+        .get_u64("requests")
+        .expect("-Drequests")
+        .unwrap_or(800)
+        .max(clients as u64) as usize;
+    let rate = props.get_f64("rate").expect("-Drate").unwrap_or(1000.0);
+    let think_ms = props
+        .get_f64("think_ms")
+        .expect("-Dthink_ms")
+        .unwrap_or(1.0);
+    let reps = props.get_u64("reps").expect("-Dreps").unwrap_or(2).max(1) as usize;
+    let sf = props
+        .get_f64("sf")
+        .expect("-Dsf")
+        .unwrap_or(BENCH_SCALE_FACTOR);
+    let verify = props.get_bool("verify").expect("-Dverify").unwrap_or(true);
+    let mix = mix_named(props.get("mix").unwrap_or("light"));
+    let arrival = match props.get("arrival").unwrap_or("closed") {
+        "closed" => Arrival::Closed { think_ms },
+        "poisson" => Arrival::OpenPoisson { rate_qps: rate },
+        "paced" => Arrival::OpenPaced { rate_qps: rate },
+        other => panic!("-Darrival must be closed|poisson|paced, got {other:?}"),
+    };
+
+    // Self-host a loopback TCP server unless the user points us at one.
+    // (Thread-per-connection: workers must cover every client session.)
+    let hosted = if addr.is_empty() || smoke {
+        let endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback listener");
+        let local = endpoint.local_addr().expect("local addr");
+        let catalog = catalog_at(sf);
+        let server = Server::new()
+            .workers(clients.max(8) + 2)
+            .serve(endpoint, move || Session::new(catalog.clone()));
+        println!("self-hosted server on {local} (sf={sf}).");
+        Some((server, local.to_string()))
+    } else {
+        None
+    };
+    let target = hosted.as_ref().map_or(addr.clone(), |(_, a)| a.clone());
+
+    if smoke {
+        // Two tiny arms — one per arrival family — with full verification.
+        let closed = LoadSpec::new("smoke/closed/8", 8, 120, Arrival::Closed { think_ms: 0.5 })
+            .mix(mix_named("light"));
+        run(closed, &target, sf, true, 2);
+        let open = LoadSpec::new(
+            "smoke/open/4",
+            4,
+            120,
+            Arrival::OpenPoisson { rate_qps: 800.0 },
+        )
+        .mix(mix_named("light"));
+        run(open, &target, sf, true, 2);
+        if let Some((server, _)) = hosted {
+            let stats = server.wait();
+            println!(
+                "\nserver saw {} connection(s), {} query(ies).",
+                stats.connections, stats.queries
+            );
+        }
+        println!("--smoke: both arrival disciplines completed with verified answers.");
+        return;
+    }
+
+    let name = format!("{}/{clients}", props.get("arrival").unwrap_or("closed"));
+    let spec = LoadSpec::new(&name, clients, requests, arrival).mix(mix);
+    run(spec, &target, sf, verify, reps);
+    if let Some((server, _)) = hosted {
+        let stats = server.wait();
+        println!(
+            "\nserver saw {} connection(s), {} query(ies).",
+            stats.connections, stats.queries
+        );
+    }
+}

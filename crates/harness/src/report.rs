@@ -67,6 +67,111 @@ impl ResultTable {
     }
 }
 
+/// One tail-latency quantile with its per-replicate-run estimates (the
+/// Kalibera–Jones idiom: the replicate, not the request, is the unit of
+/// replication for the confidence interval).
+#[derive(Debug, Clone)]
+pub struct LoadTailRow {
+    /// Quantile label ("p50", "p99.9", "max").
+    pub quantile: String,
+    /// One estimate per replicated run, ms.
+    pub per_run_ms: Vec<f64>,
+}
+
+/// One load arm's honest summary: offered vs achieved throughput, the
+/// tail table, and the failure accounting. Plain data — filled in by
+/// `perfeval-load`'s `LoadReport`, rendered here so load runs get the
+/// same documentation contract as sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct LoadSection {
+    /// Arm label ("open/64/heavy").
+    pub arm: String,
+    /// Arrival discipline description ("closed-loop, think 1.0 ms",
+    /// "open-loop poisson, 500 q/s offered").
+    pub arrival: String,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Offered throughput from the arrival schedule, q/s (open loop only —
+    /// a closed loop has no offered rate independent of the system).
+    pub offered_qps: Option<f64>,
+    /// Achieved throughput per replicate run, q/s.
+    pub achieved_qps: Vec<f64>,
+    /// Total requests completed (all runs).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Connections revived via the reconnect path.
+    pub reconnects: u64,
+    /// Client sessions abandoned (could not reconnect) — the arm's
+    /// results cover fewer clients than designed.
+    pub dropped_sessions: u64,
+    /// High-water mark of concurrently outstanding requests.
+    pub max_in_flight: u64,
+    /// Tail-latency rows, coordinated-omission-safe (intended-time).
+    pub tail: Vec<LoadTailRow>,
+}
+
+impl LoadSection {
+    /// True when every designed session delivered results and no request
+    /// errored — the condition under which the tail table speaks for the
+    /// whole arm.
+    pub fn is_complete(&self) -> bool {
+        self.errors == 0 && self.dropped_sessions == 0
+    }
+
+    /// Renders the arm as Markdown.
+    pub fn render(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.arm, self.arrival);
+        let achieved = Summary::from_slice(&self.achieved_qps);
+        match self.offered_qps {
+            Some(offered) => out.push_str(&format!(
+                "- offered {offered:.1} q/s vs achieved {:.1} q/s (mean of {} run(s))\n",
+                achieved.mean(),
+                achieved.count()
+            )),
+            None => out.push_str(&format!(
+                "- closed loop: achieved {:.1} q/s (mean of {} run(s))\n",
+                achieved.mean(),
+                achieved.count()
+            )),
+        }
+        out.push_str(&format!(
+            "- {} client(s), {} request(s), {} error(s), {} reconnect(s), \
+             {} dropped session(s), max {} in flight\n\n",
+            self.clients,
+            self.requests,
+            self.errors,
+            self.reconnects,
+            self.dropped_sessions,
+            self.max_in_flight
+        ));
+        if !self.tail.is_empty() {
+            out.push_str("| quantile | mean ms | 95% CI | n |\n|---|---|---|---|\n");
+            for row in &self.tail {
+                let s = Summary::from_slice(&row.per_run_ms);
+                let ci_text = match mean_confidence_interval(&row.per_run_ms, 0.95) {
+                    Ok(ci) => format!("[{:.3}, {:.3}]", ci.lower, ci.upper),
+                    Err(_) => "n/a (unreplicated!)".to_owned(),
+                };
+                out.push_str(&format!(
+                    "| {} | {:.3} | {ci_text} | {} |\n",
+                    row.quantile,
+                    s.mean(),
+                    s.count()
+                ));
+            }
+            out.push('\n');
+        }
+        if !self.is_complete() {
+            out.push_str(&format!(
+                "> ⚠ PARTIAL arm: {} error(s), {} dropped session(s)\n\n",
+                self.errors, self.dropped_sessions
+            ));
+        }
+        out
+    }
+}
+
 /// A complete experiment report.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -87,6 +192,9 @@ pub struct Report {
     /// How the sweep executed (threads, cache hits, stragglers), when it
     /// ran through the `perfeval-exec` scheduler.
     pub execution: Option<ExecReport>,
+    /// Load-harness arms (offered vs achieved, tails, session accounting),
+    /// when the experiment drove the server through `perfeval-load`.
+    pub loads: Vec<LoadSection>,
     /// Rendered span-tree of the run, when it was traced.
     pub trace: Option<String>,
     /// Free-form analysis / conclusions.
@@ -141,6 +249,14 @@ impl Report {
         self
     }
 
+    /// Adds a load-harness arm. Tail tables with CIs and the offered vs
+    /// achieved comparison are part of the record, with the same honesty
+    /// rules as execution: partial arms flag the whole report.
+    pub fn load(mut self, section: LoadSection) -> Self {
+        self.loads.push(section);
+        self
+    }
+
     /// Attaches a recorded span timeline. The report embeds the
     /// plain-text tree rendering, so the where-did-the-time-go record
     /// travels with the numbers it explains.
@@ -185,6 +301,11 @@ impl Report {
         if self.execution.as_ref().is_some_and(|e| !e.is_complete()) {
             missing.push("complete-execution");
         }
+        // Same rule for load arms: dropped sessions or errored requests
+        // mean the tail table does not cover the designed load.
+        if !self.loads.iter().all(LoadSection::is_complete) {
+            missing.push("complete-load");
+        }
         missing
     }
 
@@ -224,6 +345,12 @@ impl Report {
                 out.push_str(&format!("- {line}\n"));
             }
             out.push('\n');
+        }
+        if !self.loads.is_empty() {
+            out.push_str("## Load\n\n");
+            for section in &self.loads {
+                out.push_str(&section.render());
+            }
         }
         if let Some(tree) = &self.trace {
             out.push_str("## Trace\n\n```\n");
@@ -380,6 +507,75 @@ mod tests {
         assert!(text.contains("injected fault: exec.unit.run"));
         assert!(text.contains("incomplete report"));
         assert!(text.contains("complete-execution"));
+    }
+
+    fn load_section() -> LoadSection {
+        LoadSection {
+            arm: "open/64/heavy".into(),
+            arrival: "open-loop poisson, 500.0 q/s offered".into(),
+            clients: 64,
+            offered_qps: Some(500.0),
+            achieved_qps: vec![478.0, 481.5, 476.2],
+            requests: 4300,
+            errors: 0,
+            reconnects: 1,
+            dropped_sessions: 0,
+            max_in_flight: 64,
+            tail: vec![
+                LoadTailRow {
+                    quantile: "p50".into(),
+                    per_run_ms: vec![1.2, 1.3, 1.25],
+                },
+                LoadTailRow {
+                    quantile: "p99.9".into(),
+                    per_run_ms: vec![18.0, 17.4, 19.1],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn load_section_renders_offered_vs_achieved_and_tails() {
+        let r = full_report().load(load_section());
+        assert!(
+            r.missing_sections().is_empty(),
+            "{:?}",
+            r.missing_sections()
+        );
+        let text = r.render();
+        assert!(text.contains("## Load"));
+        assert!(text.contains("offered 500.0 q/s vs achieved 478.6 q/s"));
+        assert!(text.contains("| p99.9 |"));
+        assert!(text.contains("95% CI"));
+        assert!(text.contains("1 reconnect(s)"));
+        assert!(!text.contains("PARTIAL"));
+    }
+
+    #[test]
+    fn closed_loop_arm_has_no_offered_rate() {
+        let section = LoadSection {
+            arm: "closed/16/light".into(),
+            arrival: "closed-loop, think 1.0 ms".into(),
+            offered_qps: None,
+            ..load_section()
+        };
+        let text = full_report().load(section).render();
+        assert!(text.contains("closed loop: achieved"));
+        assert!(!text.contains("offered"));
+    }
+
+    #[test]
+    fn dropped_sessions_flag_the_report() {
+        let section = LoadSection {
+            dropped_sessions: 2,
+            ..load_section()
+        };
+        let r = full_report().load(section);
+        assert!(r.missing_sections().contains(&"complete-load"));
+        let text = r.render();
+        assert!(text.contains("PARTIAL arm"));
+        assert!(text.contains("2 dropped session(s)"));
+        assert!(text.contains("complete-load"));
     }
 
     #[test]

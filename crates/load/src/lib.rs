@@ -1,0 +1,196 @@
+//! # perfeval-load
+//!
+//! A multi-client load harness over `minidb-net`: hundreds of concurrent
+//! client sessions against one server, with **honest tail latencies**.
+//!
+//! The paper this repository reproduces teaches that *where the
+//! stopwatch sits* decides what a number means. At production-like
+//! concurrency a second trap appears: *when the stopwatch starts*.
+//! This crate makes both choices explicit:
+//!
+//! * **Arrival discipline is a design factor** ([`spec::Arrival`]).
+//!   Closed-loop clients throttle themselves when the server slows; an
+//!   open-loop schedule keeps offering work. The two disagree exactly at
+//!   the knee of the throughput curve — so each arm names its discipline
+//!   and the report carries it.
+//! * **Coordinated omission is designed out** ([`runner`]). Open-loop
+//!   latency is measured from the *intended* send time on the arrival
+//!   schedule, not from whenever the client got around to sending. Both
+//!   the safe and the naive histogram are recorded; the workspace test
+//!   `tests/load_harness.rs` stalls a server mid-run and asserts the two
+//!   p99.9s diverge.
+//! * **Tails, with confidence intervals** ([`report`]). Latencies stream
+//!   into a mergeable log-bucketed sketch
+//!   ([`perfeval_stats::LogHistogram`], bounded relative error), and
+//!   quantile CIs follow the Kalibera–Jones idiom: computed over
+//!   replicated *runs*, never over autocorrelated raw requests.
+//! * **Failures are contained, and answers are checked** ([`checksum`]).
+//!   A flapping connection reconnects and retries; a dead session is
+//!   counted, not crashed. Every result can be checksummed against
+//!   serial in-process execution — bit-identical floats — because a
+//!   throughput number over wrong answers is not a measurement.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use minidb_net::{LoopbackEndpoint, Server, Transport};
+//! use perfeval_load::{Arrival, Dialer, LoadRunner, LoadSpec};
+//!
+//! # fn catalog() -> minidb::Catalog { minidb::Catalog::new() }
+//! let ep = LoopbackEndpoint::new();
+//! let dial = ep.connector();
+//! let server = Server::new().workers(16).serve(ep, || minidb::Session::new(catalog()));
+//!
+//! let spec = LoadSpec::new("open/16", 16, 2_000, Arrival::OpenPoisson { rate_qps: 500.0 })
+//!     .mix(vec!["SELECT 1".into()]);
+//! let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
+//! let report = LoadRunner::new(spec, dialer).run_replicated(3);
+//! for line in report.render_lines() {
+//!     println!("{line}");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use checksum::{expected_checksums, result_checksum};
+pub use report::{LoadReport, PhaseTotals, RunStats, TAIL_QUANTILES};
+pub use runner::{Dialer, LoadRunner};
+pub use spec::{Arrival, LoadSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::{Catalog, DataType, Session, TableBuilder, Value};
+    use minidb_net::{LoopbackEndpoint, Server, Transport};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        let mut t = TableBuilder::new("nums")
+            .column("x", DataType::Int)
+            .column("y", DataType::Float)
+            .build();
+        for i in 0..500 {
+            t.push_row(vec![Value::Int(i), Value::Float(i as f64 / 8.0)])
+                .unwrap();
+        }
+        catalog.register(t).unwrap();
+        catalog
+    }
+
+    fn mix() -> Vec<String> {
+        vec![
+            "SELECT COUNT(*) FROM nums WHERE x < 250".to_owned(),
+            "SELECT SUM(y) FROM nums".to_owned(),
+        ]
+    }
+
+    fn run_arm(spec: LoadSpec) -> LoadReport {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::new()
+            .workers(spec.clients)
+            .serve(ep, || Session::new(catalog()));
+        let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
+        let expected = expected_checksums(catalog(), &spec.mix);
+        let report = LoadRunner::new(spec, dialer)
+            .expecting(expected)
+            .run_replicated(2);
+        server.shutdown();
+        report
+    }
+
+    #[test]
+    fn closed_loop_arm_completes_cleanly() {
+        let spec = LoadSpec::new("closed/8", 8, 160, Arrival::Closed { think_ms: 0.2 }).mix(mix());
+        let report = run_arm(spec);
+        assert_eq!(report.requests, 320, "160 requests x 2 runs");
+        assert!(report.is_complete(), "{:?}", report.render_lines());
+        assert_eq!(report.checksum_mismatches, 0);
+        assert_eq!(report.offered_qps, None);
+        assert!(report.achieved_qps() > 0.0);
+        assert!(report.intended.count() == 320);
+        assert_eq!(report.runs.len(), 2);
+        // Tail is monotone: p50 <= p99 <= max.
+        for run in &report.runs {
+            assert!(run.tail_ms[0] <= run.tail_ms[2]);
+            assert!(run.tail_ms[2] <= run.tail_ms[4]);
+        }
+    }
+
+    #[test]
+    fn open_loop_arm_reports_offered_vs_achieved() {
+        let spec =
+            LoadSpec::new("open/4", 4, 200, Arrival::OpenPoisson { rate_qps: 2_000.0 }).mix(mix());
+        let report = run_arm(spec);
+        assert_eq!(report.offered_qps, Some(2_000.0));
+        assert!(report.is_complete(), "{:?}", report.render_lines());
+        assert!(report.max_in_flight >= 1);
+        assert!(report.phases.client_real_ms > 0.0);
+        // On a healthy in-process server the CO-safe and naive histograms
+        // agree closely (the divergence test lives at the workspace root,
+        // with an injected stall).
+        assert!(report.co_gap_p999_ms() < 50.0);
+    }
+
+    #[test]
+    fn load_spans_land_in_the_trace() {
+        let tracer = perfeval_trace::Tracer::new();
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::new()
+            .workers(2)
+            .traced(&tracer)
+            .serve(ep, || Session::new(catalog()));
+        let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
+        let spec = LoadSpec::new("traced/2", 2, 8, Arrival::Closed { think_ms: 0.0 }).mix(mix());
+        let report = LoadRunner::new(spec, dialer).traced(&tracer).run();
+        assert!(report.is_complete());
+        server.shutdown();
+
+        let trace = tracer.snapshot();
+        let clients: Vec<_> = trace.find("load.client").collect();
+        assert_eq!(clients.len(), 2, "one span per session");
+        let queries: Vec<_> = trace.find("net.query").collect();
+        assert_eq!(queries.len(), 8, "one span per request");
+        // Client spans parent their queries; the server side stitches
+        // net.serve under net.query (pinned in minidb-net's own tests).
+        let client_ids: Vec<_> = clients.iter().map(|s| s.id).collect();
+        for q in &queries {
+            assert!(q.parent.is_some_and(|p| client_ids.contains(&p)));
+        }
+        assert!(trace.find("net.serve").count() >= 8);
+    }
+
+    #[test]
+    fn wrong_answers_are_counted_not_ignored() {
+        // Expect checksums computed against a DIFFERENT catalog: every
+        // result must mismatch — proving the gate actually bites.
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::new()
+            .workers(2)
+            .serve(ep, || Session::new(catalog()));
+        let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
+        let mut wrong = Catalog::new();
+        let mut t = TableBuilder::new("nums")
+            .column("x", DataType::Int)
+            .column("y", DataType::Float)
+            .build();
+        t.push_row(vec![Value::Int(7), Value::Float(7.0)]).unwrap();
+        wrong.register(t).unwrap();
+        let spec = LoadSpec::new("wrong/2", 2, 10, Arrival::Closed { think_ms: 0.0 }).mix(mix());
+        let expected = expected_checksums(wrong, &spec.mix);
+        let report = LoadRunner::new(spec, dialer).expecting(expected).run();
+        server.shutdown();
+        assert_eq!(report.checksum_mismatches, 10);
+        assert!(!report.is_complete());
+        assert!(!report.to_section().is_complete());
+    }
+}

@@ -1,0 +1,360 @@
+//! What a load run produced, and how it says so honestly.
+//!
+//! The report carries **two** latency histograms per arm: the
+//! coordinated-omission-safe one (latency measured from the *intended*
+//! send time on the arrival schedule) and the naive one (measured from
+//! the actual send). On a healthy server they agree; around a stall they
+//! diverge, and the naive histogram is the lie — `tests/load_harness.rs`
+//! pins the divergence. Quantile confidence intervals follow the
+//! Kalibera–Jones idiom: the replicated *run* is the unit of replication,
+//! so each run contributes one estimate per quantile and the CI is over
+//! runs, never over raw requests (which are autocorrelated).
+
+use perfeval_harness::{LoadSection, LoadTailRow};
+use perfeval_stats::ci::mean_confidence_interval;
+use perfeval_stats::{ConfidenceInterval, LogHistogram, StatsError};
+
+/// The tail quantiles every table reports, with labels.
+pub const TAIL_QUANTILES: [(&str, f64); 5] = [
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p99.9", 0.999),
+    ("max", 1.0),
+];
+
+/// Per-request phase time totals aggregated from `NetQueryResult` — the
+/// paper's client/server decomposition, summed over the whole arm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Server execute CPU time, ms.
+    pub server_user_ms: f64,
+    /// Server parse+optimize+execute wall, ms.
+    pub server_real_ms: f64,
+    /// Server result encode + write, ms.
+    pub serialize_ms: f64,
+    /// Client-measured wire residual, ms.
+    pub wire_ms: f64,
+    /// Client sink time, ms.
+    pub print_ms: f64,
+    /// Client total wall, ms.
+    pub client_real_ms: f64,
+}
+
+impl PhaseTotals {
+    /// Accumulates another total (another request, client, or run).
+    pub fn add(&mut self, other: &PhaseTotals) {
+        self.server_user_ms += other.server_user_ms;
+        self.server_real_ms += other.server_real_ms;
+        self.serialize_ms += other.serialize_ms;
+        self.wire_ms += other.wire_ms;
+        self.print_ms += other.print_ms;
+        self.client_real_ms += other.client_real_ms;
+    }
+
+    /// Fraction of client wall time spent on delivery
+    /// (serialize + wire + print), 0..=1.
+    pub fn delivery_share(&self) -> f64 {
+        if self.client_real_ms <= 0.0 {
+            0.0
+        } else {
+            ((self.serialize_ms + self.wire_ms + self.print_ms) / self.client_real_ms)
+                .clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// One replicated run's summary statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Wall time of the run, seconds.
+    pub wall_secs: f64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Achieved throughput, q/s.
+    pub achieved_qps: f64,
+    /// Intended-time quantiles [p50, p90, p99, p99.9, max], ms — indexed
+    /// parallel to [`TAIL_QUANTILES`].
+    pub tail_ms: [f64; 5],
+    /// Naive (send-time) p99.9, ms — kept so reports can show the
+    /// coordinated-omission gap.
+    pub naive_p999_ms: f64,
+}
+
+/// Everything one load arm measured, across its replicated runs.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Arm label, from the spec.
+    pub name: String,
+    /// Arrival discipline description.
+    pub arrival: String,
+    /// Designed concurrent clients.
+    pub clients: usize,
+    /// Offered rate, q/s (open loop only).
+    pub offered_qps: Option<f64>,
+    /// Per-replicate run summaries.
+    pub runs: Vec<RunStats>,
+    /// Intended-time latencies, merged over all runs (CO-safe).
+    pub intended: LogHistogram,
+    /// Send-time latencies, merged over all runs (the naive measurement,
+    /// kept for the divergence check).
+    pub naive: LogHistogram,
+    /// Requests completed across all runs.
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Successful reconnects after a dead connection.
+    pub reconnects: u64,
+    /// Sessions abandoned after reconnection failed.
+    pub dropped_sessions: u64,
+    /// Results whose checksum differed from serial execution.
+    pub checksum_mismatches: u64,
+    /// High-water mark of concurrently outstanding requests.
+    pub max_in_flight: u64,
+    /// Aggregated phase decomposition over every completed request.
+    pub phases: PhaseTotals,
+}
+
+impl LoadReport {
+    /// Achieved throughput per run, q/s.
+    pub fn achieved_qps_runs(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.achieved_qps).collect()
+    }
+
+    /// Mean achieved throughput over runs, q/s.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.achieved_qps).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Confidence interval (over replicated runs) for tail quantile
+    /// index `i` of [`TAIL_QUANTILES`].
+    ///
+    /// # Errors
+    /// `NotEnoughData` with fewer than two runs.
+    pub fn tail_ci(&self, i: usize, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        let per_run: Vec<f64> = self.runs.iter().map(|r| r.tail_ms[i]).collect();
+        mean_confidence_interval(&per_run, level)
+    }
+
+    /// The coordinated-omission gap: intended-time p99.9 minus naive
+    /// p99.9, ms, over the merged histograms. Near zero on a healthy
+    /// server; large and positive around stalls.
+    pub fn co_gap_p999_ms(&self) -> f64 {
+        let intended = self.intended.quantile(0.999).unwrap_or(0.0);
+        let naive = self.naive.quantile(0.999).unwrap_or(0.0);
+        intended - naive
+    }
+
+    /// True when every designed session completed and no request failed.
+    pub fn is_complete(&self) -> bool {
+        self.errors == 0 && self.dropped_sessions == 0 && self.checksum_mismatches == 0
+    }
+
+    /// Converts to the harness report section (plain data).
+    pub fn to_section(&self) -> LoadSection {
+        LoadSection {
+            arm: self.name.clone(),
+            arrival: self.arrival.clone(),
+            clients: self.clients,
+            offered_qps: self.offered_qps,
+            achieved_qps: self.achieved_qps_runs(),
+            requests: self.requests,
+            errors: self.errors,
+            reconnects: self.reconnects,
+            // Checksum mismatches drop the arm from "complete" the same
+            // way lost sessions do: the numbers no longer describe the
+            // designed workload.
+            dropped_sessions: self.dropped_sessions + self.checksum_mismatches,
+            max_in_flight: self.max_in_flight,
+            tail: TAIL_QUANTILES
+                .iter()
+                .enumerate()
+                .map(|(i, (label, _))| LoadTailRow {
+                    quantile: (*label).to_owned(),
+                    per_run_ms: self.runs.iter().map(|r| r.tail_ms[i]).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// One-line-per-fact rendering for terminal output.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!("{} — {}", self.name, self.arrival),
+            match self.offered_qps {
+                Some(o) => format!(
+                    "offered {o:.1} q/s, achieved {:.1} q/s over {} run(s)",
+                    self.achieved_qps(),
+                    self.runs.len()
+                ),
+                None => format!(
+                    "closed loop: achieved {:.1} q/s over {} run(s)",
+                    self.achieved_qps(),
+                    self.runs.len()
+                ),
+            },
+            format!(
+                "{} client(s), {} request(s), {} error(s), {} reconnect(s), \
+                 {} dropped, {} checksum mismatch(es), max {} in flight",
+                self.clients,
+                self.requests,
+                self.errors,
+                self.reconnects,
+                self.dropped_sessions,
+                self.checksum_mismatches,
+                self.max_in_flight
+            ),
+        ];
+        for (i, (label, _)) in TAIL_QUANTILES.iter().enumerate() {
+            let line = match self.tail_ci(i, 0.95) {
+                Ok(ci) => format!(
+                    "{label:>6}: {:.3} ms  [{:.3}, {:.3}] 95% CI over {} run(s)",
+                    ci.estimate,
+                    ci.lower,
+                    ci.upper,
+                    self.runs.len()
+                ),
+                Err(_) => {
+                    let v = self.runs.first().map_or(0.0, |r| r.tail_ms[i]);
+                    format!("{label:>6}: {v:.3} ms  (unreplicated!)")
+                }
+            };
+            lines.push(line);
+        }
+        lines.push(format!(
+            "phases (totals): server user {:.1} ms, server real {:.1} ms, serialize {:.1} ms, \
+             wire {:.1} ms, print {:.1} ms — delivery share {:.0}%",
+            self.phases.server_user_ms,
+            self.phases.server_real_ms,
+            self.phases.serialize_ms,
+            self.phases.wire_ms,
+            self.phases.print_ms,
+            100.0 * self.phases.delivery_share()
+        ));
+        lines.push(format!(
+            "CO gap at p99.9 (intended − naive): {:.3} ms",
+            self.co_gap_p999_ms()
+        ));
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LoadReport {
+        let mut intended = LogHistogram::latency_default();
+        let mut naive = LogHistogram::latency_default();
+        for i in 1..=1000 {
+            intended.record(i as f64 / 100.0);
+            naive.record(i as f64 / 120.0);
+        }
+        LoadReport {
+            name: "open/16/light".into(),
+            arrival: "open-loop poisson, 400.0 q/s offered".into(),
+            clients: 16,
+            offered_qps: Some(400.0),
+            runs: vec![
+                RunStats {
+                    wall_secs: 1.0,
+                    completed: 400,
+                    achieved_qps: 395.0,
+                    tail_ms: [1.0, 2.0, 4.0, 6.0, 8.0],
+                    naive_p999_ms: 5.5,
+                },
+                RunStats {
+                    wall_secs: 1.0,
+                    completed: 400,
+                    achieved_qps: 405.0,
+                    tail_ms: [1.1, 2.1, 4.2, 6.3, 8.4],
+                    naive_p999_ms: 5.8,
+                },
+            ],
+            intended,
+            naive,
+            requests: 800,
+            errors: 0,
+            reconnects: 0,
+            dropped_sessions: 0,
+            checksum_mismatches: 0,
+            max_in_flight: 16,
+            phases: PhaseTotals {
+                server_user_ms: 100.0,
+                server_real_ms: 150.0,
+                serialize_ms: 30.0,
+                wire_ms: 20.0,
+                print_ms: 10.0,
+                client_real_ms: 300.0,
+            },
+        }
+    }
+
+    #[test]
+    fn tail_ci_is_over_runs() {
+        let r = report();
+        let ci = r.tail_ci(0, 0.95).unwrap();
+        assert!((ci.estimate - 1.05).abs() < 1e-9, "mean of per-run p50s");
+        assert!(ci.lower < 1.05 && ci.upper > 1.05);
+    }
+
+    #[test]
+    fn achieved_is_the_run_mean() {
+        assert!((report().achieved_qps() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn section_carries_tails_and_accounting() {
+        let s = report().to_section();
+        assert_eq!(s.arm, "open/16/light");
+        assert_eq!(s.tail.len(), 5);
+        assert_eq!(s.tail[3].quantile, "p99.9");
+        assert_eq!(s.tail[3].per_run_ms, vec![6.0, 6.3]);
+        assert_eq!(s.achieved_qps, vec![395.0, 405.0]);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn checksum_mismatches_make_the_section_partial() {
+        let mut r = report();
+        r.checksum_mismatches = 3;
+        assert!(!r.is_complete());
+        assert!(!r.to_section().is_complete());
+    }
+
+    #[test]
+    fn render_names_every_quantile_and_the_co_gap() {
+        let text = report().render_lines().join("\n");
+        for needle in [
+            "p50",
+            "p90",
+            "p99",
+            "p99.9",
+            "max",
+            "CO gap",
+            "delivery share",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(text.contains("offered 400.0 q/s"));
+    }
+
+    #[test]
+    fn co_gap_reflects_histogram_divergence() {
+        let r = report();
+        // intended records values ~20% larger than naive.
+        assert!(r.co_gap_p999_ms() > 0.0);
+    }
+
+    #[test]
+    fn phase_totals_accumulate() {
+        let mut a = PhaseTotals::default();
+        a.add(&report().phases);
+        a.add(&report().phases);
+        assert!((a.server_user_ms - 200.0).abs() < 1e-9);
+        assert!((a.delivery_share() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,437 @@
+//! The load generator: N real client connections against one server,
+//! driven by the arrival discipline in the spec, recording
+//! coordinated-omission-safe latencies.
+//!
+//! **Why intended time.** In an open loop, request k is *supposed* to
+//! leave at schedule offset `t_k`. If the server stalls, a naive harness
+//! (one that stamps latency at the moment it actually wrote the bytes)
+//! silently converts server slowness into "the client sent later" — the
+//! stall evaporates from the latency distribution. This harness stamps
+//! every open-loop request with its schedule time and measures latency
+//! from there: a 300 ms stall shows up as hundreds of requests with
+//! hundreds of ms of latency, exactly what a user behind that stall
+//! experiences. Both histograms are recorded so the divergence itself is
+//! measurable (and tested).
+//!
+//! **Containment.** A flapping connection (injected `load.send` /
+//! `load.recv` faults, or a real transport death) is a *scenario*: the
+//! client reconnects through [`minidb_net::Client::reconnect`] and
+//! retries once; a session that cannot be revived is counted as dropped
+//! and the arm's report says so — the run never panics and the other
+//! sessions keep their schedule.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+use minidb_net::{Client, Connector, NetError, Transport};
+use perfeval_fault::FaultRegistry;
+use perfeval_stats::{LogHistogram, SplitMix64};
+use perfeval_trace::Tracer;
+
+use crate::checksum::result_checksum;
+use crate::report::{LoadReport, PhaseTotals, RunStats, TAIL_QUANTILES};
+use crate::spec::{Arrival, LoadSpec};
+
+/// A thread-safe dialer: each client session clones it to (re)connect.
+pub type Dialer = Arc<dyn Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>;
+
+/// In-flight request gauge with a high-water mark.
+#[derive(Default)]
+struct Gauge {
+    current: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    fn enter(&self) {
+        let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max.fetch_max(now, Ordering::SeqCst);
+    }
+    fn exit(&self) {
+        self.current.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What one client session brought home.
+#[derive(Default)]
+struct SessionOutcome {
+    intended: Option<LogHistogram>,
+    naive: Option<LogHistogram>,
+    completed: u64,
+    errors: u64,
+    reconnects: u64,
+    dropped: bool,
+    checksum_mismatches: u64,
+    phases: PhaseTotals,
+}
+
+/// One replicate's merged bookkeeping.
+struct RunTotals {
+    errors: u64,
+    reconnects: u64,
+    dropped_sessions: u64,
+    checksum_mismatches: u64,
+    phases: PhaseTotals,
+    max_in_flight: u64,
+}
+
+/// Runs one [`LoadSpec`] arm against a server reachable through a
+/// [`Dialer`].
+pub struct LoadRunner {
+    spec: LoadSpec,
+    dial: Dialer,
+    faults: Arc<FaultRegistry>,
+    tracer: Option<Tracer>,
+    expected: Option<Arc<HashMap<String, u64>>>,
+}
+
+impl LoadRunner {
+    /// A runner with no fault injection, no tracing, and no checksum
+    /// verification.
+    pub fn new(spec: LoadSpec, dial: Dialer) -> Self {
+        assert!(
+            !spec.mix.is_empty(),
+            "load spec needs a non-empty query mix"
+        );
+        assert!(spec.clients > 0, "load spec needs at least one client");
+        LoadRunner {
+            spec,
+            dial,
+            faults: Arc::new(FaultRegistry::disabled()),
+            tracer: None,
+            expected: None,
+        }
+    }
+
+    /// Evaluates `load.send` / `load.recv` failpoints per request, keyed
+    /// by client id with a 1-based per-client request ordinal as the
+    /// attempt — a deterministically slow or flapping client.
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Records one `load.client` span per session (on threads named
+    /// `client-N`), with every `net.query` span beneath it — stitched to
+    /// the server's lanes by `minidb-net`'s span-id forwarding.
+    pub fn traced(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Verifies every result against serial-execution checksums
+    /// (SQL → checksum, from [`crate::checksum::expected_checksums`]);
+    /// mismatches are counted and fail the arm's completeness.
+    pub fn expecting(mut self, expected: HashMap<String, u64>) -> Self {
+        self.expected = Some(Arc::new(expected));
+        self
+    }
+
+    /// Runs one replicate.
+    pub fn run(&self) -> LoadReport {
+        self.run_replicated(1)
+    }
+
+    /// Runs `reps` replicates (distinct seeds, fresh connections) and
+    /// aggregates: per-run quantiles feed the confidence intervals, the
+    /// merged histograms feed the overall tail table.
+    pub fn run_replicated(&self, reps: usize) -> LoadReport {
+        let mut report = LoadReport {
+            name: self.spec.name.clone(),
+            arrival: self.spec.arrival.describe(),
+            clients: self.spec.clients,
+            offered_qps: self.spec.arrival.offered_qps(),
+            runs: Vec::with_capacity(reps),
+            intended: LogHistogram::new(self.spec.rel_err).expect("spec rel_err"),
+            naive: LogHistogram::new(self.spec.rel_err).expect("spec rel_err"),
+            requests: 0,
+            errors: 0,
+            reconnects: 0,
+            dropped_sessions: 0,
+            checksum_mismatches: 0,
+            max_in_flight: 0,
+            phases: PhaseTotals::default(),
+        };
+        for rep in 0..reps {
+            let (stats, run_intended, run_naive, totals) = self.run_once(rep as u64);
+            report.requests += stats.completed;
+            report.errors += totals.errors;
+            report.reconnects += totals.reconnects;
+            report.dropped_sessions += totals.dropped_sessions;
+            report.checksum_mismatches += totals.checksum_mismatches;
+            report.max_in_flight = report.max_in_flight.max(totals.max_in_flight);
+            report.phases.add(&totals.phases);
+            report.intended.merge(&run_intended).expect("same rel_err");
+            report.naive.merge(&run_naive).expect("same rel_err");
+            report.runs.push(stats);
+        }
+        report
+    }
+
+    /// One replicate: spawn the sessions, release them simultaneously,
+    /// gather and merge their outcomes.
+    fn run_once(&self, rep: u64) -> (RunStats, LogHistogram, LogHistogram, RunTotals) {
+        let spec = &self.spec;
+        let schedule = spec.schedule_ns(rep).map(Arc::new);
+        let gauge = Arc::new(Gauge::default());
+        // Two-phase start: every session dials and parks on `ready`, the
+        // coordinator stamps t=0, `go` releases them — so schedule offsets
+        // never include connect/spawn time.
+        let ready = Arc::new(Barrier::new(spec.clients + 1));
+        let go = Arc::new(Barrier::new(spec.clients + 1));
+        let start: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+
+        let mut joins = Vec::with_capacity(spec.clients);
+        for id in 0..spec.clients {
+            let session = SessionTask {
+                id,
+                rep,
+                spec: spec.clone(),
+                schedule: schedule.clone(),
+                dial: Arc::clone(&self.dial),
+                faults: Arc::clone(&self.faults),
+                tracer: self.tracer.clone(),
+                expected: self.expected.clone(),
+                gauge: Arc::clone(&gauge),
+                ready: Arc::clone(&ready),
+                go: Arc::clone(&go),
+                start: Arc::clone(&start),
+            };
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("client-{id}"))
+                    .spawn(move || session.run())
+                    .expect("spawn client thread"),
+            );
+        }
+        ready.wait();
+        start.set(Instant::now()).expect("start stamped once");
+        go.wait();
+
+        let mut intended = LogHistogram::new(spec.rel_err).expect("spec rel_err");
+        let mut naive = LogHistogram::new(spec.rel_err).expect("spec rel_err");
+        let mut completed = 0u64;
+        let mut totals = RunTotals {
+            errors: 0,
+            reconnects: 0,
+            dropped_sessions: 0,
+            checksum_mismatches: 0,
+            phases: PhaseTotals::default(),
+            max_in_flight: 0,
+        };
+        for join in joins {
+            let outcome = join.join().expect("client threads contain their failures");
+            if let Some(h) = &outcome.intended {
+                intended.merge(h).expect("same rel_err");
+            }
+            if let Some(h) = &outcome.naive {
+                naive.merge(h).expect("same rel_err");
+            }
+            completed += outcome.completed;
+            totals.errors += outcome.errors;
+            totals.reconnects += outcome.reconnects;
+            totals.checksum_mismatches += outcome.checksum_mismatches;
+            totals.dropped_sessions += u64::from(outcome.dropped);
+            totals.phases.add(&outcome.phases);
+        }
+        let wall_secs = start.get().expect("stamped").elapsed().as_secs_f64();
+        totals.max_in_flight = gauge.max.load(Ordering::SeqCst);
+
+        let mut tail_ms = [0.0; 5];
+        for (i, (_, q)) in TAIL_QUANTILES.iter().enumerate() {
+            tail_ms[i] = intended.quantile(*q).unwrap_or(0.0);
+        }
+        let stats = RunStats {
+            wall_secs,
+            completed,
+            achieved_qps: completed as f64 / wall_secs.max(1e-9),
+            tail_ms,
+            naive_p999_ms: naive.quantile(0.999).unwrap_or(0.0),
+        };
+        (stats, intended, naive, totals)
+    }
+}
+
+/// One client session's full task state.
+struct SessionTask {
+    id: usize,
+    rep: u64,
+    spec: LoadSpec,
+    schedule: Option<Arc<Vec<u64>>>,
+    dial: Dialer,
+    faults: Arc<FaultRegistry>,
+    tracer: Option<Tracer>,
+    expected: Option<Arc<HashMap<String, u64>>>,
+    gauge: Arc<Gauge>,
+    ready: Arc<Barrier>,
+    go: Arc<Barrier>,
+    start: Arc<OnceLock<Instant>>,
+}
+
+impl SessionTask {
+    fn run(self) -> SessionOutcome {
+        let mut outcome = SessionOutcome {
+            intended: Some(LogHistogram::new(self.spec.rel_err).expect("spec rel_err")),
+            naive: Some(LogHistogram::new(self.spec.rel_err).expect("spec rel_err")),
+            ..SessionOutcome::default()
+        };
+        let dial = Arc::clone(&self.dial);
+        let connector: Connector = Box::new(move || dial());
+        let client = Client::connect_via(
+            connector,
+            Arc::new(FaultRegistry::disabled()),
+            self.id as u64,
+        );
+        let mut client = match client {
+            Ok(c) => match &self.tracer {
+                Some(t) => c.traced(t),
+                None => c,
+            },
+            Err(_) => {
+                // Could not even join the run: park on both barriers so
+                // the rest of the fleet is not deadlocked, then report.
+                self.ready.wait();
+                self.go.wait();
+                outcome.dropped = true;
+                return outcome;
+            }
+        };
+
+        let mut span = self.tracer.as_ref().map(|t| t.span("load.client"));
+        if let Some(g) = span.as_mut() {
+            g.attr("client", self.id as i64)
+                .attr("rep", self.rep as i64);
+        }
+
+        let mut rng = SplitMix64::split(self.spec.seed ^ self.rep, self.id as u64);
+        self.ready.wait();
+        self.go.wait();
+        let start = *self.start.get().expect("coordinator stamped start");
+
+        // The list of (ordinal, intended_offset_ns) this session owns.
+        // Closed loop: intended == actual send time (think-time driven),
+        // marked by None.
+        let my_requests: Vec<Option<u64>> = match &self.schedule {
+            Some(schedule) => (self.id..schedule.len())
+                .step_by(self.spec.clients)
+                .map(|k| Some(schedule[k]))
+                .collect(),
+            None => vec![None; self.spec.requests_for_client(self.id)],
+        };
+
+        for (ordinal0, intended_offset) in my_requests.into_iter().enumerate() {
+            let ordinal = ordinal0 as u32 + 1;
+            let sql = &self.spec.mix[rng.next_below(self.spec.mix.len() as u64) as usize];
+
+            let intended_ns = match intended_offset {
+                Some(offset) => {
+                    // Open loop: wait for the schedule — and if the run is
+                    // behind (server backlog), send immediately; the
+                    // schedule does NOT slip.
+                    let elapsed = start.elapsed().as_nanos() as u64;
+                    if offset > elapsed {
+                        std::thread::sleep(Duration::from_nanos(offset - elapsed));
+                    }
+                    offset
+                }
+                None => {
+                    // Closed loop: think, then the intended time IS now.
+                    if let Arrival::Closed { think_ms } = self.spec.arrival {
+                        if think_ms > 0.0 {
+                            let u = rng.next_f64().min(1.0 - 1e-12);
+                            let think = -(1.0 - u).ln() * think_ms;
+                            std::thread::sleep(Duration::from_nanos((think * 1e6) as u64));
+                        }
+                    }
+                    start.elapsed().as_nanos() as u64
+                }
+            };
+
+            // Deterministic client-side fault coordinates: one evaluation
+            // per request (retries after a reconnect are not re-faulted,
+            // so an Always-triggered fault degrades, never livelocks).
+            self.faults.fire("load.send", self.id as u64, ordinal);
+            let send_failed = self.faults.io_fails("load.send", self.id as u64);
+
+            let sent_ns = start.elapsed().as_nanos() as u64;
+            let mut result = if send_failed {
+                Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected load.send failure",
+                )))
+            } else {
+                self.gauge.enter();
+                let r = client.query(sql);
+                self.gauge.exit();
+                r
+            };
+
+            // The receive-side failpoint runs before the completion stamp:
+            // an injected delay IS a slow client, visible in the latency.
+            self.faults.fire("load.recv", self.id as u64, ordinal);
+            if result.is_ok() && self.faults.io_fails("load.recv", self.id as u64) {
+                result = Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected load.recv failure",
+                )));
+            }
+
+            // Contained recovery: revive the connection and retry once.
+            if matches!(result, Err(NetError::Io(_)) | Err(NetError::Protocol(_))) {
+                if client.reconnect().is_ok() {
+                    outcome.reconnects += 1;
+                    self.gauge.enter();
+                    result = client.query(sql);
+                    self.gauge.exit();
+                } else {
+                    outcome.dropped = true;
+                    return outcome;
+                }
+            }
+
+            let done_ns = start.elapsed().as_nanos() as u64;
+            match result {
+                Ok(r) => {
+                    outcome.completed += 1;
+                    outcome
+                        .intended
+                        .as_mut()
+                        .expect("init above")
+                        .record(done_ns.saturating_sub(intended_ns) as f64 / 1e6);
+                    outcome
+                        .naive
+                        .as_mut()
+                        .expect("init above")
+                        .record(done_ns.saturating_sub(sent_ns) as f64 / 1e6);
+                    outcome.phases.add(&PhaseTotals {
+                        server_user_ms: r.server_user_ms(),
+                        server_real_ms: r.server_real_ms(),
+                        serialize_ms: r.serialize_ms(),
+                        wire_ms: r.wire_ms,
+                        print_ms: r.print_ms,
+                        client_real_ms: r.client_real_ms,
+                    });
+                    if let Some(expected) = &self.expected {
+                        if let Some(&want) = expected.get(sql.as_str()) {
+                            if result_checksum(&r.rows) != want {
+                                outcome.checksum_mismatches += 1;
+                            }
+                        }
+                    }
+                }
+                Err(NetError::Db(_)) => outcome.errors += 1,
+                Err(_) => {
+                    // The retry after a reconnect also died: give up on
+                    // this session, containedly.
+                    outcome.dropped = true;
+                    return outcome;
+                }
+            }
+        }
+        let _ = client.close();
+        outcome
+    }
+}

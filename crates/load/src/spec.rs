@@ -1,0 +1,219 @@
+//! What a load run *is*: arrival discipline, concurrency, query mix.
+//!
+//! The arrival model is an explicit design factor, not an accident of the
+//! harness. A **closed loop** (each of N clients thinks, sends, waits)
+//! throttles itself when the server slows down — offered load is a
+//! function of the system under test. An **open loop** (a global arrival
+//! schedule that marches on regardless of completions) keeps offering
+//! work while the server struggles, which is what production traffic
+//! does — and is the only discipline under which tail latencies around a
+//! stall are honest. The two disagree most exactly where the numbers
+//! matter most (at the knee), so the spec forces the experimenter to
+//! choose one per arm and the report names the choice.
+
+use perfeval_stats::SplitMix64;
+
+/// Arrival discipline for one load arm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrival {
+    /// Closed loop: each client waits for its response, thinks for an
+    /// exponentially distributed time with this mean (ms, seeded), then
+    /// sends the next query. Offered rate adapts to the server.
+    Closed {
+        /// Mean think time between a response and the next request, ms.
+        think_ms: f64,
+    },
+    /// Open loop, Poisson process: a global schedule of exponentially
+    /// distributed inter-arrival gaps at this rate, partitioned
+    /// round-robin over the connections. The schedule does not wait.
+    OpenPoisson {
+        /// Offered arrival rate, queries per second.
+        rate_qps: f64,
+    },
+    /// Open loop, uniformly paced: arrival k is scheduled at `k / rate`.
+    /// Same offered rate as [`Arrival::OpenPoisson`] without burstiness —
+    /// the A/B pair that isolates burst effects on the tail.
+    OpenPaced {
+        /// Offered arrival rate, queries per second.
+        rate_qps: f64,
+    },
+}
+
+impl Arrival {
+    /// The offered rate, q/s — `None` for the closed loop, whose offered
+    /// rate is an *output* of the measurement, not an input.
+    pub fn offered_qps(&self) -> Option<f64> {
+        match self {
+            Arrival::Closed { .. } => None,
+            Arrival::OpenPoisson { rate_qps } | Arrival::OpenPaced { rate_qps } => Some(*rate_qps),
+        }
+    }
+
+    /// Human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Arrival::Closed { think_ms } => {
+                format!("closed-loop, mean think {think_ms:.1} ms")
+            }
+            Arrival::OpenPoisson { rate_qps } => {
+                format!("open-loop poisson, {rate_qps:.1} q/s offered")
+            }
+            Arrival::OpenPaced { rate_qps } => {
+                format!("open-loop paced, {rate_qps:.1} q/s offered")
+            }
+        }
+    }
+}
+
+/// One load arm: who arrives when, asking what.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Arm label ("open/64/heavy") — carried into reports.
+    pub name: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests per run, across all clients.
+    pub requests: usize,
+    /// Arrival discipline.
+    pub arrival: Arrival,
+    /// Query mix; each request draws one of these (seeded, uniform).
+    pub mix: Vec<String>,
+    /// Root seed for think times, the arrival schedule, and the mix draw.
+    pub seed: u64,
+    /// Relative-error bound of the latency histograms.
+    pub rel_err: f64,
+}
+
+impl LoadSpec {
+    /// A spec with the default seed and histogram resolution.
+    pub fn new(name: &str, clients: usize, requests: usize, arrival: Arrival) -> Self {
+        LoadSpec {
+            name: name.to_owned(),
+            clients,
+            requests,
+            arrival,
+            mix: Vec::new(),
+            seed: 20080408,
+            rel_err: 0.01,
+        }
+    }
+
+    /// Sets the query mix.
+    pub fn mix(mut self, mix: Vec<String>) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The open-loop arrival schedule for replicate `rep`: intended send
+    /// offsets from run start, in ns, one per request, non-decreasing.
+    /// `None` for the closed loop (arrivals are response-driven).
+    pub fn schedule_ns(&self, rep: u64) -> Option<Vec<u64>> {
+        let rate = self.arrival.offered_qps()?;
+        let gap_ns = 1e9 / rate.max(1e-9);
+        let mut rng = SplitMix64::split(self.seed ^ 0x4c4f_4144, rep);
+        let mut t = 0.0f64;
+        let mut schedule = Vec::with_capacity(self.requests);
+        for k in 0..self.requests {
+            match self.arrival {
+                Arrival::OpenPaced { .. } => schedule.push((k as f64 * gap_ns) as u64),
+                Arrival::OpenPoisson { .. } => {
+                    // Exponential inter-arrival via inverse CDF; clamp the
+                    // uniform away from 1.0 so ln() stays finite.
+                    let u = rng.next_f64().min(1.0 - 1e-12);
+                    t += -(1.0 - u).ln() * gap_ns;
+                    schedule.push(t as u64);
+                }
+                Arrival::Closed { .. } => unreachable!("offered_qps returned Some"),
+            }
+        }
+        Some(schedule)
+    }
+
+    /// How many of the run's requests client `c` issues (round-robin
+    /// partition of the total, so counts differ by at most one).
+    pub fn requests_for_client(&self, c: usize) -> usize {
+        let base = self.requests / self.clients.max(1);
+        let extra = self.requests % self.clients.max(1);
+        base + usize::from(c < extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_rate_is_open_loop_only() {
+        assert_eq!(Arrival::Closed { think_ms: 1.0 }.offered_qps(), None);
+        assert_eq!(
+            Arrival::OpenPoisson { rate_qps: 250.0 }.offered_qps(),
+            Some(250.0)
+        );
+        assert_eq!(
+            Arrival::OpenPaced { rate_qps: 100.0 }.offered_qps(),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn paced_schedule_is_uniform() {
+        let spec = LoadSpec::new("t", 4, 10, Arrival::OpenPaced { rate_qps: 1000.0 });
+        let s = spec.schedule_ns(0).unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        // 1000 q/s → 1 ms gaps.
+        assert_eq!(s[1], 1_000_000);
+        assert_eq!(s[9], 9_000_000);
+    }
+
+    #[test]
+    fn poisson_schedule_is_seeded_and_monotone() {
+        let spec = LoadSpec::new("t", 4, 500, Arrival::OpenPoisson { rate_qps: 1000.0 });
+        let a = spec.schedule_ns(0).unwrap();
+        let b = spec.schedule_ns(0).unwrap();
+        assert_eq!(a, b, "same seed, same replicate, same schedule");
+        let c = spec.schedule_ns(1).unwrap();
+        assert_ne!(a, c, "replicates draw different schedules");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // Mean gap within 20% of 1 ms over 500 arrivals.
+        let mean_gap = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!(
+            (0.8e6..1.25e6).contains(&mean_gap),
+            "mean gap {mean_gap} ns"
+        );
+    }
+
+    #[test]
+    fn closed_loop_has_no_schedule() {
+        let spec = LoadSpec::new("t", 4, 10, Arrival::Closed { think_ms: 1.0 });
+        assert!(spec.schedule_ns(0).is_none());
+    }
+
+    #[test]
+    fn request_partition_covers_the_total() {
+        let spec = LoadSpec::new("t", 7, 100, Arrival::Closed { think_ms: 0.0 });
+        let total: usize = (0..7).map(|c| spec.requests_for_client(c)).sum();
+        assert_eq!(total, 100);
+        let counts: Vec<usize> = (0..7).map(|c| spec.requests_for_client(c)).collect();
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn descriptions_name_the_discipline() {
+        assert!(Arrival::Closed { think_ms: 2.0 }
+            .describe()
+            .contains("closed"));
+        assert!(Arrival::OpenPoisson { rate_qps: 1.0 }
+            .describe()
+            .contains("poisson"));
+        assert!(Arrival::OpenPaced { rate_qps: 1.0 }
+            .describe()
+            .contains("paced"));
+    }
+}

@@ -157,12 +157,23 @@ impl NetQueryResult {
     }
 }
 
-/// A connected client. One connection, one server-side session.
+/// A dialer the client can call again to re-establish a dropped
+/// connection (see [`Client::connect_via`] / [`Client::reconnect`]).
+pub type Connector = Box<dyn Fn() -> io::Result<Box<dyn Transport>> + Send>;
+
+/// A connected client. One connection, one server-side session; the
+/// connection is persistent — [`Client::query`] can be called any number
+/// of times without re-handshaking (the `Hello` exchange happens exactly
+/// once per connection).
 pub struct Client {
     io: FramedIo,
     tracer: Option<Tracer>,
     now_ns: Box<dyn Fn() -> u64 + Send>,
     said_bye: bool,
+    alive: bool,
+    connector: Option<Connector>,
+    faults: Arc<FaultRegistry>,
+    conn_key: u64,
 }
 
 impl Client {
@@ -184,7 +195,46 @@ impl Client {
         faults: Arc<FaultRegistry>,
         conn_key: u64,
     ) -> Result<Client, NetError> {
-        let mut io = FramedIo::new(transport, faults, conn_key);
+        let io = Client::handshake(transport, &faults, conn_key)?;
+        let clock = WallClock::new();
+        Ok(Client {
+            io,
+            tracer: None,
+            now_ns: Box::new(move || clock.now_ns()),
+            said_bye: false,
+            alive: true,
+            connector: None,
+            faults,
+            conn_key,
+        })
+    }
+
+    /// Connects through a re-dialable `connector` and remembers it, so a
+    /// dead connection can be revived in place with [`Client::reconnect`].
+    /// This is what a load generator uses: thousands of sequential queries
+    /// on one persistent connection, and a cheap recovery path when a
+    /// flapping link kills it.
+    ///
+    /// # Errors
+    /// Dial or handshake failure.
+    pub fn connect_via(
+        connector: Connector,
+        faults: Arc<FaultRegistry>,
+        conn_key: u64,
+    ) -> Result<Client, NetError> {
+        let transport = connector()?;
+        let mut client = Client::connect_with(transport, faults, conn_key)?;
+        client.connector = Some(connector);
+        Ok(client)
+    }
+
+    /// Performs the one-per-connection `Hello` exchange.
+    fn handshake(
+        transport: Box<dyn Transport>,
+        faults: &Arc<FaultRegistry>,
+        conn_key: u64,
+    ) -> Result<FramedIo, NetError> {
+        let mut io = FramedIo::new(transport, Arc::clone(faults), conn_key);
         io.send(&Frame::Hello {
             version: PROTOCOL_VERSION,
         })?;
@@ -193,13 +243,34 @@ impl Client {
             Frame::Error(e) => return Err(NetError::Db(e)),
             f => return Err(NetError::Protocol(format!("expected HelloOk, got {f:?}"))),
         }
-        let clock = WallClock::new();
-        Ok(Client {
-            io,
-            tracer: None,
-            now_ns: Box::new(move || clock.now_ns()),
-            said_bye: false,
-        })
+        Ok(io)
+    }
+
+    /// Whether the connection is believed usable: no transport or protocol
+    /// error has been observed and `close` has not been called. Cheap (a
+    /// flag read — no probe traffic), so a load harness can gate every
+    /// request on it.
+    pub fn is_alive(&self) -> bool {
+        self.alive && !self.said_bye
+    }
+
+    /// Re-dials and re-handshakes in place after the connection died,
+    /// using the connector stored by [`Client::connect_via`]. The server
+    /// sees a brand-new connection (and session); the client keeps its
+    /// tracer, clock, and fault key.
+    ///
+    /// # Errors
+    /// `Protocol` if the client was not built with `connect_via`;
+    /// otherwise dial/handshake errors (the client stays dead).
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let connector = self.connector.as_ref().ok_or_else(|| {
+            NetError::Protocol("no connector: client was not built with connect_via".into())
+        })?;
+        let transport = connector()?;
+        self.io = Client::handshake(transport, &self.faults, self.conn_key)?;
+        self.alive = true;
+        self.said_bye = false;
+        Ok(())
     }
 
     /// Uses `clock` for all client-side timing (wire residual, print,
@@ -239,8 +310,22 @@ impl Client {
     /// "client print" component.
     ///
     /// # Errors
-    /// See [`Client::query`].
+    /// See [`Client::query`]. An `Io` or `Protocol` error marks the
+    /// connection dead ([`Client::is_alive`] returns false); a `Db` error
+    /// leaves it usable — the server session survives a failed query.
     pub fn query_to(
+        &mut self,
+        sql: &str,
+        sink: &mut dyn ResultSink,
+    ) -> Result<NetQueryResult, NetError> {
+        let result = self.query_to_inner(sql, sink);
+        if matches!(result, Err(NetError::Io(_)) | Err(NetError::Protocol(_))) {
+            self.alive = false;
+        }
+        result
+    }
+
+    fn query_to_inner(
         &mut self,
         sql: &str,
         sink: &mut dyn ResultSink,

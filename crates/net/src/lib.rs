@@ -57,7 +57,7 @@ pub mod frame;
 pub mod server;
 pub mod transport;
 
-pub use client::{Client, NetError, NetQueryResult};
+pub use client::{Client, Connector, NetError, NetQueryResult};
 pub use frame::{Footer, Frame, FramedIo, MAX_FRAME_LEN, PROTOCOL_VERSION, ROWS_PER_BATCH};
 pub use server::{Server, ServerHandle, ServerStats};
 pub use transport::{
@@ -165,6 +165,136 @@ mod tests {
             vec![vec![Value::Int(3)]],
             "DDL/DML state persists across queries on one connection"
         );
+        client.close().unwrap();
+        server.wait();
+    }
+
+    #[test]
+    fn persistent_connection_handshakes_exactly_once() {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::new()
+            .workers(1)
+            .serve(ep, || Session::new(catalog()));
+
+        let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+        assert!(client.is_alive());
+        for i in 0..200 {
+            let r = client
+                .query(&format!("SELECT COUNT(*) FROM nums WHERE x < {i}"))
+                .unwrap();
+            assert_eq!(r.rows, vec![vec![Value::Int(i)]]);
+            assert!(client.is_alive());
+        }
+        client.close().unwrap();
+        let stats = server.wait();
+        // One Hello for 200 queries: the load harness does not pay a
+        // handshake (or a new server session) per request.
+        assert_eq!(stats.connections, 1, "no re-handshake across queries");
+        assert_eq!(stats.queries, 200);
+        assert_eq!(stats.disconnects, 0);
+    }
+
+    #[test]
+    fn is_alive_and_reconnect_recover_a_dead_connection() {
+        use perfeval_fault::FaultRegistry;
+        use std::io::{Read, Write};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // A transport whose link the test can cut mid-stream — the
+        // "flapping client" scenario the load harness must contain.
+        struct KillSwitch {
+            inner: LoopbackConn,
+            cut: Arc<AtomicBool>,
+        }
+        impl KillSwitch {
+            fn check(&self) -> std::io::Result<()> {
+                if self.cut.load(Ordering::SeqCst) {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "link cut",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        impl Read for KillSwitch {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.check()?;
+                self.inner.read(buf)
+            }
+        }
+        impl Write for KillSwitch {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.check()?;
+                self.inner.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.inner.flush()
+            }
+        }
+        impl Transport for KillSwitch {
+            fn describe(&self) -> String {
+                "loopback+killswitch".to_owned()
+            }
+        }
+
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::new()
+            .workers(2)
+            .serve(ep, || Session::new(catalog()));
+
+        let cut = Arc::new(AtomicBool::new(false));
+        let connector: Connector = {
+            let cut = Arc::clone(&cut);
+            Box::new(move || {
+                Ok(Box::new(KillSwitch {
+                    inner: dial.connect()?,
+                    cut: Arc::clone(&cut),
+                }) as Box<dyn Transport>)
+            })
+        };
+        let mut client =
+            Client::connect_via(connector, Arc::new(FaultRegistry::disabled()), 42).unwrap();
+
+        let r = client.query("SELECT COUNT(*) FROM nums").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1_000)]]);
+        assert!(client.is_alive());
+
+        // Cut the link: the next query dies on the wire.
+        cut.store(true, Ordering::SeqCst);
+        let err = client.query("SELECT MAX(x) FROM nums").unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "got {err:?}");
+        assert!(!client.is_alive(), "Io error marks the client dead");
+
+        // Revive in place: new connection, new session, same client.
+        cut.store(false, Ordering::SeqCst);
+        client.reconnect().unwrap();
+        assert!(client.is_alive());
+        let r = client.query("SELECT MAX(x) FROM nums").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(999)]]);
+
+        client.close().unwrap();
+        let stats = server.wait();
+        assert_eq!(stats.connections, 2, "reconnect dialed a fresh connection");
+        assert_eq!(stats.disconnects, 1, "the cut connection ended dirty");
+    }
+
+    #[test]
+    fn reconnect_without_connector_is_an_error() {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::new()
+            .workers(1)
+            .serve(ep, || Session::new(catalog()));
+        let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+        assert!(matches!(
+            client.reconnect(),
+            Err(NetError::Protocol(m)) if m.contains("connect_via")
+        ));
         client.close().unwrap();
         server.wait();
     }

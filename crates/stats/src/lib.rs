@@ -13,7 +13,9 @@
 //!   mean the two quantities are statistically indifferent" rule
 //!   ([`ci`], [`compare`]),
 //! * **histograms** with the "each cell should have at least five points"
-//!   rule of thumb ([`histogram`]),
+//!   rule of thumb ([`histogram`]), and a mergeable **log-bucketed sketch**
+//!   with a relative-error bound on quantiles for high-volume latency
+//!   streams ([`loghist`]),
 //! * **regression** for scale-up / speed-up fits ([`regression`]),
 //! * deterministic **random value generation** for synthetic data sets —
 //!   uniform, Zipf, normal, exponential, correlated ([`rng`], [`dist`]).
@@ -42,6 +44,7 @@ pub mod compare;
 pub mod descriptive;
 pub mod dist;
 pub mod histogram;
+pub mod loghist;
 pub mod outlier;
 pub mod regression;
 pub mod rng;
@@ -51,6 +54,7 @@ pub use ci::{mean_confidence_interval, ConfidenceInterval};
 pub use compare::{compare_means, ComparisonVerdict, TwoSampleComparison};
 pub use descriptive::Summary;
 pub use histogram::Histogram;
+pub use loghist::LogHistogram;
 pub use regression::LinearFit;
 pub use rng::SplitMix64;
 

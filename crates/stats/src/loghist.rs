@@ -1,0 +1,400 @@
+//! A log-bucketed histogram sketch with a guaranteed relative-error bound.
+//!
+//! Tail quantiles are the honest summary of a latency distribution — the
+//! tutorial's "never means-only" rule, and exactly the metric family the
+//! Taipalus DBMS-comparison SLR catalogues. Computing p99.9 exactly
+//! requires keeping every observation; at load-harness request rates that
+//! is millions of `f64`s per run. [`LogHistogram`] is the standard sketch
+//! compromise (DDSketch-style): geometric buckets sized so that any
+//! reported quantile is within a configured *relative* error `ε` of the
+//! exact sorted-data quantile, in O(log range) memory, with O(1) record
+//! and an exact merge.
+//!
+//! Properties the tests (and the workspace proptests in
+//! `tests/load_harness.rs`) pin down:
+//!
+//! * **quantile accuracy** — `|quantile(q) − exact(q)| ≤ ε · exact(q)` for
+//!   the same rank definition;
+//! * **merge ≡ concatenation** — merging two sketches yields bucket counts
+//!   (and therefore quantiles) identical to recording the concatenated
+//!   stream into one sketch;
+//! * **count conservation** — every recorded value lands in exactly one
+//!   bucket.
+
+use std::collections::BTreeMap;
+
+use crate::StatsError;
+
+/// Values at or below this threshold land in the dedicated zero bucket:
+/// latencies of 0 (or negative, from clock skew) are real observations and
+/// must be counted, but a log bucket cannot hold them.
+const ZERO_THRESHOLD: f64 = 1e-12;
+
+/// A mergeable log-bucketed histogram sketch over non-negative `f64`
+/// observations (latencies, sizes) with a relative-error guarantee on
+/// quantiles.
+///
+/// Bucket `i` covers `(γ^(i-1), γ^i]` with `γ = (1+ε)/(1-ε)`; the bucket
+/// representative `2·γ^i/(γ+1)` is within `ε` relative error of every
+/// value in the bucket. Buckets are stored sparsely, so memory is
+/// proportional to the number of *occupied* buckets (≈ log of the dynamic
+/// range / ε), not to the observation count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// Configured relative-error bound ε.
+    rel_err: f64,
+    /// ln(γ), precomputed.
+    ln_gamma: f64,
+    /// Sparse bucket counts, keyed by bucket index.
+    buckets: BTreeMap<i32, u64>,
+    /// Observations ≤ [`ZERO_THRESHOLD`] (zeros and clock-skew negatives).
+    zero_count: u64,
+    /// Total observations.
+    count: u64,
+    /// Exact running minimum/maximum (quantile results are clamped into
+    /// this range, so `quantile(0.0)`/`quantile(1.0)` are exact).
+    min: f64,
+    max: f64,
+    /// Exact running sum, for a mean cross-check against the quantiles.
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// A sketch guaranteeing quantiles within relative error `rel_err`
+    /// (e.g. `0.01` = 1%).
+    ///
+    /// # Errors
+    /// `InvalidParameter` unless `0 < rel_err < 1`.
+    pub fn new(rel_err: f64) -> Result<Self, StatsError> {
+        if !(rel_err > 0.0 && rel_err < 1.0) {
+            return Err(StatsError::InvalidParameter("rel_err must be in (0,1)"));
+        }
+        let gamma = (1.0 + rel_err) / (1.0 - rel_err);
+        Ok(LogHistogram {
+            rel_err,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        })
+    }
+
+    /// The default latency sketch: 1% relative error, comfortably tighter
+    /// than run-to-run noise on any real machine.
+    pub fn latency_default() -> Self {
+        LogHistogram::new(0.01).expect("0.01 is a valid rel_err")
+    }
+
+    /// The configured relative-error bound ε.
+    pub fn relative_error(&self) -> f64 {
+        self.rel_err
+    }
+
+    /// Records one observation. Non-finite values are ignored (a NaN
+    /// latency is a measurement bug, not a data point); values ≤ 0 count
+    /// in the zero bucket.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value.max(0.0);
+        self.min = self.min.min(value.max(0.0));
+        self.max = self.max.max(value.max(0.0));
+        if value <= ZERO_THRESHOLD {
+            self.zero_count += 1;
+        } else {
+            *self.buckets.entry(self.bucket_index(value)).or_insert(0) += 1;
+        }
+    }
+
+    /// Bucket index for a positive value: `ceil(ln(v)/ln(γ))`, so bucket
+    /// `i` covers `(γ^(i-1), γ^i]`.
+    fn bucket_index(&self, value: f64) -> i32 {
+        (value.ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// Representative value of bucket `i`: `2·γ^i/(γ+1)`, within ε of
+    /// every value in the bucket.
+    fn bucket_value(&self, index: i32) -> f64 {
+        let gamma_i = (index as f64 * self.ln_gamma).exp();
+        2.0 * gamma_i / (self.ln_gamma.exp() + 1.0)
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum recorded value (0 for an empty sketch).
+    pub fn max(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 for an empty sketch).
+    pub fn min(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact running sum.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (`None` for an empty sketch). Means are kept only as a
+    /// cross-check — report quantiles.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Number of occupied buckets (the sketch's memory footprint).
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len() + usize::from(self.zero_count > 0)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, within [`relative_error`] of
+    /// the exact sorted-data value at rank `⌈q·(n−1)⌉`. Returns `None` on
+    /// an empty sketch.
+    ///
+    /// [`relative_error`]: LogHistogram::relative_error
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).ceil() as u64;
+        // Extreme ranks are tracked exactly.
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank >= self.count - 1 {
+            return Some(self.max);
+        }
+        let mut cumulative = self.zero_count;
+        if rank < cumulative {
+            return Some(0.0);
+        }
+        for (&index, &n) in &self.buckets {
+            cumulative += n;
+            if rank < cumulative {
+                // Clamp into the exact observed range: p0/p100 become
+                // exact, and no estimate escapes the data.
+                return Some(self.bucket_value(index).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges `other` into `self`. Bucket-exact: the result is identical
+    /// to having recorded both streams into one sketch.
+    ///
+    /// # Errors
+    /// `InvalidParameter` when the sketches were built with different
+    /// relative-error bounds (their bucket grids are incompatible).
+    pub fn merge(&mut self, other: &LogHistogram) -> Result<(), StatsError> {
+        if self.rel_err != other.rel_err {
+            return Err(StatsError::InvalidParameter(
+                "cannot merge LogHistograms with different rel_err",
+            ));
+        }
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum += other.sum;
+        if !other.is_empty() {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        Ok(())
+    }
+
+    /// `p50/p90/p99/p99.9/max` in one line — the tail table row.
+    pub fn render_tail(&self) -> String {
+        match self.quantile(0.5) {
+            None => "empty".to_owned(),
+            Some(p50) => format!(
+                "p50 {:.3}  p90 {:.3}  p99 {:.3}  p99.9 {:.3}  max {:.3}",
+                p50,
+                self.quantile(0.90).expect("non-empty"),
+                self.quantile(0.99).expect("non-empty"),
+                self.quantile(0.999).expect("non-empty"),
+                self.max()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rank definition [`LogHistogram::quantile`] documents, applied
+    /// to exact sorted data.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).ceil() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn rejects_invalid_rel_err() {
+        assert!(LogHistogram::new(0.0).is_err());
+        assert!(LogHistogram::new(1.0).is_err());
+        assert!(LogHistogram::new(-0.5).is_err());
+        assert!(LogHistogram::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let h = LogHistogram::latency_default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.render_tail(), "empty");
+    }
+
+    #[test]
+    fn quantiles_within_relative_error_of_exact() {
+        let eps = 0.01;
+        let mut h = LogHistogram::new(eps).unwrap();
+        // A long-tailed synthetic latency distribution over 5 decades.
+        let mut data: Vec<f64> = (1..=2000)
+            .map(|i| 0.05 * (1.0 + (i as f64 * 0.017).sin()).exp() * (i as f64).sqrt())
+            .collect();
+        for &v in &data {
+            h.record(v);
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&data, q);
+            let est = h.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= eps * exact + 1e-12,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 2000);
+    }
+
+    #[test]
+    fn min_max_quantiles_are_exact() {
+        let mut h = LogHistogram::new(0.05).unwrap();
+        for v in [3.7, 12.0, 0.4, 88.8] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.4));
+        assert_eq!(h.quantile(1.0), Some(88.8));
+        assert_eq!(h.min(), 0.4);
+        assert_eq!(h.max(), 88.8);
+    }
+
+    #[test]
+    fn zeros_and_negatives_count_in_the_zero_bucket() {
+        let mut h = LogHistogram::latency_default();
+        h.record(0.0);
+        h.record(-2.5); // clock skew: counted as zero, never lost
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        assert_eq!(h.min(), 0.0);
+        // Mean treats negatives as zero (they entered the zero bucket).
+        assert!((h.mean().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut h = LogHistogram::latency_default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = LogHistogram::new(0.02).unwrap();
+        let mut b = LogHistogram::new(0.02).unwrap();
+        let mut whole = LogHistogram::new(0.02).unwrap();
+        for i in 0..500 {
+            let v = 0.1 + (i as f64) * 0.37;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, whole, "merge is bucket-exact");
+        for q in [0.25, 0.5, 0.9, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_grids() {
+        let mut a = LogHistogram::new(0.01).unwrap();
+        let b = LogHistogram::new(0.02).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LogHistogram::latency_default();
+        a.record(5.0);
+        let before = a.clone();
+        a.merge(&LogHistogram::latency_default()).unwrap();
+        assert_eq!(a, before);
+        let mut empty = LogHistogram::latency_default();
+        empty.merge(&before).unwrap();
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn memory_is_sublinear_in_observations() {
+        let mut h = LogHistogram::new(0.01).unwrap();
+        for i in 0..100_000u64 {
+            h.record(1.0 + (i % 1000) as f64);
+        }
+        assert_eq!(h.count(), 100_000);
+        assert!(
+            h.occupied_buckets() < 1000,
+            "sketch, not a sorted vector: {} buckets",
+            h.occupied_buckets()
+        );
+    }
+
+    #[test]
+    fn tail_render_mentions_every_quantile() {
+        let mut h = LogHistogram::latency_default();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let line = h.render_tail();
+        for needle in ["p50", "p90", "p99", "p99.9", "max"] {
+            assert!(line.contains(needle), "{line}");
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache, failure-contained execution |
 //! | [`trace`] (`perfeval-trace`) | span-based observability: per-thread ring-buffer recorder, Chrome/Perfetto + flamegraph + tree exporters |
 //! | [`fault`] (`perfeval-fault`) | seeded deterministic fault injection: failpoints that panic, delay, hang, skew clocks, and fail cache I/O |
+//! | [`load`] (`perfeval-load`) | multi-client load harness over `minidb-net`: open/closed-loop arrival, coordinated-omission-safe tail latencies, offered-vs-achieved throughput, checksummed results |
 //!
 //! ## Quickstart: design, run, analyze
 //!
@@ -44,6 +45,7 @@ pub use perfeval_core as core;
 pub use perfeval_exec as exec;
 pub use perfeval_fault as fault;
 pub use perfeval_harness as harness;
+pub use perfeval_load as load;
 pub use perfeval_measure as measure;
 pub use perfeval_stats as stats;
 pub use perfeval_trace as trace;
@@ -68,8 +70,9 @@ pub mod prelude {
     };
     pub use perfeval_fault::{Failpoint, FaultAction, FaultRegistry, Trigger};
     pub use perfeval_harness::{ExperimentSuite, GnuplotScript, Properties};
+    pub use perfeval_load::{Arrival, Dialer, LoadReport, LoadRunner, LoadSpec};
     pub use perfeval_measure::{CacheState, Clock, Measurement, RunProtocol, WallClock};
-    pub use perfeval_stats::{compare_means, mean_confidence_interval, Summary};
+    pub use perfeval_stats::{compare_means, mean_confidence_interval, LogHistogram, Summary};
     pub use perfeval_trace::{chrome_trace_json, render_tree, Tracer};
     pub use workload::dbgen::{generate, GenConfig};
 }

@@ -1,0 +1,235 @@
+//! Workspace-level tests for the load harness: the coordinated-omission
+//! divergence experiment, a 64-client closed-loop soak with bit-identity
+//! checking, and property tests over the log-bucketed histogram.
+
+use std::sync::Arc;
+
+use perfeval::fault::{FaultAction, FaultRegistry, Trigger};
+use perfeval::load::{expected_checksums, Arrival, Dialer, LoadReport, LoadRunner, LoadSpec};
+use perfeval::net::{LoopbackEndpoint, Server, ServerStats, Transport};
+use perfeval::prelude::{Catalog, DataType, LogHistogram, Session, TableBuilder, Value};
+use proptest::prelude::*;
+
+fn small_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut t = TableBuilder::new("nums")
+        .column("x", DataType::Int)
+        .column("y", DataType::Float)
+        .build();
+    for i in 0..400 {
+        t.push_row(vec![Value::Int(i), Value::Float(i as f64 / 16.0)])
+            .unwrap();
+    }
+    catalog.register(t).unwrap();
+    catalog
+}
+
+fn mix() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) FROM nums WHERE x < 200".to_owned(),
+        "SELECT SUM(y) FROM nums WHERE x >= 100".to_owned(),
+    ]
+}
+
+/// Runs one arm against a loopback server whose sessions carry
+/// `session_faults`, returning the report and the server's own stats.
+fn run_arm(
+    spec: LoadSpec,
+    reps: usize,
+    session_faults: Option<Arc<FaultRegistry>>,
+) -> (LoadReport, ServerStats) {
+    let ep = LoopbackEndpoint::new();
+    let dial = ep.connector();
+    let server = Server::new().workers(spec.clients + 2).serve(ep, move || {
+        let session = Session::new(small_catalog());
+        match &session_faults {
+            Some(f) => session.with_faults(Arc::clone(f)),
+            None => session,
+        }
+    });
+    let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
+    let report = LoadRunner::new(spec.clone(), dialer)
+        .expecting(expected_checksums(small_catalog(), &spec.mix))
+        .run_replicated(reps);
+    (report, server.wait())
+}
+
+/// The coordinated-omission experiment: a server that stalls 400 ms once
+/// per session, under an open-loop paced schedule. Requests *behind* the
+/// stall are sent late — each one's send→recv time is tiny, so the naive
+/// histogram hides the incident; measuring from the intended schedule
+/// time shows what a real open arrival process would have experienced.
+#[test]
+fn intended_time_recording_exposes_a_stall_the_naive_clock_hides() {
+    // One session, one stall at its 1000th statement: exactly one of the
+    // 2000 requests is slow on the naive clock, so naive p99.9 (rank 1998
+    // of 2000) excludes it — precisely the coordinated-omission blind
+    // spot. The ~400 requests queued behind the stall are each sent late
+    // but answered quickly, invisible to send→recv timing.
+    let faults = Arc::new(FaultRegistry::new(7).armed_always(
+        "minidb.execute",
+        Trigger::Key(1_000),
+        FaultAction::DelayMs(400.0),
+    ));
+    let spec =
+        LoadSpec::new("co/stall", 1, 2_000, Arrival::OpenPaced { rate_qps: 800.0 }).mix(mix());
+    let (report, _) = run_arm(spec, 1, Some(faults));
+
+    assert!(report.is_complete(), "{:?}", report.render_lines());
+    assert_eq!(report.requests, 2_000);
+    let intended_p999 = report.intended.quantile(0.999).unwrap();
+    let naive_p999 = report.naive.quantile(0.999).unwrap();
+    assert!(
+        intended_p999 > 100.0,
+        "intended-time p99.9 must surface the 400 ms stall, got {intended_p999:.3} ms"
+    );
+    assert!(
+        naive_p999 < 50.0,
+        "naive p99.9 should hide the stall (that is the bug being \
+         demonstrated), got {naive_p999:.3} ms"
+    );
+    assert!(
+        report.co_gap_p999_ms() > 50.0,
+        "CO gap: intended {intended_p999:.3} ms vs naive {naive_p999:.3} ms"
+    );
+    // The naive clock does see the two stalled requests themselves at the
+    // very top of the distribution.
+    assert!(report.naive.max() > 300.0);
+}
+
+/// The CI soak: 64 concurrent closed-loop sessions, every result
+/// checksummed against serial execution (bit-identical floats), twice.
+#[test]
+fn sixty_four_client_soak_is_clean_and_bit_identical() {
+    let spec = LoadSpec::new("soak/64", 64, 640, Arrival::Closed { think_ms: 0.2 }).mix(mix());
+    let (report, stats) = run_arm(spec, 2, None);
+
+    assert!(report.is_complete(), "{:?}", report.render_lines());
+    assert_eq!(report.requests, 1_280, "640 requests x 2 runs");
+    assert_eq!(report.checksum_mismatches, 0, "load path == serial path");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.dropped_sessions, 0);
+    assert_eq!(report.intended.count(), 1_280);
+    assert!(report.max_in_flight <= 64);
+    assert_eq!(stats.connections, 128, "64 fresh connections per run");
+    assert_eq!(stats.queries, 1_280);
+}
+
+/// A flapping client (every send fails once at the injection site) is
+/// contained: it reconnects and retries, nobody is dropped, and the
+/// answers are still bit-identical.
+#[test]
+fn flapping_client_reconnects_without_losing_requests_or_correctness() {
+    let ep = LoopbackEndpoint::new();
+    let dial = ep.connector();
+    let server = Server::new()
+        .workers(6)
+        .serve(ep, || Session::new(small_catalog()));
+    let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
+    let load_faults = Arc::new(FaultRegistry::new(11).armed_always(
+        "load.send",
+        Trigger::Key(2),
+        FaultAction::FailIo,
+    ));
+    let spec = LoadSpec::new("flap/4", 4, 80, Arrival::Closed { think_ms: 0.0 }).mix(mix());
+    let report = LoadRunner::new(spec.clone(), dialer)
+        .expecting(expected_checksums(small_catalog(), &spec.mix))
+        .with_faults(load_faults)
+        .run();
+    server.shutdown();
+
+    assert!(report.is_complete(), "{:?}", report.render_lines());
+    assert_eq!(
+        report.requests, 80,
+        "every request completed despite flapping"
+    );
+    assert_eq!(
+        report.reconnects, 20,
+        "client 2's 20 requests each reconnected"
+    );
+    assert_eq!(report.checksum_mismatches, 0);
+}
+
+// ---- LogHistogram properties ----
+
+fn latencies(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0e-3..1.0e5f64, min_len..120)
+}
+
+/// The exact quantile under the histogram's own rank definition:
+/// rank = ceil(q * (n - 1)) over the sorted sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).ceil() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_stay_within_the_relative_error_bound(
+        data in latencies(1),
+        q in 0.0..1.0f64,
+        eps in 0.005..0.05f64,
+    ) {
+        let mut h = LogHistogram::new(eps).unwrap();
+        for &v in &data {
+            h.record(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q).unwrap();
+        prop_assert!(
+            (est - exact).abs() <= eps * exact + 1e-12,
+            "q={} est={} exact={} eps={}", q, est, exact, eps
+        );
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact(data in latencies(1)) {
+        let mut h = LogHistogram::latency_default();
+        for &v in &data {
+            h.record(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(h.quantile(0.0).unwrap(), sorted[0]);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), sorted[sorted.len() - 1]);
+    }
+
+    #[test]
+    fn merge_is_indistinguishable_from_concatenation(
+        a in latencies(1),
+        b in latencies(1),
+    ) {
+        let mut ha = LogHistogram::latency_default();
+        let mut hb = LogHistogram::latency_default();
+        let mut hc = LogHistogram::latency_default();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb).unwrap();
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.occupied_buckets(), hc.occupied_buckets());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    #[test]
+    fn mismatched_resolutions_refuse_to_merge(data in latencies(1)) {
+        let mut coarse = LogHistogram::new(0.05).unwrap();
+        let mut fine = LogHistogram::new(0.01).unwrap();
+        for &v in &data {
+            coarse.record(v);
+            fine.record(v);
+        }
+        prop_assert!(coarse.merge(&fine).is_err());
+    }
+}
