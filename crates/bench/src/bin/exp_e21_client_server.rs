@@ -24,7 +24,9 @@
 
 use minidb::sink::{NullSink, TerminalSink};
 use minidb::Session;
-use minidb_net::{Client, LoopbackEndpoint, Server, ServerHandle, TcpEndpoint, TcpTransport};
+use minidb_net::{
+    Client, LoopbackEndpoint, Server, ServerHandle, ServerMode, TcpEndpoint, TcpTransport,
+};
 use perfeval_bench::{banner, bench_catalog, median, print_environment};
 use perfeval_core::twolevel::TwoLevelDesign;
 use perfeval_core::variation::allocate_variation_replicated;
@@ -99,15 +101,17 @@ fn main() {
     let loop_ep = LoopbackEndpoint::new();
     let loop_dial = loop_ep.connector();
     let loop_catalog = catalog.clone();
-    let loop_server: ServerHandle = Server::new()
-        .workers(1)
-        .serve(loop_ep, move || Session::new(loop_catalog.clone()));
+    let loop_server: ServerHandle = Server::builder()
+        .transport(loop_ep)
+        .mode(ServerMode::ThreadPerConn { workers: 1 })
+        .serve(move || Session::new(loop_catalog.clone()));
     let tcp_ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind");
     let tcp_addr = tcp_ep.local_addr().expect("local addr");
     let tcp_catalog = catalog.clone();
-    let tcp_server: ServerHandle = Server::new()
-        .workers(1)
-        .serve(tcp_ep, move || Session::new(tcp_catalog.clone()));
+    let tcp_server: ServerHandle = Server::builder()
+        .transport(tcp_ep)
+        .mode(ServerMode::ThreadPerConn { workers: 1 })
+        .serve(move || Session::new(tcp_catalog.clone()));
 
     let mut loop_client =
         Client::connect(Box::new(loop_dial.connect().expect("loopback dial"))).expect("handshake");

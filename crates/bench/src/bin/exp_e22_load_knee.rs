@@ -28,7 +28,7 @@
 use std::sync::Arc;
 
 use minidb::{Catalog, Session};
-use minidb_net::{LoopbackEndpoint, Server, Transport};
+use minidb_net::{LoopbackEndpoint, Server, ServerMode, Transport};
 use perfeval_bench::{banner, bench_catalog, catalog_at, print_environment, BENCH_SCALE_FACTOR};
 use perfeval_core::twolevel::TwoLevelDesign;
 use perfeval_core::variation::allocate_variation_replicated;
@@ -50,9 +50,12 @@ fn run_arm(
     let ep = LoopbackEndpoint::new();
     let dial = ep.connector();
     let server_catalog = catalog.clone();
-    let server = Server::new()
-        .workers(spec.clients + 2)
-        .serve(ep, move || Session::new(server_catalog.clone()));
+    let server = Server::builder()
+        .transport(ep)
+        .mode(ServerMode::ThreadPerConn {
+            workers: spec.clients + 2,
+        })
+        .serve(move || Session::new(server_catalog.clone()));
     let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
     let mut runner = LoadRunner::new(spec.clone(), dialer)
         .expecting(expected_checksums(catalog.clone(), &spec.mix));

@@ -19,7 +19,9 @@
 //! `reps` (replicated runs — CIs need ≥ 2), `mix` (`light` | `heavy` |
 //! `full`), `sf` (catalog scale factor — must match the server's when
 //! targeting a remote, since result checksums are computed locally),
-//! `verify` (check result checksums against serial execution).
+//! `verify` (check result checksums against serial execution),
+//! `server_mode` (`sharded` | `threaded` — which core the self-hosted
+//! server runs; ignored when `addr` targets a remote).
 //!
 //! `--smoke` self-hosts, runs one small closed-loop and one open-loop
 //! arm, asserts both complete with correct answers, and exits 0.
@@ -27,7 +29,7 @@
 use std::sync::Arc;
 
 use minidb::Session;
-use minidb_net::{Server, TcpEndpoint, TcpTransport, Transport};
+use minidb_net::{Server, ServerMode, TcpEndpoint, TcpTransport, Transport};
 use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
 use perfeval_harness::Properties;
 use perfeval_load::{expected_checksums, Arrival, Dialer, LoadRunner, LoadSpec};
@@ -97,6 +99,7 @@ fn main() {
         ("mix", "light"),
         ("sf", &BENCH_SCALE_FACTOR.to_string()),
         ("verify", "true"),
+        ("server_mode", "sharded"),
     ]);
     props
         .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
@@ -132,15 +135,28 @@ fn main() {
     };
 
     // Self-host a loopback TCP server unless the user points us at one.
-    // (Thread-per-connection: workers must cover every client session.)
+    // `-Dserver_mode=threaded` pits the load against the old
+    // thread-per-connection core (workers must cover every client session);
+    // the default is the sharded event-driven core.
+    let server_mode = match props.get("server_mode").unwrap_or("sharded") {
+        "sharded" => ServerMode::default(),
+        "threaded" => ServerMode::ThreadPerConn {
+            workers: clients.max(8) + 2,
+        },
+        other => panic!("-Dserver_mode must be sharded|threaded, got {other:?}"),
+    };
     let hosted = if addr.is_empty() || smoke {
         let endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback listener");
         let local = endpoint.local_addr().expect("local addr");
         let catalog = catalog_at(sf);
-        let server = Server::new()
-            .workers(clients.max(8) + 2)
-            .serve(endpoint, move || Session::new(catalog.clone()));
-        println!("self-hosted server on {local} (sf={sf}).");
+        let server = Server::builder()
+            .transport(endpoint)
+            .mode(server_mode)
+            .serve(move || Session::new(catalog.clone()));
+        println!(
+            "self-hosted server on {local} ({}, sf={sf}).",
+            server_mode.describe()
+        );
         Some((server, local.to_string()))
     } else {
         None

@@ -4,16 +4,25 @@
 //! deterministically from the recorded seed) to any `minidb-net` client:
 //!
 //! ```text
-//! minidb-serve -Daddr=127.0.0.1:7878 -Dworkers=4 -Dsf=0.01
+//! minidb-serve -Daddr=127.0.0.1:7878 -Dmode=sharded -Dshards=4 -Dsf=0.01
+//! minidb-serve --shards 8            # shorthand for -Dmode=sharded -Dshards=8
+//! minidb-serve -Dmode=threaded -Dworkers=4
 //! ```
+//!
+//! Two server cores are available (`-Dmode=`): `sharded` (default) runs the
+//! event-driven shared-nothing core — `-Dshards=N` readiness-loop workers,
+//! each owning its connections, with `-Dqueue=N` bounding every connection's
+//! write queue — while `threaded` runs the classic thread-per-connection
+//! loop (`-Dworkers=N` acceptors). Both serve bit-identical results; E23
+//! (`exp_e23_sharded_server`) measures the difference under load.
 //!
 //! Each connection gets a private session over the shared catalog. The
 //! server runs until killed; `--smoke` instead connects its own client,
-//! runs one query end to end, prints the measured client/server time
-//! decomposition, and exits 0 — the self-test CI runs.
+//! runs one query end to end in **both** modes, prints the measured
+//! client/server time decomposition, and exits 0 — the self-test CI runs.
 
 use minidb::Session;
-use minidb_net::{Client, Server, TcpEndpoint, TcpTransport};
+use minidb_net::{Client, Server, ServerMode, TcpEndpoint, TcpTransport, DEFAULT_QUEUE_DEPTH};
 use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
 use perfeval_harness::Properties;
 use workload::queries;
@@ -21,58 +30,112 @@ use workload::queries;
 fn main() {
     banner(
         "minidb-serve: the wire-protocol server",
-        "the E21 substrate",
+        "the E21/E23 substrate",
     );
     print_environment();
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // `--shards N` is the quickstart spelling of -Dmode=sharded -Dshards=N.
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .expect("--shards needs a number");
+        args.splice(
+            i..=i + 1,
+            ["-Dmode=sharded".into(), format!("-Dshards={n}")],
+        );
+    }
     let mut props = Properties::with_defaults(&[
         ("addr", "127.0.0.1:7878"),
+        ("mode", "sharded"),
         ("workers", "4"),
+        ("shards", "0"),
+        ("queue", &DEFAULT_QUEUE_DEPTH.to_string()),
         ("sf", &BENCH_SCALE_FACTOR.to_string()),
     ]);
     props
         .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
-        .expect("arguments must be --smoke or -Dkey=value");
+        .expect("arguments must be --smoke, --shards N, or -Dkey=value");
     let addr = props.get("addr").expect("-Daddr").to_owned();
     let workers = props
         .get_u64("workers")
         .expect("-Dworkers must be a number")
         .unwrap_or(4)
         .max(1) as usize;
+    let shards = props
+        .get_u64("shards")
+        .expect("-Dshards must be a number")
+        .unwrap_or(0) as usize;
+    let queue_depth = props
+        .get_u64("queue")
+        .expect("-Dqueue must be a number")
+        .unwrap_or(DEFAULT_QUEUE_DEPTH as u64)
+        .max(1) as usize;
     let sf = props
         .get_f64("sf")
         .expect("-Dsf must be a number")
         .unwrap_or(BENCH_SCALE_FACTOR);
+    let mode = match props.get("mode").expect("-Dmode") {
+        "threaded" => ServerMode::ThreadPerConn { workers },
+        "sharded" => match shards {
+            // -Dshards=0: let the builder pick from available cores.
+            0 => match ServerMode::default() {
+                ServerMode::Sharded { shards, .. } => ServerMode::Sharded {
+                    shards,
+                    queue_depth,
+                },
+                other => other,
+            },
+            n => ServerMode::Sharded {
+                shards: n,
+                queue_depth,
+            },
+        },
+        other => panic!("-Dmode must be 'sharded' or 'threaded', got '{other}'"),
+    };
 
-    // --smoke binds an ephemeral port so CI runs never collide.
-    let bind_addr = if smoke { "127.0.0.1:0" } else { addr.as_str() };
-    let endpoint = TcpEndpoint::bind(bind_addr).expect("bind listener");
-    let local = endpoint.local_addr().expect("local addr");
     let catalog = catalog_at(sf);
-    let server = Server::new()
-        .workers(workers)
-        .serve(endpoint, move || Session::new(catalog.clone()));
-    println!("listening on {local} ({workers} workers, sf={sf}); one session per connection.");
+    let serve = |mode: ServerMode, bind: &str| {
+        let endpoint = TcpEndpoint::bind(bind).expect("bind listener");
+        let local = endpoint.local_addr().expect("local addr");
+        let catalog = catalog.clone();
+        let server = Server::builder()
+            .transport(endpoint)
+            .mode(mode)
+            .serve(move || Session::new(catalog.clone()));
+        (server, local)
+    };
 
     if smoke {
-        let mut client = Client::connect(Box::new(
-            TcpTransport::connect(local).expect("self-connect"),
-        ))
-        .expect("handshake");
-        let r = client.query(&queries::q6()).expect("smoke query");
-        println!("\nself-test: Q6 over tcp, {} row(s).", r.row_count());
-        print!("{}", r.decomposition());
-        client.close().expect("close");
-        let stats = server.wait();
-        assert_eq!(stats.queries, 1);
-        assert_eq!(stats.disconnects, 0);
-        println!("--smoke: served one client cleanly; exiting.");
+        // Exercise BOTH cores end to end on ephemeral ports (CI runs never
+        // collide), proving either mode serves a real client.
+        for mode in [mode, ServerMode::ThreadPerConn { workers }] {
+            let (server, local) = serve(mode, "127.0.0.1:0");
+            println!("\n[{}] listening on {local} (sf={sf})", mode.describe());
+            let mut client = Client::connect(Box::new(
+                TcpTransport::connect(local).expect("self-connect"),
+            ))
+            .expect("handshake");
+            let r = client.query(&queries::q6()).expect("smoke query");
+            println!("self-test: Q6 over tcp, {} row(s).", r.row_count());
+            print!("{}", r.decomposition());
+            client.close().expect("close");
+            let stats = server.wait();
+            assert_eq!(stats.queries, 1);
+            assert_eq!(stats.disconnects, 0);
+        }
+        println!("\n--smoke: served one client cleanly in each mode; exiting.");
         return;
     }
 
-    // Foreground server: park this thread while the accept workers run.
+    let (_server, local) = serve(mode, addr.as_str());
+    println!(
+        "listening on {local} ({}, sf={sf}); one session per connection.",
+        mode.describe()
+    );
+    // Foreground server: park this thread while the core runs.
     // (Kill the process to stop; connections in flight finish their loop.)
     loop {
         std::thread::park();

@@ -35,10 +35,8 @@ impl Phase {
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; 4] = [Phase::Parse, Phase::Optimize, Phase::Execute, Phase::Print];
 
-    /// The stable lowercase key this phase is stored under — matches the
-    /// names historical `phase_ms(&str)` callers used, so measurements
-    /// recorded via [`PhaseTimer::record_phase`] stay readable by the
-    /// deprecated string API during the migration window.
+    /// The stable lowercase key this phase is stored under, used by
+    /// [`Measurement::named`] and [`PhaseTimer::record_phase`].
     pub fn as_str(self) -> &'static str {
         match self {
             Phase::Parse => "parse",
@@ -93,15 +91,6 @@ impl Measurement {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, ms)| *ms)
-    }
-
-    /// Duration of a named phase, if present.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `phase(Phase::…)` for canonical phases or `named(…)` for custom ones"
-    )]
-    pub fn phase_ms(&self, name: &str) -> Option<f64> {
-        self.named(name)
     }
 
     /// All phases in order.
@@ -283,14 +272,6 @@ mod tests {
         assert_eq!(m.named("execute"), Some(7.0));
         assert_eq!(Phase::ALL.len(), 4);
         assert_eq!(Phase::Optimize.to_string(), "optimize");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_phase_ms_shim_still_reads() {
-        let m = Measurement::from_phases(vec![("execute".into(), 4.2)]);
-        assert_eq!(m.phase_ms("execute"), Some(4.2));
-        assert_eq!(m.phase_ms("execute"), m.phase(Phase::Execute));
     }
 
     #[test]

@@ -157,9 +157,34 @@ impl NetQueryResult {
     }
 }
 
-/// A dialer the client can call again to re-establish a dropped
+/// Something that can dial (and re-dial) a server — the named trait behind
+/// [`Connector`], so downstream code can store a dialer in a struct field
+/// or trait object without spelling out a closure type.
+///
+/// Every `Fn() -> io::Result<Box<dyn Transport>> + Send` closure is a
+/// `Connect` via the blanket impl, so existing `Box::new(move || ...)`
+/// call sites keep working unchanged, and custom dialer types (connection
+/// pools, fault-wrapped endpoints) can implement it by name.
+pub trait Connect: Send {
+    /// Opens a fresh transport to the server.
+    ///
+    /// # Errors
+    /// Propagates endpoint dial failures.
+    fn dial(&self) -> io::Result<Box<dyn Transport>>;
+}
+
+impl<F> Connect for F
+where
+    F: Fn() -> io::Result<Box<dyn Transport>> + Send,
+{
+    fn dial(&self) -> io::Result<Box<dyn Transport>> {
+        self()
+    }
+}
+
+/// A boxed dialer the client can call again to re-establish a dropped
 /// connection (see [`Client::connect_via`] / [`Client::reconnect`]).
-pub type Connector = Box<dyn Fn() -> io::Result<Box<dyn Transport>> + Send>;
+pub type Connector = Box<dyn Connect>;
 
 /// A connected client. One connection, one server-side session; the
 /// connection is persistent — [`Client::query`] can be called any number
@@ -222,7 +247,7 @@ impl Client {
         faults: Arc<FaultRegistry>,
         conn_key: u64,
     ) -> Result<Client, NetError> {
-        let transport = connector()?;
+        let transport = connector.dial()?;
         let mut client = Client::connect_with(transport, faults, conn_key)?;
         client.connector = Some(connector);
         Ok(client)
@@ -266,7 +291,7 @@ impl Client {
         let connector = self.connector.as_ref().ok_or_else(|| {
             NetError::Protocol("no connector: client was not built with connect_via".into())
         })?;
-        let transport = connector()?;
+        let transport = connector.dial()?;
         self.io = Client::handshake(transport, &self.faults, self.conn_key)?;
         self.alive = true;
         self.said_bye = false;

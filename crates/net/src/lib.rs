@@ -20,12 +20,15 @@
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use minidb_net::{Client, Server, TcpEndpoint, TcpTransport};
+//! use minidb_net::{Client, Server, ServerMode, TcpEndpoint, TcpTransport};
 //!
 //! # fn catalog() -> minidb::Catalog { minidb::Catalog::new() }
 //! let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
 //! let addr = ep.local_addr().unwrap();
-//! let server = Server::new().workers(2).serve(ep, || minidb::Session::new(catalog()));
+//! let server = Server::builder()
+//!     .transport(ep)
+//!     .mode(ServerMode::Sharded { shards: 2, queue_depth: 64 })
+//!     .serve(|| minidb::Session::new(catalog()));
 //!
 //! let mut client = Client::connect(Box::new(TcpTransport::connect(addr).unwrap())).unwrap();
 //! let r = client.query("SELECT 1").unwrap();
@@ -33,6 +36,16 @@
 //! # drop(client);
 //! # server.wait();
 //! ```
+//!
+//! Two server cores live behind that builder ([`ServerMode`]):
+//!
+//! * **Sharded** (default) — an event-driven, shared-nothing core: a
+//!   readiness loop ([`poll`]) multiplexes connections onto N core-pinned
+//!   shard workers with per-shard sessions, bounded per-connection write
+//!   queues, and cross-shard work *sharing* (idle shards lend their cores
+//!   to a busy shard's query as extra morsel parallelism).
+//! * **ThreadPerConn** — the original blocking thread-per-connection loop,
+//!   kept as an explicit experiment arm (`exp_e23_sharded_server`).
 //!
 //! Guarantees the tests pin down:
 //!
@@ -54,15 +67,20 @@
 
 pub mod client;
 pub mod frame;
+pub mod poll;
 pub mod server;
+mod shard;
 pub mod transport;
 
-pub use client::{Client, Connector, NetError, NetQueryResult};
+pub use client::{Client, Connect, Connector, NetError, NetQueryResult};
 pub use frame::{Footer, Frame, FramedIo, MAX_FRAME_LEN, PROTOCOL_VERSION, ROWS_PER_BATCH};
-pub use server::{Server, ServerHandle, ServerStats};
+pub use poll::{shard_for, Interest, Poll, Ready, ShimHandle};
+pub use server::{
+    Server, ServerBuilder, ServerHandle, ServerMode, ServerStats, DEFAULT_QUEUE_DEPTH,
+};
 pub use transport::{
-    Listener, LoopbackConn, LoopbackConnector, LoopbackEndpoint, TcpEndpoint, TcpTransport,
-    Transport, DEFAULT_LOOPBACK_CAPACITY,
+    EventSource, Listener, LoopbackConn, LoopbackConnector, LoopbackEndpoint, TcpEndpoint,
+    TcpTransport, Transport, DEFAULT_LOOPBACK_CAPACITY,
 };
 
 #[cfg(test)]
@@ -88,9 +106,13 @@ mod tests {
     fn loopback_query_end_to_end() {
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(1)
-            .serve(ep, || Session::new(catalog()));
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::Sharded {
+                shards: 2,
+                queue_depth: 64,
+            })
+            .serve(|| Session::new(catalog()));
 
         let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
         let r = client
@@ -116,9 +138,9 @@ mod tests {
     fn tcp_query_end_to_end() {
         let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
         let addr = ep.local_addr().unwrap();
-        let server = Server::new()
-            .workers(1)
-            .serve(ep, || Session::new(catalog()));
+        let server = Server::builder()
+            .transport(ep)
+            .serve(|| Session::new(catalog()));
 
         let mut client = Client::connect(Box::new(TcpTransport::connect(addr).unwrap())).unwrap();
         let r = client.query("SELECT SUM(y) FROM nums").unwrap();
@@ -132,9 +154,10 @@ mod tests {
     fn server_reports_db_errors_without_dying() {
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(1)
-            .serve(ep, || Session::new(catalog()));
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::ThreadPerConn { workers: 1 })
+            .serve(|| Session::new(catalog()));
 
         let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
         match client.query("SELECT nope FROM nums") {
@@ -152,9 +175,13 @@ mod tests {
     fn multiple_queries_reuse_one_session() {
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(1)
-            .serve(ep, || Session::new(Catalog::new()));
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::Sharded {
+                shards: 1,
+                queue_depth: 64,
+            })
+            .serve(|| Session::new(Catalog::new()));
 
         let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
         client.query("CREATE TABLE t (a INT)").unwrap();
@@ -173,9 +200,13 @@ mod tests {
     fn persistent_connection_handshakes_exactly_once() {
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(1)
-            .serve(ep, || Session::new(catalog()));
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::Sharded {
+                shards: 2,
+                queue_depth: 4,
+            })
+            .serve(|| Session::new(catalog()));
 
         let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
         assert!(client.is_alive());
@@ -243,9 +274,11 @@ mod tests {
 
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(2)
-            .serve(ep, || Session::new(catalog()));
+        // KillSwitch has no readiness support, so the sharded core must fall
+        // back to a compat thread per connection — exercised here.
+        let server = Server::builder()
+            .transport(ep)
+            .serve(|| Session::new(catalog()));
 
         let cut = Arc::new(AtomicBool::new(false));
         let connector: Connector = {
@@ -287,9 +320,10 @@ mod tests {
     fn reconnect_without_connector_is_an_error() {
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(1)
-            .serve(ep, || Session::new(catalog()));
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::ThreadPerConn { workers: 1 })
+            .serve(|| Session::new(catalog()));
         let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
         assert!(matches!(
             client.reconnect(),
@@ -299,16 +333,16 @@ mod tests {
         server.wait();
     }
 
-    #[test]
-    fn spans_stitch_across_the_wire() {
+    fn assert_stitched(mode: ServerMode) {
         use perfeval_trace::Tracer;
         let tracer = Tracer::new();
         let ep = LoopbackEndpoint::new();
         let dial = ep.connector();
-        let server = Server::new()
-            .workers(1)
+        let server = Server::builder()
+            .transport(ep)
+            .mode(mode)
             .traced(&tracer)
-            .serve(ep, || Session::new(catalog()));
+            .serve(|| Session::new(catalog()));
 
         let mut client = Client::connect(Box::new(dial.connect().unwrap()))
             .unwrap()
@@ -328,5 +362,18 @@ mod tests {
         // The engine's own spans nest under net.serve on the server lane.
         let query_span = trace.find("query").next().expect("engine root span");
         assert_eq!(query_span.parent, Some(net_serve.id));
+    }
+
+    #[test]
+    fn spans_stitch_across_the_wire() {
+        assert_stitched(ServerMode::ThreadPerConn { workers: 1 });
+    }
+
+    #[test]
+    fn spans_stitch_in_sharded_mode() {
+        assert_stitched(ServerMode::Sharded {
+            shards: 2,
+            queue_depth: 64,
+        });
     }
 }

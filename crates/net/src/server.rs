@@ -1,19 +1,37 @@
-//! The server: pool-backed accept workers, per-connection sessions,
-//! streamed result batches.
+//! The server: two execution engines behind one builder API.
 //!
-//! Each accept worker (a `perfeval-pool` worker thread, so it gets a stable
-//! name and a trace lane) loops on [`Listener::accept`] and serves one
-//! connection at a time to completion. A connection owns a private
-//! [`Session`] built by the server's session factory — per-connection
-//! isolation is structural: no session state is shared, so concurrent
-//! clients cannot observe each other's statement ordinals, buffer pools, or
-//! catalogs (unless the factory deliberately shares a catalog `Arc`).
+//! [`ServerMode`] is a **declared design factor** — the execution engine is
+//! chosen explicitly at construction, never implied by a constructor's
+//! accident, in the spirit of making every performance-relevant knob an
+//! explicit factor of the experiment design:
 //!
-//! Results stream as [`Frame::RowBatch`]es through the transport's bounded
-//! buffer: a slow client blocks the server's `write`, never grows an
-//! unbounded queue. The final [`Frame::Done`] carries the server-side
-//! timing footer — measured where the phases actually ran — so the client
-//! can decompose its own wall clock honestly.
+//! * [`ServerMode::ThreadPerConn`] — the classic engine: a pool of accept
+//!   workers, each serving one connection at a time with blocking I/O.
+//!   Simple, and its scheduling behavior under high connection counts is
+//!   itself an object of study (experiment E23).
+//! * [`ServerMode::Sharded`] — the event-driven shared-nothing core in
+//!   [`crate::shard`]: deterministic conn→shard placement, per-shard
+//!   readiness loops (epoll for TCP, the zero-syscall shim for loopback),
+//!   bounded per-connection write queues, and cross-shard work stealing
+//!   through the engine's morsel parallelism.
+//!
+//! Both modes share the per-connection session isolation, the fault sites
+//! (`net.accept`/`net.read`/`net.write`), panic containment, trace-span
+//! stitching, and the timing footer semantics — results and measured
+//! decompositions are mode-independent; throughput and tails are not,
+//! which is the point.
+//!
+//! ```no_run
+//! # use minidb_net::{Server, ServerMode, LoopbackEndpoint};
+//! # use minidb::{Catalog, Session};
+//! let ep = LoopbackEndpoint::new();
+//! let server = Server::builder()
+//!     .transport(ep)
+//!     .mode(ServerMode::Sharded { shards: 4, queue_depth: 64 })
+//!     .serve(|| Session::new(Catalog::new()));
+//! // ... connect clients ...
+//! server.shutdown();
+//! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,18 +44,71 @@ use perfeval_pool::parallel_map_traced;
 use perfeval_trace::{SpanId, Tracer};
 
 use crate::frame::{Footer, Frame, FramedIo, PROTOCOL_VERSION, ROWS_PER_BATCH};
-use crate::transport::Listener;
+use crate::shard::{run_sharded, ShardConfig, ShardTelemetry};
+use crate::transport::{Listener, Transport};
 
-/// Builds sessions for new connections. Runs on accept-worker threads.
+/// Builds sessions for new connections. Runs on server-owned threads.
 pub type SessionFactory = dyn Fn() -> Session + Send + Sync;
+
+/// Default bound on a sharded connection's write queue, in encoded frames.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Which execution engine serves connections — an explicit experiment arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// One blocking worker per in-flight connection, from a fixed pool of
+    /// `workers` accept threads. A connection beyond `workers` waits in the
+    /// listener backlog.
+    ThreadPerConn {
+        /// Pool size = maximum concurrently served connections.
+        workers: usize,
+    },
+    /// The event-driven shared-nothing core: `shards` pinned workers
+    /// multiplexing all connections, each connection's outbound frames
+    /// bounded by `queue_depth`.
+    Sharded {
+        /// Number of shard workers (core-pinned when permitted).
+        shards: usize,
+        /// Per-connection write-queue bound, in encoded frames.
+        queue_depth: usize,
+    },
+}
+
+impl Default for ServerMode {
+    /// Sharded, with one shard per core (capped at 8) and the default
+    /// queue depth.
+    fn default() -> Self {
+        ServerMode::Sharded {
+            shards: default_shards(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
+impl ServerMode {
+    /// Short label for reports ("threaded:4", "sharded:8x64").
+    pub fn describe(&self) -> String {
+        match self {
+            ServerMode::ThreadPerConn { workers } => format!("threaded:{workers}"),
+            ServerMode::Sharded {
+                shards,
+                queue_depth,
+            } => format!("sharded:{shards}x{queue_depth}"),
+        }
+    }
+}
+
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 8))
+}
 
 /// Counters a running server exposes; all monotonic.
 #[derive(Debug, Default)]
-struct Counters {
-    connections: AtomicU64,
-    queries: AtomicU64,
-    disconnects: AtomicU64,
-    worker_panics: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) disconnects: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
 }
 
 /// A snapshot of server counters.
@@ -56,36 +127,41 @@ pub struct ServerStats {
     pub worker_panics: u64,
 }
 
-/// Configures and launches a [`ServerHandle`].
-pub struct Server {
-    workers: usize,
+/// Configures and launches a [`ServerHandle`]. Obtained from
+/// [`Server::builder`]; `transport` is the one required field.
+pub struct ServerBuilder {
+    transport: Option<Arc<dyn Listener>>,
+    mode: ServerMode,
     tracer: Option<Tracer>,
     faults: Arc<FaultRegistry>,
+    placement_seed: u64,
+    pin_cores: bool,
+    work_stealing: bool,
 }
 
-impl Default for Server {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Server {
-    /// A server with two accept workers, no tracing, no fault injection.
-    pub fn new() -> Self {
-        Server {
-            workers: 2,
+impl ServerBuilder {
+    fn new() -> Self {
+        ServerBuilder {
+            transport: None,
+            mode: ServerMode::default(),
             tracer: None,
             faults: Arc::new(FaultRegistry::disabled()),
+            placement_seed: 0,
+            pin_cores: true,
+            work_stealing: true,
         }
     }
 
-    /// Number of accept workers = maximum concurrently served connections.
-    ///
-    /// # Panics
-    /// Panics if `n == 0`.
-    pub fn workers(mut self, n: usize) -> Self {
-        assert!(n > 0, "a server needs at least one worker");
-        self.workers = n;
+    /// The listening endpoint to serve (required).
+    pub fn transport(mut self, listener: Arc<dyn Listener>) -> Self {
+        self.transport = Some(listener);
+        self
+    }
+
+    /// The execution engine (default: [`ServerMode::Sharded`] sized to the
+    /// machine).
+    pub fn mode(mut self, mode: ServerMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -99,51 +175,177 @@ impl Server {
 
     /// Arms fault sites: `net.accept` (key = connection ordinal) around
     /// each accept, `net.read`/`net.write` (key = connection ordinal,
-    /// attempt = frame ordinal) on every server-side frame.
+    /// attempt = frame ordinal) on every server-side frame — identically
+    /// in both modes.
     pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
         self.faults = faults;
         self
     }
 
-    /// Starts serving `listener`, building one session per connection with
-    /// `factory`. Returns immediately; the accept workers run until
-    /// [`ServerHandle::shutdown`].
+    /// Seed for the deterministic conn→shard placement hash (sharded mode).
+    /// Same seed ⇒ same map, independent of arrival timing.
+    pub fn placement_seed(mut self, seed: u64) -> Self {
+        self.placement_seed = seed;
+        self
+    }
+
+    /// Pin shard workers to cores (sharded mode; best effort — refused
+    /// affinity calls leave workers floating). Default on.
+    pub fn pin_cores(mut self, pin: bool) -> Self {
+        self.pin_cores = pin;
+        self
+    }
+
+    /// Let a busy shard borrow idle shards' cores via the engine's morsel
+    /// parallelism (sharded mode). Bit-identical answers either way; only
+    /// latency moves. Default on.
+    pub fn work_stealing(mut self, steal: bool) -> Self {
+        self.work_stealing = steal;
+        self
+    }
+
+    /// Starts serving, building one session per connection with `factory`.
+    /// Returns immediately; the engine runs until [`ServerHandle::shutdown`].
+    ///
+    /// # Panics
+    /// Panics if no transport was set, or on a zero `workers`/`shards`/
+    /// `queue_depth`.
+    pub fn serve(self, factory: impl Fn() -> Session + Send + Sync + 'static) -> ServerHandle {
+        let listener = self
+            .transport
+            .expect("ServerBuilder::transport(..) is required before serve()");
+        let counters = Arc::new(Counters::default());
+        let shared = Arc::new(Shared {
+            listener: Arc::clone(&listener),
+            factory: Box::new(factory),
+            tracer: self.tracer,
+            faults: self.faults,
+            counters: Arc::clone(&counters),
+            next_conn: AtomicU64::new(0),
+        });
+        let mode = self.mode;
+        let (join, telemetry) = match mode {
+            ServerMode::ThreadPerConn { workers } => {
+                assert!(workers > 0, "a server needs at least one worker");
+                let join = std::thread::Builder::new()
+                    .name("minidb-serve".to_owned())
+                    .spawn(move || {
+                        // The pool is scoped (blocks until every worker
+                        // exits), so it lives on this supervisor thread;
+                        // workers exit when the listener shuts down.
+                        let tracer = shared.tracer.clone();
+                        parallel_map_traced(workers, workers, tracer.as_ref(), |_w| {
+                            shared.accept_loop();
+                        });
+                    })
+                    .expect("spawn server supervisor thread");
+                (join, None)
+            }
+            ServerMode::Sharded {
+                shards,
+                queue_depth,
+            } => {
+                assert!(shards > 0, "a sharded server needs at least one shard");
+                assert!(queue_depth > 0, "queue_depth must be positive");
+                let cfg = ShardConfig {
+                    shards,
+                    queue_depth,
+                    placement_seed: self.placement_seed,
+                    pin_cores: self.pin_cores,
+                    work_stealing: self.work_stealing,
+                };
+                let tel = Arc::new(ShardTelemetry::new(shards));
+                let tel2 = Arc::clone(&tel);
+                let join = std::thread::Builder::new()
+                    .name("minidb-serve".to_owned())
+                    .spawn(move || run_sharded(shared, cfg, tel2))
+                    .expect("spawn server supervisor thread");
+                (join, Some(tel))
+            }
+        };
+        ServerHandle {
+            listener,
+            join: Some(join),
+            counters,
+            mode,
+            telemetry,
+        }
+    }
+}
+
+/// Legacy entry point for the server, kept as a one-release shim over
+/// [`Server::builder`].
+pub struct Server {
+    workers: usize,
+    tracer: Option<Tracer>,
+    faults: Arc<FaultRegistry>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        #[allow(deprecated)]
+        Self::new()
+    }
+}
+
+impl Server {
+    /// Configures a server. See [`ServerBuilder`].
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// A thread-per-connection server with two accept workers.
+    #[deprecated(note = "use Server::builder().transport(..).mode(..).serve(..)")]
+    pub fn new() -> Self {
+        Server {
+            workers: 2,
+            tracer: None,
+            faults: Arc::new(FaultRegistry::disabled()),
+        }
+    }
+
+    /// Number of accept workers = maximum concurrently served connections.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[deprecated(note = "use ServerMode::ThreadPerConn { workers } on the builder")]
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a server needs at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Records server-side spans into `tracer`.
+    #[deprecated(note = "use ServerBuilder::traced")]
+    pub fn traced(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Arms the server-side fault sites.
+    #[deprecated(note = "use ServerBuilder::with_faults")]
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Starts serving `listener` in thread-per-connection mode.
+    #[deprecated(note = "use Server::builder().transport(listener).serve(factory)")]
     pub fn serve(
         self,
         listener: Arc<dyn Listener>,
         factory: impl Fn() -> Session + Send + Sync + 'static,
     ) -> ServerHandle {
-        let Server {
-            workers,
-            tracer,
-            faults,
-        } = self;
-        let counters = Arc::new(Counters::default());
-        let shared = Arc::new(Shared {
-            listener: Arc::clone(&listener),
-            factory: Box::new(factory),
-            tracer,
-            faults,
-            counters: Arc::clone(&counters),
-            next_conn: AtomicU64::new(0),
-        });
-        let join = std::thread::Builder::new()
-            .name("minidb-serve".to_owned())
-            .spawn(move || {
-                // The pool is scoped (blocks until every worker exits), so
-                // it lives on this supervisor thread; workers exit when the
-                // listener shuts down.
-                let tracer = shared.tracer.clone();
-                parallel_map_traced(workers, workers, tracer.as_ref(), |_w| {
-                    shared.accept_loop();
-                });
+        let mut b = Server::builder()
+            .transport(listener)
+            .mode(ServerMode::ThreadPerConn {
+                workers: self.workers,
             })
-            .expect("spawn server supervisor thread");
-        ServerHandle {
-            listener,
-            join: Some(join),
-            counters,
+            .with_faults(self.faults);
+        if let Some(t) = self.tracer.as_ref() {
+            b = b.traced(t);
         }
+        b.serve(factory)
     }
 }
 
@@ -153,6 +355,8 @@ pub struct ServerHandle {
     listener: Arc<dyn Listener>,
     join: Option<std::thread::JoinHandle<()>>,
     counters: Arc<Counters>,
+    mode: ServerMode,
+    telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl ServerHandle {
@@ -181,6 +385,47 @@ impl ServerHandle {
             worker_panics: self.counters.worker_panics.load(Ordering::Relaxed),
         }
     }
+
+    /// The engine this server runs.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Connections placed on each shard so far (sharded mode only) — the
+    /// observable witness that placement is deterministic.
+    pub fn shard_conns(&self) -> Option<Vec<u64>> {
+        self.telemetry.as_ref().map(|t| {
+            t.per_shard_conns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect()
+        })
+    }
+
+    /// Queries that ran with parallelism borrowed from idle shards
+    /// (sharded mode; 0 otherwise).
+    pub fn steal_borrows(&self) -> u64 {
+        self.telemetry
+            .as_ref()
+            .map_or(0, |t| t.steal_borrows.load(Ordering::Relaxed))
+    }
+
+    /// Connections served on the blocking fallback path because their
+    /// transport has no readiness support (sharded mode; 0 otherwise).
+    pub fn compat_conns(&self) -> u64 {
+        self.telemetry
+            .as_ref()
+            .map_or(0, |t| t.compat_conns.load(Ordering::Relaxed))
+    }
+
+    /// High-water mark of any connection's write queue, in frames (sharded
+    /// mode; 0 otherwise). Bounded by the configured `queue_depth` plus the
+    /// header/footer frames — the backpressure invariant tests assert.
+    pub fn write_queue_peak(&self) -> u64 {
+        self.telemetry
+            .as_ref()
+            .map_or(0, |t| t.write_queue_peak.load(Ordering::Relaxed))
+    }
 }
 
 impl Drop for ServerHandle {
@@ -192,13 +437,13 @@ impl Drop for ServerHandle {
     }
 }
 
-struct Shared {
-    listener: Arc<dyn Listener>,
-    factory: Box<SessionFactory>,
-    tracer: Option<Tracer>,
-    faults: Arc<FaultRegistry>,
-    counters: Arc<Counters>,
-    next_conn: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) listener: Arc<dyn Listener>,
+    pub(crate) factory: Box<SessionFactory>,
+    pub(crate) tracer: Option<Tracer>,
+    pub(crate) faults: Arc<FaultRegistry>,
+    pub(crate) counters: Arc<Counters>,
+    pub(crate) next_conn: AtomicU64,
 }
 
 impl Shared {
@@ -217,19 +462,26 @@ impl Shared {
                 continue;
             }
             self.counters.connections.fetch_add(1, Ordering::Relaxed);
-            let mut io = FramedIo::new(transport, Arc::clone(&self.faults), conn_id);
-            // A panic while serving (injected engine fault, engine bug)
-            // must not take the accept worker down with it.
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.serve_connection(&mut io)));
-            match outcome {
-                Ok(true) => {}
-                Ok(false) => {
-                    self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-                    self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
-                }
+            self.serve_blocking(transport, conn_id);
+        }
+    }
+
+    /// Serves one connection on the calling thread with blocking I/O and
+    /// full containment — the thread-per-conn data path, also used by the
+    /// sharded engine's fallback for readiness-incapable transports.
+    pub(crate) fn serve_blocking(&self, transport: Box<dyn Transport>, conn_id: u64) {
+        let mut io = FramedIo::new(transport, Arc::clone(&self.faults), conn_id);
+        // A panic while serving (injected engine fault, engine bug)
+        // must not take the serving thread down with it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.serve_connection(&mut io)));
+        match outcome {
+            Ok(true) => {}
+            Ok(false) => {
+                self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
             }
         }
     }

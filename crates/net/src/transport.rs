@@ -21,14 +21,73 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::poll::{RawFd, ShimHandle};
+
+/// How a transport participates in the sharded server's readiness loop.
+pub enum EventSource {
+    /// A kernel file descriptor: register with epoll. The transport has
+    /// already been switched to nonblocking mode.
+    Fd(RawFd),
+    /// A user-space source: the transport's peer will poke the
+    /// [`ShimHandle`] it was given in [`Transport::event_setup`].
+    Shim,
+    /// No readiness support — the sharded server falls back to a dedicated
+    /// blocking thread for this connection (the thread-per-conn path).
+    Blocking,
+}
+
+fn nonblocking_unsupported() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        "transport has no nonblocking mode (EventSource::Blocking)",
+    )
+}
+
 /// A bidirectional byte stream a connection runs over.
 ///
 /// Nothing beyond `Read + Write` is required of the data path — framing,
-/// faults, and accounting live in [`crate::frame::FramedIo`].
+/// faults, and accounting live in [`crate::frame::FramedIo`]. Transports
+/// that can signal readiness additionally implement [`Transport::event_setup`]
+/// and the `try_read`/`try_write` nonblocking pair, which lets the sharded
+/// server multiplex them onto one thread; everything else is served on a
+/// dedicated thread via the [`EventSource::Blocking`] default.
 pub trait Transport: Read + Write + Send {
     /// One-line description ("tcp 127.0.0.1:5432", "loopback") for
     /// measurement documentation.
     fn describe(&self) -> String;
+
+    /// Switches the transport into event-driven mode, wiring its readiness
+    /// notifications into `shim` (user-space sources) or returning the fd
+    /// to register with epoll. The default declines: `Blocking`.
+    ///
+    /// # Errors
+    /// Propagates failures flipping the underlying handle to nonblocking.
+    fn event_setup(&mut self, _shim: &ShimHandle) -> io::Result<EventSource> {
+        Ok(EventSource::Blocking)
+    }
+
+    /// Undoes [`Transport::event_setup`] so blocking `Read`/`Write` work
+    /// again (used when fd registration fails and the connection falls back
+    /// to a dedicated thread).
+    fn event_teardown(&mut self) {}
+
+    /// Nonblocking read: `Ok(0)` is EOF, `WouldBlock` means no bytes now.
+    /// Only supported after a successful non-`Blocking` `event_setup`.
+    ///
+    /// # Errors
+    /// `WouldBlock` when idle; `Unsupported` from the default impl.
+    fn try_read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+        Err(nonblocking_unsupported())
+    }
+
+    /// Nonblocking write; `WouldBlock` means the peer's buffer is full.
+    /// Only supported after a successful non-`Blocking` `event_setup`.
+    ///
+    /// # Errors
+    /// `WouldBlock` when full; `Unsupported` from the default impl.
+    fn try_write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+        Err(nonblocking_unsupported())
+    }
 }
 
 /// The server side of a transport: blocks in `accept` until a client
@@ -95,6 +154,26 @@ impl Write for TcpTransport {
 impl Transport for TcpTransport {
     fn describe(&self) -> String {
         format!("tcp {}", self.peer)
+    }
+
+    #[cfg(unix)]
+    fn event_setup(&mut self, _shim: &ShimHandle) -> io::Result<EventSource> {
+        use std::os::fd::AsRawFd;
+        self.stream.set_nonblocking(true)?;
+        Ok(EventSource::Fd(self.stream.as_raw_fd()))
+    }
+
+    #[cfg(unix)]
+    fn event_teardown(&mut self) {
+        let _ = self.stream.set_nonblocking(false);
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
     }
 }
 
@@ -185,6 +264,12 @@ struct PipeState {
     buf: VecDeque<u8>,
     write_closed: bool,
     read_closed: bool,
+    /// Poked whenever data arrives (or the write end closes): the sharded
+    /// server's readiness shim for this pipe's *reader*.
+    on_readable: Option<ShimHandle>,
+    /// Poked whenever space frees (or the read end closes): the shim for
+    /// this pipe's *writer*.
+    on_writable: Option<ShimHandle>,
 }
 
 impl Pipe {
@@ -194,6 +279,8 @@ impl Pipe {
                 buf: VecDeque::new(),
                 write_closed: false,
                 read_closed: false,
+                on_readable: None,
+                on_writable: None,
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
@@ -213,6 +300,11 @@ impl Pipe {
                     *slot = s.buf.pop_front().expect("n <= len");
                 }
                 self.writable.notify_all();
+                let watcher = s.on_writable.clone();
+                drop(s);
+                if let Some(w) = watcher {
+                    w.writable();
+                }
                 return Ok(n);
             }
             if s.write_closed {
@@ -239,6 +331,11 @@ impl Pipe {
                 let n = data.len().min(space);
                 s.buf.extend(&data[..n]);
                 self.readable.notify_all();
+                let watcher = s.on_readable.clone();
+                drop(s);
+                if let Some(w) = watcher {
+                    w.readable();
+                }
                 return Ok(n);
             }
             // Full: this wait IS the backpressure — the writer cannot
@@ -247,16 +344,102 @@ impl Pipe {
         }
     }
 
+    /// Nonblocking read for the sharded server: `WouldBlock` while empty,
+    /// clean EOF once the write end closes.
+    fn read_nonblocking(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.state.lock().unwrap();
+        if s.buf.is_empty() {
+            return if s.write_closed {
+                Ok(0)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "pipe empty"))
+            };
+        }
+        let n = out.len().min(s.buf.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = s.buf.pop_front().expect("n <= len");
+        }
+        self.writable.notify_all();
+        let watcher = s.on_writable.clone();
+        drop(s);
+        if let Some(w) = watcher {
+            w.writable();
+        }
+        Ok(n)
+    }
+
+    /// Nonblocking write: `WouldBlock` while the ring is full — the
+    /// sharded server parks the frame in its bounded write queue instead
+    /// of blocking a whole shard on one slow reader.
+    fn write_nonblocking(&self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.state.lock().unwrap();
+        if s.read_closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "loopback peer closed",
+            ));
+        }
+        let space = self.capacity.saturating_sub(s.buf.len());
+        if space == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "pipe full"));
+        }
+        let n = data.len().min(space);
+        s.buf.extend(&data[..n]);
+        self.readable.notify_all();
+        let watcher = s.on_readable.clone();
+        drop(s);
+        if let Some(w) = watcher {
+            w.readable();
+        }
+        Ok(n)
+    }
+
     fn close_write(&self) {
         let mut s = self.state.lock().unwrap();
         s.write_closed = true;
         self.readable.notify_all();
+        let watcher = s.on_readable.clone();
+        drop(s);
+        // EOF is a readable event (read returns Ok(0)).
+        if let Some(w) = watcher {
+            w.readable();
+        }
     }
 
     fn close_read(&self) {
         let mut s = self.state.lock().unwrap();
         s.read_closed = true;
         self.writable.notify_all();
+        let watcher = s.on_writable.clone();
+        drop(s);
+        // BrokenPipe surfaces on the next write attempt.
+        if let Some(w) = watcher {
+            w.writable();
+        }
+    }
+
+    /// Installs the reader-side readiness watcher; returns whether the pipe
+    /// is *currently* readable so the caller can prime its event state.
+    fn watch_readable(&self, shim: ShimHandle) -> bool {
+        let mut s = self.state.lock().unwrap();
+        let ready = !s.buf.is_empty() || s.write_closed;
+        s.on_readable = Some(shim);
+        ready
+    }
+
+    /// Installs the writer-side readiness watcher; returns whether the pipe
+    /// currently has space (or would fail fast).
+    fn watch_writable(&self, shim: ShimHandle) -> bool {
+        let mut s = self.state.lock().unwrap();
+        let ready = s.buf.len() < self.capacity || s.read_closed;
+        s.on_writable = Some(shim);
+        ready
     }
 
     /// Bytes currently buffered (for tests asserting boundedness).
@@ -322,6 +505,28 @@ impl Write for LoopbackConn {
 impl Transport for LoopbackConn {
     fn describe(&self) -> String {
         self.label.to_owned()
+    }
+
+    fn event_setup(&mut self, shim: &ShimHandle) -> io::Result<EventSource> {
+        // Data arriving on rx (peer writes) makes us readable; space
+        // freeing in tx (peer reads) makes us writable. Prime whatever is
+        // already true — the watchers only fire on *transitions* after
+        // this point.
+        if self.rx.watch_readable(shim.clone()) {
+            shim.readable();
+        }
+        if self.tx.watch_writable(shim.clone()) {
+            shim.writable();
+        }
+        Ok(EventSource::Shim)
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read_nonblocking(buf)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write_nonblocking(buf)
     }
 }
 

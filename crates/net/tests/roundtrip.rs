@@ -1,7 +1,8 @@
 //! The subsystem's acceptance bar: queries over the wire are **bit-identical**
 //! to the same queries through an in-process [`Session`] — over loopback and
-//! over real TCP, for the whole 22-query family — and concurrent clients are
-//! isolated per connection.
+//! over real TCP, in both server cores (thread-per-connection and the sharded
+//! readiness loop at shard counts 1, 2 and 8), for the whole 22-query family —
+//! and concurrent clients are isolated per connection.
 //!
 //! Floats are compared by `to_bits()`: `PartialEq` would wave through
 //! `-0.0 == 0.0` and reject `NaN == NaN`, and either slip would hide a codec
@@ -10,7 +11,9 @@
 use std::sync::{Arc, OnceLock};
 
 use minidb::{Catalog, Session, Value};
-use minidb_net::{Client, LoopbackEndpoint, Server, TcpEndpoint, TcpTransport, Transport};
+use minidb_net::{
+    Client, LoopbackEndpoint, Server, ServerMode, TcpEndpoint, TcpTransport, Transport,
+};
 use proptest::prelude::*;
 use workload::dbgen::{generate, GenConfig};
 use workload::queries;
@@ -67,14 +70,27 @@ fn check_over(client: &mut Client, sql: &str) {
     );
 }
 
-#[test]
-fn all_family_queries_bit_identical_over_loopback() {
-    let ep = LoopbackEndpoint::new();
-    let dial = ep.connector();
-    let server = Server::new()
-        .workers(1)
-        .serve(ep, || Session::new(catalog()));
-    let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+/// Runs the whole family (plus the wide result) through one connection
+/// against a server in `mode`, over loopback or TCP.
+fn check_family(mode: ServerMode, tcp: bool) {
+    let (server, transport): (_, Box<dyn Transport>) = if tcp {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr().unwrap();
+        let server = Server::builder()
+            .transport(ep)
+            .mode(mode)
+            .serve(|| Session::new(catalog()));
+        (server, Box::new(TcpTransport::connect(addr).unwrap()))
+    } else {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::builder()
+            .transport(ep)
+            .mode(mode)
+            .serve(|| Session::new(catalog()));
+        (server, Box::new(dial.connect().unwrap()))
+    };
+    let mut client = Client::connect(transport).unwrap();
     for i in 1..=22 {
         check_over(&mut client, &queries::family(i));
     }
@@ -84,19 +100,39 @@ fn all_family_queries_bit_identical_over_loopback() {
 }
 
 #[test]
+fn all_family_queries_bit_identical_over_loopback() {
+    check_family(ServerMode::ThreadPerConn { workers: 1 }, false);
+}
+
+#[test]
 fn all_family_queries_bit_identical_over_tcp() {
-    let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
-    let addr = ep.local_addr().unwrap();
-    let server = Server::new()
-        .workers(1)
-        .serve(ep, || Session::new(catalog()));
-    let mut client = Client::connect(Box::new(TcpTransport::connect(addr).unwrap())).unwrap();
-    for i in 1..=22 {
-        check_over(&mut client, &queries::family(i));
+    check_family(ServerMode::ThreadPerConn { workers: 1 }, true);
+}
+
+#[test]
+fn sharded_loopback_bit_identical_at_shard_counts_1_2_8() {
+    for shards in [1, 2, 8] {
+        check_family(
+            ServerMode::Sharded {
+                shards,
+                queue_depth: 64,
+            },
+            false,
+        );
     }
-    check_over(&mut client, &queries::large_result());
-    client.close().unwrap();
-    server.wait();
+}
+
+#[test]
+fn sharded_tcp_bit_identical_at_shard_counts_1_2_8() {
+    for shards in [1, 2, 8] {
+        check_family(
+            ServerMode::Sharded {
+                shards,
+                queue_depth: 64,
+            },
+            true,
+        );
+    }
 }
 
 #[test]
@@ -106,9 +142,30 @@ fn large_result_streams_through_a_tiny_pipe_bit_identically() {
     // change timing, never answers.
     let ep = LoopbackEndpoint::with_capacity(512);
     let dial = ep.connector();
-    let server = Server::new()
-        .workers(1)
-        .serve(ep, || Session::new(catalog()));
+    let server = Server::builder()
+        .transport(ep)
+        .mode(ServerMode::ThreadPerConn { workers: 1 })
+        .serve(|| Session::new(catalog()));
+    let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+    check_over(&mut client, &queries::large_result());
+    client.close().unwrap();
+    server.wait();
+}
+
+#[test]
+fn sharded_large_result_streams_through_a_tiny_pipe_bit_identically() {
+    // Same squeeze against the event-driven core: the bounded write queue
+    // plus a 512-byte pipe means almost every batch waits for the reader,
+    // and the nonblocking writer must resume exactly where it left off.
+    let ep = LoopbackEndpoint::with_capacity(512);
+    let dial = ep.connector();
+    let server = Server::builder()
+        .transport(ep)
+        .mode(ServerMode::Sharded {
+            shards: 2,
+            queue_depth: 2,
+        })
+        .serve(|| Session::new(catalog()));
     let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
     check_over(&mut client, &queries::large_result());
     client.close().unwrap();
@@ -116,24 +173,33 @@ fn large_result_streams_through_a_tiny_pipe_bit_identically() {
 }
 
 proptest! {
-    /// Any family query, either transport, fresh connection each time:
-    /// wire results equal in-process results bit for bit.
+    /// Any family query, either transport, either server core, fresh
+    /// connection each time: wire results equal in-process results bit for
+    /// bit.
     #[test]
     fn random_family_query_roundtrips_bit_identically(
         i in 1usize..23,
         tcp in any::<bool>(),
+        sharded in any::<bool>(),
     ) {
         let sql = queries::family(i);
         let (want_cols, want_rows) = expected(&sql);
+        let mode = if sharded {
+            ServerMode::Sharded { shards: 2, queue_depth: 8 }
+        } else {
+            ServerMode::ThreadPerConn { workers: 1 }
+        };
         let (server, transport): (_, Box<dyn Transport>) = if tcp {
             let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
             let addr = ep.local_addr().unwrap();
-            let server = Server::new().workers(1).serve(ep, || Session::new(catalog()));
+            let server = Server::builder().transport(ep).mode(mode)
+                .serve(|| Session::new(catalog()));
             (server, Box::new(TcpTransport::connect(addr).unwrap()))
         } else {
             let ep = LoopbackEndpoint::new();
             let dial = ep.connector();
-            let server = Server::new().workers(1).serve(ep, || Session::new(catalog()));
+            let server = Server::builder().transport(ep).mode(mode)
+                .serve(|| Session::new(catalog()));
             (server, Box::new(dial.connect().unwrap()))
         };
         let mut client = Client::connect(transport).unwrap();
@@ -152,7 +218,7 @@ proptest! {
 
 #[test]
 fn concurrent_clients_are_isolated_per_connection() {
-    // N clients × M queries, all at once, against a 4-worker server whose
+    // N clients × M queries, all at once, against a sharded server whose
     // factory hands every connection a *private* empty catalog. Each client
     // creates the same table name and writes its own payload; isolation
     // means nobody ever reads another connection's rows — and the shared
@@ -163,9 +229,13 @@ fn concurrent_clients_are_isolated_per_connection() {
     let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
     let addr = ep.local_addr().unwrap();
     let server = Arc::new(
-        Server::new()
-            .workers(CLIENTS)
-            .serve(ep, || Session::new(Catalog::new())),
+        Server::builder()
+            .transport(ep)
+            .mode(ServerMode::Sharded {
+                shards: 2,
+                queue_depth: 64,
+            })
+            .serve(|| Session::new(Catalog::new())),
     );
 
     let handles: Vec<_> = (0..CLIENTS)

@@ -1,0 +1,228 @@
+//! Behavioral contracts specific to the sharded server core: bounded write
+//! queues under a slow reader (backpressure that is *charged to serialize*,
+//! never unbounded memory), and deterministic connection→shard placement.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use minidb::{Catalog, DataType, Session, TableBuilder, Value};
+use minidb_net::{Client, Frame, FramedIo, LoopbackEndpoint, Server, ServerMode, PROTOCOL_VERSION};
+use perfeval_fault::FaultRegistry;
+
+fn catalog(rows: i64) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut t = TableBuilder::new("nums")
+        .column("x", DataType::Int)
+        .column("y", DataType::Float)
+        .build();
+    for i in 0..rows {
+        t.push_row(vec![Value::Int(i), Value::Float(i as f64 / 4.0)])
+            .unwrap();
+    }
+    catalog.register(t).unwrap();
+    catalog
+}
+
+/// A slow reader must not make the server buffer its whole result: the
+/// per-connection write queue stays bounded by `queue_depth` (plus the
+/// header/footer bookends), the stall is charged to the footer's
+/// `serialize_ms`, and — the shared-nothing payoff — another client on the
+/// *same shard* keeps completing queries while the slow one dawdles.
+#[test]
+fn slow_reader_backpressure_is_bounded_and_charged_to_serialize() {
+    const QUEUE_DEPTH: usize = 2;
+    // 20k rows ≈ 79 row batches: far more frames than the queue may hold.
+    let ep = LoopbackEndpoint::with_capacity(512);
+    let dial = ep.connector();
+    let server = Server::builder()
+        .transport(ep)
+        .mode(ServerMode::Sharded {
+            shards: 1,
+            queue_depth: QUEUE_DEPTH,
+        })
+        .serve(|| Session::new(catalog(20_000)));
+
+    // The slow reader drives the protocol by hand so it can dawdle between
+    // frames while the server's response sits in the bounded queue.
+    let mut slow = FramedIo::new(
+        Box::new(dial.connect().unwrap()),
+        Arc::new(FaultRegistry::disabled()),
+        1,
+    );
+    slow.send(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+    })
+    .unwrap();
+    match slow.recv().unwrap() {
+        Frame::HelloOk { .. } => {}
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+    slow.send(&Frame::Query {
+        trace_parent: 0,
+        sql: "SELECT x, y FROM nums".into(),
+    })
+    .unwrap();
+
+    // While the slow reader sleeps, a fast client on the SAME shard must
+    // keep getting answers: the event loop parks the stalled response
+    // instead of parking the shard.
+    let mut fast = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    for i in 0..5 {
+        let r = fast
+            .query(&format!("SELECT COUNT(*) FROM nums WHERE x < {i}"))
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Int(i)]],
+            "fast client progresses while the slow reader stalls its shardmate"
+        );
+    }
+    fast.close().unwrap();
+
+    // Now drain the stalled result — slowly at first, so real wall time
+    // lands in the server's serialize account.
+    let mut rows_seen = 0u64;
+    let mut frames = 0u32;
+    let footer = loop {
+        match slow.recv().unwrap() {
+            Frame::ResultHeader { .. } => {}
+            Frame::RowBatch { rows } => {
+                rows_seen += rows.len() as u64;
+                frames += 1;
+                if frames <= 5 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+            Frame::Done(footer) => break footer,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    assert_eq!(rows_seen, 20_000);
+    assert_eq!(footer.rows, 20_000);
+    assert!(
+        footer.serialize_ms >= 50.0,
+        "the reader's stall is the server's serialize time: {} ms",
+        footer.serialize_ms
+    );
+    slow.send(&Frame::Bye).unwrap();
+
+    let peak = server.write_queue_peak();
+    let stats = server.wait();
+    assert_eq!(stats.connections, 2);
+    assert!(
+        peak as usize <= QUEUE_DEPTH + 2,
+        "write queue bounded by depth {QUEUE_DEPTH} (+header/footer), saw peak {peak}"
+    );
+    assert!(peak >= 1, "the squeezed response must have queued at all");
+}
+
+/// Same seed ⇒ same connection→shard map, run after run. Placement is a
+/// pure function of (seed, connection ordinal, shard count) — never of
+/// timing — so a sweep's shard assignment is reproducible.
+#[test]
+fn shard_placement_is_deterministic_under_a_seed() {
+    const CONNS: usize = 32;
+    let run = |seed: u64| -> Vec<u64> {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::Sharded {
+                shards: 4,
+                queue_depth: 16,
+            })
+            .placement_seed(seed)
+            .serve(|| Session::new(catalog(100)));
+        // Sequential dials: connection ordinals are assigned in accept
+        // order, so the placement vector is comparable across runs.
+        for _ in 0..CONNS {
+            let mut c = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+            let r = c.query("SELECT COUNT(*) FROM nums").unwrap();
+            assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
+            c.close().unwrap();
+        }
+        let placement = server.shard_conns().expect("sharded mode telemetry");
+        let stats = server.wait();
+        assert_eq!(stats.connections, CONNS as u64);
+        placement
+    };
+
+    let a = run(42);
+    let b = run(42);
+    let c = run(7);
+    assert_eq!(a.iter().sum::<u64>(), CONNS as u64);
+    assert_eq!(a, b, "same seed, same map");
+    assert_ne!(a, c, "a different seed reshuffles placement");
+    assert!(
+        a.iter().all(|&n| n > 0),
+        "32 conns over 4 shards should touch every shard: {a:?}"
+    );
+}
+
+/// Queries answered with work stealing on and off are bit-identical — idle
+/// shards lend parallelism, which may change the morsel schedule but never
+/// the answer.
+#[test]
+fn work_stealing_changes_timing_never_answers() {
+    let run = |stealing: bool| -> Vec<Vec<Value>> {
+        let ep = LoopbackEndpoint::new();
+        let dial = ep.connector();
+        let server = Server::builder()
+            .transport(ep)
+            .mode(ServerMode::Sharded {
+                shards: 4,
+                queue_depth: 16,
+            })
+            .work_stealing(stealing)
+            .serve(|| Session::new(catalog(10_000)));
+        let mut c = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+        let r = c.query("SELECT SUM(y), MAX(x) FROM nums").unwrap();
+        let rows = r.rows;
+        c.close().unwrap();
+        if stealing {
+            assert!(
+                server.steal_borrows() > 0,
+                "a lone query on a 4-shard server should borrow idle cores"
+            );
+        } else {
+            assert_eq!(server.steal_borrows(), 0);
+        }
+        server.wait();
+        rows
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.len(), without.len());
+    for (a, b) in with.iter().zip(&without) {
+        for (x, y) in a.iter().zip(b) {
+            match (x, y) {
+                (Value::Float(f), Value::Float(g)) => assert_eq!(f.to_bits(), g.to_bits()),
+                _ => assert_eq!(x, y),
+            }
+        }
+    }
+}
+
+/// Engine errors and panics stay contained per connection in sharded mode,
+/// exactly as in thread-per-conn: the session survives a failed query.
+#[test]
+fn sharded_server_reports_db_errors_without_dying() {
+    let ep = LoopbackEndpoint::new();
+    let dial = ep.connector();
+    let server = Server::builder()
+        .transport(ep)
+        .mode(ServerMode::Sharded {
+            shards: 2,
+            queue_depth: 8,
+        })
+        .serve(|| Session::new(catalog(1_000)));
+    let mut client = Client::connect(Box::new(dial.connect().unwrap())).unwrap();
+    assert!(client.query("SELECT nope FROM nums").is_err());
+    let r = client.query("SELECT COUNT(*) FROM nums").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(1_000)]]);
+    client.close().unwrap();
+    let stats = server.wait();
+    assert_eq!(stats.queries, 2);
+    assert_eq!(stats.disconnects, 0);
+}

@@ -22,12 +22,18 @@ fn main() {
         ..GenConfig::default()
     });
 
-    // Server: real TCP on an ephemeral port, two accept workers.
+    // Server: real TCP on an ephemeral port, the sharded event-driven core
+    // (two shards). `ServerMode::ThreadPerConn` would serve identically —
+    // bit for bit — one thread per connection.
     let endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind");
     let addr = endpoint.local_addr().expect("addr");
-    let server = Server::new()
-        .workers(2)
-        .serve(endpoint, move || Session::new(catalog.clone()));
+    let server = Server::builder()
+        .transport(endpoint)
+        .mode(ServerMode::Sharded {
+            shards: 2,
+            queue_depth: 64,
+        })
+        .serve(move || Session::new(catalog.clone()));
     println!("server listening on {addr}");
 
     // Client: its own connection, its own stopwatch.

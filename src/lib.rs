@@ -14,7 +14,7 @@
 //! | [`measure`] (`perfeval-measure`) | clocks (wall / CPU / quantized), hot–cold run protocols, phase timing, environment capture |
 //! | [`harness`] (`perfeval-harness`) | Properties configs, CSV with locale validation, gnuplot generation, experiment suites, repeatability |
 //! | [`minidb`] | the substrate DBMS: column store, SQL subset, DBG/OPT engines, EXPLAIN/PROFILE, result sinks |
-//! | [`net`] (`minidb-net`) | wire-protocol client/server layer: TCP + in-process loopback transports, streamed result batches with backpressure, the measured client/server time decomposition |
+//! | [`net`] (`minidb-net`) | wire-protocol client/server layer: TCP + in-process loopback transports, streamed result batches with backpressure, the measured client/server time decomposition, and two server cores (event-driven sharded / thread-per-connection) behind one builder |
 //! | [`workload`] | TPC-H-like data generator, Q1/Q6/Q16-like queries, the 22-query DBG/OPT family, micro-benchmarks |
 //! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets |
 //! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache, failure-contained execution |
@@ -56,7 +56,7 @@ pub mod prelude {
     pub use memsim::{BufferPool, Disk, MachineSpec};
     pub use minidb::{Catalog, DataType, ExecMode, Session, Table, TableBuilder, Value};
     pub use minidb_net::{
-        Client, LoopbackEndpoint, NetQueryResult, Server, TcpEndpoint, TcpTransport,
+        Client, LoopbackEndpoint, NetQueryResult, Server, ServerMode, TcpEndpoint, TcpTransport,
     };
     pub use perfeval_core::alias::{AliasStructure, Generator};
     pub use perfeval_core::design::Design;

@@ -40,7 +40,7 @@ fn run_arm(
 ) -> (LoadReport, ServerStats) {
     let ep = LoopbackEndpoint::new();
     let dial = ep.connector();
-    let server = Server::new().workers(spec.clients + 2).serve(ep, move || {
+    let server = Server::builder().transport(ep).serve(move || {
         let session = Session::new(small_catalog());
         match &session_faults {
             Some(f) => session.with_faults(Arc::clone(f)),
@@ -122,9 +122,9 @@ fn sixty_four_client_soak_is_clean_and_bit_identical() {
 fn flapping_client_reconnects_without_losing_requests_or_correctness() {
     let ep = LoopbackEndpoint::new();
     let dial = ep.connector();
-    let server = Server::new()
-        .workers(6)
-        .serve(ep, || Session::new(small_catalog()));
+    let server = Server::builder()
+        .transport(ep)
+        .serve(|| Session::new(small_catalog()));
     let dialer: Dialer = Arc::new(move || Ok(Box::new(dial.connect()?) as Box<dyn Transport>));
     let load_faults = Arc::new(FaultRegistry::new(11).armed_always(
         "load.send",

@@ -103,9 +103,12 @@ fn sweep(
         dial: ep.connector(),
         client_faults,
     };
-    let server = Server::new()
-        .workers(server_workers)
-        .serve(ep, || Session::new(catalog()));
+    let server = Server::builder()
+        .transport(ep)
+        .mode(perfeval::net::ServerMode::ThreadPerConn {
+            workers: server_workers,
+        })
+        .serve(|| Session::new(catalog()));
     let result = Scheduler::new(threads)
         .with_policy(RetryPolicy {
             max_attempts: 2,
