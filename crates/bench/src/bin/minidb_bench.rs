@@ -1,0 +1,277 @@
+//! `minidb-bench` — run the pinned perf-trajectory suite and gate against
+//! a committed baseline.
+//!
+//! ```text
+//! minidb-bench run [--smoke] [--out PATH] [--replicates N]
+//! minidb-bench compare --baseline PATH [--head PATH] [--smoke]
+//!                      [--tolerance F] [--level F]
+//! ```
+//!
+//! `run` measures the suite (four workloads × DBG/OPT/SIMD, replicated,
+//! interleaved) and writes the JSON measurement — the file that gets
+//! committed as `BENCH_<pr>.json` at the repository root.
+//!
+//! `compare` reads the committed baseline and either a `--head` file or a
+//! fresh live measurement, forms Kalibera–Jones confidence intervals on
+//! each cell's head/baseline ratio, prints the table, and **exits
+//! nonzero** when any regression's CI clears the tolerance — this is the
+//! CI perf gate. `--smoke` trims the replicate count and widens the
+//! default tolerance (25% instead of 10%), because a shared CI runner is
+//! a noisy lab bench; a live head always runs at the baseline's scale
+//! factor so the two sides stay commensurable.
+
+use perfeval_bench::trajectory::{
+    compare, read_file, render_report, run_suite, write_file, RunConfig,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    smoke: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    head: Option<PathBuf>,
+    report: Option<PathBuf>,
+    replicates: Option<usize>,
+    tolerance: Option<f64>,
+    level: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  minidb-bench run [--smoke] [--out PATH] [--replicates N]\n  \
+         minidb-bench compare --baseline PATH [--head PATH] [--smoke] \
+         [--tolerance F] [--level F] [--report PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        smoke: false,
+        out: None,
+        baseline: None,
+        head: None,
+        report: None,
+        replicates: None,
+        tolerance: None,
+        level: 0.95,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let path_arg = |it: &mut std::slice::Iter<String>| -> PathBuf {
+            PathBuf::from(it.next().unwrap_or_else(|| usage()))
+        };
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--out" => o.out = Some(path_arg(&mut it)),
+            "--baseline" => o.baseline = Some(path_arg(&mut it)),
+            "--head" => o.head = Some(path_arg(&mut it)),
+            "--report" => o.report = Some(path_arg(&mut it)),
+            "--replicates" => {
+                o.replicates = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--tolerance" => {
+                o.tolerance = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--level" => {
+                o.level = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn config_of(o: &Options) -> RunConfig {
+    let mut cfg = if o.smoke {
+        RunConfig::smoke()
+    } else {
+        RunConfig::full()
+    };
+    if let Some(r) = o.replicates {
+        cfg.replicates = r.max(2); // effect-size CIs need at least 2
+    }
+    cfg
+}
+
+fn cmd_run(o: &Options) -> ExitCode {
+    let cfg = config_of(o);
+    eprintln!(
+        "measuring trajectory suite: sf={}, {} replicates per cell ...",
+        cfg.scale_factor, cfg.replicates
+    );
+    let file = run_suite(cfg);
+    match &o.out {
+        Some(path) => {
+            write_file(&file, path);
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{}", perfeval_bench::trajectory::to_json(&file)),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(o: &Options) -> ExitCode {
+    let Some(baseline_path) = &o.baseline else {
+        usage()
+    };
+    let baseline = match read_file(baseline_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let head = match &o.head {
+        Some(path) => match read_file(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut cfg = config_of(o);
+            // A live head is only comparable to the baseline over the same
+            // data, so it inherits the baseline's scale factor; `--smoke`
+            // then trims replicates and widens the tolerance instead of
+            // shrinking the data (which would hide regressions behind an
+            // across-the-board fake speedup).
+            cfg.scale_factor = baseline.scale_factor;
+            eprintln!(
+                "measuring head live: sf={}, {} replicates per cell ...",
+                cfg.scale_factor, cfg.replicates
+            );
+            run_suite(cfg)
+        }
+    };
+    // A shared CI runner is noisier than a quiet lab machine; the smoke
+    // gate widens the tolerance accordingly.
+    let tolerance = o.tolerance.unwrap_or(if o.smoke { 0.25 } else { 0.10 });
+    let report = match compare(&head, &baseline, o.level, tolerance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render_report(&report));
+    if let Some(path) = &o.report {
+        let doc = markdown_report(&report, &head, baseline_path, tolerance, o.level);
+        std::fs::write(path, doc)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+    if report.passes() {
+        println!(
+            "gate: PASS ({} cells, tolerance {:.0}%, level {:.0}%)",
+            report.rows.len(),
+            tolerance * 100.0,
+            o.level * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "gate: FAIL ({} regression(s), {} missing cell(s))",
+            report.regressions(),
+            report.missing_in_head.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Builds the full Markdown experiment report around the gate comparison
+/// (environment, protocol, config — the documentation contract), so a
+/// perf-gate run leaves the same audit trail as any other experiment.
+fn markdown_report(
+    report: &perfeval_bench::trajectory::CompareReport,
+    head: &perfeval_bench::trajectory::BenchFile,
+    baseline_path: &std::path::Path,
+    tolerance: f64,
+    level: f64,
+) -> String {
+    use perfeval_bench::trajectory::Verdict;
+    use perfeval_harness::{BenchRow, BenchSection, Properties, Report, ResultTable};
+    let section = BenchSection {
+        baseline: baseline_path.display().to_string(),
+        tolerance,
+        level,
+        same_host: report.same_host,
+        rows: report
+            .rows
+            .iter()
+            .map(|r| BenchRow {
+                id: r.id.clone(),
+                baseline_ms: r.baseline_ms,
+                head_ms: r.head_ms,
+                effect: r.effect.effect,
+                verdict: match r.verdict {
+                    Verdict::Regression => "REGRESSION",
+                    Verdict::Improvement => "improvement",
+                    Verdict::Unchanged => "ok",
+                }
+                .to_owned(),
+            })
+            .collect(),
+        missing: report.missing_in_head.clone(),
+    };
+    let mut table = ResultTable::new("head measurements (server user time)", "ms");
+    for r in &head.records {
+        table.row(&r.id, r.replicates_ms.clone());
+    }
+    let mut props = Properties::new();
+    props.set("tolerance", &format!("{tolerance}"));
+    props.set("level", &format!("{level}"));
+    props.set("baseline", &baseline_path.display().to_string());
+    props.set("scale_factor", &format!("{}", head.scale_factor));
+    props.set("seed", &format!("{}", head.seed));
+    props.set("replicates", &format!("{}", head.replicates));
+    let passes = report.passes();
+    Report::new(
+        "Perf-trajectory gate",
+        "no engine cell may regress past the tolerance with its CI",
+    )
+    .environment(perfeval_measure::EnvSpec::capture())
+    .software(perfeval_measure::SoftwareSpec::new(
+        "minidb",
+        env!("CARGO_PKG_VERSION"),
+        "this repository",
+        "pinned trajectory suite, interleaved replicates",
+    ))
+    .protocol(
+        "one warmup per cell, then replicate r of every cell before \
+         replicate r+1 of any; Kalibera-Jones CI on head/baseline per cell",
+    )
+    .config(props)
+    .table(table)
+    .bench(section)
+    .conclusions(if passes {
+        "no cell regressed past the tolerance."
+    } else {
+        "the gate failed; see the trajectory table."
+    })
+    .render()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let o = parse_options(&args[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&o),
+        "compare" => cmd_compare(&o),
+        _ => usage(),
+    }
+}

@@ -27,10 +27,17 @@
 //! | `exp_e19_parallel_speedup` | morsel-parallel speed-up as a 2³ designed experiment |
 //! | `exp_e20_fault_robustness` | injected panics/hangs: retries, quarantine, watchdog deadlines |
 //! | `exp_e21_client_server` | slides 23–26 measured over a real wire: transport × sink × result size |
+//! | `exp_e22_load_knee` | the throughput knee: arrival × concurrency × mix, coordinated-omission-safe tails |
+//! | `exp_e23_sharded_server` | sharded event loop vs thread-per-connection × connection scale |
+//! | `exp_e24_simd` | the engine as a 3-level factor (DBG/OPT/SIMD): effect CIs + allocation of variation |
 //! | `minidb-serve` | standalone TCP server for `minidb-net` clients (not an exhibit) |
+//! | `minidb-load` | multi-client load-generator CLI (not an exhibit) |
+//! | `minidb-bench` | perf-trajectory suite runner + the CI regression gate (not an exhibit) |
 //!
 //! Criterion benches under `benches/` measure the engine primitives and the
 //! ablations DESIGN.md calls out.
+
+pub mod trajectory;
 
 use minidb::{Catalog, ExecMode, Session};
 use perfeval_harness::Properties;

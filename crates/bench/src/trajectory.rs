@@ -1,0 +1,651 @@
+//! The committed perf-trajectory suite: `minidb-bench run` / `compare`.
+//!
+//! The paper's repeatability argument (slides 218–220) is that a result
+//! nobody can re-measure is an anecdote. This module turns the repository
+//! itself into the longitudinal experiment: a pinned suite of four
+//! workloads × three engines is measured with replication, summarized into
+//! a `BENCH_<pr>.json` file at the repository root, and every subsequent
+//! change is compared against the committed baseline with the
+//! Kalibera–Jones effect-size interval from `perfeval_stats` — CI fails
+//! the build when a slowdown's confidence interval clears the tolerance.
+//!
+//! Design choices, in the paper's terms:
+//!
+//! * **Replicates, not single runs.** Each cell records every replicate
+//!   (server user-time ms), not just a median, so the comparison can form
+//!   a real confidence interval instead of eyeballing two numbers.
+//! * **Interleaved sweeps.** Replicate `r` of every cell runs before
+//!   replicate `r+1` of any cell, so slow drift (thermal, page cache)
+//!   lands evenly across engines instead of confounding one of them.
+//! * **Effect sizes, not p-values.** `compare` reports the ratio
+//!   head/baseline with a CI on `ratio − 1`; a regression is declared only
+//!   when the *lower* bound clears `tolerance` — "visibly slower, with
+//!   the noise accounted for".
+//! * **Environment is recorded.** The JSON carries the host spec; when
+//!   baseline and head hosts differ the comparison says so, because a
+//!   cross-machine ratio is a different experiment.
+
+use crate::{catalog_at, BENCH_SEED};
+use minidb::{ExecMode, Session};
+use perfeval_trace::json::{self, Json};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Suite identifier written into the JSON; bump when the workload set or
+/// measurement protocol changes incompatibly.
+pub const SUITE_NAME: &str = "perf-trajectory-v1";
+
+/// Schema version of the JSON file.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The three engine levels, in presentation order.
+pub const ENGINES: [ExecMode; 3] = [ExecMode::Debug, ExecMode::Optimized, ExecMode::Simd];
+
+/// One pinned workload of the trajectory suite.
+pub struct Workload {
+    /// Stable name used in record ids (`<workload>/<engine>`).
+    pub name: &'static str,
+    /// The SQL it measures.
+    pub sql: fn() -> String,
+}
+
+fn filter_heavy() -> String {
+    // Conjunctive integer filters + COUNT: exercises compare-select and
+    // the branchless compaction kernels, nothing else.
+    "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 24 AND l_orderkey > 100".to_owned()
+}
+
+fn agg_heavy() -> String {
+    // Global integer folds: every aggregate qualifies for the lane
+    // kernels (sum with the 2^53 exactness guard, order-free min/max).
+    "SELECT SUM(l_quantity), MIN(l_orderkey), MAX(l_quantity), COUNT(*) FROM lineitem".to_owned()
+}
+
+fn join_heavy() -> String {
+    // Integer-keyed join: exercises the open-addressed SIMD build/probe
+    // index against the scalar directory.
+    workload::queries::family(12)
+}
+
+fn end_to_end() -> String {
+    // TPC-H Q1-like: parse → filter → wide group-by → sort, the whole
+    // engine in one query.
+    workload::queries::q1()
+}
+
+/// The pinned suite. Order is fixed; ids derive from it.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "filter-heavy",
+            sql: filter_heavy,
+        },
+        Workload {
+            name: "agg-heavy",
+            sql: agg_heavy,
+        },
+        Workload {
+            name: "join-heavy",
+            sql: join_heavy,
+        },
+        Workload {
+            name: "end-to-end",
+            sql: end_to_end,
+        },
+    ]
+}
+
+/// Measurement knobs for one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// TPC-H-like scale factor of the generated catalog.
+    pub scale_factor: f64,
+    /// Measured replicates per cell (after one warmup).
+    pub replicates: usize,
+}
+
+impl RunConfig {
+    /// The full-fidelity configuration used for committed baselines.
+    pub fn full() -> Self {
+        RunConfig {
+            scale_factor: 0.01,
+            replicates: 15,
+        }
+    }
+
+    /// A fast configuration for CI smoke gating: smaller data, fewer
+    /// replicates, to be paired with a wider tolerance. (When `compare`
+    /// measures a live head it overrides the scale factor with the
+    /// baseline's, so the gate stays commensurable — only the replicate
+    /// count and tolerance come from here.)
+    pub fn smoke() -> Self {
+        RunConfig {
+            scale_factor: 0.002,
+            replicates: 7,
+        }
+    }
+}
+
+/// One measured cell: a workload under one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable id, `<workload>/<engine>` (e.g. `agg-heavy/SIMD`).
+    pub id: String,
+    /// Workload name.
+    pub workload: String,
+    /// Engine level (`DBG`/`OPT`/`SIMD`).
+    pub engine: String,
+    /// Every measured replicate, server user-time milliseconds, in
+    /// measurement order.
+    pub replicates_ms: Vec<f64>,
+    /// Median of `replicates_ms` (redundant but human-scannable).
+    pub median_ms: f64,
+}
+
+/// A full trajectory measurement — what `BENCH_<pr>.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Suite identifier ([`SUITE_NAME`]).
+    pub suite: String,
+    /// Host description at measurement time.
+    pub host: String,
+    /// Scale factor the catalog was generated at.
+    pub scale_factor: f64,
+    /// Generator seed (the data regenerates bit-identically from it).
+    pub seed: u64,
+    /// Replicates per cell.
+    pub replicates: usize,
+    /// All measured cells, suite order × engine order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchFile {
+    /// Looks up a record by id.
+    pub fn record(&self, id: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+}
+
+/// Runs the pinned suite and returns the measurement.
+///
+/// Sweeps are interleaved: one warmup pass over every cell, then
+/// replicate `r` of every cell before replicate `r+1` of any — slow
+/// environmental drift averages across engines instead of biasing one.
+pub fn run_suite(cfg: RunConfig) -> BenchFile {
+    let catalog = catalog_at(cfg.scale_factor);
+    let workloads = suite();
+    let mut sessions: Vec<(String, String, Session, String)> = Vec::new();
+    for w in &workloads {
+        for engine in ENGINES {
+            let s = Session::new(catalog.clone()).with_mode(engine);
+            sessions.push((w.name.to_owned(), engine.to_string(), s, (w.sql)()));
+        }
+    }
+    // Warmup: one run per cell, untimed (fills caches, settles allocators).
+    for (_, _, session, sql) in &mut sessions {
+        session.query(sql).run().expect("warmup run");
+    }
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(cfg.replicates); sessions.len()];
+    for _ in 0..cfg.replicates {
+        for (i, (_, _, session, sql)) in sessions.iter_mut().enumerate() {
+            let ms = session
+                .query(sql)
+                .run()
+                .expect("measured run")
+                .server_user_ms();
+            samples[i].push(ms);
+        }
+    }
+    let records = sessions
+        .iter()
+        .zip(samples)
+        .map(|((workload, engine, _, _), replicates_ms)| BenchRecord {
+            id: format!("{workload}/{engine}"),
+            workload: workload.clone(),
+            engine: engine.clone(),
+            median_ms: crate::median(replicates_ms.clone()),
+            replicates_ms,
+        })
+        .collect();
+    BenchFile {
+        schema_version: SCHEMA_VERSION,
+        suite: SUITE_NAME.to_owned(),
+        host: perfeval_measure::EnvSpec::capture().render(),
+        scale_factor: cfg.scale_factor,
+        seed: BENCH_SEED,
+        replicates: cfg.replicates,
+        records,
+    }
+}
+
+// ------------------------------------------------------------------
+// JSON serialization (hand-rolled: the workspace is offline, no serde).
+// ------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the measurement as pretty-printed JSON (stable key order, one
+/// record per block — the file is committed, so diffs should read well).
+pub fn to_json(file: &BenchFile) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {},", file.schema_version);
+    s.push_str("  \"suite\": ");
+    push_json_str(&mut s, &file.suite);
+    s.push_str(",\n  \"host\": ");
+    push_json_str(&mut s, &file.host);
+    let _ = write!(
+        s,
+        ",\n  \"scale_factor\": {},\n  \"seed\": {},\n  \"replicates\": {},\n",
+        file.scale_factor, file.seed, file.replicates
+    );
+    s.push_str("  \"records\": [\n");
+    for (i, r) in file.records.iter().enumerate() {
+        s.push_str("    {\"id\": ");
+        push_json_str(&mut s, &r.id);
+        s.push_str(", \"workload\": ");
+        push_json_str(&mut s, &r.workload);
+        s.push_str(", \"engine\": ");
+        push_json_str(&mut s, &r.engine);
+        let _ = write!(s, ",\n     \"median_ms\": {},", r.median_ms);
+        s.push('\n');
+        s.push_str("     \"replicates_ms\": [");
+        for (j, v) in r.replicates_ms.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{v}");
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < file.records.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn get_num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))?
+        .to_owned())
+}
+
+/// Parses a trajectory file back (via the workspace's own JSON reader).
+pub fn from_json(text: &str) -> Result<BenchFile, String> {
+    let root = json::parse(text)?;
+    let schema_version = get_num(&root, "schema_version")? as u64;
+    if schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let records = root
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'records' array")?
+        .iter()
+        .map(|r| {
+            let replicates_ms = r
+                .get("replicates_ms")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'replicates_ms'")?
+                .iter()
+                .map(|v| v.as_num().ok_or("non-numeric replicate"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(BenchRecord {
+                id: get_str(r, "id")?,
+                workload: get_str(r, "workload")?,
+                engine: get_str(r, "engine")?,
+                median_ms: get_num(r, "median_ms")?,
+                replicates_ms,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BenchFile {
+        schema_version,
+        suite: get_str(&root, "suite")?,
+        host: get_str(&root, "host")?,
+        scale_factor: get_num(&root, "scale_factor")?,
+        seed: get_num(&root, "seed")? as u64,
+        replicates: get_num(&root, "replicates")? as usize,
+        records,
+    })
+}
+
+/// Writes the measurement to `path`.
+///
+/// # Panics
+/// Panics when the file cannot be written.
+pub fn write_file(file: &BenchFile, path: &Path) {
+    std::fs::write(path, to_json(file))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Reads a measurement from `path`.
+pub fn read_file(path: &Path) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    from_json(&text)
+}
+
+// ------------------------------------------------------------------
+// Comparison: head vs committed baseline, Kalibera–Jones intervals.
+// ------------------------------------------------------------------
+
+/// Verdict for one record id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The slowdown CI clears the tolerance: head is credibly slower.
+    Regression,
+    /// The speedup CI clears the tolerance: head is credibly faster.
+    Improvement,
+    /// The CI does not clear the tolerance either way.
+    Unchanged,
+}
+
+/// One compared record.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Record id (`<workload>/<engine>`).
+    pub id: String,
+    /// Baseline median, ms.
+    pub baseline_ms: f64,
+    /// Head median, ms.
+    pub head_ms: f64,
+    /// Head/baseline ratio of means (−1), with its confidence interval:
+    /// positive means head is slower.
+    pub effect: perfeval_stats::EffectSize,
+    /// Gate verdict at the configured tolerance.
+    pub verdict: Verdict,
+}
+
+/// The full comparison.
+pub struct CompareReport {
+    /// Per-record rows, suite order.
+    pub rows: Vec<CompareRow>,
+    /// Ids present in the baseline but missing from head (warned, not
+    /// gated — a renamed workload should fail loudly in review, not
+    /// silently pass).
+    pub missing_in_head: Vec<String>,
+    /// Ids present in head but not in the baseline (new cells, informational).
+    pub new_in_head: Vec<String>,
+    /// Whether the two files were measured on the same host description.
+    pub same_host: bool,
+    /// Tolerance on the ratio−1 scale that the verdicts used.
+    pub tolerance: f64,
+}
+
+impl CompareReport {
+    /// Number of gated regressions.
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regression)
+            .count()
+    }
+
+    /// True when the gate passes (no regression and nothing missing).
+    pub fn passes(&self) -> bool {
+        self.regressions() == 0 && self.missing_in_head.is_empty()
+    }
+}
+
+/// Compares `head` against `baseline` at confidence `level`.
+///
+/// A record regresses when the lower bound of the Kalibera–Jones CI on
+/// `head/baseline − 1` exceeds `tolerance` — i.e. we are `level`-confident
+/// the slowdown is worse than the tolerance, noise accounted for. The
+/// symmetric criterion flags improvements.
+pub fn compare(
+    head: &BenchFile,
+    baseline: &BenchFile,
+    level: f64,
+    tolerance: f64,
+) -> Result<CompareReport, String> {
+    if head.suite != baseline.suite {
+        return Err(format!(
+            "suite mismatch: head '{}' vs baseline '{}'",
+            head.suite, baseline.suite
+        ));
+    }
+    // Raw milliseconds are only commensurable over the same data: a head
+    // measured at a smaller scale factor would read as an across-the-board
+    // "improvement" and hide any real regression behind the ratio.
+    if head.scale_factor != baseline.scale_factor {
+        return Err(format!(
+            "scale-factor mismatch: head {} vs baseline {} — cells are not comparable",
+            head.scale_factor, baseline.scale_factor
+        ));
+    }
+    if head.seed != baseline.seed {
+        return Err(format!(
+            "generator-seed mismatch: head {} vs baseline {}",
+            head.seed, baseline.seed
+        ));
+    }
+    let mut rows = Vec::new();
+    let mut missing_in_head = Vec::new();
+    for b in &baseline.records {
+        let Some(h) = head.record(&b.id) else {
+            missing_in_head.push(b.id.clone());
+            continue;
+        };
+        let effect = perfeval_stats::effect_size_ci(&h.replicates_ms, &b.replicates_ms, level)
+            .map_err(|e| format!("{}: {e}", b.id))?;
+        let verdict = if effect.effect.lower > tolerance {
+            Verdict::Regression
+        } else if effect.effect.upper < -tolerance {
+            Verdict::Improvement
+        } else {
+            Verdict::Unchanged
+        };
+        rows.push(CompareRow {
+            id: b.id.clone(),
+            baseline_ms: b.median_ms,
+            head_ms: h.median_ms,
+            effect,
+            verdict,
+        });
+    }
+    let new_in_head = head
+        .records
+        .iter()
+        .filter(|h| baseline.record(&h.id).is_none())
+        .map(|h| h.id.clone())
+        .collect();
+    Ok(CompareReport {
+        rows,
+        missing_in_head,
+        new_in_head,
+        same_host: head.host == baseline.host,
+        tolerance,
+    })
+}
+
+/// Renders the comparison as the table `minidb-bench compare` prints.
+pub fn render_report(report: &CompareReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<22} {:>10} {:>10} {:>8}  {:>18}  verdict",
+        "cell", "base ms", "head ms", "ratio", "CI on ratio-1"
+    );
+    for r in &report.rows {
+        let ratio = r.effect.effect.estimate + 1.0;
+        let _ = writeln!(
+            s,
+            "{:<22} {:>10.3} {:>10.3} {:>8.3}  [{:>+7.1}%, {:>+7.1}%]  {}",
+            r.id,
+            r.baseline_ms,
+            r.head_ms,
+            ratio,
+            r.effect.effect.lower * 100.0,
+            r.effect.effect.upper * 100.0,
+            match r.verdict {
+                Verdict::Regression => "REGRESSION",
+                Verdict::Improvement => "improvement",
+                Verdict::Unchanged => "ok",
+            }
+        );
+    }
+    for id in &report.missing_in_head {
+        let _ = writeln!(s, "{id:<22} MISSING from head (gate fails)");
+    }
+    for id in &report.new_in_head {
+        let _ = writeln!(s, "{id:<22} new in head (no baseline)");
+    }
+    if !report.same_host {
+        let _ = writeln!(
+            s,
+            "note: baseline and head were measured on different hosts; \
+             cross-machine ratios are a different experiment — interpret \
+             with the tolerance ({:.0}%) in mind",
+            report.tolerance * 100.0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(ms: &[f64]) -> BenchFile {
+        BenchFile {
+            schema_version: SCHEMA_VERSION,
+            suite: SUITE_NAME.to_owned(),
+            host: "test-host".to_owned(),
+            scale_factor: 0.01,
+            seed: BENCH_SEED,
+            replicates: ms.len(),
+            records: vec![BenchRecord {
+                id: "agg-heavy/SIMD".to_owned(),
+                workload: "agg-heavy".to_owned(),
+                engine: "SIMD".to_owned(),
+                median_ms: crate::median(ms.to_vec()),
+                replicates_ms: ms.to_vec(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let f = synthetic(&[1.25, 1.5, 1.0, 1.125]);
+        let back = from_json(&to_json(&f)).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn json_escapes_host_strings() {
+        let mut f = synthetic(&[1.0, 2.0]);
+        f.host = "quote \" backslash \\ tab\t".to_owned();
+        let back = from_json(&to_json(&f)).unwrap();
+        assert_eq!(f.host, back.host);
+    }
+
+    #[test]
+    fn compare_flags_injected_slowdown() {
+        let base = synthetic(&[10.0, 10.1, 9.9, 10.0, 10.05]);
+        let head = synthetic(&[13.0, 13.1, 12.9, 13.0, 13.05]);
+        let report = compare(&head, &base, 0.95, 0.10).unwrap();
+        assert_eq!(report.rows[0].verdict, Verdict::Regression);
+        assert_eq!(report.regressions(), 1);
+        assert!(!report.passes());
+        assert!(render_report(&report).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn compare_tolerates_noise_and_flags_improvement() {
+        let base = synthetic(&[10.0, 10.4, 9.6, 10.1, 9.9]);
+        let same = synthetic(&[10.1, 9.8, 10.2, 10.0, 9.95]);
+        let report = compare(&same, &base, 0.95, 0.10).unwrap();
+        assert_eq!(report.rows[0].verdict, Verdict::Unchanged);
+        assert!(report.passes());
+
+        let faster = synthetic(&[7.0, 7.1, 6.9, 7.0, 7.05]);
+        let report = compare(&faster, &base, 0.95, 0.10).unwrap();
+        assert_eq!(report.rows[0].verdict, Verdict::Improvement);
+        assert!(report.passes());
+    }
+
+    #[test]
+    fn compare_gates_on_missing_cells() {
+        let base = synthetic(&[10.0, 10.0, 10.0]);
+        let mut head = synthetic(&[10.0, 10.0, 10.0]);
+        head.records[0].id = "renamed/OPT".to_owned();
+        let report = compare(&head, &base, 0.95, 0.10).unwrap();
+        assert_eq!(report.missing_in_head, vec!["agg-heavy/SIMD".to_owned()]);
+        assert_eq!(report.new_in_head, vec!["renamed/OPT".to_owned()]);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn compare_rejects_suite_mismatch() {
+        let base = synthetic(&[10.0, 10.0]);
+        let mut head = synthetic(&[10.0, 10.0]);
+        head.suite = "other-suite".to_owned();
+        assert!(compare(&head, &base, 0.95, 0.10).is_err());
+    }
+
+    #[test]
+    fn compare_rejects_incommensurable_measurements() {
+        // A head measured over less data would read as a fake improvement;
+        // the gate must refuse rather than pass vacuously.
+        let base = synthetic(&[10.0, 10.0]);
+        let mut head = synthetic(&[2.0, 2.0]);
+        head.scale_factor = 0.002;
+        assert!(compare(&head, &base, 0.95, 0.10).is_err());
+
+        let mut reseeded = synthetic(&[10.0, 10.0]);
+        reseeded.seed = 42;
+        assert!(compare(&reseeded, &base, 0.95, 0.10).is_err());
+    }
+
+    #[test]
+    fn suite_runs_end_to_end_at_tiny_scale() {
+        let file = run_suite(RunConfig {
+            scale_factor: 0.001,
+            replicates: 2,
+        });
+        assert_eq!(file.records.len(), suite().len() * ENGINES.len());
+        assert!(file.records.iter().all(|r| r.replicates_ms.len() == 2));
+        assert!(file
+            .records
+            .iter()
+            .all(|r| r.replicates_ms.iter().all(|v| v.is_finite() && *v >= 0.0)));
+        // The file the suite writes is the file compare reads.
+        let back = from_json(&to_json(&file)).unwrap();
+        assert_eq!(file, back);
+        // A suite compared against itself never gates.
+        let report = compare(&file, &file, 0.95, 0.10).unwrap();
+        assert!(report.passes());
+    }
+}

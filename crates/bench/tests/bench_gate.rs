@@ -1,0 +1,139 @@
+//! End-to-end proof that the CI perf gate actually gates: drive the real
+//! `minidb-bench` binary over synthetic trajectory files and check its
+//! exit codes. A gate that cannot fail is measurement theater — this test
+//! injects a 1.3× slowdown and demands a nonzero exit.
+
+use perfeval_bench::trajectory::{to_json, BenchFile, BenchRecord, SCHEMA_VERSION, SUITE_NAME};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn synthetic_file(cells: &[(&str, &[f64])]) -> BenchFile {
+    BenchFile {
+        schema_version: SCHEMA_VERSION,
+        suite: SUITE_NAME.to_owned(),
+        host: "gate-test-host".to_owned(),
+        scale_factor: 0.01,
+        seed: 20080408,
+        replicates: cells.first().map(|(_, v)| v.len()).unwrap_or(0),
+        records: cells
+            .iter()
+            .map(|(id, ms)| {
+                let (workload, engine) = id.split_once('/').expect("id is workload/engine");
+                BenchRecord {
+                    id: (*id).to_owned(),
+                    workload: workload.to_owned(),
+                    engine: engine.to_owned(),
+                    median_ms: perfeval_bench::median(ms.to_vec()),
+                    replicates_ms: ms.to_vec(),
+                }
+            })
+            .collect(),
+    }
+}
+
+fn write_tmp(name: &str, file: &BenchFile) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("perfeval_gate_{}_{name}", std::process::id()));
+    std::fs::write(&path, to_json(file)).expect("write synthetic file");
+    path
+}
+
+fn run_compare(baseline: &Path, head: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_minidb-bench"))
+        .args([
+            "compare",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--head",
+            head.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run minidb-bench")
+}
+
+const BASE: [f64; 7] = [10.0, 10.2, 9.8, 10.1, 9.9, 10.05, 9.95];
+const SLOW: [f64; 7] = [13.0, 13.3, 12.7, 13.1, 12.9, 13.05, 12.95];
+const FAST: [f64; 7] = [7.0, 7.2, 6.8, 7.1, 6.9, 7.05, 6.95];
+
+#[test]
+fn injected_slowdown_fails_the_gate() {
+    let baseline = write_tmp(
+        "base_a",
+        &synthetic_file(&[("agg-heavy/SIMD", &BASE), ("filter-heavy/OPT", &BASE)]),
+    );
+    // 1.3x on one cell, the other unchanged: one regression is enough.
+    let head = write_tmp(
+        "head_a",
+        &synthetic_file(&[("agg-heavy/SIMD", &SLOW), ("filter-heavy/OPT", &BASE)]),
+    );
+    let out = run_compare(&baseline, &head);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "a 1.3x slowdown must exit nonzero; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("REGRESSION"), "stdout:\n{stdout}");
+    assert!(stdout.contains("gate: FAIL"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn unchanged_and_improved_runs_pass_the_gate() {
+    let baseline = write_tmp(
+        "base_b",
+        &synthetic_file(&[("agg-heavy/SIMD", &BASE), ("filter-heavy/OPT", &BASE)]),
+    );
+    let head = write_tmp(
+        "head_b",
+        &synthetic_file(&[("agg-heavy/SIMD", &BASE), ("filter-heavy/OPT", &FAST)]),
+    );
+    let out = run_compare(&baseline, &head);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "identical + improved cells must exit zero; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("gate: PASS"), "stdout:\n{stdout}");
+    assert!(stdout.contains("improvement"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn missing_cell_fails_the_gate() {
+    let baseline = write_tmp(
+        "base_c",
+        &synthetic_file(&[("agg-heavy/SIMD", &BASE), ("filter-heavy/OPT", &BASE)]),
+    );
+    let head = write_tmp("head_c", &synthetic_file(&[("agg-heavy/SIMD", &BASE)]));
+    let out = run_compare(&baseline, &head);
+    assert!(
+        !out.status.success(),
+        "a silently dropped cell must fail the gate"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MISSING"));
+}
+
+#[test]
+fn compare_writes_the_markdown_report() {
+    let baseline = write_tmp("base_d", &synthetic_file(&[("agg-heavy/SIMD", &BASE)]));
+    let head = write_tmp("head_d", &synthetic_file(&[("agg-heavy/SIMD", &SLOW)]));
+    let report =
+        std::env::temp_dir().join(format!("perfeval_gate_{}_report.md", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_minidb-bench"))
+        .args([
+            "compare",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--head",
+            head.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run minidb-bench");
+    assert!(!out.status.success(), "slowdown still fails with --report");
+    let doc = std::fs::read_to_string(&report).expect("report written");
+    assert!(doc.contains("## Perf trajectory"));
+    assert!(doc.contains("REGRESSION"));
+    assert!(
+        doc.contains("incomplete report"),
+        "regressed gate flags the report"
+    );
+}

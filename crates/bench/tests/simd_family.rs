@@ -1,0 +1,52 @@
+//! The engine-factor acceptance battery: all 22 family queries must be
+//! bit-identical across DBG / OPT / SIMD, at every thread count and
+//! morsel size the determinism suite pins. This is the precondition for
+//! treating the engine as a design factor — if the answers differ, the
+//! timing comparison is apples and oranges.
+
+use minidb::{ExecMode, Value};
+use perfeval_bench::catalog_at;
+use workload::queries;
+
+fn rows_bit_equal(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                    (x, y) => x == y,
+                })
+        })
+}
+
+#[test]
+fn family_queries_bit_identical_across_engines_threads_and_morsels() {
+    let catalog = catalog_at(0.001);
+    for (qi, sql) in queries::all_family().iter().enumerate() {
+        let reference = minidb::Session::new(catalog.clone())
+            .with_mode(ExecMode::Debug)
+            .query(sql)
+            .run()
+            .unwrap()
+            .rows;
+        for mode in [ExecMode::Optimized, ExecMode::Simd] {
+            for threads in [1usize, 2, 8] {
+                for morsel in [1usize, 64, 1024] {
+                    let rows = minidb::Session::new(catalog.clone())
+                        .with_mode(mode)
+                        .with_parallelism(threads)
+                        .with_morsel_rows(morsel)
+                        .query(sql)
+                        .run()
+                        .unwrap()
+                        .rows;
+                    assert!(
+                        rows_bit_equal(&reference, &rows),
+                        "Q{} diverged under {mode} ({threads} threads, morsel {morsel})",
+                        qi + 1
+                    );
+                }
+            }
+        }
+    }
+}

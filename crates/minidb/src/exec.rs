@@ -23,6 +23,7 @@ use crate::catalog::Catalog;
 use crate::column::Column;
 use crate::error::DbError;
 use crate::expr::{AggFunc, BinOp, Expr};
+use crate::kernels::{self, Cmp, Engine, Sel};
 use crate::plan::Plan;
 use crate::types::{DataType, Value};
 use memsim::BufferPool;
@@ -39,6 +40,10 @@ pub enum ExecMode {
     /// Vectorized column-at-a-time engine (an "optimized build").
     #[default]
     Optimized,
+    /// The optimized engine with the explicit chunked SIMD kernels from
+    /// [`crate::kernels`]: same operators, same selection vectors, same
+    /// results bit-for-bit — only the inner loops differ.
+    Simd,
 }
 
 impl std::fmt::Display for ExecMode {
@@ -46,7 +51,23 @@ impl std::fmt::Display for ExecMode {
         f.write_str(match self {
             ExecMode::Debug => "DBG",
             ExecMode::Optimized => "OPT",
+            ExecMode::Simd => "SIMD",
         })
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    /// Parses the display names (`DBG`/`OPT`/`SIMD`, case-insensitive) —
+    /// the engine level as experiment configs and CLIs spell it.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "DBG" | "DEBUG" => Ok(ExecMode::Debug),
+            "OPT" | "OPTIMIZED" => Ok(ExecMode::Optimized),
+            "SIMD" => Ok(ExecMode::Simd),
+            other => Err(format!("unknown engine '{other}' (DBG|OPT|SIMD)")),
+        }
     }
 }
 
@@ -333,6 +354,67 @@ impl AggState {
         }
     }
 
+    /// Folds an entire column into this accumulator with the lane kernels,
+    /// returning `false` when no kernel can prove bit-identity with the
+    /// serial per-row fold (the caller must then replay `update_from_col`).
+    ///
+    /// Only integer folds qualify: `sum_i64_exact` proves every serial f64
+    /// prefix sum exact before answering, COUNT is order-free, and integer
+    /// MIN/MAX are order-free. Float folds always return `false` — f64
+    /// addition is non-associative and the engine's contract is bitwise
+    /// equality, not approximate equality.
+    pub(crate) fn update_bulk(&mut self, col: &Column) -> bool {
+        match (&mut *self, col) {
+            (AggState::Sum { acc, .. }, Column::Int(v)) => match kernels::sum_i64_exact(v) {
+                Some(total) => {
+                    *acc += total as f64;
+                    true
+                }
+                None => false,
+            },
+            (AggState::Avg { sum, n }, Column::Int(v)) => match kernels::sum_i64_exact(v) {
+                Some(total) => {
+                    *sum += total as f64;
+                    *n += v.len() as i64;
+                    true
+                }
+                None => false,
+            },
+            // Columns are NULL-free, so COUNT counts every row.
+            (AggState::Count(n), col) => {
+                *n += col.len() as i64;
+                true
+            }
+            (AggState::Min { slot, .. }, Column::Int(v)) => {
+                if let Some(m) = kernels::min_i64(v) {
+                    let replace = match slot {
+                        None => true,
+                        Some(Value::Int(cur)) => m < *cur,
+                        Some(_) => false,
+                    };
+                    if replace {
+                        *slot = Some(Value::Int(m));
+                    }
+                }
+                true
+            }
+            (AggState::Max { slot, .. }, Column::Int(v)) => {
+                if let Some(m) = kernels::max_i64(v) {
+                    let replace = match slot {
+                        None => true,
+                        Some(Value::Int(cur)) => m > *cur,
+                        Some(_) => false,
+                    };
+                    if replace {
+                        *slot = Some(Value::Int(m));
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     pub(crate) fn update(&mut self, v: &Value) {
         if matches!(v, Value::Null) {
             return; // SQL aggregates skip NULLs
@@ -460,7 +542,7 @@ impl<'a> Executor<'a> {
                     rows,
                 }
             }
-            ExecMode::Optimized => {
+            ExecMode::Optimized | ExecMode::Simd => {
                 let batch = self.run_batch(plan, 0)?;
                 let rows = (0..batch.row_count())
                     .map(|i| batch.cols.iter().map(|c| c.get(i)).collect())
@@ -480,6 +562,15 @@ impl<'a> Executor<'a> {
     /// The profile trace of the last `run` (root first).
     pub fn profile(&self) -> &[ProfileEntry] {
         &self.profile
+    }
+
+    /// The kernel tier the batch engine dispatches (`Scalar` for OPT,
+    /// `Simd` for the SIMD mode). The debug engine never reaches kernels.
+    pub(crate) fn engine(&self) -> Engine {
+        match self.mode {
+            ExecMode::Simd => Engine::Simd,
+            _ => Engine::Scalar,
+        }
     }
 
     pub(crate) fn charge_scan(&mut self, table: &str) -> Result<(), DbError> {
@@ -834,7 +925,7 @@ impl<'a> Executor<'a> {
                 child_ms = c0.elapsed().as_secs_f64() * 1e3;
                 let schema = input_batch.schema();
                 let bound = predicate.bind(&schema)?;
-                let selection = vectorized_filter(&input_batch, &bound)?;
+                let selection = vectorized_filter(&input_batch, &bound, self.engine())?;
                 input_batch.take(&selection)
             }
             Plan::Project { input, exprs } => {
@@ -866,7 +957,7 @@ impl<'a> Executor<'a> {
                 let (lk, rk) = bind_join_keys(left_key, right_key, &ls, &rs)?;
                 let lkey_col = vectorized_eval(&lb, &lk, &ls)?;
                 let rkey_col = vectorized_eval(&rb, &rk, &rs)?;
-                let (lsel, rsel, side) = hash_join_selections(&lkey_col, &rkey_col);
+                let (lsel, rsel, side) = hash_join_selections(&lkey_col, &rkey_col, self.engine());
                 if let Some(g) = span.as_mut() {
                     g.attr("build_side", side.label());
                 }
@@ -887,7 +978,14 @@ impl<'a> Executor<'a> {
                 let c0 = Instant::now();
                 let input_batch = self.run_batch(input, depth + 1)?;
                 child_ms = c0.elapsed().as_secs_f64() * 1e3;
-                vectorized_aggregate(self.catalog, plan, &input_batch, group_by, aggregates)?
+                vectorized_aggregate(
+                    self.catalog,
+                    plan,
+                    &input_batch,
+                    group_by,
+                    aggregates,
+                    self.engine(),
+                )?
             }
             Plan::Sort { input, keys } => {
                 let c0 = Instant::now();
@@ -1077,29 +1175,37 @@ pub(crate) fn compare_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
 /// Fast paths: conjunctions of `column <op> literal` on Int/Float columns
 /// run as tight typed loops over the shrinking selection; anything else
 /// falls back to row-expression evaluation (still selection-driven).
-pub(crate) fn vectorized_filter(batch: &Batch, predicate: &Expr) -> Result<Vec<usize>, DbError> {
-    let init: Vec<usize> = (0..batch.row_count()).collect();
-    vectorized_filter_range(batch, predicate, init)
+pub(crate) fn vectorized_filter(
+    batch: &Batch,
+    predicate: &Expr,
+    engine: Engine,
+) -> Result<Vec<usize>, DbError> {
+    vectorized_filter_range(batch, predicate, Sel::Dense(0..batch.row_count()), engine)
 }
 
-/// [`vectorized_filter`] over an initial selection (a morsel's row range):
-/// conjuncts shrink `selection` in place, so workers keep their selection
-/// vectors local.
+/// [`vectorized_filter`] over an initial selection (a whole batch or one
+/// morsel's row range): conjuncts shrink the selection, so workers keep
+/// their selection vectors local. The initial selection stays symbolic
+/// ([`Sel::Dense`]) until the first conjunct produces survivors, letting
+/// the first compare stream the column instead of gathering through an
+/// index vector that is just `start..end`.
 pub(crate) fn vectorized_filter_range(
     batch: &Batch,
     predicate: &Expr,
-    mut selection: Vec<usize>,
+    init: Sel,
+    engine: Engine,
 ) -> Result<Vec<usize>, DbError> {
     // Flatten AND-chains.
     let mut conjuncts = Vec::new();
     flatten_and(predicate, &mut conjuncts);
+    let mut selection = init;
     for c in conjuncts {
-        selection = apply_conjunct(batch, c, selection)?;
+        selection = Sel::Sparse(apply_conjunct(batch, c, &selection, engine)?);
         if selection.is_empty() {
             break;
         }
     }
-    Ok(selection)
+    Ok(selection.into_vec())
 }
 
 fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
@@ -1119,38 +1225,57 @@ fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
 fn apply_conjunct(
     batch: &Batch,
     pred: &Expr,
-    selection: Vec<usize>,
+    selection: &Sel,
+    engine: Engine,
 ) -> Result<Vec<usize>, DbError> {
     // Fast path: ColumnIdx <op> Literal.
     if let Expr::Binary { op, left, right } = pred {
         if op.is_comparison() {
             if let (Expr::ColumnIdx(ci), Expr::Literal(lit)) = (&**left, &**right) {
-                if let Some(sel) = typed_compare(&batch.cols[*ci], *op, lit, &selection) {
+                if let Some(sel) = typed_compare(&batch.cols[*ci], *op, lit, selection, engine) {
                     return Ok(sel);
                 }
             }
             // Literal <op> Column: flip.
             if let (Expr::Literal(lit), Expr::ColumnIdx(ci)) = (&**left, &**right) {
                 let flipped = flip_cmp(*op);
-                if let Some(sel) = typed_compare(&batch.cols[*ci], flipped, lit, &selection) {
+                if let Some(sel) = typed_compare(&batch.cols[*ci], flipped, lit, selection, engine)
+                {
                     return Ok(sel);
                 }
             }
         }
     }
-    // Generic fallback: evaluate per selected row.
-    let mut out = Vec::with_capacity(selection.len());
+    // Generic fallback (disjunctions, expressions over several columns):
+    // evaluate per selected row into a pre-sized output, emitted with the
+    // same reserve-then-truncate compaction the kernels use — OPT and SIMD
+    // differ only in the kernel, never in allocator behavior.
+    let mut out = vec![0usize; selection.len()];
+    let mut k = 0usize;
     let width = batch.cols.len();
     let mut row: Vec<Value> = Vec::with_capacity(width);
-    for &i in &selection {
+    let keep = |row: &mut Vec<Value>, i: usize| -> Result<bool, DbError> {
         row.clear();
         for c in &batch.cols {
             row.push(c.get(i));
         }
-        if pred.eval(&row)? == Value::Bool(true) {
-            out.push(i);
+        Ok(pred.eval(row)? == Value::Bool(true))
+    };
+    match selection {
+        Sel::Dense(r) => {
+            for i in r.clone() {
+                out[k] = i;
+                k += keep(&mut row, i)? as usize;
+            }
+        }
+        Sel::Sparse(sel) => {
+            for &i in sel {
+                out[k] = i;
+                k += keep(&mut row, i)? as usize;
+            }
         }
     }
+    out.truncate(k);
     Ok(out)
 }
 
@@ -1164,124 +1289,40 @@ fn flip_cmp(op: BinOp) -> BinOp {
     }
 }
 
-/// Tight typed comparison loop; returns `None` if no fast path applies.
-fn typed_compare(col: &Column, op: BinOp, lit: &Value, selection: &[usize]) -> Option<Vec<usize>> {
-    use BinOp::*;
+/// Tight typed comparison, dispatched to the compare-select kernels;
+/// returns `None` if no fast path applies. Both engines run the same
+/// kernel entry points — `engine` picks the scalar or the chunked SIMD
+/// implementation, never a different comparison.
+fn typed_compare(
+    col: &Column,
+    op: BinOp,
+    lit: &Value,
+    selection: &Sel,
+    engine: Engine,
+) -> Option<Vec<usize>> {
+    let cmp = Cmp::from_binop(op)?;
     match (col, lit) {
         (Column::Int(data), Value::Int(k)) => {
-            let k = *k;
-            Some(match op {
-                Lt => selection.iter().copied().filter(|&i| data[i] < k).collect(),
-                Le => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] <= k)
-                    .collect(),
-                Gt => selection.iter().copied().filter(|&i| data[i] > k).collect(),
-                Ge => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] >= k)
-                    .collect(),
-                Eq => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] == k)
-                    .collect(),
-                Ne => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] != k)
-                    .collect(),
-                _ => return None,
-            })
+            Some(kernels::compare_select(data, cmp, *k, selection, engine))
         }
         (Column::Float(data), lit) => {
             let k = lit.as_f64()?;
-            Some(match op {
-                Lt => selection.iter().copied().filter(|&i| data[i] < k).collect(),
-                Le => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] <= k)
-                    .collect(),
-                Gt => selection.iter().copied().filter(|&i| data[i] > k).collect(),
-                Ge => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] >= k)
-                    .collect(),
-                Eq => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] == k)
-                    .collect(),
-                Ne => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| data[i] != k)
-                    .collect(),
-                _ => return None,
-            })
+            Some(kernels::compare_select(data, cmp, k, selection, engine))
         }
-        (Column::Int(data), Value::Float(k)) => {
-            let k = *k;
-            Some(match op {
-                Lt => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| (data[i] as f64) < k)
-                    .collect(),
-                Le => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| (data[i] as f64) <= k)
-                    .collect(),
-                Gt => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| (data[i] as f64) > k)
-                    .collect(),
-                Ge => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| (data[i] as f64) >= k)
-                    .collect(),
-                Eq => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| (data[i] as f64) == k)
-                    .collect(),
-                Ne => selection
-                    .iter()
-                    .copied()
-                    .filter(|&i| (data[i] as f64) != k)
-                    .collect(),
-                _ => return None,
-            })
-        }
-        (Column::Str { dict, codes }, Value::Str(s)) if matches!(op, Eq | Ne) => {
+        (Column::Int(data), Value::Float(k)) => Some(kernels::compare_select_map(
+            data,
+            |v| v as f64,
+            cmp,
+            *k,
+            selection,
+            engine,
+        )),
+        (Column::Str { dict, codes }, Value::Str(s)) if matches!(cmp, Cmp::Eq | Cmp::Ne) => {
             // Dictionary short-cut: compare codes, not strings.
-            let code = dict.code_of(s).map(|c| c as usize);
-            Some(match (op, code) {
-                (Eq, None) => Vec::new(),
-                (Ne, None) => selection.to_vec(),
-                (Eq, Some(c)) => {
-                    let c = c as u32;
-                    selection
-                        .iter()
-                        .copied()
-                        .filter(|&i| codes[i] == c)
-                        .collect()
-                }
-                (Ne, Some(c)) => {
-                    let c = c as u32;
-                    selection
-                        .iter()
-                        .copied()
-                        .filter(|&i| codes[i] != c)
-                        .collect()
-                }
+            Some(match (cmp, dict.code_of(s)) {
+                (Cmp::Eq, None) => Vec::new(),
+                (Cmp::Ne, None) => selection.clone().into_vec(),
+                (_, Some(c)) => kernels::compare_select(codes, cmp, c, selection, engine),
                 _ => unreachable!(),
             })
         }
@@ -1429,17 +1470,25 @@ pub(crate) fn choose_build_side(lkey: &Column, rkey: &Column) -> BuildSide {
 /// A materialized hash-join build table, probe-shareable across worker
 /// threads (read-only during the probe phase).
 pub(crate) enum JoinBuild {
-    /// Both key columns are Int: hash raw i64s.
+    /// Both key columns are Int: hash raw i64s through std's `HashMap`.
     Int(HashMap<i64, Vec<usize>>),
+    /// Both key columns are Int, SIMD tier: the open-addressed,
+    /// insertion-ordered index with lane-parallel key mixing. Emits the
+    /// exact pairs [`JoinBuild::Int`] emits, in the same order.
+    IntSimd(kernels::IntIndex),
     /// Generic typed keys (NULL never matches, so NULL keys are skipped).
     Generic(HashMap<Key, Vec<usize>>),
 }
 
 impl JoinBuild {
     /// Builds the hash table over `build`; `probe` only decides whether
-    /// the Int fast path applies (both sides must be Int columns).
-    pub(crate) fn new(build: &Column, probe: &Column) -> JoinBuild {
+    /// the Int fast path applies (both sides must be Int columns), and
+    /// `engine` which Int index implementation backs it.
+    pub(crate) fn new(build: &Column, probe: &Column, engine: Engine) -> JoinBuild {
         match (build.as_int(), probe.as_int()) {
+            (Some(data), Some(_)) if engine == Engine::Simd => {
+                JoinBuild::IntSimd(kernels::IntIndex::build(data))
+            }
             (Some(data), Some(_)) => {
                 let mut m: HashMap<i64, Vec<usize>> = HashMap::with_capacity(data.len());
                 for (i, &k) in data.iter().enumerate() {
@@ -1480,6 +1529,10 @@ impl JoinBuild {
                         }
                     }
                 }
+            }
+            JoinBuild::IntSimd(idx) => {
+                let data = probe.as_int().expect("int probe column");
+                idx.probe_range(data, range, &mut bsel, &mut psel);
             }
             JoinBuild::Generic(m) => {
                 for j in range {
@@ -1524,12 +1577,16 @@ pub(crate) fn canonicalize_join_pairs(
 
 /// Builds the matching (left, right) row-index pairs of a hash equi-join,
 /// building on the smaller input and reporting which side that was.
-fn hash_join_selections(lkey: &Column, rkey: &Column) -> (Vec<usize>, Vec<usize>, BuildSide) {
+fn hash_join_selections(
+    lkey: &Column,
+    rkey: &Column,
+    engine: Engine,
+) -> (Vec<usize>, Vec<usize>, BuildSide) {
     let side = choose_build_side(lkey, rkey);
     let (lsel, rsel) = match side {
-        BuildSide::Left => JoinBuild::new(lkey, rkey).probe_range(rkey, 0..rkey.len()),
+        BuildSide::Left => JoinBuild::new(lkey, rkey, engine).probe_range(rkey, 0..rkey.len()),
         BuildSide::Right => {
-            let (bsel, psel) = JoinBuild::new(rkey, lkey).probe_range(lkey, 0..lkey.len());
+            let (bsel, psel) = JoinBuild::new(rkey, lkey, engine).probe_range(lkey, 0..lkey.len());
             (psel, bsel)
         }
     };
@@ -1544,6 +1601,7 @@ pub(crate) fn vectorized_aggregate(
     input: &Batch,
     group_by: &[(Expr, String)],
     aggregates: &[(AggFunc, Expr, String)],
+    engine: Engine,
 ) -> Result<Batch, DbError> {
     let schema = input.schema();
     let group_cols: Vec<Arc<Column>> = group_by
@@ -1569,14 +1627,57 @@ pub(crate) fn vectorized_aggregate(
             .map(|(f, _, dt)| AggState::new(*f, *dt))
             .collect()
     };
+
+    // SIMD tier, single Int group key: dense first-seen group ids through
+    // the lane-mixed open table, then per-group state updates in the same
+    // ascending row order the HashMap path applies. Int columns are
+    // NULL-free, so no rows drop — the group set, per-group states, and
+    // (post-sort) output are bit-identical to the scalar directory.
+    if engine == Engine::Simd && group_cols.len() == 1 {
+        if let Some(keys) = group_cols[0].as_int() {
+            let (gids, first_rows) = kernels::group_ids_i64(keys);
+            let mut per_group: Vec<Vec<AggState>> =
+                (0..first_rows.len()).map(|_| new_states()).collect();
+            for (i, &g) in gids.iter().enumerate() {
+                for ((_, col, _), state) in agg_inputs.iter().zip(&mut per_group[g as usize]) {
+                    state.update_from_col(col, i);
+                }
+            }
+            let rows: Vec<Vec<Value>> = per_group
+                .into_iter()
+                .zip(&first_rows)
+                .map(|(states, &first)| {
+                    let mut row = vec![group_cols[0].get(first as usize)];
+                    row.extend(states.into_iter().map(AggState::finish));
+                    row
+                })
+                .collect();
+            return finish_aggregate_batch(catalog, plan, rows);
+        }
+    }
+
     let mut groups: HashMap<Vec<Key>, (usize, Vec<AggState>)> = HashMap::new();
     let mut group_order: Vec<Vec<Value>> = Vec::new();
     if group_by.is_empty() {
         // Global aggregate: one group, no per-row key hashing.
         let mut states = new_states();
-        for i in 0..n {
+        if engine == Engine::Simd {
+            // Column-at-a-time lane folds where the kernels prove
+            // exactness; serial replay (identical to the scalar loop)
+            // otherwise. States are independent, so folding one state over
+            // the whole column before the next is the same accumulation.
             for ((_, col, _), state) in agg_inputs.iter().zip(&mut states) {
-                state.update_from_col(col, i);
+                if !state.update_bulk(col) {
+                    for i in 0..n {
+                        state.update_from_col(col, i);
+                    }
+                }
+            }
+        } else {
+            for i in 0..n {
+                for ((_, col, _), state) in agg_inputs.iter().zip(&mut states) {
+                    state.update_from_col(col, i);
+                }
             }
         }
         groups.insert(Vec::new(), (0, states));
@@ -1688,12 +1789,17 @@ mod tests {
         Executor::new(catalog, mode).run(&plan).unwrap()
     }
 
+    /// Runs `sql` under all three engines and asserts SIMD matches OPT
+    /// bit-for-bit before handing (Debug, Optimized) back — every test
+    /// that goes through here exercises the full engine factor.
     fn both_modes(sql: &str) -> (ResultSet, ResultSet) {
         let c = catalog();
-        (
-            run_sql(&c, ExecMode::Debug, sql),
-            run_sql(&c, ExecMode::Optimized, sql),
-        )
+        let d = run_sql(&c, ExecMode::Debug, sql);
+        let o = run_sql(&c, ExecMode::Optimized, sql);
+        let s = run_sql(&c, ExecMode::Simd, sql);
+        assert_eq!(o.rows, s.rows, "SIMD diverged from OPT on: {sql}");
+        assert_eq!(o.column_names, s.column_names, "SIMD schema on: {sql}");
+        (d, o)
     }
 
     #[test]
@@ -1873,9 +1979,26 @@ mod tests {
         for q in queries {
             let d = run_sql(&c, ExecMode::Debug, q);
             let o = run_sql(&c, ExecMode::Optimized, q);
+            let s = run_sql(&c, ExecMode::Simd, q);
             assert_eq!(d.rows, o.rows, "query: {q}");
             assert_eq!(d.column_names, o.column_names, "query: {q}");
+            assert_eq!(o.rows, s.rows, "SIMD query: {q}");
         }
+    }
+
+    #[test]
+    fn exec_mode_parses_from_str() {
+        for (s, m) in [
+            ("dbg", ExecMode::Debug),
+            ("DEBUG", ExecMode::Debug),
+            ("opt", ExecMode::Optimized),
+            ("Optimized", ExecMode::Optimized),
+            ("simd", ExecMode::Simd),
+            ("SIMD", ExecMode::Simd),
+        ] {
+            assert_eq!(s.parse::<ExecMode>().unwrap(), m);
+        }
+        assert!("jit".parse::<ExecMode>().is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::exec::{
     AggState, Batch, Executor, JoinBuild, Key, ProfileEntry,
 };
 use crate::expr::{AggFunc, Expr};
+use crate::kernels::{Engine, Sel};
 use crate::plan::Plan;
 use crate::types::{DataType, Value};
 use perfeval_pool::parallel_map_traced;
@@ -214,23 +215,29 @@ fn run_chain_morsel(
     base: &Batch,
     stages: &[BoundStage],
     range: Range<usize>,
+    engine: Engine,
 ) -> Result<MorselOut, DbError> {
     let mut stage_rows = Vec::with_capacity(stages.len());
     let mut stage_secs = Vec::with_capacity(stages.len());
-    let mut lazy_sel: Option<Vec<usize>> = Some(range.collect());
+    let mut lazy_sel: Option<Sel> = Some(Sel::Dense(range));
     let mut owned: Option<Batch> = None;
     for stage in stages {
         let t0 = Instant::now();
         match stage {
             BoundStage::Filter { pred } => {
                 if let Some(b) = owned.take() {
-                    let sel = vectorized_filter(&b, pred)?;
+                    let sel = vectorized_filter(&b, pred, engine)?;
                     stage_rows.push(sel.len());
                     owned = Some(b.take(&sel));
                 } else {
-                    let sel = vectorized_filter_range(base, pred, lazy_sel.take().expect("lazy"))?;
+                    let sel = vectorized_filter_range(
+                        base,
+                        pred,
+                        lazy_sel.take().expect("lazy"),
+                        engine,
+                    )?;
                     stage_rows.push(sel.len());
-                    lazy_sel = Some(sel);
+                    lazy_sel = Some(Sel::Sparse(sel));
                 }
             }
             BoundStage::Project {
@@ -240,7 +247,7 @@ fn run_chain_morsel(
             } => {
                 let input = match owned.take() {
                     Some(b) => b,
-                    None => base.take(&lazy_sel.take().expect("lazy")),
+                    None => base.take(&lazy_sel.take().expect("lazy").into_vec()),
                 };
                 let mut cols = Vec::with_capacity(exprs.len());
                 for e in exprs {
@@ -258,7 +265,7 @@ fn run_chain_morsel(
     }
     let batch = match owned {
         Some(b) => b,
-        None => base.take(&lazy_sel.expect("lazy")),
+        None => base.take(&lazy_sel.expect("lazy").into_vec()),
     };
     Ok(MorselOut {
         batch,
@@ -418,12 +425,13 @@ fn try_pipeline(
     let morsel_rows = ex.parallel.morsel_rows;
     let rows = prep.rows;
     let stages = &prep.stages;
+    let engine = ex.engine();
     let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
     let (results, _workers) = parallel_map_traced(prep.morsels, ex.parallel.threads, tracer, |m| {
         let range = m * morsel_rows..((m + 1) * morsel_rows).min(rows);
         let rows_in = range.len();
         let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
-        let out = run_chain_morsel(&base, stages, range)?;
+        let out = run_chain_morsel(&base, stages, range, engine)?;
         if let Some(g) = span.as_mut() {
             g.attr("rows_out", out.batch.row_count());
         }
@@ -657,12 +665,13 @@ fn try_aggregate_fused(
     let out_schema = &prep.out_schema;
     let g_bound = &g_bound;
     let a_bound = &a_bound;
+    let engine = ex.engine();
     let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
     let (results, _workers) = parallel_map_traced(prep.morsels, ex.parallel.threads, tracer, |m| {
         let range = m * morsel_rows..((m + 1) * morsel_rows).min(rows);
         let rows_in = range.len();
         let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
-        let chain_out = run_chain_morsel(&base, stages, range)?;
+        let chain_out = run_chain_morsel(&base, stages, range, engine)?;
         let t_agg = Instant::now();
         let mb = &chain_out.batch;
         let group_cols = g_bound
@@ -767,7 +776,14 @@ fn try_aggregate_materialized(
     let morsel_rows = ex.parallel.morsel_rows;
     let morsels = n.div_ceil(morsel_rows);
     let batch = if morsels < 2 {
-        vectorized_aggregate(ex.catalog, plan, &input_batch, group_by, aggregates)?
+        vectorized_aggregate(
+            ex.catalog,
+            plan,
+            &input_batch,
+            group_by,
+            aggregates,
+            ex.engine(),
+        )?
     } else {
         let schema = input_batch.schema();
         let group_cols: Vec<Arc<Column>> = group_by
@@ -889,7 +905,7 @@ fn try_join(
         crate::exec::BuildSide::Left => (&lkey_col, &rkey_col),
         crate::exec::BuildSide::Right => (&rkey_col, &lkey_col),
     };
-    let build = JoinBuild::new(build_col, probe_col);
+    let build = JoinBuild::new(build_col, probe_col, ex.engine());
 
     let np = probe_col.len();
     let morsel_rows = ex.parallel.morsel_rows;

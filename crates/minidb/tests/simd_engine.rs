@@ -1,0 +1,226 @@
+//! Bit-identity suite for the SIMD engine tier.
+//!
+//! The contract under test: for any data — including values that defeat
+//! the integer-sum exactness guard — any supported query shape, any
+//! thread count, and any morsel size, `ExecMode::Simd` returns results
+//! **bit-identical** to serial `ExecMode::Optimized`, which matches
+//! `ExecMode::Debug`. Floats are compared by bit pattern (`to_bits`), so
+//! `-0.0` vs `0.0` or differently rounded folds cannot hide behind `==`.
+//!
+//! Query shapes are chosen to drive every kernel: each comparison op of
+//! compare-select (including flipped-literal and int-vs-float-literal
+//! forms), the branchless compaction behind multi-conjunct filters, the
+//! generic fallback, the open-addressed join index, the dense group-id
+//! path (single Int key), and the guarded lane folds (both the exact case
+//! and the overflow case that must fall back to serial replay).
+
+use minidb::{Catalog, DataType, ExecMode, Session, TableBuilder, Value};
+use proptest::prelude::*;
+
+/// Deterministic little generator (the proptest shim hands us seeds).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+    fn float(&mut self) -> f64 {
+        (self.next() % 2_000_000) as f64 / 97.0 - 10_000.0
+    }
+}
+
+const STRINGS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Fact table `t (k, v, s, big)` and dimension `u (j, w)`. The `big`
+/// column mixes magnitudes around 2^53 so SUM(big)'s exactness guard
+/// trips on some inputs and holds on others — both sides of the
+/// lane-fold/serial-replay dispatch get exercised.
+fn build_catalog(n: usize, m: usize, seed: u64) -> Catalog {
+    let mut rng = Lcg(seed | 1);
+    let mut catalog = Catalog::new();
+    let mut t = TableBuilder::new("t")
+        .column("k", DataType::Int)
+        .column("v", DataType::Float)
+        .column("s", DataType::Str)
+        .column("big", DataType::Int)
+        .build();
+    for _ in 0..n {
+        let big = if rng.below(4) == 0 {
+            // Near-2^53 magnitudes: a handful of these forces the serial
+            // fallback of the guarded integer sum.
+            ((rng.next() as i64) & ((1i64 << 55) - 1)) - (1i64 << 54)
+        } else {
+            rng.below(10_000) as i64 - 5_000
+        };
+        t.push_row(vec![
+            Value::Int(rng.below(50) as i64),
+            Value::Float(rng.float()),
+            Value::Str(STRINGS[rng.below(STRINGS.len() as u64) as usize].to_owned()),
+            Value::Int(big),
+        ])
+        .unwrap();
+    }
+    catalog.register(t).unwrap();
+    let mut u = TableBuilder::new("u")
+        .column("j", DataType::Int)
+        .column("w", DataType::Float)
+        .build();
+    for _ in 0..m {
+        u.push_row(vec![
+            Value::Int(rng.below(50) as i64),
+            Value::Float(rng.float()),
+        ])
+        .unwrap();
+    }
+    catalog.register(u).unwrap();
+    catalog
+}
+
+fn query_shapes() -> Vec<String> {
+    vec![
+        // Every comparison op through the typed compare-select kernels.
+        "SELECT k FROM t WHERE k < 25".to_owned(),
+        "SELECT k FROM t WHERE k <= 24".to_owned(),
+        "SELECT k FROM t WHERE k > 25".to_owned(),
+        "SELECT k FROM t WHERE k >= 26".to_owned(),
+        "SELECT k FROM t WHERE k = 7".to_owned(),
+        "SELECT k FROM t WHERE k <> 7".to_owned(),
+        // Flipped literal order and int-column-vs-float-literal.
+        "SELECT k FROM t WHERE 25 > k".to_owned(),
+        "SELECT k FROM t WHERE k < 24.5".to_owned(),
+        // Float compares and dictionary string compares.
+        "SELECT v FROM t WHERE v >= 0.0".to_owned(),
+        "SELECT k FROM t WHERE s = 'beta'".to_owned(),
+        "SELECT k FROM t WHERE s <> 'gamma'".to_owned(),
+        "SELECT k FROM t WHERE s = 'absent'".to_owned(),
+        // Multi-conjunct: dense first pass, sparse gather after.
+        "SELECT k, v FROM t WHERE k > 5 AND v > -5000.0 AND k < 45".to_owned(),
+        // Generic fallback (disjunction).
+        "SELECT k FROM t WHERE k = 1 OR k = 30".to_owned(),
+        // Guarded integer folds: small (lane-exact) and big (guard trips).
+        "SELECT SUM(k), MIN(k), MAX(k), COUNT(*) FROM t".to_owned(),
+        "SELECT SUM(big), MIN(big), MAX(big) FROM t".to_owned(),
+        "SELECT AVG(k), AVG(big) FROM t".to_owned(),
+        // Float folds (always serial, by contract).
+        "SELECT SUM(v), AVG(v), MIN(v), MAX(v) FROM t".to_owned(),
+        // Dense group-id path: single Int key, with order-sensitive float
+        // accumulation per group.
+        "SELECT k, SUM(v) AS sv, COUNT(*) AS n FROM t GROUP BY k ORDER BY k".to_owned(),
+        "SELECT k, SUM(big) AS sb FROM t GROUP BY k ORDER BY sb DESC LIMIT 9".to_owned(),
+        // Multi-key and string-key grouping stay on the scalar directory.
+        "SELECT s, k, SUM(v) FROM t GROUP BY s, k ORDER BY s, k".to_owned(),
+        "SELECT s, AVG(v) FROM t GROUP BY s ORDER BY s".to_owned(),
+        // The open-addressed int join index, alone and under aggregation.
+        "SELECT k, w FROM t JOIN u ON k = j".to_owned(),
+        "SELECT s, SUM(w) AS tw FROM t JOIN u ON k = j GROUP BY s ORDER BY s".to_owned(),
+        "SELECT COUNT(*) FROM t JOIN u ON k = j WHERE v > 0.0".to_owned(),
+    ]
+}
+
+fn rows_bit_equal(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                    (x, y) => x == y,
+                })
+        })
+}
+
+fn run(
+    catalog: &Catalog,
+    mode: ExecMode,
+    threads: usize,
+    morsel: usize,
+    sql: &str,
+) -> Vec<Vec<Value>> {
+    let mut session = Session::new(catalog.clone())
+        .with_mode(mode)
+        .with_parallelism(threads)
+        .with_morsel_rows(morsel);
+    session.query(sql).run().unwrap().rows
+}
+
+proptest! {
+    #[test]
+    fn simd_is_bit_identical_to_opt_and_dbg(
+        n in 0usize..220,
+        m in 0usize..120,
+        seed in any::<u64>(),
+    ) {
+        let catalog = build_catalog(n, m, seed);
+        for sql in query_shapes() {
+            let debug = run(&catalog, ExecMode::Debug, 1, 64, &sql);
+            let opt = run(&catalog, ExecMode::Optimized, 1, 64, &sql);
+            prop_assert!(
+                rows_bit_equal(&debug, &opt),
+                "DBG vs OPT diverged on {sql} (n={n}, m={m}, seed={seed})"
+            );
+            for threads in [1usize, 2, 8] {
+                for morsel in [1usize, 3, 64] {
+                    let simd = run(&catalog, ExecMode::Simd, threads, morsel, &sql);
+                    prop_assert!(
+                        rows_bit_equal(&opt, &simd),
+                        "SIMD ({threads} threads, morsel {morsel}) diverged on {sql} \
+                         (n={n}, m={m}, seed={seed})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lane-boundary row counts, pinned explicitly: empty, one short of a
+/// lane, exact lanes, one over, and ragged many-lane tails.
+#[test]
+fn simd_edge_geometries() {
+    for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 129] {
+        let catalog = build_catalog(n, 7, 0xfeed);
+        for sql in query_shapes() {
+            let opt = run(&catalog, ExecMode::Optimized, 1, 64, &sql);
+            for (threads, morsel) in [(1, 64), (2, 64), (4, 1), (3, 63), (8, 130)] {
+                let simd = run(&catalog, ExecMode::Simd, threads, morsel, &sql);
+                assert!(
+                    rows_bit_equal(&opt, &simd),
+                    "n={n} threads={threads} morsel={morsel} sql={sql}"
+                );
+            }
+        }
+    }
+}
+
+/// The SIMD tier must not change what the engine *reports* doing: same
+/// operator tree, same depths, same row counts as serial OPT.
+#[test]
+fn simd_profile_matches_opt() {
+    let catalog = build_catalog(5_000, 100, 0xabcdef);
+    for sql in [
+        "SELECT k, v FROM t WHERE k < 25",
+        "SELECT k, SUM(v) AS sv FROM t GROUP BY k ORDER BY k",
+        "SELECT k, w FROM t JOIN u ON k = j",
+    ] {
+        let shape = |mode: ExecMode| -> Vec<(String, usize, usize)> {
+            let mut s = Session::new(catalog.clone()).with_mode(mode);
+            s.query(sql)
+                .run()
+                .unwrap()
+                .profile
+                .iter()
+                .map(|e| (e.op.clone(), e.depth, e.rows_out))
+                .collect()
+        };
+        assert_eq!(
+            shape(ExecMode::Optimized),
+            shape(ExecMode::Simd),
+            "profile diverged on {sql}"
+        );
+    }
+}

@@ -488,12 +488,10 @@ pub fn pin_current_thread(core: usize) -> bool {
 /// timing, thread scheduling, or arrival interleaving.
 pub fn shard_for(seed: u64, conn: u64, shards: usize) -> usize {
     debug_assert!(shards > 0);
-    // SplitMix64 finalizer over seed ⊕ conn: avalanches low-entropy
-    // ordinals so shard load stays balanced for any seed.
-    let mut z = seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
+    // The workspace's shared SplitMix64 finalizer over seed ⊕ conn:
+    // avalanches low-entropy ordinals so shard load stays balanced for any
+    // seed. Same mixer as minidb's join/group hashing (stats::mix64).
+    let z = perfeval_stats::mix64(seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     (z % shards as u64) as usize
 }
 

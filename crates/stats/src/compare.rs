@@ -203,6 +203,116 @@ pub fn compare_paired(a: &[f64], b: &[f64], level: f64) -> Result<TwoSampleCompa
     })
 }
 
+/// Kalibera–Jones effect-size comparison of a head sample against a
+/// baseline sample on a lower-is-better metric.
+#[derive(Debug, Clone)]
+pub struct EffectSize {
+    /// Mean of the head (new) sample.
+    pub head_mean: f64,
+    /// Mean of the baseline (old) sample.
+    pub baseline_mean: f64,
+    /// Confidence interval on the **relative change** `head/baseline − 1`.
+    /// Positive = head is slower (a regression on a lower-is-better
+    /// metric); negative = head is faster. A regression is *significant*
+    /// when the whole interval lies above zero.
+    pub effect: ConfidenceInterval,
+}
+
+impl EffectSize {
+    /// True when the CI on the relative change excludes zero on the slow
+    /// side — the head is statistically significantly slower.
+    pub fn is_regression(&self) -> bool {
+        self.effect.lower > 0.0
+    }
+
+    /// True when the CI on the relative change excludes zero on the fast
+    /// side — the head is statistically significantly faster.
+    pub fn is_improvement(&self) -> bool {
+        self.effect.upper < 0.0
+    }
+
+    /// Speedup of head over baseline: `baseline_mean / head_mean` (>1 means
+    /// the head is faster) — Touati's ratio-of-means speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.head_mean != 0.0 {
+            self.baseline_mean / self.head_mean
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Kalibera & Jones' effect-size confidence interval ("Quantifying
+/// Performance Changes with Effect Size Confidence Intervals"): a CI on the
+/// *ratio of means* head/baseline, rather than a p-value on the difference.
+///
+/// The variance of the ratio `r = m_h / m_b` is propagated by the delta
+/// method:
+///
+/// ```text
+/// se(r)² ≈ v_h / (n_h · m_b²)  +  m_h² · v_b / (n_b · m_b⁴)
+/// ```
+///
+/// and the interval is formed with a Student-t quantile at the smaller
+/// sample's degrees of freedom (conservative). The returned
+/// [`EffectSize::effect`] interval is on `r − 1`, the relative change, so
+/// "CI excludes zero" reads directly as "the change is statistically
+/// significant".
+///
+/// ```
+/// use perfeval_stats::compare::effect_size_ci;
+/// let baseline = [100.0, 101.0, 99.0, 100.5, 99.5];
+/// let head = [130.0, 131.0, 129.0, 130.5, 129.5]; // 30% slower
+/// let e = effect_size_ci(&head, &baseline, 0.95).unwrap();
+/// assert!(e.is_regression());
+/// assert!((e.effect.estimate - 0.30).abs() < 0.01);
+/// ```
+pub fn effect_size_ci(
+    head: &[f64],
+    baseline: &[f64],
+    level: f64,
+) -> Result<EffectSize, StatsError> {
+    check_finite(head)?;
+    check_finite(baseline)?;
+    if head.len() < 2 || baseline.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: head.len().min(baseline.len()),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level must be in (0,1)"));
+    }
+    let sh = Summary::from_slice(head);
+    let sb = Summary::from_slice(baseline);
+    let (mh, mb) = (sh.mean(), sb.mean());
+    if mb == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "baseline mean must be nonzero for a ratio of means",
+        ));
+    }
+    let ratio = mh / mb;
+    let se2 = sh.variance() / (sh.count() as f64 * mb * mb)
+        + mh * mh * sb.variance() / (sb.count() as f64 * mb.powi(4));
+    let df = (sh.count().min(sb.count()) - 1) as f64;
+    let half_width = if se2 > 0.0 {
+        student_t_two_sided(level, df) * se2.sqrt()
+    } else {
+        0.0
+    };
+    let change = ratio - 1.0;
+    Ok(EffectSize {
+        head_mean: mh,
+        baseline_mean: mb,
+        effect: ConfidenceInterval {
+            estimate: change,
+            lower: change - half_width,
+            upper: change + half_width,
+            level,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +401,67 @@ mod tests {
             ComparisonVerdict::Indistinguishable.to_string(),
             "statistically indistinguishable"
         );
+    }
+
+    #[test]
+    fn effect_size_detects_regression() {
+        let baseline = [100.0, 101.0, 99.0, 100.5, 99.5];
+        let head: Vec<f64> = baseline.iter().map(|x| x * 1.3).collect();
+        let e = effect_size_ci(&head, &baseline, 0.95).unwrap();
+        assert!(e.is_regression());
+        assert!(!e.is_improvement());
+        assert!((e.effect.estimate - 0.30).abs() < 1e-9);
+        assert!((e.speedup() - 1.0 / 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effect_size_detects_improvement() {
+        let baseline = [100.0, 101.0, 99.0, 100.5, 99.5];
+        let head: Vec<f64> = baseline.iter().map(|x| x * 0.7).collect();
+        let e = effect_size_ci(&head, &baseline, 0.95).unwrap();
+        assert!(e.is_improvement());
+        assert!(!e.is_regression());
+        assert!(e.speedup() > 1.4);
+    }
+
+    #[test]
+    fn effect_size_indifferent_when_noise_swamps_change() {
+        // 2% shift inside 20% noise: CI must straddle zero.
+        let baseline = [100.0, 120.0, 80.0, 110.0, 90.0];
+        let head = [102.0, 122.4, 81.6, 112.2, 91.8];
+        let e = effect_size_ci(&head, &baseline, 0.95).unwrap();
+        assert!(!e.is_regression());
+        assert!(!e.is_improvement());
+        assert!(e.effect.contains(0.0));
+    }
+
+    #[test]
+    fn effect_size_is_scale_invariant() {
+        // The ratio of means must not care about units (ms vs s): the
+        // whole point of effect sizes over raw differences.
+        let baseline = [10.0, 11.0, 9.0, 10.5, 9.5];
+        let head = [13.0, 14.3, 11.7, 13.65, 12.35];
+        let e1 = effect_size_ci(&head, &baseline, 0.95).unwrap();
+        let baseline_s: Vec<f64> = baseline.iter().map(|x| x / 1000.0).collect();
+        let head_s: Vec<f64> = head.iter().map(|x| x / 1000.0).collect();
+        let e2 = effect_size_ci(&head_s, &baseline_s, 0.95).unwrap();
+        assert!((e1.effect.estimate - e2.effect.estimate).abs() < 1e-12);
+        assert!((e1.effect.lower - e2.effect.lower).abs() < 1e-9);
+        assert!((e1.effect.upper - e2.effect.upper).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effect_size_zero_variance_is_exact() {
+        let e = effect_size_ci(&[6.0, 6.0], &[5.0, 5.0], 0.95).unwrap();
+        assert_eq!(e.effect.half_width(), 0.0);
+        assert!((e.effect.estimate - 0.2).abs() < 1e-12);
+        assert!(e.is_regression());
+    }
+
+    #[test]
+    fn effect_size_rejects_bad_input() {
+        assert!(effect_size_ci(&[1.0], &[1.0, 2.0], 0.95).is_err());
+        assert!(effect_size_ci(&[1.0, 2.0], &[0.0, 0.0], 0.95).is_err());
+        assert!(effect_size_ci(&[1.0, f64::NAN], &[1.0, 2.0], 0.95).is_err());
     }
 }

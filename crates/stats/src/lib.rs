@@ -51,12 +51,14 @@ pub mod rng;
 pub mod special;
 
 pub use ci::{mean_confidence_interval, ConfidenceInterval};
-pub use compare::{compare_means, ComparisonVerdict, TwoSampleComparison};
+pub use compare::{
+    compare_means, effect_size_ci, ComparisonVerdict, EffectSize, TwoSampleComparison,
+};
 pub use descriptive::Summary;
 pub use histogram::Histogram;
 pub use loghist::LogHistogram;
 pub use regression::LinearFit;
-pub use rng::SplitMix64;
+pub use rng::{mix64, SplitMix64};
 
 /// Errors produced by statistical routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
