@@ -23,13 +23,25 @@
 //! `server_mode` (`sharded` | `threaded` — which core the self-hosted
 //! server runs; ignored when `addr` targets a remote).
 //!
-//! `--smoke` self-hosts, runs one small closed-loop and one open-loop
-//! arm, asserts both complete with correct answers, and exits 0.
+//! Overload etiquette knobs: `-Dretry=N` allows N seeded-backoff retries
+//! per request after a server rejection or a dead connection (default 1:
+//! the classic reconnect-and-retry-once containment); `-Ddeadline_ms=N`
+//! stamps every `Query` header with a deadline the server enforces by
+//! cooperative cancellation — and in an open loop the runner also sheds
+//! requests whose deadline expired before they could be sent (`0` =
+//! none). Retries, typed rejections, and give-ups are first-class report
+//! lines, never silently folded into latency.
+//!
+//! `--smoke` self-hosts and runs three arms: one closed-loop and one
+//! open-loop arm with verified answers (the open arm under `-Dretry` /
+//! `-Ddeadline_ms` etiquette), then drains the server and proves a
+//! rejected-everywhere arm retries, trips the breaker, and gives up
+//! cleanly — no hangs, no errors, no dropped sessions. Exits 0.
 
 use std::sync::Arc;
 
 use minidb::Session;
-use minidb_net::{Server, ServerMode, TcpEndpoint, TcpTransport, Transport};
+use minidb_net::{BackoffPolicy, Server, ServerMode, TcpEndpoint, TcpTransport, Transport};
 use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
 use perfeval_harness::Properties;
 use perfeval_load::{expected_checksums, Arrival, Dialer, LoadRunner, LoadSpec};
@@ -44,12 +56,13 @@ fn mix_named(name: &str) -> Vec<String> {
     }
 }
 
-fn run(spec: LoadSpec, addr: &str, sf: f64, verify: bool, reps: usize) {
+fn dial(addr: &str) -> Dialer {
     let target = addr.to_owned();
-    let dialer: Dialer = Arc::new(move || {
-        Ok(Box::new(TcpTransport::connect(target.as_str())?) as Box<dyn Transport>)
-    });
-    let mut runner = LoadRunner::new(spec.clone(), dialer);
+    Arc::new(move || Ok(Box::new(TcpTransport::connect(target.as_str())?) as Box<dyn Transport>))
+}
+
+fn run(spec: LoadSpec, addr: &str, sf: f64, verify: bool, reps: usize) {
+    let mut runner = LoadRunner::new(spec.clone(), dial(addr));
     if verify {
         runner = runner.expecting(expected_checksums(catalog_at(sf), &spec.mix));
     }
@@ -100,6 +113,8 @@ fn main() {
         ("sf", &BENCH_SCALE_FACTOR.to_string()),
         ("verify", "true"),
         ("server_mode", "sharded"),
+        ("retry", "1"),
+        ("deadline_ms", "0"),
     ]);
     props
         .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
@@ -126,6 +141,21 @@ fn main() {
         .expect("-Dsf")
         .unwrap_or(BENCH_SCALE_FACTOR);
     let verify = props.get_bool("verify").expect("-Dverify").unwrap_or(true);
+    let retries = props.get_u64("retry").expect("-Dretry").unwrap_or(1) as u32;
+    let deadline_ms = props
+        .get_u64("deadline_ms")
+        .expect("-Ddeadline_ms")
+        .unwrap_or(0) as u32;
+    // Backoff only matters once retries can collide with a struggling
+    // server; keep the default retry immediate (reconnect-and-retry-once)
+    // and give multi-retry policies a short seeded jittered ramp.
+    let retry_policy = if retries > 1 {
+        BackoffPolicy::retries(retries)
+            .with_base_ms(0.5)
+            .with_cap_ms(8.0)
+    } else {
+        BackoffPolicy::retries(retries).with_base_ms(0.0)
+    };
     let mix = mix_named(props.get("mix").unwrap_or("light"));
     let arrival = match props.get("arrival").unwrap_or("closed") {
         "closed" => Arrival::Closed { think_ms },
@@ -165,6 +195,9 @@ fn main() {
 
     if smoke {
         // Two tiny arms — one per arrival family — with full verification.
+        // The open arm runs under the etiquette knobs: a generous deadline
+        // in every Query header plus the retry policy, proving the happy
+        // path is untouched by either.
         let closed = LoadSpec::new("smoke/closed/8", 8, 120, Arrival::Closed { think_ms: 0.5 })
             .mix(mix_named("light"));
         run(closed, &target, sf, true, 2);
@@ -174,21 +207,51 @@ fn main() {
             120,
             Arrival::OpenPoisson { rate_qps: 800.0 },
         )
-        .mix(mix_named("light"));
+        .mix(mix_named("light"))
+        .retry(retry_policy)
+        .deadline_ms(deadline_ms.max(250));
         run(open, &target, sf, true, 2);
-        if let Some((server, _)) = hosted {
-            let stats = server.wait();
-            println!(
-                "\nserver saw {} connection(s), {} query(ies).",
-                stats.connections, stats.queries
-            );
-        }
-        println!("--smoke: both arrival disciplines completed with verified answers.");
+
+        // Overload etiquette end to end: drain the hosted server so every
+        // query is shed `ShuttingDown`, and prove the client side retries,
+        // trips its breaker, and gives up — no hangs, no protocol errors,
+        // no dropped sessions, nothing folded into latency.
+        let (server, _) = hosted.expect("--smoke always self-hosts");
+        server.drain();
+        let drained = LoadSpec::new("smoke/drain/4", 4, 40, Arrival::Closed { think_ms: 0.2 })
+            .mix(mix_named("light"))
+            .retry(BackoffPolicy::retries(1).with_base_ms(0.5).with_cap_ms(2.0))
+            .breaker(2, 5.0);
+        let report = LoadRunner::new(drained, dial(&target)).run_replicated(1);
+        assert_eq!(report.requests, 0, "a draining server completes nothing");
+        assert_eq!(report.errors, 0, "typed rejection is not an error");
+        assert_eq!(report.dropped_sessions, 0, "rejection keeps sessions alive");
+        assert_eq!(report.give_ups, 40, "every request ends in a give-up");
+        assert!(report.rejects > 0 && report.retries > 0);
+        println!(
+            "\ndrain etiquette: {} reject(s), {} retry(ies), {} give-up(s), \
+             breaker opened {} time(s).",
+            report.rejects, report.retries, report.give_ups, report.breaker_opens
+        );
+        let stats = server.wait();
+        println!(
+            "server saw {} connection(s), {} query(ies), {} rejection(s).",
+            stats.connections,
+            stats.queries,
+            stats.rejected()
+        );
+        println!(
+            "--smoke: both arrival disciplines verified; drain shed cleanly with \
+             retries, breaker, and give-ups accounted."
+        );
         return;
     }
 
     let name = format!("{}/{clients}", props.get("arrival").unwrap_or("closed"));
-    let spec = LoadSpec::new(&name, clients, requests, arrival).mix(mix);
+    let spec = LoadSpec::new(&name, clients, requests, arrival)
+        .mix(mix)
+        .retry(retry_policy)
+        .deadline_ms(deadline_ms);
     run(spec, &target, sf, verify, reps);
     if let Some((server, _)) = hosted {
         let stats = server.wait();

@@ -7,6 +7,7 @@
 //! minidb-serve -Daddr=127.0.0.1:7878 -Dmode=sharded -Dshards=4 -Dsf=0.01
 //! minidb-serve --shards 8            # shorthand for -Dmode=sharded -Dshards=8
 //! minidb-serve -Dmode=threaded -Dworkers=4
+//! minidb-serve --max-inflight 8 --deadline-ms 50   # overload protection
 //! ```
 //!
 //! Two server cores are available (`-Dmode=`): `sharded` (default) runs the
@@ -16,36 +17,60 @@
 //! loop (`-Dworkers=N` acceptors). Both serve bit-identical results; E23
 //! (`exp_e23_sharded_server`) measures the difference under load.
 //!
+//! Overload protection (both cores): `--max-inflight N` (alias
+//! `-Dmax_inflight=N`) bounds concurrently executing queries — excess is
+//! shed fast with a typed `Rejected { Overloaded }`; `--deadline-ms N`
+//! (alias `-Ddeadline_ms=N`) applies a default per-query deadline,
+//! enforced by cooperative cancellation, to queries whose header carries
+//! none; `-Dmax_conns=N` bounds concurrent sessions at the handshake.
+//! `0` disables each knob. E25 (`exp_e25_overload`) measures the policy
+//! under saturation.
+//!
 //! Each connection gets a private session over the shared catalog. The
 //! server runs until killed; `--smoke` instead connects its own client,
-//! runs one query end to end in **both** modes, prints the measured
-//! client/server time decomposition, and exits 0 — the self-test CI runs.
+//! runs one query end to end in **both** modes, then proves the admission
+//! knobs: a held in-flight slot sheds a concurrent query `Overloaded`,
+//! and an expired default deadline comes back `DeadlineExceeded` without
+//! poisoning the connection. Exits 0 — the self-test CI runs.
+
+use std::sync::Arc;
 
 use minidb::Session;
-use minidb_net::{Client, Server, ServerMode, TcpEndpoint, TcpTransport, DEFAULT_QUEUE_DEPTH};
+use minidb_net::{
+    Admission, Client, NetError, RejectCode, Server, ServerMode, TcpEndpoint, TcpTransport,
+    DEFAULT_QUEUE_DEPTH,
+};
 use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
+use perfeval_fault::{FaultAction, FaultRegistry, Trigger};
 use perfeval_harness::Properties;
 use workload::queries;
 
 fn main() {
     banner(
         "minidb-serve: the wire-protocol server",
-        "the E21/E23 substrate",
+        "the E21/E23/E25 substrate",
     );
     print_environment();
 
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    // `--shards N` is the quickstart spelling of -Dmode=sharded -Dshards=N.
-    if let Some(i) = args.iter().position(|a| a == "--shards") {
-        let n = args
-            .get(i + 1)
-            .and_then(|v| v.parse::<usize>().ok())
-            .expect("--shards needs a number");
-        args.splice(
-            i..=i + 1,
-            ["-Dmode=sharded".into(), format!("-Dshards={n}")],
-        );
+    // Quickstart spellings of the -D knobs.
+    for (flag, key) in [
+        ("--shards", "shards"),
+        ("--max-inflight", "max_inflight"),
+        ("--deadline-ms", "deadline_ms"),
+    ] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a number"));
+            let mut replacement = vec![format!("-D{key}={n}")];
+            if flag == "--shards" {
+                replacement.insert(0, "-Dmode=sharded".into());
+            }
+            args.splice(i..=i + 1, replacement);
+        }
     }
     let mut props = Properties::with_defaults(&[
         ("addr", "127.0.0.1:7878"),
@@ -54,10 +79,16 @@ fn main() {
         ("shards", "0"),
         ("queue", &DEFAULT_QUEUE_DEPTH.to_string()),
         ("sf", &BENCH_SCALE_FACTOR.to_string()),
+        ("max_inflight", "0"),
+        ("max_conns", "0"),
+        ("deadline_ms", "0"),
     ]);
     props
         .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
-        .expect("arguments must be --smoke, --shards N, or -Dkey=value");
+        .expect(
+            "arguments must be --smoke, --shards N, --max-inflight N, --deadline-ms N, \
+             or -Dkey=value",
+        );
     let addr = props.get("addr").expect("-Daddr").to_owned();
     let workers = props
         .get_u64("workers")
@@ -77,6 +108,22 @@ fn main() {
         .get_f64("sf")
         .expect("-Dsf must be a number")
         .unwrap_or(BENCH_SCALE_FACTOR);
+    let max_inflight = props
+        .get_u64("max_inflight")
+        .expect("-Dmax_inflight must be a number")
+        .unwrap_or(0) as usize;
+    let max_conns = props
+        .get_u64("max_conns")
+        .expect("-Dmax_conns must be a number")
+        .unwrap_or(0) as usize;
+    let deadline_ms = props
+        .get_u64("deadline_ms")
+        .expect("-Ddeadline_ms must be a number")
+        .unwrap_or(0) as u32;
+    let admission = Admission::default()
+        .max_inflight(max_inflight)
+        .max_conns(max_conns)
+        .default_deadline_ms(deadline_ms);
     let mode = match props.get("mode").expect("-Dmode") {
         "threaded" => ServerMode::ThreadPerConn { workers },
         "sharded" => match shards {
@@ -104,6 +151,7 @@ fn main() {
         let server = Server::builder()
             .transport(endpoint)
             .mode(mode)
+            .admission(admission)
             .serve(move || Session::new(catalog.clone()));
         (server, local)
     };
@@ -126,14 +174,102 @@ fn main() {
             assert_eq!(stats.queries, 1);
             assert_eq!(stats.disconnects, 0);
         }
-        println!("\n--smoke: served one client cleanly in each mode; exiting.");
+
+        // --max-inflight: a held slot sheds a concurrent query, typed.
+        // The first statement of each session stalls 120 ms at the
+        // `minidb.execute` failpoint, so the budget is provably occupied
+        // when the second client asks.
+        let stall = Arc::new(FaultRegistry::new(25).armed_always(
+            "minidb.execute",
+            Trigger::Key(0),
+            FaultAction::DelayMs(120.0),
+        ));
+        let catalog2 = catalog.clone();
+        let endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind listener");
+        let local = endpoint.local_addr().expect("local addr");
+        let server = Server::builder()
+            .transport(endpoint)
+            .mode(ServerMode::ThreadPerConn { workers: 2 })
+            .admission(Admission::default().max_inflight(1))
+            .serve(move || Session::new(catalog2.clone()).with_faults(Arc::clone(&stall)));
+        let mut slow =
+            Client::connect(Box::new(TcpTransport::connect(local).expect("dial"))).expect("hello");
+        let mut fast =
+            Client::connect(Box::new(TcpTransport::connect(local).expect("dial"))).expect("hello");
+        let q = queries::q6();
+        let holder = std::thread::spawn(move || {
+            slow.query(&q).expect("stalled query still completes");
+            slow.close().expect("close");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        match fast.query(&queries::q6()) {
+            Err(NetError::Rejected {
+                code: RejectCode::Overloaded,
+                ..
+            }) => println!("\nself-test: --max-inflight 1 shed a concurrent query (Overloaded)."),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        holder.join().expect("holder thread");
+        fast.query(&queries::q6())
+            .expect("shed client retries once the slot frees");
+        fast.close().expect("close");
+        let stats = server.wait();
+        assert!(stats.rejected_overload >= 1);
+
+        // --deadline-ms: the server-side default deadline cancels a
+        // stalled statement cooperatively and answers typed; the same
+        // connection then serves the follow-up normally.
+        let stall = Arc::new(FaultRegistry::new(26).armed_always(
+            "minidb.execute",
+            Trigger::Key(0),
+            FaultAction::DelayMs(60.0),
+        ));
+        let catalog3 = catalog.clone();
+        let endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind listener");
+        let local = endpoint.local_addr().expect("local addr");
+        let server = Server::builder()
+            .transport(endpoint)
+            .mode(mode)
+            .admission(
+                Admission::default().default_deadline_ms(if deadline_ms > 0 {
+                    deadline_ms
+                } else {
+                    10
+                }),
+            )
+            .serve(move || Session::new(catalog3.clone()).with_faults(Arc::clone(&stall)));
+        let mut client =
+            Client::connect(Box::new(TcpTransport::connect(local).expect("dial"))).expect("hello");
+        match client.query(&queries::q6()) {
+            Err(NetError::Rejected {
+                code: RejectCode::DeadlineExceeded,
+                ..
+            }) => {
+                println!("self-test: --deadline-ms cancelled a stalled query (DeadlineExceeded).")
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        client
+            .query(&queries::q6())
+            .expect("the cancelled query did not poison the connection");
+        client.close().expect("close");
+        let stats = server.wait();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.cancelled_queries, 1);
+        assert_eq!(stats.disconnects, 0);
+
+        println!(
+            "\n--smoke: served one client cleanly in each mode; admission and \
+             deadline knobs enforced; exiting."
+        );
         return;
     }
 
     let (_server, local) = serve(mode, addr.as_str());
     println!(
-        "listening on {local} ({}, sf={sf}); one session per connection.",
-        mode.describe()
+        "listening on {local} ({}, sf={sf}, {}); one session per connection.",
+        mode.describe(),
+        admission.describe()
     );
     // Foreground server: park this thread while the core runs.
     // (Kill the process to stop; connections in flight finish their loop.)

@@ -105,6 +105,16 @@ pub struct LoadSection {
     /// Client sessions abandoned (could not reconnect) — the arm's
     /// results cover fewer clients than designed.
     pub dropped_sessions: u64,
+    /// Retry attempts made beyond each request's first attempt.
+    pub retries: u64,
+    /// Typed server rejections received (overload shedding, deadlines,
+    /// drain mode).
+    pub rejects: u64,
+    /// Requests abandoned after the retry budget (or an open circuit
+    /// breaker) — accounted, never silently dropped.
+    pub give_ups: u64,
+    /// Times a client's circuit breaker tripped open.
+    pub breaker_opens: u64,
     /// High-water mark of concurrently outstanding requests.
     pub max_in_flight: u64,
     /// Tail-latency rows, coordinated-omission-safe (intended-time).
@@ -137,13 +147,18 @@ impl LoadSection {
         }
         out.push_str(&format!(
             "- {} client(s), {} request(s), {} error(s), {} reconnect(s), \
-             {} dropped session(s), max {} in flight\n\n",
+             {} dropped session(s), max {} in flight\n",
             self.clients,
             self.requests,
             self.errors,
             self.reconnects,
             self.dropped_sessions,
             self.max_in_flight
+        ));
+        out.push_str(&format!(
+            "- overload etiquette: {} retry(ies), {} reject(s), {} give-up(s), \
+             {} breaker open(s)\n\n",
+            self.retries, self.rejects, self.give_ups, self.breaker_opens
         ));
         if !self.tail.is_empty() {
             out.push_str("| quantile | mean ms | 95% CI | n |\n|---|---|---|---|\n");
@@ -619,6 +634,10 @@ mod tests {
             errors: 0,
             reconnects: 1,
             dropped_sessions: 0,
+            retries: 1,
+            rejects: 0,
+            give_ups: 0,
+            breaker_opens: 0,
             max_in_flight: 64,
             tail: vec![
                 LoadTailRow {

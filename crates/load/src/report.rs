@@ -107,6 +107,17 @@ pub struct LoadReport {
     pub reconnects: u64,
     /// Sessions abandoned after reconnection failed.
     pub dropped_sessions: u64,
+    /// Retry attempts made beyond each request's first attempt.
+    pub retries: u64,
+    /// Typed `Rejected` answers received from the server (overload
+    /// shedding, deadline enforcement, drain mode).
+    pub rejects: u64,
+    /// Requests abandoned after the retry budget was exhausted or the
+    /// circuit breaker refused them — accounted here, never silently
+    /// dropped.
+    pub give_ups: u64,
+    /// Times a client's circuit breaker tripped open.
+    pub breaker_opens: u64,
     /// Results whose checksum differed from serial execution.
     pub checksum_mismatches: u64,
     /// High-water mark of concurrently outstanding requests.
@@ -148,9 +159,15 @@ impl LoadReport {
         intended - naive
     }
 
-    /// True when every designed session completed and no request failed.
+    /// True when every designed session completed and no request failed
+    /// or was given up — the condition under which the tail table speaks
+    /// for the whole designed workload. Shedding arms are expected to be
+    /// incomplete; that is the point of measuring them.
     pub fn is_complete(&self) -> bool {
-        self.errors == 0 && self.dropped_sessions == 0 && self.checksum_mismatches == 0
+        self.errors == 0
+            && self.dropped_sessions == 0
+            && self.checksum_mismatches == 0
+            && self.give_ups == 0
     }
 
     /// Converts to the harness report section (plain data).
@@ -168,6 +185,10 @@ impl LoadReport {
             // way lost sessions do: the numbers no longer describe the
             // designed workload.
             dropped_sessions: self.dropped_sessions + self.checksum_mismatches,
+            retries: self.retries,
+            rejects: self.rejects,
+            give_ups: self.give_ups,
+            breaker_opens: self.breaker_opens,
             max_in_flight: self.max_in_flight,
             tail: TAIL_QUANTILES
                 .iter()
@@ -206,6 +227,11 @@ impl LoadReport {
                 self.dropped_sessions,
                 self.checksum_mismatches,
                 self.max_in_flight
+            ),
+            format!(
+                "overload etiquette: {} retry(ies), {} reject(s), {} give-up(s), \
+                 {} breaker open(s)",
+                self.retries, self.rejects, self.give_ups, self.breaker_opens
             ),
         ];
         for (i, (label, _)) in TAIL_QUANTILES.iter().enumerate() {
@@ -280,6 +306,10 @@ mod tests {
             errors: 0,
             reconnects: 0,
             dropped_sessions: 0,
+            retries: 0,
+            rejects: 0,
+            give_ups: 0,
+            breaker_opens: 0,
             checksum_mismatches: 0,
             max_in_flight: 16,
             phases: PhaseTotals {

@@ -16,9 +16,23 @@
 //! **Containment.** A flapping connection (injected `load.send` /
 //! `load.recv` faults, or a real transport death) is a *scenario*: the
 //! client reconnects through [`minidb_net::Client::reconnect`] and
-//! retries once; a session that cannot be revived is counted as dropped
-//! and the arm's report says so — the run never panics and the other
-//! sessions keep their schedule.
+//! retries under the spec's seeded [`minidb_net::BackoffPolicy`]; a
+//! session that cannot be revived is counted as dropped and the arm's
+//! report says so — the run never panics and the other sessions keep
+//! their schedule.
+//!
+//! **Overload etiquette.** A typed server rejection
+//! ([`NetError::Rejected`]) is not an error: the client honors the
+//! server's `retry_after_ms` hint (or its own backoff, whichever is
+//! longer), its per-connection circuit breaker counts the reject, and a
+//! request that exhausts the retry budget — or finds the breaker open —
+//! is a *give-up*, a first-class report field. Two deadline rules keep
+//! the etiquette honest under backlog: a `DeadlineExceeded` rejection is
+//! never retried (the deadline was the request's total budget), and in an
+//! open loop the deadline is anchored at the *intended* arrival, so a
+//! request that expired while queueing client-side is shed unsent.
+//! Nothing is silently dropped: `completed + errors + give_ups` accounts
+//! for every designed request of every surviving session.
 
 use std::collections::HashMap;
 use std::io;
@@ -26,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
-use minidb_net::{Client, Connector, NetError, Transport};
+use minidb_net::{CircuitBreaker, Client, Connector, NetError, RejectCode, Transport};
 use perfeval_fault::FaultRegistry;
 use perfeval_stats::{LogHistogram, SplitMix64};
 use perfeval_trace::Tracer;
@@ -63,6 +77,10 @@ struct SessionOutcome {
     completed: u64,
     errors: u64,
     reconnects: u64,
+    retries: u64,
+    rejects: u64,
+    give_ups: u64,
+    breaker_opens: u64,
     dropped: bool,
     checksum_mismatches: u64,
     phases: PhaseTotals,
@@ -72,6 +90,10 @@ struct SessionOutcome {
 struct RunTotals {
     errors: u64,
     reconnects: u64,
+    retries: u64,
+    rejects: u64,
+    give_ups: u64,
+    breaker_opens: u64,
     dropped_sessions: u64,
     checksum_mismatches: u64,
     phases: PhaseTotals,
@@ -151,6 +173,10 @@ impl LoadRunner {
             errors: 0,
             reconnects: 0,
             dropped_sessions: 0,
+            retries: 0,
+            rejects: 0,
+            give_ups: 0,
+            breaker_opens: 0,
             checksum_mismatches: 0,
             max_in_flight: 0,
             phases: PhaseTotals::default(),
@@ -160,6 +186,10 @@ impl LoadRunner {
             report.requests += stats.completed;
             report.errors += totals.errors;
             report.reconnects += totals.reconnects;
+            report.retries += totals.retries;
+            report.rejects += totals.rejects;
+            report.give_ups += totals.give_ups;
+            report.breaker_opens += totals.breaker_opens;
             report.dropped_sessions += totals.dropped_sessions;
             report.checksum_mismatches += totals.checksum_mismatches;
             report.max_in_flight = report.max_in_flight.max(totals.max_in_flight);
@@ -217,6 +247,10 @@ impl LoadRunner {
         let mut totals = RunTotals {
             errors: 0,
             reconnects: 0,
+            retries: 0,
+            rejects: 0,
+            give_ups: 0,
+            breaker_opens: 0,
             dropped_sessions: 0,
             checksum_mismatches: 0,
             phases: PhaseTotals::default(),
@@ -233,6 +267,10 @@ impl LoadRunner {
             completed += outcome.completed;
             totals.errors += outcome.errors;
             totals.reconnects += outcome.reconnects;
+            totals.retries += outcome.retries;
+            totals.rejects += outcome.rejects;
+            totals.give_ups += outcome.give_ups;
+            totals.breaker_opens += outcome.breaker_opens;
             totals.checksum_mismatches += outcome.checksum_mismatches;
             totals.dropped_sessions += u64::from(outcome.dropped);
             totals.phases.add(&outcome.phases);
@@ -286,10 +324,13 @@ impl SessionTask {
             self.id as u64,
         );
         let mut client = match client {
-            Ok(c) => match &self.tracer {
-                Some(t) => c.traced(t),
-                None => c,
-            },
+            Ok(c) => {
+                let c = c.with_deadline_ms(self.spec.deadline_ms);
+                match &self.tracer {
+                    Some(t) => c.traced(t),
+                    None => c,
+                }
+            }
             Err(_) => {
                 // Could not even join the run: park on both barriers so
                 // the rest of the fleet is not deadlocked, then report.
@@ -307,6 +348,10 @@ impl SessionTask {
         }
 
         let mut rng = SplitMix64::split(self.spec.seed ^ self.rep, self.id as u64);
+        let mut breaker =
+            CircuitBreaker::new(self.spec.breaker_after, self.spec.breaker_cooldown_ms);
+        // Decorrelates retry jitter across clients and replicates.
+        let retry_key = (self.rep << 32) ^ self.id as u64;
         self.ready.wait();
         self.go.wait();
         let start = *self.start.get().expect("coordinator stamped start");
@@ -350,6 +395,22 @@ impl SessionTask {
                 }
             };
 
+            // Coordinated-omission-honest deadlines: a query's deadline is
+            // anchored at its *intended* arrival, not at whenever a
+            // backlogged client got around to sending it. A request whose
+            // deadline already expired while it queued client-side is shed
+            // here — a give-up, accounted — instead of being sent late and
+            // recorded as a completion no deadline-bearing caller would
+            // have waited for.
+            if self.spec.deadline_ms > 0 && intended_offset.is_some() {
+                let late_ms =
+                    (start.elapsed().as_nanos() as u64).saturating_sub(intended_ns) as f64 / 1e6;
+                if late_ms >= f64::from(self.spec.deadline_ms) {
+                    outcome.give_ups += 1;
+                    continue;
+                }
+            }
+
             // Deterministic client-side fault coordinates: one evaluation
             // per request (retries after a reconnect are not re-faulted,
             // so an Always-triggered fault degrades, never livelocks).
@@ -357,44 +418,108 @@ impl SessionTask {
             let send_failed = self.faults.io_fails("load.send", self.id as u64);
 
             let sent_ns = start.elapsed().as_nanos() as u64;
-            let mut result = if send_failed {
-                Err(NetError::Io(io::Error::new(
-                    io::ErrorKind::ConnectionReset,
-                    "injected load.send failure",
-                )))
-            } else {
-                self.gauge.enter();
-                let r = client.query(sql);
-                self.gauge.exit();
-                r
+            // The retry loop: every outcome of every attempt is accounted.
+            // `None` means the request was given up (retry budget spent, or
+            // the breaker refused it) — a first-class shed request.
+            let mut attempts: u32 = 0;
+            let final_result = loop {
+                // Local shedding: an open breaker fails fast without
+                // bothering the struggling server.
+                if !breaker.allows(start.elapsed().as_secs_f64() * 1e3) {
+                    break None;
+                }
+                attempts += 1;
+                let mut result = if send_failed && attempts == 1 {
+                    Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected load.send failure",
+                    )))
+                } else {
+                    self.gauge.enter();
+                    let r = client.query(sql);
+                    self.gauge.exit();
+                    r
+                };
+
+                // The receive-side failpoint runs before the completion
+                // stamp: an injected delay IS a slow client, visible in
+                // the latency.
+                if attempts == 1 {
+                    self.faults.fire("load.recv", self.id as u64, ordinal);
+                    if result.is_ok() && self.faults.io_fails("load.recv", self.id as u64) {
+                        result = Err(NetError::Io(io::Error::new(
+                            io::ErrorKind::ConnectionReset,
+                            "injected load.recv failure",
+                        )));
+                    }
+                }
+
+                match result {
+                    Ok(r) => {
+                        breaker.on_success();
+                        break Some(Ok(r));
+                    }
+                    // A deadline rejection is final: the deadline was the
+                    // request's *total* time budget and it is spent — a
+                    // retry cannot give the caller an answer in time. Shed
+                    // it as a give-up, accounted.
+                    Err(NetError::Rejected {
+                        code: RejectCode::DeadlineExceeded,
+                        ..
+                    }) => {
+                        outcome.rejects += 1;
+                        breaker.on_reject(start.elapsed().as_secs_f64() * 1e3);
+                        break None;
+                    }
+                    // Any other typed rejection: the server shed this
+                    // request on purpose. Honor the longer of its hint and
+                    // our own seeded backoff, then retry — or give up,
+                    // accounted.
+                    Err(NetError::Rejected { retry_after_ms, .. }) => {
+                        outcome.rejects += 1;
+                        breaker.on_reject(start.elapsed().as_secs_f64() * 1e3);
+                        if !self.spec.retry.may_retry(attempts) {
+                            break None;
+                        }
+                        let delay_ms = self
+                            .spec
+                            .retry
+                            .delay_ms(retry_key, attempts + 1)
+                            .max(f64::from(retry_after_ms));
+                        if delay_ms > 0.0 {
+                            std::thread::sleep(Duration::from_nanos((delay_ms * 1e6) as u64));
+                        }
+                        outcome.retries += 1;
+                    }
+                    // A database error is an answer, not an outage: no
+                    // retry, the request is done.
+                    Err(NetError::Db(e)) => break Some(Err(NetError::Db(e))),
+                    // Dead connection: revive it, then retry under the
+                    // same bounded policy.
+                    Err(_) => {
+                        if client.reconnect().is_err() {
+                            // Session unrevivable: abandon it, containedly.
+                            outcome.breaker_opens = breaker.opens();
+                            outcome.dropped = true;
+                            return outcome;
+                        }
+                        outcome.reconnects += 1;
+                        if !self.spec.retry.may_retry(attempts) {
+                            break None;
+                        }
+                        let delay_ms = self.spec.retry.delay_ms(retry_key, attempts + 1);
+                        if delay_ms > 0.0 {
+                            std::thread::sleep(Duration::from_nanos((delay_ms * 1e6) as u64));
+                        }
+                        outcome.retries += 1;
+                    }
+                }
             };
 
-            // The receive-side failpoint runs before the completion stamp:
-            // an injected delay IS a slow client, visible in the latency.
-            self.faults.fire("load.recv", self.id as u64, ordinal);
-            if result.is_ok() && self.faults.io_fails("load.recv", self.id as u64) {
-                result = Err(NetError::Io(io::Error::new(
-                    io::ErrorKind::ConnectionReset,
-                    "injected load.recv failure",
-                )));
-            }
-
-            // Contained recovery: revive the connection and retry once.
-            if matches!(result, Err(NetError::Io(_)) | Err(NetError::Protocol(_))) {
-                if client.reconnect().is_ok() {
-                    outcome.reconnects += 1;
-                    self.gauge.enter();
-                    result = client.query(sql);
-                    self.gauge.exit();
-                } else {
-                    outcome.dropped = true;
-                    return outcome;
-                }
-            }
-
             let done_ns = start.elapsed().as_nanos() as u64;
-            match result {
-                Ok(r) => {
+            match final_result {
+                None => outcome.give_ups += 1,
+                Some(Ok(r)) => {
                     outcome.completed += 1;
                     outcome
                         .intended
@@ -422,15 +547,10 @@ impl SessionTask {
                         }
                     }
                 }
-                Err(NetError::Db(_)) => outcome.errors += 1,
-                Err(_) => {
-                    // The retry after a reconnect also died: give up on
-                    // this session, containedly.
-                    outcome.dropped = true;
-                    return outcome;
-                }
+                Some(Err(_)) => outcome.errors += 1,
             }
         }
+        outcome.breaker_opens = breaker.opens();
         let _ = client.close();
         outcome
     }

@@ -11,6 +11,7 @@
 //! matter most (at the knee), so the spec forces the experimenter to
 //! choose one per arm and the report names the choice.
 
+use minidb_net::BackoffPolicy;
 use perfeval_stats::SplitMix64;
 
 /// Arrival discipline for one load arm.
@@ -82,6 +83,23 @@ pub struct LoadSpec {
     pub seed: u64,
     /// Relative-error bound of the latency histograms.
     pub rel_err: f64,
+    /// Retry policy for dead connections and server rejections — the
+    /// seeded bounded backoff shared with `minidb-net`. The default
+    /// allows one immediate retry (the classic reconnect-and-retry-once
+    /// containment); raise `max_attempts`/`base_ms` for overload arms.
+    pub retry: BackoffPolicy,
+    /// Per-query deadline carried in every `Query` frame header, ms
+    /// (`0` = none). The server enforces it by cooperative cancellation;
+    /// in an open loop the runner additionally anchors it at the
+    /// *intended* arrival — a request whose deadline expired while it
+    /// queued client-side is given up, not sent late (the
+    /// coordinated-omission-honest reading of a deadline).
+    pub deadline_ms: u32,
+    /// Per-connection circuit breaker: open after this many consecutive
+    /// server rejections (`0` disables the breaker).
+    pub breaker_after: u32,
+    /// Breaker cooldown before the half-open probe, ms.
+    pub breaker_cooldown_ms: f64,
 }
 
 impl LoadSpec {
@@ -95,6 +113,10 @@ impl LoadSpec {
             mix: Vec::new(),
             seed: 20080408,
             rel_err: 0.01,
+            retry: BackoffPolicy::retries(1).with_base_ms(0.0),
+            deadline_ms: 0,
+            breaker_after: 0,
+            breaker_cooldown_ms: 25.0,
         }
     }
 
@@ -107,6 +129,27 @@ impl LoadSpec {
     /// Sets the root seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the retry policy (dead connections and server rejections).
+    pub fn retry(mut self, policy: BackoffPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Sets the per-query deadline carried in the `Query` header
+    /// (`0` = none).
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Arms the per-connection circuit breaker: open after `after`
+    /// consecutive rejects, half-open probe after `cooldown_ms`.
+    pub fn breaker(mut self, after: u32, cooldown_ms: f64) -> Self {
+        self.breaker_after = after;
+        self.breaker_cooldown_ms = cooldown_ms;
         self
     }
 

@@ -25,6 +25,10 @@ pub enum DbError {
     },
     /// I/O error from a result sink.
     Io(String),
+    /// The query was cancelled cooperatively — its deadline passed or a
+    /// [`CancelToken`](crate::CancelToken) was cancelled — and partial
+    /// work was discarded. The message names the trigger.
+    Cancelled(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -40,6 +44,7 @@ impl std::fmt::Display for DbError {
                 write!(f, "expected {expected} values, got {got}")
             }
             DbError::Io(m) => write!(f, "i/o error: {m}"),
+            DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }

@@ -175,6 +175,9 @@ pub struct Executor<'a> {
     /// Note attached to the next profile entry the executor emits (set by
     /// operators that make a recorded choice, e.g. join build side).
     pub(crate) pending_note: Option<String>,
+    /// Cooperative cancellation, polled at operator and morsel
+    /// boundaries. `None` (the default) costs nothing on the hot path.
+    pub(crate) cancel: Option<crate::cancel::CancelToken>,
 }
 
 /// Morsel-parallelism knobs for the optimized engine.
@@ -494,6 +497,25 @@ impl<'a> Executor<'a> {
             profile: Vec::new(),
             parallel: ParallelConfig::default(),
             pending_note: None,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cancellation token: the executor polls it at every
+    /// operator boundary (both engines) and at every morsel boundary
+    /// (the parallel paths), unwinding with [`DbError::Cancelled`] so a
+    /// cancelled query frees its threads within one morsel of work.
+    pub fn with_cancel(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The cancellation poll; a no-op unless a token is attached.
+    #[inline]
+    pub(crate) fn check_cancel(&self) -> Result<(), DbError> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
         }
     }
 
@@ -595,6 +617,7 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         depth: usize,
     ) -> Result<(Vec<(String, DataType)>, Vec<Vec<Value>>), DbError> {
+        self.check_cancel()?;
         let start = Instant::now();
         let label = plan_label(plan);
         let pool_before = match plan {
@@ -883,6 +906,7 @@ impl<'a> Executor<'a> {
     // ----------------------------------------------------------------
 
     pub(crate) fn run_batch(&mut self, plan: &Plan, depth: usize) -> Result<Batch, DbError> {
+        self.check_cancel()?;
         // Morsel-driven parallel operators take over eligible subtrees
         // (scan→filter→project pipelines, aggregates, join probes) when
         // parallelism is enabled and the input is big enough to split.

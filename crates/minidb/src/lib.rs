@@ -49,6 +49,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod catalog;
 pub mod column;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod sink;
 pub mod table;
 pub mod types;
 
+pub use cancel::CancelToken;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::DbError;

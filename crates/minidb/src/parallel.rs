@@ -426,8 +426,12 @@ fn try_pipeline(
     let rows = prep.rows;
     let stages = &prep.stages;
     let engine = ex.engine();
+    let cancel = ex.cancel.clone();
     let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
     let (results, _workers) = parallel_map_traced(prep.morsels, ex.parallel.threads, tracer, |m| {
+        if let Some(c) = &cancel {
+            c.check()?;
+        }
         let range = m * morsel_rows..((m + 1) * morsel_rows).min(rows);
         let rows_in = range.len();
         let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
@@ -666,8 +670,12 @@ fn try_aggregate_fused(
     let g_bound = &g_bound;
     let a_bound = &a_bound;
     let engine = ex.engine();
+    let cancel = ex.cancel.clone();
     let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
     let (results, _workers) = parallel_map_traced(prep.morsels, ex.parallel.threads, tracer, |m| {
+        if let Some(c) = &cancel {
+            c.check()?;
+        }
         let range = m * morsel_rows..((m + 1) * morsel_rows).min(rows);
         let rows_in = range.len();
         let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
@@ -801,10 +809,18 @@ fn try_aggregate_materialized(
         let grouped = !group_by.is_empty();
         let group_cols = &group_cols;
         let agg_cols = &agg_cols;
+        let cancel = ex.cancel.clone();
+        let cancel = &cancel;
         let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
         let (results, _workers) = parallel_map_traced(morsels, ex.parallel.threads, tracer, |m| {
             let range = m * morsel_rows..((m + 1) * morsel_rows).min(n);
             let rows_in = range.len();
+            // Morsel-boundary cancellation poll: an empty part is cheap
+            // and discarded below, so cancelled workers drain in bounded
+            // time without building a half-merged directory.
+            if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return group_local(group_cols.to_vec(), agg_cols.to_vec(), 0, grouped);
+            }
             let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
             // Each part shares the evaluated columns; its row ids are
             // global, so restrict the directory to this morsel's range.
@@ -820,6 +836,7 @@ fn try_aggregate_materialized(
             }
             part
         });
+        ex.check_cancel()?;
         let parts = results;
         merge_and_finish(ex, plan, &parts, &agg_meta, grouped)?
     };
@@ -913,10 +930,17 @@ fn try_join(
     let (bsel, psel) = if morsels >= 2 {
         let build = &build;
         let probe_col: &Column = probe_col;
+        let cancel = ex.cancel.clone();
+        let cancel = &cancel;
         let sweep_start_ns = tracer.map(|t| t.now_ns()).unwrap_or(0);
         let (results, _workers) = parallel_map_traced(morsels, ex.parallel.threads, tracer, |m| {
             let range = m * morsel_rows..((m + 1) * morsel_rows).min(np);
             let rows_in = range.len();
+            // Morsel-boundary cancellation poll: empty pair lists drain
+            // the sweep fast; the post-sweep check discards them.
+            if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return (Vec::new(), Vec::new());
+            }
             let mut span = morsel_span(tracer, &format!("morsel {m}"), sweep_start_ns, rows_in);
             let pairs = build.probe_range(probe_col, range);
             if let Some(g) = span.as_mut() {
@@ -924,6 +948,7 @@ fn try_join(
             }
             pairs
         });
+        ex.check_cancel()?;
         // Morsel-order concatenation of probe-major ranges is exactly what
         // one full-range probe produces.
         let total: usize = results.iter().map(|(b, _)| b.len()).sum();

@@ -159,7 +159,10 @@ impl Session {
     /// Arms a fault registry: the session evaluates the `minidb.parse` and
     /// `minidb.execute` failpoints (keyed by 0-based statement ordinal)
     /// around each statement, so robustness experiments can crash, delay,
-    /// or hang the engine at a chosen statement deterministically.
+    /// or hang the engine at a chosen statement deterministically. The
+    /// `minidb.cancel` site (same key, `FailIo` arms) force-cancels the
+    /// statement's [`CancelToken`](crate::CancelToken) before parse — a
+    /// scheduled cancellation rather than a raced one.
     pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
         self.faults = Some(faults);
         self
@@ -262,6 +265,8 @@ impl Session {
             tracer: None,
             parallelism,
             morsel_rows,
+            cancel: None,
+            deadline_ms: None,
         }
     }
 }
@@ -279,6 +284,8 @@ pub struct Query<'s, 'q> {
     tracer: Option<&'q Tracer>,
     parallelism: usize,
     morsel_rows: usize,
+    cancel: Option<crate::cancel::CancelToken>,
+    deadline_ms: Option<f64>,
 }
 
 impl<'s, 'q> Query<'s, 'q> {
@@ -313,6 +320,24 @@ impl<'s, 'q> Query<'s, 'q> {
         self
     }
 
+    /// Attaches a cancellation handle: the executor polls it at operator
+    /// and morsel boundaries and unwinds with [`DbError::Cancelled`],
+    /// discarding partial work. The session itself is untouched — the
+    /// next query on it runs normally.
+    pub fn cancel(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Gives this query a deadline, milliseconds from the moment
+    /// [`run`](Self::run) starts (covering parse, optimize, and
+    /// execute). Combines with [`cancel`](Self::cancel): whichever
+    /// trigger fires first wins.
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
     /// Parses, optimizes, executes, and prints the statement, returning the
     /// timed result.
     pub fn run(self) -> Result<QueryResult, DbError> {
@@ -323,7 +348,19 @@ impl<'s, 'q> Query<'s, 'q> {
             tracer,
             parallelism,
             morsel_rows,
+            cancel,
+            deadline_ms,
         } = self;
+        // The effective token: the caller's handle (if any), tightened by
+        // the deadline (if any). The `minidb.cancel` failpoint (keyed by
+        // statement ordinal, FailIo arms) force-cancels it up front — the
+        // deterministic way chaos tests and E25 inject cancellations.
+        let cancel = match (cancel, deadline_ms) {
+            (None, None) => None,
+            (Some(t), None) => Some(t),
+            (None, Some(ms)) => Some(crate::cancel::CancelToken::with_deadline_ms(ms)),
+            (Some(t), Some(ms)) => Some(t.deadline_in_ms(ms)),
+        };
         let mut null = NullSink;
         let sink: &mut dyn ResultSink = match sink {
             Some(s) => s,
@@ -332,12 +369,26 @@ impl<'s, 'q> Query<'s, 'q> {
 
         let statement = session.statements;
         session.statements += 1;
+        let cancel = match &session.faults {
+            Some(faults) if faults.io_fails("minidb.cancel", statement) => {
+                let token = cancel.unwrap_or_default();
+                token.cancel();
+                Some(token)
+            }
+            _ => cancel,
+        };
 
         let mut timer = PhaseTimer::new();
         let mut root = tracer.map(|t| t.span("query"));
         if let Some(g) = root.as_mut() {
             g.attr("sql", sql_preview(sql))
                 .attr("mode", session.mode.to_string());
+        }
+
+        // Deadlines cover the whole statement, so the token is polled
+        // before parse as well as inside the executor.
+        if let Some(token) = &cancel {
+            token.check()?;
         }
 
         // Parse.
@@ -401,6 +452,9 @@ impl<'s, 'q> Query<'s, 'q> {
             let mut executor = Executor::new(&session.catalog, session.mode)
                 .with_parallelism(parallelism)
                 .with_morsel_rows(morsel_rows);
+            if let Some(token) = cancel.clone() {
+                executor = executor.with_cancel(token);
+            }
             if let Some(pool) = &mut session.pool {
                 executor = executor.with_pool(pool);
             }

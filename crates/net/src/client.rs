@@ -30,7 +30,7 @@ use perfeval_fault::FaultRegistry;
 use perfeval_measure::{Clock, WallClock};
 use perfeval_trace::Tracer;
 
-use crate::frame::{Footer, Frame, FramedIo, PROTOCOL_VERSION};
+use crate::frame::{Footer, Frame, FramedIo, RejectCode, PROTOCOL_VERSION};
 use crate::transport::Transport;
 
 /// A client-side failure.
@@ -40,6 +40,15 @@ pub enum NetError {
     Io(io::Error),
     /// The server answered with a database error.
     Db(DbError),
+    /// The server shed the query (admission control, deadline, shutdown).
+    /// The connection stays usable; honor `retry_after_ms` before trying
+    /// again.
+    Rejected {
+        /// Why the server shed the query.
+        code: RejectCode,
+        /// Server's hint: wait at least this long before retrying, ms.
+        retry_after_ms: u32,
+    },
     /// The peer violated the protocol (unexpected frame, row-count
     /// mismatch, version refusal).
     Protocol(String),
@@ -50,6 +59,10 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Io(e) => write!(f, "transport error: {e}"),
             NetError::Db(e) => write!(f, "server error: {e}"),
+            NetError::Rejected {
+                code,
+                retry_after_ms,
+            } => write!(f, "rejected: {code} (retry after {retry_after_ms} ms)"),
             NetError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -199,6 +212,7 @@ pub struct Client {
     connector: Option<Connector>,
     faults: Arc<FaultRegistry>,
     conn_key: u64,
+    deadline_ms: u32,
 }
 
 impl Client {
@@ -231,6 +245,7 @@ impl Client {
             connector: None,
             faults,
             conn_key,
+            deadline_ms: 0,
         })
     }
 
@@ -266,6 +281,18 @@ impl Client {
         match io.recv()? {
             Frame::HelloOk { .. } => {}
             Frame::Error(e) => return Err(NetError::Db(e)),
+            // Accept-backlog admission control answers Hello with a
+            // Rejected frame and closes; surface it as the typed error so
+            // the dialer can back off and re-dial.
+            Frame::Rejected {
+                code,
+                retry_after_ms,
+            } => {
+                return Err(NetError::Rejected {
+                    code,
+                    retry_after_ms,
+                })
+            }
             f => return Err(NetError::Protocol(format!("expected HelloOk, got {f:?}"))),
         }
         Ok(io)
@@ -311,6 +338,21 @@ impl Client {
     /// it.
     pub fn traced(mut self, tracer: &Tracer) -> Self {
         self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Sets the per-query deadline carried in every subsequent `Query`
+    /// frame header, milliseconds (`0` clears it). The server enforces it
+    /// by cooperative cancellation and answers an expired query with
+    /// [`NetError::Rejected`]`{ code: DeadlineExceeded }` — the connection
+    /// and its session stay usable.
+    pub fn set_deadline_ms(&mut self, ms: u32) {
+        self.deadline_ms = ms;
+    }
+
+    /// Builder form of [`Client::set_deadline_ms`].
+    pub fn with_deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = ms;
         self
     }
 
@@ -369,12 +411,22 @@ impl Client {
         let bytes_before = self.io.bytes_read();
         self.io.send(&Frame::Query {
             trace_parent,
+            deadline_ms: self.deadline_ms,
             sql: sql.to_owned(),
         })?;
 
         let columns = match self.io.recv()? {
             Frame::ResultHeader { columns } => columns,
             Frame::Error(e) => return Err(NetError::Db(e)),
+            Frame::Rejected {
+                code,
+                retry_after_ms,
+            } => {
+                return Err(NetError::Rejected {
+                    code,
+                    retry_after_ms,
+                })
+            }
             f => {
                 return Err(NetError::Protocol(format!(
                     "expected ResultHeader, got {f:?}"

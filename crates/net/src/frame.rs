@@ -12,18 +12,26 @@
 //! client                      server
 //!   Hello{version}      ──▶
 //!                       ◀──  HelloOk{version}
-//!   Query{span, sql}    ──▶
+//!   Query{span, deadline, sql} ──▶
 //!                       ◀──  ResultHeader{columns}
 //!                       ◀──  RowBatch{rows}           (0..n, streamed)
 //!                       ◀──  Done{footer}             (server-side timings)
 //!        — or —
 //!                       ◀──  Error{code, message}
+//!        — or —
+//!                       ◀──  Rejected{code, retry_after_ms}
 //!   Bye                 ──▶
 //! ```
 //!
 //! `Query` carries the client's trace span id so the server can parent its
 //! spans under the client's — perfeval-trace then stitches both sides into
-//! one tree (`DESIGN.md` § net).
+//! one tree (`DESIGN.md` § net) — plus an optional deadline the server
+//! enforces by cooperative cancellation. [`Frame::Rejected`] is the
+//! overload-protection answer: the server *refused or abandoned* the
+//! query (admission control, deadline, shutdown) without damaging the
+//! connection, and the client should back off and may retry. Its code
+//! byte decodes unknown values to [`RejectCode::Unknown`] instead of
+//! erroring, so an old client survives a newer server's reject reasons.
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -33,8 +41,9 @@ use perfeval_fault::FaultRegistry;
 
 use crate::transport::Transport;
 
-/// Protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version spoken by this crate. Version 2 added the `Query`
+/// deadline field and the `Rejected` frame.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a single frame's byte length (type byte + payload).
 /// Guards the reader against a corrupt length prefix allocating gigabytes.
@@ -90,6 +99,12 @@ pub enum Frame {
         /// The client-side trace span id (0 = untraced); the server parents
         /// its `net.serve` span under it.
         trace_parent: u64,
+        /// Per-query deadline in milliseconds, measured by the server from
+        /// the moment it dequeues the frame; `0` = no deadline. Enforced by
+        /// cooperative cancellation — an expired query is abandoned at the
+        /// next morsel boundary and answered with
+        /// [`Frame::Rejected`]`{ code: DeadlineExceeded }`.
+        deadline_ms: u32,
         /// SQL text.
         sql: String,
     },
@@ -107,8 +122,67 @@ pub enum Frame {
     Done(Footer),
     /// The query failed.
     Error(DbError),
+    /// The server refused or abandoned the query without executing it to
+    /// completion — overload protection, not failure. The connection (and
+    /// its session) remain healthy; the client should wait at least
+    /// `retry_after_ms` before retrying.
+    Rejected {
+        /// Why the query was shed.
+        code: RejectCode,
+        /// Server's hint: wait at least this long before retrying, ms.
+        retry_after_ms: u32,
+    },
     /// Client is closing the connection.
     Bye,
+}
+
+/// Why a [`Frame::Rejected`] was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// Admission control: the in-flight budget or accept backlog is full.
+    Overloaded,
+    /// The query's deadline passed — in queue, or mid-execution (the
+    /// cooperative cancellation discarded partial work).
+    DeadlineExceeded,
+    /// The server is draining and takes no new work.
+    ShuttingDown,
+    /// A code byte this build does not know — forward compatibility with
+    /// newer servers; treat as retryable.
+    Unknown(u8),
+}
+
+impl RejectCode {
+    /// The wire byte.
+    fn to_byte(self) -> u8 {
+        match self {
+            RejectCode::Overloaded => RC_OVERLOADED,
+            RejectCode::DeadlineExceeded => RC_DEADLINE_EXCEEDED,
+            RejectCode::ShuttingDown => RC_SHUTTING_DOWN,
+            RejectCode::Unknown(b) => b,
+        }
+    }
+
+    /// Decodes a wire byte; never fails — unknown bytes become
+    /// [`RejectCode::Unknown`] so old clients survive new reject reasons.
+    fn from_byte(b: u8) -> Self {
+        match b {
+            RC_OVERLOADED => RejectCode::Overloaded,
+            RC_DEADLINE_EXCEEDED => RejectCode::DeadlineExceeded,
+            RC_SHUTTING_DOWN => RejectCode::ShuttingDown,
+            other => RejectCode::Unknown(other),
+        }
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectCode::Overloaded => f.write_str("overloaded"),
+            RejectCode::DeadlineExceeded => f.write_str("deadline exceeded"),
+            RejectCode::ShuttingDown => f.write_str("shutting down"),
+            RejectCode::Unknown(b) => write!(f, "unknown reject code {b}"),
+        }
+    }
 }
 
 const FT_HELLO: u8 = 1;
@@ -119,6 +193,11 @@ const FT_ROW_BATCH: u8 = 5;
 const FT_DONE: u8 = 6;
 const FT_ERROR: u8 = 7;
 const FT_BYE: u8 = 8;
+const FT_REJECTED: u8 = 9;
+
+const RC_OVERLOADED: u8 = 1;
+const RC_DEADLINE_EXCEEDED: u8 = 2;
+const RC_SHUTTING_DOWN: u8 = 3;
 
 const VT_INT: u8 = 1;
 const VT_FLOAT: u8 = 2;
@@ -135,6 +214,7 @@ const ET_TYPE_MISMATCH: u8 = 5;
 const ET_SEMANTIC: u8 = 6;
 const ET_ARITY: u8 = 7;
 const ET_IO: u8 = 8;
+const ET_CANCELLED: u8 = 9;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -279,6 +359,10 @@ fn encode_error(buf: &mut Vec<u8>, e: &DbError) {
             buf.push(ET_IO);
             put_str(buf, m);
         }
+        DbError::Cancelled(m) => {
+            buf.push(ET_CANCELLED);
+            put_str(buf, m);
+        }
     }
 }
 
@@ -295,6 +379,7 @@ fn decode_error(c: &mut Cursor<'_>) -> io::Result<DbError> {
             got: c.u64()? as usize,
         },
         ET_IO => DbError::Io(c.str()?),
+        ET_CANCELLED => DbError::Cancelled(c.str()?),
         t => return Err(corrupt(&format!("unknown error tag {t}"))),
     })
 }
@@ -312,9 +397,14 @@ impl Frame {
                 body.push(FT_HELLO_OK);
                 put_u32(&mut body, *version);
             }
-            Frame::Query { trace_parent, sql } => {
+            Frame::Query {
+                trace_parent,
+                deadline_ms,
+                sql,
+            } => {
                 body.push(FT_QUERY);
                 put_u64(&mut body, *trace_parent);
+                put_u32(&mut body, *deadline_ms);
                 put_str(&mut body, sql);
             }
             Frame::ResultHeader { columns } => {
@@ -347,6 +437,14 @@ impl Frame {
                 body.push(FT_ERROR);
                 encode_error(&mut body, e);
             }
+            Frame::Rejected {
+                code,
+                retry_after_ms,
+            } => {
+                body.push(FT_REJECTED);
+                body.push(code.to_byte());
+                put_u32(&mut body, *retry_after_ms);
+            }
             Frame::Bye => body.push(FT_BYE),
         }
         let mut out = Vec::with_capacity(4 + body.len());
@@ -368,6 +466,7 @@ impl Frame {
             FT_HELLO_OK => Frame::HelloOk { version: c.u32()? },
             FT_QUERY => Frame::Query {
                 trace_parent: c.u64()?,
+                deadline_ms: c.u32()?,
                 sql: c.str()?,
             },
             FT_RESULT_HEADER => {
@@ -400,6 +499,10 @@ impl Frame {
                 rows: c.u64()?,
             }),
             FT_ERROR => Frame::Error(decode_error(&mut c)?),
+            FT_REJECTED => Frame::Rejected {
+                code: RejectCode::from_byte(c.u8()?),
+                retry_after_ms: c.u32()?,
+            },
             FT_BYE => Frame::Bye,
             t => return Err(corrupt(&format!("unknown frame type {t}"))),
         };
@@ -510,6 +613,7 @@ impl FramedIo {
 mod tests {
     use super::*;
     use crate::transport::LoopbackConn;
+    use proptest::prelude::*;
 
     fn roundtrip(frame: Frame) {
         let bytes = frame.encode();
@@ -524,7 +628,13 @@ mod tests {
         roundtrip(Frame::HelloOk { version: 7 });
         roundtrip(Frame::Query {
             trace_parent: 0xdead_beef,
+            deadline_ms: 0,
             sql: "SELECT 1".to_owned(),
+        });
+        roundtrip(Frame::Query {
+            trace_parent: 7,
+            deadline_ms: 250,
+            sql: "SELECT COUNT(*) FROM t".to_owned(),
         });
         roundtrip(Frame::ResultHeader {
             columns: vec!["a".into(), "sum_b".into()],
@@ -555,7 +665,78 @@ mod tests {
             got: 2,
         }));
         roundtrip(Frame::Error(DbError::Parse("near 'FROM'".into())));
+        roundtrip(Frame::Error(DbError::Cancelled("deadline exceeded".into())));
+        for code in [
+            RejectCode::Overloaded,
+            RejectCode::DeadlineExceeded,
+            RejectCode::ShuttingDown,
+        ] {
+            roundtrip(Frame::Rejected {
+                code,
+                retry_after_ms: 12,
+            });
+        }
         roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn unknown_reject_code_decodes_forward_compatibly() {
+        // A newer server may send reject reasons this build has no variant
+        // for; the decoder must yield Unknown(b), not a protocol error.
+        for b in [0u8, 4, 99, 255] {
+            let body = vec![FT_REJECTED, b, 7, 0, 0, 0];
+            match Frame::decode(&body).unwrap() {
+                Frame::Rejected {
+                    code: RejectCode::Unknown(got),
+                    retry_after_ms: 7,
+                } => assert_eq!(got, b),
+                f => panic!("expected Unknown({b}), got {f:?}"),
+            }
+        }
+        // And Unknown codes re-encode to the same byte (proxy-safe).
+        roundtrip(Frame::Rejected {
+            code: RejectCode::Unknown(200),
+            retry_after_ms: 0,
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn query_header_roundtrips(
+            trace_parent in any::<u64>(),
+            deadline_ms in any::<u32>(),
+            chars in prop::collection::vec(0u32..95, 0..120),
+        ) {
+            // Printable-ASCII SQL of arbitrary length; the header fields
+            // around it must frame and unframe exactly.
+            let sql: String = chars.iter().map(|&c| (b' ' + c as u8) as char).collect();
+            let frame = Frame::Query { trace_parent, deadline_ms, sql };
+            let bytes = frame.encode();
+            prop_assert_eq!(Frame::decode(&bytes[4..]).unwrap(), frame);
+        }
+
+        #[test]
+        fn rejected_roundtrips_any_code_byte(
+            byte in 0u32..256,
+            retry_after_ms in any::<u32>(),
+        ) {
+            // Every byte value decodes (known codes to their variant,
+            // the rest to Unknown) and re-encodes to the same byte.
+            let byte = byte as u8;
+            let frame = Frame::Rejected {
+                code: RejectCode::from_byte(byte),
+                retry_after_ms,
+            };
+            let bytes = frame.encode();
+            let decoded = Frame::decode(&bytes[4..]).unwrap();
+            prop_assert_eq!(&decoded, &frame);
+            match decoded {
+                Frame::Rejected { code, .. } => {
+                    prop_assert_eq!(code.to_byte(), byte)
+                }
+                f => panic!("wrong frame {f:?}"),
+            }
+        }
     }
 
     #[test]
@@ -595,6 +776,7 @@ mod tests {
         // Invalid UTF-8 in a string payload.
         let mut body = vec![FT_QUERY];
         put_u64(&mut body, 0);
+        put_u32(&mut body, 0); // deadline_ms
         put_u32(&mut body, 2);
         body.extend_from_slice(&[0xff, 0xfe]);
         assert!(Frame::decode(&body).is_err(), "invalid utf-8");
@@ -608,6 +790,7 @@ mod tests {
         let mut fb = FramedIo::new(Box::new(b), faults, 2);
         let sent = Frame::Query {
             trace_parent: 9,
+            deadline_ms: 0,
             sql: "SELECT * FROM t".to_owned(),
         };
         fa.send(&sent).unwrap();

@@ -61,22 +61,39 @@
 //!   failpoints (delay, jitter, fail, hang) keyed by connection + frame
 //!   ordinals, so a dropped connection is a *scheduled* event — and
 //!   surfaces as a contained `UnitOutcome` under `perfeval-exec`
-//!   (`tests/net_exec.rs` at the workspace root).
+//!   (`tests/net_exec.rs` at the workspace root). The `net.admit` site
+//!   sits at the admission decision; its `FailIo` arm forces a typed
+//!   `Overloaded` rejection, the chaos lever for client-backoff tests.
+//! * **Overload protection.** [`Admission`] bounds in-flight queries and
+//!   live connections and defaults per-query deadlines; excess work is
+//!   shed *fast and typed* (`Frame::Rejected` with [`RejectCode`] and
+//!   retry-after advice) in both cores, deadlines are enforced by
+//!   cooperative cancellation (a cancelled query answers typed and never
+//!   poisons its session — `tests/overload.rs`), and
+//!   [`ServerHandle::drain`] sheds new work while in-flight queries
+//!   finish. The client-side etiquette lives here too: [`BackoffPolicy`]
+//!   (seeded, jittered, bounded) and the per-connection
+//!   [`CircuitBreaker`]. `exp_e25_overload` is the designed saturation
+//!   experiment.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod frame;
 pub mod poll;
+pub mod retry;
 pub mod server;
 mod shard;
 pub mod transport;
 
 pub use client::{Client, Connect, Connector, NetError, NetQueryResult};
-pub use frame::{Footer, Frame, FramedIo, MAX_FRAME_LEN, PROTOCOL_VERSION, ROWS_PER_BATCH};
+pub use frame::{
+    Footer, Frame, FramedIo, RejectCode, MAX_FRAME_LEN, PROTOCOL_VERSION, ROWS_PER_BATCH,
+};
 pub use poll::{shard_for, Interest, Poll, Ready, ShimHandle};
+pub use retry::{BackoffPolicy, CircuitBreaker};
 pub use server::{
-    Server, ServerBuilder, ServerHandle, ServerMode, ServerStats, DEFAULT_QUEUE_DEPTH,
+    Admission, Server, ServerBuilder, ServerHandle, ServerMode, ServerStats, DEFAULT_QUEUE_DEPTH,
 };
 pub use transport::{
     EventSource, Listener, LoopbackConn, LoopbackConnector, LoopbackEndpoint, TcpEndpoint,

@@ -34,16 +34,16 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use minidb::{DbError, Session};
+use minidb::{CancelToken, DbError, Session};
 use perfeval_fault::FaultRegistry;
 use perfeval_pool::parallel_map_traced;
 use perfeval_trace::{SpanId, Tracer};
 
-use crate::frame::{Footer, Frame, FramedIo, PROTOCOL_VERSION, ROWS_PER_BATCH};
+use crate::frame::{Footer, Frame, FramedIo, RejectCode, PROTOCOL_VERSION, ROWS_PER_BATCH};
 use crate::shard::{run_sharded, ShardConfig, ShardTelemetry};
 use crate::transport::{Listener, Transport};
 
@@ -102,6 +102,97 @@ fn default_shards() -> usize {
     std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 8))
 }
 
+/// Overload-protection knobs — the server's admission-control policy, a
+/// declared design factor like [`ServerMode`]. The default admits
+/// everything (no shedding), so admission is strictly opt-in.
+///
+/// When a bound trips, the server answers the offending frame with a typed
+/// [`Frame::Rejected`](crate::Frame) *instead of queuing the work* — the
+/// client learns in bounded time that it should back off, which is the
+/// whole point of load shedding: reject fast rather than queue forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Bound on admitted-but-unfinished queries: per shard in
+    /// [`ServerMode::Sharded`] (the shard's run-queue budget), global in
+    /// [`ServerMode::ThreadPerConn`]. Queries beyond the budget get
+    /// `Rejected { code: Overloaded }`. `0` = unbounded (no shedding).
+    pub max_inflight: usize,
+    /// Bound on concurrently live connections. A `Hello` arriving past the
+    /// bound is answered `Rejected { code: Overloaded }` and the connection
+    /// closed — a typed, fast refusal instead of silent backlog growth.
+    /// `0` = unbounded.
+    pub max_conns: usize,
+    /// Server-imposed deadline for queries that carry none in their
+    /// `Query` header, milliseconds. Enforced by cooperative cancellation;
+    /// an expired query is answered `Rejected { code: DeadlineExceeded }`
+    /// and its partial work discarded. `0` = none.
+    pub default_deadline_ms: u32,
+    /// The `retry_after_ms` hint stamped into every `Rejected` frame.
+    pub retry_after_ms: u32,
+}
+
+impl Default for Admission {
+    /// Admit everything: no in-flight bound, no connection bound, no
+    /// server-imposed deadline, 10 ms retry hint.
+    fn default() -> Self {
+        Admission {
+            max_inflight: 0,
+            max_conns: 0,
+            default_deadline_ms: 0,
+            retry_after_ms: 10,
+        }
+    }
+}
+
+impl Admission {
+    /// Sets the in-flight query budget (`0` = unbounded).
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Sets the live-connection bound (`0` = unbounded).
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n;
+        self
+    }
+
+    /// Sets the server-imposed default deadline (`0` = none).
+    pub fn default_deadline_ms(mut self, ms: u32) -> Self {
+        self.default_deadline_ms = ms;
+        self
+    }
+
+    /// Sets the `retry_after_ms` hint in `Rejected` frames.
+    pub fn retry_after_ms(mut self, ms: u32) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Whether any shedding bound is armed.
+    pub fn is_shedding(&self) -> bool {
+        self.max_inflight > 0 || self.max_conns > 0 || self.default_deadline_ms > 0
+    }
+
+    /// Short label for reports ("admit-all", "inflight:4 deadline:50ms").
+    pub fn describe(&self) -> String {
+        if !self.is_shedding() {
+            return "admit-all".to_owned();
+        }
+        let mut parts = Vec::new();
+        if self.max_inflight > 0 {
+            parts.push(format!("inflight:{}", self.max_inflight));
+        }
+        if self.max_conns > 0 {
+            parts.push(format!("conns:{}", self.max_conns));
+        }
+        if self.default_deadline_ms > 0 {
+            parts.push(format!("deadline:{}ms", self.default_deadline_ms));
+        }
+        parts.join(" ")
+    }
+}
+
 /// Counters a running server exposes; all monotonic.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
@@ -109,6 +200,23 @@ pub(crate) struct Counters {
     pub(crate) queries: AtomicU64,
     pub(crate) disconnects: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
+    pub(crate) rejected_overload: AtomicU64,
+    pub(crate) rejected_deadline: AtomicU64,
+    pub(crate) rejected_shutdown: AtomicU64,
+    pub(crate) cancelled_queries: AtomicU64,
+}
+
+impl Counters {
+    /// Bumps the reject counter for `code` (unknown codes count as
+    /// overload — they only arise from newer peers).
+    pub(crate) fn count_reject(&self, code: RejectCode) {
+        let c = match code {
+            RejectCode::Overloaded | RejectCode::Unknown(_) => &self.rejected_overload,
+            RejectCode::DeadlineExceeded => &self.rejected_deadline,
+            RejectCode::ShuttingDown => &self.rejected_shutdown,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A snapshot of server counters.
@@ -125,6 +233,24 @@ pub struct ServerStats {
     /// connection survives, the panic is reported to the client as an
     /// error frame.
     pub worker_panics: u64,
+    /// Queries (or `Hello`s) shed with `Rejected { code: Overloaded }` —
+    /// the in-flight budget or the connection bound tripped.
+    pub rejected_overload: u64,
+    /// Queries shed with `Rejected { code: DeadlineExceeded }` — expired
+    /// before or during execution.
+    pub rejected_deadline: u64,
+    /// Queries shed with `Rejected { code: ShuttingDown }` while draining.
+    pub rejected_shutdown: u64,
+    /// Queries whose execution was cut short by cooperative cancellation
+    /// (deadline enforcement or the `minidb.cancel` fault site).
+    pub cancelled_queries: u64,
+}
+
+impl ServerStats {
+    /// Total shed requests across all reject codes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_overload + self.rejected_deadline + self.rejected_shutdown
+    }
 }
 
 /// Configures and launches a [`ServerHandle`]. Obtained from
@@ -137,6 +263,7 @@ pub struct ServerBuilder {
     placement_seed: u64,
     pin_cores: bool,
     work_stealing: bool,
+    admission: Admission,
 }
 
 impl ServerBuilder {
@@ -149,6 +276,7 @@ impl ServerBuilder {
             placement_seed: 0,
             pin_cores: true,
             work_stealing: true,
+            admission: Admission::default(),
         }
     }
 
@@ -175,10 +303,19 @@ impl ServerBuilder {
 
     /// Arms fault sites: `net.accept` (key = connection ordinal) around
     /// each accept, `net.read`/`net.write` (key = connection ordinal,
-    /// attempt = frame ordinal) on every server-side frame — identically
-    /// in both modes.
+    /// attempt = frame ordinal) on every server-side frame, and
+    /// `net.admit` (key = connection ordinal, attempt = query ordinal) at
+    /// every admission decision (an I/O-failure verdict forces a
+    /// `Rejected { code: Overloaded }`) — identically in both modes.
     pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// The overload-protection policy (default: [`Admission::default`],
+    /// which admits everything).
+    pub fn admission(mut self, admission: Admission) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -215,6 +352,7 @@ impl ServerBuilder {
             .transport
             .expect("ServerBuilder::transport(..) is required before serve()");
         let counters = Arc::new(Counters::default());
+        let draining = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
             listener: Arc::clone(&listener),
             factory: Box::new(factory),
@@ -222,6 +360,10 @@ impl ServerBuilder {
             faults: self.faults,
             counters: Arc::clone(&counters),
             next_conn: AtomicU64::new(0),
+            admission: self.admission,
+            draining: Arc::clone(&draining),
+            inflight: AtomicU64::new(0),
+            live_conns: AtomicU64::new(0),
         });
         let mode = self.mode;
         let (join, telemetry) = match mode {
@@ -269,6 +411,7 @@ impl ServerBuilder {
             counters,
             mode,
             telemetry,
+            draining,
         }
     }
 }
@@ -357,6 +500,7 @@ pub struct ServerHandle {
     counters: Arc<Counters>,
     mode: ServerMode,
     telemetry: Option<Arc<ShardTelemetry>>,
+    draining: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
@@ -364,6 +508,15 @@ impl ServerHandle {
     /// current request loop. Idempotent.
     pub fn shutdown(&self) {
         self.listener.shutdown();
+    }
+
+    /// Enters drain mode: existing connections stay up, but every new
+    /// query is answered `Rejected { code: ShuttingDown }` — clients get a
+    /// typed signal to fail over instead of hanging on a dying server.
+    /// Call [`ServerHandle::shutdown`] afterwards to stop accepting.
+    /// Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
     }
 
     /// Shuts down and waits for every worker to exit, returning final
@@ -383,6 +536,10 @@ impl ServerHandle {
             queries: self.counters.queries.load(Ordering::Relaxed),
             disconnects: self.counters.disconnects.load(Ordering::Relaxed),
             worker_panics: self.counters.worker_panics.load(Ordering::Relaxed),
+            rejected_overload: self.counters.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.counters.rejected_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: self.counters.rejected_shutdown.load(Ordering::Relaxed),
+            cancelled_queries: self.counters.cancelled_queries.load(Ordering::Relaxed),
         }
     }
 
@@ -444,9 +601,50 @@ pub(crate) struct Shared {
     pub(crate) faults: Arc<FaultRegistry>,
     pub(crate) counters: Arc<Counters>,
     pub(crate) next_conn: AtomicU64,
+    pub(crate) admission: Admission,
+    pub(crate) draining: Arc<AtomicBool>,
+    /// Queries executing right now (thread-per-conn's admission gauge;
+    /// the sharded engine bounds its per-shard run queues instead).
+    pub(crate) inflight: AtomicU64,
+    /// Connections currently alive, for the `max_conns` bound.
+    pub(crate) live_conns: AtomicU64,
 }
 
 impl Shared {
+    /// The admission verdict for one query, shared by both engines:
+    /// the `net.admit` fault site first (an I/O-failure verdict forces a
+    /// rejection), then drain mode, then the caller-measured load against
+    /// the in-flight budget. `None` admits.
+    pub(crate) fn admit_query(
+        &self,
+        conn_id: u64,
+        query_ordinal: u32,
+        admitted_now: u64,
+    ) -> Option<RejectCode> {
+        self.faults.fire("net.admit", conn_id, query_ordinal);
+        if self.faults.io_fails("net.admit", conn_id) {
+            return Some(RejectCode::Overloaded);
+        }
+        if self.draining.load(Ordering::Acquire) {
+            return Some(RejectCode::ShuttingDown);
+        }
+        let budget = self.admission.max_inflight as u64;
+        if budget > 0 && admitted_now >= budget {
+            return Some(RejectCode::Overloaded);
+        }
+        None
+    }
+
+    /// The deadline a query runs under: the client's header value wins,
+    /// else the server's default; `0` means none.
+    pub(crate) fn effective_deadline_ms(&self, frame_deadline_ms: u32) -> u32 {
+        if frame_deadline_ms > 0 {
+            frame_deadline_ms
+        } else {
+            self.admission.default_deadline_ms
+        }
+    }
+
     fn accept_loop(&self) {
         loop {
             let transport = match self.listener.accept() {
@@ -462,7 +660,9 @@ impl Shared {
                 continue;
             }
             self.counters.connections.fetch_add(1, Ordering::Relaxed);
+            self.live_conns.fetch_add(1, Ordering::AcqRel);
             self.serve_blocking(transport, conn_id);
+            self.live_conns.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -502,6 +702,17 @@ impl Shared {
             }
             _ => return false,
         }
+        // Connection-bound admission: a `Hello` past the bound gets a
+        // typed rejection instead of a place in line.
+        let max_conns = self.admission.max_conns as u64;
+        if max_conns > 0 && self.live_conns.load(Ordering::Acquire) > max_conns {
+            self.counters.count_reject(RejectCode::Overloaded);
+            let _ = io.send(&Frame::Rejected {
+                code: RejectCode::Overloaded,
+                retry_after_ms: self.admission.retry_after_ms,
+            });
+            return false;
+        }
         if io
             .send(&Frame::HelloOk {
                 version: PROTOCOL_VERSION,
@@ -512,11 +723,24 @@ impl Shared {
         }
 
         let mut session = (self.factory)();
+        let mut query_ordinal: u32 = 0;
         loop {
             match io.recv() {
-                Ok(Frame::Query { trace_parent, sql }) => {
+                Ok(Frame::Query {
+                    trace_parent,
+                    deadline_ms,
+                    sql,
+                }) => {
                     self.counters.queries.fetch_add(1, Ordering::Relaxed);
-                    if !self.answer_query(io, &mut session, trace_parent, &sql) {
+                    query_ordinal += 1;
+                    if !self.answer_query(
+                        io,
+                        &mut session,
+                        trace_parent,
+                        deadline_ms,
+                        query_ordinal,
+                        &sql,
+                    ) {
                         return false;
                     }
                 }
@@ -534,13 +758,31 @@ impl Shared {
 
     /// Runs one query and streams the response. Returns `false` if the
     /// transport died mid-response.
+    #[allow(clippy::too_many_arguments)]
     fn answer_query(
         &self,
         io: &mut FramedIo,
         session: &mut Session,
         trace_parent: u64,
+        deadline_ms: u32,
+        query_ordinal: u32,
         sql: &str,
     ) -> bool {
+        // Admission first: shed fast, before any engine work. The gauge is
+        // incremented optimistically so concurrent workers race for the
+        // budget rather than past it.
+        let admitted_now = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if let Some(code) = self.admit_query(io.conn_id(), query_ordinal, admitted_now) {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.counters.count_reject(code);
+            return io
+                .send(&Frame::Rejected {
+                    code,
+                    retry_after_ms: self.admission.retry_after_ms,
+                })
+                .is_ok();
+        }
+
         // Parent the server's span under the client's span id from the
         // frame header; 0 means the client wasn't tracing.
         let mut serve_span = self.tracer.as_ref().map(|t| {
@@ -554,13 +796,18 @@ impl Shared {
             g.attr("conn", io.conn_id() as i64);
         }
 
+        let effective_deadline = self.effective_deadline_ms(deadline_ms);
         let ran = catch_unwind(AssertUnwindSafe(|| {
             let mut query = session.query(sql);
             if let Some(t) = self.tracer.as_ref() {
                 query = query.traced(t);
             }
+            if effective_deadline > 0 {
+                query = query.cancel(CancelToken::with_deadline_ms(f64::from(effective_deadline)));
+            }
             query.run()
         }));
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
         let result = match ran {
             Ok(r) => r,
             Err(payload) => {
@@ -577,7 +824,28 @@ impl Shared {
         };
 
         match result {
-            Err(e) => io.send(&Frame::Error(e)).is_ok(),
+            Err(DbError::Cancelled(_)) if effective_deadline > 0 => {
+                // The deadline cut the query short: partial work is
+                // discarded (bit-safely — no partial result escapes) and
+                // the client gets the typed rejection, not a DbError.
+                self.counters
+                    .cancelled_queries
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.count_reject(RejectCode::DeadlineExceeded);
+                io.send(&Frame::Rejected {
+                    code: RejectCode::DeadlineExceeded,
+                    retry_after_ms: self.admission.retry_after_ms,
+                })
+                .is_ok()
+            }
+            Err(e) => {
+                if matches!(e, DbError::Cancelled(_)) {
+                    self.counters
+                        .cancelled_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                io.send(&Frame::Error(e)).is_ok()
+            }
             Ok(r) => {
                 use perfeval_measure::Phase;
                 let rows_total = r.rows.len() as u64;

@@ -42,7 +42,9 @@ use std::time::{Duration, Instant};
 use minidb::{DbError, Value};
 use perfeval_trace::{SpanGuard, SpanId};
 
-use crate::frame::{Footer, Frame, MAX_FRAME_LEN, PROTOCOL_VERSION, ROWS_PER_BATCH};
+use minidb::CancelToken;
+
+use crate::frame::{Footer, Frame, RejectCode, MAX_FRAME_LEN, PROTOCOL_VERSION, ROWS_PER_BATCH};
 use crate::poll::{pin_current_thread, shard_for, Interest, Poll, RawFd};
 use crate::server::Shared;
 use crate::transport::{EventSource, Transport};
@@ -153,6 +155,7 @@ fn accept_into_shards(
             continue;
         }
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        shared.live_conns.fetch_add(1, Ordering::AcqRel);
         let shard = shard_for(cfg.placement_seed, conn_id, cfg.shards);
         tel.per_shard_conns[shard].fetch_add(1, Ordering::Relaxed);
         queues[shard]
@@ -187,6 +190,7 @@ fn shard_main<'scope, 'env>(
         conns: HashMap::new(),
         next_token: 0,
         pokes: Vec::new(),
+        run_q: VecDeque::new(),
     };
     loop {
         // The idle gauge brackets only the wait: a shard counted here is
@@ -214,6 +218,10 @@ fn shard_main<'scope, 'env>(
         while let Some(token) = core.pokes.pop() {
             core.guarded(token, |c, t| c.on_readable(t));
         }
+        // Execute the admitted queries. Everything in the run queue got
+        // there through the admission gate; a deadline that expired while
+        // waiting is shed here without touching the engine.
+        core.drain_run_queue();
 
         if tel.shutdown.load(Ordering::Acquire)
             && core.conns.is_empty()
@@ -242,6 +250,18 @@ enum ConnState {
     Ready,
 }
 
+/// A query admitted past the shard's budget, waiting its turn in the run
+/// queue. Its deadline keeps ticking while it waits — expiry in the queue
+/// is shed *without* touching the engine.
+struct QueuedQuery {
+    token: usize,
+    trace_parent: u64,
+    /// Effective deadline (client header or server default); 0 = none.
+    deadline_ms: u32,
+    enqueued: Instant,
+    sql: String,
+}
+
 struct ShardConn<'t> {
     conn_id: u64,
     transport: Box<dyn Transport>,
@@ -251,19 +271,23 @@ struct ShardConn<'t> {
     inbuf: VecDeque<u8>,
     frames_read: u32,
     frames_written: u32,
+    queries_seen: u32,
     write_q: VecDeque<Vec<u8>>,
     front_pos: usize,
     pending: Option<PendingResponse<'t>>,
+    /// A query from this connection sits in the shard's run queue.
+    queued: bool,
     close_after_flush: bool,
     interest: Interest,
 }
 
 impl ShardConn<'_> {
-    /// Reads are paused while a response is in flight (or the connection is
-    /// draining toward close) — the protocol is request-response, so new
-    /// frames can wait in the transport until the response is out.
+    /// Reads are paused while a query is queued or a response is in flight
+    /// (or the connection is draining toward close) — the protocol is
+    /// request-response, so new frames can wait in the transport until the
+    /// response is out.
     fn reads_paused(&self) -> bool {
-        self.pending.is_some() || self.close_after_flush
+        self.pending.is_some() || self.queued || self.close_after_flush
     }
 
     fn desired_interest(&self) -> Interest {
@@ -282,6 +306,9 @@ struct ShardCore<'env> {
     conns: HashMap<usize, ShardConn<'env>>,
     next_token: usize,
     pokes: Vec<usize>,
+    /// Admitted-but-unstarted queries; its length is what the admission
+    /// budget (`Admission::max_inflight`, per shard) bounds.
+    run_q: VecDeque<QueuedQuery>,
 }
 
 impl<'env> ShardCore<'env> {
@@ -336,9 +363,11 @@ impl<'env> ShardCore<'env> {
                 inbuf: VecDeque::new(),
                 frames_read: 0,
                 frames_written: 0,
+                queries_seen: 0,
                 write_q: VecDeque::new(),
                 front_pos: 0,
                 pending: None,
+                queued: false,
                 close_after_flush: false,
                 interest: Interest::READ,
             },
@@ -357,7 +386,10 @@ impl<'env> ShardCore<'env> {
         let shared = self.shared;
         std::thread::Builder::new()
             .name(format!("shard-compat-{conn_id}"))
-            .spawn_scoped(scope, move || shared.serve_blocking(transport, conn_id))
+            .spawn_scoped(scope, move || {
+                shared.serve_blocking(transport, conn_id);
+                shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+            })
             .expect("spawn compat connection thread");
     }
 
@@ -366,6 +398,7 @@ impl<'env> ShardCore<'env> {
             if let Some(fd) = conn.fd {
                 self.queue.poll.deregister_fd(fd);
             }
+            self.shared.live_conns.fetch_sub(1, Ordering::AcqRel);
             if !clean {
                 self.shared
                     .counters
@@ -498,32 +531,80 @@ impl<'env> ShardCore<'env> {
         };
         match (state, frame) {
             (ConnState::AwaitHello, Frame::Hello { version }) => {
-                if version == PROTOCOL_VERSION {
-                    if let Some(conn) = self.conns.get_mut(&token) {
-                        conn.state = ConnState::Ready;
-                        conn.session = Some((self.shared.factory)());
-                    }
-                    self.send_now(
-                        token,
-                        &Frame::HelloOk {
-                            version: PROTOCOL_VERSION,
-                        },
-                    );
-                } else {
+                if version != PROTOCOL_VERSION {
                     let msg = format!(
                         "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
                     );
                     self.refuse(token, DbError::Io(msg));
+                    return;
                 }
+                // Connection-bound admission: a `Hello` past the bound gets
+                // a typed rejection instead of a place in line.
+                let max_conns = self.shared.admission.max_conns as u64;
+                if max_conns > 0 && self.shared.live_conns.load(Ordering::Acquire) > max_conns {
+                    self.shared.counters.count_reject(RejectCode::Overloaded);
+                    self.send_then_close(
+                        token,
+                        &Frame::Rejected {
+                            code: RejectCode::Overloaded,
+                            retry_after_ms: self.shared.admission.retry_after_ms,
+                        },
+                    );
+                    return;
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Ready;
+                    conn.session = Some((self.shared.factory)());
+                }
+                self.send_now(
+                    token,
+                    &Frame::HelloOk {
+                        version: PROTOCOL_VERSION,
+                    },
+                );
             }
             (ConnState::AwaitHello, _) => {
                 // Thread-per-conn treats a missing handshake as a dead
                 // connection — no courtesy error frame.
                 self.drop_conn(token, false);
             }
-            (ConnState::Ready, Frame::Query { trace_parent, sql }) => {
+            (
+                ConnState::Ready,
+                Frame::Query {
+                    trace_parent,
+                    deadline_ms,
+                    sql,
+                },
+            ) => {
                 self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-                self.answer_query(token, trace_parent, &sql);
+                let (conn_id, ordinal) = match self.conns.get_mut(&token) {
+                    Some(conn) => {
+                        conn.queries_seen += 1;
+                        (conn.conn_id, conn.queries_seen)
+                    }
+                    None => return,
+                };
+                // Admission at frame-receipt time: the budget is the run
+                // queue the shard has already committed to. Rejecting here
+                // costs one frame encode — bounded, fast, engine untouched.
+                if let Some(code) =
+                    self.shared
+                        .admit_query(conn_id, ordinal, self.run_q.len() as u64)
+                {
+                    self.shared.counters.count_reject(code);
+                    self.send_reject(token, code);
+                    return;
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.queued = true;
+                }
+                self.run_q.push_back(QueuedQuery {
+                    token,
+                    trace_parent,
+                    deadline_ms: self.shared.effective_deadline_ms(deadline_ms),
+                    enqueued: Instant::now(),
+                    sql,
+                });
             }
             (ConnState::Ready, Frame::Bye) => {
                 self.drop_conn(token, true);
@@ -546,7 +627,12 @@ impl<'env> ShardCore<'env> {
     /// Sends an error frame and closes once it has flushed — a refused
     /// connection still counts as a disconnect, like thread-per-conn.
     fn refuse(&mut self, token: usize, err: DbError) {
-        if !self.send_now(token, &Frame::Error(err)) {
+        self.send_then_close(token, &Frame::Error(err));
+    }
+
+    /// Sends one frame and closes the connection once it has flushed.
+    fn send_then_close(&mut self, token: usize, frame: &Frame) {
+        if !self.send_now(token, frame) {
             return;
         }
         let drained = match self.conns.get_mut(&token) {
@@ -563,10 +649,67 @@ impl<'env> ShardCore<'env> {
         }
     }
 
+    /// Answers one query with a typed rejection; the connection stays up —
+    /// shedding refuses work, not clients.
+    fn send_reject(&mut self, token: usize, code: RejectCode) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.queued = false;
+        }
+        self.send_now(
+            token,
+            &Frame::Rejected {
+                code,
+                retry_after_ms: self.shared.admission.retry_after_ms,
+            },
+        );
+        self.update_interest(token);
+    }
+
+    /// Executes everything admitted to the run queue this iteration, in
+    /// arrival order. Deadlines that expired while queued are shed here —
+    /// a typed rejection, zero engine work, the queue slot freed in
+    /// bounded time.
+    fn drain_run_queue(&mut self) {
+        while let Some(q) = self.run_q.pop_front() {
+            let token = q.token;
+            match self.conns.get_mut(&token) {
+                Some(conn) => conn.queued = false,
+                None => continue, // connection died while the query waited
+            }
+            self.guarded(token, move |c, t| c.execute_queued(t, q));
+        }
+    }
+
+    /// Runs one dequeued query: sheds it if its deadline already passed,
+    /// otherwise executes under a cancel token covering the time left.
+    fn execute_queued(&mut self, token: usize, q: QueuedQuery) {
+        let deadline_remaining_ms = if q.deadline_ms > 0 {
+            let waited_ms = q.enqueued.elapsed().as_secs_f64() * 1e3;
+            let remaining = f64::from(q.deadline_ms) - waited_ms;
+            if remaining <= 0.0 {
+                self.shared
+                    .counters
+                    .count_reject(RejectCode::DeadlineExceeded);
+                self.send_reject(token, RejectCode::DeadlineExceeded);
+                return;
+            }
+            Some(remaining)
+        } else {
+            None
+        };
+        self.answer_query(token, q.trace_parent, deadline_remaining_ms, &q.sql);
+    }
+
     /// Runs one query on the connection's session and starts streaming the
     /// response. The engine runs *on the shard thread* — shared-nothing —
     /// but with parallelism borrowed from idle shards when stealing is on.
-    fn answer_query(&mut self, token: usize, trace_parent: u64, sql: &str) {
+    fn answer_query(
+        &mut self,
+        token: usize,
+        trace_parent: u64,
+        deadline_remaining_ms: Option<f64>,
+        sql: &str,
+    ) {
         let conn_id = match self.conns.get(&token) {
             Some(c) => c.conn_id,
             None => return,
@@ -617,6 +760,9 @@ impl<'env> ShardCore<'env> {
                 if borrowed > 1 {
                     query = query.parallelism(borrowed);
                 }
+                if let Some(ms) = deadline_remaining_ms {
+                    query = query.cancel(CancelToken::with_deadline_ms(ms));
+                }
                 query.run()
             }))
         };
@@ -640,7 +786,26 @@ impl<'env> ShardCore<'env> {
         };
 
         match result {
+            Err(DbError::Cancelled(_)) if deadline_remaining_ms.is_some() => {
+                // The deadline cut the query short mid-flight: partial
+                // work is discarded (bit-safely) and the client gets the
+                // typed rejection; the session and connection live on.
+                self.shared
+                    .counters
+                    .cancelled_queries
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .counters
+                    .count_reject(RejectCode::DeadlineExceeded);
+                self.send_reject(token, RejectCode::DeadlineExceeded);
+            }
             Err(e) => {
+                if matches!(e, DbError::Cancelled(_)) {
+                    self.shared
+                        .counters
+                        .cancelled_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 self.send_now(token, &Frame::Error(e));
                 self.update_interest(token);
             }

@@ -59,6 +59,7 @@ fn slow_reader_backpressure_is_bounded_and_charged_to_serialize() {
     }
     slow.send(&Frame::Query {
         trace_parent: 0,
+        deadline_ms: 0,
         sql: "SELECT x, y FROM nums".into(),
     })
     .unwrap();
