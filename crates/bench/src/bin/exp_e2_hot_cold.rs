@@ -11,6 +11,12 @@
 //! Shape to match: cold-user ≈ hot-user (same CPU work), cold-real ≫
 //! cold-user (disk waits), hot-real ≈ hot-user. Our absolute numbers come
 //! from the simulated 5400 RPM disk and a much smaller scale factor.
+//!
+//! This is an **era what-if**: the disk is `memsim`'s model of the
+//! tutorial laptop, useful precisely because we cannot ship that
+//! hardware. For the measured version of this table — real segment
+//! files, a real buffer pool, counted (not modeled) hits and misses —
+//! see `exp_e26_hot_cold`.
 
 use memsim::Disk;
 use minidb::Session;

@@ -2,14 +2,21 @@
 //! a committed baseline.
 //!
 //! ```text
-//! minidb-bench run [--smoke] [--out PATH] [--replicates N]
+//! minidb-bench run [--smoke] [--out PATH] [--replicates N] [--data-dir DIR]
 //! minidb-bench compare --baseline PATH [--head PATH] [--smoke]
-//!                      [--tolerance F] [--level F]
+//!                      [--tolerance F] [--level F] [--data-dir DIR]
 //! ```
 //!
 //! `run` measures the suite (four workloads × DBG/OPT/SIMD, replicated,
 //! interleaved) and writes the JSON measurement — the file that gets
 //! committed as `BENCH_<pr>.json` at the repository root.
+//!
+//! `--data-dir DIR` (also spelled `-Ddata_dir=DIR`) measures a
+//! **disk-backed** catalog: the suite data is persisted into `DIR` as
+//! real segment files (once; reused when a manifest already exists) and
+//! reopened through the `perfeval-store` buffer pool. Committed
+//! baselines are in-memory, so only compare a disk-backed head against
+//! a disk-backed baseline — the two protocols measure different things.
 //!
 //! `compare` reads the committed baseline and either a `--head` file or a
 //! fresh live measurement, forms Kalibera–Jones confidence intervals on
@@ -35,13 +42,15 @@ struct Options {
     replicates: Option<usize>,
     tolerance: Option<f64>,
     level: f64,
+    data_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  minidb-bench run [--smoke] [--out PATH] [--replicates N]\n  \
+        "usage:\n  minidb-bench run [--smoke] [--out PATH] [--replicates N] \
+         [--data-dir DIR]\n  \
          minidb-bench compare --baseline PATH [--head PATH] [--smoke] \
-         [--tolerance F] [--level F] [--report PATH]"
+         [--tolerance F] [--level F] [--report PATH] [--data-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -56,6 +65,7 @@ fn parse_options(args: &[String]) -> Options {
         replicates: None,
         tolerance: None,
         level: 0.95,
+        data_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,6 +98,10 @@ fn parse_options(args: &[String]) -> Options {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--data-dir" => o.data_dir = Some(path_arg(&mut it)),
+            s if s.starts_with("-Ddata_dir=") => {
+                o.data_dir = Some(PathBuf::from(&s["-Ddata_dir=".len()..]))
+            }
             _ => usage(),
         }
     }
@@ -103,6 +117,7 @@ fn config_of(o: &Options) -> RunConfig {
     if let Some(r) = o.replicates {
         cfg.replicates = r.max(2); // effect-size CIs need at least 2
     }
+    cfg.data_dir = o.data_dir.clone();
     cfg
 }
 

@@ -21,7 +21,10 @@
 //! targeting a remote, since result checksums are computed locally),
 //! `verify` (check result checksums against serial execution),
 //! `server_mode` (`sharded` | `threaded` — which core the self-hosted
-//! server runs; ignored when `addr` targets a remote).
+//! server runs; ignored when `addr` targets a remote), `data_dir`
+//! (self-host from **disk-backed** segments: the catalog is persisted
+//! into this directory once and reopened through the `perfeval-store`
+//! buffer pool; ignored when targeting a remote).
 //!
 //! Overload etiquette knobs: `-Dretry=N` allows N seeded-backoff retries
 //! per request after a server rejection or a dead connection (default 1:
@@ -36,11 +39,16 @@
 //! open-loop arm with verified answers (the open arm under `-Dretry` /
 //! `-Ddeadline_ms` etiquette), then drains the server and proves a
 //! rejected-everywhere arm retries, trips the breaker, and gives up
-//! cleanly — no hangs, no errors, no dropped sessions. Exits 0.
+//! cleanly — no hangs, no errors, no dropped sessions. The smoke server
+//! always serves a **persisted-and-reopened** catalog, so the checksum
+//! verification doubles as a persist → reopen bit-identity proof: the
+//! expected checksums come from in-memory execution, the answers from
+//! disk-backed segments. Exits 0.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use minidb::Session;
+use minidb::{Catalog, Session};
 use minidb_net::{BackoffPolicy, Server, ServerMode, TcpEndpoint, TcpTransport, Transport};
 use perfeval_bench::{banner, catalog_at, print_environment, BENCH_SCALE_FACTOR};
 use perfeval_harness::Properties;
@@ -115,6 +123,7 @@ fn main() {
         ("server_mode", "sharded"),
         ("retry", "1"),
         ("deadline_ms", "0"),
+        ("data_dir", ""),
     ]);
     props
         .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
@@ -175,10 +184,37 @@ fn main() {
         },
         other => panic!("-Dserver_mode must be sharded|threaded, got {other:?}"),
     };
+    let data_dir = props.get("data_dir").unwrap_or("").to_owned();
+    // `--smoke` always serves from persisted-and-reopened segments so the
+    // checksum verification (expected answers computed in memory) doubles
+    // as a persist -> reopen bit-identity proof over the wire.
+    let mut smoke_tmp: Option<PathBuf> = None;
     let hosted = if addr.is_empty() || smoke {
         let endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback listener");
         let local = endpoint.local_addr().expect("local addr");
-        let catalog = catalog_at(sf);
+        let catalog = if data_dir.is_empty() && !smoke {
+            catalog_at(sf)
+        } else {
+            let root = if data_dir.is_empty() {
+                let tmp =
+                    std::env::temp_dir().join(format!("minidb_load_smoke_{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&tmp);
+                smoke_tmp = Some(tmp.clone());
+                tmp
+            } else {
+                PathBuf::from(&data_dir)
+            };
+            if !root
+                .join(perfeval_store::manifest::CATALOG_MANIFEST)
+                .exists()
+            {
+                catalog_at(sf).persist(&root).expect("persist load catalog");
+                println!("persisted sf={sf} catalog into {}", root.display());
+            }
+            let disk = Catalog::open(&root).expect("reopen persisted catalog");
+            println!("serving disk-backed segments from {}", root.display());
+            disk
+        };
         let server = Server::builder()
             .transport(endpoint)
             .mode(server_mode)
@@ -244,6 +280,13 @@ fn main() {
             "--smoke: both arrival disciplines verified; drain shed cleanly with \
              retries, breaker, and give-ups accounted."
         );
+        println!(
+            "persist -> reopen proof: every verified answer above was served from \
+             disk-backed segments against checksums computed in memory."
+        );
+        if let Some(tmp) = smoke_tmp {
+            let _ = std::fs::remove_dir_all(&tmp);
+        }
         return;
     }
 

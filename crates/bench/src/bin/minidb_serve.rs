@@ -26,16 +26,25 @@
 //! `0` disables each knob. E25 (`exp_e25_overload`) measures the policy
 //! under saturation.
 //!
+//! Persistent storage: `--data-dir PATH` (alias `-Ddata_dir=PATH`) serves
+//! a **disk-backed** catalog from that directory — persisted there on
+//! first use, reopened afterwards — with every connection sharing one
+//! real buffer pool. `--pool-mb N` (alias `-Dpool_mb=N`) sets the pool
+//! budget and `-Devict=lru|clock|2q` its eviction policy.
+//!
 //! Each connection gets a private session over the shared catalog. The
 //! server runs until killed; `--smoke` instead connects its own client,
-//! runs one query end to end in **both** modes, then proves the admission
-//! knobs: a held in-flight slot sheds a concurrent query `Overloaded`,
-//! and an expired default deadline comes back `DeadlineExceeded` without
-//! poisoning the connection. Exits 0 — the self-test CI runs.
+//! runs one query end to end in **both** modes, proves persist → reopen
+//! serves bit-identical rows through the real buffer pool, then proves
+//! the admission knobs: a held in-flight slot sheds a concurrent query
+//! `Overloaded`, and an expired default deadline comes back
+//! `DeadlineExceeded` without poisoning the connection. Exits 0 — the
+//! self-test CI runs.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use minidb::Session;
+use minidb::{Catalog, Session, StoreConfig};
 use minidb_net::{
     Admission, Client, NetError, RejectCode, Server, ServerMode, TcpEndpoint, TcpTransport,
     DEFAULT_QUEUE_DEPTH,
@@ -59,6 +68,7 @@ fn main() {
         ("--shards", "shards"),
         ("--max-inflight", "max_inflight"),
         ("--deadline-ms", "deadline_ms"),
+        ("--pool-mb", "pool_mb"),
     ] {
         if let Some(i) = args.iter().position(|a| a == flag) {
             let n = args
@@ -72,6 +82,13 @@ fn main() {
             args.splice(i..=i + 1, replacement);
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--data-dir") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--data-dir needs a path"))
+            .clone();
+        args.splice(i..=i + 1, [format!("-Ddata_dir={path}")]);
+    }
     let mut props = Properties::with_defaults(&[
         ("addr", "127.0.0.1:7878"),
         ("mode", "sharded"),
@@ -82,12 +99,15 @@ fn main() {
         ("max_inflight", "0"),
         ("max_conns", "0"),
         ("deadline_ms", "0"),
+        ("data_dir", ""),
+        ("pool_mb", "64"),
+        ("evict", "lru"),
     ]);
     props
         .apply_args(args.iter().filter(|a| *a != "--smoke").map(String::as_str))
         .expect(
             "arguments must be --smoke, --shards N, --max-inflight N, --deadline-ms N, \
-             or -Dkey=value",
+             --data-dir PATH, --pool-mb N, or -Dkey=value",
         );
     let addr = props.get("addr").expect("-Daddr").to_owned();
     let workers = props
@@ -143,7 +163,45 @@ fn main() {
         other => panic!("-Dmode must be 'sharded' or 'threaded', got '{other}'"),
     };
 
-    let catalog = catalog_at(sf);
+    let data_dir = props.get("data_dir").unwrap_or("").to_owned();
+    let pool_mb = props
+        .get_u64("pool_mb")
+        .expect("-Dpool_mb must be a number")
+        .unwrap_or(64)
+        .max(1);
+    let evict: perfeval_store::Evict = props
+        .get("evict")
+        .unwrap_or("lru")
+        .parse()
+        .expect("-Devict must be lru, clock, or 2q");
+    let store_config = StoreConfig::default()
+        .pool_bytes(pool_mb * 1024 * 1024)
+        .evict(evict);
+
+    // --data-dir: serve disk-backed, persisting on first use. Every
+    // connection's session shares the one real buffer pool behind the
+    // catalog's Arc<Storage>.
+    let catalog = if data_dir.is_empty() {
+        catalog_at(sf)
+    } else {
+        let root = PathBuf::from(&data_dir);
+        if !root
+            .join(perfeval_store::manifest::CATALOG_MANIFEST)
+            .exists()
+        {
+            catalog_at(sf)
+                .persist(&root)
+                .expect("persist catalog into --data-dir");
+            println!("persisted sf={sf} catalog into {}", root.display());
+        }
+        let c = Catalog::open_with(&root, store_config.clone()).expect("open --data-dir");
+        println!(
+            "serving disk-backed from {} (pool {pool_mb} MiB, evict {})",
+            root.display(),
+            evict.as_str()
+        );
+        c
+    };
     let serve = |mode: ServerMode, bind: &str| {
         let endpoint = TcpEndpoint::bind(bind).expect("bind listener");
         let local = endpoint.local_addr().expect("local addr");
@@ -173,6 +231,44 @@ fn main() {
             let stats = server.wait();
             assert_eq!(stats.queries, 1);
             assert_eq!(stats.disconnects, 0);
+        }
+
+        // Persist -> reopen proof: the same query served from a freshly
+        // reopened disk-backed catalog must return the same rows, and
+        // its cold scan must show real buffer-pool I/O.
+        let proof_dir = if data_dir.is_empty() {
+            std::env::temp_dir().join(format!("minidb_serve_smoke_{}", std::process::id()))
+        } else {
+            PathBuf::from(&data_dir)
+        };
+        let mem = catalog_at(sf);
+        if !proof_dir
+            .join(perfeval_store::manifest::CATALOG_MANIFEST)
+            .exists()
+        {
+            mem.persist(&proof_dir).expect("smoke persist");
+        }
+        let disk = Catalog::open_with(&proof_dir, store_config.clone()).expect("smoke reopen");
+        let want = Session::new(mem).query(&queries::q6()).run().expect("mem");
+        let got = Session::new(disk)
+            .query(&queries::q6())
+            .run()
+            .expect("disk");
+        assert_eq!(
+            want.rows, got.rows,
+            "persist -> reopen must not change rows"
+        );
+        assert!(
+            got.store_physical_reads > 0,
+            "the reopened catalog's cold scan must do real I/O"
+        );
+        println!(
+            "\nself-test: persist -> reopen bit-identical; cold scan did \
+             {} real reads through the pool.",
+            got.store_physical_reads
+        );
+        if data_dir.is_empty() {
+            let _ = std::fs::remove_dir_all(&proof_dir);
         }
 
         // --max-inflight: a held slot sheds a concurrent query, typed.

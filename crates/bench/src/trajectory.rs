@@ -96,12 +96,19 @@ pub fn suite() -> Vec<Workload> {
 }
 
 /// Measurement knobs for one suite run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// TPC-H-like scale factor of the generated catalog.
     pub scale_factor: f64,
     /// Measured replicates per cell (after one warmup).
     pub replicates: usize,
+    /// When set, the suite measures a **disk-backed** catalog: the data
+    /// is persisted into this directory (once — reused on later runs)
+    /// and reopened through `perfeval-store`'s segment files and buffer
+    /// pool, so the measurement exercises the real read path instead of
+    /// purely in-memory columns. `None` keeps the historical in-memory
+    /// protocol that the committed baselines were measured under.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -110,6 +117,7 @@ impl RunConfig {
         RunConfig {
             scale_factor: 0.01,
             replicates: 15,
+            data_dir: None,
         }
     }
 
@@ -122,6 +130,7 @@ impl RunConfig {
         RunConfig {
             scale_factor: 0.002,
             replicates: 7,
+            data_dir: None,
         }
     }
 }
@@ -174,7 +183,23 @@ impl BenchFile {
 /// replicate `r` of every cell before replicate `r+1` of any — slow
 /// environmental drift averages across engines instead of biasing one.
 pub fn run_suite(cfg: RunConfig) -> BenchFile {
-    let catalog = catalog_at(cfg.scale_factor);
+    let catalog = match &cfg.data_dir {
+        Some(dir) => {
+            // Persist once (an existing manifest is reused as-is), then
+            // measure the disk-backed catalog: warmup faults the pool,
+            // measured replicates run against real resident segments.
+            if !dir
+                .join(perfeval_store::manifest::CATALOG_MANIFEST)
+                .exists()
+            {
+                catalog_at(cfg.scale_factor)
+                    .persist(dir)
+                    .expect("persist suite catalog");
+            }
+            minidb::Catalog::open(dir).expect("open disk-backed suite catalog")
+        }
+        None => catalog_at(cfg.scale_factor),
+    };
     let workloads = suite();
     let mut sessions: Vec<(String, String, Session, String)> = Vec::new();
     for w in &workloads {
@@ -634,6 +659,7 @@ mod tests {
         let file = run_suite(RunConfig {
             scale_factor: 0.001,
             replicates: 2,
+            data_dir: None,
         });
         assert_eq!(file.records.len(), suite().len() * ENGINES.len());
         assert!(file.records.iter().all(|r| r.replicates_ms.len() == 2));

@@ -5,6 +5,14 @@
 //! waits. The [`Disk`] charges seek + rotational + transfer time per page
 //! read; the [`BufferPool`] caches pages LRU-style and accumulates the
 //! simulated wait, so a second ("hot") run costs nothing.
+//!
+//! **Deprecated for measurement.** These models answer era what-ifs
+//! ("this scan on a 1996 disk") — that is all. For measured hot-vs-cold
+//! claims on the machine actually running, use `perfeval-store`'s real
+//! buffer pool, whose hits, misses, and evictions are counters over real
+//! `pread` calls (experiment `exp_e26_hot_cold`). E2 keeps using this
+//! model deliberately: its exhibit is the *shape* of the era table, not a
+//! measurement of the host.
 
 use std::collections::HashMap;
 

@@ -27,6 +27,21 @@
 //! *I/O waits* and *historical-machine costs* are accounted in simulated
 //! nanoseconds. Experiments then report both, reproducing the tutorial's
 //! user-vs-real lesson deterministically.
+//!
+//! ## Scope: era what-ifs only — measurement lives in `perfeval-store`
+//!
+//! Since the repository gained real persistent storage (`perfeval-store`:
+//! on-disk segment files behind a buffer pool with genuine hit/miss/
+//! eviction counters), this crate's modeled disk and [`disk::BufferPool`]
+//! are **deprecated for measurement**. They remain the right tool for
+//! counterfactuals no amount of measuring can answer — "what would this
+//! scan cost on a 1992 Sun LX?", the era sweeps of E2/E4 — but any claim
+//! about *this* machine's hot-vs-cold behavior must come from the real
+//! pool's counters (see `exp_e26_hot_cold`, and `Session::flush_caches`,
+//! which empties the real pool and the OS page cache rather than
+//! resetting a model). When a catalog is disk-backed, minidb's hit/miss
+//! span attributes and `QueryResult::store_physical_reads` already come
+//! from the real store; the simulated numbers keep their `sim_` prefix.
 #![warn(missing_docs)]
 
 pub mod cache;

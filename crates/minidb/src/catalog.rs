@@ -1,15 +1,24 @@
 //! The catalog: a registry of tables plus their simulated storage layout.
 
 use crate::error::DbError;
+use crate::storage::{open_catalog, persist_catalog, Storage, StoreConfig};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Registry of tables. Each table gets a stable `file_id` used for buffer
 /// pool page addressing.
+///
+/// A catalog opened with [`Catalog::open`] additionally carries a
+/// [`Storage`] handle: one real buffer pool shared by every table's
+/// scans, with honest hit/miss counters and a
+/// [`drop_caches`](Storage::drop_caches) switch for cold runs.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, (u32, Table)>,
     next_file_id: u32,
+    store: Option<Arc<Storage>>,
 }
 
 impl Catalog {
@@ -72,6 +81,43 @@ impl Catalog {
     /// True if no tables are registered.
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
+    }
+
+    /// Persists every table under `root/` and commits a catalog
+    /// manifest, with default storage settings. Each table becomes a
+    /// directory of checksummed, per-column compressed segment files;
+    /// commits are temp-then-rename, so a crash mid-persist reopens to
+    /// the last complete state.
+    pub fn persist(&self, root: &Path) -> Result<(), DbError> {
+        self.persist_with(root, &StoreConfig::default())
+    }
+
+    /// [`Catalog::persist`] with explicit storage settings.
+    pub fn persist_with(&self, root: &Path, config: &StoreConfig) -> Result<(), DbError> {
+        persist_catalog(self, root, config)
+    }
+
+    /// Opens a persisted catalog with default storage settings (64 MiB
+    /// LRU pool). Tables are disk-backed: scans pull column chunks
+    /// through the shared buffer pool.
+    pub fn open(root: &Path) -> Result<Catalog, DbError> {
+        Self::open_with(root, StoreConfig::default())
+    }
+
+    /// [`Catalog::open`] with explicit pool budget, eviction policy,
+    /// and fault registry.
+    pub fn open_with(root: &Path, config: StoreConfig) -> Result<Catalog, DbError> {
+        open_catalog(root, config)
+    }
+
+    /// The storage handle, if this catalog was opened from disk. Exposes
+    /// real pool counters, the quarantine report, and `drop_caches`.
+    pub fn storage(&self) -> Option<&Arc<Storage>> {
+        self.store.as_ref()
+    }
+
+    pub(crate) fn attach_storage(&mut self, store: Arc<Storage>) {
+        self.store = Some(store);
     }
 }
 

@@ -46,6 +46,17 @@ impl StrDict {
         self.index.get(s).copied()
     }
 
+    /// Rebuilds a dictionary from its distinct values (the persistence
+    /// reload path). Values must be distinct; codes are positional.
+    pub(crate) fn from_values(values: Vec<String>) -> StrDict {
+        let index = values
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        StrDict { values, index }
+    }
+
     /// Interns a value, returning its code.
     fn intern(&mut self, s: String) -> u32 {
         match self.index.get(&s) {

@@ -607,6 +607,20 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
+    /// Current `(logical_reads, physical_reads)` for scan span attrs.
+    ///
+    /// Prefers the *real* storage pool of a disk-backed catalog; falls
+    /// back to the modeled `memsim` pool. Never mixes the two.
+    pub(crate) fn io_counters(&self) -> Option<(u64, u64)> {
+        if let Some(store) = self.catalog.storage() {
+            let c = store.counters();
+            return Some((c.logical_reads, c.physical_reads));
+        }
+        self.pool
+            .as_deref()
+            .map(|p| (p.logical_reads(), p.physical_reads()))
+    }
+
     // ----------------------------------------------------------------
     // Debug engine: row-at-a-time with per-row checks.
     // ----------------------------------------------------------------
@@ -621,10 +635,7 @@ impl<'a> Executor<'a> {
         let start = Instant::now();
         let label = plan_label(plan);
         let pool_before = match plan {
-            Plan::Scan { .. } => self
-                .pool
-                .as_deref()
-                .map(|p| (p.logical_reads(), p.physical_reads())),
+            Plan::Scan { .. } => self.io_counters(),
             _ => None,
         };
         let mut span = self.tracer.map(|t| t.span(&label));
@@ -636,13 +647,21 @@ impl<'a> Executor<'a> {
                 let t = self.catalog.table(table)?;
                 let schema = plan.schema(self.catalog)?;
                 let n = t.row_count();
+                // Fetch columns once (disk-backed tables do real I/O
+                // here), then materialize row-at-a-time as before.
+                let cols: Vec<Arc<Column>> = match projection {
+                    None => (0..t.column_count())
+                        .map(|i| t.column_arc_io(i))
+                        .collect::<Result<_, DbError>>()?,
+                    Some(idxs) => idxs
+                        .iter()
+                        .map(|&c| t.column_arc_io(c))
+                        .collect::<Result<_, DbError>>()?,
+                };
                 let mut rows = Vec::with_capacity(n);
                 for i in 0..n {
                     // Debug build: materialize and re-verify every row.
-                    let row = match projection {
-                        None => t.row(i),
-                        Some(idxs) => idxs.iter().map(|&c| t.column(c).get(i)).collect(),
-                    };
+                    let row: Vec<Value> = cols.iter().map(|c| c.get(i)).collect();
                     assert_eq!(row.len(), schema.len(), "row arity invariant");
                     for (v, (_, dt)) in row.iter().zip(&schema) {
                         if let Some(vt) = v.data_type() {
@@ -881,9 +900,9 @@ impl<'a> Executor<'a> {
         let entry_rows = result.1.len();
         if let Some(g) = span.as_mut() {
             g.attr("rows_out", entry_rows);
-            if let (Some((l0, p0)), Some(p)) = (pool_before, self.pool.as_deref()) {
-                let logical = p.logical_reads().saturating_sub(l0);
-                let physical = p.physical_reads().saturating_sub(p0);
+            if let (Some((l0, p0)), Some((l1, p1))) = (pool_before, self.io_counters()) {
+                let logical = l1.saturating_sub(l0);
+                let physical = p1.saturating_sub(p0);
                 g.attr("pool_hits", logical.saturating_sub(physical))
                     .attr("pool_misses", physical);
             }
@@ -918,10 +937,7 @@ impl<'a> Executor<'a> {
         let start = Instant::now();
         let label = plan_label(plan);
         let pool_before = match plan {
-            Plan::Scan { .. } => self
-                .pool
-                .as_deref()
-                .map(|p| (p.logical_reads(), p.physical_reads())),
+            Plan::Scan { .. } => self.io_counters(),
             _ => None,
         };
         let mut span = self.tracer.map(|t| t.span(&label));
@@ -930,15 +946,21 @@ impl<'a> Executor<'a> {
             Plan::Scan { table, projection } => {
                 self.charge_scan(table)?;
                 let t = self.catalog.table(table)?;
-                // Zero-copy: the batch shares the table's columns by Arc.
+                // Zero-copy: the batch shares the table's columns by Arc
+                // (disk-backed tables fetch through the buffer pool —
+                // still an Arc clone once resident).
                 let (names, cols): (Vec<String>, Vec<Arc<Column>>) = match projection {
                     None => (
                         t.column_names().to_vec(),
-                        (0..t.column_count()).map(|i| t.column_arc(i)).collect(),
+                        (0..t.column_count())
+                            .map(|i| t.column_arc_io(i))
+                            .collect::<Result<_, DbError>>()?,
                     ),
                     Some(idxs) => (
                         idxs.iter().map(|&i| t.column_names()[i].clone()).collect(),
-                        idxs.iter().map(|&i| t.column_arc(i)).collect(),
+                        idxs.iter()
+                            .map(|&i| t.column_arc_io(i))
+                            .collect::<Result<_, DbError>>()?,
                     ),
                 };
                 Batch { names, cols }
@@ -1102,9 +1124,9 @@ impl<'a> Executor<'a> {
         let rows_out = batch.row_count();
         if let Some(g) = span.as_mut() {
             g.attr("rows_out", rows_out);
-            if let (Some((l0, p0)), Some(p)) = (pool_before, self.pool.as_deref()) {
-                let logical = p.logical_reads().saturating_sub(l0);
-                let physical = p.physical_reads().saturating_sub(p0);
+            if let (Some((l0, p0)), Some((l1, p1))) = (pool_before, self.io_counters()) {
+                let logical = l1.saturating_sub(l0);
+                let physical = p1.saturating_sub(p0);
                 g.attr("pool_hits", logical.saturating_sub(physical))
                     .attr("pool_misses", physical);
             }

@@ -26,6 +26,10 @@
 //!   "Be aware what you measure!" table.
 //! * **Buffer pool** (via `memsim`): table scans charge simulated disk I/O
 //!   through an LRU buffer pool, giving cold runs their real ≫ user gap.
+//! * **Persistence** ([`storage`], via `perfeval-store`): tables persist
+//!   to checksummed, compressed column segments and reopen disk-backed
+//!   behind a *real* buffer pool — so hot vs. cold is measured with real
+//!   hit/miss counters and `posix_fadvise` page-cache drops, not modeled.
 //! * **EXPLAIN / PROFILE / TRACE**: plan printing and per-operator time
 //!   accounting, the "CSI: find out what happens" tools.
 //!
@@ -62,6 +66,7 @@ pub mod parser;
 pub mod plan;
 pub mod session;
 pub mod sink;
+pub mod storage;
 pub mod table;
 pub mod types;
 
@@ -73,5 +78,6 @@ pub use exec::ExecMode;
 pub use plan::Plan;
 pub use session::{Query, QueryResult, Session};
 pub use sink::{FileSink, NullSink, ResultSink, TerminalSink};
+pub use storage::{Storage, StoreConfig};
 pub use table::{Table, TableBuilder};
 pub use types::{DataType, Value};

@@ -318,10 +318,7 @@ fn run_scan(
     guards: &mut [SpanGuard<'_>],
 ) -> Result<(Batch, f64), DbError> {
     let t0 = Instant::now();
-    let pool_before = ex
-        .pool
-        .as_deref()
-        .map(|p| (p.logical_reads(), p.physical_reads()));
+    let pool_before = ex.io_counters();
     ex.charge_scan(table)?;
     let t = ex.catalog.table(table)?;
     let base = Batch {
@@ -329,14 +326,14 @@ fn run_scan(
         cols: prep
             .scan_col_idxs
             .iter()
-            .map(|&i| t.column_arc(i))
-            .collect(),
+            .map(|&i| t.column_arc_io(i))
+            .collect::<Result<_, DbError>>()?,
     };
     if let Some(g) = guards.last_mut() {
         g.attr("rows_out", prep.rows);
-        if let (Some((l0, p0)), Some(p)) = (pool_before, ex.pool.as_deref()) {
-            let logical = p.logical_reads().saturating_sub(l0);
-            let physical = p.physical_reads().saturating_sub(p0);
+        if let (Some((l0, p0)), Some((l1, p1))) = (pool_before, ex.io_counters()) {
+            let logical = l1.saturating_sub(l0);
+            let physical = p1.saturating_sub(p0);
             g.attr("pool_hits", logical.saturating_sub(physical))
                 .attr("pool_misses", physical);
         }

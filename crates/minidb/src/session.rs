@@ -57,6 +57,13 @@ pub struct QueryResult {
     pub result_bytes: usize,
     /// Per-operator profile trace.
     pub profile: Vec<ProfileEntry>,
+    /// Chunk requests this statement made to the *real* storage buffer
+    /// pool (0 unless the catalog is disk-backed). Unlike
+    /// [`QueryResult::sim_io_ms`], these are measurements, not a model.
+    pub store_logical_reads: u64,
+    /// Chunk requests that missed the pool and hit disk with a real
+    /// `pread` (0 unless the catalog is disk-backed).
+    pub store_physical_reads: u64,
 }
 
 impl QueryResult {
@@ -130,6 +137,9 @@ pub struct Session {
     /// failpoints, so a schedule targets "the 3rd statement"
     /// deterministically regardless of timing.
     statements: u64,
+    /// Real storage-pool counter deltas of the last statement, when the
+    /// catalog is disk-backed. Feeds [`Session::pool_hit_rate`].
+    last_store_io: Option<perfeval_store::PoolCounters>,
 }
 
 // Parallel experiment workers (`perfeval-exec`) each own sessions on their
@@ -153,6 +163,7 @@ impl Session {
             morsel_rows: crate::exec::DEFAULT_MORSEL_ROWS,
             faults: None,
             statements: 0,
+            last_store_io: None,
         }
     }
 
@@ -221,14 +232,27 @@ impl Session {
 
     /// Flushes the buffer pool — the cold-run "reboot" of slide 32. No-op
     /// without a pool.
+    ///
+    /// For a disk-backed catalog this is a *real* cold switch: it empties
+    /// the storage buffer pool and drops the segment files' OS page-cache
+    /// pages ([`Storage::drop_caches`](crate::Storage::drop_caches)).
     pub fn flush_caches(&mut self) {
         if let Some(pool) = &mut self.pool {
             pool.flush();
         }
+        if let Some(store) = self.catalog.storage() {
+            store.drop_caches();
+        }
     }
 
     /// Buffer-pool hit rate of the last statement (`None` without a pool).
+    ///
+    /// Prefers the *real* storage pool of a disk-backed catalog — a
+    /// measured rate — over the modeled `memsim` pool.
     pub fn pool_hit_rate(&self) -> Option<f64> {
+        if self.catalog.storage().is_some() {
+            return self.last_store_io.as_ref().map(|c| c.hit_rate());
+        }
         self.pool.as_ref().map(|p| p.hit_rate())
     }
 
@@ -441,6 +465,7 @@ impl<'s, 'q> Query<'s, 'q> {
             .pool
             .as_ref()
             .map(|p| (p.logical_reads(), p.physical_reads()));
+        let store_before = session.catalog.storage().map(|s| s.counters());
         let cpu = CpuClock::new();
         let cpu0 = cpu.now_ns();
         let t2 = Instant::now();
@@ -468,11 +493,22 @@ impl<'s, 'q> Query<'s, 'q> {
         let execute_wall_ms = t2.elapsed().as_secs_f64() * 1e3;
         let io_after = session.pool.as_ref().map_or(0.0, |p| p.sim_wait_ns());
         let sim_io_ms = (io_after - io_before) / 1e6;
+        // Real storage-pool deltas, when the catalog is disk-backed.
+        let store_io = match (&store_before, session.catalog.storage()) {
+            (Some(before), Some(store)) => Some(store.counters().since(before)),
+            _ => None,
+        };
+        session.last_store_io = store_io;
         if let Some(g) = exec_span.as_mut() {
             g.attr("rows_out", result.row_count())
                 .attr("cpu_ms", execute_cpu_ms)
                 .attr("sim_io_ms", sim_io_ms);
-            if let (Some((l0, p0)), Some(pool)) = (pool_before, session.pool.as_ref()) {
+            // pool_hits/pool_misses prefer the *measured* storage pool
+            // over the modeled memsim one.
+            if let Some(c) = &store_io {
+                g.attr("pool_hits", c.hits())
+                    .attr("pool_misses", c.physical_reads);
+            } else if let (Some((l0, p0)), Some(pool)) = (pool_before, session.pool.as_ref()) {
                 let logical = pool.logical_reads().saturating_sub(l0);
                 let physical = pool.physical_reads().saturating_sub(p0);
                 g.attr("pool_hits", logical.saturating_sub(physical))
@@ -506,6 +542,8 @@ impl<'s, 'q> Query<'s, 'q> {
             sim_print_ms: report.sim_overhead_ms,
             result_bytes: report.bytes,
             profile,
+            store_logical_reads: store_io.as_ref().map_or(0, |c| c.logical_reads),
+            store_physical_reads: store_io.as_ref().map_or(0, |c| c.physical_reads),
         })
     }
 }
@@ -536,6 +574,8 @@ fn ddl_result(timer: PhaseTimer, affected: usize) -> QueryResult {
         sim_print_ms: 0.0,
         result_bytes: 0,
         profile: Vec::new(),
+        store_logical_reads: 0,
+        store_physical_reads: 0,
     }
 }
 

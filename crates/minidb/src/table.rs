@@ -2,7 +2,9 @@
 
 use crate::column::Column;
 use crate::error::DbError;
+use crate::storage::{persist_table, DiskBacking, StoreConfig};
 use crate::types::{DataType, Value};
+use std::path::Path;
 use std::sync::Arc;
 
 /// A named, schema-typed, columnar table.
@@ -10,11 +12,18 @@ use std::sync::Arc;
 /// Columns live behind `Arc` so scans hand them to the executor (and the
 /// executor hands them to worker threads) without deep-copying data:
 /// cloning a table or scanning it costs reference counts, not bytes.
+///
+/// A table is either **in-memory** (columns resident, mutable) or
+/// **disk-backed** (opened via [`Catalog::open`](crate::Catalog::open)):
+/// backed tables keep empty placeholder columns for schema answers and
+/// fetch real column data through the shared buffer pool on demand via
+/// [`Table::column_arc_io`]. Backed tables are read-only.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     column_names: Vec<String>,
     columns: Vec<Arc<Column>>,
+    backing: Option<DiskBacking>,
 }
 
 impl Table {
@@ -23,9 +32,39 @@ impl Table {
         &self.name
     }
 
+    /// Builds a disk-backed table from an opened manifest. The columns
+    /// vector holds empty placeholders of the right types so schema
+    /// queries (`schema()`, `data_type()`) answer without I/O.
+    pub(crate) fn from_backing(backing: DiskBacking) -> Table {
+        Table {
+            name: backing.manifest.name.clone(),
+            column_names: backing
+                .manifest
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+            columns: backing
+                .manifest
+                .columns
+                .iter()
+                .map(|c| Arc::new(Column::new(crate::storage::data_type_of(c.tag))))
+                .collect(),
+            backing: Some(backing),
+        }
+    }
+
+    /// True if this table reads its data from persistent segments.
+    pub fn is_disk_backed(&self) -> bool {
+        self.backing.is_some()
+    }
+
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.columns.first().map_or(0, |c| c.len())
+        match &self.backing {
+            Some(b) => b.rows(),
+            None => self.columns.first().map_or(0, |c| c.len()),
+        }
     }
 
     /// Number of columns.
@@ -47,13 +86,36 @@ impl Table {
     }
 
     /// Column by index.
+    ///
+    /// For disk-backed tables this is the empty schema placeholder —
+    /// use it for type questions only; fetch data via
+    /// [`Table::column_arc_io`].
     pub fn column(&self, idx: usize) -> &Column {
         &self.columns[idx]
     }
 
     /// Shared handle to a column by index (zero-copy scans).
+    ///
+    /// # Panics
+    /// For disk-backed tables this performs real I/O and panics if it
+    /// fails; fallible callers use [`Table::column_arc_io`].
     pub fn column_arc(&self, idx: usize) -> Arc<Column> {
-        Arc::clone(&self.columns[idx])
+        self.column_arc_io(idx)
+            .expect("disk-backed column fetch failed")
+    }
+
+    /// Shared handle to a column by index, surfacing storage errors.
+    ///
+    /// In-memory tables return their resident `Arc` (free). Disk-backed
+    /// tables pull every chunk of the column through the buffer pool —
+    /// an `Arc` clone when resident, a real `pread` on a miss — and
+    /// return [`DbError::Io`] when a segment is unreadable (including
+    /// injected `store.read` faults).
+    pub fn column_arc_io(&self, idx: usize) -> Result<Arc<Column>, DbError> {
+        match &self.backing {
+            Some(b) => b.fetch_column(idx),
+            None => Ok(Arc::clone(&self.columns[idx])),
+        }
     }
 
     /// Column by name.
@@ -71,7 +133,16 @@ impl Table {
     }
 
     /// Appends one row; values must match the schema positionally.
+    ///
+    /// Disk-backed tables are read-only and return a semantic error:
+    /// load in memory, persist, reopen.
     pub fn push_row(&mut self, values: Vec<Value>) -> Result<(), DbError> {
+        if self.backing.is_some() {
+            return Err(DbError::Semantic(format!(
+                "table {} is disk-backed and read-only",
+                self.name
+            )));
+        }
         if values.len() != self.columns.len() {
             return Err(DbError::Arity {
                 expected: self.columns.len(),
@@ -105,8 +176,15 @@ impl Table {
     /// Materializes row `i` as values.
     ///
     /// # Panics
-    /// Panics if `i >= row_count()`.
+    /// Panics if `i >= row_count()`, or if the table is disk-backed
+    /// (per-row point reads through the pool would be quadratic —
+    /// fetch columns once via [`Table::column_arc_io`] instead).
     pub fn row(&self, i: usize) -> Vec<Value> {
+        assert!(
+            self.backing.is_none(),
+            "row(): disk-backed table {}; fetch columns via column_arc_io",
+            self.name
+        );
         self.columns.iter().map(|c| c.get(i)).collect()
     }
 
@@ -119,6 +197,20 @@ impl Table {
     pub fn page_count(&self, page_bytes: u64) -> u64 {
         let total = self.row_count() as u64 * self.row_bytes();
         total.div_ceil(page_bytes).max(1)
+    }
+
+    /// Persists this table under `root/<name>/` as checksummed,
+    /// compressed column segments with default storage settings. See
+    /// [`Catalog::persist`](crate::Catalog::persist) for whole-catalog
+    /// persistence.
+    pub fn persist(&self, root: &Path) -> Result<(), DbError> {
+        self.persist_with(root, &StoreConfig::default())
+    }
+
+    /// [`Table::persist`] with explicit storage settings (chunk size,
+    /// fault registry).
+    pub fn persist_with(&self, root: &Path, config: &StoreConfig) -> Result<(), DbError> {
+        persist_table(self, root, config)
     }
 }
 
@@ -166,6 +258,7 @@ impl TableBuilder {
                 .map(|&t| Arc::new(Column::new(t)))
                 .collect(),
             column_names: self.column_names,
+            backing: None,
         }
     }
 }

@@ -1,0 +1,874 @@
+//! On-disk columnar segments: one file per column chunk.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PSEG"
+//! 4       2     format version (LE u16, = 1)
+//! 6       1     type tag   (0 = I64, 1 = F64, 2 = Str, 3 = Bool)
+//! 7       1     encoding   (0 = Plain, 1 = RLE, 2 = Dict)
+//! 8       8     row count  (LE u64)
+//! 16      8     payload length in bytes (LE u64)
+//! 24      8     FNV-1a 64 checksum of the payload (LE u64)
+//! 32      ...   payload
+//! ```
+//!
+//! The encoding is chosen **per column chunk** by exact encoded-size
+//! comparison (deterministic — no heuristics), so run-heavy columns get
+//! RLE, low-cardinality integer columns get a dictionary, and
+//! high-entropy data stays Plain. Floats are persisted as
+//! [`f64::to_bits`] and compared the same way, so NaN payloads and the
+//! sign of zero survive a round trip bit-identically.
+//!
+//! Reads go through `pread(2)` ([`std::os::unix::fs::FileExt::read_exact_at`]):
+//! the header first, then exactly `payload_len` bytes at offset 32. A
+//! short read or checksum mismatch is [`StoreError::Corrupt`] — a torn
+//! segment is *detected*, never silently half-decoded.
+
+use crate::{fnv1a64, StoreError};
+use perfeval_fault::FaultRegistry;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Segment header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 4] = *b"PSEG";
+/// On-disk format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fault site fired once per segment written; a `FailIo` arm produces a
+/// **torn write**: the file is truncated mid-payload while its header
+/// claims (and checksums) the full payload.
+pub const SITE_WRITE: &str = "store.write";
+/// Fault site fired once per segment read; a `FailIo` arm injects a
+/// read failure before any bytes are returned.
+pub const SITE_READ: &str = "store.read";
+
+/// The decoded payload of one column chunk, independent of any engine's
+/// column representation (minidb converts to/from its `Column`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    I64(Vec<i64>),
+    /// 64-bit floats; persisted and compared as [`f64::to_bits`].
+    F64(Vec<f64>),
+    /// Dictionary-encoded strings: `codes[i]` indexes `dict`.
+    Str {
+        /// Distinct values in first-occurrence order.
+        dict: Vec<String>,
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+    },
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// The type tag stored in the header.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            ColumnData::I64(_) => TypeTag::I64,
+            ColumnData::F64(_) => TypeTag::F64,
+            ColumnData::Str { .. } => TypeTag::Str,
+            ColumnData::Bool(_) => TypeTag::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Approximate decoded in-memory footprint, used for buffer-pool
+    /// budget accounting (the pool caches *decoded* chunks).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            ColumnData::I64(v) => 8 * v.len() as u64,
+            ColumnData::F64(v) => 8 * v.len() as u64,
+            ColumnData::Str { dict, codes } => {
+                let strings: u64 = dict.iter().map(|s| s.len() as u64 + 24).sum();
+                strings + 4 * codes.len() as u64
+            }
+            ColumnData::Bool(v) => v.len() as u64,
+        }
+    }
+
+    /// Bitwise equality: floats compare by [`f64::to_bits`], everything
+    /// else by value. This is the round-trip contract.
+    pub fn bit_eq(&self, other: &ColumnData) -> bool {
+        match (self, other) {
+            (ColumnData::F64(a), ColumnData::F64(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// Column type tag as stored in the header and in manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeTag {
+    /// 64-bit integer column.
+    I64,
+    /// 64-bit float column.
+    F64,
+    /// Dictionary-encoded string column.
+    Str,
+    /// Boolean column.
+    Bool,
+}
+
+impl TypeTag {
+    /// Header byte for this tag.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TypeTag::I64 => 0,
+            TypeTag::F64 => 1,
+            TypeTag::Str => 2,
+            TypeTag::Bool => 3,
+        }
+    }
+
+    /// Parses a header byte.
+    pub fn from_u8(b: u8) -> Result<Self, StoreError> {
+        match b {
+            0 => Ok(TypeTag::I64),
+            1 => Ok(TypeTag::F64),
+            2 => Ok(TypeTag::Str),
+            3 => Ok(TypeTag::Bool),
+            other => Err(StoreError::Corrupt(format!("unknown type tag {other}"))),
+        }
+    }
+
+    /// Manifest spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TypeTag::I64 => "i64",
+            TypeTag::F64 => "f64",
+            TypeTag::Str => "str",
+            TypeTag::Bool => "bool",
+        }
+    }
+
+    /// Parses the manifest spelling.
+    pub fn parse(s: &str) -> Result<Self, StoreError> {
+        match s {
+            "i64" => Ok(TypeTag::I64),
+            "f64" => Ok(TypeTag::F64),
+            "str" => Ok(TypeTag::Str),
+            "bool" => Ok(TypeTag::Bool),
+            other => Err(StoreError::Corrupt(format!("unknown type tag {other:?}"))),
+        }
+    }
+}
+
+/// Payload encoding, chosen per column chunk by exact size comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Values laid out verbatim (LE fixed width).
+    Plain,
+    /// Run-length encoding: `(value, run_length)` pairs.
+    Rle,
+    /// Dictionary encoding: distinct-value table + per-row `u32` codes
+    /// (integer columns; string columns are inherently dictionary-coded
+    /// and use this byte for their *code* stream's encoding).
+    Dict,
+}
+
+impl Encoding {
+    fn as_u8(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Rle => 1,
+            Encoding::Dict => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, StoreError> {
+        match b {
+            0 => Ok(Encoding::Plain),
+            1 => Ok(Encoding::Rle),
+            2 => Ok(Encoding::Dict),
+            other => Err(StoreError::Corrupt(format!("unknown encoding {other}"))),
+        }
+    }
+}
+
+/// What a write produced: enough for the manifest and for accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentInfo {
+    /// Total file size, header included.
+    pub file_bytes: u64,
+    /// Encoding the size comparison picked.
+    pub encoding: Encoding,
+    /// Rows in the chunk.
+    pub rows: u64,
+}
+
+// ---------------------------------------------------------------------
+// little-endian helpers over a growing Vec / a cursor
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "payload truncated: wanted {n} bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), StoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt(format!(
+                "{} trailing byte(s) after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------
+
+/// `(value, run_length)` runs of an equality-comparable stream.
+fn runs_of<T: PartialEq + Copy>(vals: &[T]) -> Vec<(T, u64)> {
+    let mut runs: Vec<(T, u64)> = Vec::new();
+    for &v in vals {
+        match runs.last_mut() {
+            Some((last, n)) if *last == v => *n += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    runs
+}
+
+/// Distinct values in first-occurrence order plus per-row codes, or
+/// `None` once the dictionary would stop paying for itself (> u32 codes
+/// worth of distincts is impossible here, but we also bail past 2^16
+/// entries: the size comparison would reject it anyway).
+fn dict_of(vals: &[i64]) -> Option<(Vec<i64>, Vec<u32>)> {
+    let mut dict: Vec<i64> = Vec::new();
+    let mut index: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+    let mut codes = Vec::with_capacity(vals.len());
+    for &v in vals {
+        let code = *index.entry(v).or_insert_with(|| {
+            dict.push(v);
+            (dict.len() - 1) as u32
+        });
+        codes.push(code);
+        if dict.len() > (1 << 16) {
+            return None;
+        }
+    }
+    Some((dict, codes))
+}
+
+fn encode_u64s(vals: &[u64]) -> (Encoding, Vec<u8>) {
+    let runs = runs_of(vals);
+    let plain_bytes = 8 * vals.len();
+    let rle_bytes = 8 + 16 * runs.len();
+    if rle_bytes < plain_bytes {
+        let mut out = Vec::with_capacity(rle_bytes);
+        put_u64(&mut out, runs.len() as u64);
+        for (v, n) in runs {
+            put_u64(&mut out, v);
+            put_u64(&mut out, n);
+        }
+        (Encoding::Rle, out)
+    } else {
+        let mut out = Vec::with_capacity(plain_bytes);
+        for &v in vals {
+            put_u64(&mut out, v);
+        }
+        (Encoding::Plain, out)
+    }
+}
+
+fn encode_i64s(vals: &[i64]) -> (Encoding, Vec<u8>) {
+    let runs = runs_of(vals);
+    let plain_bytes = 8 * vals.len();
+    let rle_bytes = 8 + 16 * runs.len();
+    let dict = dict_of(vals);
+    let dict_bytes = dict
+        .as_ref()
+        .map(|(d, c)| 4 + 8 * d.len() + 4 * c.len())
+        .unwrap_or(usize::MAX);
+    let best = plain_bytes.min(rle_bytes).min(dict_bytes);
+    if best == rle_bytes && rle_bytes < plain_bytes {
+        let mut out = Vec::with_capacity(rle_bytes);
+        put_u64(&mut out, runs.len() as u64);
+        for (v, n) in runs {
+            out.extend_from_slice(&v.to_le_bytes());
+            put_u64(&mut out, n);
+        }
+        (Encoding::Rle, out)
+    } else if best == dict_bytes && dict_bytes < plain_bytes {
+        let (d, c) = dict.expect("dict_bytes finite implies Some");
+        let mut out = Vec::with_capacity(dict_bytes);
+        put_u32(&mut out, d.len() as u32);
+        for v in d {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for code in c {
+            put_u32(&mut out, code);
+        }
+        (Encoding::Dict, out)
+    } else {
+        let mut out = Vec::with_capacity(plain_bytes);
+        for &v in vals {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        (Encoding::Plain, out)
+    }
+}
+
+fn encode_codes(codes: &[u32]) -> (Encoding, Vec<u8>) {
+    let runs = runs_of(codes);
+    let plain_bytes = 4 * codes.len();
+    let rle_bytes = 8 + 12 * runs.len();
+    if rle_bytes < plain_bytes {
+        let mut out = Vec::with_capacity(rle_bytes);
+        put_u64(&mut out, runs.len() as u64);
+        for (v, n) in runs {
+            put_u32(&mut out, v);
+            put_u64(&mut out, n);
+        }
+        (Encoding::Rle, out)
+    } else {
+        let mut out = Vec::with_capacity(plain_bytes);
+        for &v in codes {
+            put_u32(&mut out, v);
+        }
+        (Encoding::Plain, out)
+    }
+}
+
+fn encode_bools(vals: &[bool]) -> (Encoding, Vec<u8>) {
+    let runs = runs_of(vals);
+    let plain_bytes = vals.len();
+    let rle_bytes = 8 + 9 * runs.len();
+    if rle_bytes < plain_bytes {
+        let mut out = Vec::with_capacity(rle_bytes);
+        put_u64(&mut out, runs.len() as u64);
+        for (v, n) in runs {
+            out.push(u8::from(v));
+            put_u64(&mut out, n);
+        }
+        (Encoding::Rle, out)
+    } else {
+        (Encoding::Plain, vals.iter().map(|&b| u8::from(b)).collect())
+    }
+}
+
+fn encode_payload(data: &ColumnData) -> (Encoding, Vec<u8>) {
+    match data {
+        ColumnData::I64(v) => encode_i64s(v),
+        ColumnData::F64(v) => {
+            let bits: Vec<u64> = v.iter().map(|f| f.to_bits()).collect();
+            encode_u64s(&bits)
+        }
+        ColumnData::Str { dict, codes } => {
+            // Dictionary block first (length-prefixed UTF-8), then the
+            // code stream in whichever encoding is smaller; the header's
+            // encoding byte describes the code stream.
+            let mut out = Vec::new();
+            put_u32(&mut out, dict.len() as u32);
+            for s in dict {
+                put_u32(&mut out, s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+            let (enc, code_bytes) = encode_codes(codes);
+            out.extend_from_slice(&code_bytes);
+            (enc, out)
+        }
+        ColumnData::Bool(v) => encode_bools(v),
+    }
+}
+
+/// Encodes a full segment (header + payload) into memory.
+pub fn encode_segment(data: &ColumnData) -> Vec<u8> {
+    encode_segment_with(data).1
+}
+
+fn encode_segment_with(data: &ColumnData) -> (Encoding, Vec<u8>) {
+    let (encoding, payload) = encode_payload(data);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(data.type_tag().as_u8());
+    out.push(encoding.as_u8());
+    put_u64(&mut out, data.rows() as u64);
+    put_u64(&mut out, payload.len() as u64);
+    put_u64(&mut out, fnv1a64(&payload));
+    out.extend_from_slice(&payload);
+    (encoding, out)
+}
+
+// ---------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------
+
+fn decode_u64s(cur: &mut Cursor, encoding: Encoding, rows: usize) -> Result<Vec<u64>, StoreError> {
+    match encoding {
+        Encoding::Plain => (0..rows).map(|_| cur.u64()).collect(),
+        Encoding::Rle => {
+            let nruns = cur.u64()? as usize;
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..nruns {
+                let v = cur.u64()?;
+                let n = cur.u64()? as usize;
+                if out.len() + n > rows {
+                    return Err(StoreError::Corrupt("RLE runs exceed row count".into()));
+                }
+                out.extend(std::iter::repeat_n(v, n));
+            }
+            if out.len() != rows {
+                return Err(StoreError::Corrupt(
+                    "RLE runs fall short of row count".into(),
+                ));
+            }
+            Ok(out)
+        }
+        Encoding::Dict => Err(StoreError::Corrupt("Dict encoding invalid here".into())),
+    }
+}
+
+fn decode_i64s(cur: &mut Cursor, encoding: Encoding, rows: usize) -> Result<Vec<i64>, StoreError> {
+    match encoding {
+        Encoding::Plain => (0..rows).map(|_| cur.i64()).collect(),
+        Encoding::Rle => {
+            let nruns = cur.u64()? as usize;
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..nruns {
+                let v = cur.i64()?;
+                let n = cur.u64()? as usize;
+                if out.len() + n > rows {
+                    return Err(StoreError::Corrupt("RLE runs exceed row count".into()));
+                }
+                out.extend(std::iter::repeat_n(v, n));
+            }
+            if out.len() != rows {
+                return Err(StoreError::Corrupt(
+                    "RLE runs fall short of row count".into(),
+                ));
+            }
+            Ok(out)
+        }
+        Encoding::Dict => {
+            let dlen = cur.u32()? as usize;
+            let mut dict = Vec::with_capacity(dlen);
+            for _ in 0..dlen {
+                dict.push(cur.i64()?);
+            }
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let code = cur.u32()? as usize;
+                out.push(*dict.get(code).ok_or_else(|| {
+                    StoreError::Corrupt(format!("dict code {code} out of range {dlen}"))
+                })?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn decode_codes(cur: &mut Cursor, encoding: Encoding, rows: usize) -> Result<Vec<u32>, StoreError> {
+    match encoding {
+        Encoding::Plain => (0..rows).map(|_| cur.u32()).collect(),
+        Encoding::Rle => {
+            let nruns = cur.u64()? as usize;
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..nruns {
+                let v = cur.u32()?;
+                let n = cur.u64()? as usize;
+                if out.len() + n > rows {
+                    return Err(StoreError::Corrupt("RLE runs exceed row count".into()));
+                }
+                out.extend(std::iter::repeat_n(v, n));
+            }
+            if out.len() != rows {
+                return Err(StoreError::Corrupt(
+                    "RLE runs fall short of row count".into(),
+                ));
+            }
+            Ok(out)
+        }
+        Encoding::Dict => Err(StoreError::Corrupt(
+            "Dict encoding invalid for codes".into(),
+        )),
+    }
+}
+
+/// Decodes a full in-memory segment (as produced by [`encode_segment`]),
+/// verifying magic, version, length, and checksum.
+pub fn decode_segment(bytes: &[u8]) -> Result<ColumnData, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "segment shorter than header: {} bytes",
+            bytes.len()
+        )));
+    }
+    let (header, payload) = bytes.split_at(HEADER_LEN);
+    if header[0..4] != MAGIC {
+        return Err(StoreError::Corrupt("bad magic".into()));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported format version {version}"
+        )));
+    }
+    let tag = TypeTag::from_u8(header[6])?;
+    let encoding = Encoding::from_u8(header[7])?;
+    let rows = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    if payload.len() != payload_len {
+        return Err(StoreError::Corrupt(format!(
+            "payload length mismatch: header says {payload_len}, file has {}",
+            payload.len()
+        )));
+    }
+    if fnv1a64(payload) != checksum {
+        return Err(StoreError::Corrupt("checksum mismatch".into()));
+    }
+    let mut cur = Cursor::new(payload);
+    let data = match tag {
+        TypeTag::I64 => ColumnData::I64(decode_i64s(&mut cur, encoding, rows)?),
+        TypeTag::F64 => ColumnData::F64(
+            decode_u64s(&mut cur, encoding, rows)?
+                .into_iter()
+                .map(f64::from_bits)
+                .collect(),
+        ),
+        TypeTag::Str => {
+            let dlen = cur.u32()? as usize;
+            let mut dict = Vec::with_capacity(dlen);
+            for _ in 0..dlen {
+                let len = cur.u32()? as usize;
+                let raw = cur.take(len)?;
+                dict.push(
+                    String::from_utf8(raw.to_vec())
+                        .map_err(|_| StoreError::Corrupt("dictionary entry is not UTF-8".into()))?,
+                );
+            }
+            let codes = decode_codes(&mut cur, encoding, rows)?;
+            if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dlen) {
+                return Err(StoreError::Corrupt(format!(
+                    "string code {bad} out of range {dlen}"
+                )));
+            }
+            ColumnData::Str { dict, codes }
+        }
+        TypeTag::Bool => match encoding {
+            Encoding::Plain => {
+                let raw = cur.take(rows)?;
+                ColumnData::Bool(raw.iter().map(|&b| b != 0).collect())
+            }
+            Encoding::Rle => {
+                let nruns = cur.u64()? as usize;
+                let mut out = Vec::with_capacity(rows);
+                for _ in 0..nruns {
+                    let v = cur.take(1)?[0] != 0;
+                    let n = cur.u64()? as usize;
+                    if out.len() + n > rows {
+                        return Err(StoreError::Corrupt("RLE runs exceed row count".into()));
+                    }
+                    out.extend(std::iter::repeat_n(v, n));
+                }
+                if out.len() != rows {
+                    return Err(StoreError::Corrupt(
+                        "RLE runs fall short of row count".into(),
+                    ));
+                }
+                ColumnData::Bool(out)
+            }
+            Encoding::Dict => {
+                return Err(StoreError::Corrupt("Dict encoding invalid for bool".into()))
+            }
+        },
+    };
+    cur.done()?;
+    Ok(data)
+}
+
+// ---------------------------------------------------------------------
+// file I/O
+// ---------------------------------------------------------------------
+
+/// Writes a segment file and fsyncs it.
+///
+/// Fires the [`SITE_WRITE`] fault site with `key` once per call; a
+/// `FailIo` arm produces a **torn write** — the file holds the header
+/// (whose checksum covers the *full* payload) plus roughly half the
+/// payload, then the call fails. Reading such a file reports
+/// [`StoreError::Corrupt`], never garbage data.
+pub fn write_segment(
+    path: &Path,
+    data: &ColumnData,
+    faults: Option<&FaultRegistry>,
+    key: u64,
+) -> Result<SegmentInfo, StoreError> {
+    let (encoding, bytes) = encode_segment_with(data);
+    let torn = faults.is_some_and(|f| f.io_fails(SITE_WRITE, key));
+    let mut file = File::create(path)?;
+    if torn {
+        // Keep the header plus half the payload: long enough to look
+        // like a segment, short enough that the checksum can't pass.
+        let cut = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        file.write_all(&bytes[..cut])?;
+        file.sync_all()?;
+        return Err(StoreError::Io(format!(
+            "injected torn write: {} truncated to {cut}/{} bytes",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    Ok(SegmentInfo {
+        file_bytes: bytes.len() as u64,
+        encoding,
+        rows: data.rows() as u64,
+    })
+}
+
+#[cfg(unix)]
+fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// Reads and decodes a segment file via `pread(2)`.
+///
+/// Fires the [`SITE_READ`] fault site with `key` once per call; a
+/// `FailIo` arm injects a read failure. A genuinely short file (e.g. a
+/// torn write) surfaces as [`StoreError::Corrupt`].
+pub fn read_segment(
+    path: &Path,
+    faults: Option<&FaultRegistry>,
+    key: u64,
+) -> Result<ColumnData, StoreError> {
+    if faults.is_some_and(|f| f.io_fails(SITE_READ, key)) {
+        return Err(StoreError::Io(format!(
+            "injected read failure: {}",
+            path.display()
+        )));
+    }
+    let file = File::open(path)?;
+    let mut header = [0u8; HEADER_LEN];
+    pread_exact(&file, &mut header, 0).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Corrupt(format!("{}: truncated header", path.display()))
+        } else {
+            StoreError::Io(e.to_string())
+        }
+    })?;
+    let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    // Sanity-bound the allocation before trusting the header: a segment
+    // can't claim more payload than the file holds.
+    let file_len = file.metadata()?.len();
+    if HEADER_LEN as u64 + payload_len > file_len {
+        return Err(StoreError::Corrupt(format!(
+            "{}: truncated payload ({} of {} byte(s) present)",
+            path.display(),
+            file_len.saturating_sub(HEADER_LEN as u64),
+            payload_len
+        )));
+    }
+    let mut bytes = vec![0u8; HEADER_LEN + payload_len as usize];
+    bytes[..HEADER_LEN].copy_from_slice(&header);
+    pread_exact(&file, &mut bytes[HEADER_LEN..], HEADER_LEN as u64).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Corrupt(format!("{}: short payload read", path.display()))
+        } else {
+            StoreError::Io(e.to_string())
+        }
+    })?;
+    decode_segment(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfeval_fault::{FaultAction, Trigger};
+
+    fn roundtrip(data: ColumnData) {
+        let bytes = encode_segment(&data);
+        let back = decode_segment(&bytes).expect("decode");
+        assert!(data.bit_eq(&back), "round trip changed {data:?}");
+    }
+
+    #[test]
+    fn int_roundtrips_across_encodings() {
+        roundtrip(ColumnData::I64(vec![]));
+        roundtrip(ColumnData::I64((0..1000).collect())); // RLE-hostile
+        roundtrip(ColumnData::I64(vec![7; 1000])); // one run
+        roundtrip(ColumnData::I64(
+            (0..1000).map(|i| i64::from(i % 3 == 0)).collect(),
+        )); // dict/RLE contest
+        roundtrip(ColumnData::I64(vec![i64::MIN, i64::MAX, -1, 0, 1]));
+    }
+
+    #[test]
+    fn chosen_encoding_matches_data_shape() {
+        let runs = encode_segment(&ColumnData::I64(vec![42; 4096]));
+        assert_eq!(runs[7], 1, "constant column should pick RLE");
+        let lowcard = encode_segment(&ColumnData::I64(
+            (0..4096).map(|i| i64::from(i % 7) * 1000).collect(),
+        ));
+        assert_eq!(lowcard[7], 2, "low-cardinality column should pick Dict");
+        let unique = encode_segment(&ColumnData::I64((0..4096).map(|i| i * 17).collect()));
+        assert_eq!(unique[7], 0, "high-entropy column should stay Plain");
+    }
+
+    #[test]
+    fn float_bits_survive() {
+        roundtrip(ColumnData::F64(vec![
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+        ]));
+        // -0.0 vs 0.0 must NOT be conflated by RLE.
+        let data = ColumnData::F64(vec![0.0, -0.0, 0.0, -0.0]);
+        let back = decode_segment(&encode_segment(&data)).unwrap();
+        if let ColumnData::F64(v) = back {
+            assert_eq!(v[0].to_bits(), 0.0f64.to_bits());
+            assert_eq!(v[1].to_bits(), (-0.0f64).to_bits());
+        } else {
+            panic!("type changed");
+        }
+    }
+
+    #[test]
+    fn strings_and_bools_roundtrip() {
+        roundtrip(ColumnData::Str {
+            dict: vec!["".into(), "a".into(), "naïve — ünïcode".into()],
+            codes: vec![0, 1, 2, 2, 1, 0, 0],
+        });
+        roundtrip(ColumnData::Str {
+            dict: vec![],
+            codes: vec![],
+        });
+        roundtrip(ColumnData::Bool(vec![true; 500]));
+        roundtrip(ColumnData::Bool((0..500).map(|i| i % 2 == 0).collect()));
+        roundtrip(ColumnData::Bool(vec![]));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let good = encode_segment(&ColumnData::I64((0..100).collect()));
+        // Flip one payload byte: checksum catches it.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 5] ^= 0x40;
+        assert!(matches!(
+            decode_segment(&bad),
+            Err(StoreError::Corrupt(m)) if m.contains("checksum")
+        ));
+        // Truncate: length catches it.
+        assert!(matches!(
+            decode_segment(&good[..good.len() - 3]),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_segment(&bad), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip_and_torn_write() {
+        let dir = std::env::temp_dir().join(format!("pseg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c0.seg");
+        let data = ColumnData::I64((0..10_000).map(|i| i % 13).collect());
+        let info = write_segment(&path, &data, None, 0).unwrap();
+        assert!(info.file_bytes > 0);
+        let back = read_segment(&path, None, 0).unwrap();
+        assert!(data.bit_eq(&back));
+
+        // Torn write: header claims the full payload, file holds half.
+        let faults =
+            FaultRegistry::new(1).armed_always(SITE_WRITE, Trigger::Always, FaultAction::FailIo);
+        let torn_path = dir.join("torn.seg");
+        let err = write_segment(&torn_path, &data, Some(&faults), 0).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert!(matches!(
+            read_segment(&torn_path, None, 0),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // Injected read failure.
+        let faults =
+            FaultRegistry::new(2).armed_always(SITE_READ, Trigger::Always, FaultAction::FailIo);
+        assert!(matches!(
+            read_segment(&path, Some(&faults), 0),
+            Err(StoreError::Io(_))
+        ));
+        // And the same file still reads fine without the fault.
+        assert!(read_segment(&path, None, 0).unwrap().bit_eq(&data));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

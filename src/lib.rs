@@ -16,7 +16,8 @@
 //! | [`minidb`] | the substrate DBMS: column store, SQL subset, DBG/OPT engines, EXPLAIN/PROFILE, result sinks |
 //! | [`net`] (`minidb-net`) | wire-protocol client/server layer: TCP + in-process loopback transports, streamed result batches with backpressure, the measured client/server time decomposition, and two server cores (event-driven sharded / thread-per-connection) behind one builder |
 //! | [`workload`] | TPC-H-like data generator, Q1/Q6/Q16-like queries, the 22-query DBG/OPT family, micro-benchmarks |
-//! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets |
+//! | [`memsim`] | cache-hierarchy / disk / buffer-pool simulator with 1992–2008 machine presets (era what-ifs; measured I/O lives in `store`) |
+//! | [`store`] (`perfeval-store`) | persistent columnar storage: checksummed segment files (RLE/dictionary encoded), a real buffer pool with LRU/Clock/2Q eviction and counted hits/misses, crash-safe temp-then-rename manifests, OS page-cache dropping for honest cold runs |
 //! | [`exec`] (`perfeval-exec`) | deterministic parallel experiment scheduler: run plans, order policies, worker pool, resumable result cache, failure-contained execution |
 //! | [`trace`] (`perfeval-trace`) | span-based observability: per-thread ring-buffer recorder, Chrome/Perfetto + flamegraph + tree exporters |
 //! | [`fault`] (`perfeval-fault`) | seeded deterministic fault injection: failpoints that panic, delay, hang, skew clocks, and fail cache I/O |
@@ -48,13 +49,16 @@ pub use perfeval_harness as harness;
 pub use perfeval_load as load;
 pub use perfeval_measure as measure;
 pub use perfeval_stats as stats;
+pub use perfeval_store as store;
 pub use perfeval_trace as trace;
 pub use workload;
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use memsim::{BufferPool, Disk, MachineSpec};
-    pub use minidb::{Catalog, DataType, ExecMode, Session, Table, TableBuilder, Value};
+    pub use minidb::{
+        Catalog, DataType, ExecMode, Session, StoreConfig, Table, TableBuilder, Value,
+    };
     pub use minidb_net::{
         Client, LoopbackEndpoint, NetQueryResult, Server, ServerMode, TcpEndpoint, TcpTransport,
     };
@@ -73,6 +77,7 @@ pub mod prelude {
     pub use perfeval_load::{Arrival, Dialer, LoadReport, LoadRunner, LoadSpec};
     pub use perfeval_measure::{CacheState, Clock, Measurement, RunProtocol, WallClock};
     pub use perfeval_stats::{compare_means, mean_confidence_interval, LogHistogram, Summary};
+    pub use perfeval_store::{Evict, PoolCounters};
     pub use perfeval_trace::{chrome_trace_json, render_tree, Tracer};
     pub use workload::dbgen::{generate, GenConfig};
 }
